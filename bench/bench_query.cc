@@ -1,0 +1,178 @@
+// T-QUERY + T-XPATH (DESIGN.md): the paper's core claim — "XPath and
+// XQuery are inefficient in expressing certain important information
+// needs over concurrent XML documents (e.g., requests for overlapping
+// content given two tags)"; the Extended XPath's `overlapping` axis over
+// the GODDAG answers them directly.
+//
+// Comparator: the fragmentation-encoded single DOM, where each query
+// must reassemble logical elements by joining fragments on their glue
+// ids (baseline::JoinFragments) before extents can even be compared.
+//
+// Series:
+//   BM_OverlapGoddagAxis/size   — //w[overlapping::line] via the engine
+//   BM_OverlapGoddagAlgebra/size— FindOverlappingPairs (index sweep)
+//   BM_OverlapBaselineJoin/size — fragment join + nested extent filter
+//   BM_StdXPathGoddag/...       — standard axes on the GODDAG
+//   BM_StdCountBaseline/size    — logical counting on the baseline (also
+//                                 needs the join)
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/fragment_join.h"
+#include "bench_util.h"
+#include "dom/document.h"
+#include "drivers/fragmentation.h"
+#include "goddag/algebra.h"
+#include "sacx/goddag_handler.h"
+#include "xpath/engine.h"
+
+namespace cxml {
+namespace {
+
+struct QueryFixture {
+  std::unique_ptr<goddag::Goddag> g;
+  std::unique_ptr<dom::Document> frag_dom;
+};
+
+const QueryFixture& GetFixture(size_t size) {
+  static auto* cache =
+      new std::map<size_t, std::unique_ptr<QueryFixture>>();
+  auto it = cache->find(size);
+  if (it == cache->end()) {
+    const auto& corpus = bench::GetCorpus(size, 2);
+    auto g = sacx::ParseToGoddag(*corpus.cmh, corpus.SourceViews());
+    if (!g.ok()) std::abort();
+    auto fixture = std::make_unique<QueryFixture>();
+    fixture->g =
+        std::make_unique<goddag::Goddag>(std::move(g).value());
+    auto frag = drivers::ExportFragmentation(*fixture->g);
+    if (!frag.ok()) std::abort();
+    auto dom = dom::ParseDocument(*frag);
+    if (!dom.ok()) std::abort();
+    fixture->frag_dom = std::move(dom).value();
+    it = cache->emplace(size, std::move(fixture)).first;
+  }
+  return *it->second;
+}
+
+void BM_OverlapGoddagAxis(benchmark::State& state) {
+  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
+  size_t answers = 0;
+  for (auto _ : state) {
+    // Fresh engine per iteration: include index construction, as the
+    // baseline rebuilds its join per query too.
+    xpath::XPathEngine engine(*fixture.g);
+    auto result = engine.SelectNodes("//w[overlapping::line]");
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+    } else {
+      answers = result->size();
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_OverlapGoddagAxis)->Arg(2'000)->Arg(10'000)->Arg(50'000);
+
+void BM_OverlapGoddagAlgebra(benchmark::State& state) {
+  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto pairs = goddag::FindOverlappingPairs(*fixture.g, "w", "line");
+    answers = pairs.size();
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_OverlapGoddagAlgebra)->Arg(2'000)->Arg(10'000)->Arg(50'000);
+
+void BM_OverlapBaselineJoin(benchmark::State& state) {
+  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto joined = baseline::JoinFragments(*fixture.frag_dom);
+    auto pairs =
+        baseline::FindOverlappingPairsBaseline(joined, "w", "line");
+    answers = pairs.size();
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_OverlapBaselineJoin)->Arg(2'000)->Arg(10'000)->Arg(50'000);
+
+void BM_OverlapGoddagNoIndex(benchmark::State& state) {
+  // Ablation: the same overlap query with the ExtentIndex disabled —
+  // a quadratic scan over element pairs. Shows what the index buys.
+  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
+  const goddag::Goddag& g = *fixture.g;
+  size_t answers = 0;
+  for (auto _ : state) {
+    std::vector<goddag::NodeId> ws = g.ElementsByTag("w");
+    std::vector<goddag::NodeId> lines = g.ElementsByTag("line");
+    std::vector<std::pair<goddag::NodeId, goddag::NodeId>> pairs;
+    for (auto w : ws) {
+      for (auto line : lines) {
+        if (goddag::Overlaps(g, w, line)) pairs.emplace_back(w, line);
+      }
+    }
+    answers = pairs.size();
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_OverlapGoddagNoIndex)->Arg(2'000)->Arg(10'000)->Arg(50'000);
+
+void BM_StdXPathGoddag(benchmark::State& state) {
+  const auto& fixture = GetFixture(10'000);
+  static const char* kQueries[] = {
+      "count(//w)",
+      "count(/r/page/line)",
+      "count(//s[@n='3']/w)",
+      "string(//line[2])",
+      "count(//w[string-length(string(.)) > 5])",
+  };
+  const char* query = kQueries[state.range(0)];
+  xpath::XPathEngine engine(*fixture.g);  // parse cache warm
+  for (auto _ : state) {
+    auto result = engine.Evaluate(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(query);
+}
+BENCHMARK(BM_StdXPathGoddag)->DenseRange(0, 4);
+
+void BM_StdCountBaseline(benchmark::State& state) {
+  // Counting logical <w> on the fragmentation DOM requires the join to
+  // dedupe fragments — even "simple" queries pay it.
+  const auto& fixture = GetFixture(10'000);
+  size_t count = 0;
+  for (auto _ : state) {
+    auto joined = baseline::JoinFragments(*fixture.frag_dom);
+    count = baseline::CountLogicalElements(joined, "w");
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["count"] = static_cast<double>(count);
+}
+BENCHMARK(BM_StdCountBaseline);
+
+void BM_QualifiedAxisGoddag(benchmark::State& state) {
+  const auto& fixture = GetFixture(10'000);
+  xpath::XPathEngine engine(*fixture.g);
+  for (auto _ : state) {
+    auto result =
+        engine.Evaluate("count((//w)[1]/ancestor(physical)::line)");
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_QualifiedAxisGoddag);
+
+}  // namespace
+}  // namespace cxml
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+// cxml_cli: a command-line front end to the framework — the shape of
+// tool a downstream user scripts against. Reads a concurrent document
+// (any representation + its DTDs), then validates, summarises, queries
+// or converts it.
+//
+// Usage:
+//   cxml_cli summary  <root-tag> <name=dtd-file>... -- <doc-file>...
+//   cxml_cli validate <root-tag> <name=dtd-file>... -- <doc-file>...
+//   cxml_cli query    <xpath-or-flwor> <root-tag> <name=dtd-file>... -- <doc>...
+//   cxml_cli convert  <distributed|fragmentation|milestones|standoff>
+//                     <root-tag> <name=dtd-file>... -- <doc-file>...
+//   cxml_cli demo     (runs on the built-in Boethius corpus, no files)
+//
+// Documents are auto-detected (fragmentation / milestones / stand-off /
+// distributed members).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "drivers/registry.h"
+#include "dtd/dtd.h"
+#include "dtd/validator.h"
+#include "goddag/serializer.h"
+#include "sacx/goddag_handler.h"
+#include "workload/boethius.h"
+#include "xquery/xquery.h"
+
+namespace {
+
+using namespace cxml;
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct LoadedInput {
+  std::unique_ptr<cmh::ConcurrentHierarchies> cmh;
+  std::unique_ptr<goddag::Goddag> g;
+};
+
+/// Parses `name=dtd-file` hierarchy specs and the document files after
+/// `--`, auto-detecting the representation.
+Result<LoadedInput> LoadFromArgs(int argc, char** argv, int first) {
+  if (first >= argc) {
+    return status::InvalidArgument("missing <root-tag>");
+  }
+  LoadedInput out;
+  out.cmh =
+      std::make_unique<cmh::ConcurrentHierarchies>(argv[first]);
+  int i = first + 1;
+  for (; i < argc && std::strcmp(argv[i], "--") != 0; ++i) {
+    const char* eq = std::strchr(argv[i], '=');
+    if (eq == nullptr) {
+      return status::InvalidArgument(
+          StrCat("expected name=dtd-file, got '", argv[i], "'"));
+    }
+    std::string name(argv[i], static_cast<size_t>(eq - argv[i]));
+    CXML_ASSIGN_OR_RETURN(std::string dtd_text, ReadFile(eq + 1));
+    CXML_ASSIGN_OR_RETURN(dtd::Dtd dtd, dtd::ParseDtd(dtd_text));
+    CXML_RETURN_IF_ERROR(
+        out.cmh->AddHierarchy(std::move(name), std::move(dtd)).status());
+  }
+  if (i >= argc) {
+    return status::InvalidArgument("missing '--' before document files");
+  }
+  ++i;  // skip --
+  std::vector<std::string> docs;
+  for (; i < argc; ++i) {
+    CXML_ASSIGN_OR_RETURN(std::string doc, ReadFile(argv[i]));
+    docs.push_back(std::move(doc));
+  }
+  if (docs.empty()) {
+    return status::InvalidArgument("no document files given");
+  }
+  drivers::Representation repr = drivers::Detect(docs[0]);
+  if (docs.size() > 1) repr = drivers::Representation::kDistributed;
+  std::vector<std::string_view> views(docs.begin(), docs.end());
+  CXML_ASSIGN_OR_RETURN(goddag::Goddag g,
+                        drivers::Import(*out.cmh, repr, views));
+  std::fprintf(stderr, "[loaded %zu document(s) as %s]\n", docs.size(),
+               drivers::RepresentationToString(repr));
+  out.g = std::make_unique<goddag::Goddag>(std::move(g));
+  return out;
+}
+
+Result<LoadedInput> LoadDemo() {
+  CXML_ASSIGN_OR_RETURN(workload::BoethiusCorpus corpus,
+                        workload::MakeBoethiusCorpus());
+  LoadedInput out;
+  out.cmh = std::move(corpus.cmh);
+  std::vector<std::string_view> views;
+  for (const auto& s : workload::BoethiusSources()) views.push_back(s);
+  CXML_ASSIGN_OR_RETURN(goddag::Goddag g,
+                        sacx::ParseToGoddag(*out.cmh, views));
+  out.g = std::make_unique<goddag::Goddag>(std::move(g));
+  return out;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cxml_cli summary  <root> <name=dtd>... -- <doc>...\n"
+      "  cxml_cli validate <root> <name=dtd>... -- <doc>...\n"
+      "  cxml_cli query <expr> <root> <name=dtd>... -- <doc>...\n"
+      "  cxml_cli convert <representation> <root> <name=dtd>... -- "
+      "<doc>...\n"
+      "  cxml_cli demo [query <expr>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+
+  // `demo` runs on the embedded corpus; everything else loads files.
+  Result<LoadedInput> loaded =
+      command == "demo" ? LoadDemo()
+      : command == "query" || command == "convert"
+          ? LoadFromArgs(argc, argv, 3)
+          : LoadFromArgs(argc, argv, 2);
+  if (command == "demo" && argc >= 4 &&
+      std::strcmp(argv[2], "query") == 0) {
+    command = "query";
+    // argv[3] is the expression; handled below.
+  } else if (command == "demo") {
+    command = "summary";
+  }
+  if (!loaded.ok()) return Fail(loaded.status());
+  goddag::Goddag& g = *loaded->g;
+
+  if (command == "summary") {
+    std::printf("%s", goddag::StructureSummary(g).c_str());
+    return 0;
+  }
+  if (command == "validate") {
+    Status structure = g.Validate();
+    std::printf("structural invariants: %s\n",
+                structure.ToString().c_str());
+    auto compiled = loaded->cmh->CompileAll();
+    if (!compiled.ok()) return Fail(compiled.status());
+    // Strict per-hierarchy DTD validation via serialisation.
+    for (cmh::HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+      auto xml = goddag::SerializeHierarchy(g, h);
+      if (!xml.ok()) return Fail(xml.status());
+      auto doc = dom::ParseDocument(*xml);
+      if (!doc.ok()) return Fail(doc.status());
+      dtd::DtdValidator validator((*compiled)[h]);
+      Status st = validator.Check(**doc, g.root_tag());
+      std::printf("hierarchy '%s': %s\n",
+                  loaded->cmh->hierarchy(h).name.c_str(),
+                  st.ToString().c_str());
+    }
+    return structure.ok() ? 0 : 1;
+  }
+  if (command == "query") {
+    if (argc < 3) return Usage();
+    const char* expr = std::strcmp(argv[1], "demo") == 0 ? argv[3]
+                                                         : argv[2];
+    xquery::XQueryEngine engine(g);
+    auto out = engine.RunToString(expr);
+    if (!out.ok()) return Fail(out.status());
+    std::printf("%s\n", out->c_str());
+    return 0;
+  }
+  if (command == "convert") {
+    if (argc < 3) return Usage();
+    std::string target = argv[2];
+    drivers::Representation repr;
+    if (target == "distributed") {
+      repr = drivers::Representation::kDistributed;
+    } else if (target == "fragmentation") {
+      repr = drivers::Representation::kFragmentation;
+    } else if (target == "milestones") {
+      repr = drivers::Representation::kMilestones;
+    } else if (target == "standoff") {
+      repr = drivers::Representation::kStandoff;
+    } else {
+      return Usage();
+    }
+    auto docs = drivers::Export(g, repr);
+    if (!docs.ok()) return Fail(docs.status());
+    for (const auto& doc : *docs) std::printf("%s\n", doc.c_str());
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,100 @@
+// Quickstart: the complete framework pipeline of the paper's Figure 3 —
+// define a concurrent markup hierarchy (CMH), parse a distributed
+// document with SACX into a GODDAG, query it with Extended XPath,
+// mutate it, and export it.
+//
+// Run: build/examples/quickstart
+
+#include <cstdio>
+
+#include "drivers/registry.h"
+#include "dtd/dtd.h"
+#include "sacx/goddag_handler.h"
+#include "xpath/engine.h"
+
+namespace {
+
+int Fail(const cxml::Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cxml;
+
+  // 1. A concurrent markup hierarchy: two DTDs over the same content
+  //    with the shared root <r> — verse structure vs. physical lines.
+  cmh::ConcurrentHierarchies cmh("r");
+  {
+    auto verse = dtd::ParseDtd(
+        "<!ELEMENT r (verse+)>"
+        "<!ELEMENT verse (#PCDATA)>"
+        "<!ATTLIST verse n CDATA #REQUIRED>");
+    if (!verse.ok()) return Fail(verse.status());
+    auto st = cmh.AddHierarchy("verse", std::move(verse).value());
+    if (!st.ok()) return Fail(st.status());
+
+    auto physical = dtd::ParseDtd(
+        "<!ELEMENT r (line+)>"
+        "<!ELEMENT line (#PCDATA)>"
+        "<!ATTLIST line n CDATA #REQUIRED>");
+    if (!physical.ok()) return Fail(physical.status());
+    st = cmh.AddHierarchy("physical", std::move(physical).value());
+    if (!st.ok()) return Fail(st.status());
+  }
+
+  // 2. A distributed document: the same content encoded per hierarchy.
+  //    The verse crosses the line break — classic overlapping markup.
+  const char* verse_doc =
+      "<r><verse n=\"1\">Hwaet we Gardena in geardagum</verse>"
+      "<verse n=\"2\"> theodcyninga thrym gefrunon</verse></r>";
+  const char* line_doc =
+      "<r><line n=\"1\">Hwaet we Gardena in gear</line>"
+      "<line n=\"2\">dagum theodcyninga thrym gefrunon</line></r>";
+
+  // 3. SACX-parse the union into a GODDAG.
+  auto g = sacx::ParseToGoddag(cmh, {verse_doc, line_doc});
+  if (!g.ok()) return Fail(g.status());
+  std::printf("GODDAG: %zu leaves, %zu elements, content \"%.*s...\"\n",
+              g->num_leaves(), g->AllElements().size(), 20,
+              g->content().c_str());
+
+  // 4. Extended XPath: which verses overlap a physical line?
+  xpath::XPathEngine engine(*g);
+  auto overlapping = engine.SelectNodes("//verse[overlapping::line]");
+  if (!overlapping.ok()) return Fail(overlapping.status());
+  for (auto node : *overlapping) {
+    std::printf("verse %s overlaps a line break: \"%s\"\n",
+                g->FindAttribute(node, "n")->c_str(),
+                std::string(g->text(node)).c_str());
+  }
+  auto degree = engine.Evaluate("overlap-degree((//verse)[1])");
+  if (!degree.ok()) return Fail(degree.status());
+  std::printf("overlap-degree(verse 1) = %s\n",
+              degree->ToString(*g).c_str());
+
+  // 5. Mutate: mark a damaged region... verse hierarchy only allows
+  //    verse/line, so extend by wrapping a new line instead: split the
+  //    long second line by inserting markup is not allowed (nesting);
+  //    demonstrate a legal edit: set an attribute.
+  auto lines = g->ElementsByTag("line");
+  g->SetAttribute(lines[0], "hand", "scribe-a");
+
+  // 6. Export to every representation.
+  for (auto repr :
+       {drivers::Representation::kDistributed,
+        drivers::Representation::kFragmentation,
+        drivers::Representation::kMilestones,
+        drivers::Representation::kStandoff}) {
+    auto exported = drivers::Export(*g, repr);
+    if (!exported.ok()) return Fail(exported.status());
+    std::printf("\n--- %s (%zu document(s)) ---\n",
+                drivers::RepresentationToString(repr), exported->size());
+    for (const auto& doc : *exported) {
+      std::printf("%s\n", doc.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "baseline/fragment_join.h"
+
+#include <map>
+
+#include "cmh/conflict.h"
+
+namespace cxml::baseline {
+
+std::vector<JoinedElement> JoinFragments(const dom::Document& doc) {
+  std::vector<cmh::ElementExtent> extents = cmh::ComputeExtents(doc);
+  std::vector<JoinedElement> joined;
+  std::map<std::string, size_t> by_id;
+  for (const auto& extent : extents) {
+    if (extent.element == doc.root()) continue;
+    const std::string* frag_id = extent.element->FindAttribute("cx-id");
+    if (frag_id == nullptr) {
+      JoinedElement el;
+      el.tag = extent.tag;
+      el.chars = extent.chars;
+      el.fragments = {extent.element};
+      joined.push_back(std::move(el));
+      continue;
+    }
+    auto it = by_id.find(*frag_id);
+    if (it == by_id.end()) {
+      JoinedElement el;
+      el.tag = extent.tag;
+      el.chars = extent.chars;
+      el.fragments = {extent.element};
+      by_id.emplace(*frag_id, joined.size());
+      joined.push_back(std::move(el));
+    } else {
+      JoinedElement& el = joined[it->second];
+      el.chars = el.chars.Union(extent.chars);
+      el.fragments.push_back(extent.element);
+    }
+  }
+  return joined;
+}
+
+std::vector<std::pair<const JoinedElement*, const JoinedElement*>>
+FindOverlappingPairsBaseline(const std::vector<JoinedElement>& joined,
+                             std::string_view tag_a,
+                             std::string_view tag_b) {
+  std::vector<std::pair<const JoinedElement*, const JoinedElement*>> out;
+  for (const JoinedElement& a : joined) {
+    if (a.tag != tag_a) continue;
+    for (const JoinedElement& b : joined) {
+      if (b.tag != tag_b) continue;
+      if (&a == &b) continue;
+      if (a.chars.Overlaps(b.chars)) out.emplace_back(&a, &b);
+    }
+  }
+  return out;
+}
+
+size_t CountLogicalElements(const std::vector<JoinedElement>& joined,
+                            std::string_view tag) {
+  size_t count = 0;
+  for (const JoinedElement& el : joined) {
+    if (el.tag == tag) ++count;
+  }
+  return count;
+}
+
+}  // namespace cxml::baseline

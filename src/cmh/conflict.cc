@@ -1,0 +1,120 @@
+#include "cmh/conflict.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cxml::cmh {
+
+namespace {
+
+size_t WalkExtents(const dom::Node& node, size_t offset,
+                   std::vector<ElementExtent>* out) {
+  if (node.kind() == dom::NodeKind::kText) {
+    return offset + static_cast<const dom::Text&>(node).text().size();
+  }
+  if (node.is_element()) {
+    const auto& el = static_cast<const dom::Element&>(node);
+    size_t index = out->size();
+    out->push_back({&el, el.tag(), Interval(offset, offset)});
+    size_t end = offset;
+    for (const dom::Node* child : el.children()) {
+      end = WalkExtents(*child, end, out);
+    }
+    (*out)[index].chars.end = end;
+    return end;
+  }
+  // Document node: recurse; comments/PIs contribute nothing.
+  size_t end = offset;
+  for (const dom::Node* child : node.children()) {
+    end = WalkExtents(*child, end, out);
+  }
+  return end;
+}
+
+}  // namespace
+
+std::vector<ElementExtent> ComputeExtents(const dom::Document& doc) {
+  std::vector<ElementExtent> out;
+  WalkExtents(doc, 0, &out);
+  return out;
+}
+
+std::vector<TagConflict> FindTagConflicts(
+    const std::vector<ElementExtent>& extents) {
+  // Sweep: sort by start; keep an active set ordered by end.
+  struct Item {
+    Interval chars;
+    size_t index;
+  };
+  std::vector<Item> items;
+  items.reserve(extents.size());
+  for (size_t i = 0; i < extents.size(); ++i) {
+    items.push_back({extents[i].chars, i});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.chars.begin != b.chars.begin) return a.chars.begin < b.chars.begin;
+    return a.chars.end > b.chars.end;
+  });
+
+  std::map<std::pair<std::string, std::string>, size_t> pair_counts;
+  std::vector<Item> active;  // all items whose end > current start
+  for (const Item& item : items) {
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](const Item& a) {
+                                  return a.chars.end <= item.chars.begin;
+                                }),
+                 active.end());
+    for (const Item& a : active) {
+      if (a.chars.Overlaps(item.chars)) {
+        const std::string& ta = extents[a.index].tag;
+        const std::string& tb = extents[item.index].tag;
+        auto key = ta < tb ? std::make_pair(ta, tb) : std::make_pair(tb, ta);
+        ++pair_counts[key];
+      }
+    }
+    active.push_back(item);
+  }
+
+  std::vector<TagConflict> out;
+  out.reserve(pair_counts.size());
+  for (const auto& [key, count] : pair_counts) {
+    out.push_back({key.first, key.second, count});
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> PartitionIntoHierarchies(
+    const std::vector<std::string>& tags,
+    const std::vector<TagConflict>& conflicts) {
+  std::map<std::string, std::set<std::string>> adjacency;
+  for (const auto& c : conflicts) {
+    adjacency[c.tag_a].insert(c.tag_b);
+    adjacency[c.tag_b].insert(c.tag_a);
+  }
+  std::vector<std::vector<std::string>> groups;
+  for (const std::string& tag : tags) {
+    bool placed = false;
+    for (auto& group : groups) {
+      bool conflicts_with_group = false;
+      const auto it = adjacency.find(tag);
+      if (it != adjacency.end()) {
+        for (const std::string& member : group) {
+          if (it->second.count(member) != 0) {
+            conflicts_with_group = true;
+            break;
+          }
+        }
+      }
+      if (!conflicts_with_group) {
+        group.push_back(tag);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({tag});
+  }
+  return groups;
+}
+
+}  // namespace cxml::cmh

@@ -1,0 +1,50 @@
+#ifndef CXML_CMH_CONFLICT_H_
+#define CXML_CMH_CONFLICT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "dom/document.h"
+
+namespace cxml::cmh {
+
+/// The character extent of one element instance within a document's
+/// content (offsets count text characters only — markup is transparent).
+struct ElementExtent {
+  const dom::Element* element = nullptr;
+  std::string tag;
+  Interval chars;
+};
+
+/// Computes the extent of every element in `doc` in document order.
+/// Comments and processing instructions contribute no characters.
+std::vector<ElementExtent> ComputeExtents(const dom::Document& doc);
+
+/// A pair of element *types* observed to conflict: some instance of
+/// `tag_a` properly overlaps some instance of `tag_b`.
+struct TagConflict {
+  std::string tag_a;
+  std::string tag_b;
+  /// How many instance pairs overlap.
+  size_t instance_count = 0;
+};
+
+/// Scans instance extents for proper overlaps between different tags
+/// (sweep over interval endpoints, O(n log n + k)).
+std::vector<TagConflict> FindTagConflicts(
+    const std::vector<ElementExtent>& extents);
+
+/// Partitions tags into hierarchies such that no two tags observed to
+/// conflict share a hierarchy — the paper's "group non-conflicting tag
+/// elements into separate DTDs", computed by greedy colouring of the
+/// conflict graph (tags in first-seen order). Returns, per hierarchy,
+/// the list of tags assigned to it.
+std::vector<std::vector<std::string>> PartitionIntoHierarchies(
+    const std::vector<std::string>& tags,
+    const std::vector<TagConflict>& conflicts);
+
+}  // namespace cxml::cmh
+
+#endif  // CXML_CMH_CONFLICT_H_

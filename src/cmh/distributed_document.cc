@@ -1,0 +1,113 @@
+#include "cmh/distributed_document.h"
+
+#include "common/strings.h"
+#include "dom/traversal.h"
+#include "dtd/validator.h"
+
+namespace cxml::cmh {
+
+Result<DistributedDocument> DistributedDocument::Parse(
+    const ConcurrentHierarchies& cmh,
+    const std::vector<std::string_view>& xml_sources) {
+  if (xml_sources.size() != cmh.size()) {
+    return status::InvalidArgument(StrFormat(
+        "distributed document needs %zu sources (one per hierarchy), got "
+        "%zu",
+        cmh.size(), xml_sources.size()));
+  }
+  std::vector<std::unique_ptr<dom::Document>> docs;
+  docs.reserve(xml_sources.size());
+  for (size_t i = 0; i < xml_sources.size(); ++i) {
+    auto doc = dom::ParseDocument(xml_sources[i]);
+    if (!doc.ok()) {
+      return doc.status().WithContext(StrCat(
+          "parsing document of hierarchy '", cmh.hierarchy(
+              static_cast<HierarchyId>(i)).name, "'"));
+    }
+    docs.push_back(std::move(doc).value());
+  }
+  return Check(cmh, std::move(docs));
+}
+
+Result<DistributedDocument> DistributedDocument::Adopt(
+    const ConcurrentHierarchies& cmh,
+    std::vector<std::unique_ptr<dom::Document>> docs) {
+  if (docs.size() != cmh.size()) {
+    return status::InvalidArgument(StrFormat(
+        "distributed document needs %zu documents, got %zu", cmh.size(),
+        docs.size()));
+  }
+  return Check(cmh, std::move(docs));
+}
+
+Result<DistributedDocument> DistributedDocument::Check(
+    const ConcurrentHierarchies& cmh,
+    std::vector<std::unique_ptr<dom::Document>> docs) {
+  DistributedDocument dd;
+  dd.cmh_ = &cmh;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const HierarchyId h = static_cast<HierarchyId>(i);
+    const Hierarchy& hierarchy = cmh.hierarchy(h);
+    const dom::Element* root = docs[i]->root();
+    if (root == nullptr) {
+      return status::InvalidArgument(
+          StrCat("document of hierarchy '", hierarchy.name,
+                 "' has no root element"));
+    }
+    if (root->tag() != cmh.root_tag()) {
+      return status::ValidationError(StrCat(
+          "document of hierarchy '", hierarchy.name, "' has root '",
+          root->tag(), "', expected shared root '", cmh.root_tag(), "'"));
+    }
+    // Content equality.
+    std::string content = root->TextContent();
+    if (i == 0) {
+      dd.content_ = std::move(content);
+    } else if (content != dd.content_) {
+      return status::ValidationError(StrCat(
+          "document of hierarchy '", hierarchy.name,
+          "' disagrees on content with hierarchy '", cmh.hierarchy(0).name,
+          "' — a distributed document must encode identical content"));
+    }
+    // Vocabulary membership.
+    Status bad;
+    dom::Walk(static_cast<const dom::Node*>(root),
+              [&](const dom::Node* n) {
+                if (!bad.ok()) return false;
+                if (n->is_element()) {
+                  const auto& el = static_cast<const dom::Element&>(*n);
+                  if (el.tag() != cmh.root_tag() &&
+                      !hierarchy.Covers(el.tag())) {
+                    bad = status::ValidationError(StrCat(
+                        "element '", el.tag(), "' is not declared in ",
+                        "hierarchy '", hierarchy.name, "'"));
+                    return false;
+                  }
+                }
+                return true;
+              });
+    if (!bad.ok()) return bad;
+  }
+  dd.docs_ = std::move(docs);
+  return dd;
+}
+
+Status DistributedDocument::ValidateAll() const {
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    const Hierarchy& hierarchy = cmh_->hierarchy(static_cast<HierarchyId>(i));
+    auto compiled = dtd::CompiledDtd::Compile(hierarchy.dtd);
+    if (!compiled.ok()) {
+      return compiled.status().WithContext(
+          StrCat("compiling DTD of hierarchy '", hierarchy.name, "'"));
+    }
+    dtd::DtdValidator validator(*compiled);
+    Status st = validator.Check(*docs_[i], cmh_->root_tag());
+    if (!st.ok()) {
+      return st.WithContext(
+          StrCat("validating hierarchy '", hierarchy.name, "'"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cxml::cmh

@@ -1,0 +1,66 @@
+#ifndef CXML_CMH_DISTRIBUTED_DOCUMENT_H_
+#define CXML_CMH_DISTRIBUTED_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cmh/hierarchy.h"
+#include "common/result.h"
+#include "dom/document.h"
+
+namespace cxml::cmh {
+
+/// The paper's *distributed document* (§3): "a virtual union of XML
+/// documents (one document corresponds to a DTD in the CMH) that have the
+/// same content, the same root element, and that are encoded with elements
+/// from the corresponding DTD."
+///
+/// Holds one DOM document per hierarchy plus the shared content string.
+/// Construction enforces the three union conditions; GODDAG construction
+/// (goddag/builder.h, sacx/) consumes this type.
+class DistributedDocument {
+ public:
+  /// Parses one XML source per hierarchy of `cmh` (same order) and checks:
+  ///  * every document is well-formed,
+  ///  * all roots carry `cmh.root_tag()`,
+  ///  * all documents have byte-identical text content,
+  ///  * every element of document `i` is the root tag or declared in
+  ///    hierarchy `i`.
+  /// `cmh` must outlive the result.
+  static Result<DistributedDocument> Parse(
+      const ConcurrentHierarchies& cmh,
+      const std::vector<std::string_view>& xml_sources);
+
+  /// Adopts already-built DOM documents (used by drivers); performs the
+  /// same consistency checks.
+  static Result<DistributedDocument> Adopt(
+      const ConcurrentHierarchies& cmh,
+      std::vector<std::unique_ptr<dom::Document>> docs);
+
+  const ConcurrentHierarchies& cmh() const { return *cmh_; }
+  /// The shared character content (markup-free).
+  const std::string& content() const { return content_; }
+  size_t size() const { return docs_.size(); }
+  const dom::Document& document(HierarchyId id) const { return *docs_[id]; }
+  dom::Document& document(HierarchyId id) { return *docs_[id]; }
+
+  /// Validates every per-hierarchy document against its DTD.
+  Status ValidateAll() const;
+
+ private:
+  DistributedDocument() = default;
+
+  static Result<DistributedDocument> Check(
+      const ConcurrentHierarchies& cmh,
+      std::vector<std::unique_ptr<dom::Document>> docs);
+
+  const ConcurrentHierarchies* cmh_ = nullptr;
+  std::string content_;
+  std::vector<std::unique_ptr<dom::Document>> docs_;
+};
+
+}  // namespace cxml::cmh
+
+#endif  // CXML_CMH_DISTRIBUTED_DOCUMENT_H_

@@ -1,0 +1,74 @@
+#include "cmh/hierarchy.h"
+
+#include "common/strings.h"
+
+namespace cxml::cmh {
+
+ConcurrentHierarchies::ConcurrentHierarchies(std::string root_tag)
+    : root_tag_(std::move(root_tag)) {}
+
+Result<HierarchyId> ConcurrentHierarchies::AddHierarchy(std::string name,
+                                                        dtd::Dtd dtd) {
+  if (FindByName(name) != nullptr) {
+    return status::AlreadyExists(
+        StrCat("hierarchy '", name, "' already registered"));
+  }
+  // Vocabulary disjointness (modulo the shared root element).
+  for (const auto& [element, decl] : dtd.elements()) {
+    (void)decl;
+    if (element == root_tag_) continue;
+    auto it = element_owner_.find(element);
+    if (it != element_owner_.end()) {
+      return status::AlreadyExists(StrCat(
+          "element '", element, "' already belongs to hierarchy '",
+          hierarchies_[it->second].name, "'; hierarchies must partition ",
+          "the markup language"));
+    }
+  }
+  HierarchyId id = static_cast<HierarchyId>(hierarchies_.size());
+  for (const auto& [element, decl] : dtd.elements()) {
+    (void)decl;
+    if (element != root_tag_) element_owner_.emplace(element, id);
+  }
+  Hierarchy h;
+  h.id = id;
+  h.name = std::move(name);
+  h.dtd = std::move(dtd);
+  hierarchies_.push_back(std::move(h));
+  return id;
+}
+
+const Hierarchy* ConcurrentHierarchies::FindByName(
+    std::string_view name) const {
+  for (const auto& h : hierarchies_) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+HierarchyId ConcurrentHierarchies::FindIdByName(std::string_view name) const {
+  const Hierarchy* h = FindByName(name);
+  return h == nullptr ? kInvalidHierarchy : h->id;
+}
+
+HierarchyId ConcurrentHierarchies::HierarchyOf(std::string_view tag) const {
+  auto it = element_owner_.find(tag);
+  return it == element_owner_.end() ? kInvalidHierarchy : it->second;
+}
+
+Result<std::vector<dtd::CompiledDtd>> ConcurrentHierarchies::CompileAll()
+    const {
+  std::vector<dtd::CompiledDtd> compiled;
+  compiled.reserve(hierarchies_.size());
+  for (const auto& h : hierarchies_) {
+    auto c = dtd::CompiledDtd::Compile(h.dtd);
+    if (!c.ok()) {
+      return c.status().WithContext(
+          StrCat("compiling hierarchy '", h.name, "'"));
+    }
+    compiled.push_back(std::move(c).value());
+  }
+  return compiled;
+}
+
+}  // namespace cxml::cmh

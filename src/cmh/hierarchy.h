@@ -1,0 +1,79 @@
+#ifndef CXML_CMH_HIERARCHY_H_
+#define CXML_CMH_HIERARCHY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/dtd.h"
+
+namespace cxml::cmh {
+
+/// Dense identifier of a hierarchy within one ConcurrentHierarchies set.
+using HierarchyId = uint32_t;
+inline constexpr HierarchyId kInvalidHierarchy =
+    static_cast<HierarchyId>(-1);
+
+/// One markup hierarchy: a named DTD whose element types have "a clear
+/// nested structure" (paper §2). E.g. the *physical* hierarchy
+/// (page, line) vs the *linguistic* hierarchy (sentence, phrase, word).
+struct Hierarchy {
+  HierarchyId id = kInvalidHierarchy;
+  std::string name;
+  dtd::Dtd dtd;
+
+  /// True iff `tag` is declared in this hierarchy's DTD.
+  bool Covers(std::string_view tag) const { return dtd.HasElement(tag); }
+};
+
+/// A concurrent markup hierarchy (paper §3): "a collection of DTD
+/// elements that are not in conflict with each other", here modelled as a
+/// set of named DTDs with pairwise-disjoint element vocabularies, all
+/// sharing a single root element tag.
+class ConcurrentHierarchies {
+ public:
+  /// `root_tag` is the element shared by every hierarchy's documents
+  /// (`<r>` throughout the paper's figures).
+  explicit ConcurrentHierarchies(std::string root_tag);
+
+  const std::string& root_tag() const { return root_tag_; }
+
+  /// Registers a hierarchy. Fails when the name is taken or when any
+  /// non-root element of `dtd` is already claimed by another hierarchy
+  /// (vocabularies must partition the markup language).
+  Result<HierarchyId> AddHierarchy(std::string name, dtd::Dtd dtd);
+
+  size_t size() const { return hierarchies_.size(); }
+  const Hierarchy& hierarchy(HierarchyId id) const {
+    return hierarchies_[id];
+  }
+  const std::vector<Hierarchy>& hierarchies() const { return hierarchies_; }
+
+  /// Finds a hierarchy by name; nullptr when absent.
+  const Hierarchy* FindByName(std::string_view name) const;
+  /// Id by name, or kInvalidHierarchy.
+  HierarchyId FindIdByName(std::string_view name) const;
+
+  /// The hierarchy owning element `tag`, or kInvalidHierarchy (the root
+  /// tag belongs to all hierarchies and also returns kInvalidHierarchy —
+  /// use `is_root_tag`).
+  HierarchyId HierarchyOf(std::string_view tag) const;
+  bool is_root_tag(std::string_view tag) const { return tag == root_tag_; }
+
+  /// Compiles every hierarchy's DTD (validation + prevalidation automata).
+  /// The returned object references this instance; keep it alive.
+  Result<std::vector<dtd::CompiledDtd>> CompileAll() const;
+
+ private:
+  std::string root_tag_;
+  std::vector<Hierarchy> hierarchies_;
+  /// element tag -> owning hierarchy (root tag excluded).
+  std::map<std::string, HierarchyId, std::less<>> element_owner_;
+};
+
+}  // namespace cxml::cmh
+
+#endif  // CXML_CMH_HIERARCHY_H_

@@ -1,0 +1,79 @@
+#ifndef CXML_COMMON_INTERVAL_H_
+#define CXML_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+
+namespace cxml {
+
+/// Half-open interval `[begin, end)` over character offsets or leaf indices.
+///
+/// The overlap algebra below is the formal core of the paper's `overlapping`
+/// axis: two markup elements *overlap* when their extents properly intersect
+/// — the intersection is non-empty and neither contains the other.
+struct Interval {
+  size_t begin = 0;
+  size_t end = 0;
+
+  Interval() = default;
+  Interval(size_t b, size_t e) : begin(b), end(e) {}
+
+  size_t length() const { return end > begin ? end - begin : 0; }
+  bool empty() const { return end <= begin; }
+
+  bool operator==(const Interval& o) const {
+    return begin == o.begin && end == o.end;
+  }
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+
+  /// True iff the intersection of the two intervals is non-empty.
+  bool Intersects(const Interval& o) const {
+    return std::max(begin, o.begin) < std::min(end, o.end);
+  }
+
+  /// True iff this interval contains `o` (not necessarily properly).
+  bool Contains(const Interval& o) const {
+    return begin <= o.begin && o.end <= end;
+  }
+
+  /// True iff this interval contains offset `pos`.
+  bool Contains(size_t pos) const { return begin <= pos && pos < end; }
+
+  /// Proper overlap: non-empty intersection and neither side contains the
+  /// other. This is the GODDAG `overlapping` relation.
+  bool Overlaps(const Interval& o) const {
+    return Intersects(o) && !Contains(o) && !o.Contains(*this);
+  }
+
+  /// Overlap where this interval starts first and `o` runs past its end:
+  ///   this: [----)
+  ///   o   :    [----)
+  bool OverlapsRight(const Interval& o) const {
+    return begin < o.begin && o.begin < end && end < o.end;
+  }
+
+  /// Overlap where `o` starts first (mirror of OverlapsRight).
+  bool OverlapsLeft(const Interval& o) const { return o.OverlapsRight(*this); }
+
+  /// Entirely before `o` (possibly touching: end == o.begin).
+  bool Before(const Interval& o) const { return end <= o.begin; }
+
+  Interval Intersection(const Interval& o) const {
+    size_t b = std::max(begin, o.begin);
+    size_t e = std::min(end, o.end);
+    return e > b ? Interval(b, e) : Interval(b, b);
+  }
+
+  Interval Union(const Interval& o) const {
+    return Interval(std::min(begin, o.begin), std::max(end, o.end));
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << "[" << iv.begin << "," << iv.end << ")";
+}
+
+}  // namespace cxml
+
+#endif  // CXML_COMMON_INTERVAL_H_

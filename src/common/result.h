@@ -1,0 +1,88 @@
+#ifndef CXML_COMMON_RESULT_H_
+#define CXML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cxml {
+
+/// `Result<T>` carries either a value of type `T` or a non-OK `Status`.
+///
+/// Usage:
+/// ```
+///   Result<Dtd> r = DtdParser::Parse(text);
+///   if (!r.ok()) return r.status();
+///   Dtd dtd = std::move(r).value();
+/// ```
+/// or with the macro:
+/// ```
+///   CXML_ASSIGN_OR_RETURN(Dtd dtd, DtdParser::Parse(text));
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing a Result from
+  /// an OK status is a programming error and is converted into kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; `Status::Ok()` when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// binds the value to `lhs`. `lhs` may include a declaration:
+///   CXML_ASSIGN_OR_RETURN(auto doc, ParseXml(text));
+#define CXML_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  CXML_ASSIGN_OR_RETURN_IMPL_(                                     \
+      CXML_STATUS_MACROS_CONCAT_(cxml_result_, __LINE__), lhs, rexpr)
+
+#define CXML_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define CXML_STATUS_MACROS_CONCAT_(x, y) CXML_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define CXML_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace cxml
+
+#endif  // CXML_COMMON_RESULT_H_

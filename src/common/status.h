@@ -1,0 +1,101 @@
+#ifndef CXML_COMMON_STATUS_H_
+#define CXML_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cxml {
+
+/// Canonical error space for the whole library. Fallible operations return
+/// `Status` (or `Result<T>`, see result.h) instead of throwing exceptions,
+/// following the Arrow / RocksDB database-engine idiom.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed a malformed or out-of-contract argument.
+  kInvalidArgument,
+  /// A referenced entity (node, hierarchy, element declaration, ...) does
+  /// not exist.
+  kNotFound,
+  /// Creating something that already exists (duplicate id, hierarchy, ...).
+  kAlreadyExists,
+  /// An index or range fell outside its container.
+  kOutOfRange,
+  /// Operation is valid in general but not in the current state.
+  kFailedPrecondition,
+  /// Raw XML / DTD / XPath input could not be parsed.
+  kParseError,
+  /// Input parsed but violates a schema/DTD or a structural invariant.
+  kValidationError,
+  /// Feature intentionally not supported (documented limitation).
+  kUnimplemented,
+  /// Invariant breakage inside the library itself; always a bug.
+  kInternal,
+};
+
+/// Human-readable name of a status code ("Ok", "ParseError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or (code, message).
+///
+/// The success path stores no heap data. Error construction helpers
+/// (`Status::ParseError(...)` etc.) concatenate message fragments.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" or "Ok".
+  std::string ToString() const;
+
+  /// Prefixes the existing message with `context` (used when propagating an
+  /// error up through layers: `st.WithContext("parsing hierarchy 'phys'")`).
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+namespace status {
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status OutOfRange(std::string message);
+Status FailedPrecondition(std::string message);
+Status ParseError(std::string message);
+Status ValidationError(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+}  // namespace status
+
+/// Propagates a non-OK Status to the caller.
+#define CXML_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::cxml::Status cxml_st_ = (expr);         \
+    if (!cxml_st_.ok()) return cxml_st_;      \
+  } while (0)
+
+}  // namespace cxml
+
+#endif  // CXML_COMMON_STATUS_H_

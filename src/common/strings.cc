@@ -1,0 +1,106 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cxml {
+
+namespace {
+
+bool IsXmlSpaceByte(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && IsXmlSpaceByte(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && IsXmlSpaceByte(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlSpaceByte(c)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+template <typename Piece>
+static std::string JoinImpl(const std::vector<Piece>& pieces,
+                            std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  return JoinImpl(pieces, sep);
+}
+
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep) {
+  return JoinImpl(pieces, sep);
+}
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // swallow leading whitespace
+  for (char c : s) {
+    if (IsXmlSpaceByte(c)) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace cxml

@@ -1,0 +1,52 @@
+#ifndef CXML_COMMON_STRINGS_H_
+#define CXML_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxml {
+
+/// Small string helpers used across the library. All operate on UTF-8 byte
+/// strings; none allocate unless they must return a new string.
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Removes leading and trailing XML whitespace (space, tab, CR, LF).
+std::string_view StripWhitespace(std::string_view s);
+
+/// True iff every byte of `s` is XML whitespace (or `s` is empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Splits on a single-character delimiter; empty pieces are kept.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& pieces,
+                 std::string_view sep);
+
+/// Collapses runs of XML whitespace to single spaces and strips ends
+/// (the XPath `normalize-space` semantics).
+std::string NormalizeSpace(std::string_view s);
+
+/// Formats like printf but returns std::string. Size-safe.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Concatenates any number of string-like pieces (string_view-convertible).
+template <typename... Pieces>
+std::string StrCat(const Pieces&... pieces) {
+  std::string out;
+  out.reserve((std::string_view(pieces).size() + ...));
+  (out.append(std::string_view(pieces)), ...);
+  return out;
+}
+
+}  // namespace cxml
+
+#endif  // CXML_COMMON_STRINGS_H_

@@ -1,0 +1,83 @@
+#include "common/unicode.h"
+
+namespace cxml {
+
+DecodedChar DecodeUtf8(std::string_view s, size_t pos) {
+  if (pos >= s.size()) return {0, 0};
+  const auto b0 = static_cast<uint8_t>(s[pos]);
+  if (b0 < 0x80) return {b0, 1};
+
+  auto cont = [&](size_t i) -> int {
+    if (pos + i >= s.size()) return -1;
+    const auto b = static_cast<uint8_t>(s[pos + i]);
+    if ((b & 0xC0) != 0x80) return -1;
+    return b & 0x3F;
+  };
+
+  if ((b0 & 0xE0) == 0xC0) {
+    int c1 = cont(1);
+    if (c1 < 0) return {0, 0};
+    char32_t cp = ((b0 & 0x1Fu) << 6) | static_cast<uint32_t>(c1);
+    if (cp < 0x80) return {0, 0};  // overlong
+    return {cp, 2};
+  }
+  if ((b0 & 0xF0) == 0xE0) {
+    int c1 = cont(1), c2 = cont(2);
+    if (c1 < 0 || c2 < 0) return {0, 0};
+    char32_t cp = ((b0 & 0x0Fu) << 12) | (static_cast<uint32_t>(c1) << 6) |
+                  static_cast<uint32_t>(c2);
+    if (cp < 0x800) return {0, 0};                  // overlong
+    if (cp >= 0xD800 && cp <= 0xDFFF) return {0, 0};  // surrogate
+    return {cp, 3};
+  }
+  if ((b0 & 0xF8) == 0xF0) {
+    int c1 = cont(1), c2 = cont(2), c3 = cont(3);
+    if (c1 < 0 || c2 < 0 || c3 < 0) return {0, 0};
+    char32_t cp = ((b0 & 0x07u) << 18) | (static_cast<uint32_t>(c1) << 12) |
+                  (static_cast<uint32_t>(c2) << 6) | static_cast<uint32_t>(c3);
+    if (cp < 0x10000 || cp > 0x10FFFF) return {0, 0};
+    return {cp, 4};
+  }
+  return {0, 0};
+}
+
+bool AppendUtf8(char32_t cp, std::string* out) {
+  if ((cp >= 0xD800 && cp <= 0xDFFF) || cp > 0x10FFFF) {
+    out->append("\xEF\xBF\xBD");  // U+FFFD
+    return false;
+  }
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t n = 0, pos = 0;
+  while (pos < s.size()) {
+    DecodedChar d = DecodeUtf8(s, pos);
+    pos += d.valid() ? d.length : 1;
+    ++n;
+  }
+  return n;
+}
+
+bool IsXmlChar(char32_t cp) {
+  return cp == 0x9 || cp == 0xA || cp == 0xD ||
+         (cp >= 0x20 && cp <= 0xD7FF) || (cp >= 0xE000 && cp <= 0xFFFD) ||
+         (cp >= 0x10000 && cp <= 0x10FFFF);
+}
+
+}  // namespace cxml

@@ -1,0 +1,39 @@
+#ifndef CXML_COMMON_UNICODE_H_
+#define CXML_COMMON_UNICODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cxml {
+
+/// Minimal UTF-8 machinery. The library stores all text as UTF-8 byte
+/// strings; code points are only materialised where XML requires code-point
+/// level decisions (name characters, character references).
+
+/// Result of decoding one code point.
+struct DecodedChar {
+  char32_t code_point = 0;
+  /// Bytes consumed (1..4); 0 on malformed input.
+  uint32_t length = 0;
+  bool valid() const { return length != 0; }
+};
+
+/// Decodes the UTF-8 sequence starting at `s[pos]`. Rejects overlong forms,
+/// surrogates and values above U+10FFFF.
+DecodedChar DecodeUtf8(std::string_view s, size_t pos);
+
+/// Appends `cp` to `out` in UTF-8. Returns false (appending U+FFFD) when
+/// `cp` is not a Unicode scalar value.
+bool AppendUtf8(char32_t cp, std::string* out);
+
+/// Number of code points in `s`; malformed bytes count 1 each (XPath
+/// `string-length` semantics over byte strings).
+size_t Utf8Length(std::string_view s);
+
+/// True iff `cp` is a valid XML 1.0 `Char`.
+bool IsXmlChar(char32_t cp);
+
+}  // namespace cxml
+
+#endif  // CXML_COMMON_UNICODE_H_

@@ -1,0 +1,185 @@
+#include "dom/document.h"
+
+#include "common/strings.h"
+#include "xml/sax.h"
+#include "xml/writer.h"
+
+namespace cxml::dom {
+
+Element* Document::CreateElement(std::string tag) {
+  auto node = std::unique_ptr<Element>(new Element(this, std::move(tag)));
+  Element* raw = node.get();
+  arena_.push_back(std::move(node));
+  return raw;
+}
+
+Text* Document::CreateText(std::string text) {
+  auto node = std::unique_ptr<Text>(new Text(this, std::move(text)));
+  Text* raw = node.get();
+  arena_.push_back(std::move(node));
+  return raw;
+}
+
+Comment* Document::CreateComment(std::string text) {
+  auto node = std::unique_ptr<Comment>(new Comment(this, std::move(text)));
+  Comment* raw = node.get();
+  arena_.push_back(std::move(node));
+  return raw;
+}
+
+ProcessingInstruction* Document::CreateProcessingInstruction(
+    std::string target, std::string data) {
+  auto node = std::unique_ptr<ProcessingInstruction>(
+      new ProcessingInstruction(this, std::move(target), std::move(data)));
+  ProcessingInstruction* raw = node.get();
+  arena_.push_back(std::move(node));
+  return raw;
+}
+
+Status Document::SetRoot(Element* element) {
+  if (root_ != nullptr) {
+    return status::FailedPrecondition("document already has a root element");
+  }
+  if (element->document() != this) {
+    return status::InvalidArgument("root element from another document");
+  }
+  root_ = element;
+  element->parent_ = this;
+  children_.push_back(element);
+  return Status::Ok();
+}
+
+namespace {
+
+/// SAX handler that materialises a DOM tree.
+class DomBuilder : public xml::ContentHandler {
+ public:
+  explicit DomBuilder(Document* doc) : doc_(doc) {}
+
+  Status StartElement(const xml::Event& event) override {
+    Element* el = doc_->CreateElement(event.name);
+    for (const auto& a : event.attrs) el->SetAttribute(a.name, a.value);
+    if (top_ == nullptr) {
+      CXML_RETURN_IF_ERROR(doc_->SetRoot(el));
+    } else {
+      top_->AppendChild(el);
+    }
+    stack_.push_back(el);
+    top_ = el;
+    return Status::Ok();
+  }
+
+  Status EndElement(const xml::Event&) override {
+    stack_.pop_back();
+    top_ = stack_.empty() ? nullptr : stack_.back();
+    return Status::Ok();
+  }
+
+  Status Characters(std::string_view text) override {
+    if (top_ == nullptr) return Status::Ok();
+    // Merge adjacent character data into one Text node (canonical DOM).
+    if (!top_->children().empty() && top_->children().back()->is_text()) {
+      auto* t = static_cast<Text*>(top_->children().back());
+      t->set_text(StrCat(t->text(), text));
+    } else {
+      top_->AppendChild(doc_->CreateText(std::string(text)));
+    }
+    return Status::Ok();
+  }
+
+  Status Comment(std::string_view text) override {
+    if (top_ != nullptr) {
+      top_->AppendChild(doc_->CreateComment(std::string(text)));
+    }
+    return Status::Ok();
+  }
+
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override {
+    if (top_ != nullptr) {
+      top_->AppendChild(doc_->CreateProcessingInstruction(
+          std::string(target), std::string(data)));
+    }
+    return Status::Ok();
+  }
+
+  Status DoctypeDecl(const xml::Event& event) override {
+    doc_->set_doctype_name(event.name);
+    doc_->set_internal_subset(event.text);
+    return Status::Ok();
+  }
+
+ private:
+  Document* doc_;
+  Element* top_ = nullptr;
+  std::vector<Element*> stack_;
+};
+
+void SerializeNode(const Node& node, xml::XmlWriter* writer) {
+  switch (node.kind()) {
+    case NodeKind::kDocument:
+      for (const Node* child : node.children()) {
+        SerializeNode(*child, writer);
+      }
+      break;
+    case NodeKind::kElement: {
+      const auto& el = static_cast<const Element&>(node);
+      if (el.children().empty()) {
+        writer->EmptyElement(el.tag(), el.attributes());
+      } else {
+        writer->StartElement(el.tag(), el.attributes());
+        for (const Node* child : el.children()) {
+          SerializeNode(*child, writer);
+        }
+        writer->EndElement();
+      }
+      break;
+    }
+    case NodeKind::kText:
+      writer->Text(static_cast<const Text&>(node).text());
+      break;
+    case NodeKind::kComment:
+      writer->Comment(static_cast<const Comment&>(node).text());
+      break;
+    case NodeKind::kProcessingInstruction: {
+      const auto& pi = static_cast<const ProcessingInstruction&>(node);
+      writer->ProcessingInstruction(pi.target(), pi.data());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view input) {
+  auto doc = std::make_unique<Document>();
+  DomBuilder builder(doc.get());
+  xml::SaxParser parser;
+  CXML_RETURN_IF_ERROR(parser.Parse(input, &builder));
+  return doc;
+}
+
+Result<std::string> Serialize(const Document& doc,
+                              const SerializeOptions& options) {
+  xml::XmlWriter::Options wopts;
+  wopts.pretty = options.pretty;
+  wopts.declaration = options.declaration;
+  xml::XmlWriter writer(wopts);
+  if (options.doctype && !doc.doctype_name().empty()) {
+    writer.Doctype(doc.doctype_name(), doc.internal_subset());
+  }
+  SerializeNode(doc, &writer);
+  return writer.Finish();
+}
+
+Result<std::string> SerializeSubtree(const Node& node,
+                                     const SerializeOptions& options) {
+  xml::XmlWriter::Options wopts;
+  wopts.pretty = options.pretty;
+  wopts.declaration = options.declaration;
+  xml::XmlWriter writer(wopts);
+  SerializeNode(node, &writer);
+  return writer.Finish();
+}
+
+}  // namespace cxml::dom

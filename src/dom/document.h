@@ -1,0 +1,79 @@
+#ifndef CXML_DOM_DOCUMENT_H_
+#define CXML_DOM_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dom/node.h"
+
+namespace cxml::dom {
+
+/// Owner of a DOM tree. All nodes are allocated through the document and
+/// live exactly as long as it (arena ownership); `Node*` handles never
+/// dangle while the `Document` exists.
+///
+/// A `Document` is itself the (virtual) root node; its single element child
+/// is the document element.
+class Document : public Node {
+ public:
+  Document() : Node(NodeKind::kDocument, nullptr) {}
+
+  // Non-copyable and non-movable: nodes hold back-pointers to the document.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = delete;
+  Document& operator=(Document&&) = delete;
+
+  /// The document (root) element; nullptr for an empty document.
+  Element* root() const { return root_; }
+
+  /// Factory methods. Created nodes are initially detached.
+  Element* CreateElement(std::string tag);
+  Text* CreateText(std::string text);
+  Comment* CreateComment(std::string text);
+  ProcessingInstruction* CreateProcessingInstruction(std::string target,
+                                                     std::string data);
+
+  /// Installs `element` as the document element. Fails if one exists.
+  Status SetRoot(Element* element);
+
+  /// Name from the DOCTYPE declaration, when the document was parsed.
+  const std::string& doctype_name() const { return doctype_name_; }
+  void set_doctype_name(std::string name) { doctype_name_ = std::move(name); }
+
+  /// Raw DOCTYPE internal subset (DTD text), when present in the source.
+  const std::string& internal_subset() const { return internal_subset_; }
+  void set_internal_subset(std::string s) { internal_subset_ = std::move(s); }
+
+  /// Number of nodes allocated in the arena (detached nodes included).
+  size_t arena_size() const { return arena_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Node>> arena_;
+  Element* root_ = nullptr;
+  std::string doctype_name_;
+  std::string internal_subset_;
+};
+
+/// Parses a well-formed XML string into a DOM document.
+/// Whitespace-only text nodes between elements are preserved (documents
+/// here are document-centric: whitespace is content).
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view input);
+
+/// Serialises a document (or subtree) back to XML text.
+struct SerializeOptions {
+  bool pretty = false;
+  bool declaration = false;
+  /// Re-emit `<!DOCTYPE name [subset]>` when the document carries one.
+  bool doctype = false;
+};
+Result<std::string> Serialize(const Document& doc,
+                              const SerializeOptions& options = {});
+Result<std::string> SerializeSubtree(const Node& node,
+                                     const SerializeOptions& options = {});
+
+}  // namespace cxml::dom
+
+#endif  // CXML_DOM_DOCUMENT_H_

@@ -1,0 +1,37 @@
+#include "dom/id_index.h"
+
+#include "common/strings.h"
+#include "dom/traversal.h"
+
+namespace cxml::dom {
+
+Result<IdIndex> IdIndex::Build(Node* root, std::string_view attr_name) {
+  IdIndex index;
+  Status status;
+  Walk(root, [&](Node* n) {
+    if (!status.ok()) return false;
+    if (n->is_element()) {
+      auto* el = static_cast<Element*>(n);
+      const std::string* id = el->FindAttribute(attr_name);
+      if (id != nullptr) {
+        auto [it, inserted] = index.by_id_.emplace(*id, el);
+        if (!inserted) {
+          status = status::ValidationError(
+              StrCat("duplicate id '", *id, "'"));
+          return false;
+        }
+        index.entries_.emplace_back(*id, el);
+      }
+    }
+    return true;
+  });
+  if (!status.ok()) return status;
+  return index;
+}
+
+Element* IdIndex::Find(std::string_view id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+}  // namespace cxml::dom

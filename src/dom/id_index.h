@@ -1,0 +1,43 @@
+#ifndef CXML_DOM_ID_INDEX_H_
+#define CXML_DOM_ID_INDEX_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dom/node.h"
+
+namespace cxml::dom {
+
+/// Index from an ID-valued attribute to elements. The TEI fragmentation
+/// representation joins element fragments through shared id stems and
+/// `next`/`prev` links; the baseline comparator pays this join cost on
+/// every overlap query, which this index makes explicit.
+class IdIndex {
+ public:
+  /// Builds the index over the subtree at `root` for attribute
+  /// `attr_name` (default `xml:id`). Duplicate ids are an error, matching
+  /// DTD ID-type semantics.
+  static Result<IdIndex> Build(Node* root,
+                               std::string_view attr_name = "xml:id");
+
+  /// Element with the given id, or nullptr.
+  Element* Find(std::string_view id) const;
+
+  /// All (id, element) pairs in document order of first appearance.
+  const std::vector<std::pair<std::string, Element*>>& entries() const {
+    return entries_;
+  }
+
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  std::map<std::string, Element*, std::less<>> by_id_;
+  std::vector<std::pair<std::string, Element*>> entries_;
+};
+
+}  // namespace cxml::dom
+
+#endif  // CXML_DOM_ID_INDEX_H_

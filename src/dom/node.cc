@@ -1,0 +1,135 @@
+#include "dom/node.h"
+
+#include <algorithm>
+
+#include "dom/document.h"
+
+namespace cxml::dom {
+
+Node* Node::NextSibling() const {
+  if (parent_ == nullptr) return nullptr;
+  const auto& siblings = parent_->children_;
+  auto it = std::find(siblings.begin(), siblings.end(), this);
+  if (it == siblings.end() || it + 1 == siblings.end()) return nullptr;
+  return *(it + 1);
+}
+
+Node* Node::PreviousSibling() const {
+  if (parent_ == nullptr) return nullptr;
+  const auto& siblings = parent_->children_;
+  auto it = std::find(siblings.begin(), siblings.end(), this);
+  if (it == siblings.end() || it == siblings.begin()) return nullptr;
+  return *(it - 1);
+}
+
+int Node::IndexInParent() const {
+  if (parent_ == nullptr) return -1;
+  const auto& siblings = parent_->children_;
+  auto it = std::find(siblings.begin(), siblings.end(), this);
+  return it == siblings.end() ? -1
+                              : static_cast<int>(it - siblings.begin());
+}
+
+namespace {
+void CollectText(const Node* node, std::string* out) {
+  if (node->kind() == NodeKind::kText) {
+    out->append(static_cast<const Text*>(node)->text());
+    return;
+  }
+  for (const Node* child : node->children()) CollectText(child, out);
+}
+}  // namespace
+
+std::string Node::TextContent() const {
+  std::string out;
+  CollectText(this, &out);
+  return out;
+}
+
+const std::string* Element::FindAttribute(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+std::string_view Element::AttributeOr(std::string_view name,
+                                      std::string_view fallback) const {
+  const std::string* v = FindAttribute(name);
+  return v != nullptr ? std::string_view(*v) : fallback;
+}
+
+void Element::SetAttribute(std::string_view name, std::string_view value) {
+  for (auto& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return;
+    }
+  }
+  attrs_.push_back({std::string(name), std::string(value)});
+}
+
+void Element::RemoveAttribute(std::string_view name) {
+  attrs_.erase(std::remove_if(attrs_.begin(), attrs_.end(),
+                              [&](const xml::Attribute& a) {
+                                return a.name == name;
+                              }),
+               attrs_.end());
+}
+
+Element* Element::FirstChildElement(std::string_view tag) const {
+  for (Node* child : children()) {
+    if (child->is_element()) {
+      auto* el = static_cast<Element*>(child);
+      if (tag.empty() || el->tag() == tag) return el;
+    }
+  }
+  return nullptr;
+}
+
+Element* Element::NextSiblingElement(std::string_view tag) const {
+  for (Node* n = NextSibling(); n != nullptr; n = n->NextSibling()) {
+    if (n->is_element()) {
+      auto* el = static_cast<Element*>(n);
+      if (tag.empty() || el->tag() == tag) return el;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Element*> Element::ChildElements(std::string_view tag) const {
+  std::vector<Element*> out;
+  for (Node* child : children()) {
+    if (child->is_element()) {
+      auto* el = static_cast<Element*>(child);
+      if (tag.empty() || el->tag() == tag) out.push_back(el);
+    }
+  }
+  return out;
+}
+
+void Element::AppendChild(Node* child) {
+  if (child->parent_ != nullptr) {
+    static_cast<Element*>(child->parent_)->RemoveChild(child);
+  }
+  child->parent_ = this;
+  children_.push_back(child);
+}
+
+void Element::InsertChildAt(size_t index, Node* child) {
+  if (child->parent_ != nullptr) {
+    static_cast<Element*>(child->parent_)->RemoveChild(child);
+  }
+  child->parent_ = this;
+  if (index > children_.size()) index = children_.size();
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(index), child);
+}
+
+void Element::RemoveChild(Node* child) {
+  auto it = std::find(children_.begin(), children_.end(), child);
+  if (it == children_.end()) return;
+  (*it)->parent_ = nullptr;
+  children_.erase(it);
+}
+
+}  // namespace cxml::dom

@@ -1,0 +1,156 @@
+#ifndef CXML_DOM_NODE_H_
+#define CXML_DOM_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/token.h"
+
+namespace cxml::dom {
+
+class Document;
+
+/// Node kinds of the classic single-hierarchy DOM tree. This DOM is the
+/// "traditional XML processing" data model the paper generalises from
+/// (its Figure 3 left side) and the substrate for representation drivers
+/// and the baseline comparator.
+enum class NodeKind : uint8_t {
+  kDocument,
+  kElement,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// A node in a DOM tree. Nodes are arena-owned by their `Document`; raw
+/// `Node*` handles stay valid for the document's lifetime (removal detaches
+/// but does not free).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  NodeKind kind() const { return kind_; }
+  Node* parent() const { return parent_; }
+  Document* document() const { return document_; }
+
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  /// Children (empty for leaf node kinds).
+  const std::vector<Node*>& children() const { return children_; }
+
+  /// Next/previous sibling, nullptr at the ends or with no parent.
+  Node* NextSibling() const;
+  Node* PreviousSibling() const;
+
+  /// Index of this node within its parent's children; -1 when detached.
+  int IndexInParent() const;
+
+  /// Concatenated text content of the subtree (the XPath string-value).
+  std::string TextContent() const;
+
+ protected:
+  Node(NodeKind kind, Document* document)
+      : kind_(kind), document_(document) {}
+
+ private:
+  friend class Document;
+  friend class Element;
+
+  NodeKind kind_;
+  Document* document_;
+  Node* parent_ = nullptr;
+  std::vector<Node*> children_;
+};
+
+/// An element node: tag, attributes, ordered children.
+class Element : public Node {
+ public:
+  const std::string& tag() const { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  const std::vector<xml::Attribute>& attributes() const { return attrs_; }
+
+  /// Returns the attribute value or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+  /// Returns the value or `fallback` when absent.
+  std::string_view AttributeOr(std::string_view name,
+                               std::string_view fallback) const;
+  bool HasAttribute(std::string_view name) const {
+    return FindAttribute(name) != nullptr;
+  }
+  /// Sets (or overwrites) an attribute.
+  void SetAttribute(std::string_view name, std::string_view value);
+  /// Removes an attribute; no-op when absent.
+  void RemoveAttribute(std::string_view name);
+
+  /// Child element access.
+  Element* FirstChildElement(std::string_view tag = {}) const;
+  Element* NextSiblingElement(std::string_view tag = {}) const;
+  std::vector<Element*> ChildElements(std::string_view tag = {}) const;
+
+  /// Tree mutation. Nodes must belong to the same document.
+  void AppendChild(Node* child);
+  void InsertChildAt(size_t index, Node* child);
+  /// Detaches `child` (which remains arena-owned) from this element.
+  void RemoveChild(Node* child);
+
+ private:
+  friend class Document;
+  Element(Document* document, std::string tag)
+      : Node(NodeKind::kElement, document), tag_(std::move(tag)) {}
+
+  std::string tag_;
+  std::vector<xml::Attribute> attrs_;
+};
+
+/// A character-data node.
+class Text : public Node {
+ public:
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+ private:
+  friend class Document;
+  Text(Document* document, std::string text)
+      : Node(NodeKind::kText, document), text_(std::move(text)) {}
+
+  std::string text_;
+};
+
+/// A comment node.
+class Comment : public Node {
+ public:
+  const std::string& text() const { return text_; }
+
+ private:
+  friend class Document;
+  Comment(Document* document, std::string text)
+      : Node(NodeKind::kComment, document), text_(std::move(text)) {}
+
+  std::string text_;
+};
+
+/// A processing-instruction node.
+class ProcessingInstruction : public Node {
+ public:
+  const std::string& target() const { return target_; }
+  const std::string& data() const { return data_; }
+
+ private:
+  friend class Document;
+  ProcessingInstruction(Document* document, std::string target,
+                        std::string data)
+      : Node(NodeKind::kProcessingInstruction, document),
+        target_(std::move(target)),
+        data_(std::move(data)) {}
+
+  std::string target_;
+  std::string data_;
+};
+
+}  // namespace cxml::dom
+
+#endif  // CXML_DOM_NODE_H_

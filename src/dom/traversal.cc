@@ -1,0 +1,68 @@
+#include "dom/traversal.h"
+
+namespace cxml::dom {
+
+void Walk(Node* root, const std::function<bool(Node*)>& visit) {
+  if (root == nullptr) return;
+  if (!visit(root)) return;
+  // Children vector may be mutated by visit on descendants; copy defensively.
+  std::vector<Node*> children = root->children();
+  for (Node* child : children) Walk(child, visit);
+}
+
+void Walk(const Node* root, const std::function<bool(const Node*)>& visit) {
+  if (root == nullptr) return;
+  if (!visit(root)) return;
+  for (const Node* child : root->children()) Walk(child, visit);
+}
+
+std::vector<Element*> Descendants(Node* root, std::string_view tag) {
+  std::vector<Element*> out;
+  Walk(root, [&](Node* n) {
+    if (n->is_element()) {
+      auto* el = static_cast<Element*>(n);
+      if (tag.empty() || el->tag() == tag) out.push_back(el);
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<const Element*> Descendants(const Node* root,
+                                        std::string_view tag) {
+  std::vector<const Element*> out;
+  Walk(root, [&](const Node* n) {
+    if (n->is_element()) {
+      const auto* el = static_cast<const Element*>(n);
+      if (tag.empty() || el->tag() == tag) out.push_back(el);
+    }
+    return true;
+  });
+  return out;
+}
+
+NodeCounts CountNodes(const Node* root) {
+  NodeCounts counts;
+  Walk(root, [&](const Node* n) {
+    switch (n->kind()) {
+      case NodeKind::kElement:
+        ++counts.elements;
+        break;
+      case NodeKind::kText:
+        ++counts.text;
+        break;
+      case NodeKind::kComment:
+        ++counts.comments;
+        break;
+      case NodeKind::kProcessingInstruction:
+        ++counts.processing_instructions;
+        break;
+      case NodeKind::kDocument:
+        break;
+    }
+    return true;
+  });
+  return counts;
+}
+
+}  // namespace cxml::dom

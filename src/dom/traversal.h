@@ -1,0 +1,38 @@
+#ifndef CXML_DOM_TRAVERSAL_H_
+#define CXML_DOM_TRAVERSAL_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "dom/node.h"
+
+namespace cxml::dom {
+
+/// Pre-order (document order) traversal invoking `visit` on every node,
+/// starting at `root` inclusive. Returning false from `visit` prunes the
+/// subtree below the visited node (the node itself was already visited).
+void Walk(Node* root, const std::function<bool(Node*)>& visit);
+void Walk(const Node* root, const std::function<bool(const Node*)>& visit);
+
+/// All elements in the subtree in document order (root included when it is
+/// an element), optionally filtered by tag.
+std::vector<Element*> Descendants(Node* root, std::string_view tag = {});
+std::vector<const Element*> Descendants(const Node* root,
+                                        std::string_view tag = {});
+
+/// Number of nodes of each kind in the subtree.
+struct NodeCounts {
+  size_t elements = 0;
+  size_t text = 0;
+  size_t comments = 0;
+  size_t processing_instructions = 0;
+  size_t total() const {
+    return elements + text + comments + processing_instructions;
+  }
+};
+NodeCounts CountNodes(const Node* root);
+
+}  // namespace cxml::dom
+
+#endif  // CXML_DOM_TRAVERSAL_H_

@@ -1,0 +1,40 @@
+#ifndef CXML_DRIVERS_EXTENTS_H_
+#define CXML_DRIVERS_EXTENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "cmh/hierarchy.h"
+#include "common/interval.h"
+#include "common/result.h"
+#include "goddag/goddag.h"
+
+namespace cxml::drivers {
+
+/// A representation-independent description of one markup element: its
+/// hierarchy, tag, attributes and character extent over the shared
+/// content. Every import driver reduces its input to a list of these;
+/// `BuildGoddagFromExtents` then reconstructs the GODDAG.
+struct LogicalElement {
+  cmh::HierarchyId hierarchy = cmh::kInvalidHierarchy;
+  std::string tag;
+  std::vector<xml::Attribute> attrs;
+  Interval chars;
+};
+
+/// Builds a GODDAG over `content` from logical elements. Elements are
+/// inserted outermost-first ((start asc, end desc), stable), so properly
+/// nested same-hierarchy markup reconstructs its original tree shape;
+/// same-hierarchy overlaps are reported as FailedPrecondition.
+/// The produced GODDAG has `cmh` bound; `cmh` must outlive it.
+Result<goddag::Goddag> BuildGoddagFromExtents(
+    const cmh::ConcurrentHierarchies& cmh, std::string content,
+    std::vector<LogicalElement> elements);
+
+/// Extracts the logical elements of an existing GODDAG (all hierarchies,
+/// document order) — the starting point of every export driver.
+std::vector<LogicalElement> ExtractExtents(const goddag::Goddag& g);
+
+}  // namespace cxml::drivers
+
+#endif  // CXML_DRIVERS_EXTENTS_H_

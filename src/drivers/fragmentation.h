@@ -1,0 +1,36 @@
+#ifndef CXML_DRIVERS_FRAGMENTATION_H_
+#define CXML_DRIVERS_FRAGMENTATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "drivers/extents.h"
+
+namespace cxml::drivers {
+
+/// The TEI *fragmentation* workaround (paper §2): all hierarchies are
+/// forced into one well-formed document; an element that would overlap
+/// is split into fragments that nest, "glued" together by a shared id.
+///
+/// Reserved attributes on fragments:
+///   `cx-id`   — logical element id shared by all of its fragments,
+///   `cx-part` — `I` (initial), `M` (middle), `F` (final).
+/// Unfragmented elements carry neither. Original attributes are repeated
+/// on every fragment. The reserved prefix `cx-` must not appear in user
+/// DTDs (documented limitation).
+///
+/// This representation is also what the baseline comparator queries: the
+/// ID-join cost it pays on overlap queries is the paper's argument for
+/// the GODDAG.
+
+/// Exports the whole GODDAG into one fragmentation-encoded document.
+Result<std::string> ExportFragmentation(const goddag::Goddag& g);
+
+/// Imports a fragmentation-encoded document back into a GODDAG.
+/// `cmh` assigns tags to hierarchies and must outlive the result.
+Result<goddag::Goddag> ImportFragmentation(
+    const cmh::ConcurrentHierarchies& cmh, std::string_view source);
+
+}  // namespace cxml::drivers
+
+#endif  // CXML_DRIVERS_FRAGMENTATION_H_

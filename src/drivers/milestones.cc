@@ -1,0 +1,200 @@
+#include "drivers/milestones.h"
+
+#include <functional>
+#include <map>
+
+#include "cmh/conflict.h"
+#include "common/strings.h"
+#include "dom/document.h"
+#include "xml/writer.h"
+
+namespace cxml::drivers {
+
+Result<std::string> ExportMilestones(const goddag::Goddag& g,
+                                     cmh::HierarchyId primary) {
+  if (primary >= g.num_hierarchies()) {
+    return status::InvalidArgument(
+        StrFormat("primary hierarchy %u out of range", primary));
+  }
+  // Marker events of non-primary elements, keyed by position. Ends come
+  // before starts at the same position (readability; import only uses
+  // offsets).
+  struct Marker {
+    bool is_start;
+    bool is_point;
+    goddag::NodeId node;
+    int id;
+  };
+  std::map<size_t, std::vector<Marker>> markers;
+  int next_id = 1;
+  for (goddag::NodeId e : g.AllElements()) {
+    if (g.hierarchy(e) == primary) continue;
+    Interval span = g.char_range(e);
+    int id = next_id++;
+    if (span.empty()) {
+      markers[span.begin].push_back({true, true, e, id});
+    } else {
+      markers[span.end].push_back({false, false, e, id});
+      markers[span.begin].push_back({true, false, e, id});
+    }
+  }
+
+  xml::XmlWriter writer;
+  auto emit_markers_at = [&](size_t pos) {
+    auto it = markers.find(pos);
+    if (it == markers.end()) return;
+    // Ends were pushed before starts at equal positions.
+    for (const Marker& m : it->second) {
+      std::vector<xml::Attribute> attrs;
+      if (m.is_start) {
+        attrs.push_back({"cx-tag", g.tag(m.node)});
+        attrs.push_back(
+            {"cx-pos", m.is_point ? "point" : "start"});
+        attrs.push_back({"cx-id", StrFormat("%d", m.id)});
+        if (g.cmh() != nullptr) {
+          attrs.push_back(
+              {"cx-h", g.cmh()->hierarchy(g.hierarchy(m.node)).name});
+        } else {
+          attrs.push_back({"cx-h", StrFormat("%u", g.hierarchy(m.node))});
+        }
+        for (const auto& a : g.attributes(m.node)) attrs.push_back(a);
+      } else {
+        attrs.push_back({"cx-pos", "end"});
+        attrs.push_back({"cx-id", StrFormat("%d", m.id)});
+      }
+      writer.EmptyElement("cx-ms", attrs);
+    }
+    markers.erase(it);
+  };
+
+  // Emit the primary tree with markers injected at leaf boundaries.
+  writer.StartElement(g.root_tag());
+  // Recursive emit over the primary hierarchy with marker injection.
+  // Because markers sit at leaf boundaries and the primary tree's text
+  // runs are sequences of whole leaves, we emit leaf-by-leaf.
+  struct Emitter {
+    const goddag::Goddag& g;
+    xml::XmlWriter& writer;
+    std::function<void(size_t)> emit_markers;
+
+    void EmitNode(goddag::NodeId node) {
+      if (g.is_leaf(node)) {
+        emit_markers(g.char_range(node).begin);
+        writer.Text(g.text(node));
+        return;
+      }
+      emit_markers(g.char_range(node).begin);
+      if (g.children(node).empty() && g.char_range(node).empty()) {
+        writer.EmptyElement(g.tag(node), g.attributes(node));
+        return;
+      }
+      writer.StartElement(g.tag(node), g.attributes(node));
+      for (goddag::NodeId child : g.children(node)) EmitNode(child);
+      // Markers at the element's end boundary are emitted by the next
+      // sibling / parent close; final flush happens at document end.
+      writer.EndElement();
+    }
+  };
+  Emitter emitter{g, writer, emit_markers_at};
+  for (goddag::NodeId child : g.root_children(primary)) {
+    emitter.EmitNode(child);
+  }
+  emit_markers_at(g.content().size());
+  // Flush any remaining markers (e.g. empty documents).
+  std::vector<size_t> leftover;
+  for (const auto& [pos, ms] : markers) leftover.push_back(pos);
+  for (size_t pos : leftover) emit_markers_at(pos);
+  writer.EndElement();
+  return writer.Finish();
+}
+
+Result<goddag::Goddag> ImportMilestones(
+    const cmh::ConcurrentHierarchies& cmh, std::string_view source) {
+  CXML_ASSIGN_OR_RETURN(auto doc, dom::ParseDocument(source));
+  if (doc->root() == nullptr || doc->root()->tag() != cmh.root_tag()) {
+    return status::ValidationError(
+        StrCat("milestone document must have root '", cmh.root_tag(),
+               "'"));
+  }
+  std::vector<cmh::ElementExtent> extents = cmh::ComputeExtents(*doc);
+  std::string content = doc->root()->TextContent();
+
+  std::vector<LogicalElement> logical;
+  struct Pending {
+    size_t index;  // into logical
+  };
+  std::map<std::string, Pending> open;  // cx-id -> pending start
+  for (const auto& extent : extents) {
+    if (extent.element == doc->root()) continue;
+    if (extent.tag != "cx-ms") {
+      // Backbone element.
+      cmh::HierarchyId h = cmh.HierarchyOf(extent.tag);
+      if (h == cmh::kInvalidHierarchy) {
+        return status::ValidationError(
+            StrCat("element '", extent.tag, "' belongs to no hierarchy"));
+      }
+      LogicalElement el;
+      el.hierarchy = h;
+      el.tag = extent.tag;
+      el.attrs = extent.element->attributes();
+      el.chars = extent.chars;
+      logical.push_back(std::move(el));
+      continue;
+    }
+    const dom::Element* ms = extent.element;
+    const std::string* pos_attr = ms->FindAttribute("cx-pos");
+    const std::string* id_attr = ms->FindAttribute("cx-id");
+    if (pos_attr == nullptr || id_attr == nullptr) {
+      return status::ValidationError(
+          "cx-ms marker lacks cx-pos or cx-id");
+    }
+    if (*pos_attr == "start" || *pos_attr == "point") {
+      const std::string* tag_attr = ms->FindAttribute("cx-tag");
+      if (tag_attr == nullptr) {
+        return status::ValidationError("cx-ms start lacks cx-tag");
+      }
+      cmh::HierarchyId h;
+      const std::string* h_attr = ms->FindAttribute("cx-h");
+      if (h_attr != nullptr && cmh.FindIdByName(*h_attr) !=
+                                   cmh::kInvalidHierarchy) {
+        h = cmh.FindIdByName(*h_attr);
+      } else {
+        h = cmh.HierarchyOf(*tag_attr);
+      }
+      if (h == cmh::kInvalidHierarchy) {
+        return status::ValidationError(StrCat(
+            "milestone element '", *tag_attr, "' belongs to no hierarchy"));
+      }
+      LogicalElement el;
+      el.hierarchy = h;
+      el.tag = *tag_attr;
+      for (const auto& a : ms->attributes()) {
+        if (!StartsWith(a.name, "cx-")) el.attrs.push_back(a);
+      }
+      el.chars = Interval(extent.chars.begin, extent.chars.begin);
+      if (*pos_attr == "start") {
+        open[*id_attr] = Pending{logical.size()};
+      }
+      logical.push_back(std::move(el));
+    } else if (*pos_attr == "end") {
+      auto it = open.find(*id_attr);
+      if (it == open.end()) {
+        return status::ValidationError(
+            StrCat("cx-ms end with unmatched cx-id '", *id_attr, "'"));
+      }
+      logical[it->second.index].chars.end = extent.chars.begin;
+      open.erase(it);
+    } else {
+      return status::ValidationError(
+          StrCat("cx-ms with bad cx-pos '", *pos_attr, "'"));
+    }
+  }
+  if (!open.empty()) {
+    return status::ValidationError(StrFormat(
+        "%zu cx-ms start markers without matching ends", open.size()));
+  }
+  return BuildGoddagFromExtents(cmh, std::move(content),
+                                std::move(logical));
+}
+
+}  // namespace cxml::drivers

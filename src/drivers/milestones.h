@@ -1,0 +1,33 @@
+#ifndef CXML_DRIVERS_MILESTONES_H_
+#define CXML_DRIVERS_MILESTONES_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "drivers/extents.h"
+
+namespace cxml::drivers {
+
+/// The TEI *milestone* workaround (paper §2): one hierarchy (the
+/// "primary") keeps its tree form; every other element is flattened into
+/// a pair of empty marker elements at its start and end positions:
+///
+///   <cx-ms cx-tag="w" cx-pos="start" cx-id="3" cx-h="linguistic" .../>
+///   ... content ...
+///   <cx-ms cx-pos="end" cx-id="3"/>
+///
+/// Original attributes ride on the start marker. Elements of the primary
+/// hierarchy that are empty in the source stay ordinary empty elements;
+/// non-primary zero-width elements use `cx-pos="point"`.
+
+/// Exports with hierarchy `primary` as the backbone tree.
+Result<std::string> ExportMilestones(const goddag::Goddag& g,
+                                     cmh::HierarchyId primary);
+
+/// Imports a milestone-encoded document. `cmh` must outlive the result.
+Result<goddag::Goddag> ImportMilestones(
+    const cmh::ConcurrentHierarchies& cmh, std::string_view source);
+
+}  // namespace cxml::drivers
+
+#endif  // CXML_DRIVERS_MILESTONES_H_

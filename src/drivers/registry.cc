@@ -1,0 +1,116 @@
+#include "drivers/registry.h"
+
+#include "common/strings.h"
+#include "drivers/fragmentation.h"
+#include "drivers/milestones.h"
+#include "drivers/standoff.h"
+#include "goddag/serializer.h"
+#include "sacx/goddag_handler.h"
+
+namespace cxml::drivers {
+
+const char* RepresentationToString(Representation r) {
+  switch (r) {
+    case Representation::kDistributed:
+      return "distributed";
+    case Representation::kFragmentation:
+      return "fragmentation";
+    case Representation::kMilestones:
+      return "milestones";
+    case Representation::kStandoff:
+      return "standoff";
+  }
+  return "?";
+}
+
+Result<std::vector<std::string>> Export(const goddag::Goddag& g,
+                                        Representation r,
+                                        cmh::HierarchyId primary) {
+  switch (r) {
+    case Representation::kDistributed:
+      return goddag::SerializeAll(g);
+    case Representation::kFragmentation: {
+      CXML_ASSIGN_OR_RETURN(std::string doc, ExportFragmentation(g));
+      return std::vector<std::string>{std::move(doc)};
+    }
+    case Representation::kMilestones: {
+      CXML_ASSIGN_OR_RETURN(std::string doc, ExportMilestones(g, primary));
+      return std::vector<std::string>{std::move(doc)};
+    }
+    case Representation::kStandoff: {
+      CXML_ASSIGN_OR_RETURN(std::string doc, ExportStandoff(g));
+      return std::vector<std::string>{std::move(doc)};
+    }
+  }
+  return status::InvalidArgument("unknown representation");
+}
+
+Result<goddag::Goddag> Import(const cmh::ConcurrentHierarchies& cmh,
+                              Representation r,
+                              const std::vector<std::string_view>& sources) {
+  switch (r) {
+    case Representation::kDistributed:
+      return sacx::ParseToGoddag(cmh, sources);
+    case Representation::kFragmentation:
+    case Representation::kMilestones:
+    case Representation::kStandoff: {
+      if (sources.size() != 1) {
+        return status::InvalidArgument(StrFormat(
+            "%s representation expects exactly 1 document, got %zu",
+            RepresentationToString(r), sources.size()));
+      }
+      if (r == Representation::kFragmentation) {
+        return ImportFragmentation(cmh, sources[0]);
+      }
+      if (r == Representation::kMilestones) {
+        return ImportMilestones(cmh, sources[0]);
+      }
+      return ImportStandoff(cmh, sources[0]);
+    }
+  }
+  return status::InvalidArgument("unknown representation");
+}
+
+Representation Detect(std::string_view source) {
+  if (source.find("<cx-standoff") != std::string_view::npos) {
+    return Representation::kStandoff;
+  }
+  if (source.find("<cx-ms ") != std::string_view::npos) {
+    return Representation::kMilestones;
+  }
+  if (source.find("cx-part=") != std::string_view::npos) {
+    return Representation::kFragmentation;
+  }
+  return Representation::kDistributed;
+}
+
+Result<Filtered> Filter(const goddag::Goddag& g,
+                        const std::vector<cmh::HierarchyId>& keep) {
+  if (g.cmh() == nullptr) {
+    return status::FailedPrecondition("Filter requires a bound CMH");
+  }
+  if (keep.empty()) {
+    return status::InvalidArgument(
+        "Filter needs at least one hierarchy to keep");
+  }
+  Filtered out;
+  out.cmh = std::make_unique<cmh::ConcurrentHierarchies>(g.root_tag());
+  std::vector<std::string> sources;
+  for (cmh::HierarchyId h : keep) {
+    if (h >= g.num_hierarchies()) {
+      return status::OutOfRange(StrFormat("hierarchy %u out of range", h));
+    }
+    const cmh::Hierarchy& hierarchy = g.cmh()->hierarchy(h);
+    CXML_RETURN_IF_ERROR(
+        out.cmh->AddHierarchy(hierarchy.name, hierarchy.dtd).status());
+    CXML_ASSIGN_OR_RETURN(std::string doc, goddag::SerializeHierarchy(g, h));
+    sources.push_back(std::move(doc));
+  }
+  std::vector<std::string_view> views(sources.begin(), sources.end());
+  CXML_ASSIGN_OR_RETURN(goddag::Goddag filtered,
+                        sacx::ParseToGoddag(*out.cmh, views));
+  out.g = std::make_unique<goddag::Goddag>(std::move(filtered));
+  return out;
+}
+
+}  // namespace cxml::drivers

@@ -1,0 +1,60 @@
+#ifndef CXML_DRIVERS_REGISTRY_H_
+#define CXML_DRIVERS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "drivers/extents.h"
+
+namespace cxml::drivers {
+
+/// The representations of concurrent XML this framework imports from and
+/// exports to (paper §4 "Document manipulation": "concurrent XML can be
+/// imported into/exported from our software suite from/to a wide range
+/// of representations").
+enum class Representation {
+  /// One document per hierarchy (the paper's native model).
+  kDistributed,
+  /// One document; overlap resolved by TEI-style fragmentation.
+  kFragmentation,
+  /// One document; one hierarchy is the tree, others become milestones.
+  kMilestones,
+  /// Content + offset annotations.
+  kStandoff,
+};
+
+const char* RepresentationToString(Representation r);
+
+/// Exports `g` into `r`. Distributed yields one string per hierarchy;
+/// the single-document representations yield one. `primary` selects the
+/// milestone backbone (ignored elsewhere).
+Result<std::vector<std::string>> Export(const goddag::Goddag& g,
+                                        Representation r,
+                                        cmh::HierarchyId primary = 0);
+
+/// Imports `sources` in representation `r` into a GODDAG bound to `cmh`.
+Result<goddag::Goddag> Import(const cmh::ConcurrentHierarchies& cmh,
+                              Representation r,
+                              const std::vector<std::string_view>& sources);
+
+/// Sniffs the representation of a single document: `cx-standoff` root,
+/// `cx-ms` markers, `cx-part` fragments, else distributed (one member).
+Representation Detect(std::string_view source);
+
+/// Projects a GODDAG onto a subset of its hierarchies — the paper's
+/// "filtering feature for partially viewing and/or exporting a subset of
+/// document encodings". Leaves merge back where the dropped hierarchies
+/// were the only boundary source. Returns the filtered GODDAG together
+/// with its newly built CMH (kept alive side by side).
+struct Filtered {
+  std::unique_ptr<cmh::ConcurrentHierarchies> cmh;
+  std::unique_ptr<goddag::Goddag> g;
+};
+Result<Filtered> Filter(const goddag::Goddag& g,
+                        const std::vector<cmh::HierarchyId>& keep);
+
+}  // namespace cxml::drivers
+
+#endif  // CXML_DRIVERS_REGISTRY_H_

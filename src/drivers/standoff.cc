@@ -1,0 +1,126 @@
+#include "drivers/standoff.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "dom/document.h"
+#include "xml/writer.h"
+
+namespace cxml::drivers {
+
+Result<std::string> ExportStandoff(const goddag::Goddag& g) {
+  xml::XmlWriter writer;
+  writer.StartElement("cx-standoff", {{"root", g.root_tag()}});
+  writer.StartElement("cx-content");
+  writer.Text(g.content());
+  writer.EndElement();
+  for (const LogicalElement& el : ExtractExtents(g)) {
+    std::vector<xml::Attribute> attrs;
+    if (g.cmh() != nullptr) {
+      attrs.push_back({"cx-h", g.cmh()->hierarchy(el.hierarchy).name});
+    } else {
+      attrs.push_back({"cx-h", StrFormat("%u", el.hierarchy)});
+    }
+    attrs.push_back({"cx-tag", el.tag});
+    attrs.push_back({"cx-start", StrFormat("%zu", el.chars.begin)});
+    attrs.push_back({"cx-end", StrFormat("%zu", el.chars.end)});
+    if (el.attrs.empty()) {
+      writer.EmptyElement("cx-ann", attrs);
+    } else {
+      writer.StartElement("cx-ann", attrs);
+      for (const auto& a : el.attrs) {
+        writer.EmptyElement("cx-attr",
+                            {{"name", a.name}, {"value", a.value}});
+      }
+      writer.EndElement();
+    }
+  }
+  writer.EndElement();
+  return writer.Finish();
+}
+
+namespace {
+
+Result<size_t> ParseOffset(const dom::Element& el, const char* attr) {
+  const std::string* value = el.FindAttribute(attr);
+  if (value == nullptr) {
+    return status::ValidationError(
+        StrCat("cx-ann lacks attribute '", attr, "'"));
+  }
+  if (value->empty()) {
+    return status::ValidationError(StrCat("empty '", attr, "' offset"));
+  }
+  size_t out = 0;
+  for (char c : *value) {
+    if (c < '0' || c > '9') {
+      return status::ValidationError(
+          StrCat("bad offset '", *value, "' in cx-ann"));
+    }
+    out = out * 10 + static_cast<size_t>(c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<goddag::Goddag> ImportStandoff(const cmh::ConcurrentHierarchies& cmh,
+                                      std::string_view source) {
+  CXML_ASSIGN_OR_RETURN(auto doc, dom::ParseDocument(source));
+  const dom::Element* root = doc->root();
+  if (root == nullptr || root->tag() != "cx-standoff") {
+    return status::ValidationError(
+        "stand-off document must have root 'cx-standoff'");
+  }
+  const std::string* root_tag = root->FindAttribute("root");
+  if (root_tag != nullptr && *root_tag != cmh.root_tag()) {
+    return status::ValidationError(StrCat(
+        "stand-off root tag '", *root_tag, "' does not match the CMH ('",
+        cmh.root_tag(), "')"));
+  }
+  const dom::Element* content_el = root->FirstChildElement("cx-content");
+  if (content_el == nullptr) {
+    return status::ValidationError("stand-off document lacks cx-content");
+  }
+  std::string content = content_el->TextContent();
+
+  std::vector<LogicalElement> logical;
+  for (const dom::Element* ann : root->ChildElements("cx-ann")) {
+    LogicalElement el;
+    const std::string* tag = ann->FindAttribute("cx-tag");
+    if (tag == nullptr) {
+      return status::ValidationError("cx-ann lacks cx-tag");
+    }
+    el.tag = *tag;
+    const std::string* h_attr = ann->FindAttribute("cx-h");
+    if (h_attr != nullptr &&
+        cmh.FindIdByName(*h_attr) != cmh::kInvalidHierarchy) {
+      el.hierarchy = cmh.FindIdByName(*h_attr);
+    } else {
+      el.hierarchy = cmh.HierarchyOf(el.tag);
+    }
+    if (el.hierarchy == cmh::kInvalidHierarchy) {
+      return status::ValidationError(
+          StrCat("annotation '", el.tag, "' belongs to no hierarchy"));
+    }
+    CXML_ASSIGN_OR_RETURN(el.chars.begin, ParseOffset(*ann, "cx-start"));
+    CXML_ASSIGN_OR_RETURN(el.chars.end, ParseOffset(*ann, "cx-end"));
+    if (el.chars.begin > el.chars.end || el.chars.end > content.size()) {
+      return status::ValidationError(StrFormat(
+          "annotation '%s' range [%zu,%zu) outside content of size %zu",
+          el.tag.c_str(), el.chars.begin, el.chars.end, content.size()));
+    }
+    for (const dom::Element* attr : ann->ChildElements("cx-attr")) {
+      const std::string* name = attr->FindAttribute("name");
+      const std::string* value = attr->FindAttribute("value");
+      if (name == nullptr || value == nullptr) {
+        return status::ValidationError("cx-attr lacks name or value");
+      }
+      el.attrs.push_back({*name, *value});
+    }
+    logical.push_back(std::move(el));
+  }
+  return BuildGoddagFromExtents(cmh, std::move(content),
+                                std::move(logical));
+}
+
+}  // namespace cxml::drivers

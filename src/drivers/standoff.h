@@ -1,0 +1,31 @@
+#ifndef CXML_DRIVERS_STANDOFF_H_
+#define CXML_DRIVERS_STANDOFF_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "drivers/extents.h"
+
+namespace cxml::drivers {
+
+/// Stand-off (offset) annotation: content and markup live apart, markup
+/// refers to character offsets — the representation of choice for
+/// read-mostly annotation pipelines and the most direct serialisation of
+/// the GODDAG extent model:
+///
+///   <cx-standoff root="r">
+///     <cx-content>Ða se Wisdom ...</cx-content>
+///     <cx-ann cx-h="linguistic" cx-tag="w" cx-start="0" cx-end="3">
+///       <cx-attr name="type" value="adv"/>
+///     </cx-ann>
+///     ...
+///   </cx-standoff>
+
+Result<std::string> ExportStandoff(const goddag::Goddag& g);
+
+Result<goddag::Goddag> ImportStandoff(const cmh::ConcurrentHierarchies& cmh,
+                                      std::string_view source);
+
+}  // namespace cxml::drivers
+
+#endif  // CXML_DRIVERS_STANDOFF_H_

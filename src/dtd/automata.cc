@@ -1,0 +1,369 @@
+#include "dtd/automata.h"
+
+#include <set>
+
+namespace cxml::dtd {
+
+namespace {
+
+/// Scratch data for the Glushkov construction.
+struct GlushkovBuild {
+  /// 1-based position -> symbol id.
+  std::vector<int> pos_symbol{-1};  // index 0 unused
+  /// follow sets, 1-based.
+  std::vector<std::set<int>> follow{{}};
+};
+
+struct Fln {
+  std::set<int> first;
+  std::set<int> last;
+  bool nullable = false;
+};
+
+Fln ComputeGlushkov(const CmNode& node, Nfa* nfa, GlushkovBuild* build,
+                    int (*add_symbol)(Nfa*, const std::string&));
+
+}  // namespace
+
+int Nfa::AddSymbol(const std::string& name) {
+  auto it = symbol_ids_.find(name);
+  if (it != symbol_ids_.end()) return it->second;
+  int id = static_cast<int>(symbols_.size());
+  symbols_.push_back(name);
+  symbol_ids_.emplace(name, id);
+  return id;
+}
+
+int Nfa::FindSymbol(std::string_view name) const {
+  auto it = symbol_ids_.find(name);
+  return it == symbol_ids_.end() ? -1 : it->second;
+}
+
+namespace {
+
+Fln ComputeGlushkov(const CmNode& node, Nfa* nfa, GlushkovBuild* build,
+                    int (*add_symbol)(Nfa*, const std::string&)) {
+  Fln result;
+  switch (node.op) {
+    case CmOp::kName: {
+      int symbol = add_symbol(nfa, node.name);
+      int pos = static_cast<int>(build->pos_symbol.size());
+      build->pos_symbol.push_back(symbol);
+      build->follow.emplace_back();
+      result.first = {pos};
+      result.last = {pos};
+      result.nullable = false;
+      return result;
+    }
+    case CmOp::kSeq: {
+      result.nullable = true;
+      std::set<int> carry_last;  // last positions of the nullable-tail prefix
+      bool first_open = true;    // still accumulating into result.first
+      for (const CmNode& child : node.children) {
+        Fln f = ComputeGlushkov(child, nfa, build, add_symbol);
+        // follow: every last of the accumulated prefix connects to child's
+        // first.
+        for (int q : carry_last) {
+          build->follow[static_cast<size_t>(q)].insert(f.first.begin(),
+                                                       f.first.end());
+        }
+        if (first_open) {
+          result.first.insert(f.first.begin(), f.first.end());
+          if (!f.nullable) first_open = false;
+        }
+        if (f.nullable) {
+          carry_last.insert(f.last.begin(), f.last.end());
+        } else {
+          carry_last = f.last;
+        }
+        result.nullable = result.nullable && f.nullable;
+      }
+      result.last = std::move(carry_last);
+      return result;
+    }
+    case CmOp::kChoice: {
+      result.nullable = false;
+      for (const CmNode& child : node.children) {
+        Fln f = ComputeGlushkov(child, nfa, build, add_symbol);
+        result.first.insert(f.first.begin(), f.first.end());
+        result.last.insert(f.last.begin(), f.last.end());
+        result.nullable = result.nullable || f.nullable;
+      }
+      return result;
+    }
+    case CmOp::kOpt: {
+      result = ComputeGlushkov(node.children.front(), nfa, build, add_symbol);
+      result.nullable = true;
+      return result;
+    }
+    case CmOp::kStar:
+    case CmOp::kPlus: {
+      result = ComputeGlushkov(node.children.front(), nfa, build, add_symbol);
+      for (int q : result.last) {
+        build->follow[static_cast<size_t>(q)].insert(result.first.begin(),
+                                                     result.first.end());
+      }
+      if (node.op == CmOp::kStar) result.nullable = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Nfa Nfa::FromContentModel(const ContentModel& model) {
+  Nfa nfa;
+  switch (model.kind) {
+    case ContentKind::kEmpty: {
+      nfa.accepting_ = {true};
+      nfa.transitions_.resize(1);
+      return nfa;
+    }
+    case ContentKind::kAny: {
+      nfa.any_ = true;
+      nfa.accepting_ = {true};
+      nfa.transitions_.resize(1);
+      return nfa;
+    }
+    case ContentKind::kMixed: {
+      // (n1 | n2 | ...)*: one accepting state with a self-loop per name.
+      nfa.accepting_ = {true};
+      nfa.transitions_.resize(1);
+      for (const std::string& name : model.mixed_names) {
+        int symbol = nfa.AddSymbol(name);
+        nfa.transitions_[0].emplace_back(symbol, 0);
+      }
+      return nfa;
+    }
+    case ContentKind::kChildren: {
+      GlushkovBuild build;
+      // Captureless lambda defined in member scope: may touch AddSymbol.
+      auto add_symbol = [](Nfa* n, const std::string& name) {
+        return n->AddSymbol(name);
+      };
+      Fln root = ComputeGlushkov(model.expr, &nfa, &build, +add_symbol);
+      int num_positions = static_cast<int>(build.pos_symbol.size()) - 1;
+      nfa.accepting_.assign(static_cast<size_t>(num_positions) + 1, false);
+      nfa.transitions_.resize(static_cast<size_t>(num_positions) + 1);
+      nfa.accepting_[0] = root.nullable;
+      for (int p : root.last) nfa.accepting_[static_cast<size_t>(p)] = true;
+      for (int p : root.first) {
+        nfa.transitions_[0].emplace_back(
+            build.pos_symbol[static_cast<size_t>(p)], p);
+      }
+      for (int p = 1; p <= num_positions; ++p) {
+        for (int q : build.follow[static_cast<size_t>(p)]) {
+          nfa.transitions_[static_cast<size_t>(p)].emplace_back(
+              build.pos_symbol[static_cast<size_t>(q)], q);
+        }
+      }
+      return nfa;
+    }
+  }
+  return nfa;
+}
+
+bool Nfa::IsDeterministic() const {
+  for (const auto& trans : transitions_) {
+    std::set<int> seen;
+    for (const auto& [symbol, target] : trans) {
+      (void)target;
+      if (!seen.insert(symbol).second) return false;
+    }
+  }
+  return true;
+}
+
+bool Nfa::LanguageNonEmpty() const {
+  std::vector<bool> visited(static_cast<size_t>(num_states()), false);
+  std::vector<int> stack = {0};
+  visited[0] = true;
+  while (!stack.empty()) {
+    int q = stack.back();
+    stack.pop_back();
+    if (accepting_[static_cast<size_t>(q)]) return true;
+    for (const auto& [symbol, target] : transitions_[static_cast<size_t>(q)]) {
+      (void)symbol;
+      if (!visited[static_cast<size_t>(target)]) {
+        visited[static_cast<size_t>(target)] = true;
+        stack.push_back(target);
+      }
+    }
+  }
+  return false;
+}
+
+Dfa Dfa::FromNfa(const Nfa& nfa) {
+  Dfa dfa;
+  dfa.num_symbols_ = static_cast<size_t>(nfa.num_symbols());
+
+  std::map<std::vector<int>, int> subset_ids;
+  std::vector<std::vector<int>> subsets;
+  auto intern = [&](std::vector<int> subset) -> int {
+    auto it = subset_ids.find(subset);
+    if (it != subset_ids.end()) return it->second;
+    int id = static_cast<int>(subsets.size());
+    subset_ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    return id;
+  };
+
+  intern({0});
+  for (size_t work = 0; work < subsets.size(); ++work) {
+    // Per-symbol target subsets.
+    std::vector<std::set<int>> targets(dfa.num_symbols_);
+    for (int q : subsets[work]) {
+      for (const auto& [symbol, target] : nfa.transitions(q)) {
+        targets[static_cast<size_t>(symbol)].insert(target);
+      }
+    }
+    dfa.table_.resize((work + 1) * dfa.num_symbols_, -1);
+    for (size_t a = 0; a < dfa.num_symbols_; ++a) {
+      if (targets[a].empty()) {
+        dfa.table_[work * dfa.num_symbols_ + a] = -1;
+      } else {
+        std::vector<int> subset(targets[a].begin(), targets[a].end());
+        dfa.table_[work * dfa.num_symbols_ + a] = intern(std::move(subset));
+      }
+    }
+  }
+  // Sizing note: table_ rows were appended as subsets were discovered, so
+  // resize once more in case the last discovered states added rows.
+  dfa.table_.resize(subsets.size() * dfa.num_symbols_, -1);
+
+  dfa.accepting_.resize(subsets.size(), false);
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    for (int q : subsets[i]) {
+      if (nfa.IsAccepting(q)) {
+        dfa.accepting_[i] = true;
+        break;
+      }
+    }
+  }
+  return dfa;
+}
+
+bool Dfa::Accepts(const std::vector<int>& sequence) const {
+  int state = start();
+  for (int symbol : sequence) {
+    state = Next(state, symbol);
+    if (state < 0) return false;
+  }
+  return IsAccepting(state);
+}
+
+SubsequenceChecker::SubsequenceChecker(const Nfa& nfa)
+    : num_states_(nfa.num_states()), any_(nfa.any()) {
+  accepting_.resize(static_cast<size_t>(num_states_));
+  for (int q = 0; q < num_states_; ++q) {
+    accepting_[static_cast<size_t>(q)] = nfa.IsAccepting(q);
+  }
+
+  const size_t words = (static_cast<size_t>(num_states_) + 63) / 64;
+  auto make_set = [&] { return StateSet(words, 0); };
+  auto set_bit = [](StateSet* s, int q) {
+    (*s)[static_cast<size_t>(q) / 64] |= uint64_t{1}
+                                         << (static_cast<size_t>(q) % 64);
+  };
+
+  // Per-symbol transition bitsets.
+  by_symbol_.assign(static_cast<size_t>(nfa.num_symbols()), {});
+  for (auto& per_state : by_symbol_) {
+    per_state.assign(static_cast<size_t>(num_states_), make_set());
+  }
+  for (int q = 0; q < num_states_; ++q) {
+    for (const auto& [symbol, target] : nfa.transitions(q)) {
+      set_bit(&by_symbol_[static_cast<size_t>(symbol)][static_cast<size_t>(q)],
+              target);
+    }
+  }
+
+  // reach_[q]: DFS from q over all transitions, q itself included.
+  reach_.assign(static_cast<size_t>(num_states_), make_set());
+  for (int q = 0; q < num_states_; ++q) {
+    std::vector<bool> visited(static_cast<size_t>(num_states_), false);
+    std::vector<int> stack = {q};
+    visited[static_cast<size_t>(q)] = true;
+    while (!stack.empty()) {
+      int s = stack.back();
+      stack.pop_back();
+      set_bit(&reach_[static_cast<size_t>(q)], s);
+      for (const auto& [symbol, target] : nfa.transitions(s)) {
+        (void)symbol;
+        if (!visited[static_cast<size_t>(target)]) {
+          visited[static_cast<size_t>(target)] = true;
+          stack.push_back(target);
+        }
+      }
+    }
+  }
+}
+
+SubsequenceChecker::StateSet SubsequenceChecker::EmptySet() const {
+  return StateSet((static_cast<size_t>(num_states_) + 63) / 64, 0);
+}
+
+void SubsequenceChecker::Close(StateSet* set) const {
+  StateSet closed = *set;
+  for (int q = 0; q < num_states_; ++q) {
+    if ((*set)[static_cast<size_t>(q) / 64] &
+        (uint64_t{1} << (static_cast<size_t>(q) % 64))) {
+      const StateSet& r = reach_[static_cast<size_t>(q)];
+      for (size_t w = 0; w < closed.size(); ++w) closed[w] |= r[w];
+    }
+  }
+  *set = std::move(closed);
+}
+
+bool SubsequenceChecker::AnyAccepting(const StateSet& set) const {
+  for (int q = 0; q < num_states_; ++q) {
+    if (accepting_[static_cast<size_t>(q)] &&
+        (set[static_cast<size_t>(q) / 64] &
+         (uint64_t{1} << (static_cast<size_t>(q) % 64)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SubsequenceChecker::IsPotentiallyValid(
+    const std::vector<int>& symbol_ids) const {
+  if (any_) return true;
+  StateSet current = EmptySet();
+  current[0] = 1;  // state 0
+  Close(&current);
+  for (int symbol : symbol_ids) {
+    if (symbol < 0) return false;  // name outside the model's alphabet
+    StateSet next = EmptySet();
+    const auto& per_state = by_symbol_[static_cast<size_t>(symbol)];
+    for (int q = 0; q < num_states_; ++q) {
+      if (current[static_cast<size_t>(q) / 64] &
+          (uint64_t{1} << (static_cast<size_t>(q) % 64))) {
+        const StateSet& t = per_state[static_cast<size_t>(q)];
+        for (size_t w = 0; w < next.size(); ++w) next[w] |= t[w];
+      }
+    }
+    Close(&next);
+    current = std::move(next);
+    bool empty = true;
+    for (uint64_t w : current) {
+      if (w != 0) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty) return false;
+  }
+  return AnyAccepting(current);
+}
+
+bool SubsequenceChecker::IsPotentiallyValid(
+    const Nfa& nfa, const std::vector<std::string>& names) const {
+  std::vector<int> ids;
+  ids.reserve(names.size());
+  for (const auto& name : names) ids.push_back(nfa.FindSymbol(name));
+  return IsPotentiallyValid(ids);
+}
+
+}  // namespace cxml::dtd

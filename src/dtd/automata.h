@@ -1,0 +1,138 @@
+#ifndef CXML_DTD_AUTOMATA_H_
+#define CXML_DTD_AUTOMATA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/content_model.h"
+
+namespace cxml::dtd {
+
+/// Glushkov (position) automaton of a content model. States are
+/// `0` (start) plus one state per name occurrence in the expression;
+/// every transition into position `p` is labelled with `symbol(p)`.
+///
+/// The same NFA feeds three consumers:
+///  * `Dfa` (subset construction) — strict content validation,
+///  * `SubsequenceChecker` — the WebDB'04 *potential validity* test used by
+///    the editor's prevalidation,
+///  * determinism diagnostics (XML's "1-unambiguous" requirement).
+class Nfa {
+ public:
+  /// Builds the Glushkov automaton for `model`.
+  /// kEmpty yields the automaton of the empty word; kAny and kMixed yield
+  /// `(n1|n2|...)*` over the allowed names (kAny uses a wildcard state,
+  /// see `any()`).
+  static Nfa FromContentModel(const ContentModel& model);
+
+  /// Number of states (>= 1; state 0 is the start).
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  /// Symbol alphabet (element names). `SymbolId` is the index.
+  int num_symbols() const { return static_cast<int>(symbols_.size()); }
+  const std::string& symbol_name(int symbol) const { return symbols_[symbol]; }
+  /// Returns -1 when `name` is not in the alphabet.
+  int FindSymbol(std::string_view name) const;
+
+  /// Outgoing transitions of `state` as (symbol, target) pairs.
+  const std::vector<std::pair<int, int>>& transitions(int state) const {
+    return transitions_[state];
+  }
+
+  /// True when the model was `ANY`: every name (known or not) is accepted
+  /// in any order, and the automaton is the trivial one-state loop.
+  bool any() const { return any_; }
+
+  /// True iff the automaton is deterministic (no state has two outgoing
+  /// transitions on the same symbol) — XML 1.0's determinism constraint on
+  /// content models.
+  bool IsDeterministic() const;
+
+  /// True iff the language is non-empty (some accepting state reachable).
+  bool LanguageNonEmpty() const;
+
+ private:
+  int AddSymbol(const std::string& name);
+
+  std::vector<std::string> symbols_;
+  std::map<std::string, int, std::less<>> symbol_ids_;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<std::pair<int, int>>> transitions_;
+  bool any_ = false;
+};
+
+/// Deterministic automaton (subset construction over `Nfa`) with a dense
+/// transition table, used on the hot path of validation.
+class Dfa {
+ public:
+  static Dfa FromNfa(const Nfa& nfa);
+
+  int start() const { return 0; }
+  /// -1 is the reject (dead) result.
+  int Next(int state, int symbol) const {
+    if (state < 0 || symbol < 0) return -1;
+    return table_[static_cast<size_t>(state) * num_symbols_ +
+                  static_cast<size_t>(symbol)];
+  }
+  bool IsAccepting(int state) const {
+    return state >= 0 && accepting_[state];
+  }
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  int num_symbols() const { return num_symbols_; }
+
+  /// Runs the whole `sequence` of symbol ids; false on any dead step.
+  bool Accepts(const std::vector<int>& sequence) const;
+
+ private:
+  size_t num_symbols_ = 0;
+  std::vector<int> table_;
+  std::vector<bool> accepting_;
+};
+
+/// Decides *potential validity* (Iacob, Dekhtyar & Dekhtyar, WebDB 2004):
+/// whether a child sequence observed in a partially tagged document can be
+/// extended — by inserting further elements anywhere — into a word of the
+/// content model's language. Equivalently: is the sequence a subsequence
+/// of some accepted word?
+///
+/// Implementation: simulate the Glushkov NFA closed under "skip" steps.
+/// `closure(S)` is the set of states reachable from S via any number of
+/// transitions (the inserted elements); between closures we take one real
+/// transition per observed symbol.
+class SubsequenceChecker {
+ public:
+  explicit SubsequenceChecker(const Nfa& nfa);
+
+  /// True iff `symbol_ids` (possibly with ids of -1 for names outside the
+  /// alphabet, which are never completable) is a subsequence of a word in
+  /// the language.
+  bool IsPotentiallyValid(const std::vector<int>& symbol_ids) const;
+
+  /// Convenience overload mapping names through the NFA alphabet.
+  bool IsPotentiallyValid(const Nfa& nfa,
+                          const std::vector<std::string>& names) const;
+
+ private:
+  using StateSet = std::vector<uint64_t>;
+
+  StateSet EmptySet() const;
+  void Close(StateSet* set) const;
+  bool AnyAccepting(const StateSet& set) const;
+
+  int num_states_;
+  bool any_;
+  std::vector<bool> accepting_;
+  /// reach_[q] = bitset of states reachable from q in >= 0 transitions.
+  std::vector<StateSet> reach_;
+  /// by_symbol_[a][q] = bitset of targets of q's transitions labelled a.
+  std::vector<std::vector<StateSet>> by_symbol_;
+};
+
+}  // namespace cxml::dtd
+
+#endif  // CXML_DTD_AUTOMATA_H_

@@ -1,0 +1,269 @@
+#include "dtd/content_model.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "xml/chars.h"
+
+namespace cxml::dtd {
+
+namespace {
+
+/// Recursive-descent parser for the element-content grammar:
+///   cp       ::= (name | choice | seq) ('?' | '*' | '+')?
+///   choice   ::= '(' cp ('|' cp)+ ')'
+///   seq      ::= '(' cp (',' cp)* ')'
+class CmParser {
+ public:
+  explicit CmParser(std::string_view input) : input_(input) {}
+
+  Result<CmNode> Parse() {
+    SkipSpace();
+    CXML_ASSIGN_OR_RETURN(CmNode node, ParseCp());
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return status::ParseError(
+          StrCat("trailing characters in content model: '",
+                 input_.substr(pos_), "'"));
+    }
+    return node;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() && xml::IsSpace(input_[pos_])) ++pos_;
+  }
+
+  bool ConsumeIf(char c) {
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<CmNode> ParseCp() {
+    SkipSpace();
+    CmNode base;
+    if (ConsumeIf('(')) {
+      CXML_ASSIGN_OR_RETURN(base, ParseGroupBody());
+    } else {
+      CXML_ASSIGN_OR_RETURN(std::string name, ParseName());
+      base = CmNode::Name(std::move(name));
+    }
+    if (ConsumeIf('?')) return CmNode::Unary(CmOp::kOpt, std::move(base));
+    if (ConsumeIf('*')) return CmNode::Unary(CmOp::kStar, std::move(base));
+    if (ConsumeIf('+')) return CmNode::Unary(CmOp::kPlus, std::move(base));
+    return base;
+  }
+
+  /// Called after '(' was consumed; consumes through the matching ')'.
+  Result<CmNode> ParseGroupBody() {
+    std::vector<CmNode> items;
+    CXML_ASSIGN_OR_RETURN(CmNode first, ParseCp());
+    items.push_back(std::move(first));
+    SkipSpace();
+    char sep = '\0';
+    while (!ConsumeIf(')')) {
+      char c = pos_ < input_.size() ? input_[pos_] : '\0';
+      if (c != '|' && c != ',') {
+        return status::ParseError(
+            "expected '|', ',' or ')' in content model group");
+      }
+      if (sep == '\0') {
+        sep = c;
+      } else if (sep != c) {
+        return status::ParseError(
+            "content model group mixes ',' and '|' separators");
+      }
+      ++pos_;
+      CXML_ASSIGN_OR_RETURN(CmNode item, ParseCp());
+      items.push_back(std::move(item));
+      SkipSpace();
+    }
+    if (items.size() == 1) return std::move(items[0]);
+    return sep == '|' ? CmNode::Choice(std::move(items))
+                      : CmNode::Seq(std::move(items));
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    size_t begin = pos_;
+    while (pos_ < input_.size() && !xml::IsSpace(input_[pos_]) &&
+           input_[pos_] != '(' && input_[pos_] != ')' && input_[pos_] != '|' &&
+           input_[pos_] != ',' && input_[pos_] != '?' && input_[pos_] != '*' &&
+           input_[pos_] != '+') {
+      ++pos_;
+    }
+    std::string name(input_.substr(begin, pos_ - begin));
+    if (!xml::IsValidName(name)) {
+      return status::ParseError(
+          StrCat("invalid name in content model: '", name, "'"));
+    }
+    return name;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+void AppendCm(const CmNode& node, std::string* out) {
+  switch (node.op) {
+    case CmOp::kName:
+      out->append(node.name);
+      break;
+    case CmOp::kSeq:
+    case CmOp::kChoice: {
+      out->push_back('(');
+      const char* sep = node.op == CmOp::kSeq ? "," : "|";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out->append(sep);
+        AppendCm(node.children[i], out);
+      }
+      out->push_back(')');
+      break;
+    }
+    case CmOp::kOpt:
+    case CmOp::kStar:
+    case CmOp::kPlus: {
+      const CmNode& child = node.children.front();
+      // Parenthesise non-atomic operands so the output re-parses.
+      if (child.op == CmOp::kName) {
+        AppendCm(child, out);
+      } else if (child.op == CmOp::kSeq || child.op == CmOp::kChoice) {
+        AppendCm(child, out);  // already parenthesised
+      } else {
+        out->push_back('(');
+        AppendCm(child, out);
+        out->push_back(')');
+      }
+      out->push_back(node.op == CmOp::kOpt    ? '?'
+                     : node.op == CmOp::kStar ? '*'
+                                              : '+');
+      break;
+    }
+  }
+}
+
+void CollectNames(const CmNode& node, std::set<std::string>* out) {
+  if (node.op == CmOp::kName) {
+    out->insert(node.name);
+    return;
+  }
+  for (const CmNode& child : node.children) CollectNames(child, out);
+}
+
+}  // namespace
+
+std::string ContentModel::ToString() const {
+  switch (kind) {
+    case ContentKind::kEmpty:
+      return "EMPTY";
+    case ContentKind::kAny:
+      return "ANY";
+    case ContentKind::kMixed: {
+      if (mixed_names.empty()) return "(#PCDATA)";
+      std::string out = "(#PCDATA";
+      for (const auto& n : mixed_names) {
+        out += '|';
+        out += n;
+      }
+      out += ")*";
+      return out;
+    }
+    case ContentKind::kChildren: {
+      std::string out;
+      // Top level of element content is always a parenthesised group.
+      if (expr.op == CmOp::kName || expr.op == CmOp::kOpt ||
+          expr.op == CmOp::kStar || expr.op == CmOp::kPlus) {
+        out.push_back('(');
+        AppendCm(expr, &out);
+        out.push_back(')');
+      } else {
+        AppendCm(expr, &out);
+      }
+      return out;
+    }
+  }
+  return "ANY";
+}
+
+std::vector<std::string> ContentModel::ReferencedNames() const {
+  std::set<std::string> names;
+  if (kind == ContentKind::kMixed) {
+    names.insert(mixed_names.begin(), mixed_names.end());
+  } else if (kind == ContentKind::kChildren) {
+    CollectNames(expr, &names);
+  }
+  return {names.begin(), names.end()};
+}
+
+Result<ContentModel> ParseContentModel(std::string_view spec) {
+  std::string_view s = StripWhitespace(spec);
+  ContentModel model;
+  if (s == "EMPTY") {
+    model.kind = ContentKind::kEmpty;
+    return model;
+  }
+  if (s == "ANY") {
+    model.kind = ContentKind::kAny;
+    return model;
+  }
+  if (s.empty() || s.front() != '(') {
+    return status::ParseError(
+        StrCat("content model must be EMPTY, ANY or a group: '",
+               std::string(s), "'"));
+  }
+
+  // Mixed content: ( #PCDATA ... .
+  size_t after_paren = 1;
+  while (after_paren < s.size() && xml::IsSpace(s[after_paren])) ++after_paren;
+  if (s.substr(after_paren, 7) == "#PCDATA") {
+    model.kind = ContentKind::kMixed;
+    size_t i = after_paren + 7;
+    while (true) {
+      while (i < s.size() && xml::IsSpace(s[i])) ++i;
+      if (i >= s.size()) {
+        return status::ParseError("unterminated mixed content model");
+      }
+      if (s[i] == ')') {
+        ++i;
+        break;
+      }
+      if (s[i] != '|') {
+        return status::ParseError(
+            "expected '|' or ')' in mixed content model");
+      }
+      ++i;
+      while (i < s.size() && xml::IsSpace(s[i])) ++i;
+      size_t name_begin = i;
+      while (i < s.size() && !xml::IsSpace(s[i]) && s[i] != '|' &&
+             s[i] != ')') {
+        ++i;
+      }
+      std::string name(s.substr(name_begin, i - name_begin));
+      if (!xml::IsValidName(name)) {
+        return status::ParseError(
+            StrCat("invalid name in mixed content: '", name, "'"));
+      }
+      model.mixed_names.push_back(std::move(name));
+    }
+    // XML requires the trailing '*' whenever names are listed.
+    std::string_view rest = StripWhitespace(s.substr(i));
+    if (!model.mixed_names.empty() && rest != "*") {
+      return status::ParseError(
+          "mixed content with names must end with ')*'");
+    }
+    if (model.mixed_names.empty() && !(rest.empty() || rest == "*")) {
+      return status::ParseError("trailing characters after (#PCDATA)");
+    }
+    return model;
+  }
+
+  model.kind = ContentKind::kChildren;
+  CmParser parser(s);
+  CXML_ASSIGN_OR_RETURN(model.expr, parser.Parse());
+  return model;
+}
+
+}  // namespace cxml::dtd

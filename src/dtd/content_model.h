@@ -1,0 +1,95 @@
+#ifndef CXML_DTD_CONTENT_MODEL_H_
+#define CXML_DTD_CONTENT_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cxml::dtd {
+
+/// Top-level kinds of a DTD content specification.
+enum class ContentKind {
+  /// `EMPTY` — no children, no character data.
+  kEmpty,
+  /// `ANY` — any declared elements and character data.
+  kAny,
+  /// `(#PCDATA | a | b)*` — mixed content.
+  kMixed,
+  /// `(a, (b|c)*, d?)` — element content (a regular expression over names).
+  kChildren,
+};
+
+/// Operators of the element-content regular expression AST.
+enum class CmOp {
+  kName,    ///< a single element name
+  kSeq,     ///< `,` sequence (n-ary)
+  kChoice,  ///< `|` alternation (n-ary)
+  kOpt,     ///< `?`
+  kStar,    ///< `*`
+  kPlus,    ///< `+`
+};
+
+/// A node of the content-model expression tree.
+struct CmNode {
+  CmOp op = CmOp::kName;
+  std::string name;              ///< for kName
+  std::vector<CmNode> children;  ///< operands (1 for kOpt/kStar/kPlus)
+
+  static CmNode Name(std::string n) {
+    CmNode node;
+    node.op = CmOp::kName;
+    node.name = std::move(n);
+    return node;
+  }
+  static CmNode Seq(std::vector<CmNode> kids) {
+    CmNode node;
+    node.op = CmOp::kSeq;
+    node.children = std::move(kids);
+    return node;
+  }
+  static CmNode Choice(std::vector<CmNode> kids) {
+    CmNode node;
+    node.op = CmOp::kChoice;
+    node.children = std::move(kids);
+    return node;
+  }
+  static CmNode Unary(CmOp op, CmNode child) {
+    CmNode node;
+    node.op = op;
+    node.children.push_back(std::move(child));
+    return node;
+  }
+};
+
+/// A parsed content specification.
+struct ContentModel {
+  ContentKind kind = ContentKind::kAny;
+  /// Expression tree, meaningful for kChildren.
+  CmNode expr;
+  /// Allowed child element names, meaningful for kMixed (may be empty for
+  /// pure `(#PCDATA)`).
+  std::vector<std::string> mixed_names;
+
+  /// True when character data is permitted among children.
+  bool AllowsText() const {
+    return kind == ContentKind::kMixed || kind == ContentKind::kAny;
+  }
+
+  /// Round-trips to DTD source syntax, e.g. `(a,(b|c)*,d?)`.
+  std::string ToString() const;
+
+  /// All element names referenced by this model.
+  std::vector<std::string> ReferencedNames() const;
+};
+
+/// Parses the content-specification part of an `<!ELEMENT ...>` declaration
+/// (the text after the element name), e.g. `EMPTY`, `ANY`,
+/// `(#PCDATA|w)*`, `(line+, colophon?)`.
+Result<ContentModel> ParseContentModel(std::string_view spec);
+
+}  // namespace cxml::dtd
+
+#endif  // CXML_DTD_CONTENT_MODEL_H_

@@ -1,0 +1,168 @@
+#include "dtd/dtd.h"
+
+#include "common/strings.h"
+#include "xml/chars.h"
+
+namespace cxml::dtd {
+
+Status Dtd::AddElement(ElementDecl decl) {
+  auto it = elements_.find(decl.name);
+  if (it != elements_.end()) {
+    auto pending = attlist_only_.find(decl.name);
+    if (pending == attlist_only_.end()) {
+      return status::ValidationError(
+          StrCat("element '", decl.name, "' declared twice"));
+    }
+    // The element existed only to hold early ATTLIST entries; adopt them.
+    decl.attributes.insert(decl.attributes.end(),
+                           it->second.attributes.begin(),
+                           it->second.attributes.end());
+    attlist_only_.erase(pending);
+    it->second = std::move(decl);
+    return Status::Ok();
+  }
+  std::string name = decl.name;
+  elements_.emplace(std::move(name), std::move(decl));
+  return Status::Ok();
+}
+
+Status Dtd::AddAttList(const std::string& element_name,
+                       std::vector<AttDef> attributes) {
+  auto it = elements_.find(element_name);
+  if (it == elements_.end()) {
+    ElementDecl pending;
+    pending.name = element_name;
+    pending.model.kind = ContentKind::kAny;
+    pending.attributes = std::move(attributes);
+    elements_.emplace(element_name, std::move(pending));
+    attlist_only_.emplace(element_name, true);
+    return Status::Ok();
+  }
+  for (auto& att : attributes) {
+    // XML 1.0: the first declaration of an attribute is binding; later
+    // re-declarations are ignored.
+    if (it->second.FindAttribute(att.name) == nullptr) {
+      it->second.attributes.push_back(std::move(att));
+    }
+  }
+  return Status::Ok();
+}
+
+void Dtd::AddEntity(std::string name, std::string value) {
+  // First declaration wins, as per XML 1.0.
+  entities_.emplace(std::move(name), std::move(value));
+}
+
+const ElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Dtd::ElementNames() const {
+  std::vector<std::string> names;
+  names.reserve(elements_.size());
+  for (const auto& [name, decl] : elements_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+const char* AttTypeToString(AttType type) {
+  switch (type) {
+    case AttType::kCData:
+      return "CDATA";
+    case AttType::kId:
+      return "ID";
+    case AttType::kIdRef:
+      return "IDREF";
+    case AttType::kIdRefs:
+      return "IDREFS";
+    case AttType::kNmToken:
+      return "NMTOKEN";
+    case AttType::kNmTokens:
+      return "NMTOKENS";
+    case AttType::kEntity:
+      return "ENTITY";
+    case AttType::kEntities:
+      return "ENTITIES";
+    case AttType::kNotation:
+      return "NOTATION";
+    case AttType::kEnumeration:
+      return "";  // rendered as the enumeration itself
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string Dtd::ToString() const {
+  std::string out;
+  for (const auto& [name, decl] : elements_) {
+    out += StrCat("<!ELEMENT ", name, " ", decl.model.ToString());
+    out += ">\n";
+    if (!decl.attributes.empty()) {
+      out += StrCat("<!ATTLIST ", name);
+      for (const auto& att : decl.attributes) {
+        out += StrCat("\n  ", att.name, " ");
+        if (att.type == AttType::kEnumeration) {
+          out += '(';
+          for (size_t i = 0; i < att.enum_values.size(); ++i) {
+            if (i > 0) out += '|';
+            out += att.enum_values[i];
+          }
+          out += ')';
+        } else {
+          out += AttTypeToString(att.type);
+        }
+        switch (att.deflt) {
+          case AttDefault::kRequired:
+            out += " #REQUIRED";
+            break;
+          case AttDefault::kImplied:
+            out += " #IMPLIED";
+            break;
+          case AttDefault::kFixed:
+            out += StrCat(" #FIXED \"", att.default_value, "\"");
+            break;
+          case AttDefault::kValue:
+            out += StrCat(" \"", att.default_value, "\"");
+            break;
+        }
+      }
+      out += ">\n";
+    }
+  }
+  for (const auto& [name, value] : entities_) {
+    out += StrCat("<!ENTITY ", name, " \"");
+    out += StrCat(value, "\">\n");
+  }
+  return out;
+}
+
+Result<CompiledDtd> CompiledDtd::Compile(const Dtd& dtd) {
+  CompiledDtd compiled;
+  compiled.dtd_ = &dtd;
+  for (const auto& [name, decl] : dtd.elements()) {
+    ElementAutomata ea;
+    ea.decl = &decl;
+    ea.nfa = Nfa::FromContentModel(decl.model);
+    if (!ea.nfa.IsDeterministic()) {
+      return status::ValidationError(
+          StrCat("content model of element '", name,
+                 "' is not deterministic (XML 1.0 constraint): ",
+                 decl.model.ToString()));
+    }
+    ea.dfa = Dfa::FromNfa(ea.nfa);
+    ea.subsequence = std::make_unique<SubsequenceChecker>(ea.nfa);
+    compiled.automata_.emplace(name, std::move(ea));
+  }
+  return compiled;
+}
+
+const CompiledDtd::ElementAutomata* CompiledDtd::Find(
+    std::string_view element_name) const {
+  auto it = automata_.find(element_name);
+  return it == automata_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cxml::dtd

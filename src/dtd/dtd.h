@@ -1,0 +1,131 @@
+#ifndef CXML_DTD_DTD_H_
+#define CXML_DTD_DTD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/automata.h"
+#include "dtd/content_model.h"
+
+namespace cxml::dtd {
+
+/// DTD attribute types (XML 1.0 §3.3.1).
+enum class AttType {
+  kCData,
+  kId,
+  kIdRef,
+  kIdRefs,
+  kNmToken,
+  kNmTokens,
+  kEnumeration,
+  kEntity,
+  kEntities,
+  kNotation,
+};
+
+/// DTD attribute default kinds.
+enum class AttDefault {
+  kRequired,  ///< #REQUIRED
+  kImplied,   ///< #IMPLIED
+  kFixed,     ///< #FIXED "value"
+  kValue,     ///< "value"
+};
+
+/// One attribute definition from an `<!ATTLIST>` declaration.
+struct AttDef {
+  std::string name;
+  AttType type = AttType::kCData;
+  AttDefault deflt = AttDefault::kImplied;
+  std::string default_value;
+  std::vector<std::string> enum_values;  ///< for kEnumeration / kNotation
+};
+
+/// One `<!ELEMENT>` declaration plus its accumulated `<!ATTLIST>` entries.
+struct ElementDecl {
+  std::string name;
+  ContentModel model;
+  std::vector<AttDef> attributes;
+
+  const AttDef* FindAttribute(std::string_view attr_name) const {
+    for (const auto& a : attributes) {
+      if (a.name == attr_name) return &a;
+    }
+    return nullptr;
+  }
+};
+
+/// A parsed Document Type Definition: the markup vocabulary of one
+/// hierarchy in the paper's model ("a concurrent markup hierarchy is a
+/// collection of DTD elements that are not in conflict with each other").
+class Dtd {
+ public:
+  /// Adds a declaration; duplicate element names are an error per XML 1.0.
+  Status AddElement(ElementDecl decl);
+  /// Merges attribute definitions into an existing (or pending) element.
+  /// XML allows ATTLIST before ELEMENT, so unknown elements are created
+  /// with an implicit ANY model that a later ELEMENT declaration refines.
+  Status AddAttList(const std::string& element_name,
+                    std::vector<AttDef> attributes);
+  void AddEntity(std::string name, std::string value);
+
+  const ElementDecl* FindElement(std::string_view name) const;
+  bool HasElement(std::string_view name) const {
+    return FindElement(name) != nullptr;
+  }
+  const std::map<std::string, ElementDecl, std::less<>>& elements() const {
+    return elements_;
+  }
+  const std::map<std::string, std::string>& entities() const {
+    return entities_;
+  }
+
+  /// All declared element names (sorted).
+  std::vector<std::string> ElementNames() const;
+
+  /// Serialises back to DTD source text (one declaration per line).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, ElementDecl, std::less<>> elements_;
+  /// Elements seen only via ATTLIST; must be declared before validation.
+  std::map<std::string, bool, std::less<>> attlist_only_;
+  std::map<std::string, std::string> entities_;
+};
+
+/// Compiled automata for every element of a DTD, shared by the strict
+/// validator and the editor's prevalidation. Build once, query often.
+class CompiledDtd {
+ public:
+  /// Compiles all content models. Reports non-deterministic content models
+  /// (XML 1.0 determinism constraint) as ValidationError.
+  static Result<CompiledDtd> Compile(const Dtd& dtd);
+
+  struct ElementAutomata {
+    const ElementDecl* decl = nullptr;
+    Nfa nfa;
+    Dfa dfa;
+    std::unique_ptr<SubsequenceChecker> subsequence;
+  };
+
+  const ElementAutomata* Find(std::string_view element_name) const;
+  const Dtd& dtd() const { return *dtd_; }
+
+ private:
+  const Dtd* dtd_ = nullptr;
+  std::map<std::string, ElementAutomata, std::less<>> automata_;
+};
+
+/// Parses DTD source text: a sequence of `<!ELEMENT>`, `<!ATTLIST>`,
+/// `<!ENTITY>` declarations, comments and PIs (the syntax of an internal
+/// subset or a standalone .dtd file). Parameter entities and conditional
+/// sections are out of scope (documented limitation) and reported as
+/// Unimplemented.
+Result<Dtd> ParseDtd(std::string_view input);
+
+}  // namespace cxml::dtd
+
+#endif  // CXML_DTD_DTD_H_

@@ -1,0 +1,262 @@
+#include "common/strings.h"
+#include "common/unicode.h"
+#include "dtd/dtd.h"
+#include "xml/chars.h"
+
+namespace cxml::dtd {
+
+namespace {
+
+/// Scanner over DTD declaration text (internal subset or .dtd content).
+class DtdScanner {
+ public:
+  explicit DtdScanner(std::string_view input) : input_(input) {}
+
+  Result<Dtd> Parse() {
+    Dtd dtd;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= input_.size()) break;
+      if (Consume("<!--")) {
+        CXML_RETURN_IF_ERROR(SkipUntil("-->", "comment"));
+      } else if (Consume("<?")) {
+        CXML_RETURN_IF_ERROR(SkipUntil("?>", "processing instruction"));
+      } else if (Consume("<!ELEMENT")) {
+        CXML_RETURN_IF_ERROR(ParseElement(&dtd));
+      } else if (Consume("<!ATTLIST")) {
+        CXML_RETURN_IF_ERROR(ParseAttList(&dtd));
+      } else if (Consume("<!ENTITY")) {
+        CXML_RETURN_IF_ERROR(ParseEntity(&dtd));
+      } else if (Consume("<!NOTATION")) {
+        CXML_RETURN_IF_ERROR(SkipUntil(">", "NOTATION declaration"));
+      } else if (Peek() == '%') {
+        return status::Unimplemented(
+            "parameter entities are not supported by this framework");
+      } else if (Consume("<![")) {
+        return status::Unimplemented(
+            "conditional sections are not supported by this framework");
+      } else {
+        return status::ParseError(StrCat("unexpected DTD content: '",
+                                         input_.substr(pos_, 20), "'"));
+      }
+    }
+    return dtd;
+  }
+
+ private:
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() && xml::IsSpace(input_[pos_])) ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status SkipUntil(std::string_view token, std::string_view what) {
+    size_t found = input_.find(token, pos_);
+    if (found == std::string_view::npos) {
+      return status::ParseError(StrCat("unterminated ", what, " in DTD"));
+    }
+    pos_ = found + token.size();
+    return Status::Ok();
+  }
+
+  Result<std::string> ScanName() {
+    SkipSpace();
+    size_t begin = pos_;
+    while (pos_ < input_.size()) {
+      DecodedChar d = DecodeUtf8(input_, pos_);
+      if (!d.valid()) break;
+      if (begin == pos_ ? !xml::IsNameStartChar(d.code_point)
+                        : !xml::IsNameChar(d.code_point)) {
+        break;
+      }
+      pos_ += d.length;
+    }
+    if (pos_ == begin) {
+      return status::ParseError(
+          StrCat("expected name in DTD declaration near '",
+                 input_.substr(begin, 20), "'"));
+    }
+    return std::string(input_.substr(begin, pos_ - begin));
+  }
+
+  Result<std::string> ScanQuoted() {
+    SkipSpace();
+    if (Peek() != '"' && Peek() != '\'') {
+      return status::ParseError("expected quoted literal in DTD");
+    }
+    char quote = input_[pos_++];
+    size_t begin = pos_;
+    size_t end = input_.find(quote, pos_);
+    if (end == std::string_view::npos) {
+      return status::ParseError("unterminated literal in DTD");
+    }
+    pos_ = end + 1;
+    return std::string(input_.substr(begin, end - begin));
+  }
+
+  Status ParseElement(Dtd* dtd) {
+    CXML_ASSIGN_OR_RETURN(std::string name, ScanName());
+    SkipSpace();
+    size_t spec_begin = pos_;
+    size_t gt = input_.find('>', pos_);
+    if (gt == std::string_view::npos) {
+      return status::ParseError(
+          StrCat("unterminated ELEMENT declaration for '", name, "'"));
+    }
+    std::string_view spec = input_.substr(spec_begin, gt - spec_begin);
+    pos_ = gt + 1;
+    auto model = ParseContentModel(spec);
+    if (!model.ok()) {
+      return model.status().WithContext(
+          StrCat("in ELEMENT declaration for '", name, "'"));
+    }
+    ElementDecl decl;
+    decl.name = std::move(name);
+    decl.model = std::move(model).value();
+    return dtd->AddElement(std::move(decl));
+  }
+
+  Result<AttDef> ParseAttDef() {
+    AttDef def;
+    CXML_ASSIGN_OR_RETURN(def.name, ScanName());
+    SkipSpace();
+    if (Peek() == '(') {
+      // Enumeration: (tok1 | tok2 | ...).
+      ++pos_;
+      def.type = AttType::kEnumeration;
+      while (true) {
+        CXML_ASSIGN_OR_RETURN(std::string tok, ScanName());
+        def.enum_values.push_back(std::move(tok));
+        SkipSpace();
+        if (Peek() == '|') {
+          ++pos_;
+          continue;
+        }
+        if (Peek() == ')') {
+          ++pos_;
+          break;
+        }
+        return status::ParseError("expected '|' or ')' in enumeration");
+      }
+    } else {
+      CXML_ASSIGN_OR_RETURN(std::string type_name, ScanName());
+      if (type_name == "CDATA") {
+        def.type = AttType::kCData;
+      } else if (type_name == "ID") {
+        def.type = AttType::kId;
+      } else if (type_name == "IDREF") {
+        def.type = AttType::kIdRef;
+      } else if (type_name == "IDREFS") {
+        def.type = AttType::kIdRefs;
+      } else if (type_name == "NMTOKEN") {
+        def.type = AttType::kNmToken;
+      } else if (type_name == "NMTOKENS") {
+        def.type = AttType::kNmTokens;
+      } else if (type_name == "ENTITY") {
+        def.type = AttType::kEntity;
+      } else if (type_name == "ENTITIES") {
+        def.type = AttType::kEntities;
+      } else if (type_name == "NOTATION") {
+        def.type = AttType::kNotation;
+        SkipSpace();
+        if (Peek() != '(') {
+          return status::ParseError("NOTATION type requires an enumeration");
+        }
+        ++pos_;
+        while (true) {
+          CXML_ASSIGN_OR_RETURN(std::string tok, ScanName());
+          def.enum_values.push_back(std::move(tok));
+          SkipSpace();
+          if (Peek() == '|') {
+            ++pos_;
+            continue;
+          }
+          if (Peek() == ')') {
+            ++pos_;
+            break;
+          }
+          return status::ParseError("expected '|' or ')' in NOTATION list");
+        }
+      } else {
+        return status::ParseError(
+            StrCat("unknown attribute type '", type_name, "'"));
+      }
+    }
+    SkipSpace();
+    if (Consume("#REQUIRED")) {
+      def.deflt = AttDefault::kRequired;
+    } else if (Consume("#IMPLIED")) {
+      def.deflt = AttDefault::kImplied;
+    } else if (Consume("#FIXED")) {
+      def.deflt = AttDefault::kFixed;
+      CXML_ASSIGN_OR_RETURN(def.default_value, ScanQuoted());
+    } else {
+      def.deflt = AttDefault::kValue;
+      CXML_ASSIGN_OR_RETURN(def.default_value, ScanQuoted());
+    }
+    return def;
+  }
+
+  Status ParseAttList(Dtd* dtd) {
+    CXML_ASSIGN_OR_RETURN(std::string element_name, ScanName());
+    std::vector<AttDef> defs;
+    while (true) {
+      SkipSpace();
+      if (Peek() == '>') {
+        ++pos_;
+        break;
+      }
+      if (pos_ >= input_.size()) {
+        return status::ParseError(
+            StrCat("unterminated ATTLIST for '", element_name, "'"));
+      }
+      CXML_ASSIGN_OR_RETURN(AttDef def, ParseAttDef());
+      defs.push_back(std::move(def));
+    }
+    return dtd->AddAttList(element_name, std::move(defs));
+  }
+
+  Status ParseEntity(Dtd* dtd) {
+    SkipSpace();
+    if (Peek() == '%') {
+      return status::Unimplemented(
+          "parameter entities are not supported by this framework");
+    }
+    CXML_ASSIGN_OR_RETURN(std::string name, ScanName());
+    SkipSpace();
+    if (Peek() == '"' || Peek() == '\'') {
+      CXML_ASSIGN_OR_RETURN(std::string value, ScanQuoted());
+      dtd->AddEntity(std::move(name), std::move(value));
+    } else {
+      // External entity (SYSTEM/PUBLIC): recorded as unavailable.
+      return status::Unimplemented(
+          StrCat("external entity '", name,
+                 "' requires fetching, which this framework does not do"));
+    }
+    SkipSpace();
+    if (!Consume(">")) {
+      return status::ParseError("expected '>' closing ENTITY declaration");
+    }
+    return Status::Ok();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view input) {
+  DtdScanner scanner(input);
+  return scanner.Parse();
+}
+
+}  // namespace cxml::dtd

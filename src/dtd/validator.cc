@@ -1,0 +1,295 @@
+#include "dtd/validator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "common/unicode.h"
+#include "xml/chars.h"
+
+namespace cxml::dtd {
+
+const char* ValidationIssueKindToString(ValidationIssue::Kind kind) {
+  switch (kind) {
+    case ValidationIssue::Kind::kUndeclaredElement:
+      return "UndeclaredElement";
+    case ValidationIssue::Kind::kContentModelViolation:
+      return "ContentModelViolation";
+    case ValidationIssue::Kind::kUnexpectedText:
+      return "UnexpectedText";
+    case ValidationIssue::Kind::kUndeclaredAttribute:
+      return "UndeclaredAttribute";
+    case ValidationIssue::Kind::kMissingRequiredAttribute:
+      return "MissingRequiredAttribute";
+    case ValidationIssue::Kind::kBadAttributeValue:
+      return "BadAttributeValue";
+    case ValidationIssue::Kind::kDuplicateId:
+      return "DuplicateId";
+    case ValidationIssue::Kind::kUnresolvedIdRef:
+      return "UnresolvedIdRef";
+    case ValidationIssue::Kind::kRootMismatch:
+      return "RootMismatch";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+bool IsNmToken(std::string_view value) {
+  if (value.empty()) return false;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    DecodedChar d = DecodeUtf8(value, pos);
+    if (!d.valid() || !xml::IsNameChar(d.code_point)) return false;
+    pos += d.length;
+  }
+  return true;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view value) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < value.size()) {
+    while (i < value.size() && value[i] == ' ') ++i;
+    size_t begin = i;
+    while (i < value.size() && value[i] != ' ') ++i;
+    if (i > begin) tokens.push_back(value.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+void DtdValidator::ValidateElement(
+    const dom::Element& el, std::vector<ValidationIssue>* issues,
+    std::vector<std::pair<std::string, const dom::Element*>>* ids,
+    std::vector<std::pair<std::string, const dom::Element*>>* idrefs) const {
+  const CompiledDtd::ElementAutomata* ea = compiled_->Find(el.tag());
+  if (ea == nullptr) {
+    issues->push_back({ValidationIssue::Kind::kUndeclaredElement,
+                       StrCat("element '", el.tag(), "' is not declared"),
+                       &el});
+    // Still recurse so nested issues surface in one pass.
+    for (const dom::Node* child : el.children()) {
+      if (child->is_element()) {
+        ValidateElement(static_cast<const dom::Element&>(*child), issues, ids,
+                        idrefs);
+      }
+    }
+    return;
+  }
+  const ElementDecl& decl = *ea->decl;
+
+  // ---- content ----
+  const ContentModel& model = decl.model;
+  switch (model.kind) {
+    case ContentKind::kEmpty: {
+      if (!el.children().empty()) {
+        issues->push_back({ValidationIssue::Kind::kContentModelViolation,
+                           StrCat("element '", el.tag(),
+                                  "' is declared EMPTY but has content"),
+                           &el});
+      }
+      break;
+    }
+    case ContentKind::kAny: {
+      // Children must merely be declared; checked on recursion.
+      break;
+    }
+    case ContentKind::kMixed: {
+      std::set<std::string_view> allowed(model.mixed_names.begin(),
+                                         model.mixed_names.end());
+      for (const dom::Node* child : el.children()) {
+        if (child->is_element()) {
+          const auto& c = static_cast<const dom::Element&>(*child);
+          if (allowed.find(c.tag()) == allowed.end()) {
+            issues->push_back(
+                {ValidationIssue::Kind::kContentModelViolation,
+                 StrCat("element '", c.tag(), "' not allowed in mixed ",
+                        "content of '", el.tag(), "'"),
+                 &el});
+          }
+        }
+      }
+      break;
+    }
+    case ContentKind::kChildren: {
+      std::vector<int> symbols;
+      bool bad_text = false;
+      for (const dom::Node* child : el.children()) {
+        if (child->is_element()) {
+          symbols.push_back(ea->nfa.FindSymbol(
+              static_cast<const dom::Element&>(*child).tag()));
+        } else if (child->is_text() && !bad_text) {
+          const auto& text = static_cast<const dom::Text&>(*child);
+          if (!IsAllWhitespace(text.text())) {
+            bad_text = true;
+            issues->push_back(
+                {ValidationIssue::Kind::kUnexpectedText,
+                 StrCat("character data not allowed in element content of '",
+                        el.tag(), "'"),
+                 &el});
+          }
+        }
+      }
+      if (!ea->dfa.Accepts(symbols)) {
+        std::string sequence;
+        for (const dom::Node* child : el.children()) {
+          if (child->is_element()) {
+            if (!sequence.empty()) sequence += ',';
+            sequence += static_cast<const dom::Element&>(*child).tag();
+          }
+        }
+        issues->push_back(
+            {ValidationIssue::Kind::kContentModelViolation,
+             StrCat("children (", sequence, ") of '", el.tag(),
+                    "' do not match content model ", model.ToString()),
+             &el});
+      }
+      break;
+    }
+  }
+
+  // ---- attributes ----
+  for (const auto& att : el.attributes()) {
+    const AttDef* def = decl.FindAttribute(att.name);
+    if (def == nullptr) {
+      // xml:* attributes are always permitted in this framework.
+      if (!StartsWith(att.name, "xml:")) {
+        issues->push_back({ValidationIssue::Kind::kUndeclaredAttribute,
+                           StrCat("attribute '", att.name,
+                                  "' of '", el.tag(), "' is not declared"),
+                           &el});
+      }
+      continue;
+    }
+    switch (def->type) {
+      case AttType::kId:
+        if (!xml::IsValidName(att.value)) {
+          issues->push_back({ValidationIssue::Kind::kBadAttributeValue,
+                             StrCat("ID attribute '", att.name,
+                                    "' has non-Name value '", att.value, "'"),
+                             &el});
+        } else {
+          ids->emplace_back(att.value, &el);
+        }
+        break;
+      case AttType::kIdRef:
+        idrefs->emplace_back(att.value, &el);
+        break;
+      case AttType::kIdRefs:
+        for (auto token : SplitTokens(att.value)) {
+          idrefs->emplace_back(std::string(token), &el);
+        }
+        break;
+      case AttType::kNmToken:
+        if (!IsNmToken(att.value)) {
+          issues->push_back({ValidationIssue::Kind::kBadAttributeValue,
+                             StrCat("attribute '", att.name,
+                                    "' must be an NMTOKEN, got '", att.value,
+                                    "'"),
+                             &el});
+        }
+        break;
+      case AttType::kNmTokens:
+        for (auto token : SplitTokens(att.value)) {
+          if (!IsNmToken(token)) {
+            issues->push_back({ValidationIssue::Kind::kBadAttributeValue,
+                               StrCat("attribute '", att.name,
+                                      "' contains a non-NMTOKEN '",
+                                      std::string(token), "'"),
+                               &el});
+          }
+        }
+        break;
+      case AttType::kEnumeration:
+      case AttType::kNotation: {
+        bool found = std::find(def->enum_values.begin(),
+                               def->enum_values.end(),
+                               att.value) != def->enum_values.end();
+        if (!found) {
+          issues->push_back({ValidationIssue::Kind::kBadAttributeValue,
+                             StrCat("attribute '", att.name, "' value '",
+                                    att.value, "' not in enumeration"),
+                             &el});
+        }
+        break;
+      }
+      case AttType::kCData:
+      case AttType::kEntity:
+      case AttType::kEntities:
+        break;
+    }
+    if (def->deflt == AttDefault::kFixed && att.value != def->default_value) {
+      issues->push_back({ValidationIssue::Kind::kBadAttributeValue,
+                         StrCat("attribute '", att.name, "' is #FIXED \"",
+                                def->default_value, "\" but has value \"",
+                                att.value, "\""),
+                         &el});
+    }
+  }
+  for (const auto& def : decl.attributes) {
+    if (def.deflt == AttDefault::kRequired && !el.HasAttribute(def.name)) {
+      issues->push_back({ValidationIssue::Kind::kMissingRequiredAttribute,
+                         StrCat("required attribute '", def.name,
+                                "' missing on '", el.tag(), "'"),
+                         &el});
+    }
+  }
+
+  for (const dom::Node* child : el.children()) {
+    if (child->is_element()) {
+      ValidateElement(static_cast<const dom::Element&>(*child), issues, ids,
+                      idrefs);
+    }
+  }
+}
+
+std::vector<ValidationIssue> DtdValidator::Validate(
+    const dom::Document& doc, std::string_view expected_root) const {
+  std::vector<ValidationIssue> issues;
+  const dom::Element* root = doc.root();
+  if (root == nullptr) {
+    issues.push_back({ValidationIssue::Kind::kRootMismatch,
+                      "document has no root element", nullptr});
+    return issues;
+  }
+  if (!expected_root.empty() && root->tag() != expected_root) {
+    issues.push_back({ValidationIssue::Kind::kRootMismatch,
+                      StrCat("root element is '", root->tag(),
+                             "', expected '", std::string(expected_root),
+                             "'"),
+                      root});
+  }
+  std::vector<std::pair<std::string, const dom::Element*>> ids;
+  std::vector<std::pair<std::string, const dom::Element*>> idrefs;
+  ValidateElement(*root, &issues, &ids, &idrefs);
+
+  std::set<std::string_view> id_set;
+  for (const auto& [id, el] : ids) {
+    if (!id_set.insert(id).second) {
+      issues.push_back({ValidationIssue::Kind::kDuplicateId,
+                        StrCat("duplicate ID '", id, "'"), el});
+    }
+  }
+  for (const auto& [ref, el] : idrefs) {
+    if (id_set.find(ref) == id_set.end()) {
+      issues.push_back({ValidationIssue::Kind::kUnresolvedIdRef,
+                        StrCat("IDREF '", ref, "' matches no ID"), el});
+    }
+  }
+  return issues;
+}
+
+Status DtdValidator::Check(const dom::Document& doc,
+                           std::string_view expected_root) const {
+  std::vector<ValidationIssue> issues = Validate(doc, expected_root);
+  if (issues.empty()) return Status::Ok();
+  std::string message = issues.front().message;
+  if (issues.size() > 1) {
+    message += StrFormat(" (and %zu more issues)", issues.size() - 1);
+  }
+  return status::ValidationError(std::move(message));
+}
+
+}  // namespace cxml::dtd

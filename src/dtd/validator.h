@@ -1,0 +1,67 @@
+#ifndef CXML_DTD_VALIDATOR_H_
+#define CXML_DTD_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dom/document.h"
+#include "dtd/dtd.h"
+
+namespace cxml::dtd {
+
+/// One validity violation found by the validator.
+struct ValidationIssue {
+  enum class Kind {
+    kUndeclaredElement,
+    kContentModelViolation,
+    kUnexpectedText,
+    kUndeclaredAttribute,
+    kMissingRequiredAttribute,
+    kBadAttributeValue,
+    kDuplicateId,
+    kUnresolvedIdRef,
+    kRootMismatch,
+  };
+  Kind kind;
+  std::string message;
+  /// Element at which the issue was detected (owned by the validated doc).
+  const dom::Element* element = nullptr;
+};
+
+const char* ValidationIssueKindToString(ValidationIssue::Kind kind);
+
+/// DTD validator over DOM trees. Used directly for single-hierarchy
+/// documents and, through the GODDAG per-hierarchy serialisation, for each
+/// hierarchy of a concurrent document.
+class DtdValidator {
+ public:
+  /// `compiled` must outlive the validator.
+  explicit DtdValidator(const CompiledDtd& compiled) : compiled_(&compiled) {}
+
+  /// Validates the whole document. Returns the issue list (empty = valid).
+  /// `expected_root`: when non-empty, the document element must match.
+  std::vector<ValidationIssue> Validate(const dom::Document& doc,
+                                        std::string_view expected_root = {})
+      const;
+
+  /// Convenience: Ok iff `Validate` returns no issues; otherwise a
+  /// ValidationError carrying the first few issues.
+  Status Check(const dom::Document& doc,
+               std::string_view expected_root = {}) const;
+
+ private:
+  void ValidateElement(const dom::Element& el,
+                       std::vector<ValidationIssue>* issues,
+                       std::vector<std::pair<std::string,
+                                             const dom::Element*>>* ids,
+                       std::vector<std::pair<std::string,
+                                             const dom::Element*>>* idrefs)
+      const;
+
+  const CompiledDtd* compiled_;
+};
+
+}  // namespace cxml::dtd
+
+#endif  // CXML_DTD_VALIDATOR_H_

@@ -1,0 +1,67 @@
+#include "edit/session.h"
+
+#include "common/strings.h"
+
+namespace cxml::edit {
+
+Result<EditSession> EditSession::Start(goddag::Goddag* g) {
+  CXML_ASSIGN_OR_RETURN(Editor editor, Editor::Create(g));
+  return EditSession(std::move(editor));
+}
+
+Status EditSession::Select(const Interval& chars) {
+  if (chars.end > goddag().content().size() || chars.begin > chars.end) {
+    return status::OutOfRange(StrFormat(
+        "selection [%zu,%zu) outside content of size %zu", chars.begin,
+        chars.end, goddag().content().size()));
+  }
+  selection_ = chars;
+  return Status::Ok();
+}
+
+Status EditSession::SelectText(std::string_view needle) {
+  size_t at = goddag().content().find(needle);
+  if (at == std::string::npos) {
+    return status::NotFound(
+        StrCat("text '", std::string(needle), "' not found in content"));
+  }
+  selection_ = Interval(at, at + needle.size());
+  return Status::Ok();
+}
+
+std::string_view EditSession::selected_text() const {
+  return std::string_view(goddag().content())
+      .substr(selection_.begin, selection_.length());
+}
+
+std::vector<std::string> EditSession::Menu(HierarchyId h) {
+  return editor_.ApplicableTags(h, selection_);
+}
+
+Result<NodeId> EditSession::Apply(HierarchyId h, std::string_view tag,
+                                  std::vector<xml::Attribute> attrs) {
+  InsertOp op;
+  op.hierarchy = h;
+  op.tag = std::string(tag);
+  op.attrs = std::move(attrs);
+  op.chars = selection_;
+  auto result = editor_.Insert(op);
+  const char* hierarchy_name =
+      goddag().cmh() != nullptr
+          ? goddag().cmh()->hierarchy(h).name.c_str()
+          : "?";
+  if (result.ok()) {
+    log_.push_back(StrFormat(
+        "applied <%s> (%s) over [%zu,%zu) \"%s\"", op.tag.c_str(),
+        hierarchy_name, selection_.begin, selection_.end,
+        std::string(selected_text()).c_str()));
+  } else {
+    log_.push_back(StrFormat(
+        "REJECTED <%s> (%s) over [%zu,%zu): %s", op.tag.c_str(),
+        hierarchy_name, selection_.begin, selection_.end,
+        result.status().message().c_str()));
+  }
+  return result;
+}
+
+}  // namespace cxml::edit

@@ -1,0 +1,53 @@
+#ifndef CXML_EDIT_SESSION_H_
+#define CXML_EDIT_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "edit/editor.h"
+
+namespace cxml::edit {
+
+/// The xTagger interaction model (paper §4: "xTagger allows users to
+/// select a document fragment and choose the appropriate markup for it"):
+/// a cursor/selection over the shared content plus the prevalidating
+/// editor. Examples and the authoring demo drive this type.
+class EditSession {
+ public:
+  static Result<EditSession> Start(goddag::Goddag* g);
+
+  EditSession(EditSession&&) = default;
+  EditSession& operator=(EditSession&&) = default;
+
+  const goddag::Goddag& goddag() const { return editor_.goddag(); }
+  Editor& editor() { return editor_; }
+
+  /// Selects a character range of the content.
+  Status Select(const Interval& chars);
+  /// Selects the first occurrence of `needle` in the content.
+  Status SelectText(std::string_view needle);
+  const Interval& selection() const { return selection_; }
+  std::string_view selected_text() const;
+
+  /// Markup applicable to the current selection in hierarchy `h`
+  /// (per-hierarchy "menu" of the authoring UI).
+  std::vector<std::string> Menu(HierarchyId h);
+
+  /// Applies a tag from hierarchy `h` to the selection.
+  Result<NodeId> Apply(HierarchyId h, std::string_view tag,
+                       std::vector<xml::Attribute> attrs = {});
+
+  /// Log of applied operations (human-readable, newest last).
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  explicit EditSession(Editor editor) : editor_(std::move(editor)) {}
+
+  Editor editor_;
+  Interval selection_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace cxml::edit
+
+#endif  // CXML_EDIT_SESSION_H_

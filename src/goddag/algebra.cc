@@ -1,0 +1,115 @@
+#include "goddag/algebra.h"
+
+#include <algorithm>
+
+namespace cxml::goddag {
+
+bool Overlaps(const Goddag& g, NodeId a, NodeId b) {
+  return g.char_range(a).Overlaps(g.char_range(b));
+}
+
+bool Contains(const Goddag& g, NodeId a, NodeId b) {
+  return g.char_range(a).Contains(g.char_range(b));
+}
+
+bool SameExtent(const Goddag& g, NodeId a, NodeId b) {
+  return g.char_range(a) == g.char_range(b);
+}
+
+std::vector<NodeId> OverlappingElements(const Goddag& g, NodeId node) {
+  ExtentIndex index(g);
+  std::vector<NodeId> out = index.Overlapping(g.char_range(node));
+  out.erase(std::remove(out.begin(), out.end(), node), out.end());
+  g.SortDocumentOrder(&out);
+  return out;
+}
+
+size_t OverlapDegree(const Goddag& g, NodeId node) {
+  return OverlappingElements(g, node).size();
+}
+
+std::vector<std::pair<NodeId, NodeId>> FindOverlappingPairs(
+    const Goddag& g, std::string_view tag_a, std::string_view tag_b) {
+  std::vector<NodeId> as = g.ElementsByTag(tag_a);
+  ExtentIndex b_index(g, tag_b);
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId a : as) {
+    for (NodeId b : b_index.Overlapping(g.char_range(a))) {
+      if (a != b) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> CoveringElements(const Goddag& g, NodeId leaf) {
+  std::vector<NodeId> out;
+  for (HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+    NodeId node = g.leaf_parent(leaf, h);
+    while (node != g.root() && node != kInvalidNode) {
+      out.push_back(node);
+      node = g.parent(node);
+    }
+  }
+  // Innermost-first: sort by extent length, then document order.
+  std::sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+    size_t la = g.char_range(a).length();
+    size_t lb = g.char_range(b).length();
+    if (la != lb) return la < lb;
+    return g.Before(a, b);
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+ExtentIndex::ExtentIndex(const Goddag& g, std::string_view tag) : g_(&g) {
+  std::vector<NodeId> elements =
+      tag.empty() ? g.AllElements() : g.ElementsByTag(tag);
+  by_begin_.reserve(elements.size());
+  for (NodeId node : elements) {
+    by_begin_.push_back({g.char_range(node), node});
+  }
+  std::sort(by_begin_.begin(), by_begin_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.chars.begin != b.chars.begin) {
+                return a.chars.begin < b.chars.begin;
+              }
+              return a.chars.end > b.chars.end;
+            });
+  max_end_.resize(by_begin_.size());
+  size_t running = 0;
+  for (size_t i = 0; i < by_begin_.size(); ++i) {
+    running = std::max(running, by_begin_[i].chars.end);
+    max_end_[i] = running;
+  }
+}
+
+std::vector<NodeId> ExtentIndex::Intersecting(const Interval& query) const {
+  std::vector<NodeId> out;
+  if (by_begin_.empty() || query.empty()) return out;
+  // Entries with begin >= query.end cannot intersect: binary search the
+  // upper bound, then scan left, cutting off once prefix max end <= begin.
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(by_begin_.begin(), by_begin_.end(), query.end - 1,
+                       [](size_t pos, const Entry& e) {
+                         return pos < e.chars.begin;
+                       }) -
+      by_begin_.begin());
+  for (size_t i = hi; i-- > 0;) {
+    if (max_end_[i] <= query.begin) break;  // nothing further intersects
+    if (by_begin_[i].chars.Intersects(query)) {
+      out.push_back(by_begin_[i].node);
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> ExtentIndex::Overlapping(const Interval& query) const {
+  std::vector<NodeId> out;
+  for (NodeId node : Intersecting(query)) {
+    if (g_->char_range(node).Overlaps(query)) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace cxml::goddag

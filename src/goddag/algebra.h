@@ -1,0 +1,75 @@
+#ifndef CXML_GODDAG_ALGEBRA_H_
+#define CXML_GODDAG_ALGEBRA_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "goddag/goddag.h"
+
+namespace cxml::goddag {
+
+/// The extent algebra over GODDAG nodes that powers the Extended XPath
+/// `overlapping` axis and the paper's "requests for overlapping content
+/// given two tags".
+///
+/// All relations are defined on character extents:
+///  * `Overlaps`  — proper overlap (non-empty intersection, no
+///    containment either way); the defining relation of concurrent markup.
+///  * `Contains`  — a's extent contains b's (possibly equal).
+///  * `SameExtent`— equal extents ("co-extensive markup").
+
+bool Overlaps(const Goddag& g, NodeId a, NodeId b);
+bool Contains(const Goddag& g, NodeId a, NodeId b);
+bool SameExtent(const Goddag& g, NodeId a, NodeId b);
+
+/// Elements (any hierarchy) properly overlapping `node`, document order.
+std::vector<NodeId> OverlappingElements(const Goddag& g, NodeId node);
+
+/// Number of elements properly overlapping `node`.
+size_t OverlapDegree(const Goddag& g, NodeId node);
+
+/// All pairs (a, b) with tag(a) == tag_a, tag(b) == tag_b and a ∝ b
+/// (proper overlap), in document order of a. Sweep over extent endpoints:
+/// O(n log n + answers).
+std::vector<std::pair<NodeId, NodeId>> FindOverlappingPairs(
+    const Goddag& g, std::string_view tag_a, std::string_view tag_b);
+
+/// The stack of elements covering `leaf`, innermost-first, across all
+/// hierarchies ("navigation from one structure to another is done through
+/// ... leaf nodes").
+std::vector<NodeId> CoveringElements(const Goddag& g, NodeId leaf);
+
+/// Interval index over a set of elements: answers "which elements'
+/// extents intersect a query interval" in O(log n + answers). Used by
+/// the Extended XPath evaluator for `overlapping::` steps and by the
+/// benchmarks.
+class ExtentIndex {
+ public:
+  /// Builds over all attached elements of `g` (optionally one tag only).
+  explicit ExtentIndex(const Goddag& g, std::string_view tag = {});
+
+  /// Elements whose extent intersects `query` (not necessarily properly).
+  std::vector<NodeId> Intersecting(const Interval& query) const;
+
+  /// Elements whose extent properly overlaps `query`.
+  std::vector<NodeId> Overlapping(const Interval& query) const;
+
+  size_t size() const { return by_begin_.size(); }
+
+ private:
+  struct Entry {
+    Interval chars;
+    NodeId node;
+  };
+  const Goddag* g_;
+  /// Entries sorted by begin offset.
+  std::vector<Entry> by_begin_;
+  /// max_end_[i] = max end over by_begin_[0..i] (prefix maxima, enabling
+  /// early cut-off during scans).
+  std::vector<size_t> max_end_;
+};
+
+}  // namespace cxml::goddag
+
+#endif  // CXML_GODDAG_ALGEBRA_H_

@@ -1,0 +1,122 @@
+// Graphviz DOT export and textual structure summary of a GODDAG
+// (declared in serializer.h). ToDot regenerates the paper's Figure 2
+// mechanically from any GODDAG instance.
+
+#include <map>
+
+#include "common/strings.h"
+#include "goddag/algebra.h"
+#include "goddag/serializer.h"
+
+namespace cxml::goddag {
+
+namespace {
+
+/// A small colour cycle for hierarchies (Graphviz X11 names).
+const char* const kColors[] = {"blue",   "red",    "darkgreen",
+                               "orange", "purple", "brown"};
+
+std::string EscapeDotLabel(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string NodeName(NodeId id) { return StrFormat("n%u", id); }
+
+void EmitSubtree(const Goddag& g, NodeId node, HierarchyId h,
+                 std::string* out) {
+  if (g.is_leaf(node)) return;  // leaves emitted once, globally
+  const char* color = kColors[h % (sizeof(kColors) / sizeof(kColors[0]))];
+  std::string label = g.tag(node);
+  for (const auto& a : g.attributes(node)) {
+    label += StrCat("\n", a.name, "=", a.value);
+  }
+  *out += StrFormat("  %s [label=\"%s\", shape=ellipse, color=%s];\n",
+                    NodeName(node).c_str(), EscapeDotLabel(label).c_str(),
+                    color);
+  for (NodeId child : g.children(node)) {
+    *out += StrFormat("  %s -> %s [color=%s];\n", NodeName(node).c_str(),
+                      NodeName(child).c_str(), color);
+    EmitSubtree(g, child, h, out);
+  }
+}
+
+}  // namespace
+
+std::string ToDot(const Goddag& g) {
+  std::string out = "digraph goddag {\n  rankdir=TB;\n";
+  out += StrFormat("  %s [label=\"<%s>\", shape=box, style=bold];\n",
+                   NodeName(g.root()).c_str(), g.root_tag().c_str());
+  for (HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+    const char* color = kColors[h % (sizeof(kColors) / sizeof(kColors[0]))];
+    for (NodeId child : g.root_children(h)) {
+      out += StrFormat("  %s -> %s [color=%s];\n", NodeName(g.root()).c_str(),
+                       NodeName(child).c_str(), color);
+      EmitSubtree(g, child, h, &out);
+    }
+  }
+  // Shared leaf layer on one rank, in content order.
+  out += "  { rank=sink;\n";
+  for (NodeId leaf : g.leaves()) {
+    out += StrFormat("    %s [label=\"%s\", shape=box];\n",
+                     NodeName(leaf).c_str(),
+                     EscapeDotLabel(g.text(leaf)).c_str());
+  }
+  out += "  }\n";
+  if (!g.leaves().empty()) {
+    // Invisible chain keeps leaves in content order left-to-right.
+    out += "  ";
+    for (size_t i = 0; i < g.num_leaves(); ++i) {
+      if (i > 0) out += " -> ";
+      out += NodeName(g.leaf_at(i));
+    }
+    out += " [style=invis];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string StructureSummary(const Goddag& g) {
+  std::string out;
+  out += StrFormat("content: %zu chars, %zu leaves, %zu hierarchies\n",
+                   g.content().size(), g.num_leaves(), g.num_hierarchies());
+  size_t total_elements = 0;
+  for (HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+    std::vector<NodeId> elements = g.ElementsOf(h);
+    total_elements += elements.size();
+    std::map<std::string, size_t> tag_counts;
+    for (NodeId e : elements) ++tag_counts[g.tag(e)];
+    std::string name = g.cmh() != nullptr
+                           ? g.cmh()->hierarchy(h).name
+                           : StrFormat("hierarchy-%u", h);
+    out += StrFormat("  %s: %zu elements (", name.c_str(), elements.size());
+    bool first = true;
+    for (const auto& [tag, count] : tag_counts) {
+      if (!first) out += ", ";
+      first = false;
+      out += StrFormat("%s x%zu", tag.c_str(), count);
+    }
+    out += ")\n";
+  }
+  // Overlap inventory.
+  size_t overlap_pairs = 0;
+  std::vector<NodeId> all = g.AllElements();
+  ExtentIndex index(g);
+  for (NodeId e : all) {
+    overlap_pairs += index.Overlapping(g.char_range(e)).size();
+  }
+  overlap_pairs /= 2;  // each pair counted from both sides
+  out += StrFormat("  total: %zu elements, %zu overlapping pairs\n",
+                   total_elements, overlap_pairs);
+  return out;
+}
+
+}  // namespace cxml::goddag

@@ -1,0 +1,212 @@
+#include "goddag/goddag.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cxml::goddag {
+
+const char* NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRoot:
+      return "Root";
+    case NodeKind::kElement:
+      return "Element";
+    case NodeKind::kLeaf:
+      return "Leaf";
+  }
+  return "Unknown";
+}
+
+Goddag::Goddag(std::string content, size_t num_hierarchies,
+               std::string root_tag)
+    : content_(std::move(content)), num_hierarchies_(num_hierarchies) {
+  root_ = AllocNode(NodeKind::kRoot);
+  tag_[root_] = std::move(root_tag);
+  chars_[root_] = Interval(0, content_.size());
+  root_children_.resize(num_hierarchies_);
+  if (!content_.empty()) {
+    NodeId leaf = AllocNode(NodeKind::kLeaf);
+    chars_[leaf] = Interval(0, content_.size());
+    leaf_index_[leaf] = 0;
+    leaf_parents_[leaf].assign(num_hierarchies_, root_);
+    leaves_.push_back(leaf);
+    for (auto& rc : root_children_) rc.push_back(leaf);
+  }
+}
+
+NodeId Goddag::AllocNode(NodeKind kind) {
+  NodeId id = static_cast<NodeId>(kind_.size());
+  kind_.push_back(kind);
+  tag_.emplace_back();
+  hierarchy_.push_back(kInvalidHierarchy);
+  attrs_.emplace_back();
+  parent_.push_back(kInvalidNode);
+  children_.emplace_back();
+  chars_.emplace_back();
+  leaf_index_.push_back(0);
+  leaf_parents_.emplace_back();
+  return id;
+}
+
+const std::string* Goddag::FindAttribute(NodeId node,
+                                         std::string_view name) const {
+  for (const auto& a : attrs_[node]) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+void Goddag::SetAttribute(NodeId node, std::string_view name,
+                          std::string_view value) {
+  for (auto& a : attrs_[node]) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return;
+    }
+  }
+  attrs_[node].push_back({std::string(name), std::string(value)});
+}
+
+void Goddag::RemoveAttribute(NodeId node, std::string_view name) {
+  auto& attrs = attrs_[node];
+  attrs.erase(std::remove_if(attrs.begin(), attrs.end(),
+                             [&](const xml::Attribute& a) {
+                               return a.name == name;
+                             }),
+              attrs.end());
+}
+
+Interval Goddag::char_range(NodeId node) const { return chars_[node]; }
+
+Interval Goddag::leaf_range(NodeId node) const {
+  if (is_leaf(node)) {
+    size_t i = leaf_index_[node];
+    return Interval(i, i + 1);
+  }
+  return LeavesCovering(chars_[node]);
+}
+
+std::string_view Goddag::text(NodeId node) const {
+  const Interval& iv = chars_[node];
+  return std::string_view(content_).substr(iv.begin, iv.length());
+}
+
+NodeId Goddag::leaf_parent(NodeId leaf, HierarchyId h) const {
+  return leaf_parents_[leaf][h];
+}
+
+NodeId Goddag::parent_in(NodeId node, HierarchyId h) const {
+  switch (kind_[node]) {
+    case NodeKind::kRoot:
+      return kInvalidNode;
+    case NodeKind::kElement:
+      return hierarchy_[node] == h ? parent_[node] : kInvalidNode;
+    case NodeKind::kLeaf:
+      return leaf_parents_[node][h];
+  }
+  return kInvalidNode;
+}
+
+size_t Goddag::LeafIndexAtOffset(size_t offset) const {
+  // First leaf whose end exceeds offset.
+  size_t lo = 0, hi = leaves_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (chars_[leaves_[mid]].end <= offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Interval Goddag::LeavesCovering(const Interval& chars) const {
+  if (leaves_.empty()) return Interval(0, 0);
+  if (chars.empty()) {
+    // First leaf starting at or after the position.
+    size_t i = LeafIndexAtOffset(chars.begin);
+    if (i < leaves_.size() && chars_[leaves_[i]].begin < chars.begin) ++i;
+    return Interval(i, i);
+  }
+  size_t first = LeafIndexAtOffset(chars.begin);
+  size_t last = LeafIndexAtOffset(chars.end - 1);
+  return Interval(first, std::min(last + 1, leaves_.size()));
+}
+
+void Goddag::RenumberLeaves() {
+  for (size_t i = 0; i < leaves_.size(); ++i) leaf_index_[leaves_[i]] = i;
+}
+
+namespace {
+
+void CollectPreorder(const Goddag& g, NodeId node, std::vector<NodeId>* out) {
+  if (!g.is_element(node)) return;
+  out->push_back(node);
+  for (NodeId child : g.children(node)) CollectPreorder(g, child, out);
+}
+
+}  // namespace
+
+std::vector<NodeId> Goddag::ElementsOf(HierarchyId h) const {
+  std::vector<NodeId> out;
+  for (NodeId child : root_children_[h]) CollectPreorder(*this, child, &out);
+  return out;
+}
+
+std::vector<NodeId> Goddag::AllElements() const {
+  std::vector<NodeId> out;
+  for (HierarchyId h = 0; h < num_hierarchies_; ++h) {
+    for (NodeId child : root_children_[h]) {
+      CollectPreorder(*this, child, &out);
+    }
+  }
+  SortDocumentOrder(&out);
+  return out;
+}
+
+std::vector<NodeId> Goddag::ElementsByTag(std::string_view tag,
+                                          HierarchyId h) const {
+  std::vector<NodeId> out;
+  if (h != kInvalidHierarchy) {
+    for (NodeId node : ElementsOf(h)) {
+      if (tag_[node] == tag) out.push_back(node);
+    }
+    return out;
+  }
+  for (NodeId node : AllElements()) {
+    if (tag_[node] == tag) out.push_back(node);
+  }
+  return out;
+}
+
+bool Goddag::Before(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const Interval& ia = chars_[a];
+  const Interval& ib = chars_[b];
+  if (ia.begin != ib.begin) return ia.begin < ib.begin;
+  if (ia.end != ib.end) return ia.end > ib.end;  // container first
+  auto rank = [&](NodeId n) -> int {
+    switch (kind_[n]) {
+      case NodeKind::kRoot:
+        return 0;
+      case NodeKind::kElement:
+        return 1;
+      case NodeKind::kLeaf:
+        return 2;
+    }
+    return 3;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b);
+  if (hierarchy_[a] != hierarchy_[b]) return hierarchy_[a] < hierarchy_[b];
+  return a < b;
+}
+
+void Goddag::SortDocumentOrder(std::vector<NodeId>* nodes) const {
+  std::sort(nodes->begin(), nodes->end(),
+            [this](NodeId a, NodeId b) { return Before(a, b); });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+}  // namespace cxml::goddag

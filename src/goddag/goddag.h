@@ -1,0 +1,237 @@
+#ifndef CXML_GODDAG_GODDAG_H_
+#define CXML_GODDAG_GODDAG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cmh/hierarchy.h"
+#include "common/interval.h"
+#include "common/result.h"
+#include "xml/token.h"
+
+namespace cxml::sacx {
+class GoddagHandler;
+}  // namespace cxml::sacx
+
+namespace cxml::goddag {
+
+using cmh::HierarchyId;
+using cmh::kInvalidHierarchy;
+
+/// Handle to a GODDAG node. Stable across mutations (nodes are
+/// arena-allocated and never reused within one Goddag's lifetime).
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Node kinds of the Generalized Ordered-Descendant Directed Acyclic
+/// Graph (Sperberg-McQueen & Huitfeldt 2000), as used by the paper:
+/// one shared root, per-hierarchy element trees, and a shared layer of
+/// leaf nodes (text fragments).
+enum class NodeKind : uint8_t {
+  kRoot,
+  kElement,
+  kLeaf,
+};
+
+const char* NodeKindToString(NodeKind kind);
+
+/// The GODDAG: the in-memory data model for multihierarchical
+/// document-centric XML (paper §3, Figure 2).
+///
+/// Structure:
+///  * `content()` is the shared character data.
+///  * The content is partitioned into ordered **leaves** — maximal
+///    fragments whose borders are "given by markup positions from all
+///    hierarchies".
+///  * Each hierarchy `h` contributes a tree of **element** nodes over the
+///    leaves; trees are united at the single **root** node and at the
+///    leaf layer.
+///  * Navigation "from one structure to another is done through root node
+///    or leaf (text) nodes" — every leaf knows its parent in *each*
+///    hierarchy.
+///
+/// Invariants (checked by `Validate()`):
+///  I1 leaves are in content order and partition `[0, content.size())`;
+///  I2 every element's leaf range is a contiguous interval;
+///  I3 per-hierarchy parent/child links form a tree rooted at `root()`;
+///  I4 an element's children lie inside its leaf range, are ordered, and
+///     tile it exactly;
+///  I5 element tags belong to their hierarchy's vocabulary (when a CMH is
+///     bound).
+class Goddag {
+ public:
+  /// An empty GODDAG over `content` with `num_hierarchies` hierarchies:
+  /// one leaf per content (or none when content is empty) and a root.
+  /// Use goddag::Builder / sacx::SacxParser for construction from markup.
+  Goddag(std::string content, size_t num_hierarchies,
+         std::string root_tag = "r");
+
+  Goddag(const Goddag&) = delete;
+  Goddag& operator=(const Goddag&) = delete;
+  Goddag(Goddag&&) = default;
+  Goddag& operator=(Goddag&&) = default;
+
+  /// Optionally binds the CMH that defines hierarchy names/DTDs.
+  /// The pointer is stored; the CMH must outlive the Goddag.
+  void BindCmh(const cmh::ConcurrentHierarchies* cmh) { cmh_ = cmh; }
+  const cmh::ConcurrentHierarchies* cmh() const { return cmh_; }
+
+  // ------------------------------------------------------------ global
+  const std::string& content() const { return content_; }
+  size_t num_hierarchies() const { return num_hierarchies_; }
+  NodeId root() const { return root_; }
+  const std::string& root_tag() const { return tag_[root_]; }
+  /// Total nodes ever allocated (includes detached ones).
+  size_t arena_size() const { return kind_.size(); }
+
+  // ------------------------------------------------------- node access
+  NodeKind kind(NodeId node) const { return kind_[node]; }
+  bool is_element(NodeId node) const {
+    return kind_[node] == NodeKind::kElement;
+  }
+  bool is_leaf(NodeId node) const { return kind_[node] == NodeKind::kLeaf; }
+  bool is_root(NodeId node) const { return node == root_; }
+
+  /// Tag of an element (or the root tag). Leaves have no tag.
+  const std::string& tag(NodeId node) const { return tag_[node]; }
+  /// Hierarchy of an element; kInvalidHierarchy for root and leaves.
+  HierarchyId hierarchy(NodeId node) const { return hierarchy_[node]; }
+
+  const std::vector<xml::Attribute>& attributes(NodeId node) const {
+    return attrs_[node];
+  }
+  /// Attribute value or nullptr.
+  const std::string* FindAttribute(NodeId node, std::string_view name) const;
+  void SetAttribute(NodeId node, std::string_view name,
+                    std::string_view value);
+  void RemoveAttribute(NodeId node, std::string_view name);
+
+  /// Character extent `[begin, end)` of the node in `content()`.
+  Interval char_range(NodeId node) const;
+  /// Leaf-index extent `[first, past_last)` of the node.
+  Interval leaf_range(NodeId node) const;
+  /// The text the node dominates (substring of content()).
+  std::string_view text(NodeId node) const;
+
+  // ------------------------------------------------------- structure
+  /// Ordered children of an element (elements of the same hierarchy
+  /// and/or leaves). Only meaningful for elements.
+  const std::vector<NodeId>& children(NodeId element) const {
+    return children_[element];
+  }
+  /// Ordered children of the root *within hierarchy h*.
+  const std::vector<NodeId>& root_children(HierarchyId h) const {
+    return root_children_[h];
+  }
+  /// Parent of an element within its own hierarchy (an element or root).
+  NodeId parent(NodeId element) const { return parent_[element]; }
+  /// Parent of a leaf within hierarchy `h` (an element or the root).
+  NodeId leaf_parent(NodeId leaf, HierarchyId h) const;
+  /// Parent of `node` as seen from hierarchy `h`: for elements of `h`,
+  /// their tree parent; for leaves, `leaf_parent`; root has none.
+  NodeId parent_in(NodeId node, HierarchyId h) const;
+
+  // ------------------------------------------------------- leaf layer
+  size_t num_leaves() const { return leaves_.size(); }
+  NodeId leaf_at(size_t index) const { return leaves_[index]; }
+  const std::vector<NodeId>& leaves() const { return leaves_; }
+  /// Index of a leaf node in the leaf order.
+  size_t leaf_index(NodeId leaf) const { return leaf_index_[leaf]; }
+
+  /// The smallest leaf interval covering character range `chars`
+  /// (leaves straddling the endpoints are included).
+  Interval LeavesCovering(const Interval& chars) const;
+
+  // ------------------------------------------------------ enumeration
+  /// All (attached) elements of hierarchy `h` in document order.
+  std::vector<NodeId> ElementsOf(HierarchyId h) const;
+  /// All attached elements (all hierarchies) in document order.
+  std::vector<NodeId> AllElements() const;
+  /// All attached elements with `tag`, optionally restricted to `h`.
+  std::vector<NodeId> ElementsByTag(
+      std::string_view tag, HierarchyId h = kInvalidHierarchy) const;
+
+  /// Document order: primarily by character start; ties broken by later
+  /// end (containing before contained), then hierarchy, then kind
+  /// (root < element < leaf), then allocation order.
+  bool Before(NodeId a, NodeId b) const;
+  /// Sorts a node vector into document order, removing duplicates.
+  void SortDocumentOrder(std::vector<NodeId>* nodes) const;
+
+  // -------------------------------------------------------- mutation
+  /// Inserts a new element with `tag` into hierarchy `h` spanning exactly
+  /// the character range `chars`. Splits boundary leaves when `chars`
+  /// cuts through a leaf; re-hangs the covered nodes under the new
+  /// element. Fails when the range partially overlaps an element of the
+  /// *same* hierarchy (within one hierarchy markup must stay nested) or
+  /// when offsets are out of range. (mutation.cc)
+  Result<NodeId> InsertElement(HierarchyId h, std::string_view tag,
+                               std::vector<xml::Attribute> attrs,
+                               const Interval& chars);
+
+  /// Removes an element, splicing its children into its parent.
+  /// The node becomes detached; its id is never reused. (mutation.cc)
+  Status RemoveElement(NodeId element);
+
+  /// Splits the leaf containing `offset` at `offset`, if not already a
+  /// boundary. All covering elements in all hierarchies are updated.
+  /// Returns the leaf that now *starts* at `offset`. (mutation.cc)
+  Result<NodeId> SplitLeafAt(size_t offset);
+
+  /// Inserts `text` into the shared content at `offset`. The leaf
+  /// containing `offset` absorbs the new characters; every element
+  /// containing that leaf grows, everything after shifts. (mutation.cc)
+  Status InsertText(size_t offset, std::string_view text);
+
+  /// Deletes the character range from the shared content. Leaves wholly
+  /// inside disappear; elements shrink, and elements entirely within the
+  /// range become zero-width (their markup survives as milestones —
+  /// deleting text never silently deletes markup). (mutation.cc)
+  Status DeleteText(const Interval& range);
+
+  /// Restores leaf minimality: merges adjacent leaves that have the same
+  /// parent in every hierarchy and are adjacent siblings there (i.e. no
+  /// markup boundary separates them any more). Returns the number of
+  /// merges. (mutation.cc)
+  size_t CoalesceLeaves();
+
+  /// Structural invariant check (I1–I5); Ok on healthy structures.
+  /// (validate.cc)
+  Status Validate() const;
+
+ private:
+  friend class Builder;
+  friend class ::cxml::sacx::GoddagHandler;
+
+  NodeId AllocNode(NodeKind kind);
+  /// The leaf whose char range contains `offset` (binary search).
+  size_t LeafIndexAtOffset(size_t offset) const;
+  void RenumberLeaves();
+
+  std::string content_;
+  size_t num_hierarchies_ = 0;
+  const cmh::ConcurrentHierarchies* cmh_ = nullptr;
+
+  // Parallel node arenas indexed by NodeId.
+  std::vector<NodeKind> kind_;
+  std::vector<std::string> tag_;
+  std::vector<HierarchyId> hierarchy_;
+  std::vector<std::vector<xml::Attribute>> attrs_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<Interval> chars_;       // leaves: exact; elements: cached
+  std::vector<size_t> leaf_index_;    // leaves only
+
+  /// leaf parents: indexed [leaf_arena_slot][hierarchy].
+  std::vector<std::vector<NodeId>> leaf_parents_;
+
+  NodeId root_ = kInvalidNode;
+  std::vector<std::vector<NodeId>> root_children_;  // per hierarchy
+  std::vector<NodeId> leaves_;  // in content order
+};
+
+}  // namespace cxml::goddag
+
+#endif  // CXML_GODDAG_GODDAG_H_

@@ -1,0 +1,347 @@
+// Mutation operations of the GODDAG (declared in goddag.h): leaf
+// splitting, element insertion over a character range, and element
+// removal. These are the primitives the xTagger-style editor (edit/)
+// builds on.
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "goddag/goddag.h"
+
+namespace cxml::goddag {
+
+namespace {
+
+/// Finds `needle` in `vec` and returns its index, or npos.
+size_t IndexOf(const std::vector<NodeId>& vec, NodeId needle) {
+  for (size_t i = 0; i < vec.size(); ++i) {
+    if (vec[i] == needle) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace
+
+Result<NodeId> Goddag::SplitLeafAt(size_t offset) {
+  if (offset == 0 || offset >= content_.size()) {
+    return status::OutOfRange(StrFormat(
+        "split offset %zu outside (0, %zu)", offset, content_.size()));
+  }
+  size_t i = LeafIndexAtOffset(offset);
+  NodeId left = leaves_[i];
+  if (chars_[left].begin == offset) return left;  // already a boundary
+
+  // Shrink the left leaf, create the right leaf.
+  Interval old = chars_[left];
+  chars_[left] = Interval(old.begin, offset);
+  NodeId right = AllocNode(NodeKind::kLeaf);
+  chars_[right] = Interval(offset, old.end);
+  leaf_parents_[right] = leaf_parents_[left];
+  leaves_.insert(leaves_.begin() + static_cast<ptrdiff_t>(i) + 1, right);
+  RenumberLeaves();
+
+  // Register the right leaf as a sibling immediately after the left one
+  // in every hierarchy's parent.
+  for (HierarchyId h = 0; h < num_hierarchies_; ++h) {
+    NodeId p = leaf_parents_[left][h];
+    std::vector<NodeId>& siblings =
+        (p == root_) ? root_children_[h] : children_[p];
+    size_t at = IndexOf(siblings, left);
+    if (at == static_cast<size_t>(-1)) {
+      return status::Internal(
+          "leaf missing from its parent's child list during split");
+    }
+    siblings.insert(siblings.begin() + static_cast<ptrdiff_t>(at) + 1,
+                    right);
+  }
+  return right;
+}
+
+Result<NodeId> Goddag::InsertElement(HierarchyId h, std::string_view tag,
+                                     std::vector<xml::Attribute> attrs,
+                                     const Interval& chars) {
+  if (h >= num_hierarchies_) {
+    return status::InvalidArgument(
+        StrFormat("hierarchy %u out of range", h));
+  }
+  if (chars.begin > chars.end || chars.end > content_.size()) {
+    return status::OutOfRange(StrFormat(
+        "character range [%zu,%zu) outside content of size %zu", chars.begin,
+        chars.end, content_.size()));
+  }
+  if (cmh_ != nullptr && !cmh_->hierarchy(h).Covers(tag)) {
+    return status::ValidationError(
+        StrCat("element '", std::string(tag), "' is not declared in ",
+               "hierarchy '", cmh_->hierarchy(h).name, "'"));
+  }
+
+  // Align the range with the leaf partition.
+  if (chars.begin > 0 && chars.begin < content_.size()) {
+    CXML_RETURN_IF_ERROR(SplitLeafAt(chars.begin).status());
+  }
+  if (chars.end > 0 && chars.end < content_.size()) {
+    CXML_RETURN_IF_ERROR(SplitLeafAt(chars.end).status());
+  }
+  Interval leaf_span = LeavesCovering(chars);
+
+  // Locate the would-be parent: the innermost node of hierarchy `h` whose
+  // extent contains `chars`.
+  NodeId parent = root_;
+  if (!leaves_.empty()) {
+    size_t probe_index =
+        leaf_span.empty()
+            ? (leaf_span.begin < leaves_.size() ? leaf_span.begin
+                                                : leaves_.size() - 1)
+            : leaf_span.begin;
+    NodeId candidate = leaf_parents_[leaves_[probe_index]][h];
+    while (candidate != root_ && !chars_[candidate].Contains(chars)) {
+      candidate = parent_[candidate];
+    }
+    parent = candidate;
+  }
+
+  // Allocate the node FIRST: AllocNode grows the arena vectors, which
+  // would invalidate the `siblings` reference taken below. (On a later
+  // error return the node stays detached in the arena — harmless.)
+  NodeId node = AllocNode(NodeKind::kElement);
+
+  // The covered children must form a contiguous, *whole* slice: an
+  // existing same-hierarchy element straddling the boundary would make
+  // the hierarchy non-well-formed.
+  std::vector<NodeId>& siblings =
+      (parent == root_) ? root_children_[h] : children_[parent];
+  size_t slice_begin = siblings.size();
+  size_t slice_end = siblings.size();
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    const Interval& ci = chars_[siblings[i]];
+    if (ci.Overlaps(chars)) {
+      return status::FailedPrecondition(StrCat(
+          "inserting '", std::string(tag), "' over [",
+          StrFormat("%zu,%zu", chars.begin, chars.end), ") would overlap ",
+          "element '", tag_[siblings[i]],
+          "' of the same hierarchy — within a hierarchy markup must nest"));
+    }
+    // Non-empty children are covered when fully contained; zero-width
+    // children (milestones) only when strictly inside — a milestone at
+    // either boundary deterministically stays outside the new element.
+    bool covered =
+        !chars.empty() &&
+        (ci.empty() ? (chars.begin < ci.begin && ci.begin < chars.end)
+                    : chars.Contains(ci));
+    if (covered) {
+      if (slice_begin == siblings.size()) slice_begin = i;
+      slice_end = i + 1;
+    }
+  }
+  if (slice_begin == siblings.size()) {
+    // Empty new element (milestone) or no covered children: insert at the
+    // first position whose child starts at/after chars.begin.
+    slice_begin = 0;
+    while (slice_begin < siblings.size() &&
+           chars_[siblings[slice_begin]].end <= chars.begin) {
+      ++slice_begin;
+    }
+    // A non-empty child starting before chars.begin and containing it
+    // would have been the parent instead, so this position is correct.
+    slice_end = slice_begin;
+  }
+
+  tag_[node] = std::string(tag);
+  hierarchy_[node] = h;
+  attrs_[node] = std::move(attrs);
+  parent_[node] = parent;
+  chars_[node] = chars;
+  children_[node].assign(
+      siblings.begin() + static_cast<ptrdiff_t>(slice_begin),
+      siblings.begin() + static_cast<ptrdiff_t>(slice_end));
+  for (NodeId child : children_[node]) {
+    if (is_leaf(child)) {
+      leaf_parents_[child][h] = node;
+    } else {
+      parent_[child] = node;
+    }
+  }
+  siblings.erase(siblings.begin() + static_cast<ptrdiff_t>(slice_begin),
+                 siblings.begin() + static_cast<ptrdiff_t>(slice_end));
+  siblings.insert(siblings.begin() + static_cast<ptrdiff_t>(slice_begin),
+                  node);
+  return node;
+}
+
+Status Goddag::RemoveElement(NodeId element) {
+  if (element >= kind_.size() || !is_element(element)) {
+    return status::InvalidArgument("RemoveElement expects an element node");
+  }
+  NodeId parent = parent_[element];
+  if (parent == kInvalidNode) {
+    return status::FailedPrecondition("element is already detached");
+  }
+  HierarchyId h = hierarchy_[element];
+  std::vector<NodeId>& siblings =
+      (parent == root_) ? root_children_[h] : children_[parent];
+  size_t at = IndexOf(siblings, element);
+  if (at == static_cast<size_t>(-1)) {
+    return status::Internal("element missing from its parent's child list");
+  }
+  // Splice children into the parent at the element's position.
+  std::vector<NodeId> kids = std::move(children_[element]);
+  children_[element].clear();
+  siblings.erase(siblings.begin() + static_cast<ptrdiff_t>(at));
+  siblings.insert(siblings.begin() + static_cast<ptrdiff_t>(at),
+                  kids.begin(), kids.end());
+  for (NodeId child : kids) {
+    if (is_leaf(child)) {
+      leaf_parents_[child][h] = parent;
+    } else {
+      parent_[child] = parent;
+    }
+  }
+  parent_[element] = kInvalidNode;
+  return Status::Ok();
+}
+
+
+namespace {
+
+/// Position remapping for DeleteText: positions inside [d1,d2) collapse
+/// to d1, later positions shift left.
+size_t MapDeleted(size_t x, size_t d1, size_t d2) {
+  if (x <= d1) return x;
+  if (x >= d2) return x - (d2 - d1);
+  return d1;
+}
+
+}  // namespace
+
+Status Goddag::InsertText(size_t offset, std::string_view text) {
+  if (offset > content_.size()) {
+    return status::OutOfRange(StrFormat(
+        "insert offset %zu outside content of size %zu", offset,
+        content_.size()));
+  }
+  if (text.empty()) return Status::Ok();
+
+  if (leaves_.empty()) {
+    // Empty document: create the first leaf under every root list.
+    content_.append(text);
+    NodeId leaf = AllocNode(NodeKind::kLeaf);
+    chars_[leaf] = Interval(0, content_.size());
+    leaf_parents_[leaf].assign(num_hierarchies_, root_);
+    leaves_.push_back(leaf);
+    for (auto& rc : root_children_) rc.push_back(leaf);
+    RenumberLeaves();
+    chars_[root_] = Interval(0, content_.size());
+    return Status::Ok();
+  }
+
+  // The absorbing leaf: the one containing `offset`; appending at the
+  // very end extends the last leaf.
+  size_t index = offset == content_.size() ? leaves_.size() - 1
+                                           : LeafIndexAtOffset(offset);
+  NodeId absorbing = leaves_[index];
+  const size_t b = chars_[absorbing].begin;
+  const size_t e = chars_[absorbing].end;
+  const size_t len = text.size();
+
+  content_.insert(offset, text);
+  // Extents are unions of leaves, so every node either contains the
+  // absorbing leaf (grow), lies entirely after it (shift), or is
+  // untouched. Detached nodes are adjusted too, keeping them harmless.
+  for (NodeId n = 0; n < kind_.size(); ++n) {
+    Interval& iv = chars_[n];
+    if (n == absorbing || (iv.begin <= b && iv.end >= e &&
+                           !(iv.begin == iv.end))) {
+      if (iv.begin <= b && iv.end >= e) iv.end += len;
+      continue;
+    }
+    if (iv.begin >= e) {
+      iv.begin += len;
+      iv.end += len;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Goddag::DeleteText(const Interval& range) {
+  if (range.end > content_.size() || range.begin > range.end) {
+    return status::OutOfRange(StrFormat(
+        "delete range [%zu,%zu) outside content of size %zu", range.begin,
+        range.end, content_.size()));
+  }
+  if (range.empty()) return Status::Ok();
+  const size_t d1 = range.begin;
+  const size_t d2 = range.end;
+
+  // Align the range with the leaf partition, then drop whole leaves.
+  if (d1 > 0 && d1 < content_.size()) {
+    CXML_RETURN_IF_ERROR(SplitLeafAt(d1).status());
+  }
+  if (d2 > 0 && d2 < content_.size()) {
+    CXML_RETURN_IF_ERROR(SplitLeafAt(d2).status());
+  }
+  Interval doomed = LeavesCovering(Interval(d1, d2));
+  for (size_t i = doomed.begin; i < doomed.end; ++i) {
+    NodeId leaf = leaves_[i];
+    for (HierarchyId h = 0; h < num_hierarchies_; ++h) {
+      NodeId p = leaf_parents_[leaf][h];
+      std::vector<NodeId>& siblings =
+          (p == root_) ? root_children_[h] : children_[p];
+      siblings.erase(std::remove(siblings.begin(), siblings.end(), leaf),
+                     siblings.end());
+    }
+  }
+  leaves_.erase(leaves_.begin() + static_cast<ptrdiff_t>(doomed.begin),
+                leaves_.begin() + static_cast<ptrdiff_t>(doomed.end));
+  RenumberLeaves();
+
+  for (NodeId n = 0; n < kind_.size(); ++n) {
+    chars_[n].begin = MapDeleted(chars_[n].begin, d1, d2);
+    chars_[n].end = MapDeleted(chars_[n].end, d1, d2);
+  }
+  content_.erase(d1, d2 - d1);
+  return Status::Ok();
+}
+
+size_t Goddag::CoalesceLeaves() {
+  size_t merges = 0;
+  size_t i = 0;
+  while (i + 1 < leaves_.size()) {
+    NodeId left = leaves_[i];
+    NodeId right = leaves_[i + 1];
+    bool mergeable = true;
+    for (HierarchyId h = 0; h < num_hierarchies_ && mergeable; ++h) {
+      NodeId p = leaf_parents_[left][h];
+      if (leaf_parents_[right][h] != p) {
+        mergeable = false;
+        break;
+      }
+      // The leaves must be adjacent siblings: a zero-width element
+      // between them is a markup boundary that must survive.
+      const std::vector<NodeId>& siblings =
+          (p == root_) ? root_children_[h] : children_[p];
+      size_t at = IndexOf(siblings, left);
+      if (at == static_cast<size_t>(-1) || at + 1 >= siblings.size() ||
+          siblings[at + 1] != right) {
+        mergeable = false;
+      }
+    }
+    if (!mergeable) {
+      ++i;
+      continue;
+    }
+    chars_[left].end = chars_[right].end;
+    for (HierarchyId h = 0; h < num_hierarchies_; ++h) {
+      NodeId p = leaf_parents_[right][h];
+      std::vector<NodeId>& siblings =
+          (p == root_) ? root_children_[h] : children_[p];
+      siblings.erase(std::remove(siblings.begin(), siblings.end(), right),
+                     siblings.end());
+    }
+    leaves_.erase(leaves_.begin() + static_cast<ptrdiff_t>(i) + 1);
+    ++merges;
+  }
+  if (merges > 0) RenumberLeaves();
+  return merges;
+}
+
+}  // namespace cxml::goddag

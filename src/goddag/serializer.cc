@@ -1,0 +1,52 @@
+#include "goddag/serializer.h"
+
+#include "common/strings.h"
+#include "xml/writer.h"
+
+namespace cxml::goddag {
+
+namespace {
+
+void SerializeNode(const Goddag& g, NodeId node, xml::XmlWriter* writer) {
+  if (g.is_leaf(node)) {
+    writer->Text(g.text(node));
+    return;
+  }
+  if (g.children(node).empty() && g.char_range(node).empty()) {
+    writer->EmptyElement(g.tag(node), g.attributes(node));
+    return;
+  }
+  writer->StartElement(g.tag(node), g.attributes(node));
+  for (NodeId child : g.children(node)) {
+    SerializeNode(g, child, writer);
+  }
+  writer->EndElement();
+}
+
+}  // namespace
+
+Result<std::string> SerializeHierarchy(const Goddag& g, HierarchyId h) {
+  if (h >= g.num_hierarchies()) {
+    return status::InvalidArgument(
+        StrFormat("hierarchy %u out of range", h));
+  }
+  xml::XmlWriter writer;
+  writer.StartElement(g.root_tag());
+  for (NodeId child : g.root_children(h)) {
+    SerializeNode(g, child, &writer);
+  }
+  writer.EndElement();
+  return writer.Finish();
+}
+
+Result<std::vector<std::string>> SerializeAll(const Goddag& g) {
+  std::vector<std::string> out;
+  out.reserve(g.num_hierarchies());
+  for (HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+    CXML_ASSIGN_OR_RETURN(std::string doc, SerializeHierarchy(g, h));
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+}  // namespace cxml::goddag

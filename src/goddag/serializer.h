@@ -1,0 +1,30 @@
+#ifndef CXML_GODDAG_SERIALIZER_H_
+#define CXML_GODDAG_SERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "goddag/goddag.h"
+
+namespace cxml::goddag {
+
+/// Serialises one hierarchy of the GODDAG back to a well-formed XML
+/// document (the per-hierarchy member of the distributed document).
+Result<std::string> SerializeHierarchy(const Goddag& g, HierarchyId h);
+
+/// Serialises every hierarchy; index i is hierarchy i's document.
+Result<std::vector<std::string>> SerializeAll(const Goddag& g);
+
+/// Graphviz DOT rendering of the whole GODDAG — the mechanical
+/// reproduction of the paper's Figure 2. Hierarchies are colour-coded;
+/// leaves are shared boxes at the bottom rank. (dot.cc)
+std::string ToDot(const Goddag& g);
+
+/// Plain-text structural summary (node counts, per-hierarchy depth,
+/// overlap inventory) used by examples and EXPERIMENTS.md.
+std::string StructureSummary(const Goddag& g);
+
+}  // namespace cxml::goddag
+
+#endif  // CXML_GODDAG_SERIALIZER_H_

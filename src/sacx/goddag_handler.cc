@@ -1,0 +1,116 @@
+#include "sacx/goddag_handler.h"
+
+#include "common/strings.h"
+
+namespace cxml::sacx {
+
+using goddag::Goddag;
+using goddag::NodeId;
+using goddag::NodeKind;
+
+GoddagHandler::GoddagHandler(const cmh::ConcurrentHierarchies& cmh)
+    : cmh_(&cmh) {}
+
+Status GoddagHandler::StartDocument(std::string_view root_tag) {
+  g_ = std::make_unique<Goddag>(std::string(), cmh_->size(),
+                                std::string(root_tag));
+  g_->BindCmh(cmh_);
+  stacks_.assign(cmh_->size(), {g_->root()});
+  return Status::Ok();
+}
+
+Status GoddagHandler::Characters(std::string_view text, size_t pos) {
+  if (text.empty()) return Status::Ok();
+  if (pos != g_->content_.size()) {
+    return status::Internal(StrFormat(
+        "fragment at %zu, but content has %zu chars", pos,
+        g_->content_.size()));
+  }
+  g_->content_ += text;
+  NodeId leaf = g_->AllocNode(NodeKind::kLeaf);
+  g_->chars_[leaf] = Interval(pos, pos + text.size());
+  g_->leaf_index_[leaf] = g_->leaves_.size();
+  g_->leaf_parents_[leaf].assign(g_->num_hierarchies(), g_->root());
+  g_->leaves_.push_back(leaf);
+  // The leaf hangs off the innermost open node of every hierarchy.
+  for (HierarchyId h = 0; h < g_->num_hierarchies(); ++h) {
+    NodeId top = stacks_[h].back();
+    if (top == g_->root()) {
+      g_->root_children_[h].push_back(leaf);
+    } else {
+      g_->children_[top].push_back(leaf);
+    }
+    g_->leaf_parents_[leaf][h] = top;
+  }
+  return Status::Ok();
+}
+
+Status GoddagHandler::StartElement(HierarchyId hierarchy,
+                                   const xml::Event& event, size_t pos) {
+  NodeId node = g_->AllocNode(NodeKind::kElement);
+  g_->tag_[node] = event.name;
+  g_->hierarchy_[node] = hierarchy;
+  g_->attrs_[node] = event.attrs;
+  g_->chars_[node] = Interval(pos, pos);
+  NodeId top = stacks_[hierarchy].back();
+  g_->parent_[node] = top;
+  if (top == g_->root()) {
+    g_->root_children_[hierarchy].push_back(node);
+  } else {
+    g_->children_[top].push_back(node);
+  }
+  stacks_[hierarchy].push_back(node);
+  return Status::Ok();
+}
+
+Status GoddagHandler::EndElement(HierarchyId hierarchy, std::string_view tag,
+                                 size_t pos) {
+  auto& stack = stacks_[hierarchy];
+  if (stack.size() <= 1) {
+    return status::Internal("end element with empty SACX stack");
+  }
+  NodeId node = stack.back();
+  if (g_->tag_[node] != tag) {
+    return status::Internal(
+        StrCat("SACX end tag '", std::string(tag), "' closes '",
+               g_->tag_[node], "'"));
+  }
+  g_->chars_[node].end = pos;
+  stack.pop_back();
+  return Status::Ok();
+}
+
+Status GoddagHandler::EndDocument() {
+  for (HierarchyId h = 0; h < g_->num_hierarchies(); ++h) {
+    if (stacks_[h].size() != 1) {
+      return status::Internal(StrFormat(
+          "hierarchy %u has %zu unclosed elements at end of document", h,
+          stacks_[h].size() - 1));
+    }
+  }
+  g_->chars_[g_->root()] = Interval(0, g_->content_.size());
+  finished_ = true;
+  return Status::Ok();
+}
+
+Result<goddag::Goddag> GoddagHandler::Take() {
+  if (!finished_ || g_ == nullptr) {
+    return status::FailedPrecondition(
+        "GoddagHandler::Take before a successful parse");
+  }
+  Goddag out = std::move(*g_);
+  g_.reset();
+  finished_ = false;
+  return out;
+}
+
+Result<goddag::Goddag> ParseToGoddag(
+    const cmh::ConcurrentHierarchies& cmh,
+    const std::vector<std::string_view>& sources) {
+  GoddagHandler handler(cmh);
+  SacxParser parser;
+  CXML_RETURN_IF_ERROR(parser.Parse(cmh, sources, &handler));
+  return handler.Take();
+}
+
+}  // namespace cxml::sacx

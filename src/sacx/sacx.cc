@@ -1,0 +1,225 @@
+#include "sacx/sacx.h"
+
+#include <optional>
+
+#include "common/strings.h"
+#include "xml/lexer.h"
+
+namespace cxml::sacx {
+
+namespace {
+
+/// A positioned markup event from one hierarchy's token stream.
+struct MarkupEvent {
+  bool is_start = false;
+  size_t pos = 0;
+  xml::Event event;  // name + attrs (+ self_closing for starts)
+};
+
+/// Pull source over one hierarchy's document: yields markup events with
+/// content offsets, accumulates the decoded content, and enforces local
+/// well-formedness (balance, single root, vocabulary membership).
+class EventSource {
+ public:
+  EventSource(const cmh::ConcurrentHierarchies& cmh, HierarchyId h,
+              std::string_view source)
+      : cmh_(&cmh), h_(h), lexer_(source) {}
+
+  /// Advances to the next markup event; nullopt at end of document.
+  Result<std::optional<MarkupEvent>> Next() {
+    if (pending_end_.has_value()) {
+      MarkupEvent ev = std::move(*pending_end_);
+      pending_end_.reset();
+      --depth_;
+      return std::optional<MarkupEvent>(std::move(ev));
+    }
+    while (true) {
+      CXML_ASSIGN_OR_RETURN(xml::Event ev, lexer_.Next());
+      switch (ev.kind) {
+        case xml::EventKind::kEndOfDocument: {
+          if (depth_ != 0) {
+            return Error("unexpected end of document: unclosed element");
+          }
+          if (!seen_root_) return Error("document has no root element");
+          return std::optional<MarkupEvent>();
+        }
+        case xml::EventKind::kText:
+        case xml::EventKind::kCData: {
+          if (depth_ == 0) {
+            if (!IsAllWhitespace(ev.text)) {
+              return Error("character data outside the root element");
+            }
+            break;  // prolog/epilog whitespace
+          }
+          content_ += ev.text;
+          break;
+        }
+        case xml::EventKind::kStartElement: {
+          if (depth_ == 0) {
+            if (seen_root_) return Error("second root element");
+            seen_root_ = true;
+            if (ev.name != cmh_->root_tag()) {
+              return Error(StrCat("root element '", ev.name,
+                                  "', expected shared root '",
+                                  cmh_->root_tag(), "'"));
+            }
+          } else if (!cmh_->hierarchy(h_).Covers(ev.name)) {
+            return Error(StrCat("element '", ev.name,
+                                "' is not declared in hierarchy '",
+                                cmh_->hierarchy(h_).name, "'"));
+          }
+          stack_.push_back(ev.name);
+          ++depth_;
+          MarkupEvent out;
+          out.is_start = true;
+          out.pos = content_.size();
+          out.event = ev;
+          if (ev.self_closing) {
+            MarkupEvent end;
+            end.is_start = false;
+            end.pos = content_.size();
+            end.event.kind = xml::EventKind::kEndElement;
+            end.event.name = ev.name;
+            pending_end_ = std::move(end);
+            stack_.pop_back();
+            // depth_ decremented when the pending end is delivered.
+          }
+          // Suppress the shared root: it is reported via StartDocument.
+          if (depth_ == 1) {
+            if (ev.self_closing) {
+              pending_end_.reset();
+              --depth_;
+            }
+            break;
+          }
+          return std::optional<MarkupEvent>(std::move(out));
+        }
+        case xml::EventKind::kEndElement: {
+          if (stack_.empty()) {
+            return Error(StrCat("stray end tag '</", ev.name, ">'"));
+          }
+          if (stack_.back() != ev.name) {
+            return Error(StrCat("mismatched end tag '</", ev.name,
+                                ">', expected '</", stack_.back(), ">'"));
+          }
+          stack_.pop_back();
+          --depth_;
+          if (depth_ == 0) break;  // suppress the shared root's end
+          MarkupEvent out;
+          out.is_start = false;
+          out.pos = content_.size();
+          out.event = ev;
+          return std::optional<MarkupEvent>(std::move(out));
+        }
+        case xml::EventKind::kComment:
+        case xml::EventKind::kProcessingInstruction:
+        case xml::EventKind::kXmlDecl:
+        case xml::EventKind::kDoctype:
+          break;  // transparent for SACX
+      }
+    }
+  }
+
+  const std::string& content() const { return content_; }
+  HierarchyId hierarchy() const { return h_; }
+
+ private:
+  Status Error(std::string message) const {
+    return status::ParseError(
+        StrCat("hierarchy '", cmh_->hierarchy(h_).name, "': ", message));
+  }
+
+  const cmh::ConcurrentHierarchies* cmh_;
+  HierarchyId h_;
+  xml::Lexer lexer_;
+  std::string content_;
+  std::vector<std::string> stack_;
+  size_t depth_ = 0;
+  bool seen_root_ = false;
+  std::optional<MarkupEvent> pending_end_;
+};
+
+}  // namespace
+
+Status SacxParser::Parse(const cmh::ConcurrentHierarchies& cmh,
+                         const std::vector<std::string_view>& sources,
+                         SacxHandler* handler) {
+  if (sources.size() != cmh.size()) {
+    return status::InvalidArgument(StrFormat(
+        "SACX needs %zu sources (one per hierarchy), got %zu", cmh.size(),
+        sources.size()));
+  }
+  CXML_RETURN_IF_ERROR(handler->StartDocument(cmh.root_tag()));
+
+  const size_t n = sources.size();
+  std::vector<EventSource> streams;
+  streams.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    streams.emplace_back(cmh, static_cast<HierarchyId>(i), sources[i]);
+  }
+  // Heads of the k streams (nullopt = exhausted).
+  std::vector<std::optional<MarkupEvent>> heads(n);
+  for (size_t i = 0; i < n; ++i) {
+    CXML_ASSIGN_OR_RETURN(heads[i], streams[i].Next());
+  }
+
+  size_t emitted = 0;  // content emitted as fragments so far
+  while (true) {
+    // Pick the next event: min (pos, end<start, hierarchy).
+    int best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (!heads[i].has_value()) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      const MarkupEvent& a = *heads[i];
+      const MarkupEvent& b = *heads[static_cast<size_t>(best)];
+      if (a.pos != b.pos) {
+        if (a.pos < b.pos) best = static_cast<int>(i);
+      } else if (a.is_start != b.is_start) {
+        if (!a.is_start) best = static_cast<int>(i);
+      }
+      // equal pos+kind: lower hierarchy wins (loop order already does)
+    }
+    if (best < 0) break;
+    auto& src = streams[static_cast<size_t>(best)];
+    MarkupEvent ev = std::move(*heads[static_cast<size_t>(best)]);
+
+    // Flush the shared content fragment up to this event's position. The
+    // source that produced the event has already decoded through ev.pos.
+    if (ev.pos > emitted) {
+      std::string_view fragment =
+          std::string_view(src.content()).substr(emitted, ev.pos - emitted);
+      CXML_RETURN_IF_ERROR(handler->Characters(fragment, emitted));
+      emitted = ev.pos;
+    }
+    if (ev.is_start) {
+      CXML_RETURN_IF_ERROR(
+          handler->StartElement(src.hierarchy(), ev.event, ev.pos));
+    } else {
+      CXML_RETURN_IF_ERROR(
+          handler->EndElement(src.hierarchy(), ev.event.name, ev.pos));
+    }
+    CXML_ASSIGN_OR_RETURN(heads[static_cast<size_t>(best)],
+                          streams[static_cast<size_t>(best)].Next());
+  }
+
+  // All streams exhausted: verify content agreement, flush the tail.
+  for (size_t i = 1; i < n; ++i) {
+    if (streams[i].content() != streams[0].content()) {
+      return status::ValidationError(StrCat(
+          "hierarchy '", cmh.hierarchy(static_cast<HierarchyId>(i)).name,
+          "' disagrees on content with hierarchy '", cmh.hierarchy(0).name,
+          "' — a distributed document must encode identical content"));
+    }
+  }
+  if (n > 0 && streams[0].content().size() > emitted) {
+    std::string_view fragment =
+        std::string_view(streams[0].content()).substr(emitted);
+    CXML_RETURN_IF_ERROR(handler->Characters(fragment, emitted));
+  }
+  return handler->EndDocument();
+}
+
+}  // namespace cxml::sacx

@@ -1,0 +1,63 @@
+#ifndef CXML_SACX_SACX_H_
+#define CXML_SACX_SACX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cmh/hierarchy.h"
+#include "common/result.h"
+#include "xml/token.h"
+
+namespace cxml::sacx {
+
+using cmh::HierarchyId;
+
+/// SACX (SAX for Concurrent XML, Iacob, Dekhtyar & Kaneko, WIDM 2004):
+/// the per-hierarchy documents of a distributed document are tokenised
+/// concurrently and their markup events are merged **by content
+/// position** into a single stream. Character data is emitted as unified
+/// fragments cut at every markup boundary of *any* hierarchy — exactly
+/// the GODDAG leaf partition.
+///
+/// Event order at one content position `p`:
+///   1. end-tags (any hierarchy; within a hierarchy innermost first),
+///   2. start-tags,
+///   3. the character fragment starting at `p`.
+/// Ties across hierarchies break by hierarchy id, preserving each
+/// hierarchy's own stream order.
+class SacxHandler {
+ public:
+  virtual ~SacxHandler() = default;
+
+  virtual Status StartDocument(std::string_view root_tag) {
+    (void)root_tag;
+    return Status::Ok();
+  }
+  virtual Status EndDocument() { return Status::Ok(); }
+  /// `event.name`/`event.attrs` describe the element; `pos` is the
+  /// content offset of its extent's start.
+  virtual Status StartElement(HierarchyId hierarchy, const xml::Event& event,
+                              size_t pos) = 0;
+  virtual Status EndElement(HierarchyId hierarchy, std::string_view tag,
+                            size_t pos) = 0;
+  /// A shared content fragment `[pos, pos + text.size())` — one GODDAG
+  /// leaf.
+  virtual Status Characters(std::string_view text, size_t pos) = 0;
+};
+
+/// The streaming parser. Documents are consumed in lockstep; memory is
+/// O(markup nesting + one content copy), never DOM-proportional.
+class SacxParser {
+ public:
+  /// Parses one XML source per hierarchy of `cmh` and streams merged
+  /// events into `handler`. Verifies shared root tag, per-hierarchy
+  /// vocabulary membership, and content agreement across documents.
+  Status Parse(const cmh::ConcurrentHierarchies& cmh,
+               const std::vector<std::string_view>& sources,
+               SacxHandler* handler);
+};
+
+}  // namespace cxml::sacx
+
+#endif  // CXML_SACX_SACX_H_

@@ -1,0 +1,100 @@
+#include "workload/boethius.h"
+
+#include "dtd/dtd.h"
+
+namespace cxml::workload {
+
+namespace {
+
+// Content: "Ða se Wisdom þa þis fitte asungen hæfde þa ongan he eft
+// seggan" (then, when Wisdom had sung this song, he began again to
+// speak) — folio 36v region of the manuscript, modern transcription
+// conventions.
+//
+// Conflict structure (paper Figure 1):
+//   * <w>asungen</w> crosses the line 1 / line 2 break,
+//   * <res> starts inside "fitte", ends inside "hæfde" (crosses two word
+//     boundaries and the line break),
+//   * <dmg> starts inside "ongan", ends inside "seggan" (crosses words).
+constexpr const char* kPhysical =
+    "<r><line n=\"1\">\xC3\x90""a se Wisdom \xC3\xBE""a \xC3\xBE""is fitte "
+    "asun</line><line n=\"2\">gen h\xC3\xA6""fde \xC3\xBE""a ongan he eft "
+    "seggan</line></r>";
+
+constexpr const char* kLinguistic =
+    "<r><s><w>\xC3\x90""a</w> <w>se</w> <w>Wisdom</w> <w>\xC3\xBE""a</w> "
+    "<w>\xC3\xBE""is</w> <w>fitte</w> <w>asungen</w> <w>h\xC3\xA6"
+    "fde</w></s> <s><w>\xC3\xBE""a</w> <w>ongan</w> <w>he</w> <w>eft</w> "
+    "<w>seggan</w></s></r>";
+
+constexpr const char* kRestoration =
+    "<r>\xC3\x90""a se Wisdom \xC3\xBE""a \xC3\xBE""is fi<res resp=\"ed\">"
+    "tte asungen h\xC3\xA6</res>fde \xC3\xBE""a ongan he eft seggan</r>";
+
+constexpr const char* kDamage =
+    "<r>\xC3\x90""a se Wisdom \xC3\xBE""a \xC3\xBE""is fitte asungen "
+    "h\xC3\xA6""fde \xC3\xBE""a on<dmg type=\"stain\">gan he eft "
+    "seg</dmg>gan</r>";
+
+constexpr const char* kPhysicalDtd =
+    "<!ELEMENT r (line+)>"
+    "<!ELEMENT line (#PCDATA)>"
+    "<!ATTLIST line n CDATA #REQUIRED>";
+
+constexpr const char* kLinguisticDtd =
+    "<!ELEMENT r (#PCDATA|s)*>"
+    "<!ELEMENT s (#PCDATA|w)*>"
+    "<!ELEMENT w (#PCDATA)>";
+
+constexpr const char* kRestorationDtd =
+    "<!ELEMENT r (#PCDATA|res)*>"
+    "<!ELEMENT res (#PCDATA)>"
+    "<!ATTLIST res resp CDATA #IMPLIED>";
+
+constexpr const char* kDamageDtd =
+    "<!ELEMENT r (#PCDATA|dmg)*>"
+    "<!ELEMENT dmg (#PCDATA)>"
+    "<!ATTLIST dmg type CDATA #IMPLIED agent CDATA #IMPLIED>";
+
+}  // namespace
+
+const std::string& BoethiusContent() {
+  static const std::string kContent =
+      "\xC3\x90""a se Wisdom \xC3\xBE""a \xC3\xBE""is fitte asungen "
+      "h\xC3\xA6""fde \xC3\xBE""a ongan he eft seggan";
+  return kContent;
+}
+
+const std::vector<std::string>& BoethiusSources() {
+  static const std::vector<std::string> kSources = {
+      kPhysical, kLinguistic, kRestoration, kDamage};
+  return kSources;
+}
+
+Result<cmh::ConcurrentHierarchies> MakeBoethiusCmh() {
+  cmh::ConcurrentHierarchies cmh("r");
+  const char* dtds[] = {kPhysicalDtd, kLinguisticDtd, kRestorationDtd,
+                        kDamageDtd};
+  for (size_t i = 0; i < 4; ++i) {
+    CXML_ASSIGN_OR_RETURN(dtd::Dtd dtd, dtd::ParseDtd(dtds[i]));
+    CXML_RETURN_IF_ERROR(
+        cmh.AddHierarchy(kBoethiusHierarchies[i], std::move(dtd)).status());
+  }
+  return cmh;
+}
+
+Result<BoethiusCorpus> MakeBoethiusCorpus() {
+  CXML_ASSIGN_OR_RETURN(cmh::ConcurrentHierarchies cmh, MakeBoethiusCmh());
+  BoethiusCorpus corpus;
+  corpus.cmh =
+      std::make_unique<cmh::ConcurrentHierarchies>(std::move(cmh));
+  std::vector<std::string_view> sources;
+  for (const std::string& s : BoethiusSources()) sources.push_back(s);
+  CXML_ASSIGN_OR_RETURN(
+      cmh::DistributedDocument doc,
+      cmh::DistributedDocument::Parse(*corpus.cmh, sources));
+  corpus.doc = std::make_unique<cmh::DistributedDocument>(std::move(doc));
+  return corpus;
+}
+
+}  // namespace cxml::workload

@@ -1,0 +1,60 @@
+#ifndef CXML_WORKLOAD_GENERATOR_H_
+#define CXML_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmh/distributed_document.h"
+#include "cmh/hierarchy.h"
+#include "common/result.h"
+
+namespace cxml::workload {
+
+/// Parameters of a synthetic manuscript. The generator reproduces the
+/// statistical shape of the paper's corpus (DESIGN.md §7): a physical
+/// hierarchy (pages/lines), a linguistic hierarchy (sentences/words) with
+/// boundaries deliberately misaligned with the physical ones, and any
+/// number of extra annotation hierarchies (ranges placed uniformly, so
+/// they overlap everything else at a controllable rate).
+struct GeneratorParams {
+  /// Approximate content size in characters.
+  size_t content_chars = 10'000;
+  /// Characters per physical line (lines per page fixed at 20).
+  size_t line_chars = 60;
+  /// Mean words per sentence.
+  size_t words_per_sentence = 12;
+  /// Number of extra annotation hierarchies beyond physical+linguistic
+  /// (each contributes `annotation_density` elements per 1000 chars).
+  size_t extra_hierarchies = 2;
+  /// Annotation elements per 1000 content characters, per extra
+  /// hierarchy.
+  double annotation_density = 4.0;
+  /// Mean annotation length in characters.
+  size_t annotation_chars = 80;
+  /// RNG seed (generation is deterministic given params).
+  uint64_t seed = 42;
+};
+
+/// A generated corpus: CMH + distributed document, lifetimes bundled.
+struct SyntheticCorpus {
+  std::unique_ptr<cmh::ConcurrentHierarchies> cmh;
+  std::unique_ptr<cmh::DistributedDocument> doc;
+  /// The raw per-hierarchy XML sources (same order as the CMH).
+  std::vector<std::string> sources;
+
+  std::vector<std::string_view> SourceViews() const {
+    return {sources.begin(), sources.end()};
+  }
+};
+
+/// Generates a synthetic manuscript. Hierarchy 0 is "physical"
+/// (page, line), hierarchy 1 is "linguistic" (s, w), hierarchies 2..N
+/// are "ann<k>" with a single element type `a<k>` that may overlap
+/// everything.
+Result<SyntheticCorpus> GenerateManuscript(const GeneratorParams& params);
+
+}  // namespace cxml::workload
+
+#endif  // CXML_WORKLOAD_GENERATOR_H_

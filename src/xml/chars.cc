@@ -1,0 +1,55 @@
+#include "xml/chars.h"
+
+#include "common/unicode.h"
+
+namespace cxml::xml {
+
+bool IsNameStartChar(char32_t cp) {
+  if (cp == ':' || cp == '_') return true;
+  if (cp >= 'A' && cp <= 'Z') return true;
+  if (cp >= 'a' && cp <= 'z') return true;
+  return (cp >= 0xC0 && cp <= 0xD6) || (cp >= 0xD8 && cp <= 0xF6) ||
+         (cp >= 0xF8 && cp <= 0x2FF) || (cp >= 0x370 && cp <= 0x37D) ||
+         (cp >= 0x37F && cp <= 0x1FFF) || (cp >= 0x200C && cp <= 0x200D) ||
+         (cp >= 0x2070 && cp <= 0x218F) || (cp >= 0x2C00 && cp <= 0x2FEF) ||
+         (cp >= 0x3001 && cp <= 0xD7FF) || (cp >= 0xF900 && cp <= 0xFDCF) ||
+         (cp >= 0xFDF0 && cp <= 0xFFFD) || (cp >= 0x10000 && cp <= 0xEFFFF);
+}
+
+bool IsNameChar(char32_t cp) {
+  if (IsNameStartChar(cp)) return true;
+  if (cp == '-' || cp == '.' || cp == 0xB7) return true;
+  if (cp >= '0' && cp <= '9') return true;
+  return (cp >= 0x0300 && cp <= 0x036F) || (cp >= 0x203F && cp <= 0x2040);
+}
+
+namespace {
+
+bool ValidateName(std::string_view name, bool allow_colon) {
+  if (name.empty()) return false;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < name.size()) {
+    DecodedChar d = DecodeUtf8(name, pos);
+    if (!d.valid()) return false;
+    if (!allow_colon && d.code_point == ':') return false;
+    if (first) {
+      if (!IsNameStartChar(d.code_point)) return false;
+      first = false;
+    } else if (!IsNameChar(d.code_point)) {
+      return false;
+    }
+    pos += d.length;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsValidName(std::string_view name) { return ValidateName(name, true); }
+
+bool IsValidNcName(std::string_view name) {
+  return ValidateName(name, false);
+}
+
+}  // namespace cxml::xml

@@ -1,0 +1,27 @@
+#ifndef CXML_XML_CHARS_H_
+#define CXML_XML_CHARS_H_
+
+#include <string_view>
+
+namespace cxml::xml {
+
+/// XML 1.0 character-class predicates (code-point level, per the spec
+/// productions [4] NameStartChar and [4a] NameChar, simplified to the
+/// ranges that matter for document-centric corpora).
+bool IsNameStartChar(char32_t cp);
+bool IsNameChar(char32_t cp);
+
+/// XML whitespace `S` production (single byte is enough: U+20/9/D/A).
+inline bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Validates a whole (possibly UTF-8) XML `Name`: NameStartChar NameChar*.
+bool IsValidName(std::string_view name);
+
+/// Validates an XML `NCName` (a Name with no ':'), used for hierarchy ids.
+bool IsValidNcName(std::string_view name);
+
+}  // namespace cxml::xml
+
+#endif  // CXML_XML_CHARS_H_

@@ -1,0 +1,143 @@
+#include "xml/escape.h"
+
+#include "common/strings.h"
+#include "common/unicode.h"
+
+namespace cxml::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\t':
+        out += "&#9;";
+        break;
+      case '\n':
+        out += "&#10;";
+        break;
+      case '\r':
+        out += "&#13;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<char32_t> DecodeCharRef(std::string_view body) {
+  if (body.empty()) return status::ParseError("empty character reference");
+  uint32_t value = 0;
+  if (body[0] == 'x' || body[0] == 'X') {
+    if (body.size() == 1) {
+      return status::ParseError("empty hex character reference");
+    }
+    for (size_t i = 1; i < body.size(); ++i) {
+      char c = body[i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return status::ParseError(
+            StrCat("bad hex digit in character reference: '", body, "'"));
+      }
+      value = value * 16 + digit;
+      if (value > 0x10FFFF) {
+        return status::ParseError("character reference out of range");
+      }
+    }
+  } else {
+    for (char c : body) {
+      if (c < '0' || c > '9') {
+        return status::ParseError(
+            StrCat("bad digit in character reference: '", body, "'"));
+      }
+      value = value * 10 + static_cast<uint32_t>(c - '0');
+      if (value > 0x10FFFF) {
+        return status::ParseError("character reference out of range");
+      }
+    }
+  }
+  char32_t cp = static_cast<char32_t>(value);
+  if (!IsXmlChar(cp)) {
+    return status::ParseError(
+        StrCat("character reference &#", body, "; is not a valid XML char"));
+  }
+  return cp;
+}
+
+Result<std::string> DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    char c = raw[pos];
+    if (c != '&') {
+      out.push_back(c);
+      ++pos;
+      continue;
+    }
+    size_t semi = raw.find(';', pos + 1);
+    if (semi == std::string_view::npos) {
+      return status::ParseError("unterminated entity reference");
+    }
+    std::string_view name = raw.substr(pos + 1, semi - pos - 1);
+    if (name.empty()) return status::ParseError("empty entity reference");
+    if (name[0] == '#') {
+      CXML_ASSIGN_OR_RETURN(char32_t cp, DecodeCharRef(name.substr(1)));
+      AppendUtf8(cp, &out);
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else {
+      return status::ParseError(
+          StrCat("unknown entity reference '&", name, ";'"));
+    }
+    pos = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace cxml::xml

@@ -1,0 +1,32 @@
+#ifndef CXML_XML_ESCAPE_H_
+#define CXML_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace cxml::xml {
+
+/// Escapes character data for element content: `& < >` (the `>` is escaped
+/// defensively, as `]]>` must not appear in content).
+std::string EscapeText(std::string_view text);
+
+/// Escapes an attribute value for emission inside double quotes:
+/// `& < " \t \n \r` (whitespace as character references so round-trips
+/// survive attribute-value normalisation).
+std::string EscapeAttribute(std::string_view value);
+
+/// Decodes the five predefined entity references and numeric character
+/// references in `raw`. Unknown entity references produce a ParseError.
+/// (DTD-declared general entities are resolved one level higher, by the
+/// lexer, which knows the internal subset.)
+Result<std::string> DecodeEntities(std::string_view raw);
+
+/// Decodes a single character reference body (the part between `&#` and
+/// `;`), e.g. "x1F4A9" or "65".
+Result<char32_t> DecodeCharRef(std::string_view body);
+
+}  // namespace cxml::xml
+
+#endif  // CXML_XML_ESCAPE_H_

@@ -1,0 +1,510 @@
+#include "xml/lexer.h"
+
+#include "common/strings.h"
+#include "common/unicode.h"
+#include "xml/chars.h"
+#include "xml/escape.h"
+
+namespace cxml::xml {
+
+namespace {
+
+/// Maximum nesting depth of general-entity expansion.
+constexpr int kMaxEntityDepth = 16;
+/// Cap on a single expanded text node, guarding exponential expansion.
+constexpr size_t kMaxExpansionBytes = 16u << 20;  // 16 MiB
+
+}  // namespace
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStartElement:
+      return "StartElement";
+    case EventKind::kEndElement:
+      return "EndElement";
+    case EventKind::kText:
+      return "Text";
+    case EventKind::kCData:
+      return "CData";
+    case EventKind::kComment:
+      return "Comment";
+    case EventKind::kProcessingInstruction:
+      return "ProcessingInstruction";
+    case EventKind::kXmlDecl:
+      return "XmlDecl";
+    case EventKind::kDoctype:
+      return "Doctype";
+    case EventKind::kEndOfDocument:
+      return "EndOfDocument";
+  }
+  return "Unknown";
+}
+
+Lexer::Lexer(std::string_view input) : input_(input) {}
+
+void Lexer::DeclareEntity(std::string name, std::string value) {
+  entities_[std::move(name)] = std::move(value);
+}
+
+char Lexer::PeekAt(size_t delta) const {
+  size_t i = pos_.offset + delta;
+  return i < input_.size() ? input_[i] : '\0';
+}
+
+void Lexer::Advance(size_t n) {
+  for (size_t i = 0; i < n && pos_.offset < input_.size(); ++i) {
+    if (input_[pos_.offset] == '\n') {
+      ++pos_.line;
+      pos_.column = 1;
+    } else {
+      ++pos_.column;
+    }
+    ++pos_.offset;
+  }
+}
+
+bool Lexer::ConsumeIf(std::string_view token) {
+  if (input_.substr(pos_.offset, token.size()) == token) {
+    Advance(token.size());
+    return true;
+  }
+  return false;
+}
+
+void Lexer::SkipSpace() {
+  while (!AtEnd() && IsSpace(Peek())) Advance();
+}
+
+Status Lexer::ErrorHere(std::string message) const {
+  return status::ParseError(StrFormat(
+      "%s at line %zu, column %zu", message.c_str(), pos_.line, pos_.column));
+}
+
+Result<Event> Lexer::Next() {
+  if (AtEnd()) {
+    Event ev;
+    ev.kind = EventKind::kEndOfDocument;
+    ev.pos = pos_;
+    eof_reported_ = true;
+    return ev;
+  }
+  if (Peek() == '<') return LexMarkup();
+  return LexText();
+}
+
+Result<Event> Lexer::LexMarkup() {
+  Position start = pos_;
+  // pos_ is at '<'.
+  if (PeekAt(1) == '?') {
+    return LexProcessingInstruction(start);
+  }
+  if (PeekAt(1) == '!') {
+    if (input_.substr(pos_.offset, 4) == "<!--") return LexComment(start);
+    if (input_.substr(pos_.offset, 9) == "<![CDATA[") return LexCData(start);
+    if (input_.substr(pos_.offset, 9) == "<!DOCTYPE") return LexDoctype(start);
+    return ErrorHere("unrecognized markup declaration");
+  }
+  if (PeekAt(1) == '/') return LexEndTag(start);
+  return LexStartTag(start);
+}
+
+Result<std::string> Lexer::LexName() {
+  size_t begin = pos_.offset;
+  if (AtEnd()) return ErrorHere("expected name, found end of input");
+  DecodedChar d = DecodeUtf8(input_, pos_.offset);
+  if (!d.valid() || !IsNameStartChar(d.code_point)) {
+    return ErrorHere("expected name start character");
+  }
+  Advance(d.length);
+  while (!AtEnd()) {
+    d = DecodeUtf8(input_, pos_.offset);
+    if (!d.valid() || !IsNameChar(d.code_point)) break;
+    Advance(d.length);
+  }
+  return std::string(input_.substr(begin, pos_.offset - begin));
+}
+
+Status Lexer::ExpandEntity(const std::string& name, int depth,
+                           bool normalize_ws, std::string* out) {
+  if (depth > kMaxEntityDepth) {
+    return status::ParseError(
+        StrCat("entity '", name, "' nested too deeply (recursive?)"));
+  }
+  auto it = entities_.find(name);
+  if (it == entities_.end()) {
+    return status::ParseError(StrCat("unknown entity reference '&", name,
+                                     ";'"));
+  }
+  const std::string& replacement = it->second;
+  if (replacement.find('<') != std::string::npos) {
+    return status::ParseError(
+        StrCat("entity '", name,
+               "' expands to markup, which this framework does not support"));
+  }
+  // Re-scan the replacement text for nested entity references.
+  size_t i = 0;
+  while (i < replacement.size()) {
+    char c = replacement[i];
+    if (c == '&') {
+      size_t semi = replacement.find(';', i + 1);
+      if (semi == std::string::npos) {
+        return status::ParseError(
+            StrCat("unterminated entity reference inside entity '", name,
+                   "'"));
+      }
+      std::string_view inner = std::string_view(replacement)
+                                   .substr(i + 1, semi - i - 1);
+      if (!inner.empty() && inner[0] == '#') {
+        CXML_ASSIGN_OR_RETURN(char32_t cp, DecodeCharRef(inner.substr(1)));
+        AppendUtf8(cp, out);
+      } else if (inner == "lt") {
+        out->push_back('<');
+      } else if (inner == "gt") {
+        out->push_back('>');
+      } else if (inner == "amp") {
+        out->push_back('&');
+      } else if (inner == "apos") {
+        out->push_back('\'');
+      } else if (inner == "quot") {
+        out->push_back('"');
+      } else {
+        CXML_RETURN_IF_ERROR(
+            ExpandEntity(std::string(inner), depth + 1, normalize_ws, out));
+      }
+      i = semi + 1;
+    } else if (normalize_ws && (c == '\t' || c == '\n' || c == '\r')) {
+      out->push_back(' ');
+      ++i;
+    } else {
+      out->push_back(c);
+      ++i;
+    }
+    if (out->size() > kMaxExpansionBytes) {
+      return status::ParseError("entity expansion exceeds size limit");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Event> Lexer::LexText() {
+  Event ev;
+  ev.kind = EventKind::kText;
+  ev.pos = pos_;
+  std::string out;
+  while (!AtEnd() && Peek() != '<') {
+    char c = Peek();
+    if (c == '&') {
+      Position ref_pos = pos_;
+      Advance();  // '&'
+      size_t semi = input_.find(';', pos_.offset);
+      if (semi == std::string_view::npos) {
+        pos_ = ref_pos;
+        return ErrorHere("unterminated entity reference");
+      }
+      std::string name(input_.substr(pos_.offset, semi - pos_.offset));
+      Advance(name.size() + 1);
+      if (!name.empty() && name[0] == '#') {
+        auto cp = DecodeCharRef(std::string_view(name).substr(1));
+        if (!cp.ok()) return cp.status().WithContext("in character reference");
+        AppendUtf8(cp.value(), &out);
+      } else if (name == "lt") {
+        out.push_back('<');
+      } else if (name == "gt") {
+        out.push_back('>');
+      } else if (name == "amp") {
+        out.push_back('&');
+      } else if (name == "apos") {
+        out.push_back('\'');
+      } else if (name == "quot") {
+        out.push_back('"');
+      } else {
+        CXML_RETURN_IF_ERROR(ExpandEntity(name, 0, false, &out));
+      }
+    } else {
+      if (c == ']' && input_.substr(pos_.offset, 3) == "]]>") {
+        return ErrorHere("']]>' must not appear in character data");
+      }
+      out.push_back(c);
+      Advance();
+    }
+    if (out.size() > kMaxExpansionBytes) {
+      return ErrorHere("text node exceeds expansion size limit");
+    }
+  }
+  ev.text = std::move(out);
+  return ev;
+}
+
+Result<Event> Lexer::LexComment(Position start) {
+  Advance(4);  // "<!--"
+  size_t body_begin = pos_.offset;
+  size_t close = input_.find("--", pos_.offset);
+  while (true) {
+    if (close == std::string_view::npos) {
+      return ErrorHere("unterminated comment");
+    }
+    if (close + 2 < input_.size() && input_[close + 2] == '>') break;
+    return ErrorHere("'--' not allowed inside comment");
+  }
+  Event ev;
+  ev.kind = EventKind::kComment;
+  ev.pos = start;
+  ev.text = std::string(input_.substr(body_begin, close - body_begin));
+  Advance(close + 3 - pos_.offset);
+  return ev;
+}
+
+Result<Event> Lexer::LexCData(Position start) {
+  Advance(9);  // "<![CDATA["
+  size_t body_begin = pos_.offset;
+  size_t close = input_.find("]]>", pos_.offset);
+  if (close == std::string_view::npos) {
+    return ErrorHere("unterminated CDATA section");
+  }
+  Event ev;
+  ev.kind = EventKind::kCData;
+  ev.pos = start;
+  ev.text = std::string(input_.substr(body_begin, close - body_begin));
+  Advance(close + 3 - pos_.offset);
+  return ev;
+}
+
+Result<Event> Lexer::LexProcessingInstruction(Position start) {
+  Advance(2);  // "<?"
+  CXML_ASSIGN_OR_RETURN(std::string target, LexName());
+  Event ev;
+  ev.pos = start;
+  if (target == "xml" || target == "XML") {
+    ev.kind = EventKind::kXmlDecl;
+    ev.name = target;
+    CXML_RETURN_IF_ERROR(LexAttributes(&ev));
+    SkipSpace();
+    if (!ConsumeIf("?>")) return ErrorHere("expected '?>'");
+    return ev;
+  }
+  ev.kind = EventKind::kProcessingInstruction;
+  ev.name = target;
+  SkipSpace();
+  size_t body_begin = pos_.offset;
+  size_t close = input_.find("?>", pos_.offset);
+  if (close == std::string_view::npos) {
+    return ErrorHere("unterminated processing instruction");
+  }
+  ev.text = std::string(input_.substr(body_begin, close - body_begin));
+  Advance(close + 2 - pos_.offset);
+  return ev;
+}
+
+Status Lexer::ParseInternalSubsetEntities(std::string_view subset) {
+  size_t i = 0;
+  while (i < subset.size()) {
+    if (subset.substr(i, 8) == "<!ENTITY") {
+      i += 8;
+      while (i < subset.size() && IsSpace(subset[i])) ++i;
+      if (i < subset.size() && subset[i] == '%') {
+        // Parameter entity: skip to '>' (documented limitation).
+        size_t gt = subset.find('>', i);
+        if (gt == std::string_view::npos) {
+          return status::ParseError("unterminated parameter entity");
+        }
+        i = gt + 1;
+        continue;
+      }
+      size_t name_begin = i;
+      while (i < subset.size() && !IsSpace(subset[i])) ++i;
+      std::string name(subset.substr(name_begin, i - name_begin));
+      while (i < subset.size() && IsSpace(subset[i])) ++i;
+      if (i >= subset.size() || (subset[i] != '"' && subset[i] != '\'')) {
+        // SYSTEM/PUBLIC external entity: skip (documented limitation).
+        size_t gt = subset.find('>', i);
+        if (gt == std::string_view::npos) {
+          return status::ParseError("unterminated entity declaration");
+        }
+        i = gt + 1;
+        continue;
+      }
+      char quote = subset[i++];
+      size_t val_begin = i;
+      size_t val_end = subset.find(quote, i);
+      if (val_end == std::string_view::npos) {
+        return status::ParseError(
+            StrCat("unterminated entity value for '", name, "'"));
+      }
+      entities_.emplace(std::move(name),
+                        std::string(subset.substr(val_begin,
+                                                  val_end - val_begin)));
+      size_t gt = subset.find('>', val_end);
+      if (gt == std::string_view::npos) {
+        return status::ParseError("unterminated entity declaration");
+      }
+      i = gt + 1;
+    } else {
+      ++i;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Event> Lexer::LexDoctype(Position start) {
+  Advance(9);  // "<!DOCTYPE"
+  SkipSpace();
+  CXML_ASSIGN_OR_RETURN(std::string root_name, LexName());
+  Event ev;
+  ev.kind = EventKind::kDoctype;
+  ev.pos = start;
+  ev.name = std::move(root_name);
+  SkipSpace();
+  // Optional external id: SYSTEM "..." | PUBLIC "..." "...".
+  if (ConsumeIf("SYSTEM")) {
+    SkipSpace();
+    CXML_ASSIGN_OR_RETURN(std::string sys, LexAttributeValue());
+    ev.attrs.push_back({"system", std::move(sys)});
+    SkipSpace();
+  } else if (ConsumeIf("PUBLIC")) {
+    SkipSpace();
+    CXML_ASSIGN_OR_RETURN(std::string pub, LexAttributeValue());
+    SkipSpace();
+    CXML_ASSIGN_OR_RETURN(std::string sys, LexAttributeValue());
+    ev.attrs.push_back({"public", std::move(pub)});
+    ev.attrs.push_back({"system", std::move(sys)});
+    SkipSpace();
+  }
+  if (!AtEnd() && Peek() == '[') {
+    Advance();
+    size_t body_begin = pos_.offset;
+    // Internal subsets do not nest '[' ']' except in unsupported
+    // conditional sections; a flat scan that respects quotes suffices.
+    size_t depth = 1;
+    char quote = '\0';
+    while (!AtEnd()) {
+      char c = Peek();
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+      } else if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        if (--depth == 0) break;
+      }
+      Advance();
+    }
+    if (AtEnd()) return ErrorHere("unterminated DOCTYPE internal subset");
+    ev.text = std::string(
+        input_.substr(body_begin, pos_.offset - body_begin));
+    Advance();  // ']'
+    CXML_RETURN_IF_ERROR(ParseInternalSubsetEntities(ev.text));
+  }
+  SkipSpace();
+  if (!ConsumeIf(">")) return ErrorHere("expected '>' closing DOCTYPE");
+  return ev;
+}
+
+Result<std::string> Lexer::LexAttributeValue() {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return ErrorHere("expected quoted attribute value");
+  }
+  char quote = Peek();
+  Advance();
+  std::string out;
+  while (!AtEnd() && Peek() != quote) {
+    char c = Peek();
+    if (c == '<') return ErrorHere("'<' not allowed in attribute value");
+    if (c == '&') {
+      Advance();
+      size_t semi = input_.find(';', pos_.offset);
+      if (semi == std::string_view::npos) {
+        return ErrorHere("unterminated entity reference in attribute");
+      }
+      std::string name(input_.substr(pos_.offset, semi - pos_.offset));
+      Advance(name.size() + 1);
+      if (!name.empty() && name[0] == '#') {
+        auto cp = DecodeCharRef(std::string_view(name).substr(1));
+        if (!cp.ok()) return cp.status();
+        AppendUtf8(cp.value(), &out);
+      } else if (name == "lt") {
+        out.push_back('<');
+      } else if (name == "gt") {
+        out.push_back('>');
+      } else if (name == "amp") {
+        out.push_back('&');
+      } else if (name == "apos") {
+        out.push_back('\'');
+      } else if (name == "quot") {
+        out.push_back('"');
+      } else {
+        CXML_RETURN_IF_ERROR(ExpandEntity(name, 0, true, &out));
+      }
+    } else if (c == '\t' || c == '\n' || c == '\r') {
+      // Attribute-value normalisation of literal whitespace.
+      out.push_back(' ');
+      Advance();
+    } else {
+      out.push_back(c);
+      Advance();
+    }
+  }
+  if (AtEnd()) return ErrorHere("unterminated attribute value");
+  Advance();  // closing quote
+  return out;
+}
+
+Status Lexer::LexAttributes(Event* event) {
+  while (true) {
+    bool had_space = false;
+    while (!AtEnd() && IsSpace(Peek())) {
+      Advance();
+      had_space = true;
+    }
+    if (AtEnd()) return ErrorHere("unterminated tag");
+    char c = Peek();
+    if (c == '>' || c == '/' || c == '?') return Status::Ok();
+    if (!had_space) {
+      return ErrorHere("expected whitespace before attribute");
+    }
+    auto name = LexName();
+    if (!name.ok()) return name.status();
+    SkipSpace();
+    if (!ConsumeIf("=")) return ErrorHere("expected '=' after attribute name");
+    SkipSpace();
+    auto value = LexAttributeValue();
+    if (!value.ok()) return value.status();
+    for (const auto& a : event->attrs) {
+      if (a.name == name.value()) {
+        return ErrorHere(
+            StrCat("duplicate attribute '", name.value(), "'"));
+      }
+    }
+    event->attrs.push_back({std::move(name).value(), std::move(value).value()});
+  }
+}
+
+Result<Event> Lexer::LexStartTag(Position start) {
+  Advance();  // '<'
+  CXML_ASSIGN_OR_RETURN(std::string name, LexName());
+  Event ev;
+  ev.kind = EventKind::kStartElement;
+  ev.pos = start;
+  ev.name = std::move(name);
+  CXML_RETURN_IF_ERROR(LexAttributes(&ev));
+  if (ConsumeIf("/>")) {
+    ev.self_closing = true;
+    return ev;
+  }
+  if (!ConsumeIf(">")) return ErrorHere("expected '>' or '/>'");
+  return ev;
+}
+
+Result<Event> Lexer::LexEndTag(Position start) {
+  Advance(2);  // "</"
+  CXML_ASSIGN_OR_RETURN(std::string name, LexName());
+  SkipSpace();
+  if (!ConsumeIf(">")) return ErrorHere("expected '>' in end tag");
+  Event ev;
+  ev.kind = EventKind::kEndElement;
+  ev.pos = start;
+  ev.name = std::move(name);
+  return ev;
+}
+
+}  // namespace cxml::xml

@@ -1,0 +1,90 @@
+#ifndef CXML_XML_LEXER_H_
+#define CXML_XML_LEXER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/token.h"
+
+namespace cxml::xml {
+
+/// Pull-style XML tokenizer ("lexer" in the framework's terminology).
+///
+/// Produces the document's markup `Event` stream one call at a time. The
+/// lexer handles:
+///   * start/end/empty element tags with attribute parsing + normalisation,
+///   * entity decoding (predefined, numeric, and general entities declared
+///     in the DOCTYPE internal subset),
+///   * CDATA sections, comments, processing instructions,
+///   * the XML declaration and DOCTYPE (internal subset captured raw so the
+///     DTD layer can parse it),
+///   * line/column/offset tracking for error messages.
+///
+/// It does NOT enforce tag balance or the single-root rule — that is the
+/// `SaxParser`'s job (sax.h). Keeping the layers separate lets SACX merge
+/// several lexer streams positionally before well-formedness is judged.
+///
+/// Documented limitations (document-centric scope): no external DTD/entity
+/// fetching; general entities must expand to character data (no `<`).
+class Lexer {
+ public:
+  /// `input` must outlive the lexer; no copy is taken.
+  explicit Lexer(std::string_view input);
+
+  /// Returns the next event, or kEndOfDocument forever once exhausted.
+  Result<Event> Next();
+
+  /// Current position (start of the next unread construct).
+  Position position() const { return pos_; }
+
+  /// Entities declared in the internal subset (name -> replacement text),
+  /// available after the kDoctype event has been returned.
+  const std::map<std::string, std::string>& entities() const {
+    return entities_;
+  }
+
+  /// Pre-declares a general entity (used by tests and by drivers that know
+  /// their representation's entity conventions).
+  void DeclareEntity(std::string name, std::string value);
+
+ private:
+  bool AtEnd() const { return pos_.offset >= input_.size(); }
+  char Peek() const { return input_[pos_.offset]; }
+  char PeekAt(size_t delta) const;
+  void Advance(size_t n = 1);
+  bool ConsumeIf(std::string_view token);
+  void SkipSpace();
+
+  Result<Event> LexMarkup();
+  Result<Event> LexText();
+  Result<Event> LexComment(Position start);
+  Result<Event> LexCData(Position start);
+  Result<Event> LexProcessingInstruction(Position start);
+  Result<Event> LexDoctype(Position start);
+  Result<Event> LexStartTag(Position start);
+  Result<Event> LexEndTag(Position start);
+  Result<std::string> LexName();
+  Status LexAttributes(Event* event);
+  Result<std::string> LexAttributeValue();
+
+  /// Appends the expansion of entity `name` to `out`. `depth` guards
+  /// against recursive ("billion laughs") expansion; `normalize_ws`
+  /// selects attribute-value normalisation of literal whitespace.
+  Status ExpandEntity(const std::string& name, int depth, bool normalize_ws,
+                      std::string* out);
+
+  Status ParseInternalSubsetEntities(std::string_view subset);
+
+  Status ErrorHere(std::string message) const;
+
+  std::string_view input_;
+  Position pos_;
+  std::map<std::string, std::string> entities_;
+  bool eof_reported_ = false;
+};
+
+}  // namespace cxml::xml
+
+#endif  // CXML_XML_LEXER_H_

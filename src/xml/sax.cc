@@ -1,0 +1,106 @@
+#include "xml/sax.h"
+
+#include "common/strings.h"
+#include "xml/lexer.h"
+
+namespace cxml::xml {
+
+Status SaxParser::Parse(std::string_view input, ContentHandler* handler) {
+  Lexer lexer(input);
+  std::vector<std::string> stack;
+  bool seen_root = false;
+  bool in_prolog = true;
+
+  CXML_RETURN_IF_ERROR(handler->StartDocument());
+  while (true) {
+    CXML_ASSIGN_OR_RETURN(Event ev, lexer.Next());
+    switch (ev.kind) {
+      case EventKind::kEndOfDocument: {
+        if (!stack.empty()) {
+          return status::ParseError(
+              StrCat("unexpected end of document: unclosed element '",
+                     stack.back(), "'"));
+        }
+        if (!seen_root) {
+          return status::ParseError("document has no root element");
+        }
+        CXML_RETURN_IF_ERROR(handler->EndDocument());
+        return Status::Ok();
+      }
+      case EventKind::kXmlDecl:
+        if (!in_prolog) {
+          return status::ParseError("XML declaration after prolog");
+        }
+        break;
+      case EventKind::kDoctype:
+        if (!in_prolog) {
+          return status::ParseError("DOCTYPE after root element");
+        }
+        doctype_name_ = ev.name;
+        CXML_RETURN_IF_ERROR(handler->DoctypeDecl(ev));
+        break;
+      case EventKind::kComment:
+        CXML_RETURN_IF_ERROR(handler->Comment(ev.text));
+        break;
+      case EventKind::kProcessingInstruction:
+        CXML_RETURN_IF_ERROR(handler->ProcessingInstruction(ev.name, ev.text));
+        break;
+      case EventKind::kText:
+        if (stack.empty()) {
+          if (!IsAllWhitespace(ev.text)) {
+            return status::ParseError(StrFormat(
+                "character data outside the root element at line %zu",
+                ev.pos.line));
+          }
+          break;  // ignorable whitespace in prolog/epilog
+        }
+        CXML_RETURN_IF_ERROR(handler->Characters(ev.text));
+        break;
+      case EventKind::kCData:
+        if (stack.empty()) {
+          return status::ParseError("CDATA section outside the root element");
+        }
+        CXML_RETURN_IF_ERROR(handler->Characters(ev.text));
+        break;
+      case EventKind::kStartElement: {
+        if (stack.empty()) {
+          if (seen_root) {
+            return status::ParseError(StrCat(
+                "second root element '", ev.name,
+                "' (a well-formed document has exactly one root)"));
+          }
+          seen_root = true;
+          in_prolog = false;
+        }
+        bool self_closing = ev.self_closing;
+        stack.push_back(ev.name);
+        CXML_RETURN_IF_ERROR(handler->StartElement(ev));
+        if (self_closing) {
+          Event end;
+          end.kind = EventKind::kEndElement;
+          end.name = ev.name;
+          end.pos = ev.pos;
+          stack.pop_back();
+          CXML_RETURN_IF_ERROR(handler->EndElement(end));
+        }
+        break;
+      }
+      case EventKind::kEndElement: {
+        if (stack.empty()) {
+          return status::ParseError(
+              StrCat("end tag '</", ev.name, ">' with no open element"));
+        }
+        if (stack.back() != ev.name) {
+          return status::ParseError(StrFormat(
+              "mismatched end tag at line %zu: expected '</%s>', got '</%s>'",
+              ev.pos.line, stack.back().c_str(), ev.name.c_str()));
+        }
+        stack.pop_back();
+        CXML_RETURN_IF_ERROR(handler->EndElement(ev));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cxml::xml

@@ -1,0 +1,52 @@
+#ifndef CXML_XML_SAX_H_
+#define CXML_XML_SAX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/token.h"
+
+namespace cxml::xml {
+
+/// SAX-style callback interface. Handlers return `Status` so a consumer can
+/// abort parsing with a domain error (e.g. "element not in any hierarchy").
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+
+  virtual Status StartDocument() { return Status::Ok(); }
+  virtual Status EndDocument() { return Status::Ok(); }
+  virtual Status StartElement(const Event& event) = 0;
+  virtual Status EndElement(const Event& event) = 0;
+  /// `text` is entity-decoded character data (CDATA included).
+  virtual Status Characters(std::string_view text) = 0;
+  virtual Status Comment(std::string_view /*text*/) { return Status::Ok(); }
+  virtual Status ProcessingInstruction(std::string_view /*target*/,
+                                       std::string_view /*data*/) {
+    return Status::Ok();
+  }
+  virtual Status DoctypeDecl(const Event& /*event*/) { return Status::Ok(); }
+};
+
+/// Well-formedness-enforcing SAX parser over the pull `Lexer`:
+/// balanced tags, exactly one root element, no non-whitespace character
+/// data outside the root, names valid. Self-closing tags are reported as
+/// StartElement (with `self_closing=true`) immediately followed by
+/// EndElement, so handlers see a canonical stream.
+class SaxParser {
+ public:
+  /// Parses `input`, invoking `handler` callbacks in document order.
+  Status Parse(std::string_view input, ContentHandler* handler);
+
+  /// Name of the DOCTYPE root element, if a DOCTYPE was seen.
+  const std::string& doctype_name() const { return doctype_name_; }
+
+ private:
+  std::string doctype_name_;
+};
+
+}  // namespace cxml::xml
+
+#endif  // CXML_XML_SAX_H_

@@ -1,0 +1,70 @@
+#ifndef CXML_XML_TOKEN_H_
+#define CXML_XML_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cxml::xml {
+
+/// One parsed attribute. Values are fully entity-decoded and
+/// attribute-value normalised (literal whitespace folded to spaces).
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute& o) const {
+    return name == o.name && value == o.value;
+  }
+};
+
+/// Byte offset plus human-friendly line/column (1-based) of a token.
+struct Position {
+  size_t offset = 0;
+  size_t line = 1;
+  size_t column = 1;
+};
+
+/// Kinds of markup events produced by the pull lexer, in document order.
+enum class EventKind {
+  kStartElement,
+  kEndElement,
+  kText,
+  kCData,
+  kComment,
+  kProcessingInstruction,
+  kXmlDecl,
+  kDoctype,
+  kEndOfDocument,
+};
+
+const char* EventKindToString(EventKind kind);
+
+/// A single pull-parser event. Field use by kind:
+///   kStartElement:          name, attrs, self_closing
+///   kEndElement:            name
+///   kText / kCData:         text (entity-decoded for kText, raw for kCData)
+///   kComment:               text (comment body)
+///   kProcessingInstruction: name (target), text (data)
+///   kXmlDecl:               attrs (version / encoding / standalone)
+///   kDoctype:               name (root name), text (raw internal subset)
+struct Event {
+  EventKind kind = EventKind::kEndOfDocument;
+  std::string name;
+  std::string text;
+  std::vector<Attribute> attrs;
+  bool self_closing = false;
+  Position pos;
+
+  /// Returns the attribute value or nullptr if absent.
+  const std::string* FindAttribute(const std::string& attr_name) const {
+    for (const auto& a : attrs) {
+      if (a.name == attr_name) return &a.value;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace cxml::xml
+
+#endif  // CXML_XML_TOKEN_H_

@@ -1,0 +1,177 @@
+#include "xpath/ast.h"
+
+#include "common/strings.h"
+
+namespace cxml::xpath {
+
+const char* AxisKindToString(AxisKind axis) {
+  switch (axis) {
+    case AxisKind::kChild:
+      return "child";
+    case AxisKind::kDescendant:
+      return "descendant";
+    case AxisKind::kParent:
+      return "parent";
+    case AxisKind::kAncestor:
+      return "ancestor";
+    case AxisKind::kFollowingSibling:
+      return "following-sibling";
+    case AxisKind::kPrecedingSibling:
+      return "preceding-sibling";
+    case AxisKind::kFollowing:
+      return "following";
+    case AxisKind::kPreceding:
+      return "preceding";
+    case AxisKind::kAttribute:
+      return "attribute";
+    case AxisKind::kSelf:
+      return "self";
+    case AxisKind::kDescendantOrSelf:
+      return "descendant-or-self";
+    case AxisKind::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case AxisKind::kOverlapping:
+      return "overlapping";
+    case AxisKind::kOverlappingStart:
+      return "overlapping-start";
+    case AxisKind::kOverlappingEnd:
+      return "overlapping-end";
+  }
+  return "?";
+}
+
+bool IsReverseAxis(AxisKind axis) {
+  return axis == AxisKind::kParent || axis == AxisKind::kAncestor ||
+         axis == AxisKind::kAncestorOrSelf ||
+         axis == AxisKind::kPreceding ||
+         axis == AxisKind::kPrecedingSibling;
+}
+
+namespace {
+
+std::string TestToString(const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+      return test.name;
+    case NodeTest::Kind::kAnyName:
+      return "*";
+    case NodeTest::Kind::kText:
+      return "text()";
+    case NodeTest::Kind::kNode:
+      return "node()";
+  }
+  return "?";
+}
+
+std::string StepToString(const Step& step) {
+  std::string out(AxisKindToString(step.axis));
+  if (!step.hierarchy.empty()) out += StrCat("(", step.hierarchy, ")");
+  out += "::";
+  out += TestToString(step.test);
+  for (const auto& pred : step.predicates) {
+    out += StrCat("[", ToString(*pred), "]");
+  }
+  return out;
+}
+
+const char* BinaryOp(Expr::Kind kind) {
+  switch (kind) {
+    case Expr::Kind::kOr:
+      return " or ";
+    case Expr::Kind::kAnd:
+      return " and ";
+    case Expr::Kind::kEquals:
+      return "=";
+    case Expr::Kind::kNotEquals:
+      return "!=";
+    case Expr::Kind::kLess:
+      return "<";
+    case Expr::Kind::kLessEq:
+      return "<=";
+    case Expr::Kind::kGreater:
+      return ">";
+    case Expr::Kind::kGreaterEq:
+      return ">=";
+    case Expr::Kind::kAdd:
+      return "+";
+    case Expr::Kind::kSubtract:
+      return "-";
+    case Expr::Kind::kMultiply:
+      return "*";
+    case Expr::Kind::kDivide:
+      return " div ";
+    case Expr::Kind::kModulo:
+      return " mod ";
+    case Expr::Kind::kUnion:
+      return "|";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string ToString(const LocationPath& path) {
+  std::string out;
+  if (path.absolute) out += "/";
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (i > 0) out += "/";
+    out += StepToString(path.steps[i]);
+  }
+  return out;
+}
+
+std::string ToString(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kOr:
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kEquals:
+    case Expr::Kind::kNotEquals:
+    case Expr::Kind::kLess:
+    case Expr::Kind::kLessEq:
+    case Expr::Kind::kGreater:
+    case Expr::Kind::kGreaterEq:
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSubtract:
+    case Expr::Kind::kMultiply:
+    case Expr::Kind::kDivide:
+    case Expr::Kind::kModulo:
+    case Expr::Kind::kUnion:
+      return StrCat("(", ToString(*expr.children[0]), BinaryOp(expr.kind),
+                    ToString(*expr.children[1]), ")");
+    case Expr::Kind::kNegate:
+      return StrCat("-", ToString(*expr.children[0]));
+    case Expr::Kind::kPath:
+      return ToString(expr.path);
+    case Expr::Kind::kFilter: {
+      std::string out = StrCat("(", ToString(*expr.children[0]), ")");
+      for (const auto& pred : expr.predicates) {
+        out += StrCat("[", ToString(*pred), "]");
+      }
+      if (!expr.path.steps.empty()) {
+        out += StrCat("/", ToString(expr.path));
+      }
+      return out;
+    }
+    case Expr::Kind::kLiteral:
+      return StrCat("'", expr.string_value, "'");
+    case Expr::Kind::kNumber: {
+      std::string n = StrFormat("%g", expr.number_value);
+      return n;
+    }
+    case Expr::Kind::kFunction: {
+      std::string out = StrCat(expr.string_value, "(");
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out += ",";
+        out += ToString(*expr.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case Expr::Kind::kVariable:
+      return StrCat("$", expr.string_value);
+  }
+  return "?";
+}
+
+}  // namespace cxml::xpath

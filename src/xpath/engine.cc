@@ -1,0 +1,40 @@
+#include "xpath/engine.h"
+
+namespace cxml::xpath {
+
+Result<const Expr*> XPathEngine::ParseCached(std::string_view expression) {
+  auto it = cache_.find(expression);
+  if (it != cache_.end()) return static_cast<const Expr*>(it->second.get());
+  CXML_ASSIGN_OR_RETURN(ExprPtr parsed, ParseXPath(expression));
+  const Expr* raw = parsed.get();
+  cache_.emplace(std::string(expression), std::move(parsed));
+  return raw;
+}
+
+Result<Value> XPathEngine::Evaluate(std::string_view expression) {
+  CXML_ASSIGN_OR_RETURN(const Expr* expr, ParseCached(expression));
+  return evaluator_.Evaluate(*expr);
+}
+
+Result<Value> XPathEngine::EvaluateFrom(std::string_view expression,
+                                        goddag::NodeId context) {
+  CXML_ASSIGN_OR_RETURN(const Expr* expr, ParseCached(expression));
+  return evaluator_.Evaluate(*expr, NodeEntry::Of(context));
+}
+
+Result<std::vector<goddag::NodeId>> XPathEngine::SelectNodes(
+    std::string_view expression) {
+  CXML_ASSIGN_OR_RETURN(Value value, Evaluate(expression));
+  if (!value.is_node_set()) {
+    return status::InvalidArgument(
+        "XPath: expression does not evaluate to a node-set");
+  }
+  std::vector<goddag::NodeId> out;
+  out.reserve(value.nodes().size());
+  for (const NodeEntry& e : value.nodes()) {
+    if (!e.is_document()) out.push_back(e.node);
+  }
+  return out;
+}
+
+}  // namespace cxml::xpath

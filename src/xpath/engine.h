@@ -1,0 +1,62 @@
+#ifndef CXML_XPATH_ENGINE_H_
+#define CXML_XPATH_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace cxml::xpath {
+
+/// Facade over parser + evaluator with a per-expression parse cache —
+/// the "Extended XPath engine" a framework user touches (paper §4:
+/// "an efficient implementation of the Extended XPath").
+class XPathEngine {
+ public:
+  /// `g` must outlive the engine.
+  explicit XPathEngine(const goddag::Goddag& g)
+      : g_(&g), evaluator_(g) {}
+
+  /// Evaluates against the document node.
+  Result<Value> Evaluate(std::string_view expression);
+  /// Evaluates with an explicit context node.
+  Result<Value> EvaluateFrom(std::string_view expression,
+                             goddag::NodeId context);
+
+  /// Evaluates a pre-parsed expression (used by the XQuery engine, which
+  /// compiles embedded expressions once and runs them per tuple).
+  Result<Value> EvaluateExpr(const Expr& expr) {
+    return evaluator_.Evaluate(expr);
+  }
+
+  /// Convenience: evaluates and requires a node-set; returns the GODDAG
+  /// nodes (attribute entries resolve to their owning node).
+  Result<std::vector<goddag::NodeId>> SelectNodes(
+      std::string_view expression);
+
+  /// Binds $name for subsequent evaluations.
+  void SetVariable(const std::string& name, Value value) {
+    evaluator_.SetVariable(name, std::move(value));
+  }
+
+  /// Call after mutating the GODDAG: clears evaluator indexes (the parse
+  /// cache stays — expressions do not depend on the instance).
+  void InvalidateIndexes() { evaluator_.Reset(); }
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  Result<const Expr*> ParseCached(std::string_view expression);
+
+  const goddag::Goddag* g_;
+  Evaluator evaluator_;
+  std::map<std::string, ExprPtr, std::less<>> cache_;
+};
+
+}  // namespace cxml::xpath
+
+#endif  // CXML_XPATH_ENGINE_H_

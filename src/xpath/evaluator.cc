@@ -1,0 +1,585 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cxml::xpath {
+
+using goddag::Goddag;
+using goddag::HierarchyId;
+using goddag::kInvalidHierarchy;
+using goddag::kInvalidNode;
+using goddag::NodeId;
+
+void Evaluator::SetVariable(const std::string& name, Value value) {
+  variables_.insert_or_assign(name, std::move(value));
+}
+
+const goddag::ExtentIndex& Evaluator::extent_index() {
+  if (extent_index_ == nullptr) {
+    extent_index_ = std::make_unique<goddag::ExtentIndex>(*g_);
+  }
+  return *extent_index_;
+}
+
+Result<Value> Evaluator::Evaluate(const Expr& expr, NodeEntry context) {
+  Context ctx;
+  ctx.node = context;
+  return EvalExpr(expr, ctx);
+}
+
+Result<HierarchyId> Evaluator::ResolveHierarchy(
+    const std::string& name) const {
+  if (name.empty()) return kInvalidHierarchy;  // "all hierarchies"
+  if (g_->cmh() != nullptr) {
+    HierarchyId id = g_->cmh()->FindIdByName(name);
+    if (id != kInvalidHierarchy) return id;
+    return status::InvalidArgument(
+        StrCat("XPath: unknown hierarchy '", name, "'"));
+  }
+  // Without a CMH, allow numeric hierarchy ids.
+  HierarchyId id = 0;
+  for (char c : name) {
+    if (c < '0' || c > '9') {
+      return status::InvalidArgument(
+          StrCat("XPath: unknown hierarchy '", name,
+                 "' (no CMH bound; use numeric ids)"));
+    }
+    id = id * 10 + static_cast<HierarchyId>(c - '0');
+  }
+  if (id >= g_->num_hierarchies()) {
+    return status::InvalidArgument(
+        StrCat("XPath: hierarchy index '", name, "' out of range"));
+  }
+  return id;
+}
+
+bool Evaluator::MatchesTest(const NodeTest& test, const NodeEntry& entry,
+                            bool attribute_axis) const {
+  if (attribute_axis) {
+    if (!entry.is_attribute()) return false;
+    switch (test.kind) {
+      case NodeTest::Kind::kName: {
+        const auto& attrs = g_->attributes(entry.node);
+        return entry.attr < static_cast<int32_t>(attrs.size()) &&
+               attrs[static_cast<size_t>(entry.attr)].name == test.name;
+      }
+      case NodeTest::Kind::kAnyName:
+      case NodeTest::Kind::kNode:
+        return true;
+      case NodeTest::Kind::kText:
+        return false;
+    }
+    return false;
+  }
+  if (entry.is_attribute()) return false;
+  if (entry.is_document()) return test.kind == NodeTest::Kind::kNode;
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+      return !g_->is_leaf(entry.node) && g_->tag(entry.node) == test.name;
+    case NodeTest::Kind::kAnyName:
+      return !g_->is_leaf(entry.node);
+    case NodeTest::Kind::kText:
+      return g_->is_leaf(entry.node);
+    case NodeTest::Kind::kNode:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// True when `anc` is reachable from `node` through parent links (any
+/// hierarchy for leaves). Used only to disambiguate equal extents.
+bool IsTreeAncestor(const Goddag& g, NodeId anc, NodeId node) {
+  std::vector<NodeId> frontier;
+  if (g.is_leaf(node)) {
+    for (HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+      frontier.push_back(g.leaf_parent(node, h));
+    }
+  } else if (g.is_element(node)) {
+    frontier.push_back(g.parent(node));
+  }
+  while (!frontier.empty()) {
+    NodeId n = frontier.back();
+    frontier.pop_back();
+    if (n == kInvalidNode) continue;
+    if (n == anc) return true;
+    if (g.is_element(n)) frontier.push_back(g.parent(n));
+  }
+  return false;
+}
+
+/// Containment with equal-extent disambiguation: `inner` is dominated by
+/// `outer` when its extent is strictly inside, or extents are equal and
+/// `outer` is a tree ancestor.
+bool Dominates(const Goddag& g, NodeId outer, NodeId inner) {
+  if (outer == inner) return false;
+  Interval o = g.char_range(outer);
+  Interval i = g.char_range(inner);
+  if (!o.Contains(i)) return false;
+  if (o == i) return IsTreeAncestor(g, outer, inner);
+  return true;
+}
+
+}  // namespace
+
+Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
+  CXML_ASSIGN_OR_RETURN(HierarchyId hq, ResolveHierarchy(step.hierarchy));
+  const bool all_h = (hq == kInvalidHierarchy);
+  const bool attr_axis = step.axis == AxisKind::kAttribute;
+  NodeSet out;
+  auto add = [&](NodeEntry e) {
+    if (MatchesTest(step.test, e, attr_axis)) out.push_back(e);
+  };
+  auto add_node = [&](NodeId id) { add(NodeEntry::Of(id)); };
+  /// Element passes the hierarchy qualifier?
+  auto h_ok = [&](NodeId id) {
+    return all_h || !g_->is_element(id) || g_->hierarchy(id) == hq;
+  };
+
+  switch (step.axis) {
+    case AxisKind::kAttribute: {
+      if (ctx.is_attribute() || ctx.is_document()) break;
+      const auto& attrs = g_->attributes(ctx.node);
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        add(NodeEntry::Attr(ctx.node, static_cast<int32_t>(i)));
+      }
+      break;
+    }
+
+    case AxisKind::kSelf:
+      if (!ctx.is_attribute() || step.test.kind == NodeTest::Kind::kNode) {
+        if (ctx.is_attribute()) {
+          out.push_back(ctx);
+        } else {
+          add(ctx);
+        }
+      }
+      break;
+
+    case AxisKind::kChild: {
+      if (ctx.is_attribute()) break;
+      if (ctx.is_document()) {
+        add_node(g_->root());
+        break;
+      }
+      if (g_->is_root(ctx.node)) {
+        if (all_h) {
+          for (HierarchyId h = 0; h < g_->num_hierarchies(); ++h) {
+            for (NodeId c : g_->root_children(h)) add_node(c);
+          }
+        } else {
+          for (NodeId c : g_->root_children(hq)) add_node(c);
+        }
+      } else if (g_->is_element(ctx.node)) {
+        if (all_h || g_->hierarchy(ctx.node) == hq) {
+          for (NodeId c : g_->children(ctx.node)) add_node(c);
+        }
+      }
+      break;
+    }
+
+    case AxisKind::kDescendant:
+    case AxisKind::kDescendantOrSelf: {
+      if (ctx.is_attribute()) break;
+      if (step.axis == AxisKind::kDescendantOrSelf) add(ctx);
+      if (ctx.is_document()) {
+        add_node(g_->root());
+        for (NodeId e : g_->AllElements()) {
+          if (h_ok(e)) add_node(e);
+        }
+        for (NodeId leaf : g_->leaves()) add_node(leaf);
+        break;
+      }
+      // Extent-dominated nodes (the GODDAG "ordered descendants").
+      for (NodeId e : g_->AllElements()) {
+        if (h_ok(e) && Dominates(*g_, ctx.node, e)) add_node(e);
+      }
+      Interval span = g_->char_range(ctx.node);
+      for (NodeId leaf : g_->leaves()) {
+        if (span.Contains(g_->char_range(leaf)) && leaf != ctx.node) {
+          add_node(leaf);
+        }
+      }
+      break;
+    }
+
+    case AxisKind::kParent: {
+      if (ctx.is_document()) break;
+      if (ctx.is_attribute()) {
+        add(NodeEntry::Of(ctx.node));
+        break;
+      }
+      if (g_->is_root(ctx.node)) {
+        add(NodeEntry::Document());
+        break;
+      }
+      if (g_->is_element(ctx.node)) {
+        if (all_h || g_->hierarchy(ctx.node) == hq) {
+          add_node(g_->parent(ctx.node));
+        }
+      } else {  // leaf: one parent per hierarchy
+        if (all_h) {
+          for (HierarchyId h = 0; h < g_->num_hierarchies(); ++h) {
+            add_node(g_->leaf_parent(ctx.node, h));
+          }
+        } else {
+          add_node(g_->leaf_parent(ctx.node, hq));
+        }
+      }
+      break;
+    }
+
+    case AxisKind::kAncestor:
+    case AxisKind::kAncestorOrSelf: {
+      if (ctx.is_document()) {
+        if (step.axis == AxisKind::kAncestorOrSelf) add(ctx);
+        break;
+      }
+      // For an attribute, its owning element is the first ancestor.
+      NodeId base = ctx.node;
+      if (ctx.is_attribute()) {
+        add(NodeEntry::Of(base));
+      } else if (step.axis == AxisKind::kAncestorOrSelf) {
+        add(ctx);
+      }
+      // Extent-dominating nodes + root + document.
+      if (!g_->is_root(base)) {
+        for (NodeId e : g_->AllElements()) {
+          if (h_ok(e) && Dominates(*g_, e, base)) add_node(e);
+        }
+        add_node(g_->root());
+      }
+      add(NodeEntry::Document());
+      break;
+    }
+
+    case AxisKind::kFollowingSibling:
+    case AxisKind::kPrecedingSibling: {
+      if (ctx.is_attribute() || ctx.is_document() ||
+          g_->is_root(ctx.node)) {
+        break;
+      }
+      const bool forward = step.axis == AxisKind::kFollowingSibling;
+      auto scan = [&](const std::vector<NodeId>& siblings) {
+        auto it = std::find(siblings.begin(), siblings.end(), ctx.node);
+        if (it == siblings.end()) return;
+        if (forward) {
+          for (auto s = it + 1; s != siblings.end(); ++s) add_node(*s);
+        } else {
+          for (auto s = siblings.begin(); s != it; ++s) add_node(*s);
+        }
+      };
+      if (g_->is_element(ctx.node)) {
+        HierarchyId h = g_->hierarchy(ctx.node);
+        if (!all_h && h != hq) break;
+        NodeId p = g_->parent(ctx.node);
+        scan(p == g_->root() ? g_->root_children(h) : g_->children(p));
+      } else {  // leaf: siblings per hierarchy
+        for (HierarchyId h = 0; h < g_->num_hierarchies(); ++h) {
+          if (!all_h && h != hq) continue;
+          NodeId p = g_->leaf_parent(ctx.node, h);
+          scan(p == g_->root() ? g_->root_children(h) : g_->children(p));
+        }
+      }
+      break;
+    }
+
+    case AxisKind::kFollowing:
+    case AxisKind::kPreceding: {
+      if (ctx.is_document()) break;
+      Interval span = g_->char_range(ctx.node);
+      const bool forward = step.axis == AxisKind::kFollowing;
+      for (NodeId e : g_->AllElements()) {
+        if (!h_ok(e) || e == ctx.node) continue;
+        Interval o = g_->char_range(e);
+        if (forward ? o.begin >= span.end && !(o == span)
+                    : o.end <= span.begin && !(o == span)) {
+          add_node(e);
+        }
+      }
+      for (NodeId leaf : g_->leaves()) {
+        if (leaf == ctx.node) continue;
+        Interval o = g_->char_range(leaf);
+        if (forward ? o.begin >= span.end : o.end <= span.begin) {
+          add_node(leaf);
+        }
+      }
+      break;
+    }
+
+    case AxisKind::kOverlapping:
+    case AxisKind::kOverlappingStart:
+    case AxisKind::kOverlappingEnd: {
+      if (ctx.is_attribute() || ctx.is_document()) break;
+      Interval span = g_->char_range(ctx.node);
+      for (NodeId e : extent_index().Overlapping(span)) {
+        if (e == ctx.node || !h_ok(e)) continue;
+        Interval o = g_->char_range(e);
+        bool keep = true;
+        if (step.axis == AxisKind::kOverlappingStart) {
+          keep = span.OverlapsRight(o);  // e starts inside ctx
+        } else if (step.axis == AxisKind::kOverlappingEnd) {
+          keep = span.OverlapsLeft(o);  // e ends inside ctx
+        }
+        if (keep) add_node(e);
+      }
+      break;
+    }
+  }
+
+  Value::Normalize(*g_, &out);
+  return out;
+}
+
+Result<NodeSet> Evaluator::EvalStep(const Step& step, NodeSet input) {
+  NodeSet result;
+  for (const NodeEntry& ctx : input) {
+    CXML_ASSIGN_OR_RETURN(NodeSet candidates, AxisNodes(step, ctx));
+    if (IsReverseAxis(step.axis)) {
+      std::reverse(candidates.begin(), candidates.end());
+    }
+    // Apply predicates with proximity positions.
+    for (const ExprPtr& pred : step.predicates) {
+      NodeSet filtered;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        Context pctx;
+        pctx.node = candidates[i];
+        pctx.position = i + 1;
+        pctx.size = candidates.size();
+        CXML_ASSIGN_OR_RETURN(Value v, EvalExpr(*pred, pctx));
+        bool keep = (v.type() == Value::Type::kNumber)
+                        ? (v.ToNumber(*g_) ==
+                           static_cast<double>(pctx.position))
+                        : v.ToBoolean();
+        if (keep) filtered.push_back(candidates[i]);
+      }
+      candidates = std::move(filtered);
+    }
+    result.insert(result.end(), candidates.begin(), candidates.end());
+  }
+  Value::Normalize(*g_, &result);
+  return result;
+}
+
+Result<NodeSet> Evaluator::EvalPath(const LocationPath& path,
+                                    const Context& ctx) {
+  NodeSet current;
+  if (path.absolute) {
+    current.push_back(NodeEntry::Document());
+  } else {
+    current.push_back(ctx.node);
+  }
+  for (const Step& step : path.steps) {
+    CXML_ASSIGN_OR_RETURN(current, EvalStep(step, std::move(current)));
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+Result<Value> Evaluator::EvalFilter(const Expr& expr, const Context& ctx) {
+  CXML_ASSIGN_OR_RETURN(Value primary, EvalExpr(*expr.children[0], ctx));
+  if (expr.predicates.empty() && expr.path.steps.empty()) return primary;
+  if (!primary.is_node_set()) {
+    return status::InvalidArgument(
+        "XPath: predicates/steps can only follow a node-set expression");
+  }
+  NodeSet nodes = std::move(primary.nodes());
+  Value::Normalize(*g_, &nodes);
+  for (const ExprPtr& pred : expr.predicates) {
+    NodeSet filtered;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      Context pctx;
+      pctx.node = nodes[i];
+      pctx.position = i + 1;
+      pctx.size = nodes.size();
+      CXML_ASSIGN_OR_RETURN(Value v, EvalExpr(*pred, pctx));
+      bool keep =
+          (v.type() == Value::Type::kNumber)
+              ? (v.ToNumber(*g_) == static_cast<double>(pctx.position))
+              : v.ToBoolean();
+      if (keep) filtered.push_back(nodes[i]);
+    }
+    nodes = std::move(filtered);
+  }
+  for (const Step& step : expr.path.steps) {
+    CXML_ASSIGN_OR_RETURN(nodes, EvalStep(step, std::move(nodes)));
+  }
+  return Value(std::move(nodes));
+}
+
+Result<Value> Evaluator::Compare(Expr::Kind op, const Value& lhs,
+                                 const Value& rhs) {
+  auto sv = [&](const NodeEntry& e) { return Value::StringValue(*g_, e); };
+  const bool equality =
+      op == Expr::Kind::kEquals || op == Expr::Kind::kNotEquals;
+  auto num_cmp = [&](double a, double b) {
+    switch (op) {
+      case Expr::Kind::kEquals:
+        return a == b;
+      case Expr::Kind::kNotEquals:
+        return a != b;
+      case Expr::Kind::kLess:
+        return a < b;
+      case Expr::Kind::kLessEq:
+        return a <= b;
+      case Expr::Kind::kGreater:
+        return a > b;
+      case Expr::Kind::kGreaterEq:
+        return a >= b;
+      default:
+        return false;
+    }
+  };
+  auto str_cmp = [&](const std::string& a, const std::string& b) {
+    return op == Expr::Kind::kEquals ? a == b : a != b;
+  };
+  auto other_is_boolean = [](const Value& v) {
+    return v.type() == Value::Type::kBoolean;
+  };
+
+  if (lhs.is_node_set() && rhs.is_node_set()) {
+    for (const NodeEntry& a : lhs.nodes()) {
+      for (const NodeEntry& b : rhs.nodes()) {
+        if (equality ? str_cmp(sv(a), sv(b))
+                     : num_cmp(ParseXPathNumber(sv(a)),
+                               ParseXPathNumber(sv(b)))) {
+          return Value(true);
+        }
+      }
+    }
+    return Value(false);
+  }
+  if (lhs.is_node_set() || rhs.is_node_set()) {
+    const Value& set = lhs.is_node_set() ? lhs : rhs;
+    const Value& other = lhs.is_node_set() ? rhs : lhs;
+    const bool set_on_left = lhs.is_node_set();
+    // Per XPath: comparing a node-set with a boolean compares boolean().
+    if (equality && other_is_boolean(other)) {
+      return Value(op == Expr::Kind::kEquals
+                       ? set.ToBoolean() == other.ToBoolean()
+                       : set.ToBoolean() != other.ToBoolean());
+    }
+    for (const NodeEntry& e : set.nodes()) {
+      bool match;
+      if (equality) {
+        if (other.type() == Value::Type::kNumber) {
+          match = num_cmp(ParseXPathNumber(sv(e)), other.ToNumber(*g_));
+        } else {
+          match = str_cmp(sv(e), other.ToString(*g_));
+        }
+      } else {
+        double a = ParseXPathNumber(sv(e));
+        double b = other.ToNumber(*g_);
+        match = set_on_left ? num_cmp(a, b) : num_cmp(b, a);
+      }
+      if (match) return Value(true);
+    }
+    return Value(false);
+  }
+  // Neither is a node-set.
+  if (equality) {
+    if (lhs.type() == Value::Type::kBoolean ||
+        rhs.type() == Value::Type::kBoolean) {
+      bool eq = lhs.ToBoolean() == rhs.ToBoolean();
+      return Value(op == Expr::Kind::kEquals ? eq : !eq);
+    }
+    if (lhs.type() == Value::Type::kNumber ||
+        rhs.type() == Value::Type::kNumber) {
+      return Value(num_cmp(lhs.ToNumber(*g_), rhs.ToNumber(*g_)));
+    }
+    return Value(str_cmp(lhs.ToString(*g_), rhs.ToString(*g_)));
+  }
+  return Value(num_cmp(lhs.ToNumber(*g_), rhs.ToNumber(*g_)));
+}
+
+Result<Value> Evaluator::EvalExpr(const Expr& expr, const Context& ctx) {
+  switch (expr.kind) {
+    case Expr::Kind::kOr: {
+      CXML_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], ctx));
+      if (lhs.ToBoolean()) return Value(true);
+      CXML_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], ctx));
+      return Value(rhs.ToBoolean());
+    }
+    case Expr::Kind::kAnd: {
+      CXML_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], ctx));
+      if (!lhs.ToBoolean()) return Value(false);
+      CXML_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], ctx));
+      return Value(rhs.ToBoolean());
+    }
+    case Expr::Kind::kEquals:
+    case Expr::Kind::kNotEquals:
+    case Expr::Kind::kLess:
+    case Expr::Kind::kLessEq:
+    case Expr::Kind::kGreater:
+    case Expr::Kind::kGreaterEq: {
+      CXML_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], ctx));
+      CXML_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], ctx));
+      return Compare(expr.kind, lhs, rhs);
+    }
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSubtract:
+    case Expr::Kind::kMultiply:
+    case Expr::Kind::kDivide:
+    case Expr::Kind::kModulo: {
+      CXML_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], ctx));
+      CXML_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], ctx));
+      double a = lhs.ToNumber(*g_);
+      double b = rhs.ToNumber(*g_);
+      switch (expr.kind) {
+        case Expr::Kind::kAdd:
+          return Value(a + b);
+        case Expr::Kind::kSubtract:
+          return Value(a - b);
+        case Expr::Kind::kMultiply:
+          return Value(a * b);
+        case Expr::Kind::kDivide:
+          return Value(a / b);
+        default:
+          return Value(std::fmod(a, b));
+      }
+    }
+    case Expr::Kind::kNegate: {
+      CXML_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], ctx));
+      return Value(-v.ToNumber(*g_));
+    }
+    case Expr::Kind::kUnion: {
+      CXML_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], ctx));
+      CXML_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], ctx));
+      if (!lhs.is_node_set() || !rhs.is_node_set()) {
+        return status::InvalidArgument(
+            "XPath: '|' requires node-set operands");
+      }
+      NodeSet merged = std::move(lhs.nodes());
+      merged.insert(merged.end(), rhs.nodes().begin(), rhs.nodes().end());
+      Value::Normalize(*g_, &merged);
+      return Value(std::move(merged));
+    }
+    case Expr::Kind::kPath: {
+      CXML_ASSIGN_OR_RETURN(NodeSet nodes, EvalPath(expr.path, ctx));
+      return Value(std::move(nodes));
+    }
+    case Expr::Kind::kFilter:
+      return EvalFilter(expr, ctx);
+    case Expr::Kind::kLiteral:
+      return Value(expr.string_value);
+    case Expr::Kind::kNumber:
+      return Value(expr.number_value);
+    case Expr::Kind::kFunction:
+      return CallFunction(expr, ctx);
+    case Expr::Kind::kVariable: {
+      auto it = variables_.find(expr.string_value);
+      if (it == variables_.end()) {
+        return status::NotFound(
+            StrCat("XPath: unbound variable $", expr.string_value));
+      }
+      return it->second;
+    }
+  }
+  return status::Internal("XPath: unhandled expression kind");
+}
+
+}  // namespace cxml::xpath

@@ -1,0 +1,75 @@
+#ifndef CXML_XPATH_EVALUATOR_H_
+#define CXML_XPATH_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "goddag/algebra.h"
+#include "goddag/goddag.h"
+#include "xpath/ast.h"
+#include "xpath/value.h"
+
+namespace cxml::xpath {
+
+/// Extended XPath evaluator over a GODDAG.
+///
+/// Semantics follow XPath 1.0 with the document-order, axis and
+/// string-value definitions lifted to the GODDAG:
+///  * a node may have one parent per hierarchy (leaves do);
+///  * `following`/`preceding` are extent-based (strictly after/before in
+///    content);
+///  * the `overlapping` axes implement the paper's concurrent-markup
+///    queries, with optional hierarchy qualifiers on every axis.
+///
+/// The evaluator is deliberately stateless across calls except for a
+/// lazily built extent index (invalidated by Reset()) and variable
+/// bindings.
+class Evaluator {
+ public:
+  /// `g` must outlive the evaluator.
+  explicit Evaluator(const goddag::Goddag& g) : g_(&g) {}
+
+  /// Evaluates against a context node (default: the virtual document
+  /// node, so absolute and relative paths both work naturally).
+  Result<Value> Evaluate(const Expr& expr,
+                         NodeEntry context = NodeEntry::Document());
+
+  /// Binds $name. Overwrites existing bindings.
+  void SetVariable(const std::string& name, Value value);
+
+  /// Drops cached indexes after the GODDAG was mutated.
+  void Reset() { extent_index_.reset(); }
+
+ private:
+  struct Context {
+    NodeEntry node;
+    size_t position = 1;  // 1-based
+    size_t size = 1;
+  };
+
+  Result<Value> EvalExpr(const Expr& expr, const Context& ctx);
+  Result<Value> EvalFilter(const Expr& expr, const Context& ctx);
+  Result<NodeSet> EvalPath(const LocationPath& path, const Context& ctx);
+  Result<NodeSet> EvalStep(const Step& step, NodeSet input);
+  Result<NodeSet> AxisNodes(const Step& step, const NodeEntry& ctx);
+  Result<Value> CallFunction(const Expr& call, const Context& ctx);
+  Result<Value> Compare(Expr::Kind op, const Value& lhs, const Value& rhs);
+
+  /// Resolves a step's hierarchy qualifier to an id; nullopt when the
+  /// step has none. Errors on unknown names.
+  Result<goddag::HierarchyId> ResolveHierarchy(const std::string& name)
+      const;
+
+  bool MatchesTest(const NodeTest& test, const NodeEntry& entry,
+                   bool attribute_axis) const;
+  const goddag::ExtentIndex& extent_index();
+
+  const goddag::Goddag* g_;
+  std::map<std::string, Value> variables_;
+  std::unique_ptr<goddag::ExtentIndex> extent_index_;
+};
+
+}  // namespace cxml::xpath
+
+#endif  // CXML_XPATH_EVALUATOR_H_

@@ -1,0 +1,280 @@
+// The Extended XPath function library (Evaluator::CallFunction): the
+// XPath 1.0 core functions plus the concurrent-markup extensions
+// hierarchy(), overlap-degree(), range-start(), range-end() and
+// leaf-count().
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+#include "common/unicode.h"
+#include "xpath/evaluator.h"
+
+namespace cxml::xpath {
+
+using goddag::kInvalidHierarchy;
+
+namespace {
+
+/// Substring by code points with XPath's rounding rules.
+std::string XPathSubstring(const std::string& s, double start_d,
+                           double length_d, bool has_length) {
+  // XPath positions are 1-based over code points; round() halves up.
+  if (std::isnan(start_d)) return "";
+  double start = std::floor(start_d + 0.5);
+  double end;
+  if (has_length) {
+    if (std::isnan(length_d)) return "";
+    end = start + std::floor(length_d + 0.5);
+  } else {
+    end = std::numeric_limits<double>::infinity();
+  }
+  std::string out;
+  size_t pos = 0;
+  double index = 1;
+  while (pos < s.size()) {
+    DecodedChar d = DecodeUtf8(s, pos);
+    size_t len = d.valid() ? d.length : 1;
+    if (index >= start && index < end) out.append(s, pos, len);
+    pos += len;
+    index += 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Value> Evaluator::CallFunction(const Expr& call, const Context& ctx) {
+  const std::string& name = call.string_value;
+  // Evaluate arguments eagerly (all core functions are strict).
+  std::vector<Value> args;
+  args.reserve(call.children.size());
+  for (const ExprPtr& arg : call.children) {
+    CXML_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, ctx));
+    args.push_back(std::move(v));
+  }
+  auto arity_error = [&](const char* expected) {
+    return status::InvalidArgument(StrFormat(
+        "XPath: %s() expects %s argument(s), got %zu", name.c_str(),
+        expected, args.size()));
+  };
+  auto arg_string = [&](size_t i) { return args[i].ToString(*g_); };
+  auto arg_number = [&](size_t i) { return args[i].ToNumber(*g_); };
+  /// Context node as a singleton set, or args[0] when provided.
+  auto target_set = [&]() -> Result<NodeSet> {
+    if (args.empty()) return NodeSet{ctx.node};
+    if (!args[0].is_node_set()) {
+      return status::InvalidArgument(StrCat(
+          "XPath: ", name, "() expects a node-set argument"));
+    }
+    return args[0].nodes();
+  };
+
+  // ------------------------------------------------ node-set functions
+  if (name == "last") {
+    if (!args.empty()) return arity_error("0");
+    return Value(static_cast<double>(ctx.size));
+  }
+  if (name == "position") {
+    if (!args.empty()) return arity_error("0");
+    return Value(static_cast<double>(ctx.position));
+  }
+  if (name == "count") {
+    if (args.size() != 1 || !args[0].is_node_set()) {
+      return arity_error("1 node-set");
+    }
+    return Value(static_cast<double>(args[0].nodes().size()));
+  }
+  if (name == "name" || name == "local-name") {
+    CXML_ASSIGN_OR_RETURN(NodeSet set, target_set());
+    if (set.empty()) return Value(std::string());
+    NodeEntry first = set.front();
+    for (const NodeEntry& e : set) {
+      if (Value::DocBefore(*g_, e, first)) first = e;
+    }
+    if (first.is_document()) return Value(std::string());
+    if (first.is_attribute()) {
+      const auto& attrs = g_->attributes(first.node);
+      if (first.attr < static_cast<int32_t>(attrs.size())) {
+        return Value(attrs[static_cast<size_t>(first.attr)].name);
+      }
+      return Value(std::string());
+    }
+    if (g_->is_leaf(first.node)) return Value(std::string());
+    return Value(g_->tag(first.node));
+  }
+
+  // -------------------------------------------------- string functions
+  if (name == "string") {
+    if (args.size() > 1) return arity_error("0 or 1");
+    if (args.empty()) {
+      return Value(Value::StringValue(*g_, ctx.node));
+    }
+    return Value(arg_string(0));
+  }
+  if (name == "concat") {
+    if (args.size() < 2) return arity_error(">= 2");
+    std::string out;
+    for (size_t i = 0; i < args.size(); ++i) out += arg_string(i);
+    return Value(std::move(out));
+  }
+  if (name == "starts-with") {
+    if (args.size() != 2) return arity_error("2");
+    return Value(StartsWith(arg_string(0), arg_string(1)));
+  }
+  if (name == "contains") {
+    if (args.size() != 2) return arity_error("2");
+    return Value(arg_string(0).find(arg_string(1)) != std::string::npos);
+  }
+  if (name == "substring-before") {
+    if (args.size() != 2) return arity_error("2");
+    std::string s = arg_string(0);
+    size_t at = s.find(arg_string(1));
+    return Value(at == std::string::npos ? std::string()
+                                         : s.substr(0, at));
+  }
+  if (name == "substring-after") {
+    if (args.size() != 2) return arity_error("2");
+    std::string s = arg_string(0);
+    std::string needle = arg_string(1);
+    size_t at = s.find(needle);
+    return Value(at == std::string::npos ? std::string()
+                                         : s.substr(at + needle.size()));
+  }
+  if (name == "substring") {
+    if (args.size() != 2 && args.size() != 3) return arity_error("2 or 3");
+    return Value(XPathSubstring(arg_string(0), arg_number(1),
+                                args.size() == 3 ? arg_number(2) : 0,
+                                args.size() == 3));
+  }
+  if (name == "string-length") {
+    if (args.size() > 1) return arity_error("0 or 1");
+    std::string s = args.empty() ? Value::StringValue(*g_, ctx.node)
+                                 : arg_string(0);
+    return Value(static_cast<double>(Utf8Length(s)));
+  }
+  if (name == "normalize-space") {
+    if (args.size() > 1) return arity_error("0 or 1");
+    std::string s = args.empty() ? Value::StringValue(*g_, ctx.node)
+                                 : arg_string(0);
+    return Value(NormalizeSpace(s));
+  }
+  if (name == "translate") {
+    if (args.size() != 3) return arity_error("3");
+    std::string s = arg_string(0), from = arg_string(1), to = arg_string(2);
+    std::string out;
+    for (char c : s) {
+      size_t at = from.find(c);
+      if (at == std::string::npos) {
+        out.push_back(c);
+      } else if (at < to.size()) {
+        out.push_back(to[at]);
+      }  // else: dropped
+    }
+    return Value(std::move(out));
+  }
+
+  // ------------------------------------------------- boolean functions
+  if (name == "boolean") {
+    if (args.size() != 1) return arity_error("1");
+    return Value(args[0].ToBoolean());
+  }
+  if (name == "not") {
+    if (args.size() != 1) return arity_error("1");
+    return Value(!args[0].ToBoolean());
+  }
+  if (name == "true") {
+    if (!args.empty()) return arity_error("0");
+    return Value(true);
+  }
+  if (name == "false") {
+    if (!args.empty()) return arity_error("0");
+    return Value(false);
+  }
+
+  // -------------------------------------------------- number functions
+  if (name == "number") {
+    if (args.size() > 1) return arity_error("0 or 1");
+    if (args.empty()) {
+      return Value(ParseXPathNumber(Value::StringValue(*g_, ctx.node)));
+    }
+    return Value(arg_number(0));
+  }
+  if (name == "sum") {
+    if (args.size() != 1 || !args[0].is_node_set()) {
+      return arity_error("1 node-set");
+    }
+    double total = 0;
+    for (const NodeEntry& e : args[0].nodes()) {
+      total += ParseXPathNumber(Value::StringValue(*g_, e));
+    }
+    return Value(total);
+  }
+  if (name == "floor") {
+    if (args.size() != 1) return arity_error("1");
+    return Value(std::floor(arg_number(0)));
+  }
+  if (name == "ceiling") {
+    if (args.size() != 1) return arity_error("1");
+    return Value(std::ceil(arg_number(0)));
+  }
+  if (name == "round") {
+    if (args.size() != 1) return arity_error("1");
+    double v = arg_number(0);
+    if (std::isnan(v) || std::isinf(v)) return Value(v);
+    return Value(std::floor(v + 0.5));
+  }
+
+  // ------------------------------- concurrent-markup extensions (paper)
+  if (name == "hierarchy") {
+    // Name of the hierarchy owning the (first) node; "" for root, leaves
+    // and the document.
+    CXML_ASSIGN_OR_RETURN(NodeSet set, target_set());
+    if (set.empty()) return Value(std::string());
+    NodeEntry first = set.front();
+    if (first.is_document() || !g_->is_element(first.node)) {
+      return Value(std::string());
+    }
+    goddag::HierarchyId h = g_->hierarchy(first.node);
+    if (h == kInvalidHierarchy) return Value(std::string());
+    if (g_->cmh() != nullptr) return Value(g_->cmh()->hierarchy(h).name);
+    return Value(StrFormat("%u", h));
+  }
+  if (name == "overlap-degree") {
+    // Number of elements properly overlapping the (first) node.
+    CXML_ASSIGN_OR_RETURN(NodeSet set, target_set());
+    if (set.empty()) return Value(0.0);
+    NodeEntry first = set.front();
+    if (first.is_document() || first.is_attribute()) return Value(0.0);
+    Interval span = g_->char_range(first.node);
+    size_t degree = 0;
+    for (goddag::NodeId e : extent_index().Overlapping(span)) {
+      if (e != first.node) ++degree;
+    }
+    return Value(static_cast<double>(degree));
+  }
+  if (name == "range-start" || name == "range-end") {
+    CXML_ASSIGN_OR_RETURN(NodeSet set, target_set());
+    if (set.empty()) return Value(std::nan(""));
+    NodeEntry first = set.front();
+    Interval span = first.is_document()
+                        ? Interval(0, g_->content().size())
+                        : g_->char_range(first.node);
+    return Value(static_cast<double>(name == "range-start" ? span.begin
+                                                           : span.end));
+  }
+  if (name == "leaf-count") {
+    CXML_ASSIGN_OR_RETURN(NodeSet set, target_set());
+    if (set.empty()) return Value(0.0);
+    NodeEntry first = set.front();
+    if (first.is_document()) {
+      return Value(static_cast<double>(g_->num_leaves()));
+    }
+    return Value(static_cast<double>(g_->leaf_range(first.node).length()));
+  }
+
+  return status::NotFound(StrCat("XPath: unknown function '", name, "'"));
+}
+
+}  // namespace cxml::xpath

@@ -1,0 +1,206 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "common/unicode.h"
+#include "xml/chars.h"
+
+namespace cxml::xpath {
+
+namespace {
+
+bool IsNameStart(std::string_view s, size_t pos) {
+  DecodedChar d = DecodeUtf8(s, pos);
+  return d.valid() && d.code_point != ':' &&
+         xml::IsNameStartChar(d.code_point);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> TokenizeXPath(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto error = [&](std::string_view message) {
+    return status::ParseError(StrFormat(
+        "XPath: %s at offset %zu", std::string(message).c_str(), pos));
+  };
+
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++pos;
+      continue;
+    }
+    Token token;
+    token.offset = pos;
+    switch (c) {
+      case '/':
+        if (pos + 1 < input.size() && input[pos + 1] == '/') {
+          token.kind = TokenKind::kDoubleSlash;
+          pos += 2;
+        } else {
+          token.kind = TokenKind::kSlash;
+          ++pos;
+        }
+        break;
+      case ':':
+        if (pos + 1 < input.size() && input[pos + 1] == ':') {
+          token.kind = TokenKind::kAxisSep;
+          pos += 2;
+        } else {
+          return error("single ':' (QNames with prefixes not supported)");
+        }
+        break;
+      case '@':
+        token.kind = TokenKind::kAt;
+        ++pos;
+        break;
+      case '.':
+        if (pos + 1 < input.size() && input[pos + 1] == '.') {
+          token.kind = TokenKind::kDotDot;
+          pos += 2;
+        } else if (pos + 1 < input.size() &&
+                   std::isdigit(static_cast<unsigned char>(input[pos + 1]))) {
+          // .5 style number
+          char* end = nullptr;
+          token.kind = TokenKind::kNumber;
+          token.number = std::strtod(input.data() + pos, &end);
+          pos = static_cast<size_t>(end - input.data());
+        } else {
+          token.kind = TokenKind::kDot;
+          ++pos;
+        }
+        break;
+      case '(':
+        token.kind = TokenKind::kLParen;
+        ++pos;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        ++pos;
+        break;
+      case '[':
+        token.kind = TokenKind::kLBracket;
+        ++pos;
+        break;
+      case ']':
+        token.kind = TokenKind::kRBracket;
+        ++pos;
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        ++pos;
+        break;
+      case '|':
+        token.kind = TokenKind::kPipe;
+        ++pos;
+        break;
+      case '*':
+        token.kind = TokenKind::kStar;
+        ++pos;
+        break;
+      case '=':
+        token.kind = TokenKind::kEq;
+        ++pos;
+        break;
+      case '!':
+        if (pos + 1 < input.size() && input[pos + 1] == '=') {
+          token.kind = TokenKind::kNotEq;
+          pos += 2;
+        } else {
+          return error("'!' without '='");
+        }
+        break;
+      case '<':
+        if (pos + 1 < input.size() && input[pos + 1] == '=') {
+          token.kind = TokenKind::kLessEq;
+          pos += 2;
+        } else {
+          token.kind = TokenKind::kLess;
+          ++pos;
+        }
+        break;
+      case '>':
+        if (pos + 1 < input.size() && input[pos + 1] == '=') {
+          token.kind = TokenKind::kGreaterEq;
+          pos += 2;
+        } else {
+          token.kind = TokenKind::kGreater;
+          ++pos;
+        }
+        break;
+      case '+':
+        token.kind = TokenKind::kPlus;
+        ++pos;
+        break;
+      case '-':
+        token.kind = TokenKind::kMinus;
+        ++pos;
+        break;
+      case '"':
+      case '\'': {
+        size_t close = input.find(c, pos + 1);
+        if (close == std::string_view::npos) {
+          return error("unterminated string literal");
+        }
+        token.kind = TokenKind::kLiteral;
+        token.text = std::string(input.substr(pos + 1, close - pos - 1));
+        pos = close + 1;
+        break;
+      }
+      case '$': {
+        ++pos;
+        if (pos >= input.size() || !IsNameStart(input, pos)) {
+          return error("'$' must be followed by a variable name");
+        }
+        size_t begin = pos;
+        while (pos < input.size()) {
+          DecodedChar d = DecodeUtf8(input, pos);
+          if (!d.valid() || d.code_point == ':' ||
+              !xml::IsNameChar(d.code_point)) {
+            break;
+          }
+          pos += d.length;
+        }
+        token.kind = TokenKind::kVariable;
+        token.text = std::string(input.substr(begin, pos - begin));
+        break;
+      }
+      default: {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          char* end = nullptr;
+          token.kind = TokenKind::kNumber;
+          token.number = std::strtod(input.data() + pos, &end);
+          pos = static_cast<size_t>(end - input.data());
+          break;
+        }
+        if (IsNameStart(input, pos)) {
+          size_t begin = pos;
+          while (pos < input.size()) {
+            DecodedChar d = DecodeUtf8(input, pos);
+            if (!d.valid() || d.code_point == ':' ||
+                !xml::IsNameChar(d.code_point)) {
+              break;
+            }
+            pos += d.length;
+          }
+          token.kind = TokenKind::kName;
+          token.text = std::string(input.substr(begin, pos - begin));
+          break;
+        }
+        return error(StrCat("unexpected character '", std::string(1, c),
+                            "'"));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = input.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace cxml::xpath

@@ -1,0 +1,54 @@
+#ifndef CXML_XPATH_LEXER_H_
+#define CXML_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cxml::xpath {
+
+/// XPath token kinds.
+enum class TokenKind {
+  kName,         ///< NCName (axis names, element names, function names)
+  kNumber,
+  kLiteral,      ///< quoted string
+  kVariable,     ///< $name (name stored without '$')
+  kSlash,        ///< /
+  kDoubleSlash,  ///< //
+  kAxisSep,      ///< ::
+  kAt,           ///< @
+  kDot,          ///< .
+  kDotDot,       ///< ..
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kPipe,         ///< |
+  kStar,         ///< *
+  kEq,
+  kNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kPlus,
+  kMinus,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< names, literals
+  double number = 0;  ///< kNumber
+  size_t offset = 0;  ///< for error messages
+};
+
+/// Tokenises a whole XPath expression up front (expressions are short).
+Result<std::vector<Token>> TokenizeXPath(std::string_view input);
+
+}  // namespace cxml::xpath
+
+#endif  // CXML_XPATH_LEXER_H_

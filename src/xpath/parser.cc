@@ -1,0 +1,455 @@
+#include "xpath/parser.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "xpath/lexer.h"
+
+namespace cxml::xpath {
+
+namespace {
+
+const std::map<std::string, AxisKind, std::less<>>& AxisNames() {
+  static const auto* kMap = new std::map<std::string, AxisKind, std::less<>>{
+      {"child", AxisKind::kChild},
+      {"descendant", AxisKind::kDescendant},
+      {"parent", AxisKind::kParent},
+      {"ancestor", AxisKind::kAncestor},
+      {"following-sibling", AxisKind::kFollowingSibling},
+      {"preceding-sibling", AxisKind::kPrecedingSibling},
+      {"following", AxisKind::kFollowing},
+      {"preceding", AxisKind::kPreceding},
+      {"attribute", AxisKind::kAttribute},
+      {"self", AxisKind::kSelf},
+      {"descendant-or-self", AxisKind::kDescendantOrSelf},
+      {"ancestor-or-self", AxisKind::kAncestorOrSelf},
+      {"overlapping", AxisKind::kOverlapping},
+      {"overlapping-start", AxisKind::kOverlappingStart},
+      {"overlapping-end", AxisKind::kOverlappingEnd},
+  };
+  return *kMap;
+}
+
+bool IsNodeTypeName(std::string_view name) {
+  return name == "text" || name == "node" || name == "leaf";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr expr, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing tokens after expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Take() { return tokens_[pos_++]; }
+  bool ConsumeIf(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeIfName(std::string_view name) {
+    if (Peek().kind == TokenKind::kName && Peek().text == name) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(std::string_view message) const {
+    return status::ParseError(StrFormat(
+        "XPath: %s at offset %zu", std::string(message).c_str(),
+        Peek().offset));
+  }
+
+  // ---- expression grammar (descending precedence) ----
+
+  Result<ExprPtr> ParseOr() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeIfName("or")) {
+      CXML_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(Expr::Kind::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseEquality());
+    while (ConsumeIfName("and")) {
+      CXML_ASSIGN_OR_RETURN(ExprPtr rhs, ParseEquality());
+      lhs = Expr::Binary(Expr::Kind::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseEquality() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRelational());
+    while (true) {
+      Expr::Kind kind;
+      if (ConsumeIf(TokenKind::kEq)) {
+        kind = Expr::Kind::kEquals;
+      } else if (ConsumeIf(TokenKind::kNotEq)) {
+        kind = Expr::Kind::kNotEquals;
+      } else {
+        return lhs;
+      }
+      CXML_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRelational());
+      lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseRelational() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      Expr::Kind kind;
+      if (ConsumeIf(TokenKind::kLess)) {
+        kind = Expr::Kind::kLess;
+      } else if (ConsumeIf(TokenKind::kLessEq)) {
+        kind = Expr::Kind::kLessEq;
+      } else if (ConsumeIf(TokenKind::kGreater)) {
+        kind = Expr::Kind::kGreater;
+      } else if (ConsumeIf(TokenKind::kGreaterEq)) {
+        kind = Expr::Kind::kGreaterEq;
+      } else {
+        return lhs;
+      }
+      CXML_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      Expr::Kind kind;
+      if (ConsumeIf(TokenKind::kPlus)) {
+        kind = Expr::Kind::kAdd;
+      } else if (ConsumeIf(TokenKind::kMinus)) {
+        kind = Expr::Kind::kSubtract;
+      } else {
+        return lhs;
+      }
+      CXML_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      Expr::Kind kind;
+      if (ConsumeIf(TokenKind::kStar)) {
+        kind = Expr::Kind::kMultiply;
+      } else if (ConsumeIfName("div")) {
+        kind = Expr::Kind::kDivide;
+      } else if (ConsumeIfName("mod")) {
+        kind = Expr::Kind::kModulo;
+      } else {
+        return lhs;
+      }
+      CXML_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(kind, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeIf(TokenKind::kMinus)) {
+      CXML_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      auto e = std::make_unique<Expr>(Expr::Kind::kNegate);
+      e->children.push_back(std::move(child));
+      return e;
+    }
+    return ParseUnion();
+  }
+
+  Result<ExprPtr> ParseUnion() {
+    CXML_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePathExpr());
+    while (ConsumeIf(TokenKind::kPipe)) {
+      CXML_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePathExpr());
+      lhs = Expr::Binary(Expr::Kind::kUnion, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  /// True when the upcoming tokens start a location path (rather than a
+  /// primary expression).
+  bool StartsLocationPath() const {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kSlash:
+      case TokenKind::kDoubleSlash:
+      case TokenKind::kDot:
+      case TokenKind::kDotDot:
+      case TokenKind::kAt:
+      case TokenKind::kStar:
+        return true;
+      case TokenKind::kName: {
+        const Token& next = Peek(1);
+        if (next.kind == TokenKind::kLParen) {
+          // name( ... : function call unless a node-type test or an
+          // axis qualifier `axis(hierarchy)::`.
+          if (IsNodeTypeName(t.text)) return true;
+          if (AxisNames().count(t.text) != 0 &&
+              Peek(2).kind == TokenKind::kName &&
+              Peek(3).kind == TokenKind::kRParen &&
+              Peek(4).kind == TokenKind::kAxisSep) {
+            return true;
+          }
+          return false;
+        }
+        return true;  // name test or axis::
+      }
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprPtr> ParsePathExpr() {
+    if (StartsLocationPath()) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kPath);
+      CXML_ASSIGN_OR_RETURN(e->path, ParseLocationPath());
+      return e;
+    }
+    // FilterExpr: primary predicates* ( ('/' | '//') relative path )?
+    CXML_ASSIGN_OR_RETURN(ExprPtr primary, ParsePrimary());
+    if (Peek().kind != TokenKind::kLBracket &&
+        Peek().kind != TokenKind::kSlash &&
+        Peek().kind != TokenKind::kDoubleSlash) {
+      return primary;  // plain primary — no filter wrapper needed
+    }
+    auto filter = std::make_unique<Expr>(Expr::Kind::kFilter);
+    filter->children.push_back(std::move(primary));
+    while (Peek().kind == TokenKind::kLBracket) {
+      CXML_ASSIGN_OR_RETURN(ExprPtr pred, ParsePredicate());
+      filter->predicates.push_back(std::move(pred));
+    }
+    if (Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      bool double_slash = Peek().kind == TokenKind::kDoubleSlash;
+      Take();
+      if (double_slash) {
+        Step dos;
+        dos.axis = AxisKind::kDescendantOrSelf;
+        dos.test.kind = NodeTest::Kind::kNode;
+        filter->path.steps.push_back(std::move(dos));
+      }
+      CXML_ASSIGN_OR_RETURN(LocationPath rel, ParseRelativePath());
+      for (auto& step : rel.steps) {
+        filter->path.steps.push_back(std::move(step));
+      }
+    }
+    // Plain primaries stay as filters with no predicates/path — harmless.
+    return filter;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kVariable);
+        e->string_value = Take().text;
+        return e;
+      }
+      case TokenKind::kLiteral: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kLiteral);
+        e->string_value = Take().text;
+        return e;
+      }
+      case TokenKind::kNumber: {
+        auto e = std::make_unique<Expr>(Expr::Kind::kNumber);
+        e->number_value = Take().number;
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Take();
+        CXML_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        if (!ConsumeIf(TokenKind::kRParen)) return Error("expected ')'");
+        return inner;
+      }
+      case TokenKind::kName: {
+        if (Peek(1).kind != TokenKind::kLParen) {
+          return Error(StrCat("unexpected name '", t.text, "'"));
+        }
+        auto e = std::make_unique<Expr>(Expr::Kind::kFunction);
+        e->string_value = Take().text;
+        Take();  // '('
+        if (!ConsumeIf(TokenKind::kRParen)) {
+          while (true) {
+            CXML_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+            e->children.push_back(std::move(arg));
+            if (ConsumeIf(TokenKind::kComma)) continue;
+            if (ConsumeIf(TokenKind::kRParen)) break;
+            return Error("expected ',' or ')' in function arguments");
+          }
+        }
+        return e;
+      }
+      default:
+        return Error("expected a primary expression");
+    }
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    Take();  // '['
+    CXML_ASSIGN_OR_RETURN(ExprPtr expr, ParseOr());
+    if (!ConsumeIf(TokenKind::kRBracket)) return Error("expected ']'");
+    return expr;
+  }
+
+  Result<LocationPath> ParseLocationPath() {
+    LocationPath path;
+    if (ConsumeIf(TokenKind::kSlash)) {
+      path.absolute = true;
+      if (!StartsStep()) return path;  // bare "/"
+    } else if (ConsumeIf(TokenKind::kDoubleSlash)) {
+      path.absolute = true;
+      Step dos;
+      dos.axis = AxisKind::kDescendantOrSelf;
+      dos.test.kind = NodeTest::Kind::kNode;
+      path.steps.push_back(std::move(dos));
+    }
+    CXML_ASSIGN_OR_RETURN(LocationPath rel, ParseRelativePath());
+    for (auto& step : rel.steps) path.steps.push_back(std::move(step));
+    return path;
+  }
+
+  bool StartsStep() const {
+    switch (Peek().kind) {
+      case TokenKind::kDot:
+      case TokenKind::kDotDot:
+      case TokenKind::kAt:
+      case TokenKind::kStar:
+      case TokenKind::kName:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<LocationPath> ParseRelativePath() {
+    LocationPath path;
+    CXML_ASSIGN_OR_RETURN(Step first, ParseStep());
+    path.steps.push_back(std::move(first));
+    while (true) {
+      if (ConsumeIf(TokenKind::kSlash)) {
+        CXML_ASSIGN_OR_RETURN(Step step, ParseStep());
+        path.steps.push_back(std::move(step));
+      } else if (ConsumeIf(TokenKind::kDoubleSlash)) {
+        Step dos;
+        dos.axis = AxisKind::kDescendantOrSelf;
+        dos.test.kind = NodeTest::Kind::kNode;
+        path.steps.push_back(std::move(dos));
+        CXML_ASSIGN_OR_RETURN(Step step, ParseStep());
+        path.steps.push_back(std::move(step));
+      } else {
+        return path;
+      }
+    }
+  }
+
+  Result<Step> ParseStep() {
+    Step step;
+    if (ConsumeIf(TokenKind::kDot)) {
+      step.axis = AxisKind::kSelf;
+      step.test.kind = NodeTest::Kind::kNode;
+      return ParseStepPredicates(std::move(step));
+    }
+    if (ConsumeIf(TokenKind::kDotDot)) {
+      step.axis = AxisKind::kParent;
+      step.test.kind = NodeTest::Kind::kNode;
+      return ParseStepPredicates(std::move(step));
+    }
+    if (ConsumeIf(TokenKind::kAt)) {
+      step.axis = AxisKind::kAttribute;
+      CXML_ASSIGN_OR_RETURN(step.test, ParseNodeTest());
+      return ParseStepPredicates(std::move(step));
+    }
+    // Optional explicit axis.
+    if (Peek().kind == TokenKind::kName) {
+      auto axis_it = AxisNames().find(Peek().text);
+      if (axis_it != AxisNames().end()) {
+        // axis:: | axis(hierarchy)::
+        if (Peek(1).kind == TokenKind::kAxisSep) {
+          Take();
+          Take();
+          step.axis = axis_it->second;
+          CXML_ASSIGN_OR_RETURN(step.test, ParseNodeTest());
+          return ParseStepPredicates(std::move(step));
+        }
+        if (Peek(1).kind == TokenKind::kLParen &&
+            Peek(2).kind == TokenKind::kName &&
+            Peek(3).kind == TokenKind::kRParen &&
+            Peek(4).kind == TokenKind::kAxisSep) {
+          Take();  // axis
+          Take();  // (
+          step.hierarchy = Take().text;
+          Take();  // )
+          Take();  // ::
+          step.axis = axis_it->second;
+          CXML_ASSIGN_OR_RETURN(step.test, ParseNodeTest());
+          return ParseStepPredicates(std::move(step));
+        }
+      }
+    }
+    // Abbreviated step: child axis.
+    step.axis = AxisKind::kChild;
+    CXML_ASSIGN_OR_RETURN(step.test, ParseNodeTest());
+    return ParseStepPredicates(std::move(step));
+  }
+
+  Result<NodeTest> ParseNodeTest() {
+    NodeTest test;
+    if (ConsumeIf(TokenKind::kStar)) {
+      test.kind = NodeTest::Kind::kAnyName;
+      return test;
+    }
+    if (Peek().kind != TokenKind::kName) {
+      return Error("expected a node test");
+    }
+    std::string name = Take().text;
+    if (Peek().kind == TokenKind::kLParen && IsNodeTypeName(name)) {
+      Take();
+      if (!ConsumeIf(TokenKind::kRParen)) {
+        return Error("expected ')' after node type test");
+      }
+      test.kind = (name == "node") ? NodeTest::Kind::kNode
+                                   : NodeTest::Kind::kText;
+      return test;
+    }
+    test.kind = NodeTest::Kind::kName;
+    test.name = std::move(name);
+    return test;
+  }
+
+  Result<Step> ParseStepPredicates(Step step) {
+    while (Peek().kind == TokenKind::kLBracket) {
+      CXML_ASSIGN_OR_RETURN(ExprPtr pred, ParsePredicate());
+      step.predicates.push_back(std::move(pred));
+    }
+    return step;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseXPath(std::string_view expression) {
+  CXML_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                        TokenizeXPath(expression));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace cxml::xpath

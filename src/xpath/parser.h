@@ -1,0 +1,21 @@
+#ifndef CXML_XPATH_PARSER_H_
+#define CXML_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace cxml::xpath {
+
+/// Parses an Extended XPath expression into an AST.
+///
+/// Grammar: XPath 1.0 (location paths, the 13 axes, predicates, the usual
+/// expression operators and abbreviations) with two extensions:
+///   * the `overlapping`, `overlapping-start`, `overlapping-end` axes,
+///   * hierarchy qualifiers on any axis: `child(physical)::line`.
+Result<ExprPtr> ParseXPath(std::string_view expression);
+
+}  // namespace cxml::xpath
+
+#endif  // CXML_XPATH_PARSER_H_

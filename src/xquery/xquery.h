@@ -1,0 +1,61 @@
+#ifndef CXML_XQUERY_XQUERY_H_
+#define CXML_XQUERY_XQUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "goddag/goddag.h"
+#include "xpath/engine.h"
+
+namespace cxml::xquery {
+
+/// The paper's "XQuery extension ... under development" (§3), realised
+/// as a FLWOR engine over the Extended XPath:
+///
+///   for $w in //w[overlapping::line]
+///   let $deg := overlap-degree($w)
+///   where $deg > 1
+///   return <crossing word="{string($w)}" degree="{$deg}"/>
+///
+/// Supported grammar (one FLWOR block or a bare Extended XPath
+/// expression):
+///   query   ::= flwor | Expr
+///   flwor   ::= (for | let)+ where? order? 'return' constructor
+///   for     ::= 'for' '$'name 'in' Expr
+///   let     ::= 'let' '$'name ':=' Expr
+///   where   ::= 'where' Expr
+///   order   ::= 'order' 'by' Expr ('descending')?
+///   constructor ::= direct element with embedded '{Expr}' in attribute
+///                   values and content, or '{Expr}', or Expr
+///
+/// Every embedded expression is full Extended XPath (overlapping axes,
+/// hierarchy qualifiers, extension functions, $variables).
+class XQueryEngine {
+ public:
+  /// `g` must outlive the engine.
+  explicit XQueryEngine(const goddag::Goddag& g) : g_(&g), xpath_(g) {}
+
+  /// Runs a query; returns the items in order. Node items are rendered
+  /// as their serialised markup-free string-value; constructed elements
+  /// as XML text.
+  Result<std::vector<std::string>> Run(std::string_view query);
+
+  /// Convenience: items joined by newlines.
+  Result<std::string> RunToString(std::string_view query);
+
+  /// Binds an external variable visible to all queries.
+  void SetVariable(const std::string& name, xpath::Value value) {
+    xpath_.SetVariable(name, std::move(value));
+  }
+
+ private:
+  const goddag::Goddag* g_;
+  xpath::XPathEngine xpath_;
+};
+
+}  // namespace cxml::xquery
+
+#endif  // CXML_XQUERY_XQUERY_H_

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/unicode.h"
+
+namespace cxml {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = status::ParseError("bad tag");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad tag");
+  EXPECT_EQ(st.ToString(), "ParseError: bad tag");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status st = status::NotFound("no hierarchy 'x'").WithContext("building");
+  EXPECT_EQ(st.message(), "building: no hierarchy 'x'");
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::Ok().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kValidationError),
+            "ValidationError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    CXML_RETURN_IF_ERROR(fails());
+    return status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().message(), "boom");
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = status::OutOfRange("idx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::Ok();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return status::NotFound("gone");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    CXML_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(outer(false).value(), 14);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyType) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("concurrent", "con"));
+  EXPECT_FALSE(StartsWith("con", "concurrent"));
+  EXPECT_TRUE(EndsWith("markup", "up"));
+  EXPECT_FALSE(EndsWith("up", "markup"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \r\n\t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, IsAllWhitespace) {
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, Join) {
+  std::vector<std::string> pieces = {"a", "b", "c"};
+  EXPECT_EQ(Join(pieces, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringsTest, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  swa \t\n swa  "), "swa swa");
+  EXPECT_EQ(NormalizeSpace(""), "");
+  EXPECT_EQ(NormalizeSpace("   "), "");
+  EXPECT_EQ(NormalizeSpace("one"), "one");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("line %zu, col %zu", size_t{3}, size_t{14}),
+            "line 3, col 14");
+  EXPECT_EQ(StrFormat("%s=%d", "x", 9), "x=9");
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", "b"), "ab");
+  EXPECT_EQ(StrCat("a", "b", "c"), "abc");
+  EXPECT_EQ(StrCat("a", "b", "c", "d"), "abcd");
+}
+
+// ---------------------------------------------------------------- Unicode
+
+TEST(UnicodeTest, DecodeAscii) {
+  DecodedChar d = DecodeUtf8("abc", 0);
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.code_point, U'a');
+  EXPECT_EQ(d.length, 1u);
+}
+
+TEST(UnicodeTest, DecodeMultibyte) {
+  // U+00F0 'ð' (eth, ubiquitous in Old English corpora) = 0xC3 0xB0.
+  DecodedChar d = DecodeUtf8("\xC3\xB0", 0);
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.code_point, 0xF0u);
+  EXPECT_EQ(d.length, 2u);
+  // U+00FE 'þ' (thorn).
+  d = DecodeUtf8("\xC3\xBE", 0);
+  EXPECT_EQ(d.code_point, 0xFEu);
+  // U+2028 (3 bytes).
+  d = DecodeUtf8("\xE2\x80\xA8", 0);
+  EXPECT_EQ(d.code_point, 0x2028u);
+  EXPECT_EQ(d.length, 3u);
+  // U+1D11E (4 bytes).
+  d = DecodeUtf8("\xF0\x9D\x84\x9E", 0);
+  EXPECT_EQ(d.code_point, 0x1D11Eu);
+  EXPECT_EQ(d.length, 4u);
+}
+
+TEST(UnicodeTest, RejectMalformed) {
+  EXPECT_FALSE(DecodeUtf8("\xC3", 0).valid());       // truncated
+  EXPECT_FALSE(DecodeUtf8("\x80", 0).valid());       // bare continuation
+  EXPECT_FALSE(DecodeUtf8("\xC0\xAF", 0).valid());   // overlong
+  EXPECT_FALSE(DecodeUtf8("\xED\xA0\x80", 0).valid());  // surrogate
+  EXPECT_FALSE(DecodeUtf8("\xF4\x90\x80\x80", 0).valid());  // > U+10FFFF
+}
+
+TEST(UnicodeTest, RoundTrip) {
+  for (char32_t cp : {U'a', char32_t{0xF0}, char32_t{0x2028},
+                      char32_t{0x1D11E}, char32_t{0x10FFFF}}) {
+    std::string s;
+    EXPECT_TRUE(AppendUtf8(cp, &s));
+    DecodedChar d = DecodeUtf8(s, 0);
+    EXPECT_TRUE(d.valid());
+    EXPECT_EQ(d.code_point, cp);
+    EXPECT_EQ(d.length, s.size());
+  }
+}
+
+TEST(UnicodeTest, AppendInvalidYieldsReplacement) {
+  std::string s;
+  EXPECT_FALSE(AppendUtf8(0xD800, &s));
+  EXPECT_EQ(s, "\xEF\xBF\xBD");
+}
+
+TEST(UnicodeTest, Utf8Length) {
+  EXPECT_EQ(Utf8Length("abc"), 3u);
+  EXPECT_EQ(Utf8Length("\xC3\xB0zer"), 4u);  // ðzer
+  EXPECT_EQ(Utf8Length(""), 0u);
+}
+
+TEST(UnicodeTest, IsXmlChar) {
+  EXPECT_TRUE(IsXmlChar('\t'));
+  EXPECT_TRUE(IsXmlChar('\n'));
+  EXPECT_TRUE(IsXmlChar(U'a'));
+  EXPECT_TRUE(IsXmlChar(0x10FFFF));
+  EXPECT_FALSE(IsXmlChar(0x0));
+  EXPECT_FALSE(IsXmlChar(0xB));
+  EXPECT_FALSE(IsXmlChar(0xFFFE));
+}
+
+// ---------------------------------------------------------------- Interval
+
+TEST(IntervalTest, BasicProperties) {
+  Interval iv(2, 5);
+  EXPECT_EQ(iv.length(), 3u);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(Interval(3, 3).empty());
+  EXPECT_TRUE(iv.Contains(size_t{2}));
+  EXPECT_TRUE(iv.Contains(size_t{4}));
+  EXPECT_FALSE(iv.Contains(size_t{5}));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval outer(0, 10);
+  EXPECT_TRUE(outer.Contains(Interval(0, 10)));
+  EXPECT_TRUE(outer.Contains(Interval(3, 7)));
+  EXPECT_FALSE(Interval(3, 7).Contains(outer));
+  EXPECT_FALSE(outer.Contains(Interval(5, 11)));
+}
+
+TEST(IntervalTest, ProperOverlap) {
+  // The paper's motivating case: <w> crossing a <line> boundary.
+  Interval line(0, 10);
+  Interval w(8, 14);
+  EXPECT_TRUE(line.Overlaps(w));
+  EXPECT_TRUE(w.Overlaps(line));  // symmetric
+  EXPECT_TRUE(line.OverlapsRight(w));
+  EXPECT_FALSE(line.OverlapsLeft(w));
+  EXPECT_TRUE(w.OverlapsLeft(line));
+}
+
+TEST(IntervalTest, ContainmentIsNotOverlap) {
+  Interval outer(0, 10), inner(2, 5);
+  EXPECT_FALSE(outer.Overlaps(inner));
+  EXPECT_FALSE(inner.Overlaps(outer));
+  EXPECT_TRUE(outer.Intersects(inner));
+}
+
+TEST(IntervalTest, TouchingIsNotOverlap) {
+  Interval a(0, 5), b(5, 9);
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.Before(b));
+  EXPECT_FALSE(b.Before(a));
+}
+
+TEST(IntervalTest, EqualRangesDoNotOverlap) {
+  Interval a(3, 8), b(3, 8);
+  EXPECT_FALSE(a.Overlaps(b));  // mutual containment
+  EXPECT_TRUE(a.Contains(b) && b.Contains(a));
+}
+
+TEST(IntervalTest, IntersectionAndUnion) {
+  Interval a(0, 6), b(4, 9);
+  EXPECT_EQ(a.Intersection(b), Interval(4, 6));
+  EXPECT_EQ(a.Union(b), Interval(0, 9));
+  EXPECT_TRUE(Interval(0, 2).Intersection(Interval(5, 7)).empty());
+}
+
+}  // namespace
+}  // namespace cxml

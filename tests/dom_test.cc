@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "dom/document.h"
+#include "dom/id_index.h"
+#include "dom/node.h"
+#include "dom/traversal.h"
+
+namespace cxml::dom {
+namespace {
+
+TEST(DomBuildTest, ParseSimpleDocument) {
+  auto doc = ParseDocument("<r><w>swa</w><w>hwa</w></r>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  Element* root = (*doc)->root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->tag(), "r");
+  auto words = root->ChildElements("w");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0]->TextContent(), "swa");
+  EXPECT_EQ(words[1]->TextContent(), "hwa");
+}
+
+TEST(DomBuildTest, ParseErrorPropagates) {
+  EXPECT_EQ(ParseDocument("<r><w></r>").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(DomBuildTest, AttributesPreserved) {
+  auto doc = ParseDocument("<r><line n=\"1\" hand='scribe-a'/></r>");
+  ASSERT_TRUE(doc.ok());
+  Element* line = (*doc)->root()->FirstChildElement("line");
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(*line->FindAttribute("n"), "1");
+  EXPECT_EQ(line->AttributeOr("hand", ""), "scribe-a");
+  EXPECT_EQ(line->AttributeOr("absent", "dflt"), "dflt");
+  EXPECT_TRUE(line->HasAttribute("n"));
+  EXPECT_FALSE(line->HasAttribute("absent"));
+}
+
+TEST(DomBuildTest, AdjacentTextMerged) {
+  // CDATA + text + entity all merge into one Text node.
+  auto doc = ParseDocument("<r>a<![CDATA[b]]>&#99;</r>");
+  ASSERT_TRUE(doc.ok());
+  Element* root = (*doc)->root();
+  ASSERT_EQ(root->children().size(), 1u);
+  EXPECT_TRUE(root->children()[0]->is_text());
+  EXPECT_EQ(root->TextContent(), "abc");
+}
+
+TEST(DomBuildTest, MixedContent) {
+  auto doc = ParseDocument("<s>on <w>Athenum</w> þære byrig</s>");
+  ASSERT_TRUE(doc.ok());
+  Element* root = (*doc)->root();
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_TRUE(root->children()[0]->is_text());
+  EXPECT_TRUE(root->children()[1]->is_element());
+  EXPECT_TRUE(root->children()[2]->is_text());
+  EXPECT_EQ(root->TextContent(), "on Athenum þære byrig");
+}
+
+TEST(DomBuildTest, DoctypeCaptured) {
+  auto doc = ParseDocument("<!DOCTYPE r [<!ELEMENT r ANY>]><r/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->doctype_name(), "r");
+  EXPECT_EQ((*doc)->internal_subset(), "<!ELEMENT r ANY>");
+}
+
+TEST(DomBuildTest, CommentsAndPis) {
+  auto doc = ParseDocument("<r><!--note--><?target data?></r>");
+  ASSERT_TRUE(doc.ok());
+  const auto& kids = (*doc)->root()->children();
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0]->kind(), NodeKind::kComment);
+  EXPECT_EQ(kids[1]->kind(), NodeKind::kProcessingInstruction);
+  auto* pi = static_cast<ProcessingInstruction*>(kids[1]);
+  EXPECT_EQ(pi->target(), "target");
+  EXPECT_EQ(pi->data(), "data");
+}
+
+TEST(DomMutateTest, BuildProgrammatically) {
+  Document doc;
+  Element* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.SetRoot(root).ok());
+  Element* w = doc.CreateElement("w");
+  w->SetAttribute("id", "w1");
+  root->AppendChild(w);
+  w->AppendChild(doc.CreateText("swa"));
+  EXPECT_EQ(root->TextContent(), "swa");
+  EXPECT_EQ(w->parent(), root);
+  EXPECT_EQ(doc.root(), root);
+}
+
+TEST(DomMutateTest, SecondRootRejected) {
+  Document doc;
+  ASSERT_TRUE(doc.SetRoot(doc.CreateElement("a")).ok());
+  EXPECT_EQ(doc.SetRoot(doc.CreateElement("b")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DomMutateTest, InsertAndRemoveChildren) {
+  Document doc;
+  Element* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.SetRoot(root).ok());
+  Element* a = doc.CreateElement("a");
+  Element* b = doc.CreateElement("b");
+  Element* c = doc.CreateElement("c");
+  root->AppendChild(a);
+  root->AppendChild(c);
+  root->InsertChildAt(1, b);
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(static_cast<Element*>(root->children()[1])->tag(), "b");
+
+  root->RemoveChild(b);
+  EXPECT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(b->parent(), nullptr);
+  // Re-append a detached node.
+  root->AppendChild(b);
+  EXPECT_EQ(root->children().back(), b);
+}
+
+TEST(DomMutateTest, AppendReparents) {
+  Document doc;
+  Element* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.SetRoot(root).ok());
+  Element* a = doc.CreateElement("a");
+  Element* b = doc.CreateElement("b");
+  root->AppendChild(a);
+  root->AppendChild(b);
+  Element* x = doc.CreateElement("x");
+  a->AppendChild(x);
+  b->AppendChild(x);  // moves x from a to b
+  EXPECT_TRUE(a->children().empty());
+  EXPECT_EQ(x->parent(), b);
+}
+
+TEST(DomMutateTest, SetAttributeOverwrites) {
+  Document doc;
+  Element* el = doc.CreateElement("e");
+  el->SetAttribute("k", "1");
+  el->SetAttribute("k", "2");
+  EXPECT_EQ(el->attributes().size(), 1u);
+  EXPECT_EQ(*el->FindAttribute("k"), "2");
+  el->RemoveAttribute("k");
+  EXPECT_FALSE(el->HasAttribute("k"));
+}
+
+TEST(DomNavTest, Siblings) {
+  auto doc = ParseDocument("<r><a/>mid<b/></r>");
+  ASSERT_TRUE(doc.ok());
+  Element* root = (*doc)->root();
+  Node* a = root->children()[0];
+  Node* text = root->children()[1];
+  Node* b = root->children()[2];
+  EXPECT_EQ(a->NextSibling(), text);
+  EXPECT_EQ(text->NextSibling(), b);
+  EXPECT_EQ(b->NextSibling(), nullptr);
+  EXPECT_EQ(b->PreviousSibling(), text);
+  EXPECT_EQ(a->PreviousSibling(), nullptr);
+  EXPECT_EQ(a->IndexInParent(), 0);
+  EXPECT_EQ(b->IndexInParent(), 2);
+  auto* ae = static_cast<Element*>(a);
+  EXPECT_EQ(ae->NextSiblingElement()->tag(), "b");
+}
+
+TEST(DomTraversalTest, WalkOrder) {
+  auto doc = ParseDocument("<r><a><x/></a><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  std::vector<std::string> tags;
+  Walk(static_cast<Node*>((*doc)->root()), [&](Node* n) {
+    if (n->is_element()) tags.push_back(static_cast<Element*>(n)->tag());
+    return true;
+  });
+  EXPECT_EQ(tags, (std::vector<std::string>{"r", "a", "x", "b"}));
+}
+
+TEST(DomTraversalTest, WalkPrunes) {
+  auto doc = ParseDocument("<r><a><x/></a><b/></r>");
+  std::vector<std::string> tags;
+  Walk(static_cast<Node*>((*doc)->root()), [&](Node* n) {
+    if (!n->is_element()) return true;
+    tags.push_back(static_cast<Element*>(n)->tag());
+    return static_cast<Element*>(n)->tag() != "a";  // prune below <a>
+  });
+  EXPECT_EQ(tags, (std::vector<std::string>{"r", "a", "b"}));
+}
+
+TEST(DomTraversalTest, DescendantsByTag) {
+  auto doc = ParseDocument("<r><w/><s><w/><w/></s></r>");
+  auto ws = Descendants(static_cast<Node*>((*doc)->root()), "w");
+  EXPECT_EQ(ws.size(), 3u);
+  auto all = Descendants(static_cast<Node*>((*doc)->root()));
+  EXPECT_EQ(all.size(), 5u);  // r, w, s, w, w
+}
+
+TEST(DomTraversalTest, CountNodes) {
+  auto doc = ParseDocument("<r>t<a/><!--c--><?p d?></r>");
+  NodeCounts counts = CountNodes((*doc).get());
+  EXPECT_EQ(counts.elements, 2u);
+  EXPECT_EQ(counts.text, 1u);
+  EXPECT_EQ(counts.comments, 1u);
+  EXPECT_EQ(counts.processing_instructions, 1u);
+  EXPECT_EQ(counts.total(), 5u);
+}
+
+TEST(DomSerializeTest, RoundTrip) {
+  const std::string src =
+      "<r><line n=\"1\">swa <w part=\"I\">hwa</w></line><pb/></r>";
+  auto doc = ParseDocument(src);
+  ASSERT_TRUE(doc.ok());
+  auto out = Serialize(**doc);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), src);
+}
+
+TEST(DomSerializeTest, EscapingRoundTrip) {
+  Document doc;
+  Element* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.SetRoot(root).ok());
+  root->SetAttribute("q", "a\"b<c&d");
+  root->AppendChild(doc.CreateText("1 < 2 & 3 > 0"));
+  auto out = Serialize(doc);
+  ASSERT_TRUE(out.ok());
+  auto doc2 = ParseDocument(out.value());
+  ASSERT_TRUE(doc2.ok()) << doc2.status();
+  EXPECT_EQ(*(*doc2)->root()->FindAttribute("q"), "a\"b<c&d");
+  EXPECT_EQ((*doc2)->root()->TextContent(), "1 < 2 & 3 > 0");
+}
+
+TEST(DomSerializeTest, DoctypeReemitted) {
+  auto doc = ParseDocument("<!DOCTYPE r [<!ELEMENT r ANY>]><r/>");
+  SerializeOptions opts;
+  opts.doctype = true;
+  auto out = Serialize(**doc, opts);
+  EXPECT_EQ(out.value(), "<!DOCTYPE r [<!ELEMENT r ANY>]><r/>");
+}
+
+TEST(DomSerializeTest, SubtreeSerialization) {
+  auto doc = ParseDocument("<r><line>swa <w>hwa</w></line></r>");
+  Element* line = (*doc)->root()->FirstChildElement("line");
+  auto out = SerializeSubtree(*line);
+  EXPECT_EQ(out.value(), "<line>swa <w>hwa</w></line>");
+}
+
+TEST(IdIndexTest, BuildAndFind) {
+  auto doc = ParseDocument(
+      "<r><w xml:id=\"w1\"/><w xml:id=\"w2\"><x xml:id=\"x1\"/></w></r>");
+  ASSERT_TRUE(doc.ok());
+  auto index = IdIndex::Build((*doc)->root());
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->size(), 3u);
+  ASSERT_NE(index->Find("w2"), nullptr);
+  EXPECT_EQ(index->Find("w2")->tag(), "w");
+  EXPECT_EQ(index->Find("nope"), nullptr);
+}
+
+TEST(IdIndexTest, DuplicateIdsRejected) {
+  auto doc = ParseDocument("<r><a xml:id=\"d\"/><b xml:id=\"d\"/></r>");
+  auto index = IdIndex::Build((*doc)->root());
+  EXPECT_EQ(index.status().code(), StatusCode::kValidationError);
+}
+
+TEST(IdIndexTest, CustomAttributeName) {
+  auto doc = ParseDocument("<r><a id=\"p1\"/></r>");
+  auto index = IdIndex::Build((*doc)->root(), "id");
+  ASSERT_TRUE(index.ok());
+  EXPECT_NE(index->Find("p1"), nullptr);
+}
+
+}  // namespace
+}  // namespace cxml::dom

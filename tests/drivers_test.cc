@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "baseline/fragment_join.h"
+#include "drivers/fragmentation.h"
+#include "drivers/milestones.h"
+#include "drivers/registry.h"
+#include "drivers/standoff.h"
+#include "goddag/algebra.h"
+#include "goddag/serializer.h"
+#include "test_util.h"
+
+namespace cxml::drivers {
+namespace {
+
+using ::cxml::testing::BoethiusFixture;
+using goddag::NodeId;
+
+class DriversTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = BoethiusFixture::Make();
+    ASSERT_NE(fixture_.g, nullptr);
+    g_ = fixture_.g.get();
+  }
+
+  /// Asserts `other` is equivalent to the fixture GODDAG: identical
+  /// content and identical per-hierarchy serialisations.
+  void ExpectEquivalent(const goddag::Goddag& other) {
+    EXPECT_TRUE(other.Validate().ok()) << other.Validate();
+    EXPECT_EQ(other.content(), g_->content());
+    auto a = goddag::SerializeAll(*g_);
+    auto b = goddag::SerializeAll(other);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+
+  BoethiusFixture fixture_;
+  goddag::Goddag* g_ = nullptr;
+};
+
+// ------------------------------------------------------ fragmentation
+
+TEST_F(DriversTest, FragmentationExportIsWellFormed) {
+  auto doc = ExportFragmentation(*g_);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto dom = dom::ParseDocument(*doc);
+  ASSERT_TRUE(dom.ok()) << dom.status() << "\n" << *doc;
+  // The straddling word must have been fragmented.
+  EXPECT_NE(doc->find("cx-part=\"I\""), std::string::npos);
+  EXPECT_NE(doc->find("cx-part=\"F\""), std::string::npos);
+  // Content is preserved.
+  EXPECT_EQ((*dom)->root()->TextContent(), g_->content());
+}
+
+TEST_F(DriversTest, FragmentationRoundTrip) {
+  auto doc = ExportFragmentation(*g_);
+  ASSERT_TRUE(doc.ok());
+  auto back = ImportFragmentation(*fixture_.corpus.cmh, *doc);
+  ASSERT_TRUE(back.ok()) << back.status() << "\n" << *doc;
+  ExpectEquivalent(*back);
+}
+
+TEST_F(DriversTest, FragmentationPreservesOverlapSemantics) {
+  auto doc = ExportFragmentation(*g_);
+  ASSERT_TRUE(doc.ok());
+  auto back = ImportFragmentation(*fixture_.corpus.cmh, *doc);
+  ASSERT_TRUE(back.ok());
+  auto pairs = goddag::FindOverlappingPairs(*back, "w", "line");
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST_F(DriversTest, FragmentationImportRejectsForeignTags) {
+  EXPECT_EQ(ImportFragmentation(*fixture_.corpus.cmh,
+                                "<r><zz>abc</zz></r>")
+                .status()
+                .code(),
+            StatusCode::kValidationError);
+}
+
+TEST_F(DriversTest, FragmentationImportRejectsWrongRoot) {
+  EXPECT_FALSE(
+      ImportFragmentation(*fixture_.corpus.cmh, "<book>x</book>").ok());
+}
+
+TEST_F(DriversTest, FragmentationImportRejectsInconsistentFragments) {
+  EXPECT_EQ(ImportFragmentation(
+                *fixture_.corpus.cmh,
+                "<r><w cx-id=\"f1\" cx-part=\"I\">a</w>"
+                "<dmg cx-id=\"f1\" cx-part=\"F\">b</dmg></r>")
+                .status()
+                .code(),
+            StatusCode::kValidationError);
+}
+
+// --------------------------------------------------------- milestones
+
+TEST_F(DriversTest, MilestonesExportIsWellFormed) {
+  auto doc = ExportMilestones(*g_, /*primary=*/0);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto dom = dom::ParseDocument(*doc);
+  ASSERT_TRUE(dom.ok()) << dom.status() << "\n" << *doc;
+  EXPECT_EQ((*dom)->root()->TextContent(), g_->content());
+  // Words became markers; lines stayed as the backbone tree.
+  EXPECT_NE(doc->find("<cx-ms"), std::string::npos);
+  EXPECT_NE(doc->find("<line"), std::string::npos);
+  EXPECT_EQ(doc->find("<w>"), std::string::npos);
+}
+
+TEST_F(DriversTest, MilestonesRoundTrip) {
+  for (cmh::HierarchyId primary = 0; primary < 4; ++primary) {
+    auto doc = ExportMilestones(*g_, primary);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    auto back = ImportMilestones(*fixture_.corpus.cmh, *doc);
+    ASSERT_TRUE(back.ok())
+        << "primary=" << primary << ": " << back.status() << "\n" << *doc;
+    ExpectEquivalent(*back);
+  }
+}
+
+TEST_F(DriversTest, MilestonesBadPrimaryRejected) {
+  EXPECT_EQ(ExportMilestones(*g_, 99).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DriversTest, MilestonesImportRejectsUnmatchedMarkers) {
+  EXPECT_EQ(ImportMilestones(
+                *fixture_.corpus.cmh,
+                "<r><cx-ms cx-tag=\"w\" cx-pos=\"start\" cx-id=\"1\" "
+                "cx-h=\"linguistic\"/>abc</r>")
+                .status()
+                .code(),
+            StatusCode::kValidationError);
+  EXPECT_EQ(ImportMilestones(*fixture_.corpus.cmh,
+                             "<r><cx-ms cx-pos=\"end\" cx-id=\"9\"/>x</r>")
+                .status()
+                .code(),
+            StatusCode::kValidationError);
+}
+
+// ----------------------------------------------------------- standoff
+
+TEST_F(DriversTest, StandoffRoundTrip) {
+  auto doc = ExportStandoff(*g_);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_NE(doc->find("<cx-standoff"), std::string::npos);
+  EXPECT_NE(doc->find("cx-start="), std::string::npos);
+  auto back = ImportStandoff(*fixture_.corpus.cmh, *doc);
+  ASSERT_TRUE(back.ok()) << back.status() << "\n" << *doc;
+  ExpectEquivalent(*back);
+}
+
+TEST_F(DriversTest, StandoffImportValidatesOffsets) {
+  EXPECT_EQ(ImportStandoff(
+                *fixture_.corpus.cmh,
+                "<cx-standoff root=\"r\"><cx-content>ab</cx-content>"
+                "<cx-ann cx-h=\"linguistic\" cx-tag=\"w\" cx-start=\"1\" "
+                "cx-end=\"99\"/></cx-standoff>")
+                .status()
+                .code(),
+            StatusCode::kValidationError);
+  EXPECT_EQ(ImportStandoff(
+                *fixture_.corpus.cmh,
+                "<cx-standoff root=\"r\"><cx-content>ab</cx-content>"
+                "<cx-ann cx-h=\"linguistic\" cx-tag=\"w\" cx-start=\"x\" "
+                "cx-end=\"2\"/></cx-standoff>")
+                .status()
+                .code(),
+            StatusCode::kValidationError);
+}
+
+TEST_F(DriversTest, StandoffAttributesSurvive) {
+  auto doc = ExportStandoff(*g_);
+  auto back = ImportStandoff(*fixture_.corpus.cmh, *doc);
+  ASSERT_TRUE(back.ok());
+  NodeId dmg = back->ElementsByTag("dmg")[0];
+  EXPECT_EQ(*back->FindAttribute(dmg, "type"), "stain");
+}
+
+// ----------------------------------------------------------- registry
+
+TEST_F(DriversTest, RegistryRoundTripsAllRepresentations) {
+  for (Representation r :
+       {Representation::kDistributed, Representation::kFragmentation,
+        Representation::kMilestones, Representation::kStandoff}) {
+    auto exported = Export(*g_, r);
+    ASSERT_TRUE(exported.ok())
+        << RepresentationToString(r) << ": " << exported.status();
+    std::vector<std::string_view> views(exported->begin(),
+                                        exported->end());
+    auto back = Import(*fixture_.corpus.cmh, r, views);
+    ASSERT_TRUE(back.ok())
+        << RepresentationToString(r) << ": " << back.status();
+    ExpectEquivalent(*back);
+  }
+}
+
+TEST_F(DriversTest, DetectRepresentations) {
+  auto frag = Export(*g_, Representation::kFragmentation);
+  auto ms = Export(*g_, Representation::kMilestones);
+  auto so = Export(*g_, Representation::kStandoff);
+  ASSERT_TRUE(frag.ok() && ms.ok() && so.ok());
+  EXPECT_EQ(Detect((*frag)[0]), Representation::kFragmentation);
+  EXPECT_EQ(Detect((*ms)[0]), Representation::kMilestones);
+  EXPECT_EQ(Detect((*so)[0]), Representation::kStandoff);
+  EXPECT_EQ(Detect(workload::BoethiusSources()[0]),
+            Representation::kDistributed);
+}
+
+TEST_F(DriversTest, CrossRepresentationConversion) {
+  // fragmentation -> GODDAG -> milestones -> GODDAG: still equivalent.
+  auto frag = ExportFragmentation(*g_);
+  ASSERT_TRUE(frag.ok());
+  auto g1 = ImportFragmentation(*fixture_.corpus.cmh, *frag);
+  ASSERT_TRUE(g1.ok());
+  auto ms = ExportMilestones(*g1, /*primary=*/1);
+  ASSERT_TRUE(ms.ok());
+  auto g2 = ImportMilestones(*fixture_.corpus.cmh, *ms);
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  ExpectEquivalent(*g2);
+}
+
+// ------------------------------------------------------------- filter
+
+TEST_F(DriversTest, FilterProjectsHierarchies) {
+  cmh::HierarchyId phys = fixture_.corpus.cmh->FindIdByName("physical");
+  cmh::HierarchyId ling = fixture_.corpus.cmh->FindIdByName("linguistic");
+  auto filtered = Filter(*g_, {phys, ling});
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  EXPECT_EQ(filtered->g->num_hierarchies(), 2u);
+  EXPECT_EQ(filtered->g->content(), g_->content());
+  EXPECT_EQ(filtered->g->ElementsByTag("line").size(), 2u);
+  EXPECT_EQ(filtered->g->ElementsByTag("w").size(), 13u);
+  EXPECT_TRUE(filtered->g->ElementsByTag("res").empty());
+  EXPECT_TRUE(filtered->g->ElementsByTag("dmg").empty());
+  // Dropping res/dmg coalesces their boundary-induced leaves.
+  EXPECT_LT(filtered->g->num_leaves(), g_->num_leaves());
+  EXPECT_TRUE(filtered->g->Validate().ok());
+}
+
+TEST_F(DriversTest, FilterSingleHierarchyIsPlainDom) {
+  cmh::HierarchyId phys = fixture_.corpus.cmh->FindIdByName("physical");
+  auto filtered = Filter(*g_, {phys});
+  ASSERT_TRUE(filtered.ok());
+  // Exporting the only hierarchy reproduces the original document.
+  auto doc = goddag::SerializeHierarchy(*filtered->g, 0);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc, workload::BoethiusSources()[0]);
+}
+
+TEST_F(DriversTest, FilterValidatesArguments) {
+  EXPECT_EQ(Filter(*g_, {}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Filter(*g_, {99}).status().code(), StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------------ baseline
+
+TEST_F(DriversTest, BaselineJoinReassemblesLogicalElements) {
+  auto frag = ExportFragmentation(*g_);
+  ASSERT_TRUE(frag.ok());
+  auto dom = dom::ParseDocument(*frag);
+  ASSERT_TRUE(dom.ok());
+  auto joined = baseline::JoinFragments(**dom);
+  EXPECT_EQ(baseline::CountLogicalElements(joined, "w"), 13u);
+  EXPECT_EQ(baseline::CountLogicalElements(joined, "line"), 2u);
+  EXPECT_EQ(baseline::CountLogicalElements(joined, "res"), 1u);
+
+  // The reassembled extents match the GODDAG's.
+  for (const auto& el : joined) {
+    if (el.tag == "res") {
+      NodeId res = g_->ElementsByTag("res")[0];
+      EXPECT_EQ(el.chars, g_->char_range(res));
+      EXPECT_GT(el.fragments.size(), 1u);  // res was cut
+    }
+  }
+}
+
+TEST_F(DriversTest, BaselineOverlapAgreesWithGoddag) {
+  auto frag = ExportFragmentation(*g_);
+  auto dom = dom::ParseDocument(*frag);
+  ASSERT_TRUE(dom.ok());
+  auto joined = baseline::JoinFragments(**dom);
+  auto base_pairs =
+      baseline::FindOverlappingPairsBaseline(joined, "w", "line");
+  auto goddag_pairs = goddag::FindOverlappingPairs(*g_, "w", "line");
+  EXPECT_EQ(base_pairs.size(), goddag_pairs.size());
+  auto base_res = baseline::FindOverlappingPairsBaseline(joined, "res", "w");
+  auto goddag_res = goddag::FindOverlappingPairs(*g_, "res", "w");
+  EXPECT_EQ(base_res.size(), goddag_res.size());
+}
+
+}  // namespace
+}  // namespace cxml::drivers

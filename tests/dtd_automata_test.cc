@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "dtd/automata.h"
+#include "dtd/content_model.h"
+
+namespace cxml::dtd {
+namespace {
+
+/// Builds NFA+DFA from a content-model spec string.
+struct Compiled {
+  Nfa nfa;
+  Dfa dfa;
+};
+
+Compiled CompileSpec(const char* spec) {
+  auto model = ParseContentModel(spec);
+  EXPECT_TRUE(model.ok()) << spec << ": " << model.status();
+  Compiled c;
+  c.nfa = Nfa::FromContentModel(*model);
+  c.dfa = Dfa::FromNfa(c.nfa);
+  return c;
+}
+
+/// True iff the DFA accepts the space-separated word of names.
+bool Accepts(const Compiled& c, std::initializer_list<const char*> names) {
+  std::vector<int> symbols;
+  for (const char* n : names) symbols.push_back(c.nfa.FindSymbol(n));
+  return c.dfa.Accepts(symbols);
+}
+
+bool PotentiallyValid(const Compiled& c,
+                      std::initializer_list<const char*> names) {
+  SubsequenceChecker checker(c.nfa);
+  std::vector<std::string> v;
+  for (const char* n : names) v.emplace_back(n);
+  return checker.IsPotentiallyValid(c.nfa, v);
+}
+
+// --------------------------------------------------------------- DFA
+
+TEST(DfaTest, SequenceModel) {
+  Compiled c = CompileSpec("(head,body)");
+  EXPECT_TRUE(Accepts(c, {"head", "body"}));
+  EXPECT_FALSE(Accepts(c, {"head"}));
+  EXPECT_FALSE(Accepts(c, {"body", "head"}));
+  EXPECT_FALSE(Accepts(c, {}));
+  EXPECT_FALSE(Accepts(c, {"head", "body", "body"}));
+}
+
+TEST(DfaTest, ChoiceModel) {
+  Compiled c = CompileSpec("(line|page)");
+  EXPECT_TRUE(Accepts(c, {"line"}));
+  EXPECT_TRUE(Accepts(c, {"page"}));
+  EXPECT_FALSE(Accepts(c, {"line", "page"}));
+  EXPECT_FALSE(Accepts(c, {}));
+}
+
+TEST(DfaTest, StarAcceptsEmpty) {
+  Compiled c = CompileSpec("(w*)");
+  EXPECT_TRUE(Accepts(c, {}));
+  EXPECT_TRUE(Accepts(c, {"w"}));
+  EXPECT_TRUE(Accepts(c, {"w", "w", "w"}));
+}
+
+TEST(DfaTest, PlusRequiresOne) {
+  Compiled c = CompileSpec("(line+)");
+  EXPECT_FALSE(Accepts(c, {}));
+  EXPECT_TRUE(Accepts(c, {"line"}));
+  EXPECT_TRUE(Accepts(c, {"line", "line"}));
+}
+
+TEST(DfaTest, OptionalTail) {
+  Compiled c = CompileSpec("(a,b?,c)");
+  EXPECT_TRUE(Accepts(c, {"a", "c"}));
+  EXPECT_TRUE(Accepts(c, {"a", "b", "c"}));
+  EXPECT_FALSE(Accepts(c, {"a", "b"}));
+  EXPECT_FALSE(Accepts(c, {"a", "b", "b", "c"}));
+}
+
+TEST(DfaTest, ComplexNested) {
+  // The classic: (a,(b|c)*,d?)
+  Compiled c = CompileSpec("(a,(b|c)*,d?)");
+  EXPECT_TRUE(Accepts(c, {"a"}));
+  EXPECT_TRUE(Accepts(c, {"a", "d"}));
+  EXPECT_TRUE(Accepts(c, {"a", "b", "c", "b", "d"}));
+  EXPECT_TRUE(Accepts(c, {"a", "c"}));
+  EXPECT_FALSE(Accepts(c, {"a", "d", "b"}));
+  EXPECT_FALSE(Accepts(c, {"b"}));
+}
+
+TEST(DfaTest, UnknownSymbolRejected) {
+  Compiled c = CompileSpec("(a,b)");
+  EXPECT_EQ(c.nfa.FindSymbol("zzz"), -1);
+  EXPECT_FALSE(Accepts(c, {"a", "zzz"}));
+}
+
+TEST(DfaTest, NestedSeqInChoice) {
+  Compiled c = CompileSpec("((a,b)|(c,d))");
+  EXPECT_TRUE(Accepts(c, {"a", "b"}));
+  EXPECT_TRUE(Accepts(c, {"c", "d"}));
+  EXPECT_FALSE(Accepts(c, {"a", "d"}));
+  EXPECT_FALSE(Accepts(c, {"c", "b"}));
+}
+
+TEST(DfaTest, RepeatedNameInModel) {
+  // Same name at two positions: (a,b,a).
+  Compiled c = CompileSpec("(a,b,a)");
+  EXPECT_TRUE(Accepts(c, {"a", "b", "a"}));
+  EXPECT_FALSE(Accepts(c, {"a", "b"}));
+  EXPECT_FALSE(Accepts(c, {"a", "a", "b"}));
+}
+
+TEST(DfaTest, EmptyModel) {
+  auto model = ParseContentModel("EMPTY");
+  ASSERT_TRUE(model.ok());
+  Nfa nfa = Nfa::FromContentModel(*model);
+  Dfa dfa = Dfa::FromNfa(nfa);
+  EXPECT_TRUE(dfa.Accepts({}));
+  EXPECT_EQ(nfa.num_symbols(), 0);
+}
+
+TEST(DfaTest, MixedModel) {
+  Compiled c = CompileSpec("(#PCDATA|w|res)*");
+  EXPECT_TRUE(Accepts(c, {}));
+  EXPECT_TRUE(Accepts(c, {"w", "res", "w"}));
+  EXPECT_FALSE(Accepts(c, {"w", "nope"}));
+}
+
+// --------------------------------------------------------------- NFA
+
+TEST(NfaTest, Determinism) {
+  EXPECT_TRUE(CompileSpec("(a,(b|c)*,d?)").nfa.IsDeterministic());
+  EXPECT_TRUE(CompileSpec("(a|b)").nfa.IsDeterministic());
+  // ((a,b)|(a,c)) is the canonical 1-ambiguous model: two 'a' positions
+  // both reachable from the start.
+  EXPECT_FALSE(CompileSpec("((a,b)|(a,c))").nfa.IsDeterministic());
+}
+
+TEST(NfaTest, LanguageNonEmpty) {
+  EXPECT_TRUE(CompileSpec("(a,b)").nfa.LanguageNonEmpty());
+  EXPECT_TRUE(CompileSpec("(w*)").nfa.LanguageNonEmpty());
+  auto model = ParseContentModel("EMPTY");
+  EXPECT_TRUE(Nfa::FromContentModel(*model).LanguageNonEmpty());
+}
+
+TEST(NfaTest, AnyFlag) {
+  auto model = ParseContentModel("ANY");
+  Nfa nfa = Nfa::FromContentModel(*model);
+  EXPECT_TRUE(nfa.any());
+  EXPECT_TRUE(CompileSpec("(a)").nfa.any() == false);
+}
+
+// ------------------------------------------------- SubsequenceChecker
+// Potential validity (WebDB'04): can the observed child sequence be
+// extended to a word of the language by inserting elements?
+
+TEST(SubsequenceTest, EmptySequenceValidIffLanguageNonEmpty) {
+  EXPECT_TRUE(PotentiallyValid(CompileSpec("(a,b,c)"), {}));
+  EXPECT_TRUE(PotentiallyValid(CompileSpec("(w+)"), {}));
+}
+
+TEST(SubsequenceTest, PartialSequence) {
+  Compiled c = CompileSpec("(head,body,foot)");
+  EXPECT_TRUE(PotentiallyValid(c, {"head"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"body"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"foot"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"head", "foot"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"head", "body", "foot"}));
+  // Wrong order can never be fixed by insertions.
+  EXPECT_FALSE(PotentiallyValid(c, {"foot", "head"}));
+  EXPECT_FALSE(PotentiallyValid(c, {"body", "body"}));
+}
+
+TEST(SubsequenceTest, RepetitionModels) {
+  Compiled c = CompileSpec("((line,note?)+)");
+  EXPECT_TRUE(PotentiallyValid(c, {"line", "line"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"note"}));  // insert line before
+  EXPECT_TRUE(PotentiallyValid(c, {"note", "note"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"line", "note", "line"}));
+  // Two notes can never be adjacent without a line in between... but
+  // insertion can add that line, so {"note","note"} is fine. What can
+  // never happen is a note before any insertable position? No — all
+  // sequences over {line,note} with notes separated are subsequences.
+}
+
+TEST(SubsequenceTest, SymbolOutsideAlphabetNeverValid) {
+  Compiled c = CompileSpec("(a,b)");
+  EXPECT_FALSE(PotentiallyValid(c, {"zzz"}));
+  EXPECT_FALSE(PotentiallyValid(c, {"a", "zzz", "b"}));
+}
+
+TEST(SubsequenceTest, ChoiceBranchCommitment) {
+  // ((a,b) | (c,d)): 'a' then 'd' can never be completed — they live on
+  // different branches.
+  Compiled c = CompileSpec("((a,b)|(c,d))");
+  EXPECT_TRUE(PotentiallyValid(c, {"a"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"d"}));
+  EXPECT_FALSE(PotentiallyValid(c, {"a", "d"}));
+  EXPECT_FALSE(PotentiallyValid(c, {"c", "b"}));
+}
+
+TEST(SubsequenceTest, ValidityImpliesPotentialValidity) {
+  // Property: every word the DFA accepts is potentially valid.
+  for (const char* spec : {"(a,(b|c)*,d?)", "(head,body)", "(w+)"}) {
+    Compiled c = CompileSpec(spec);
+    SubsequenceChecker checker(c.nfa);
+    // Exhaustively check all words up to length 3 over the alphabet.
+    int n = c.nfa.num_symbols();
+    std::vector<std::vector<int>> words = {{}};
+    for (int len = 0; len < 3; ++len) {
+      size_t before = words.size();
+      for (size_t i = 0; i < before; ++i) {
+        for (int s = 0; s < n; ++s) {
+          auto w = words[i];
+          w.push_back(s);
+          words.push_back(std::move(w));
+        }
+      }
+    }
+    for (const auto& w : words) {
+      if (c.dfa.Accepts(w)) {
+        EXPECT_TRUE(checker.IsPotentiallyValid(w)) << spec;
+      }
+    }
+  }
+}
+
+TEST(SubsequenceTest, AnyModelAlwaysPotentiallyValid) {
+  auto model = ParseContentModel("ANY");
+  Nfa nfa = Nfa::FromContentModel(*model);
+  SubsequenceChecker checker(nfa);
+  EXPECT_TRUE(checker.IsPotentiallyValid({}));
+  EXPECT_TRUE(checker.IsPotentiallyValid({-1}));  // even unknown names
+}
+
+TEST(SubsequenceTest, EmptyModelRejectsAnyChild) {
+  auto model = ParseContentModel("EMPTY");
+  Nfa nfa = Nfa::FromContentModel(*model);
+  SubsequenceChecker checker(nfa);
+  EXPECT_TRUE(checker.IsPotentiallyValid({}));
+  EXPECT_FALSE(checker.IsPotentiallyValid({-1}));
+}
+
+// Paper-motivated scenario: the manuscript transcription DTD's line
+// content; a partially tagged line with only words so far must remain
+// potentially valid while an out-of-place element must not.
+TEST(SubsequenceTest, ManuscriptLineScenario) {
+  Compiled c = CompileSpec("(num?,(w|damage|restoration)*)");
+  EXPECT_TRUE(PotentiallyValid(c, {"w", "w", "damage"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"num"}));
+  EXPECT_TRUE(PotentiallyValid(c, {"w", "restoration"}));
+  // num after a word can never become valid.
+  EXPECT_FALSE(PotentiallyValid(c, {"w", "num"}));
+}
+
+}  // namespace
+}  // namespace cxml::dtd

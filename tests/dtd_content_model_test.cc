@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "dtd/content_model.h"
+
+namespace cxml::dtd {
+namespace {
+
+TEST(ContentModelParseTest, EmptyAndAny) {
+  auto empty = ParseContentModel("EMPTY");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->kind, ContentKind::kEmpty);
+  EXPECT_FALSE(empty->AllowsText());
+
+  auto any = ParseContentModel(" ANY ");
+  ASSERT_TRUE(any.ok());
+  EXPECT_EQ(any->kind, ContentKind::kAny);
+  EXPECT_TRUE(any->AllowsText());
+}
+
+TEST(ContentModelParseTest, PurePcdata) {
+  auto m = ParseContentModel("(#PCDATA)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->kind, ContentKind::kMixed);
+  EXPECT_TRUE(m->mixed_names.empty());
+  EXPECT_TRUE(m->AllowsText());
+  EXPECT_EQ(m->ToString(), "(#PCDATA)");
+}
+
+TEST(ContentModelParseTest, PcdataWithStar) {
+  auto m = ParseContentModel("(#PCDATA)*");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->kind, ContentKind::kMixed);
+}
+
+TEST(ContentModelParseTest, MixedWithNames) {
+  auto m = ParseContentModel("(#PCDATA | w | res | dmg)*");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->kind, ContentKind::kMixed);
+  EXPECT_EQ(m->mixed_names,
+            (std::vector<std::string>{"w", "res", "dmg"}));
+  EXPECT_EQ(m->ToString(), "(#PCDATA|w|res|dmg)*");
+}
+
+TEST(ContentModelParseTest, MixedWithoutStarRejected) {
+  EXPECT_FALSE(ParseContentModel("(#PCDATA | w)").ok());
+}
+
+TEST(ContentModelParseTest, SimpleSequence) {
+  auto m = ParseContentModel("(head, body)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->kind, ContentKind::kChildren);
+  EXPECT_EQ(m->expr.op, CmOp::kSeq);
+  ASSERT_EQ(m->expr.children.size(), 2u);
+  EXPECT_EQ(m->expr.children[0].name, "head");
+  EXPECT_EQ(m->ToString(), "(head,body)");
+}
+
+TEST(ContentModelParseTest, ChoiceWithRepetition) {
+  auto m = ParseContentModel("(line | page)+");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->expr.op, CmOp::kPlus);
+  EXPECT_EQ(m->expr.children[0].op, CmOp::kChoice);
+  EXPECT_EQ(m->ToString(), "((line|page)+)");
+}
+
+TEST(ContentModelParseTest, NestedGroups) {
+  auto m = ParseContentModel("(a, (b | c)*, d?)");
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->expr.children.size(), 3u);
+  EXPECT_EQ(m->expr.children[1].op, CmOp::kStar);
+  EXPECT_EQ(m->expr.children[2].op, CmOp::kOpt);
+  EXPECT_EQ(m->ToString(), "(a,(b|c)*,d?)");
+}
+
+TEST(ContentModelParseTest, SingleName) {
+  auto m = ParseContentModel("(page)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->kind, ContentKind::kChildren);
+  EXPECT_EQ(m->expr.op, CmOp::kName);
+  EXPECT_EQ(m->expr.name, "page");
+}
+
+TEST(ContentModelParseTest, RoundTripReparses) {
+  for (const char* spec :
+       {"(a,(b|c)*,d?)", "((line|page)+)", "(#PCDATA|w)*", "EMPTY", "ANY",
+        "(a?,b*,c+)", "((a,b)|(c,d))"}) {
+    auto m1 = ParseContentModel(spec);
+    ASSERT_TRUE(m1.ok()) << spec << ": " << m1.status();
+    auto m2 = ParseContentModel(m1->ToString());
+    ASSERT_TRUE(m2.ok()) << m1->ToString() << ": " << m2.status();
+    EXPECT_EQ(m1->ToString(), m2->ToString()) << spec;
+  }
+}
+
+TEST(ContentModelParseTest, ReferencedNames) {
+  auto m = ParseContentModel("(a,(b|c)*,a?)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->ReferencedNames(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ContentModelParseTest, Malformed) {
+  EXPECT_FALSE(ParseContentModel("").ok());
+  EXPECT_FALSE(ParseContentModel("a, b").ok());   // no parens
+  EXPECT_FALSE(ParseContentModel("(a, b | c)").ok());  // mixed separators
+  EXPECT_FALSE(ParseContentModel("(a,)").ok());
+  EXPECT_FALSE(ParseContentModel("(a").ok());
+  EXPECT_FALSE(ParseContentModel("(a))").ok());
+  EXPECT_FALSE(ParseContentModel("(1a)").ok());
+}
+
+}  // namespace
+}  // namespace cxml::dtd

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd.h"
+#include "dtd/validator.h"
+
+namespace cxml::dtd {
+namespace {
+
+constexpr const char* kManuscriptDtd = R"(
+<!-- physical structure of a manuscript folio -->
+<!ELEMENT r (page+)>
+<!ELEMENT page (line+)>
+<!ELEMENT line (#PCDATA)>
+<!ATTLIST page
+  n CDATA #REQUIRED
+  hand (scribe-a|scribe-b) "scribe-a">
+<!ATTLIST line n CDATA #IMPLIED>
+<!ENTITY thorn "&#xFE;">
+)";
+
+TEST(DtdParserTest, ParsesElementsAttributesEntities) {
+  auto dtd = ParseDtd(kManuscriptDtd);
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd->elements().size(), 3u);
+  const ElementDecl* page = dtd->FindElement("page");
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->model.ToString(), "(line+)");
+  ASSERT_EQ(page->attributes.size(), 2u);
+  EXPECT_EQ(page->attributes[0].name, "n");
+  EXPECT_EQ(page->attributes[0].type, AttType::kCData);
+  EXPECT_EQ(page->attributes[0].deflt, AttDefault::kRequired);
+  EXPECT_EQ(page->attributes[1].type, AttType::kEnumeration);
+  EXPECT_EQ(page->attributes[1].enum_values,
+            (std::vector<std::string>{"scribe-a", "scribe-b"}));
+  EXPECT_EQ(page->attributes[1].deflt, AttDefault::kValue);
+  EXPECT_EQ(page->attributes[1].default_value, "scribe-a");
+  ASSERT_EQ(dtd->entities().count("thorn"), 1u);
+}
+
+TEST(DtdParserTest, AttlistBeforeElement) {
+  auto dtd = ParseDtd(
+      "<!ATTLIST w id ID #REQUIRED>\n"
+      "<!ELEMENT w (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const ElementDecl* w = dtd->FindElement("w");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->model.kind, ContentKind::kMixed);
+  ASSERT_EQ(w->attributes.size(), 1u);
+  EXPECT_EQ(w->attributes[0].type, AttType::kId);
+}
+
+TEST(DtdParserTest, DuplicateElementRejected) {
+  auto dtd = ParseDtd("<!ELEMENT a ANY><!ELEMENT a ANY>");
+  EXPECT_EQ(dtd.status().code(), StatusCode::kValidationError);
+}
+
+TEST(DtdParserTest, FirstAttributeDeclarationWins) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT a ANY>"
+      "<!ATTLIST a x CDATA \"one\">"
+      "<!ATTLIST a x CDATA \"two\">");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->FindElement("a")->attributes[0].default_value, "one");
+}
+
+TEST(DtdParserTest, IdRefTypes) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT a EMPTY>"
+      "<!ATTLIST a id ID #REQUIRED ref IDREF #IMPLIED refs IDREFS #IMPLIED "
+      "tok NMTOKEN #IMPLIED toks NMTOKENS #IMPLIED>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const auto& atts = dtd->FindElement("a")->attributes;
+  ASSERT_EQ(atts.size(), 5u);
+  EXPECT_EQ(atts[1].type, AttType::kIdRef);
+  EXPECT_EQ(atts[2].type, AttType::kIdRefs);
+  EXPECT_EQ(atts[3].type, AttType::kNmToken);
+  EXPECT_EQ(atts[4].type, AttType::kNmTokens);
+}
+
+TEST(DtdParserTest, FixedDefault) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT a EMPTY><!ATTLIST a version CDATA #FIXED \"1.0\">");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->FindElement("a")->attributes[0].deflt, AttDefault::kFixed);
+  EXPECT_EQ(dtd->FindElement("a")->attributes[0].default_value, "1.0");
+}
+
+TEST(DtdParserTest, ParameterEntitiesUnimplemented) {
+  EXPECT_EQ(ParseDtd("<!ENTITY % model \"(a|b)\">").status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(ParseDtd("%model;").status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DtdParserTest, ExternalEntityUnimplemented) {
+  EXPECT_EQ(ParseDtd("<!ENTITY ext SYSTEM \"chap1.xml\">").status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(DtdParserTest, CommentsAndPisSkipped) {
+  auto dtd = ParseDtd(
+      "<!-- comment with <!ELEMENT fake ANY> inside -->\n"
+      "<?pi data?>\n"
+      "<!ELEMENT real EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_FALSE(dtd->HasElement("fake"));
+  EXPECT_TRUE(dtd->HasElement("real"));
+}
+
+TEST(DtdParserTest, NotationSkipped) {
+  auto dtd = ParseDtd(
+      "<!NOTATION gif SYSTEM \"image/gif\"><!ELEMENT a EMPTY>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_TRUE(dtd->HasElement("a"));
+}
+
+TEST(DtdParserTest, ToStringRoundTrip) {
+  auto dtd = ParseDtd(kManuscriptDtd);
+  ASSERT_TRUE(dtd.ok());
+  auto dtd2 = ParseDtd(dtd->ToString());
+  ASSERT_TRUE(dtd2.ok()) << dtd2.status() << "\n" << dtd->ToString();
+  EXPECT_EQ(dtd->ToString(), dtd2->ToString());
+}
+
+TEST(CompiledDtdTest, CompileAndLookup) {
+  auto dtd = ParseDtd(kManuscriptDtd);
+  ASSERT_TRUE(dtd.ok());
+  auto compiled = CompiledDtd::Compile(*dtd);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_NE(compiled->Find("page"), nullptr);
+  EXPECT_EQ(compiled->Find("nonexistent"), nullptr);
+}
+
+TEST(CompiledDtdTest, NondeterministicModelRejected) {
+  auto dtd = ParseDtd("<!ELEMENT a ((b,c)|(b,d))>"
+                      "<!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+                      "<!ELEMENT d EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  auto compiled = CompiledDtd::Compile(*dtd);
+  EXPECT_EQ(compiled.status().code(), StatusCode::kValidationError);
+}
+
+// --------------------------------------------------------- validator
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  void Compile(const char* dtd_text) {
+    auto dtd = ParseDtd(dtd_text);
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    dtd_ = std::make_unique<Dtd>(std::move(dtd).value());
+    auto compiled = CompiledDtd::Compile(*dtd_);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    compiled_ = std::make_unique<CompiledDtd>(std::move(compiled).value());
+    validator_ = std::make_unique<DtdValidator>(*compiled_);
+  }
+
+  std::vector<ValidationIssue> Validate(const char* xml,
+                                        std::string_view root = {}) {
+    auto doc = dom::ParseDocument(xml);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    return validator_->Validate(**doc, root);
+  }
+
+  std::unique_ptr<Dtd> dtd_;
+  std::unique_ptr<CompiledDtd> compiled_;
+  std::unique_ptr<DtdValidator> validator_;
+};
+
+TEST_F(ValidatorTest, ValidDocument) {
+  Compile(kManuscriptDtd);
+  auto issues = Validate(
+      "<r><page n=\"36v\"><line n=\"1\">swa hwa swa</line>"
+      "<line>second</line></page></r>");
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST_F(ValidatorTest, UndeclaredElement) {
+  Compile(kManuscriptDtd);
+  auto issues = Validate("<r><page n=\"1\"><line/><zz/></page></r>");
+  ASSERT_FALSE(issues.empty());
+  bool found = false;
+  for (const auto& i : issues) {
+    if (i.kind == ValidationIssue::Kind::kUndeclaredElement) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, ContentModelViolation) {
+  Compile(kManuscriptDtd);
+  // r requires page+, giving it a line directly violates the model.
+  auto issues = Validate("<r><line>text</line></r>");
+  bool found = false;
+  for (const auto& i : issues) {
+    if (i.kind == ValidationIssue::Kind::kContentModelViolation) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, TextInElementContent) {
+  Compile(kManuscriptDtd);
+  auto issues = Validate("<r>stray text<page n=\"1\"><line/></page></r>");
+  bool found = false;
+  for (const auto& i : issues) {
+    if (i.kind == ValidationIssue::Kind::kUnexpectedText) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidatorTest, WhitespaceAllowedInElementContent) {
+  Compile(kManuscriptDtd);
+  auto issues = Validate("<r>\n  <page n=\"1\">\n  <line/>\n  </page>\n</r>");
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST_F(ValidatorTest, MissingRequiredAttribute) {
+  Compile(kManuscriptDtd);
+  auto issues = Validate("<r><page><line/></page></r>");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind,
+            ValidationIssue::Kind::kMissingRequiredAttribute);
+}
+
+TEST_F(ValidatorTest, UndeclaredAttribute) {
+  Compile(kManuscriptDtd);
+  auto issues = Validate("<r><page n=\"1\" bogus=\"x\"><line/></page></r>");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::kUndeclaredAttribute);
+}
+
+TEST_F(ValidatorTest, XmlPrefixedAttributesAllowed) {
+  Compile(kManuscriptDtd);
+  auto issues =
+      Validate("<r><page n=\"1\" xml:id=\"p1\"><line/></page></r>");
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST_F(ValidatorTest, EnumerationValue) {
+  Compile(kManuscriptDtd);
+  auto ok = Validate("<r><page n=\"1\" hand=\"scribe-b\"><line/></page></r>");
+  EXPECT_TRUE(ok.empty());
+  auto bad = Validate("<r><page n=\"1\" hand=\"forger\"><line/></page></r>");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].kind, ValidationIssue::Kind::kBadAttributeValue);
+}
+
+TEST_F(ValidatorTest, IdUniquenessAndIdRefs) {
+  Compile(
+      "<!ELEMENT r (w*)>"
+      "<!ELEMENT w (#PCDATA)>"
+      "<!ATTLIST w id ID #REQUIRED ref IDREF #IMPLIED>");
+  auto ok = Validate("<r><w id=\"w1\"/><w id=\"w2\" ref=\"w1\"/></r>");
+  EXPECT_TRUE(ok.empty());
+
+  auto dup = Validate("<r><w id=\"w1\"/><w id=\"w1\"/></r>");
+  ASSERT_EQ(dup.size(), 1u);
+  EXPECT_EQ(dup[0].kind, ValidationIssue::Kind::kDuplicateId);
+
+  auto dangling = Validate("<r><w id=\"w1\" ref=\"nope\"/></r>");
+  ASSERT_EQ(dangling.size(), 1u);
+  EXPECT_EQ(dangling[0].kind, ValidationIssue::Kind::kUnresolvedIdRef);
+}
+
+TEST_F(ValidatorTest, EmptyContentModel) {
+  Compile("<!ELEMENT r (pb*)><!ELEMENT pb EMPTY>");
+  EXPECT_TRUE(Validate("<r><pb/></r>").empty());
+  auto issues = Validate("<r><pb>text</pb></r>");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::kContentModelViolation);
+}
+
+TEST_F(ValidatorTest, RootMismatch) {
+  Compile(kManuscriptDtd);
+  auto issues = Validate("<r><page n=\"1\"><line/></page></r>", "book");
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::kRootMismatch);
+}
+
+TEST_F(ValidatorTest, CheckSummarizes) {
+  Compile(kManuscriptDtd);
+  auto doc = dom::ParseDocument("<r><page><zz/></page></r>");
+  ASSERT_TRUE(doc.ok());
+  Status st = validator_->Check(**doc);
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+  EXPECT_NE(st.message().find("more issue"), std::string::npos);
+}
+
+TEST_F(ValidatorTest, MixedContentValidation) {
+  Compile(
+      "<!ELEMENT s (#PCDATA|w)*>"
+      "<!ELEMENT w (#PCDATA)>"
+      "<!ELEMENT x EMPTY>");
+  EXPECT_TRUE(Validate("<s>on <w>Athenum</w> byrig</s>").empty());
+  auto issues = Validate("<s><x/></s>");
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::kContentModelViolation);
+}
+
+}  // namespace
+}  // namespace cxml::dtd

@@ -1,0 +1,191 @@
+// Failure injection: deterministic byte-level corruption of valid inputs
+// fed to every parser in the framework. The contract under test is
+// uniform — parsers must return an error Status or a valid structure,
+// never crash, hang, or corrupt memory (run these under ASan in CI).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dom/document.h"
+#include "drivers/registry.h"
+#include "dtd/dtd.h"
+#include "goddag/builder.h"
+#include "sacx/goddag_handler.h"
+#include "storage/binary.h"
+#include "workload/boethius.h"
+#include "xpath/parser.h"
+#include "xquery/xquery.h"
+
+namespace cxml {
+namespace {
+
+/// Mutates `input` with `n` random single-byte edits (overwrite, delete,
+/// duplicate), deterministically from `seed`.
+std::string Corrupt(std::string input, uint64_t seed, int n = 3) {
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < n && !input.empty(); ++i) {
+    std::uniform_int_distribution<size_t> pos_dist(0, input.size() - 1);
+    std::uniform_int_distribution<int> kind_dist(0, 2);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    size_t pos = pos_dist(rng);
+    switch (kind_dist(rng)) {
+      case 0:
+        input[pos] = static_cast<char>(byte_dist(rng));
+        break;
+      case 1:
+        input.erase(pos, 1);
+        break;
+      default:
+        input.insert(pos, 1, static_cast<char>(byte_dist(rng)));
+        break;
+    }
+  }
+  return input;
+}
+
+constexpr int kRounds = 300;
+
+TEST(FuzzTest, XmlParserNeverCrashes) {
+  const std::string& base = workload::BoethiusSources()[1];
+  size_t parsed = 0, rejected = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    std::string mutated = Corrupt(base, static_cast<uint64_t>(i));
+    auto doc = dom::ParseDocument(mutated);
+    if (doc.ok()) {
+      ++parsed;
+      // Whatever parsed must serialise back without error.
+      EXPECT_TRUE(dom::Serialize(**doc).ok());
+    } else {
+      ++rejected;
+      EXPECT_FALSE(doc.status().message().empty());
+    }
+  }
+  // Both outcomes must occur: the corpus is corruptible but small edits
+  // sometimes stay well-formed (e.g. inside text).
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzTest, DtdParserNeverCrashes) {
+  const std::string base =
+      "<!ELEMENT r (page+)><!ELEMENT page (line+)>"
+      "<!ELEMENT line (#PCDATA)><!ATTLIST line n CDATA #REQUIRED>"
+      "<!ENTITY thorn \"th\">";
+  for (int i = 0; i < kRounds; ++i) {
+    auto dtd = dtd::ParseDtd(Corrupt(base, static_cast<uint64_t>(i)));
+    if (dtd.ok()) {
+      // A parsed DTD must compile or fail cleanly.
+      auto compiled = dtd::CompiledDtd::Compile(*dtd);
+      (void)compiled;
+    }
+  }
+}
+
+TEST(FuzzTest, XPathParserNeverCrashes) {
+  const std::string base =
+      "//w[overlapping::line][@n='1']/ancestor(physical)::line"
+      "[count(.//text()) > 2 and position() != last()]";
+  for (int i = 0; i < kRounds; ++i) {
+    auto expr = xpath::ParseXPath(Corrupt(base, static_cast<uint64_t>(i)));
+    if (expr.ok()) {
+      EXPECT_FALSE(xpath::ToString(**expr).empty());
+    }
+  }
+}
+
+TEST(FuzzTest, XQueryParserNeverCrashes) {
+  auto fixture = workload::MakeBoethiusCorpus();
+  ASSERT_TRUE(fixture.ok());
+  auto g = goddag::Builder::Build(*fixture->doc);
+  ASSERT_TRUE(g.ok());
+  xquery::XQueryEngine engine(*g);
+  const std::string base =
+      "for $w in //w let $d := overlap-degree($w) where $d > 0 "
+      "order by $d descending return <hit w=\"{string($w)}\"/>";
+  for (int i = 0; i < kRounds; ++i) {
+    auto out = engine.Run(Corrupt(base, static_cast<uint64_t>(i)));
+    (void)out;  // ok or error; never a crash
+  }
+}
+
+TEST(FuzzTest, SacxNeverCrashesOnCorruptMembers) {
+  auto cmh = workload::MakeBoethiusCmh();
+  ASSERT_TRUE(cmh.ok());
+  const auto& sources = workload::BoethiusSources();
+  for (int i = 0; i < kRounds; ++i) {
+    // Corrupt one member; the others stay valid — SACX must reject
+    // inconsistent unions without crashing.
+    std::vector<std::string> mutated(sources.begin(), sources.end());
+    mutated[static_cast<size_t>(i) % mutated.size()] =
+        Corrupt(mutated[static_cast<size_t>(i) % mutated.size()],
+                static_cast<uint64_t>(i));
+    std::vector<std::string_view> views(mutated.begin(), mutated.end());
+    auto g = sacx::ParseToGoddag(*cmh, views);
+    if (g.ok()) {
+      EXPECT_TRUE(g->Validate().ok()) << g->Validate();
+    }
+  }
+}
+
+TEST(FuzzTest, DriverImportsNeverCrash) {
+  auto fixture = workload::MakeBoethiusCorpus();
+  ASSERT_TRUE(fixture.ok());
+  auto g = goddag::Builder::Build(*fixture->doc);
+  ASSERT_TRUE(g.ok());
+  for (auto repr :
+       {drivers::Representation::kFragmentation,
+        drivers::Representation::kMilestones,
+        drivers::Representation::kStandoff}) {
+    auto exported = drivers::Export(*g, repr);
+    ASSERT_TRUE(exported.ok());
+    for (int i = 0; i < kRounds / 3; ++i) {
+      std::string mutated =
+          Corrupt((*exported)[0], static_cast<uint64_t>(i));
+      auto back = drivers::Import(*fixture->cmh, repr, {mutated});
+      if (back.ok()) {
+        EXPECT_TRUE(back->Validate().ok());
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, SnapshotLoaderNeverCrashes) {
+  auto fixture = workload::MakeBoethiusCorpus();
+  ASSERT_TRUE(fixture.ok());
+  auto g = goddag::Builder::Build(*fixture->doc);
+  ASSERT_TRUE(g.ok());
+  auto bytes = storage::Save(*g);
+  ASSERT_TRUE(bytes.ok());
+  for (int i = 0; i < kRounds; ++i) {
+    auto loaded = storage::Load(Corrupt(*bytes, static_cast<uint64_t>(i)));
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->g->Validate().ok());
+    }
+  }
+}
+
+TEST(FuzzTest, LexerHandlesPathologicalInputs) {
+  // Hand-picked nasties beyond random corruption.
+  for (const char* input : {
+           "<",
+           "<r",
+           "<r><!",
+           "<r><![CDATA[",
+           "<r>&#xFFFFFFFFFFFF;</r>",
+           "<r>&#xD800;</r>",
+           "<r x=\"&#0;\"/>",
+           "<r \xC3></r>",
+           "<\xC3\xB0oc/>",
+           "<!DOCTYPE r [<!ENTITY a \"&a;\">]><r>&a;</r>",
+           "<!DOCTYPE r [<!ENTITY a \"&b;&b;\"><!ENTITY b \"&c;&c;\">"
+           "<!ENTITY c \"xxxxxxxxxx\">]><r>&a;</r>",
+           "<r><r><r><r><r></r></r></r></r></r>",
+       }) {
+    auto doc = dom::ParseDocument(input);
+    (void)doc;  // must terminate with ok or error
+  }
+}
+
+}  // namespace
+}  // namespace cxml

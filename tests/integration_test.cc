@@ -1,0 +1,177 @@
+// End-to-end integration tests: the full Figure 3 pipeline over both the
+// Boethius corpus and synthetic manuscripts — representation in, SACX,
+// GODDAG, Extended XPath, editing, filtering, representation out.
+
+#include <gtest/gtest.h>
+
+#include "baseline/fragment_join.h"
+#include "drivers/fragmentation.h"
+#include "drivers/milestones.h"
+#include "drivers/registry.h"
+#include "edit/session.h"
+#include "goddag/algebra.h"
+#include "goddag/builder.h"
+#include "goddag/serializer.h"
+#include "sacx/goddag_handler.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "xpath/engine.h"
+
+namespace cxml {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnBoethius) {
+  // 1. Parse the distributed document.
+  auto corpus = workload::MakeBoethiusCorpus();
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+
+  // 2. SACX -> GODDAG.
+  std::vector<std::string_view> views;
+  for (const auto& s : workload::BoethiusSources()) views.push_back(s);
+  auto g = sacx::ParseToGoddag(*corpus->cmh, views);
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_TRUE(g->Validate().ok());
+
+  // 3. Query.
+  xpath::XPathEngine engine(*g);
+  auto crossing = engine.SelectNodes("//w[overlapping::line]");
+  ASSERT_TRUE(crossing.ok());
+  ASSERT_EQ(crossing->size(), 1u);
+  EXPECT_EQ(g->text((*crossing)[0]), "asungen");
+
+  // 4. Edit: record a new damage region; prevalidation guards it.
+  auto session = edit::EditSession::Start(&g.value());
+  ASSERT_TRUE(session.ok());
+  // Starts inside 'Wisdom' and ends past it — a proper overlap, not
+  // mere containment of whole words.
+  ASSERT_TRUE(session->SelectText("isdom \xC3\xBE""a").ok());
+  auto dmg = session->Apply(corpus->cmh->FindIdByName("damage"), "dmg",
+                            {{"type", "fire"}});
+  ASSERT_TRUE(dmg.ok()) << dmg.status();
+  ASSERT_TRUE(g->Validate().ok());
+
+  // 5. The new damage overlaps the words it cuts.
+  engine.InvalidateIndexes();
+  auto harmed = engine.EvaluateFrom("count(overlapping::w)", *dmg);
+  ASSERT_TRUE(harmed.ok());
+  EXPECT_GE(harmed->ToNumber(*g), 1.0);
+
+  // 6. Filter to the linguistic view and export as stand-off.
+  auto filtered = drivers::Filter(
+      *g, {corpus->cmh->FindIdByName("linguistic")});
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  auto exported =
+      drivers::Export(*filtered->g, drivers::Representation::kStandoff);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_NE((*exported)[0].find("cx-tag=\"w\""), std::string::npos);
+  EXPECT_EQ((*exported)[0].find("dmg"), std::string::npos);
+}
+
+TEST(IntegrationTest, EveryRepresentationReachesTheSameGoddag) {
+  auto corpus = workload::MakeBoethiusCorpus();
+  ASSERT_TRUE(corpus.ok());
+  auto reference = goddag::Builder::Build(*corpus->doc);
+  ASSERT_TRUE(reference.ok());
+  auto want = goddag::SerializeAll(*reference);
+  ASSERT_TRUE(want.ok());
+
+  for (auto repr :
+       {drivers::Representation::kDistributed,
+        drivers::Representation::kFragmentation,
+        drivers::Representation::kMilestones,
+        drivers::Representation::kStandoff}) {
+    auto exported = drivers::Export(*reference, repr, /*primary=*/1);
+    ASSERT_TRUE(exported.ok());
+    std::vector<std::string_view> views(exported->begin(),
+                                        exported->end());
+    // Detect() must identify single-document representations.
+    if (repr != drivers::Representation::kDistributed) {
+      EXPECT_EQ(drivers::Detect(views[0]), repr);
+    }
+    auto back = drivers::Import(*corpus->cmh, repr, views);
+    ASSERT_TRUE(back.ok())
+        << drivers::RepresentationToString(repr) << ": " << back.status();
+    auto got = goddag::SerializeAll(*back);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *want) << drivers::RepresentationToString(repr);
+  }
+}
+
+TEST(IntegrationTest, GoddagAndBaselineAgreeOnSyntheticCorpus) {
+  workload::GeneratorParams params;
+  params.content_chars = 8'000;
+  params.extra_hierarchies = 2;
+  auto corpus = workload::GenerateManuscript(params);
+  ASSERT_TRUE(corpus.ok());
+  auto g = sacx::ParseToGoddag(*corpus->cmh, corpus->SourceViews());
+  ASSERT_TRUE(g.ok());
+
+  auto frag = drivers::ExportFragmentation(*g);
+  ASSERT_TRUE(frag.ok());
+  auto dom = dom::ParseDocument(*frag);
+  ASSERT_TRUE(dom.ok());
+  auto joined = baseline::JoinFragments(**dom);
+
+  for (const char* tag : {"w", "line", "s", "a0", "a1"}) {
+    EXPECT_EQ(baseline::CountLogicalElements(joined, tag),
+              g->ElementsByTag(tag).size())
+        << tag;
+  }
+  for (auto [a, b] : {std::pair{"w", "line"}, {"a0", "w"}, {"a1", "s"}}) {
+    EXPECT_EQ(
+        baseline::FindOverlappingPairsBaseline(joined, a, b).size(),
+        goddag::FindOverlappingPairs(*g, a, b).size())
+        << a << " x " << b;
+  }
+}
+
+TEST(IntegrationTest, QueriesSurviveEditing) {
+  auto fixture = testing::BoethiusFixture::Make();
+  ASSERT_NE(fixture.g, nullptr);
+  goddag::Goddag& g = *fixture.g;
+  auto editor = edit::Editor::Create(&g);
+  ASSERT_TRUE(editor.ok());
+
+  xpath::XPathEngine engine(g);
+  auto before = engine.Evaluate("count(//w)");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->ToNumber(g), 13);
+
+  // Remove a word, re-query (with fresh indexes), undo, re-query.
+  goddag::NodeId wisdom = testing::FindElement(g, "w", "Wisdom");
+  ASSERT_TRUE(editor->Remove(wisdom).ok());
+  engine.InvalidateIndexes();
+  EXPECT_EQ(engine.Evaluate("count(//w)")->ToNumber(g), 12);
+
+  ASSERT_TRUE(editor->Undo().ok());
+  engine.InvalidateIndexes();
+  EXPECT_EQ(engine.Evaluate("count(//w)")->ToNumber(g), 13);
+}
+
+TEST(IntegrationTest, SyntheticPipelineAtScale) {
+  workload::GeneratorParams params;
+  params.content_chars = 30'000;
+  params.extra_hierarchies = 3;
+  auto corpus = workload::GenerateManuscript(params);
+  ASSERT_TRUE(corpus.ok());
+  auto g = sacx::ParseToGoddag(*corpus->cmh, corpus->SourceViews());
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_TRUE(g->Validate().ok()) << g->Validate();
+
+  xpath::XPathEngine engine(*g);
+  auto words = engine.Evaluate("count(//w)");
+  ASSERT_TRUE(words.ok());
+  EXPECT_GT(words->ToNumber(*g), 1000);
+  auto crossing = engine.Evaluate("count(//w[overlapping::line])");
+  ASSERT_TRUE(crossing.ok());
+  EXPECT_GT(crossing->ToNumber(*g), 0);
+  // Round-trip through milestones at scale.
+  auto ms = drivers::ExportMilestones(*g, 0);
+  ASSERT_TRUE(ms.ok());
+  auto back = drivers::ImportMilestones(*corpus->cmh, *ms);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_leaves(), g->num_leaves());
+}
+
+}  // namespace
+}  // namespace cxml

@@ -1,0 +1,257 @@
+// Property-based tests: parameterized sweeps (TEST_P) over generator
+// configurations asserting the framework's invariants hold on every
+// corpus shape, not just the hand-built fixtures.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "drivers/registry.h"
+#include "goddag/algebra.h"
+#include "goddag/builder.h"
+#include "goddag/serializer.h"
+#include "sacx/goddag_handler.h"
+#include "workload/generator.h"
+#include "xpath/engine.h"
+
+namespace cxml {
+namespace {
+
+struct Config {
+  size_t content_chars;
+  size_t extra_hierarchies;
+  double density;
+  uint64_t seed;
+};
+
+void PrintTo(const Config& c, std::ostream* os) {
+  *os << "chars=" << c.content_chars << " extra=" << c.extra_hierarchies
+      << " density=" << c.density << " seed=" << c.seed;
+}
+
+class GoddagPropertyTest : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    const Config& config = GetParam();
+    workload::GeneratorParams params;
+    params.content_chars = config.content_chars;
+    params.extra_hierarchies = config.extra_hierarchies;
+    params.annotation_density = config.density;
+    params.seed = config.seed;
+    auto corpus = workload::GenerateManuscript(params);
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    corpus_ = std::make_unique<workload::SyntheticCorpus>(
+        std::move(corpus).value());
+    auto g = sacx::ParseToGoddag(*corpus_->cmh, corpus_->SourceViews());
+    ASSERT_TRUE(g.ok()) << g.status();
+    g_ = std::make_unique<goddag::Goddag>(std::move(g).value());
+  }
+
+  std::unique_ptr<workload::SyntheticCorpus> corpus_;
+  std::unique_ptr<goddag::Goddag> g_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GoddagPropertyTest,
+    ::testing::Values(Config{500, 0, 4.0, 1}, Config{500, 2, 8.0, 2},
+                      Config{2'000, 1, 2.0, 3}, Config{2'000, 3, 16.0, 4},
+                      Config{8'000, 2, 4.0, 5}, Config{8'000, 4, 32.0, 6},
+                      Config{1'000, 2, 64.0, 7}));
+
+// P1: structural invariants hold for every generated corpus.
+TEST_P(GoddagPropertyTest, StructurallyValid) {
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+}
+
+// P2: the two construction paths (streaming SACX, DOM builder) agree.
+TEST_P(GoddagPropertyTest, ConstructionPathsAgree) {
+  auto dom_g = goddag::Builder::Build(*corpus_->doc);
+  ASSERT_TRUE(dom_g.ok()) << dom_g.status();
+  auto a = goddag::SerializeAll(*g_);
+  auto b = goddag::SerializeAll(*dom_g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+// P3: serialisation reproduces the generator's sources byte-for-byte.
+TEST_P(GoddagPropertyTest, SerializationRoundTripsSources) {
+  auto docs = goddag::SerializeAll(*g_);
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), corpus_->sources.size());
+  for (size_t i = 0; i < docs->size(); ++i) {
+    EXPECT_EQ((*docs)[i], corpus_->sources[i]) << "hierarchy " << i;
+  }
+}
+
+// P4: every representation round-trips losslessly.
+TEST_P(GoddagPropertyTest, RepresentationsRoundTrip) {
+  auto want = goddag::SerializeAll(*g_);
+  ASSERT_TRUE(want.ok());
+  for (auto repr :
+       {drivers::Representation::kFragmentation,
+        drivers::Representation::kMilestones,
+        drivers::Representation::kStandoff}) {
+    auto exported = drivers::Export(*g_, repr);
+    ASSERT_TRUE(exported.ok())
+        << drivers::RepresentationToString(repr) << exported.status();
+    std::vector<std::string_view> views(exported->begin(),
+                                        exported->end());
+    auto back = drivers::Import(*corpus_->cmh, repr, views);
+    ASSERT_TRUE(back.ok())
+        << drivers::RepresentationToString(repr) << back.status();
+    auto got = goddag::SerializeAll(*back);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *want) << drivers::RepresentationToString(repr);
+  }
+}
+
+// P5: the overlap relation is symmetric and irreflexive; containment
+// and overlap are mutually exclusive.
+TEST_P(GoddagPropertyTest, OverlapAlgebraLaws) {
+  auto elements = g_->AllElements();
+  // Cap the quadratic check on large corpora.
+  size_t n = std::min<size_t>(elements.size(), 60);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(goddag::Overlaps(*g_, elements[i], elements[i]));
+    for (size_t j = 0; j < n; ++j) {
+      bool ov = goddag::Overlaps(*g_, elements[i], elements[j]);
+      EXPECT_EQ(ov, goddag::Overlaps(*g_, elements[j], elements[i]));
+      if (ov) {
+        EXPECT_FALSE(goddag::Contains(*g_, elements[i], elements[j]));
+        EXPECT_FALSE(goddag::Contains(*g_, elements[j], elements[i]));
+      }
+    }
+  }
+}
+
+// P6: the ExtentIndex agrees with brute force on random probes.
+TEST_P(GoddagPropertyTest, ExtentIndexCorrect) {
+  goddag::ExtentIndex index(*g_);
+  auto elements = g_->AllElements();
+  std::mt19937_64 rng(GetParam().seed);
+  std::uniform_int_distribution<size_t> pick(0, g_->content().size());
+  for (int probe = 0; probe < 25; ++probe) {
+    size_t a = pick(rng), b = pick(rng);
+    Interval query(std::min(a, b), std::max(a, b));
+    std::vector<goddag::NodeId> expected;
+    for (auto e : elements) {
+      if (g_->char_range(e).Overlaps(query)) expected.push_back(e);
+    }
+    auto got = index.Overlapping(query);
+    g_->SortDocumentOrder(&got);
+    g_->SortDocumentOrder(&expected);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+// P7: XPath axis laws — parent/child and the following/preceding
+// partition relative to extents.
+TEST_P(GoddagPropertyTest, XPathAxisLaws) {
+  xpath::XPathEngine engine(*g_);
+  // Every word's parent chain reaches the root: count(//w) ==
+  // count(//w[ancestor::s or parent::r]).
+  auto words = engine.Evaluate("count(//w)");
+  auto anchored = engine.Evaluate("count(//w[ancestor::*])");
+  ASSERT_TRUE(words.ok() && anchored.ok());
+  EXPECT_EQ(words->ToNumber(*g_), anchored->ToNumber(*g_));
+
+  // following and preceding of a mid-document node never intersect.
+  auto mid = engine.SelectNodes("(//w)[10]");
+  if (mid.ok() && !mid->empty()) {
+    auto f = engine.EvaluateFrom("count(following::w)", (*mid)[0]);
+    auto p = engine.EvaluateFrom("count(preceding::w)", (*mid)[0]);
+    auto o = engine.EvaluateFrom("count(overlapping::w)", (*mid)[0]);
+    auto total = engine.Evaluate("count(//w)");
+    ASSERT_TRUE(f.ok() && p.ok() && o.ok() && total.ok());
+    // Words partition into {self} ∪ following ∪ preceding ∪ overlapping
+    // ∪ extent-sharing (contained/containing) — so the three disjoint
+    // classes never exceed the total minus self.
+    EXPECT_LE(f->ToNumber(*g_) + p->ToNumber(*g_) + o->ToNumber(*g_),
+              total->ToNumber(*g_) - 1 + 0.5);
+  }
+}
+
+// P8: mutation fuzz — random insert/remove cycles preserve invariants
+// and end where they started.
+TEST_P(GoddagPropertyTest, MutationFuzz) {
+  auto before = goddag::SerializeAll(*g_);
+  ASSERT_TRUE(before.ok());
+  std::mt19937_64 rng(GetParam().seed * 977);
+  std::uniform_int_distribution<size_t> pick(0, g_->content().size() - 1);
+  cmh::HierarchyId h = 1;  // linguistic: w allowed in s/r mixed models
+
+  std::vector<goddag::NodeId> inserted;
+  for (int round = 0; round < 20; ++round) {
+    size_t a = pick(rng), b = pick(rng);
+    if (a == b) continue;
+    Interval span(std::min(a, b), std::max(a, b));
+    auto node = g_->InsertElement(h, "w", {}, span);
+    if (node.ok()) {
+      inserted.push_back(*node);
+      ASSERT_TRUE(g_->Validate().ok())
+          << "after insert [" << span.begin << "," << span.end
+          << "): " << g_->Validate();
+    }
+  }
+  // Remove in reverse order (LIFO keeps the structure restorable).
+  for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+    ASSERT_TRUE(g_->RemoveElement(*it).ok());
+    ASSERT_TRUE(g_->Validate().ok()) << g_->Validate();
+  }
+  auto after = goddag::SerializeAll(*g_);
+  ASSERT_TRUE(after.ok());
+  // Note: leaf splits may remain, but serialisation is split-invariant.
+  EXPECT_EQ(*after, *before);
+}
+
+// P10: text-edit fuzz — random InsertText/DeleteText/CoalesceLeaves
+// sequences keep every invariant and never lose markup elements.
+TEST_P(GoddagPropertyTest, TextEditFuzz) {
+  size_t elements_before = g_->AllElements().size();
+  std::mt19937_64 rng(GetParam().seed * 31337);
+  for (int round = 0; round < 15; ++round) {
+    std::uniform_int_distribution<size_t> pick(
+        0, g_->content().empty() ? 0 : g_->content().size() - 1);
+    switch (round % 3) {
+      case 0: {
+        ASSERT_TRUE(g_->InsertText(pick(rng), "XY").ok());
+        break;
+      }
+      case 1: {
+        size_t a = pick(rng), b = pick(rng);
+        ASSERT_TRUE(
+            g_->DeleteText(Interval(std::min(a, b), std::max(a, b))).ok());
+        break;
+      }
+      default:
+        g_->CoalesceLeaves();
+        break;
+    }
+    ASSERT_TRUE(g_->Validate().ok())
+        << "round " << round << ": " << g_->Validate();
+  }
+  // Text edits never destroy markup: elements survive (possibly with
+  // zero-width extents).
+  EXPECT_EQ(g_->AllElements().size(), elements_before);
+}
+
+// P9: filtering any subset keeps content and the kept hierarchies'
+// serialisation.
+TEST_P(GoddagPropertyTest, FilterPreservesKeptHierarchies) {
+  if (g_->num_hierarchies() < 2) return;
+  std::vector<cmh::HierarchyId> keep = {0, 1};
+  auto filtered = drivers::Filter(*g_, keep);
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  EXPECT_EQ(filtered->g->content(), g_->content());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    auto a = goddag::SerializeHierarchy(*filtered->g,
+                                        static_cast<cmh::HierarchyId>(i));
+    auto b = goddag::SerializeHierarchy(*g_, keep[i]);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+  EXPECT_LE(filtered->g->num_leaves(), g_->num_leaves());
+}
+
+}  // namespace
+}  // namespace cxml

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "goddag/builder.h"
+#include "goddag/serializer.h"
+#include "sacx/goddag_handler.h"
+#include "sacx/sacx.h"
+#include "workload/boethius.h"
+
+namespace cxml::sacx {
+namespace {
+
+/// Records the merged event stream as readable strings.
+class TraceHandler : public SacxHandler {
+ public:
+  Status StartDocument(std::string_view root_tag) override {
+    trace.push_back(StrCat("doc:", root_tag));
+    return Status::Ok();
+  }
+  Status EndDocument() override {
+    trace.push_back("enddoc");
+    return Status::Ok();
+  }
+  Status StartElement(HierarchyId h, const xml::Event& event,
+                      size_t pos) override {
+    trace.push_back(StrFormat("start:%u:%s@%zu", h, event.name.c_str(), pos));
+    last_pos_ok &= pos >= last_pos;
+    last_pos = pos;
+    return Status::Ok();
+  }
+  Status EndElement(HierarchyId h, std::string_view tag,
+                    size_t pos) override {
+    trace.push_back(
+        StrFormat("end:%u:%s@%zu", h, std::string(tag).c_str(), pos));
+    last_pos_ok &= pos >= last_pos;
+    last_pos = pos;
+    return Status::Ok();
+  }
+  Status Characters(std::string_view text, size_t pos) override {
+    trace.push_back(StrFormat("text@%zu:%s", pos,
+                              std::string(text).c_str()));
+    content += text;
+    last_pos_ok &= pos >= last_pos;
+    last_pos = pos;
+    return Status::Ok();
+  }
+
+  std::vector<std::string> trace;
+  std::string content;
+  size_t last_pos = 0;
+  bool last_pos_ok = true;
+};
+
+std::vector<std::string_view> Views(const std::vector<std::string>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(SacxTest, MergesBoethiusStreams) {
+  auto cmh = workload::MakeBoethiusCmh();
+  ASSERT_TRUE(cmh.ok());
+  TraceHandler handler;
+  SacxParser parser;
+  Status st = parser.Parse(*cmh, Views(workload::BoethiusSources()),
+                           &handler);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(handler.trace.front(), "doc:r");
+  EXPECT_EQ(handler.trace.back(), "enddoc");
+  // The unified fragments reassemble the shared content exactly.
+  EXPECT_EQ(handler.content, workload::BoethiusContent());
+  // Positions never go backwards.
+  EXPECT_TRUE(handler.last_pos_ok);
+}
+
+TEST(SacxTest, EndsPrecedeStartsAtSamePosition) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r (x*)><!ELEMENT x (#PCDATA)>");
+  auto b = dtd::ParseDtd("<!ELEMENT r (y*)><!ELEMENT y (#PCDATA)>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  ASSERT_TRUE(cmh.AddHierarchy("B", std::move(b).value()).ok());
+  // x ends exactly where y begins (position 2).
+  TraceHandler handler;
+  SacxParser parser;
+  Status st = parser.Parse(
+      cmh, {"<r><x>ab</x>cd</r>", "<r>ab<y>cd</y></r>"}, &handler);
+  ASSERT_TRUE(st.ok()) << st;
+  std::vector<std::string> expected = {
+      "doc:r",          "start:0:x@0", "text@0:ab", "end:0:x@2",
+      "start:1:y@2",    "text@2:cd",   "end:1:y@4", "enddoc"};
+  EXPECT_EQ(handler.trace, expected);
+}
+
+TEST(SacxTest, FragmentsCutAtEveryHierarchyBoundary) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r (x*)><!ELEMENT x (#PCDATA)>");
+  auto b = dtd::ParseDtd("<!ELEMENT r (y*)><!ELEMENT y (#PCDATA)>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  ASSERT_TRUE(cmh.AddHierarchy("B", std::move(b).value()).ok());
+  // A tags [0,4), B tags [2,6): leaves must be ab|cd|ef.
+  TraceHandler handler;
+  SacxParser parser;
+  Status st = parser.Parse(
+      cmh, {"<r><x>abcd</x>ef</r>", "<r>ab<y>cdef</y></r>"}, &handler);
+  ASSERT_TRUE(st.ok()) << st;
+  std::vector<std::string> texts;
+  for (const auto& t : handler.trace) {
+    if (StartsWith(t, "text")) texts.push_back(t);
+  }
+  EXPECT_EQ(texts, (std::vector<std::string>{"text@0:ab", "text@2:cd",
+                                             "text@4:ef"}));
+}
+
+TEST(SacxTest, ContentDisagreementDetected) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r ANY>");
+  auto b = dtd::ParseDtd("<!ELEMENT r (y*)><!ELEMENT y ANY>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  ASSERT_TRUE(cmh.AddHierarchy("B", std::move(b).value()).ok());
+  TraceHandler handler;
+  SacxParser parser;
+  Status st = parser.Parse(cmh, {"<r>abcd</r>", "<r>abXd</r>"}, &handler);
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+  EXPECT_NE(st.message().find("content"), std::string::npos);
+}
+
+TEST(SacxTest, VocabularyViolationDetected) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r (x*)><!ELEMENT x ANY>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  TraceHandler handler;
+  SacxParser parser;
+  Status st = parser.Parse(cmh, {"<r><zz/></r>"}, &handler);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("'zz'"), std::string::npos);
+}
+
+TEST(SacxTest, WrongRootDetected) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r ANY>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  TraceHandler handler;
+  SacxParser parser;
+  EXPECT_FALSE(parser.Parse(cmh, {"<book>x</book>"}, &handler).ok());
+}
+
+TEST(SacxTest, MismatchedTagsDetected) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r (x*)><!ELEMENT x ANY>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  TraceHandler handler;
+  SacxParser parser;
+  EXPECT_EQ(parser.Parse(cmh, {"<r><x>a</r></x>"}, &handler).code(),
+            StatusCode::kParseError);
+}
+
+TEST(SacxTest, SourceCountMismatch) {
+  auto cmh = workload::MakeBoethiusCmh();
+  TraceHandler handler;
+  SacxParser parser;
+  EXPECT_EQ(parser.Parse(*cmh, {"<r/>"}, &handler).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SacxTest, MilestoneElements) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r ANY><!ELEMENT pb EMPTY>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  TraceHandler handler;
+  SacxParser parser;
+  Status st = parser.Parse(cmh, {"<r>ab<pb/>cd</r>"}, &handler);
+  ASSERT_TRUE(st.ok()) << st;
+  std::vector<std::string> expected = {
+      "doc:r",     "text@0:ab", "start:0:pb@2",
+      "end:0:pb@2", "text@2:cd", "enddoc"};
+  EXPECT_EQ(handler.trace, expected);
+}
+
+// ------------------------------------------------- GODDAG via SACX
+
+TEST(SacxGoddagTest, StreamingBuildMatchesDomBuild) {
+  auto corpus = workload::MakeBoethiusCorpus();
+  ASSERT_TRUE(corpus.ok());
+  // DOM-based construction (goddag::Builder).
+  auto dom_g = goddag::Builder::Build(*corpus->doc);
+  ASSERT_TRUE(dom_g.ok()) << dom_g.status();
+  // Streaming construction (SACX).
+  auto sacx_g = ParseToGoddag(*corpus->cmh,
+                              Views(workload::BoethiusSources()));
+  ASSERT_TRUE(sacx_g.ok()) << sacx_g.status();
+
+  EXPECT_TRUE(sacx_g->Validate().ok()) << sacx_g->Validate();
+  EXPECT_EQ(sacx_g->content(), dom_g->content());
+  EXPECT_EQ(sacx_g->num_leaves(), dom_g->num_leaves());
+  EXPECT_EQ(sacx_g->AllElements().size(), dom_g->AllElements().size());
+  // Strongest practical isomorphism check: identical per-hierarchy
+  // serialisations.
+  auto s1 = goddag::SerializeAll(*sacx_g);
+  auto s2 = goddag::SerializeAll(*dom_g);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST(SacxGoddagTest, RoundTripsSources) {
+  auto cmh = workload::MakeBoethiusCmh();
+  ASSERT_TRUE(cmh.ok());
+  auto g = ParseToGoddag(*cmh, Views(workload::BoethiusSources()));
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto docs = goddag::SerializeAll(*g);
+  ASSERT_TRUE(docs.ok());
+  for (size_t i = 0; i < docs->size(); ++i) {
+    EXPECT_EQ((*docs)[i], workload::BoethiusSources()[i]);
+  }
+}
+
+TEST(SacxGoddagTest, TakeBeforeParseFails) {
+  auto cmh = workload::MakeBoethiusCmh();
+  GoddagHandler handler(*cmh);
+  EXPECT_EQ(handler.Take().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SacxGoddagTest, EmptyRootDocuments) {
+  cmh::ConcurrentHierarchies cmh("r");
+  auto a = dtd::ParseDtd("<!ELEMENT r ANY>");
+  ASSERT_TRUE(cmh.AddHierarchy("A", std::move(a).value()).ok());
+  auto g = ParseToGoddag(cmh, {"<r/>"});
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_leaves(), 0u);
+  EXPECT_TRUE(g->Validate().ok());
+}
+
+}  // namespace
+}  // namespace cxml::sacx

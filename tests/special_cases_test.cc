@@ -1,0 +1,266 @@
+// Edge-case sweep across the stack: XML special characters in content
+// and attributes, UTF-8 multi-byte text, milestone (zero-width)
+// elements, single-hierarchy degenerate CMHs, and deep nesting — each
+// pushed through construction, query, mutation and every representation.
+
+#include <gtest/gtest.h>
+
+#include "drivers/registry.h"
+#include "edit/editor.h"
+#include "goddag/algebra.h"
+#include "goddag/serializer.h"
+#include "sacx/goddag_handler.h"
+#include "storage/binary.h"
+#include "xpath/engine.h"
+
+namespace cxml {
+namespace {
+
+dtd::Dtd MustDtd(const char* text) {
+  auto dtd = dtd::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  return std::move(dtd).value();
+}
+
+class TwoHierarchyFixture {
+ public:
+  explicit TwoHierarchyFixture(const char* a_decls = nullptr)
+      : cmh_("r") {
+    (void)a_decls;
+    EXPECT_TRUE(
+        cmh_.AddHierarchy(
+                "A", MustDtd("<!ELEMENT r (#PCDATA|x)*>"
+                             "<!ELEMENT x (#PCDATA)>"
+                             "<!ATTLIST x k CDATA #IMPLIED>"))
+            .ok());
+    EXPECT_TRUE(
+        cmh_.AddHierarchy(
+                "B", MustDtd("<!ELEMENT r (#PCDATA|y)*>"
+                             "<!ELEMENT y (#PCDATA)>"
+                             "<!ATTLIST y k CDATA #IMPLIED>"))
+            .ok());
+  }
+
+  Result<goddag::Goddag> Parse(std::string_view a, std::string_view b) {
+    return sacx::ParseToGoddag(cmh_, {a, b});
+  }
+
+  cmh::ConcurrentHierarchies cmh_;
+};
+
+TEST(SpecialCasesTest, EscapedContentRoundTripsEverywhere) {
+  TwoHierarchyFixture f;
+  // Content: a<b&c"d'e — every escapable character, overlapping markup.
+  auto g = f.Parse(
+      "<r><x k=\"q&quot;uote\">a&lt;b&amp;c</x>\"d'e</r>",
+      "<r>a&lt;b<y>&amp;c\"d'</y>e</r>");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->content(), "a<b&c\"d'e");
+  EXPECT_TRUE(g->Validate().ok());
+  // The x/y markup overlaps.
+  auto pairs = goddag::FindOverlappingPairs(*g, "x", "y");
+  ASSERT_EQ(pairs.size(), 1u);
+
+  auto reference = goddag::SerializeAll(*g);
+  ASSERT_TRUE(reference.ok());
+  for (auto repr :
+       {drivers::Representation::kDistributed,
+        drivers::Representation::kFragmentation,
+        drivers::Representation::kMilestones,
+        drivers::Representation::kStandoff}) {
+    auto exported = drivers::Export(*g, repr);
+    ASSERT_TRUE(exported.ok()) << drivers::RepresentationToString(repr);
+    std::vector<std::string_view> views(exported->begin(),
+                                        exported->end());
+    auto back = drivers::Import(f.cmh_, repr, views);
+    ASSERT_TRUE(back.ok()) << drivers::RepresentationToString(repr)
+                           << ": " << back.status();
+    auto got = goddag::SerializeAll(*back);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *reference) << drivers::RepresentationToString(repr);
+    EXPECT_EQ(back->content(), "a<b&c\"d'e");
+  }
+  // And through the binary snapshot.
+  auto loaded = storage::Load(*storage::Save(*g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->g->content(), "a<b&c\"d'e");
+}
+
+TEST(SpecialCasesTest, MultibyteContentOffsets) {
+  TwoHierarchyFixture f;
+  // 2- and 3-byte UTF-8 sequences; boundaries fall between code points.
+  auto g = f.Parse(
+      "<r><x>\xC3\xBE\xC3\xA6t</x> w\xE2\x80\xA6s</r>",
+      "<r>\xC3\xBE\xC3\xA6<y>t w</y>\xE2\x80\xA6s</r>");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_TRUE(g->Validate().ok());
+  auto pairs = goddag::FindOverlappingPairs(*g, "x", "y");
+  EXPECT_EQ(pairs.size(), 1u);
+  // XPath string-length counts code points, not bytes.
+  xpath::XPathEngine engine(*g);
+  auto len = engine.Evaluate("string-length(string(//x))");
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(len->ToNumber(*g), 3);  // þ æ t — code points, not bytes
+}
+
+TEST(SpecialCasesTest, MilestonesSurviveAllRepresentations) {
+  cmh::ConcurrentHierarchies cmh("r");
+  ASSERT_TRUE(cmh.AddHierarchy("phys",
+                               MustDtd("<!ELEMENT r (#PCDATA|pb)*>"
+                                       "<!ELEMENT pb EMPTY>"
+                                       "<!ATTLIST pb n CDATA #REQUIRED>"))
+                  .ok());
+  ASSERT_TRUE(cmh.AddHierarchy("ling",
+                               MustDtd("<!ELEMENT r (#PCDATA|w)*>"
+                                       "<!ELEMENT w (#PCDATA)>"))
+                  .ok());
+  auto g = sacx::ParseToGoddag(
+      cmh, {"<r>ab<pb n=\"1\"/>cd<pb n=\"2\"/></r>",
+            "<r><w>abc</w>d</r>"});
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_TRUE(g->Validate().ok());
+  ASSERT_EQ(g->ElementsByTag("pb").size(), 2u);
+  // The first pb sits at offset 2 (inside the w's extent).
+  goddag::NodeId pb1 = g->ElementsByTag("pb")[0];
+  EXPECT_TRUE(g->char_range(pb1).empty());
+  EXPECT_EQ(g->char_range(pb1).begin, 2u);
+
+  auto reference = goddag::SerializeAll(*g);
+  for (auto repr :
+       {drivers::Representation::kFragmentation,
+        drivers::Representation::kMilestones,
+        drivers::Representation::kStandoff}) {
+    auto exported = drivers::Export(*g, repr, /*primary=*/1);
+    ASSERT_TRUE(exported.ok())
+        << drivers::RepresentationToString(repr) << exported.status();
+    std::vector<std::string_view> views(exported->begin(),
+                                        exported->end());
+    auto back = drivers::Import(cmh, repr, views);
+    ASSERT_TRUE(back.ok()) << drivers::RepresentationToString(repr)
+                           << ": " << back.status() << "\n"
+                           << (*exported)[0];
+    auto got = goddag::SerializeAll(*back);
+    EXPECT_EQ(*got, *reference) << drivers::RepresentationToString(repr);
+  }
+}
+
+TEST(SpecialCasesTest, MilestoneNeverOverlaps) {
+  cmh::ConcurrentHierarchies cmh("r");
+  ASSERT_TRUE(cmh.AddHierarchy("phys",
+                               MustDtd("<!ELEMENT r (#PCDATA|pb)*>"
+                                       "<!ELEMENT pb EMPTY>"))
+                  .ok());
+  ASSERT_TRUE(cmh.AddHierarchy("ling",
+                               MustDtd("<!ELEMENT r (#PCDATA|w)*>"
+                                       "<!ELEMENT w (#PCDATA)>"))
+                  .ok());
+  auto g = sacx::ParseToGoddag(cmh,
+                               {"<r>ab<pb/>cd</r>", "<r><w>abcd</w></r>"});
+  ASSERT_TRUE(g.ok());
+  goddag::NodeId pb = g->ElementsByTag("pb")[0];
+  goddag::NodeId w = g->ElementsByTag("w")[0];
+  // Zero-width extents intersect nothing: containment, not overlap.
+  EXPECT_FALSE(goddag::Overlaps(*g, pb, w));
+  EXPECT_TRUE(goddag::Contains(*g, w, pb));
+  xpath::XPathEngine engine(*g);
+  EXPECT_EQ(engine.Evaluate("count(//pb[overlapping::w])")->ToNumber(*g),
+            0);
+}
+
+TEST(SpecialCasesTest, SingleHierarchyDegeneratesToPlainXml) {
+  cmh::ConcurrentHierarchies cmh("r");
+  ASSERT_TRUE(cmh.AddHierarchy("only",
+                               MustDtd("<!ELEMENT r (a*)>"
+                                       "<!ELEMENT a (#PCDATA|b)*>"
+                                       "<!ELEMENT b (#PCDATA)>"))
+                  .ok());
+  const char* doc = "<r><a>x<b>y</b></a><a>z</a></r>";
+  auto g = sacx::ParseToGoddag(cmh, {doc});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->Validate().ok());
+  auto out = goddag::SerializeHierarchy(*g, 0);
+  EXPECT_EQ(*out, doc);
+  // No overlap exists anywhere.
+  xpath::XPathEngine engine(*g);
+  EXPECT_EQ(engine.Evaluate("count(//*[overlapping::*])")->ToNumber(*g),
+            0);
+}
+
+TEST(SpecialCasesTest, DeepNestingSurvives) {
+  // 60-deep nesting in one hierarchy, flat annotation in the other.
+  cmh::ConcurrentHierarchies cmh("r");
+  ASSERT_TRUE(cmh.AddHierarchy("deep",
+                               MustDtd("<!ELEMENT r (#PCDATA|d)*>"
+                                       "<!ELEMENT d (#PCDATA|d)*>"))
+                  .ok());
+  ASSERT_TRUE(cmh.AddHierarchy("flat",
+                               MustDtd("<!ELEMENT r (#PCDATA|f)*>"
+                                       "<!ELEMENT f (#PCDATA)>"))
+                  .ok());
+  std::string deep = "<r>";
+  for (int i = 0; i < 60; ++i) deep += "<d>";
+  deep += "core";
+  for (int i = 0; i < 60; ++i) deep += "</d>";
+  deep += "</r>";
+  auto g = sacx::ParseToGoddag(cmh, {deep, "<r>co<f>r</f>e</r>"});
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_TRUE(g->Validate().ok());
+  EXPECT_EQ(g->ElementsByTag("d").size(), 60u);
+  // Round-trip through fragmentation (the f element nests 61 deep).
+  auto frag = drivers::Export(*g, drivers::Representation::kFragmentation);
+  ASSERT_TRUE(frag.ok());
+  std::vector<std::string_view> views((*frag).begin(), (*frag).end());
+  auto back =
+      drivers::Import(cmh, drivers::Representation::kFragmentation, views);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*goddag::SerializeAll(*back), *goddag::SerializeAll(*g));
+}
+
+TEST(SpecialCasesTest, AdjacentElementsShareNoOverlap) {
+  TwoHierarchyFixture f;
+  // x ends exactly where y begins: touching, not overlapping.
+  auto g = f.Parse("<r><x>ab</x>cd</r>", "<r>ab<y>cd</y></r>");
+  ASSERT_TRUE(g.ok());
+  auto pairs = goddag::FindOverlappingPairs(*g, "x", "y");
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(SpecialCasesTest, IdenticalExtentsAcrossHierarchies) {
+  TwoHierarchyFixture f;
+  auto g = f.Parse("<r>a<x>bc</x>d</r>", "<r>a<y>bc</y>d</r>");
+  ASSERT_TRUE(g.ok());
+  goddag::NodeId x = g->ElementsByTag("x")[0];
+  goddag::NodeId y = g->ElementsByTag("y")[0];
+  EXPECT_TRUE(goddag::SameExtent(*g, x, y));
+  EXPECT_FALSE(goddag::Overlaps(*g, x, y));
+  // Both contain the shared leaf; the leaf has both as parents.
+  Interval leaves = g->leaf_range(x);
+  ASSERT_EQ(leaves.length(), 1u);
+  goddag::NodeId leaf = g->leaf_at(leaves.begin);
+  EXPECT_EQ(g->leaf_parent(leaf, 0), x);
+  EXPECT_EQ(g->leaf_parent(leaf, 1), y);
+}
+
+TEST(SpecialCasesTest, EditorOnDegenerateContent) {
+  cmh::ConcurrentHierarchies cmh("r");
+  ASSERT_TRUE(cmh.AddHierarchy("only",
+                               MustDtd("<!ELEMENT r (#PCDATA|m)*>"
+                                       "<!ELEMENT m (#PCDATA)>"))
+                  .ok());
+  auto g = sacx::ParseToGoddag(cmh, {"<r>x</r>"});
+  ASSERT_TRUE(g.ok());
+  auto editor = edit::Editor::Create(&g.value());
+  ASSERT_TRUE(editor.ok());
+  // Whole-content markup.
+  edit::InsertOp op;
+  op.hierarchy = 0;
+  op.tag = "m";
+  op.chars = Interval(0, 1);
+  auto node = editor->Insert(op);
+  ASSERT_TRUE(node.ok()) << node.status();
+  EXPECT_TRUE(g->Validate().ok());
+  EXPECT_TRUE(editor->ValidateStrict().ok());
+}
+
+}  // namespace
+}  // namespace cxml

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "goddag/algebra.h"
+#include "goddag/serializer.h"
+#include "sacx/goddag_handler.h"
+#include "storage/binary.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace cxml::storage {
+namespace {
+
+using ::cxml::testing::BoethiusFixture;
+
+TEST(StorageTest, SaveLoadRoundTripBoethius) {
+  auto fixture = BoethiusFixture::Make();
+  ASSERT_NE(fixture.g, nullptr);
+  auto bytes = Save(*fixture.g);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  EXPECT_GT(bytes->size(), 100u);
+
+  auto loaded = Load(*bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->g->Validate().ok());
+  EXPECT_EQ(loaded->g->content(), fixture.g->content());
+  EXPECT_EQ(loaded->cmh->size(), 4u);
+  EXPECT_EQ(loaded->cmh->root_tag(), "r");
+
+  // Full structural equivalence via serialisation.
+  auto a = goddag::SerializeAll(*fixture.g);
+  auto b = goddag::SerializeAll(*loaded->g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(StorageTest, SnapshotEmbedsTheSchema) {
+  auto fixture = BoethiusFixture::Make();
+  auto bytes = Save(*fixture.g);
+  ASSERT_TRUE(bytes.ok());
+  auto loaded = Load(*bytes);
+  ASSERT_TRUE(loaded.ok());
+  // The reconstructed CMH knows the vocabulary.
+  EXPECT_EQ(loaded->cmh->HierarchyOf("w"),
+            loaded->cmh->FindIdByName("linguistic"));
+  EXPECT_EQ(loaded->cmh->HierarchyOf("dmg"),
+            loaded->cmh->FindIdByName("damage"));
+  // The DTDs survived: content models compile.
+  EXPECT_TRUE(loaded->cmh->CompileAll().ok());
+}
+
+TEST(StorageTest, OverlapSemanticsSurvive) {
+  auto fixture = BoethiusFixture::Make();
+  auto loaded = Load(*Save(*fixture.g));
+  ASSERT_TRUE(loaded.ok());
+  auto pairs = goddag::FindOverlappingPairs(*loaded->g, "w", "line");
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(StorageTest, RequiresBoundCmh) {
+  goddag::Goddag bare("abc", 1);
+  EXPECT_EQ(Save(bare).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StorageTest, RejectsCorruptedInput) {
+  EXPECT_EQ(Load("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Load("NOPE1234").status().code(), StatusCode::kParseError);
+
+  auto fixture = BoethiusFixture::Make();
+  auto bytes = Save(*fixture.g);
+  ASSERT_TRUE(bytes.ok());
+  // Truncations at every eighth must fail cleanly, never crash.
+  for (size_t cut = 4; cut < bytes->size(); cut += bytes->size() / 8) {
+    auto r = Load(std::string_view(*bytes).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+  }
+  // Trailing garbage detected.
+  std::string padded = *bytes + "garbage";
+  EXPECT_EQ(Load(padded).status().code(), StatusCode::kParseError);
+  // Bad version detected.
+  std::string bad_version = *bytes;
+  bad_version[4] = 99;
+  EXPECT_EQ(Load(bad_version).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(StorageTest, FileRoundTrip) {
+  auto fixture = BoethiusFixture::Make();
+  const std::string path = ::testing::TempDir() + "/goddag_snapshot.cxg";
+  ASSERT_TRUE(SaveToFile(*fixture.g, path).ok());
+  auto loaded = LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->g->content(), fixture.g->content());
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadFromFile(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StorageTest, SyntheticCorpusRoundTrip) {
+  workload::GeneratorParams params;
+  params.content_chars = 5000;
+  params.extra_hierarchies = 3;
+  auto corpus = workload::GenerateManuscript(params);
+  ASSERT_TRUE(corpus.ok());
+  auto g = sacx::ParseToGoddag(*corpus->cmh, corpus->SourceViews());
+  ASSERT_TRUE(g.ok());
+  auto loaded = Load(*Save(*g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto a = goddag::SerializeAll(*g);
+  auto b = goddag::SerializeAll(*loaded->g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace cxml::storage

@@ -1,0 +1,53 @@
+#ifndef CXML_TESTS_TEST_UTIL_H_
+#define CXML_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "goddag/builder.h"
+#include "goddag/goddag.h"
+#include "workload/boethius.h"
+
+namespace cxml::testing {
+
+/// Bundles the Boethius CMH, distributed document and GODDAG with
+/// correct lifetimes for test fixtures.
+struct BoethiusFixture {
+  workload::BoethiusCorpus corpus;
+  std::unique_ptr<goddag::Goddag> g;
+
+  static BoethiusFixture Make() {
+    auto corpus = workload::MakeBoethiusCorpus();
+    EXPECT_TRUE(corpus.ok()) << corpus.status();
+    BoethiusFixture f;
+    f.corpus = std::move(corpus).value();
+    auto g = goddag::Builder::Build(*f.corpus.doc);
+    EXPECT_TRUE(g.ok()) << g.status();
+    f.g = std::make_unique<goddag::Goddag>(std::move(g).value());
+    return f;
+  }
+};
+
+/// Finds the unique element with `tag` whose text is `text`; fails the
+/// test when absent or ambiguous.
+inline goddag::NodeId FindElement(const goddag::Goddag& g,
+                                  std::string_view tag,
+                                  std::string_view text) {
+  goddag::NodeId found = goddag::kInvalidNode;
+  for (goddag::NodeId node : g.ElementsByTag(tag)) {
+    if (g.text(node) == text) {
+      EXPECT_EQ(found, goddag::kInvalidNode)
+          << "ambiguous " << tag << " with text " << text;
+      found = node;
+    }
+  }
+  EXPECT_NE(found, goddag::kInvalidNode)
+      << "no <" << tag << "> with text '" << text << "'";
+  return found;
+}
+
+}  // namespace cxml::testing
+
+#endif  // CXML_TESTS_TEST_UTIL_H_

@@ -1,0 +1,191 @@
+// Tests for GODDAG text editing (InsertText / DeleteText) and leaf
+// coalescing — the transcription-editing half of the authoring story
+// (xTagger edits text as well as markup).
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "goddag/algebra.h"
+#include "goddag/serializer.h"
+#include "test_util.h"
+
+namespace cxml::goddag {
+namespace {
+
+using ::cxml::testing::BoethiusFixture;
+using ::cxml::testing::FindElement;
+
+class TextEditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = BoethiusFixture::Make();
+    ASSERT_NE(fixture_.g, nullptr);
+    g_ = fixture_.g.get();
+  }
+
+  BoethiusFixture fixture_;
+  Goddag* g_ = nullptr;
+};
+
+TEST_F(TextEditTest, InsertIntoWord) {
+  // 'Wisdom' -> 'Wisssdom' (scribe stutter).
+  size_t at = g_->content().find("sdom");
+  std::string before = g_->content();
+  ASSERT_TRUE(g_->InsertText(at, "ss").ok());
+  EXPECT_EQ(g_->content().size(), before.size() + 2);
+  EXPECT_NE(g_->content().find("Wisssdom"), std::string::npos);
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  // The containing word grew; markup is intact.
+  NodeId w = FindElement(*g_, "w", "Wisssdom");
+  EXPECT_EQ(g_->text(w), "Wisssdom");
+  EXPECT_EQ(g_->ElementsByTag("w").size(), 13u);
+}
+
+TEST_F(TextEditTest, InsertAtStartAndEnd) {
+  ASSERT_TRUE(g_->InsertText(0, ">>").ok());
+  EXPECT_TRUE(StartsWith(g_->content(), ">>"));
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  ASSERT_TRUE(g_->InsertText(g_->content().size(), "<<").ok());
+  EXPECT_TRUE(EndsWith(g_->content(), "<<"));
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  // Serialisation still produces well-formed members (escaping works).
+  auto docs = SerializeAll(*g_);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_NE((*docs)[0].find("&gt;&gt;"), std::string::npos);
+}
+
+TEST_F(TextEditTest, InsertShiftsFollowingExtents) {
+  NodeId dmg = g_->ElementsByTag("dmg")[0];
+  Interval before = g_->char_range(dmg);
+  ASSERT_TRUE(g_->InsertText(0, "abc").ok());
+  Interval after = g_->char_range(dmg);
+  EXPECT_EQ(after.begin, before.begin + 3);
+  EXPECT_EQ(after.end, before.end + 3);
+  EXPECT_EQ(g_->text(dmg), "gan he eft seg");
+}
+
+TEST_F(TextEditTest, InsertOutOfRangeFails) {
+  EXPECT_EQ(g_->InsertText(g_->content().size() + 1, "x").code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(g_->InsertText(3, "").ok());  // no-op
+}
+
+TEST_F(TextEditTest, InsertIntoEmptyGoddag) {
+  Goddag empty("", 2);
+  ASSERT_TRUE(empty.InsertText(0, "hello").ok());
+  EXPECT_EQ(empty.content(), "hello");
+  EXPECT_EQ(empty.num_leaves(), 1u);
+  EXPECT_TRUE(empty.Validate().ok()) << empty.Validate();
+}
+
+TEST_F(TextEditTest, DeleteInsideWord) {
+  // 'Wisdom' -> 'Wdom'.
+  size_t at = g_->content().find("isdom") + 1;  // drop 'sd'... take 'is'
+  ASSERT_TRUE(g_->DeleteText(Interval(at - 1, at + 1)).ok());
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  EXPECT_NE(g_->content().find("Wdom"), std::string::npos);
+  NodeId w = FindElement(*g_, "w", "Wdom");
+  EXPECT_EQ(g_->text(w), "Wdom");
+  EXPECT_EQ(g_->ElementsByTag("w").size(), 13u);
+}
+
+TEST_F(TextEditTest, DeleteAcrossMarkupBoundaries) {
+  // Delete "dom þa" — crosses the end of w(Wisdom), a space, and all of
+  // w(þa): both words survive, shrunken (þa becomes zero-width).
+  size_t at = g_->content().find("dom \xC3\xBE""a ");
+  ASSERT_NE(at, std::string::npos);
+  std::string removed = "dom \xC3\xBE""a";
+  ASSERT_TRUE(g_->DeleteText(Interval(at, at + removed.size())).ok());
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  NodeId wis = FindElement(*g_, "w", "Wis");
+  EXPECT_EQ(g_->text(wis), "Wis");
+  // The fully deleted word survives as a zero-width element (markup is
+  // never silently destroyed).
+  EXPECT_EQ(g_->ElementsByTag("w").size(), 13u);
+  size_t zero_width = 0;
+  for (NodeId w : g_->ElementsByTag("w")) {
+    if (g_->char_range(w).empty()) ++zero_width;
+  }
+  EXPECT_EQ(zero_width, 1u);
+}
+
+TEST_F(TextEditTest, DeleteEverything) {
+  ASSERT_TRUE(g_->DeleteText(Interval(0, g_->content().size())).ok());
+  EXPECT_TRUE(g_->content().empty());
+  EXPECT_EQ(g_->num_leaves(), 0u);
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  // All markup survives as zero-width elements.
+  EXPECT_EQ(g_->ElementsByTag("w").size(), 13u);
+  EXPECT_EQ(g_->ElementsByTag("line").size(), 2u);
+}
+
+TEST_F(TextEditTest, DeleteOutOfRangeFails) {
+  EXPECT_EQ(
+      g_->DeleteText(Interval(0, g_->content().size() + 1)).code(),
+      StatusCode::kOutOfRange);
+  EXPECT_TRUE(g_->DeleteText(Interval(3, 3)).ok());  // no-op
+}
+
+TEST_F(TextEditTest, InsertDeleteRoundTrip) {
+  auto before = SerializeAll(*g_);
+  ASSERT_TRUE(before.ok());
+  size_t at = g_->content().find("ongan");
+  ASSERT_TRUE(g_->InsertText(at, "XYZ").ok());
+  ASSERT_TRUE(g_->DeleteText(Interval(at, at + 3)).ok());
+  auto after = SerializeAll(*g_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+}
+
+// ------------------------------------------------------- coalescing
+
+TEST_F(TextEditTest, CoalesceAfterMarkupRemoval) {
+  size_t leaves_before = g_->num_leaves();
+  // Removing res and dmg drops their boundaries; coalescing merges the
+  // leaves they used to cut.
+  ASSERT_TRUE(g_->RemoveElement(g_->ElementsByTag("res")[0]).ok());
+  ASSERT_TRUE(g_->RemoveElement(g_->ElementsByTag("dmg")[0]).ok());
+  size_t merges = g_->CoalesceLeaves();
+  EXPECT_GT(merges, 0u);
+  EXPECT_LT(g_->num_leaves(), leaves_before);
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  // Content and remaining markup unchanged.
+  EXPECT_EQ(g_->content(), workload::BoethiusContent());
+  EXPECT_EQ(g_->ElementsByTag("w").size(), 13u);
+  auto pairs = FindOverlappingPairs(*g_, "w", "line");
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST_F(TextEditTest, CoalesceIsIdempotent) {
+  ASSERT_TRUE(g_->RemoveElement(g_->ElementsByTag("res")[0]).ok());
+  g_->CoalesceLeaves();
+  EXPECT_EQ(g_->CoalesceLeaves(), 0u);
+  EXPECT_TRUE(g_->Validate().ok());
+}
+
+TEST_F(TextEditTest, CoalescePreservesMilestoneBoundaries) {
+  // Insert a zero-width element between two leaves of the same parents;
+  // coalescing must NOT merge across it.
+  HierarchyId phys = fixture_.corpus.cmh->FindIdByName("physical");
+  ASSERT_TRUE(g_->RemoveElement(g_->ElementsByTag("res")[0]).ok());
+  size_t boundary = g_->char_range(g_->leaf_at(1)).begin;
+  auto ms = g_->InsertElement(phys, "line", {{"n", "pt"}},
+                              Interval(boundary, boundary));
+  ASSERT_TRUE(ms.ok()) << ms.status();
+  g_->CoalesceLeaves();
+  EXPECT_TRUE(g_->Validate().ok()) << g_->Validate();
+  // The milestone still sits between two distinct leaves.
+  EXPECT_EQ(g_->char_range(g_->leaf_at(0)).end, boundary);
+}
+
+TEST_F(TextEditTest, CoalesceDoesNotChangeSerialization) {
+  ASSERT_TRUE(g_->RemoveElement(g_->ElementsByTag("dmg")[0]).ok());
+  auto before = SerializeAll(*g_);
+  g_->CoalesceLeaves();
+  auto after = SerializeAll(*g_);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(*after, *before);
+}
+
+}  // namespace
+}  // namespace cxml::goddag

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "xml/chars.h"
+#include "xml/escape.h"
+#include "xml/lexer.h"
+
+namespace cxml::xml {
+namespace {
+
+/// Drains the lexer into a vector, failing the test on lexing errors.
+std::vector<Event> LexAll(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Event> events;
+  while (true) {
+    auto ev = lexer.Next();
+    EXPECT_TRUE(ev.ok()) << ev.status();
+    if (!ev.ok() || ev->kind == EventKind::kEndOfDocument) break;
+    events.push_back(std::move(ev).value());
+  }
+  return events;
+}
+
+/// Lexes until an error is hit; returns it (or Ok if none).
+Status LexError(std::string_view input) {
+  Lexer lexer(input);
+  while (true) {
+    auto ev = lexer.Next();
+    if (!ev.ok()) return ev.status();
+    if (ev->kind == EventKind::kEndOfDocument) return Status::Ok();
+  }
+}
+
+// ------------------------------------------------------------ chars
+
+TEST(XmlCharsTest, NameValidation) {
+  EXPECT_TRUE(IsValidName("line"));
+  EXPECT_TRUE(IsValidName("w"));
+  EXPECT_TRUE(IsValidName("tei:seg"));
+  EXPECT_TRUE(IsValidName("_x-1.2"));
+  EXPECT_FALSE(IsValidName(""));
+  EXPECT_FALSE(IsValidName("1line"));
+  EXPECT_FALSE(IsValidName("-x"));
+  EXPECT_FALSE(IsValidName("a b"));
+  EXPECT_TRUE(IsValidName("\xC3\xB0issum"));  // ðissum
+}
+
+TEST(XmlCharsTest, NcNameRejectsColon) {
+  EXPECT_TRUE(IsValidNcName("physical"));
+  EXPECT_FALSE(IsValidNcName("tei:seg"));
+}
+
+// ------------------------------------------------------------ escape
+
+TEST(EscapeTest, TextEscaping) {
+  EXPECT_EQ(EscapeText("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+  EXPECT_EQ(EscapeText("\"'"), "\"'");
+}
+
+TEST(EscapeTest, AttributeEscaping) {
+  EXPECT_EQ(EscapeAttribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(EscapeAttribute("a<b&c"), "a&lt;b&amp;c");
+  EXPECT_EQ(EscapeAttribute("tab\there"), "tab&#9;here");
+  EXPECT_EQ(EscapeAttribute("nl\nhere"), "nl&#10;here");
+}
+
+TEST(EscapeTest, DecodeEntities) {
+  auto r = DecodeEntities("a &lt;&gt;&amp;&apos;&quot; b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "a <>&'\" b");
+}
+
+TEST(EscapeTest, DecodeCharRefs) {
+  EXPECT_EQ(DecodeEntities("&#65;&#x42;").value(), "AB");
+  EXPECT_EQ(DecodeEntities("&#xF0;").value(), "\xC3\xB0");
+  EXPECT_FALSE(DecodeEntities("&#xD800;").ok());   // surrogate
+  EXPECT_FALSE(DecodeEntities("&#x110000;").ok());  // beyond Unicode
+  EXPECT_FALSE(DecodeEntities("&#;").ok());
+  EXPECT_FALSE(DecodeEntities("&#x;").ok());
+  EXPECT_FALSE(DecodeEntities("&#12a;").ok());
+}
+
+TEST(EscapeTest, DecodeUnknownEntityFails) {
+  EXPECT_FALSE(DecodeEntities("&nope;").ok());
+  EXPECT_FALSE(DecodeEntities("&unterminated").ok());
+}
+
+TEST(EscapeTest, EscapeRoundTrip) {
+  std::string original = "swa <hwa> & \"swa\" 'þe'";
+  EXPECT_EQ(DecodeEntities(EscapeText(original)).value(), original);
+  EXPECT_EQ(DecodeEntities(EscapeAttribute(original)).value(), original);
+}
+
+// ------------------------------------------------------------ lexer
+
+TEST(LexerTest, SimpleElement) {
+  auto events = LexAll("<r>text</r>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kStartElement);
+  EXPECT_EQ(events[0].name, "r");
+  EXPECT_EQ(events[1].kind, EventKind::kText);
+  EXPECT_EQ(events[1].text, "text");
+  EXPECT_EQ(events[2].kind, EventKind::kEndElement);
+  EXPECT_EQ(events[2].name, "r");
+}
+
+TEST(LexerTest, EofIsSticky) {
+  Lexer lexer("<a/>");
+  EXPECT_EQ(lexer.Next()->kind, EventKind::kStartElement);
+  EXPECT_EQ(lexer.Next()->kind, EventKind::kEndOfDocument);
+  EXPECT_EQ(lexer.Next()->kind, EventKind::kEndOfDocument);
+}
+
+TEST(LexerTest, SelfClosingTag) {
+  auto events = LexAll("<r><pb n=\"36v\"/></r>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].kind, EventKind::kStartElement);
+  EXPECT_TRUE(events[1].self_closing);
+  EXPECT_EQ(events[1].name, "pb");
+  ASSERT_EQ(events[1].attrs.size(), 1u);
+  EXPECT_EQ(events[1].attrs[0].name, "n");
+  EXPECT_EQ(events[1].attrs[0].value, "36v");
+}
+
+TEST(LexerTest, Attributes) {
+  auto events = LexAll("<w id='w1' type=\"noun\" lang='ang'/>");
+  ASSERT_EQ(events.size(), 1u);
+  const Event& ev = events[0];
+  ASSERT_EQ(ev.attrs.size(), 3u);
+  EXPECT_EQ(*ev.FindAttribute("id"), "w1");
+  EXPECT_EQ(*ev.FindAttribute("type"), "noun");
+  EXPECT_EQ(*ev.FindAttribute("lang"), "ang");
+  EXPECT_EQ(ev.FindAttribute("missing"), nullptr);
+}
+
+TEST(LexerTest, AttributeValueNormalization) {
+  auto events = LexAll("<a x=\"one\ttwo\nthree\"/>");
+  EXPECT_EQ(*events[0].FindAttribute("x"), "one two three");
+}
+
+TEST(LexerTest, AttributeCharRefWhitespacePreserved) {
+  auto events = LexAll("<a x=\"one&#9;two\"/>");
+  EXPECT_EQ(*events[0].FindAttribute("x"), "one\ttwo");
+}
+
+TEST(LexerTest, DuplicateAttributeIsError) {
+  EXPECT_EQ(LexError("<a x=\"1\" x=\"2\"/>").code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, EntityDecodingInText) {
+  auto events = LexAll("<r>&lt;tag&gt; &amp; &#65;&#x42;</r>");
+  EXPECT_EQ(events[1].text, "<tag> & AB");
+}
+
+TEST(LexerTest, CData) {
+  auto events = LexAll("<r><![CDATA[<not>&markup;]]></r>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].kind, EventKind::kCData);
+  EXPECT_EQ(events[1].text, "<not>&markup;");
+}
+
+TEST(LexerTest, Comment) {
+  auto events = LexAll("<r><!-- folio 36v --></r>");
+  EXPECT_EQ(events[1].kind, EventKind::kComment);
+  EXPECT_EQ(events[1].text, " folio 36v ");
+}
+
+TEST(LexerTest, DoubleDashInCommentIsError) {
+  EXPECT_EQ(LexError("<r><!-- a -- b --></r>").code(),
+            StatusCode::kParseError);
+}
+
+TEST(LexerTest, ProcessingInstruction) {
+  auto events = LexAll("<r><?ept render folio?></r>");
+  EXPECT_EQ(events[1].kind, EventKind::kProcessingInstruction);
+  EXPECT_EQ(events[1].name, "ept");
+  EXPECT_EQ(events[1].text, "render folio");
+}
+
+TEST(LexerTest, XmlDeclaration) {
+  auto events = LexAll("<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+  EXPECT_EQ(events[0].kind, EventKind::kXmlDecl);
+  EXPECT_EQ(*events[0].FindAttribute("version"), "1.0");
+  EXPECT_EQ(*events[0].FindAttribute("encoding"), "UTF-8");
+}
+
+TEST(LexerTest, DoctypeWithInternalSubset) {
+  auto events = LexAll(
+      "<!DOCTYPE r [\n"
+      "  <!ELEMENT r (line*)>\n"
+      "  <!ENTITY thorn \"\xC3\xBE\">\n"
+      "]><r>&thorn;a</r>");
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kDoctype);
+  EXPECT_EQ(events[0].name, "r");
+  EXPECT_NE(events[0].text.find("<!ELEMENT r (line*)>"), std::string::npos);
+  // Declared entity resolves in subsequent text.
+  EXPECT_EQ(events[2].text, "\xC3\xBE" "a");
+}
+
+TEST(LexerTest, DoctypeSystemId) {
+  auto events = LexAll("<!DOCTYPE r SYSTEM \"phys.dtd\"><r/>");
+  EXPECT_EQ(events[0].kind, EventKind::kDoctype);
+  EXPECT_EQ(*events[0].FindAttribute("system"), "phys.dtd");
+}
+
+TEST(LexerTest, NestedDeclaredEntities) {
+  Lexer lexer("<r>&outer;</r>");
+  lexer.DeclareEntity("inner", "X");
+  lexer.DeclareEntity("outer", "a&inner;b");
+  EXPECT_EQ(lexer.Next()->kind, EventKind::kStartElement);
+  auto text = lexer.Next();
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(text->text, "aXb");
+}
+
+TEST(LexerTest, RecursiveEntityIsError) {
+  Lexer lexer("<r>&a;</r>");
+  lexer.DeclareEntity("a", "&b;");
+  lexer.DeclareEntity("b", "&a;");
+  lexer.Next();  // <r>
+  EXPECT_EQ(lexer.Next().status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, EntityWithMarkupIsError) {
+  Lexer lexer("<r>&frag;</r>");
+  lexer.DeclareEntity("frag", "<b>bold</b>");
+  lexer.Next();
+  EXPECT_EQ(lexer.Next().status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, PositionTracking) {
+  Lexer lexer("<r>\n  <w/>\n</r>");
+  auto r = lexer.Next();
+  EXPECT_EQ(r->pos.line, 1u);
+  EXPECT_EQ(r->pos.column, 1u);
+  lexer.Next();  // text
+  auto w = lexer.Next();
+  EXPECT_EQ(w->pos.line, 2u);
+  EXPECT_EQ(w->pos.column, 3u);
+}
+
+TEST(LexerTest, ErrorsMentionLine) {
+  Status st = LexError("<r>\n<1bad/></r>");
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, MalformedInputs) {
+  EXPECT_FALSE(LexError("<r>&unterminated</r>").ok());
+  EXPECT_FALSE(LexError("<r x=></r>").ok());
+  EXPECT_FALSE(LexError("<r x=\"unclosed></r>").ok());
+  EXPECT_FALSE(LexError("<r><![CDATA[unclosed</r>").ok());
+  EXPECT_FALSE(LexError("<r><!-- unclosed</r>").ok());
+  EXPECT_FALSE(LexError("<r><?pi unclosed</r>").ok());
+  EXPECT_FALSE(LexError("<r x=\"a<b\"/>").ok());
+  EXPECT_FALSE(LexError("<r>]]></r>").ok());
+  EXPECT_FALSE(LexError("<r q><w/></r>").ok());
+}
+
+TEST(LexerTest, UnknownEntityInTextIsError) {
+  EXPECT_EQ(LexError("<r>&wyrd;</r>").code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, Utf8ContentPassesThrough) {
+  auto events = LexAll("<r>\xC3\xBE\xC3\xA6t w\xC3\xA6s god cyning</r>");
+  EXPECT_EQ(events[1].text, "\xC3\xBE\xC3\xA6t w\xC3\xA6s god cyning");
+}
+
+TEST(LexerTest, WhitespaceInEndTag) {
+  auto events = LexAll("<r>x</r >");
+  EXPECT_EQ(events[2].kind, EventKind::kEndElement);
+}
+
+}  // namespace
+}  // namespace cxml::xml

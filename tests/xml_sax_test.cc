@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "xml/sax.h"
+#include "xml/writer.h"
+
+namespace cxml::xml {
+namespace {
+
+/// Records the callback stream as a compact trace for assertions.
+class TraceHandler : public ContentHandler {
+ public:
+  Status StartDocument() override {
+    trace_.push_back("startdoc");
+    return Status::Ok();
+  }
+  Status EndDocument() override {
+    trace_.push_back("enddoc");
+    return Status::Ok();
+  }
+  Status StartElement(const Event& event) override {
+    std::string entry = StrCat("<", event.name);
+    for (const auto& a : event.attrs) {
+      entry += StrCat(" ", a.name, "=", a.value);
+    }
+    trace_.push_back(entry + ">");
+    return Status::Ok();
+  }
+  Status EndElement(const Event& event) override {
+    trace_.push_back(StrCat("</", event.name, ">"));
+    return Status::Ok();
+  }
+  Status Characters(std::string_view text) override {
+    trace_.push_back(StrCat("text:", text));
+    return Status::Ok();
+  }
+  Status Comment(std::string_view text) override {
+    trace_.push_back(StrCat("comment:", text));
+    return Status::Ok();
+  }
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override {
+    trace_.push_back(StrCat("pi:", target, ":", data));
+    return Status::Ok();
+  }
+
+  std::vector<std::string> trace_;
+};
+
+Status ParseTrace(std::string_view input, std::vector<std::string>* trace) {
+  TraceHandler handler;
+  SaxParser parser;
+  Status st = parser.Parse(input, &handler);
+  *trace = handler.trace_;
+  return st;
+}
+
+TEST(SaxTest, EventOrder) {
+  std::vector<std::string> trace;
+  ASSERT_TRUE(ParseTrace("<r><w>swa</w><w>hwa</w></r>", &trace).ok());
+  std::vector<std::string> expected = {
+      "startdoc", "<r>",  "<w>",     "text:swa", "</w>",
+      "<w>",      "text:hwa", "</w>", "</r>",     "enddoc"};
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(SaxTest, SelfClosingEmitsStartAndEnd) {
+  std::vector<std::string> trace;
+  ASSERT_TRUE(ParseTrace("<r><pb n=\"1\"/></r>", &trace).ok());
+  std::vector<std::string> expected = {"startdoc", "<r>",  "<pb n=1>",
+                                       "</pb>",    "</r>", "enddoc"};
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(SaxTest, CDataReportedAsCharacters) {
+  std::vector<std::string> trace;
+  ASSERT_TRUE(ParseTrace("<r>a<![CDATA[<b>]]>c</r>", &trace).ok());
+  EXPECT_EQ(trace[2], "text:a");
+  EXPECT_EQ(trace[3], "text:<b>");
+  EXPECT_EQ(trace[4], "text:c");
+}
+
+TEST(SaxTest, PrologAndEpilogAllowed) {
+  std::vector<std::string> trace;
+  Status st = ParseTrace(
+      "<?xml version=\"1.0\"?>\n<!-- pre --><r/>\n<!-- post -->\n", &trace);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(trace.front(), "startdoc");
+  EXPECT_EQ(trace.back(), "enddoc");
+}
+
+TEST(SaxTest, MismatchedTagsRejected) {
+  std::vector<std::string> trace;
+  Status st = ParseTrace("<r><w>x</line></r>", &trace);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("mismatched"), std::string::npos);
+}
+
+TEST(SaxTest, UnclosedRootRejected) {
+  std::vector<std::string> trace;
+  EXPECT_EQ(ParseTrace("<r><w>x</w>", &trace).code(),
+            StatusCode::kParseError);
+}
+
+TEST(SaxTest, SecondRootRejected) {
+  std::vector<std::string> trace;
+  EXPECT_EQ(ParseTrace("<r/><r2/>", &trace).code(), StatusCode::kParseError);
+}
+
+TEST(SaxTest, TextOutsideRootRejected) {
+  std::vector<std::string> trace;
+  EXPECT_EQ(ParseTrace("stray<r/>", &trace).code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseTrace("<r/>stray", &trace).code(), StatusCode::kParseError);
+}
+
+TEST(SaxTest, EmptyDocumentRejected) {
+  std::vector<std::string> trace;
+  EXPECT_EQ(ParseTrace("", &trace).code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseTrace("<!-- only comment -->", &trace).code(),
+            StatusCode::kParseError);
+}
+
+TEST(SaxTest, StrayEndTagRejected) {
+  std::vector<std::string> trace;
+  EXPECT_EQ(ParseTrace("<r/></w>", &trace).code(), StatusCode::kParseError);
+}
+
+TEST(SaxTest, HandlerErrorAbortsParse) {
+  class Aborting : public ContentHandler {
+   public:
+    Status StartElement(const Event& event) override {
+      if (event.name == "bad") return status::ValidationError("bad element");
+      return Status::Ok();
+    }
+    Status EndElement(const Event&) override { return Status::Ok(); }
+    Status Characters(std::string_view) override { return Status::Ok(); }
+  };
+  Aborting handler;
+  SaxParser parser;
+  Status st = parser.Parse("<r><bad/></r>", &handler);
+  EXPECT_EQ(st.code(), StatusCode::kValidationError);
+}
+
+TEST(SaxTest, DoctypeNameRecorded) {
+  TraceHandler handler;
+  SaxParser parser;
+  ASSERT_TRUE(parser.Parse("<!DOCTYPE r []><r/>", &handler).ok());
+  EXPECT_EQ(parser.doctype_name(), "r");
+}
+
+TEST(SaxTest, DoctypeAfterRootRejected) {
+  std::vector<std::string> trace;
+  EXPECT_EQ(ParseTrace("<r/><!DOCTYPE r []>", &trace).code(),
+            StatusCode::kParseError);
+}
+
+// ------------------------------------------------------------ writer
+
+TEST(WriterTest, BasicDocument) {
+  XmlWriter w;
+  w.StartElement("r");
+  w.StartElement("w", {{"id", "w1"}});
+  w.Text("swa");
+  w.EndElement();
+  w.EmptyElement("pb", {{"n", "36v"}});
+  w.EndElement();
+  auto out = w.Finish();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "<r><w id=\"w1\">swa</w><pb n=\"36v\"/></r>");
+}
+
+TEST(WriterTest, EscapesTextAndAttributes) {
+  XmlWriter w;
+  w.StartElement("a", {{"x", "q\"<&"}});
+  w.Text("1 < 2 & 3");
+  w.EndElement();
+  EXPECT_EQ(w.Finish().value(),
+            "<a x=\"q&quot;&lt;&amp;\">1 &lt; 2 &amp; 3</a>");
+}
+
+TEST(WriterTest, UnbalancedFails) {
+  XmlWriter w;
+  w.StartElement("a");
+  EXPECT_EQ(w.Finish().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WriterTest, Declaration) {
+  XmlWriter::Options opts;
+  opts.declaration = true;
+  XmlWriter w(opts);
+  w.EmptyElement("r");
+  EXPECT_EQ(w.Finish().value(),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+}
+
+TEST(WriterTest, PrettyPrintElementOnly) {
+  XmlWriter::Options opts;
+  opts.pretty = true;
+  XmlWriter w(opts);
+  w.StartElement("r");
+  w.EmptyElement("a");
+  w.StartElement("b");
+  w.EmptyElement("c");
+  w.EndElement();
+  w.EndElement();
+  EXPECT_EQ(w.Finish().value(),
+            "<r>\n  <a/>\n  <b>\n    <c/>\n  </b>\n</r>");
+}
+
+TEST(WriterTest, PrettyPrintPreservesMixedContent) {
+  XmlWriter::Options opts;
+  opts.pretty = true;
+  XmlWriter w(opts);
+  w.StartElement("w");
+  w.Text("swa");
+  w.EndElement();
+  // No whitespace may be injected around the text node.
+  EXPECT_EQ(w.Finish().value(), "<w>swa</w>");
+}
+
+TEST(WriterTest, CDataAndComment) {
+  XmlWriter w;
+  w.StartElement("r");
+  w.CData("<raw>&stuff;");
+  w.Comment(" note ");
+  w.EndElement();
+  EXPECT_EQ(w.Finish().value(),
+            "<r><![CDATA[<raw>&stuff;]]><!-- note --></r>");
+}
+
+TEST(WriterTest, Doctype) {
+  XmlWriter w;
+  w.Doctype("r", "<!ELEMENT r (#PCDATA)>");
+  w.EmptyElement("r");
+  EXPECT_EQ(w.Finish().value(), "<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r/>");
+}
+
+}  // namespace
+}  // namespace cxml::xml

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "xpath/lexer.h"
+#include "xpath/parser.h"
+
+namespace cxml::xpath {
+namespace {
+
+std::string ParseToString(const char* expr) {
+  auto parsed = ParseXPath(expr);
+  EXPECT_TRUE(parsed.ok()) << expr << ": " << parsed.status();
+  if (!parsed.ok()) return "<error>";
+  return ToString(**parsed);
+}
+
+TEST(XPathLexerTest, BasicTokens) {
+  auto tokens = TokenizeXPath("/r//w[@n='1']");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kSlash, TokenKind::kName,
+                       TokenKind::kDoubleSlash, TokenKind::kName,
+                       TokenKind::kLBracket, TokenKind::kAt,
+                       TokenKind::kName, TokenKind::kEq,
+                       TokenKind::kLiteral, TokenKind::kRBracket,
+                       TokenKind::kEnd}));
+}
+
+TEST(XPathLexerTest, NumbersAndOperators) {
+  auto tokens = TokenizeXPath("1.5 + .25 - 2 >= 10 != 3 <= 4");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].number, 1.5);
+  EXPECT_EQ((*tokens)[2].number, 0.25);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kGreaterEq);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kNotEq);
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kLessEq);
+}
+
+TEST(XPathLexerTest, HyphenatedNamesAreSingleTokens) {
+  auto tokens = TokenizeXPath("overlapping-start::w");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "overlapping-start");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kAxisSep);
+}
+
+TEST(XPathLexerTest, Variables) {
+  auto tokens = TokenizeXPath("$threshold + 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kVariable);
+  EXPECT_EQ((*tokens)[0].text, "threshold");
+}
+
+TEST(XPathLexerTest, Errors) {
+  EXPECT_FALSE(TokenizeXPath("'unterminated").ok());
+  EXPECT_FALSE(TokenizeXPath("a ! b").ok());
+  EXPECT_FALSE(TokenizeXPath("$ x").ok());
+  EXPECT_FALSE(TokenizeXPath("#").ok());
+  EXPECT_FALSE(TokenizeXPath("pre:fix").ok());
+}
+
+TEST(XPathParserTest, SimplePaths) {
+  EXPECT_EQ(ParseToString("/r"), "/child::r");
+  EXPECT_EQ(ParseToString("w"), "child::w");
+  EXPECT_EQ(ParseToString("w/x"), "child::w/child::x");
+  EXPECT_EQ(ParseToString("/"), "/");
+  EXPECT_EQ(ParseToString("."), "self::node()");
+  EXPECT_EQ(ParseToString(".."), "parent::node()");
+  EXPECT_EQ(ParseToString("@n"), "attribute::n");
+  EXPECT_EQ(ParseToString("*"), "child::*");
+  EXPECT_EQ(ParseToString("text()"), "child::text()");
+}
+
+TEST(XPathParserTest, DoubleSlashExpansion) {
+  EXPECT_EQ(ParseToString("//w"),
+            "/descendant-or-self::node()/child::w");
+  EXPECT_EQ(ParseToString("s//w"),
+            "child::s/descendant-or-self::node()/child::w");
+}
+
+TEST(XPathParserTest, ExplicitAxes) {
+  EXPECT_EQ(ParseToString("ancestor::line"), "ancestor::line");
+  EXPECT_EQ(ParseToString("following-sibling::*"),
+            "following-sibling::*");
+  EXPECT_EQ(ParseToString("descendant-or-self::node()"),
+            "descendant-or-self::node()");
+}
+
+TEST(XPathParserTest, ExtendedAxes) {
+  EXPECT_EQ(ParseToString("overlapping::line"), "overlapping::line");
+  EXPECT_EQ(ParseToString("overlapping-start::w"),
+            "overlapping-start::w");
+  EXPECT_EQ(ParseToString("overlapping-end::dmg"), "overlapping-end::dmg");
+}
+
+TEST(XPathParserTest, HierarchyQualifiers) {
+  EXPECT_EQ(ParseToString("child(physical)::line"),
+            "child(physical)::line");
+  EXPECT_EQ(ParseToString("//w/ancestor(physical)::line"),
+            "/descendant-or-self::node()/child::w/"
+            "ancestor(physical)::line");
+  EXPECT_EQ(ParseToString("descendant(linguistic)::w"),
+            "descendant(linguistic)::w");
+}
+
+TEST(XPathParserTest, Predicates) {
+  EXPECT_EQ(ParseToString("w[1]"), "child::w[1]");
+  EXPECT_EQ(ParseToString("w[@type='noun'][2]"),
+            "child::w[(attribute::type='noun')][2]");
+  EXPECT_EQ(ParseToString("line[w]"), "child::line[child::w]");
+}
+
+TEST(XPathParserTest, Expressions) {
+  EXPECT_EQ(ParseToString("1+2*3"), "(1+(2*3))");
+  EXPECT_EQ(ParseToString("(1+2)*3"), "((1+2)*3)");
+  EXPECT_EQ(ParseToString("a and b or c"),
+            "((child::a and child::b) or child::c)");
+  EXPECT_EQ(ParseToString("1 < 2 = true()"), "((1<2)=true())");
+  EXPECT_EQ(ParseToString("-x"), "-child::x");
+  EXPECT_EQ(ParseToString("a | b | c"), "((child::a|child::b)|child::c)");
+  EXPECT_EQ(ParseToString("6 div 2 mod 4"), "((6 div 2) mod 4)");
+}
+
+TEST(XPathParserTest, FunctionCalls) {
+  EXPECT_EQ(ParseToString("count(//w)"),
+            "count(/descendant-or-self::node()/child::w)");
+  EXPECT_EQ(ParseToString("concat('a','b','c')"), "concat('a','b','c')");
+  EXPECT_EQ(ParseToString("not(position()=last())"),
+            "not((position()=last()))");
+}
+
+TEST(XPathParserTest, FilterExprWithPath) {
+  EXPECT_EQ(ParseToString("(//w)[1]"),
+            "(/descendant-or-self::node()/child::w)[1]");
+  EXPECT_EQ(ParseToString("(a|b)/c"), "((child::a|child::b))/child::c");
+}
+
+TEST(XPathParserTest, VariableReference) {
+  EXPECT_EQ(ParseToString("$x + 1"), "($x+1)");
+}
+
+TEST(XPathParserTest, TextVsFunctionDisambiguation) {
+  // text() in step position is a node test; string(.) is a function.
+  EXPECT_EQ(ParseToString("s/text()"), "child::s/child::text()");
+  EXPECT_EQ(ParseToString("string(.)"), "string(self::node())");
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("w[").ok());
+  EXPECT_FALSE(ParseXPath("w]").ok());
+  EXPECT_FALSE(ParseXPath("/w/").ok());
+  EXPECT_FALSE(ParseXPath("count(").ok());
+  EXPECT_FALSE(ParseXPath("1 +").ok());
+  EXPECT_FALSE(ParseXPath("child::").ok());
+  EXPECT_FALSE(ParseXPath("a b").ok());
+}
+
+}  // namespace
+}  // namespace cxml::xpath
