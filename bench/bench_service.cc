@@ -1,0 +1,195 @@
+// T-SERVICE: throughput of the concurrent document service — batched
+// Extended XPath/XQuery execution against DocumentStore snapshots with
+// the (document, version, query) LRU cache.
+//
+// Unlike the google-benchmark suites, this driver emits one JSON object
+// (stdout + BENCH_service.json) so the throughput trajectory
+// (queries/sec, cache hit rate, cold-vs-cached latency) is
+// machine-readable across PRs:
+//
+//   bench_service [content_chars] [num_threads]
+//
+// The run aborts when a cached repeat query is not faster than its cold
+// run — that regression would mean the cache layer is dead weight.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "goddag/builder.h"
+#include "service/document_store.h"
+#include "service/query_service.h"
+#include "storage/binary.h"
+#include "workload/generator.h"
+
+namespace cxml {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+#define BENCH_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "BENCH CHECK FAILED: %s (%s:%d)\n", #cond,    \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+service::QueryKind ToKind(workload::TrafficOp::Kind kind) {
+  return kind == workload::TrafficOp::Kind::kXQuery
+             ? service::QueryKind::kXQuery
+             : service::QueryKind::kXPath;
+}
+
+struct MixResult {
+  size_t reads = 0;
+  size_t commits = 0;
+  double seconds = 0;
+  service::ServiceStats stats;
+};
+
+/// Replays a generated traffic mix: reads go through the service in
+/// submission order (async, gathered at the end of each write-delimited
+/// burst so batching has queues to coalesce); writes clone-edit-commit.
+MixResult RunMix(service::DocumentStore* store,
+                 service::QueryService* service,
+                 const std::vector<workload::TrafficOp>& ops) {
+  MixResult result;
+  Clock::time_point start = Clock::now();
+  std::vector<std::future<service::QueryResponse>> inflight;
+  auto drain = [&] {
+    for (auto& f : inflight) BENCH_CHECK(f.get().ok());
+    inflight.clear();
+  };
+  for (const workload::TrafficOp& op : ops) {
+    if (op.kind == workload::TrafficOp::Kind::kEdit) {
+      drain();
+      auto txn = store->BeginEdit("ms");
+      BENCH_CHECK(txn.ok());
+      if (txn->session().Select(op.edit_chars).ok() &&
+          txn->session().Apply(op.edit_hierarchy, op.edit_tag).ok()) {
+        BENCH_CHECK(txn->Commit().ok());
+        ++result.commits;
+      }
+      // Rejected inserts (same-hierarchy collisions) are normal traffic.
+    } else {
+      ++result.reads;
+      inflight.push_back(
+          service->Submit({"ms", op.query, ToKind(op.kind)}));
+    }
+  }
+  drain();
+  result.seconds = SecondsSince(start);
+  result.stats = service->stats();
+  return result;
+}
+
+void PrintMixJson(std::FILE* f, const char* name, const MixResult& m) {
+  std::fprintf(
+      f,
+      "  \"%s\": {\"reads\": %zu, \"commits\": %zu, \"seconds\": %.6f, "
+      "\"queries_per_sec\": %.1f, \"cache_hit_rate\": %.4f, "
+      "\"avg_batch_size\": %.2f}",
+      name, m.reads, m.commits, m.seconds,
+      m.reads / (m.seconds > 0 ? m.seconds : 1e-9), m.stats.cache.hit_rate(),
+      m.stats.avg_batch_size());
+}
+
+int Run(size_t content_chars, size_t num_threads) {
+  workload::GeneratorParams gen;
+  gen.content_chars = content_chars;
+  auto corpus = workload::GenerateManuscript(gen);
+  BENCH_CHECK(corpus.ok());
+  auto g = goddag::Builder::Build(*corpus->doc);
+  BENCH_CHECK(g.ok());
+  auto bytes = storage::Save(*g);
+  BENCH_CHECK(bytes.ok());
+
+  service::DocumentStore store;
+  BENCH_CHECK(store.RegisterBytes("ms", *bytes).ok());
+
+  // ---- cold vs cached latency of one representative overlap query ----
+  service::QueryServiceOptions options;
+  options.num_threads = num_threads;
+  options.cache_capacity = 4096;
+  service::QueryService service(&store, options);
+  const service::QueryRequest hot{"ms", "//w[overlapping::line]",
+                                  service::QueryKind::kXPath};
+  constexpr int kLatencyReps = 20;
+  double cold_us = 0;
+  double cached_us = 0;
+  for (int i = 0; i < kLatencyReps; ++i) {
+    service.cache().Clear();
+    Clock::time_point t0 = Clock::now();
+    BENCH_CHECK(service.Execute(hot).ok());
+    cold_us += SecondsSince(t0) * 1e6;
+    t0 = Clock::now();
+    service::QueryResponse warm = service.Execute(hot);
+    BENCH_CHECK(warm.ok());
+    BENCH_CHECK(warm.cache_hit);
+    cached_us += SecondsSince(t0) * 1e6;
+  }
+  cold_us /= kLatencyReps;
+  cached_us /= kLatencyReps;
+  // The acceptance bar: a cached repeat must be measurably faster.
+  BENCH_CHECK(cached_us < cold_us);
+
+  // ---- read-only throughput (cache-friendly skewed mix) ----
+  workload::TrafficParams traffic;
+  traffic.num_ops = 2000;
+  traffic.content_chars = content_chars;
+  traffic.write_fraction = 0.0;
+  auto read_ops = workload::GenerateTraffic(traffic);
+  BENCH_CHECK(read_ops.ok());
+  service::QueryService read_service(&store, options);
+  MixResult read_only = RunMix(&store, &read_service, *read_ops);
+
+  // ---- mixed read/write (commits invalidate along the way) ----
+  traffic.write_fraction = 0.02;
+  traffic.seed = 99;
+  auto mixed_ops = workload::GenerateTraffic(traffic);
+  BENCH_CHECK(mixed_ops.ok());
+  service::QueryService mixed_service(&store, options);
+  MixResult mixed = RunMix(&store, &mixed_service, *mixed_ops);
+  BENCH_CHECK(mixed.commits > 0);
+
+  auto emit = [&](std::FILE* f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"bench\": \"service\", \"content_chars\": %zu, "
+                 "\"num_threads\": %zu,\n",
+                 content_chars, num_threads);
+    std::fprintf(f,
+                 "  \"cold_query_us\": %.1f, \"cached_query_us\": %.1f, "
+                 "\"cold_over_cached\": %.1f,\n",
+                 cold_us, cached_us,
+                 cold_us / (cached_us > 0 ? cached_us : 1e-9));
+    PrintMixJson(f, "read_only", read_only);
+    std::fprintf(f, ",\n");
+    PrintMixJson(f, "mixed", mixed);
+    std::fprintf(f, "\n}\n");
+  };
+  emit(stdout);
+  std::FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out != nullptr) {
+    emit(out);
+    std::fclose(out);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cxml
+
+int main(int argc, char** argv) {
+  size_t content_chars = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  size_t num_threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  return cxml::Run(content_chars, num_threads);
+}

@@ -64,4 +64,20 @@ Result<NodeId> EditSession::Apply(HierarchyId h, std::string_view tag,
   return result;
 }
 
+std::vector<std::string> EditSession::PendingOps() const {
+  return std::vector<std::string>(log_.begin() + committed_ops_, log_.end());
+}
+
+uint64_t EditSession::Commit() {
+  ++commit_seq_;
+  std::vector<std::string> ops = PendingOps();
+  committed_ops_ = log_.size();
+  // Index-based: a hook may itself AddCommitHook (the vector can grow
+  // mid-iteration); hooks added during this commit fire with it.
+  for (size_t i = 0; i < commit_hooks_.size(); ++i) {
+    commit_hooks_[i](commit_seq_, ops);
+  }
+  return commit_seq_;
+}
+
 }  // namespace cxml::edit

@@ -1,6 +1,8 @@
 #ifndef CXML_EDIT_SESSION_H_
 #define CXML_EDIT_SESSION_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,12 +42,37 @@ class EditSession {
   /// Log of applied operations (human-readable, newest last).
   const std::vector<std::string>& log() const { return log_; }
 
+  // ------------------------------------------------------------ commits
+  /// Hook fired by `Commit()` with the new commit sequence number and the
+  /// operations it covers. Hooks are additive and fire in registration
+  /// order; the service layer's DocumentStore registers one per edit
+  /// transaction to notify version listeners (which is what invalidates
+  /// version-keyed query caches), and callers may layer their own
+  /// observers on top. Whatever registers a hook must outlive the
+  /// session or every remaining `Commit()` call.
+  using CommitHook =
+      std::function<void(uint64_t seq, const std::vector<std::string>& ops)>;
+  void AddCommitHook(CommitHook hook) {
+    commit_hooks_.push_back(std::move(hook));
+  }
+
+  /// Operations applied since the last `Commit()`.
+  std::vector<std::string> PendingOps() const;
+
+  /// Marks every pending operation committed: bumps the commit sequence
+  /// and fires the hooks. Returns the new sequence number.
+  uint64_t Commit();
+  uint64_t commit_count() const { return commit_seq_; }
+
  private:
   explicit EditSession(Editor editor) : editor_(std::move(editor)) {}
 
   Editor editor_;
   Interval selection_;
   std::vector<std::string> log_;
+  std::vector<CommitHook> commit_hooks_;
+  uint64_t commit_seq_ = 0;
+  size_t committed_ops_ = 0;
 };
 
 }  // namespace cxml::edit

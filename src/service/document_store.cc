@@ -1,0 +1,178 @@
+#include "service/document_store.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace cxml::service {
+
+Status DocumentStore::Register(const std::string& name,
+                               storage::LoadedGoddag doc) {
+  if (name.empty()) {
+    return status::InvalidArgument("document name must not be empty");
+  }
+  if (doc.g == nullptr || doc.cmh == nullptr) {
+    return status::InvalidArgument(
+        StrCat("document '", name, "' has no GODDAG/CMH"));
+  }
+  auto snap = std::make_shared<DocumentSnapshot>();
+  snap->name = name;
+  snap->version = 1;
+  snap->cmh = std::move(doc.cmh);
+  snap->goddag = std::move(doc.g);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (docs_.count(name) != 0) {
+    return status::AlreadyExists(
+        StrCat("document '", name, "' is already registered"));
+  }
+  snap->generation = next_generation_++;
+  docs_.emplace(name, std::move(snap));
+  return Status::Ok();
+}
+
+Status DocumentStore::RegisterBytes(const std::string& name,
+                                    std::string_view bytes) {
+  CXML_ASSIGN_OR_RETURN(storage::LoadedGoddag doc, storage::Load(bytes));
+  return Register(name, std::move(doc));
+}
+
+Status DocumentStore::RegisterFromFile(const std::string& name,
+                                       const std::string& path) {
+  CXML_ASSIGN_OR_RETURN(storage::LoadedGoddag doc,
+                        storage::LoadFromFile(path));
+  return Register(name, std::move(doc));
+}
+
+Result<SnapshotPtr> DocumentStore::GetSnapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  if (it == docs_.end()) {
+    return status::NotFound(StrCat("document '", name, "' not registered"));
+  }
+  return it->second;
+}
+
+Result<uint64_t> DocumentStore::GetVersion(const std::string& name) const {
+  CXML_ASSIGN_OR_RETURN(SnapshotPtr snap, GetSnapshot(name));
+  return snap->version;
+}
+
+std::vector<std::string> DocumentStore::ListDocuments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(docs_.size());
+  for (const auto& [name, snap] : docs_) names.push_back(name);
+  return names;
+}
+
+Status DocumentStore::Remove(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (docs_.erase(name) == 0) {
+      return status::NotFound(
+          StrCat("document '", name, "' not registered"));
+    }
+  }
+  // Caches must drop every version: a later Register under the same
+  // name restarts at version 1, and a (name, 1, query) entry from the
+  // old document must not answer for the new one.
+  NotifyListeners(name, std::numeric_limits<uint64_t>::max());
+  return Status::Ok();
+}
+
+Result<EditTransaction> DocumentStore::BeginEdit(const std::string& name) {
+  CXML_ASSIGN_OR_RETURN(SnapshotPtr snap, GetSnapshot(name));
+  CXML_ASSIGN_OR_RETURN(storage::LoadedGoddag copy,
+                        storage::Clone(*snap->goddag));
+  CXML_ASSIGN_OR_RETURN(edit::EditSession session,
+                        edit::EditSession::Start(copy.g.get()));
+  return EditTransaction(this, name, snap->version, snap->generation,
+                         std::move(copy), std::move(session));
+}
+
+Result<uint64_t> DocumentStore::Publish(const std::string& name,
+                                        uint64_t base_version,
+                                        uint64_t generation,
+                                        storage::LoadedGoddag* doc) {
+  uint64_t new_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find(name);
+    if (it == docs_.end()) {
+      return status::NotFound(
+          StrCat("document '", name, "' was removed during the edit"));
+    }
+    if (it->second->generation != generation) {
+      return status::FailedPrecondition(StrCat(
+          "document '", name, "' was replaced during the edit"));
+    }
+    if (it->second->version != base_version) {
+      return status::FailedPrecondition(StrFormat(
+          "write conflict on '%s': base version %llu, current %llu",
+          name.c_str(), static_cast<unsigned long long>(base_version),
+          static_cast<unsigned long long>(it->second->version)));
+    }
+    auto snap = std::make_shared<DocumentSnapshot>();
+    snap->name = name;
+    snap->version = base_version + 1;
+    snap->generation = generation;
+    snap->cmh = std::move(doc->cmh);
+    snap->goddag = std::move(doc->g);
+    new_version = snap->version;
+    it->second = std::move(snap);
+  }
+  return new_version;
+}
+
+uint64_t DocumentStore::AddVersionListener(VersionListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  uint64_t id = next_listener_id_++;
+  listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+void DocumentStore::RemoveVersionListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  listeners_.erase(id);
+}
+
+void DocumentStore::NotifyListeners(const std::string& name,
+                                    uint64_t version) {
+  // Invoked under listener_mu_: a listener removed (or about to be
+  // removed) on another thread is either fully run or never run — no
+  // use-after-free window for listener captures during teardown.
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  for (const auto& [id, listener] : listeners_) listener(name, version);
+}
+
+Result<uint64_t> EditTransaction::Commit() {
+  if (committed_ || session_ == nullptr) {
+    return status::FailedPrecondition("transaction already committed");
+  }
+  // Publish first: the session's commit sequence, its hooks, and the
+  // pending-op drain all happen only for commits that became store
+  // versions. A conflict leaves the session untouched.
+  CXML_ASSIGN_OR_RETURN(
+      uint64_t version,
+      store_->Publish(name_, base_version_, generation_, &copy_));
+  committed_ = true;
+  // Version-listener notification (cache invalidation) rides the
+  // session's commit hooks, registered here — not in BeginEdit — so it
+  // carries the exact published version and can never fire from a
+  // session Commit that published nothing.
+  session_->AddCommitHook(
+      [store = store_, name = name_, version](
+          uint64_t /*seq*/, const std::vector<std::string>& /*ops*/) {
+        store->NotifyListeners(name, version);
+      });
+  session_->Commit();
+  // The GODDAG now belongs to the published snapshot, which concurrent
+  // readers treat as immutable — release the session so this
+  // transaction can never mutate it.
+  session_.reset();
+  return version;
+}
+
+}  // namespace cxml::service

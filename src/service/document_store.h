@@ -1,0 +1,147 @@
+#ifndef CXML_SERVICE_DOCUMENT_STORE_H_
+#define CXML_SERVICE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "edit/session.h"
+#include "service/snapshot.h"
+#include "storage/binary.h"
+
+namespace cxml::service {
+
+class DocumentStore;
+
+/// A copy-on-write edit over one document: `BeginEdit` clones the
+/// current snapshot (storage::Clone round trip), the caller mutates the
+/// private copy through the prevalidating `edit::EditSession`, and
+/// `Commit()` publishes it as the next version. Readers holding the old
+/// snapshot are never blocked and never observe partial edits.
+///
+/// Commit is optimistic: it fails with kFailedPrecondition when another
+/// transaction published a newer version since `BeginEdit` (first
+/// committer wins). On conflict the session — pending ops included —
+/// stays intact, so the loser can inspect what it tried; the session's
+/// commit sequence only advances for commits that actually became store
+/// versions. `EditSession::Commit` fires only after a successful
+/// publish: hooks the caller layered on observe the commit, and a hook
+/// registered at commit time relays the exact published version to the
+/// store's version listeners (cache invalidation).
+class EditTransaction {
+ public:
+  EditTransaction(EditTransaction&&) = default;
+  EditTransaction& operator=(EditTransaction&&) = default;
+
+  const std::string& document() const { return name_; }
+  /// The version this transaction branched from.
+  uint64_t base_version() const { return base_version_; }
+  bool committed() const { return committed_; }
+
+  /// The prevalidating session over the private copy. Must not be
+  /// called after a successful Commit: the transaction releases the
+  /// session then, because its GODDAG became the published (immutable,
+  /// concurrently read) snapshot.
+  edit::EditSession& session() { return *session_; }
+  const goddag::Goddag& goddag() const { return session_->goddag(); }
+
+  /// Publishes the private copy as the document's next version and
+  /// returns the new version number. The transaction is consumed on
+  /// success; on conflict it remains inspectable but cannot retry —
+  /// start a fresh BeginEdit from the new base.
+  Result<uint64_t> Commit();
+
+ private:
+  friend class DocumentStore;
+  EditTransaction(DocumentStore* store, std::string name,
+                  uint64_t base_version, uint64_t generation,
+                  storage::LoadedGoddag copy, edit::EditSession session)
+      : store_(store),
+        name_(std::move(name)),
+        base_version_(base_version),
+        generation_(generation),
+        copy_(std::move(copy)),
+        session_(std::make_unique<edit::EditSession>(std::move(session))) {}
+
+  DocumentStore* store_;
+  std::string name_;
+  uint64_t base_version_;
+  uint64_t generation_;
+  bool committed_ = false;
+  storage::LoadedGoddag copy_;
+  // unique_ptr so the Editor's Goddag* stays valid across moves.
+  std::unique_ptr<edit::EditSession> session_;
+};
+
+/// Registry of named GODDAG documents behind versioned copy-on-write
+/// snapshots — the serving layer's single entry point to the library's
+/// single-threaded engines. All methods are thread-safe.
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// Registers a loaded document (e.g. from storage::Load) as version 1.
+  Status Register(const std::string& name, storage::LoadedGoddag doc);
+  /// Loads a `CXG1` snapshot (storage/binary) and registers it.
+  Status RegisterBytes(const std::string& name, std::string_view bytes);
+  Status RegisterFromFile(const std::string& name, const std::string& path);
+
+  /// Pins the current snapshot. The returned pointer stays valid (and
+  /// immutable) for as long as the caller holds it.
+  Result<SnapshotPtr> GetSnapshot(const std::string& name) const;
+  Result<uint64_t> GetVersion(const std::string& name) const;
+  std::vector<std::string> ListDocuments() const;
+  /// Unregisters a document and notifies version listeners with
+  /// UINT64_MAX so caches drop every version of it (a later Register
+  /// under the same name restarts at version 1).
+  Status Remove(const std::string& name);
+
+  /// Starts a copy-on-write edit from the current snapshot.
+  Result<EditTransaction> BeginEdit(const std::string& name);
+
+  /// Called after every published version with (document, new version).
+  /// Returns an id for RemoveVersionListener. Listeners run on the
+  /// committing thread under the listener mutex — they must not call
+  /// back into Add/RemoveVersionListener. RemoveVersionListener blocks
+  /// until any in-flight notification finishes, so after it returns the
+  /// listener will never run again (safe to destroy its captures).
+  using VersionListener =
+      std::function<void(const std::string& name, uint64_t version)>;
+  uint64_t AddVersionListener(VersionListener listener);
+  void RemoveVersionListener(uint64_t id);
+
+ private:
+  friend class EditTransaction;
+
+  /// Publishes `doc` as the next version of `name` iff the document is
+  /// still the same registration (`generation`) at version
+  /// `base_version` — a same-name re-registration (versions restart at
+  /// 1) must fail a stale transaction, not absorb it. Does not notify:
+  /// notification is driven by the edit session's commit hooks (see
+  /// EditTransaction::Commit) so cache invalidation is observably tied
+  /// to EditSession::Commit.
+  Result<uint64_t> Publish(const std::string& name, uint64_t base_version,
+                           uint64_t generation, storage::LoadedGoddag* doc);
+  void NotifyListeners(const std::string& name, uint64_t version);
+
+  mutable std::mutex mu_;
+  std::map<std::string, SnapshotPtr> docs_;
+
+  /// Guards the listener table *and* spans each notification, giving
+  /// RemoveVersionListener its quiescence guarantee.
+  std::mutex listener_mu_;
+  std::map<uint64_t, VersionListener> listeners_;
+  uint64_t next_listener_id_ = 1;
+  uint64_t next_generation_ = 1;  // guarded by mu_
+};
+
+}  // namespace cxml::service
+
+#endif  // CXML_SERVICE_DOCUMENT_STORE_H_

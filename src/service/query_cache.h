@@ -1,0 +1,119 @@
+#ifndef CXML_SERVICE_QUERY_CACHE_H_
+#define CXML_SERVICE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cxml::service {
+
+/// How a request's query string is interpreted.
+enum class QueryKind : uint8_t {
+  /// Extended XPath via xpath::XPathEngine.
+  kXPath,
+  /// FLWOR (or bare expression) via xquery::XQueryEngine.
+  kXQuery,
+};
+
+const char* QueryKindToString(QueryKind kind);
+
+/// Cache key: results are valid exactly for one registration
+/// (`generation`) of a document at one `version`, so neither a version
+/// bump from an edit commit nor a same-name re-registration (versions
+/// restart at 1, generation differs) can ever serve stale results —
+/// superseded entries become unreachable and are evicted eagerly by
+/// the store's version listener (InvalidateBelow). The generation in
+/// the key also makes a late Put from a worker that pinned a snapshot
+/// of a since-removed document harmless: its key can't collide with
+/// the replacement's.
+struct QueryKey {
+  std::string document;
+  uint64_t version = 0;
+  uint64_t generation = 0;
+  std::string query;
+  QueryKind kind = QueryKind::kXPath;
+
+  bool operator==(const QueryKey& o) const {
+    return version == o.version && generation == o.generation &&
+           kind == o.kind && document == o.document && query == o.query;
+  }
+};
+
+struct QueryKeyHash {
+  size_t operator()(const QueryKey& k) const {
+    std::hash<std::string> h;
+    size_t seed = h(k.document);
+    seed ^= h(k.query) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    seed ^= std::hash<uint64_t>()(k.version) + (seed << 6) + (seed >> 2);
+    seed ^=
+        std::hash<uint64_t>()(k.generation) + (seed << 6) + (seed >> 2);
+    return seed ^ static_cast<size_t>(k.kind);
+  }
+};
+
+/// Cached results are shared immutable string vectors: many concurrent
+/// readers of a hot query hold the same allocation.
+using CachedResult = std::shared_ptr<const std::vector<std::string>>;
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidated = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+
+  double hit_rate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Thread-safe LRU cache of query results keyed by
+/// (document, version, query string, kind).
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// nullptr on miss; a hit refreshes recency.
+  CachedResult Get(const QueryKey& key);
+  void Put(const QueryKey& key, CachedResult result);
+
+  /// Drops every entry of `document` with version < `current_version`
+  /// (pass UINT64_MAX to drop all versions). Returns entries dropped.
+  /// Wired to DocumentStore version listeners so edit commits reclaim
+  /// stale entries immediately instead of waiting for LRU churn.
+  size_t InvalidateBelow(const std::string& document,
+                         uint64_t current_version);
+
+  void Clear();
+  CacheStats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    QueryKey key;
+    CachedResult result;
+  };
+  using EntryList = std::list<Entry>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  EntryList lru_;  // front = most recent
+  std::unordered_map<QueryKey, EntryList::iterator, QueryKeyHash> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidated_ = 0;
+};
+
+}  // namespace cxml::service
+
+#endif  // CXML_SERVICE_QUERY_CACHE_H_

@@ -1,0 +1,177 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "xpath/engine.h"
+#include "xquery/xquery.h"
+
+namespace cxml::service {
+
+QueryService::QueryService(DocumentStore* store, QueryServiceOptions options)
+    : store_(store),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads) {
+  listener_id_ = store_->AddVersionListener(
+      [this](const std::string& name, uint64_t version) {
+        cache_.InvalidateBelow(name, version);
+      });
+}
+
+QueryService::~QueryService() {
+  // Drain in-flight batches first so no worker touches the cache or the
+  // pending map mid-destruction, then detach from the store.
+  pool_.Shutdown();
+  store_->RemoveVersionListener(listener_id_);
+}
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<QueryResponse> future = pending.promise.get_future();
+  std::string document = pending.request.document;
+
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_[document].push_back(std::move(pending));
+    ++requests_;
+    schedule = scheduled_.insert(document).second;
+  }
+  if (schedule &&
+      !pool_.Submit([this, document] { ServeDocument(document); })) {
+    // Pool already shut down: fail the request instead of hanging it.
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduled_.erase(document);
+    auto it = pending_.find(document);
+    if (it != pending_.end()) {
+      errors_ += it->second.size();
+      for (Pending& p : it->second) {
+        QueryResponse response;
+        response.status =
+            status::FailedPrecondition("query service is shut down");
+        p.promise.set_value(std::move(response));
+      }
+      pending_.erase(it);
+    }
+  }
+  return future;
+}
+
+QueryResponse QueryService::Execute(QueryRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+std::vector<QueryResponse> QueryService::ExecuteAll(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  std::vector<QueryResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  return responses;
+}
+
+void QueryService::ServeDocument(const std::string& document) {
+  for (;;) {
+    // Claim the document's entire pending queue as one batch.
+    std::deque<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(document);
+      if (it == pending_.end() || it->second.empty()) {
+        // Erase the drained entry too: long-lived services would
+        // otherwise keep one empty deque per document name ever seen.
+        if (it != pending_.end()) pending_.erase(it);
+        scheduled_.erase(document);
+        return;
+      }
+      batch.swap(it->second);
+      ++batches_;
+    }
+
+    auto snap = store_->GetSnapshot(document);
+    if (!snap.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_ += batch.size();
+      for (Pending& p : batch) {
+        QueryResponse response;
+        response.status = snap.status();
+        p.promise.set_value(std::move(response));
+      }
+      continue;
+    }
+
+    // One snapshot pin and one engine pair serve the whole batch; the
+    // engines' parse caches make repeated query strings in a batch
+    // near-free even before the result cache kicks in.
+    SnapshotPtr snapshot = std::move(snap).value();
+    std::unique_ptr<xpath::XPathEngine> xpath_engine;
+    std::unique_ptr<xquery::XQueryEngine> xquery_engine;
+    for (Pending& p : batch) {
+      if (p.request.kind == QueryKind::kXPath && xpath_engine == nullptr) {
+        xpath_engine =
+            std::make_unique<xpath::XPathEngine>(*snapshot->goddag);
+      }
+      if (p.request.kind == QueryKind::kXQuery &&
+          xquery_engine == nullptr) {
+        xquery_engine =
+            std::make_unique<xquery::XQueryEngine>(*snapshot->goddag);
+      }
+      QueryResponse response = RunOne(*snapshot, xpath_engine.get(),
+                                     xquery_engine.get(), p.request);
+      if (!response.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++errors_;
+      }
+      p.promise.set_value(std::move(response));
+    }
+  }
+}
+
+QueryResponse QueryService::RunOne(const DocumentSnapshot& snap,
+                                   xpath::XPathEngine* xpath_engine,
+                                   xquery::XQueryEngine* xquery_engine,
+                                   const QueryRequest& request) {
+  QueryResponse response;
+  response.version = snap.version;
+
+  QueryKey key{request.document, snap.version, snap.generation,
+               request.query, request.kind};
+  if (CachedResult cached = cache_.Get(key)) {
+    response.items = std::move(cached);
+    response.cache_hit = true;
+    return response;
+  }
+
+  Result<std::vector<std::string>> items =
+      request.kind == QueryKind::kXPath
+          ? xpath_engine->EvaluateToStrings(request.query)
+          : xquery_engine->Run(request.query);
+  if (!items.ok()) {
+    response.status = items.status().WithContext(
+        StrCat(QueryKindToString(request.kind), " '", request.query, "'"));
+    return response;
+  }
+  response.items = std::make_shared<const std::vector<std::string>>(
+      std::move(items).value());
+  cache_.Put(key, response.items);
+  return response;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.requests = requests_;
+    s.batches = batches_;
+    s.errors = errors_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace cxml::service

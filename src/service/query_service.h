@@ -1,0 +1,129 @@
+#ifndef CXML_SERVICE_QUERY_SERVICE_H_
+#define CXML_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/document_store.h"
+#include "service/query_cache.h"
+#include "service/thread_pool.h"
+
+namespace cxml::xpath {
+class XPathEngine;
+}  // namespace cxml::xpath
+namespace cxml::xquery {
+class XQueryEngine;
+}  // namespace cxml::xquery
+
+namespace cxml::service {
+
+struct QueryRequest {
+  std::string document;
+  std::string query;
+  QueryKind kind = QueryKind::kXPath;
+};
+
+struct QueryResponse {
+  Status status;
+  /// String-rendered result items (see XPathEngine::EvaluateToStrings /
+  /// XQueryEngine::Run); shared with the cache on a hit.
+  CachedResult items;
+  /// Document version the query ran against.
+  uint64_t version = 0;
+  bool cache_hit = false;
+
+  bool ok() const { return status.ok(); }
+};
+
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t errors = 0;
+  CacheStats cache;
+
+  /// Requests served per snapshot pin — the batching win.
+  double avg_batch_size() const {
+    return batches == 0 ? 0.0 : static_cast<double>(requests) / batches;
+  }
+};
+
+struct QueryServiceOptions {
+  size_t num_threads = 4;
+  size_t cache_capacity = 1024;
+};
+
+/// Executes Extended XPath / XQuery requests against DocumentStore
+/// snapshots on a fixed-size thread pool, with per-document request
+/// batching: a worker claims every pending request for one document at
+/// once, pins the snapshot a single time, and runs the whole batch
+/// through one engine pair (sharing its expression parse cache), so N
+/// concurrent requests for a hot document cost one pin + one engine
+/// setup instead of N.
+///
+/// Results are memoised in a (document, version, query)-keyed LRU cache;
+/// a DocumentStore version listener invalidates a document's stale
+/// entries the moment an edit::Session commit publishes a new version.
+class QueryService {
+ public:
+  explicit QueryService(DocumentStore* store, QueryServiceOptions options =
+                                                  QueryServiceOptions());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Asynchronous entry point: enqueues and returns immediately.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Synchronous convenience: Submit + wait.
+  QueryResponse Execute(QueryRequest request);
+
+  /// Submits all requests, waits for all responses (same order).
+  std::vector<QueryResponse> ExecuteAll(std::vector<QueryRequest> requests);
+
+  ServiceStats stats() const;
+  QueryCache& cache() { return cache_; }
+  DocumentStore& store() { return *store_; }
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+  };
+
+  /// Claims and runs batches for `document` until its queue drains.
+  void ServeDocument(const std::string& document);
+  QueryResponse RunOne(const DocumentSnapshot& snap,
+                       xpath::XPathEngine* xpath_engine,
+                       xquery::XQueryEngine* xquery_engine,
+                       const QueryRequest& request);
+
+  DocumentStore* store_;
+  QueryCache cache_;
+  uint64_t listener_id_ = 0;
+
+  mutable std::mutex mu_;
+  /// Per-document FIFO of pending requests.
+  std::map<std::string, std::deque<Pending>> pending_;
+  /// Documents that currently have a ServeDocument task queued/running;
+  /// requests arriving meanwhile just append and get batched.
+  std::set<std::string> scheduled_;
+  uint64_t requests_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t errors_ = 0;
+
+  /// Declared last: workers must stop before the state above dies.
+  ThreadPool pool_;
+};
+
+}  // namespace cxml::service
+
+#endif  // CXML_SERVICE_QUERY_SERVICE_H_

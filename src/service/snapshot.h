@@ -1,0 +1,35 @@
+#ifndef CXML_SERVICE_SNAPSHOT_H_
+#define CXML_SERVICE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cmh/hierarchy.h"
+#include "goddag/goddag.h"
+
+namespace cxml::service {
+
+/// One immutable published version of a named document. Readers pin a
+/// snapshot with a `shared_ptr` and keep querying it even while writers
+/// publish newer versions — snapshot isolation without reader locks.
+/// The CMH arrives bundled because the GODDAG's bound CMH pointer must
+/// outlive it (same lifetime contract as storage::LoadedGoddag).
+struct DocumentSnapshot {
+  std::string name;
+  /// Monotonically increasing per document, starting at 1 on Register.
+  uint64_t version = 0;
+  /// Store-wide unique id assigned at Register and inherited by every
+  /// published version: distinguishes a document from a later
+  /// same-name re-registration (whose versions restart at 1), so stale
+  /// transactions and cache entries can never cross that boundary.
+  uint64_t generation = 0;
+  std::unique_ptr<cmh::ConcurrentHierarchies> cmh;
+  std::unique_ptr<goddag::Goddag> goddag;
+};
+
+using SnapshotPtr = std::shared_ptr<const DocumentSnapshot>;
+
+}  // namespace cxml::service
+
+#endif  // CXML_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,45 @@
+#ifndef CXML_SERVICE_THREAD_POOL_H_
+#define CXML_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cxml::service {
+
+/// Fixed-size FIFO thread pool. Destruction drains the queue (every
+/// submitted task runs) before joining — callers rely on promises they
+/// enqueued being fulfilled.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false after Shutdown.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace cxml::service
+
+#endif  // CXML_SERVICE_THREAD_POOL_H_

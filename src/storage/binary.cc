@@ -193,6 +193,13 @@ Result<LoadedGoddag> Load(std::string_view bytes) {
   return out;
 }
 
+Result<LoadedGoddag> Clone(const goddag::Goddag& g) {
+  CXML_ASSIGN_OR_RETURN(std::string bytes, Save(g));
+  auto copy = Load(bytes);
+  if (!copy.ok()) return copy.status().WithContext("cloning GODDAG");
+  return copy;
+}
+
 Status SaveToFile(const goddag::Goddag& g, const std::string& path) {
   CXML_ASSIGN_OR_RETURN(std::string bytes, Save(g));
   std::FILE* f = std::fopen(path.c_str(), "wb");

@@ -41,6 +41,11 @@ Result<std::string> Save(const goddag::Goddag& g);
 /// Reconstructs CMH + GODDAG from snapshot bytes.
 Result<LoadedGoddag> Load(std::string_view bytes);
 
+/// Deep copy of a GODDAG (with its CMH) via a Save/Load round trip — the
+/// copy-on-write primitive behind the service layer's DocumentStore:
+/// writers mutate a Clone while readers keep the published snapshot.
+Result<LoadedGoddag> Clone(const goddag::Goddag& g);
+
 /// File convenience wrappers.
 Status SaveToFile(const goddag::Goddag& g, const std::string& path);
 Result<LoadedGoddag> LoadFromFile(const std::string& path);

@@ -220,4 +220,76 @@ Result<SyntheticCorpus> GenerateManuscript(const GeneratorParams& params) {
   return corpus;
 }
 
+Result<std::vector<TrafficOp>> GenerateTraffic(const TrafficParams& params) {
+  if (params.write_fraction > 0 && params.extra_hierarchies == 0) {
+    return status::InvalidArgument(
+        "write traffic needs >= 1 annotation hierarchy to write into");
+  }
+  if (params.write_fraction < 0 || params.write_fraction > 1 ||
+      params.xquery_fraction < 0 || params.xquery_fraction > 1) {
+    return status::InvalidArgument("traffic fractions must be in [0,1]");
+  }
+  std::mt19937_64 rng(params.seed);
+
+  // Read pool, roughly ordered hottest-first; the skewed index draw
+  // below makes the head of each pool dominate.
+  const std::vector<std::string> xpath_pool = {
+      "count(//w)",
+      "//w[overlapping::line]",
+      "//line",
+      "string(//line[@n='2'])",
+      "count(//a0)",
+      "//s[position() <= 3]",
+      "//w[contains(., 'a')]",
+      "count(//page/line)",
+      "//a0[overlapping::w]",
+      "//line[@n='1']/following-sibling::line",
+  };
+  const std::vector<std::string> xquery_pool = {
+      "for $w in //w[overlapping::line] return {string($w)}",
+      "let $n := count(//s) return {concat('sentences: ', string($n))}",
+      "for $a in //a0 where overlap-degree($a) > 0 "
+      "return {string($a/@n)}",
+      "for $l in //line where count($l/overlapping::s) > 0 "
+      "return {string($l/@n)}",
+  };
+  // P(i) ~ 2^-i over the pool: i = trailing-geometric draw.
+  auto skewed_index = [&rng](size_t size) -> size_t {
+    std::geometric_distribution<size_t> geo(0.5);
+    return std::min(geo(rng), size - 1);
+  };
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<size_t> pick_hierarchy(
+      0, params.extra_hierarchies - 1);
+  size_t max_start = params.content_chars > params.edit_chars
+                         ? params.content_chars - params.edit_chars
+                         : 0;
+  std::uniform_int_distribution<size_t> pick_start(0, max_start);
+
+  std::vector<TrafficOp> ops;
+  ops.reserve(params.num_ops);
+  for (size_t i = 0; i < params.num_ops; ++i) {
+    TrafficOp op;
+    if (coin(rng) < params.write_fraction) {
+      size_t k = pick_hierarchy(rng);
+      op.kind = TrafficOp::Kind::kEdit;
+      // Hierarchies 0/1 are physical/linguistic; annotations start at 2.
+      op.edit_hierarchy = static_cast<cmh::HierarchyId>(2 + k);
+      op.edit_tag = StrFormat("a%zu", k);
+      size_t begin = pick_start(rng);
+      op.edit_chars = Interval(
+          begin, std::min(begin + params.edit_chars, params.content_chars));
+    } else if (coin(rng) < params.xquery_fraction) {
+      op.kind = TrafficOp::Kind::kXQuery;
+      op.query = xquery_pool[skewed_index(xquery_pool.size())];
+    } else {
+      op.kind = TrafficOp::Kind::kXPath;
+      op.query = xpath_pool[skewed_index(xpath_pool.size())];
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
 }  // namespace cxml::workload

@@ -8,6 +8,7 @@
 
 #include "cmh/distributed_document.h"
 #include "cmh/hierarchy.h"
+#include "common/interval.h"
 #include "common/result.h"
 
 namespace cxml::workload {
@@ -54,6 +55,45 @@ struct SyntheticCorpus {
 /// are "ann<k>" with a single element type `a<k>` that may overlap
 /// everything.
 Result<SyntheticCorpus> GenerateManuscript(const GeneratorParams& params);
+
+// ------------------------------------------------------ service traffic
+
+/// One operation of a synthetic service workload over a generated
+/// manuscript: an Extended XPath read, an XQuery read, or a markup
+/// insertion (an annotation range in one of the extra hierarchies).
+struct TrafficOp {
+  enum class Kind { kXPath, kXQuery, kEdit };
+  Kind kind = Kind::kXPath;
+  /// Reads: the query string.
+  std::string query;
+  /// Writes: insert `<edit_tag>` into `edit_hierarchy` over `edit_chars`.
+  cmh::HierarchyId edit_hierarchy = 0;
+  std::string edit_tag;
+  Interval edit_chars;
+};
+
+/// Shape of the mixed read/write traffic. Queries are drawn from a
+/// fixed pool with a Zipf-like skew (a few hot queries dominate, as in
+/// real serving traffic), so caches have something to win on; reads and
+/// writes interleave deterministically given the seed.
+struct TrafficParams {
+  size_t num_ops = 256;
+  /// Fraction of operations that are markup insertions.
+  double write_fraction = 0.05;
+  /// Fraction of *reads* that are XQuery (the rest are XPath).
+  double xquery_fraction = 0.25;
+  /// Must match the GeneratorParams of the corpus the traffic targets.
+  size_t content_chars = 10'000;
+  size_t extra_hierarchies = 2;
+  /// Length of inserted annotation ranges.
+  size_t edit_chars = 40;
+  uint64_t seed = 1234;
+};
+
+/// Generates a deterministic operation sequence; requires
+/// `extra_hierarchies >= 1` when `write_fraction > 0` (writes target
+/// the annotation hierarchies).
+Result<std::vector<TrafficOp>> GenerateTraffic(const TrafficParams& params);
 
 }  // namespace cxml::workload
 

@@ -37,4 +37,19 @@ Result<std::vector<goddag::NodeId>> XPathEngine::SelectNodes(
   return out;
 }
 
+Result<std::vector<std::string>> XPathEngine::EvaluateToStrings(
+    std::string_view expression) {
+  CXML_ASSIGN_OR_RETURN(Value value, Evaluate(expression));
+  std::vector<std::string> out;
+  if (value.is_node_set()) {
+    out.reserve(value.nodes().size());
+    for (const NodeEntry& e : value.nodes()) {
+      out.push_back(Value::StringValue(*g_, e));
+    }
+  } else {
+    out.push_back(value.ToString(*g_));
+  }
+  return out;
+}
+
 }  // namespace cxml::xpath

@@ -38,6 +38,14 @@ class XPathEngine {
   Result<std::vector<goddag::NodeId>> SelectNodes(
       std::string_view expression);
 
+  /// Evaluates and renders the value for transport: a node-set becomes
+  /// one string-value per entry (document order), a scalar one item.
+  /// NodeIds never cross this boundary, so results stay meaningful after
+  /// the snapshot that produced them is gone — the representation the
+  /// service layer caches.
+  Result<std::vector<std::string>> EvaluateToStrings(
+      std::string_view expression);
+
   /// Binds $name for subsequent evaluations.
   void SetVariable(const std::string& name, Value value) {
     evaluator_.SetVariable(name, std::move(value));

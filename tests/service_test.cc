@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "goddag/builder.h"
+#include "service/document_store.h"
+#include "service/query_service.h"
+#include "storage/binary.h"
+#include "workload/generator.h"
+
+namespace cxml::service {
+namespace {
+
+constexpr size_t kContentChars = 3000;
+
+/// Snapshot bytes of a small synthetic manuscript (page/line, s/w, and
+/// two annotation hierarchies a0/a1) — generated once, registered per
+/// test so every test owns its store.
+const std::string& CorpusBytes() {
+  static const std::string* bytes = [] {
+    workload::GeneratorParams params;
+    params.content_chars = kContentChars;
+    auto corpus = workload::GenerateManuscript(params);
+    EXPECT_TRUE(corpus.ok()) << corpus.status();
+    auto g = goddag::Builder::Build(*corpus->doc);
+    EXPECT_TRUE(g.ok()) << g.status();
+    auto saved = storage::Save(*g);
+    EXPECT_TRUE(saved.ok()) << saved.status();
+    return new std::string(std::move(saved).value());
+  }();
+  return *bytes;
+}
+
+/// First offset >= `from` where `[offset, offset + len)` is disjoint
+/// from every existing <a0> extent — markup within one hierarchy must
+/// stay nested, so inserts land in the gaps.
+size_t FindFreeA0Gap(const goddag::Goddag& g, size_t from, size_t len) {
+  std::vector<Interval> taken;
+  for (goddag::NodeId node : g.ElementsByTag("a0")) {
+    taken.push_back(g.char_range(node));
+  }
+  size_t offset = from;
+  while (offset + len <= g.content().size()) {
+    bool collides = false;
+    for (const Interval& t : taken) {
+      if (offset < t.end && t.begin < offset + len) {
+        offset = t.end;
+        collides = true;
+        break;
+      }
+    }
+    if (!collides) return offset;
+  }
+  ADD_FAILURE() << "no free a0 gap of length " << len;
+  return 0;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kAnnotationLen = 40;
+
+  void SetUp() override {
+    ASSERT_TRUE(store_.RegisterBytes("ms", CorpusBytes()).ok());
+  }
+
+  /// An edit guaranteed to change query results: inserts one <a0>
+  /// annotation (hierarchy 2) into the first free gap at or after
+  /// `from_hint`.
+  uint64_t CommitAnnotation(size_t from_hint) {
+    auto txn = store_.BeginEdit("ms");
+    EXPECT_TRUE(txn.ok()) << txn.status();
+    size_t offset = FindFreeA0Gap(txn->goddag(), from_hint, kAnnotationLen);
+    EXPECT_TRUE(
+        txn->session().Select(Interval(offset, offset + kAnnotationLen)).ok());
+    auto applied = txn->session().Apply(2, "a0");
+    EXPECT_TRUE(applied.ok()) << applied.status();
+    auto version = txn->Commit();
+    EXPECT_TRUE(version.ok()) << version.status();
+    return version.value_or(0);
+  }
+
+  DocumentStore store_;
+};
+
+TEST_F(ServiceTest, RegisterAndSnapshot) {
+  EXPECT_EQ(store_.ListDocuments(), std::vector<std::string>{"ms"});
+  auto version = store_.GetVersion("ms");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+
+  auto snap = store_.GetSnapshot("ms");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ((*snap)->name, "ms");
+  EXPECT_EQ((*snap)->version, 1u);
+  EXPECT_TRUE((*snap)->goddag->Validate().ok());
+
+  EXPECT_EQ(store_.RegisterBytes("ms", CorpusBytes()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(store_.GetSnapshot("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ServiceTest, ExecutesXPathAndXQuery) {
+  QueryService service(&store_, {/*num_threads=*/2, /*cache_capacity=*/64});
+
+  QueryResponse xpath =
+      service.Execute({"ms", "count(//w)", QueryKind::kXPath});
+  ASSERT_TRUE(xpath.ok()) << xpath.status;
+  ASSERT_NE(xpath.items, nullptr);
+  ASSERT_EQ(xpath.items->size(), 1u);
+  int words = std::stoi((*xpath.items)[0]);
+  EXPECT_GT(words, 100);
+  EXPECT_EQ(xpath.version, 1u);
+
+  QueryResponse xquery = service.Execute(
+      {"ms", "let $n := count(//w) return {string($n)}",
+       QueryKind::kXQuery});
+  ASSERT_TRUE(xquery.ok()) << xquery.status;
+  ASSERT_EQ(xquery.items->size(), 1u);
+  EXPECT_EQ((*xquery.items)[0], std::to_string(words));
+
+  QueryResponse bad = service.Execute({"ms", "//w[", QueryKind::kXPath});
+  EXPECT_FALSE(bad.ok());
+  QueryResponse missing =
+      service.Execute({"ghost", "//w", QueryKind::kXPath});
+  EXPECT_EQ(missing.status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServiceTest, CacheHitMissAccounting) {
+  QueryService service(&store_, {2, 64});
+
+  QueryResponse cold = service.Execute({"ms", "//line", QueryKind::kXPath});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.cache_hit);
+
+  QueryResponse warm = service.Execute({"ms", "//line", QueryKind::kXPath});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  // Hits share the cached allocation, not a copy.
+  EXPECT_EQ(warm.items.get(), cold.items.get());
+
+  // A different query, and the same string under the other kind, miss.
+  QueryResponse other =
+      service.Execute({"ms", "count(//line)", QueryKind::kXPath});
+  EXPECT_FALSE(other.cache_hit);
+  QueryResponse as_xquery =
+      service.Execute({"ms", "//line", QueryKind::kXQuery});
+  EXPECT_FALSE(as_xquery.cache_hit);
+
+  CacheStats stats = service.cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.size, 3u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.25);
+
+  // Failed queries are not cached.
+  service.Execute({"ms", "//w[", QueryKind::kXPath});
+  EXPECT_EQ(service.cache().stats().size, 3u);
+}
+
+TEST_F(ServiceTest, LruEviction) {
+  QueryService service(&store_, {1, /*cache_capacity=*/2});
+  service.Execute({"ms", "count(//w)", QueryKind::kXPath});
+  service.Execute({"ms", "count(//s)", QueryKind::kXPath});
+  service.Execute({"ms", "count(//w)", QueryKind::kXPath});  // refresh
+  service.Execute({"ms", "count(//line)", QueryKind::kXPath});  // evicts //s
+  EXPECT_TRUE(
+      service.Execute({"ms", "count(//w)", QueryKind::kXPath}).cache_hit);
+  EXPECT_FALSE(
+      service.Execute({"ms", "count(//s)", QueryKind::kXPath}).cache_hit);
+  EXPECT_GE(service.cache().stats().evictions, 1u);
+}
+
+TEST_F(ServiceTest, RemoveDropsCacheEntries) {
+  QueryService service(&store_, {1, 16});
+  ASSERT_TRUE(service.Execute({"ms", "count(//w)", QueryKind::kXPath}).ok());
+  EXPECT_EQ(service.cache().stats().size, 1u);
+
+  ASSERT_TRUE(store_.Remove("ms").ok());
+  EXPECT_EQ(service.cache().stats().size, 0u);
+
+  // Re-registration restarts at version 1: the (ms, 1, query) key must
+  // miss, not resurrect the removed document's results.
+  ASSERT_TRUE(store_.RegisterBytes("ms", CorpusBytes()).ok());
+  QueryResponse again =
+      service.Execute({"ms", "count(//w)", QueryKind::kXPath});
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(again.version, 1u);
+}
+
+TEST_F(ServiceTest, CommitBumpsVersionAndInvalidatesCache) {
+  QueryService service(&store_, {2, 64});
+
+  QueryResponse before =
+      service.Execute({"ms", "count(//a0)", QueryKind::kXPath});
+  ASSERT_TRUE(before.ok());
+  int a0_before = std::stoi((*before.items)[0]);
+  EXPECT_EQ(service.cache().stats().size, 1u);
+
+  // Readers that pinned the old snapshot keep it.
+  auto pinned = store_.GetSnapshot("ms");
+  ASSERT_TRUE(pinned.ok());
+
+  uint64_t v2 = CommitAnnotation(0);
+  EXPECT_EQ(v2, 2u);
+
+  // The version listener dropped the version-1 entry eagerly.
+  CacheStats stats = service.cache().stats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_GE(stats.invalidated, 1u);
+
+  QueryResponse after =
+      service.Execute({"ms", "count(//a0)", QueryKind::kXPath});
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.version, 2u);
+  EXPECT_EQ(std::stoi((*after.items)[0]), a0_before + 1);
+
+  // Snapshot isolation: the pinned version-1 GODDAG is unchanged.
+  EXPECT_EQ((*pinned)->version, 1u);
+  EXPECT_EQ((*pinned)->goddag->ElementsByTag("a0").size(),
+            static_cast<size_t>(a0_before));
+}
+
+TEST_F(ServiceTest, SessionCommitHookFires) {
+  auto txn = store_.BeginEdit("ms");
+  ASSERT_TRUE(txn.ok()) << txn.status();
+
+  // Caller-layered observer alongside the store's own hook.
+  uint64_t observed_seq = 0;
+  std::vector<std::string> observed_ops;
+  txn->session().AddCommitHook(
+      [&](uint64_t seq, const std::vector<std::string>& ops) {
+        observed_seq = seq;
+        observed_ops = ops;
+      });
+
+  size_t offset = FindFreeA0Gap(txn->goddag(), 0, 20);
+  ASSERT_TRUE(txn->session().Select(Interval(offset, offset + 20)).ok());
+  ASSERT_TRUE(txn->session().Apply(2, "a0").ok());
+  EXPECT_EQ(txn->session().PendingOps().size(), 1u);
+  EXPECT_EQ(txn->session().commit_count(), 0u);
+  EXPECT_FALSE(txn->committed());
+
+  auto version = txn->Commit();
+  ASSERT_TRUE(version.ok()) << version.status();
+  EXPECT_EQ(*version, 2u);
+  EXPECT_TRUE(txn->committed());
+  EXPECT_EQ(observed_seq, 1u);
+  ASSERT_EQ(observed_ops.size(), 1u);
+  EXPECT_NE(observed_ops[0].find("applied <a0>"), std::string::npos);
+
+  // A consumed transaction cannot commit twice (the session is gone —
+  // its GODDAG became the published, concurrently-read snapshot).
+  EXPECT_EQ(txn->Commit().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServiceTest, ConflictingCommitLoses) {
+  auto txn1 = store_.BeginEdit("ms");
+  auto txn2 = store_.BeginEdit("ms");
+  ASSERT_TRUE(txn1.ok() && txn2.ok());
+
+  size_t off1 = FindFreeA0Gap(txn1->goddag(), 0, 40);
+  ASSERT_TRUE(txn1->session().Select(Interval(off1, off1 + 40)).ok());
+  ASSERT_TRUE(txn1->session().Apply(2, "a0").ok());
+  size_t off2 = FindFreeA0Gap(txn2->goddag(), 500, 40);
+  ASSERT_TRUE(txn2->session().Select(Interval(off2, off2 + 40)).ok());
+  ASSERT_TRUE(txn2->session().Apply(2, "a0").ok());
+
+  EXPECT_TRUE(txn1->Commit().ok());
+  auto lost = txn2->Commit();
+  EXPECT_EQ(lost.status().code(), StatusCode::kFailedPrecondition);
+  // The loser's session is untouched: its commit sequence never
+  // advanced and its pending ops are still inspectable for a retry.
+  EXPECT_FALSE(txn2->committed());
+  EXPECT_EQ(txn2->session().commit_count(), 0u);
+  EXPECT_EQ(txn2->session().PendingOps().size(), 1u);
+  // The loser retries from the new base.
+  uint64_t v3 = CommitAnnotation(100);
+  EXPECT_EQ(v3, 3u);
+}
+
+TEST_F(ServiceTest, StaleTransactionCannotPublishAcrossReregistration) {
+  auto txn = store_.BeginEdit("ms");
+  ASSERT_TRUE(txn.ok());
+  size_t offset = FindFreeA0Gap(txn->goddag(), 0, 20);
+  ASSERT_TRUE(txn->session().Select(Interval(offset, offset + 20)).ok());
+  ASSERT_TRUE(txn->session().Apply(2, "a0").ok());
+
+  // Remove + same-name re-register: versions restart at 1, so a bare
+  // version check would let the stale transaction publish the *old*
+  // document's edit as version 2 of the new one (ABA).
+  ASSERT_TRUE(store_.Remove("ms").ok());
+  ASSERT_TRUE(store_.RegisterBytes("ms", CorpusBytes()).ok());
+
+  auto published = txn->Commit();
+  EXPECT_EQ(published.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(txn->committed());
+  EXPECT_EQ(store_.GetVersion("ms").value_or(0), 1u);
+}
+
+TEST_F(ServiceTest, ConcurrentReadersWhileEditing) {
+  QueryService service(&store_, {/*num_threads=*/3, /*cache_capacity=*/256});
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 40;
+  constexpr int kCommits = 3;
+
+  const std::vector<QueryRequest> mix = {
+      {"ms", "count(//w)", QueryKind::kXPath},
+      {"ms", "//w[overlapping::line]", QueryKind::kXPath},
+      {"ms", "count(//a0)", QueryKind::kXPath},
+      {"ms", "for $l in //line where count($l/overlapping::s) > 0 "
+             "return {string($l/@n)}",
+       QueryKind::kXQuery},
+  };
+
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> max_version{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        QueryResponse response =
+            service.Execute(mix[(r + i) % mix.size()]);
+        if (!response.ok() || response.items == nullptr) {
+          ++failures;
+          continue;
+        }
+        uint64_t seen = response.version;
+        uint64_t prev = max_version.load();
+        while (seen > prev &&
+               !max_version.compare_exchange_weak(prev, seen)) {
+        }
+      }
+    });
+  }
+
+  // One writer publishes versions while the readers hammer the service.
+  for (int c = 0; c < kCommits; ++c) {
+    CommitAnnotation(static_cast<size_t>(200 + 50 * c));
+  }
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store_.GetVersion("ms").value_or(0), 1u + kCommits);
+  EXPECT_GE(max_version.load(), 1u);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kReaders * kQueriesPerReader);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses,
+            static_cast<uint64_t>(kReaders * kQueriesPerReader));
+  // The hot mix over few versions must hit: far more hits than misses.
+  EXPECT_GT(stats.cache.hits, stats.cache.misses);
+
+  // The final published document is structurally sound.
+  auto snap = store_.GetSnapshot("ms");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE((*snap)->goddag->Validate().ok());
+}
+
+TEST_F(ServiceTest, TrafficGeneratorDrivesService) {
+  workload::TrafficParams params;
+  params.num_ops = 120;
+  params.content_chars = kContentChars;
+  params.write_fraction = 0.1;
+  auto ops = workload::GenerateTraffic(params);
+  ASSERT_TRUE(ops.ok()) << ops.status();
+  ASSERT_EQ(ops->size(), params.num_ops);
+
+  // Deterministic given the seed.
+  auto again = workload::GenerateTraffic(params);
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < ops->size(); ++i) {
+    EXPECT_EQ((*ops)[i].kind, (*again)[i].kind);
+    EXPECT_EQ((*ops)[i].query, (*again)[i].query);
+  }
+
+  QueryService service(&store_, {2, 256});
+  size_t reads = 0, writes = 0, commits = 0;
+  for (const workload::TrafficOp& op : *ops) {
+    if (op.kind == workload::TrafficOp::Kind::kEdit) {
+      ++writes;
+      auto txn = store_.BeginEdit("ms");
+      ASSERT_TRUE(txn.ok()) << txn.status();
+      if (!txn->session().Select(op.edit_chars).ok()) continue;
+      // Prevalidation may reject ranges colliding with earlier writes in
+      // the same hierarchy; rejected edits simply don't commit.
+      if (!txn->session().Apply(op.edit_hierarchy, op.edit_tag).ok()) {
+        continue;
+      }
+      ASSERT_TRUE(txn->Commit().ok());
+      ++commits;
+    } else {
+      ++reads;
+      QueryKind kind = op.kind == workload::TrafficOp::Kind::kXQuery
+                           ? QueryKind::kXQuery
+                           : QueryKind::kXPath;
+      QueryResponse response = service.Execute({"ms", op.query, kind});
+      EXPECT_TRUE(response.ok())
+          << op.query << ": " << response.status;
+    }
+  }
+  EXPECT_GT(reads, 0u);
+  EXPECT_GT(writes, 0u);
+  EXPECT_GT(commits, 0u);
+  EXPECT_EQ(store_.GetVersion("ms").value_or(0), 1u + commits);
+  EXPECT_GT(service.cache().stats().hits, 0u);
+}
+
+TEST_F(ServiceTest, BatchedSubmissionsShareSnapshotPin) {
+  QueryService service(&store_, {1, 0});  // no result cache: pure batching
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 32; ++i) {
+    requests.push_back({"ms", "count(//w)", QueryKind::kXPath});
+  }
+  std::vector<QueryResponse> responses =
+      service.ExecuteAll(std::move(requests));
+  for (const QueryResponse& response : responses) {
+    ASSERT_TRUE(response.ok()) << response.status;
+    EXPECT_EQ((*response.items)[0], (*responses[0].items)[0]);
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 32u);
+  // With one worker and 32 queued requests, batching must coalesce:
+  // strictly fewer batches than requests.
+  EXPECT_LT(stats.batches, stats.requests);
+}
+
+}  // namespace
+}  // namespace cxml::service
