@@ -1,0 +1,258 @@
+// T-SERVER: end-to-end throughput of the CXP/1 wire front-end — the
+// full client → TCP loopback → poll loop → worker → QueryService →
+// response path, driven closed-loop by N concurrent client threads
+// replaying the skewed workload::GenerateTraffic mix.
+//
+// Emits one JSON object (stdout + BENCH_server.json) so the network
+// edge has a machine-readable trajectory next to BENCH_service.json:
+// end-to-end queries/sec, p50/p99 latency, and error rate.
+//
+//   bench_server [content_chars] [num_clients] [num_workers]
+//
+// The run aborts when the cached read phase cannot sustain 10k
+// queries/sec over loopback with >= 4 concurrent clients — that is the
+// wire layer's acceptance bar, and falling under it means the protocol
+// path (not the engines) became the bottleneck.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "goddag/builder.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/document_store.h"
+#include "service/query_service.h"
+#include "storage/binary.h"
+#include "workload/generator.h"
+
+namespace cxml {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+#define BENCH_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "BENCH CHECK FAILED: %s (%s:%d)\n", #cond,    \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+service::QueryKind ToKind(workload::TrafficOp::Kind kind) {
+  return kind == workload::TrafficOp::Kind::kXQuery
+             ? service::QueryKind::kXQuery
+             : service::QueryKind::kXPath;
+}
+
+struct PhaseResult {
+  size_t requests = 0;
+  size_t commits = 0;
+  /// Prevalidation rejections and optimistic conflicts — normal
+  /// traffic for colliding annotation inserts, reported separately.
+  size_t rejected_edits = 0;
+  size_t errors = 0;
+  double seconds = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double qps() const { return requests / (seconds > 0 ? seconds : 1e-9); }
+  double error_rate() const {
+    return requests == 0 ? 0.0 : static_cast<double>(errors) / requests;
+  }
+};
+
+/// Each client thread owns one connection and replays its own
+/// deterministic op stream; latencies are measured around the full
+/// round trip (closed loop: the next request waits for this response).
+PhaseResult RunPhase(uint16_t port, size_t num_clients,
+                     const workload::TrafficParams& base_params) {
+  std::vector<std::vector<double>> latencies(num_clients);
+  std::vector<PhaseResult> partial(num_clients);
+  std::atomic<bool> ready_failed{false};
+
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      workload::TrafficParams params = base_params;
+      params.seed = base_params.seed + 1000 * c;
+      auto ops = workload::GenerateTraffic(params);
+      if (!ops.ok()) {
+        ready_failed.store(true);
+        return;
+      }
+      auto client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ready_failed.store(true);
+        return;
+      }
+      latencies[c].reserve(ops->size());
+      for (const workload::TrafficOp& op : *ops) {
+        Clock::time_point t0 = Clock::now();
+        ++partial[c].requests;
+        if (op.kind == workload::TrafficOp::Kind::kEdit) {
+          auto version = client->Edit(
+              "ms", {net::EditOp::Select(op.edit_chars.begin,
+                                         op.edit_chars.end),
+                     net::EditOp::Apply(op.edit_hierarchy, op.edit_tag)});
+          if (version.ok()) {
+            ++partial[c].commits;
+          } else if (version.status().code() ==
+                         StatusCode::kValidationError ||
+                     version.status().code() ==
+                         StatusCode::kFailedPrecondition) {
+            ++partial[c].rejected_edits;
+          } else {
+            ++partial[c].errors;
+          }
+        } else if (op.kind == workload::TrafficOp::Kind::kStat) {
+          auto lines =
+              op.query == "LIST" ? client->List() : client->Stat();
+          if (!lines.ok()) ++partial[c].errors;
+        } else {
+          auto response = client->Query("ms", op.query, ToKind(op.kind));
+          if (!response.ok()) ++partial[c].errors;
+        }
+        latencies[c].push_back(SecondsSince(t0) * 1e6);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  BENCH_CHECK(!ready_failed.load());
+
+  PhaseResult result;
+  result.seconds = SecondsSince(start);
+  std::vector<double> merged;
+  for (size_t c = 0; c < num_clients; ++c) {
+    result.requests += partial[c].requests;
+    result.commits += partial[c].commits;
+    result.rejected_edits += partial[c].rejected_edits;
+    result.errors += partial[c].errors;
+    merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(merged.begin(), merged.end());
+  if (!merged.empty()) {
+    result.p50_us = merged[merged.size() / 2];
+    result.p99_us =
+        merged[std::min(merged.size() - 1,
+                        static_cast<size_t>(merged.size() * 0.99))];
+  }
+  return result;
+}
+
+void PrintPhaseJson(std::FILE* f, const char* name, const PhaseResult& m) {
+  std::fprintf(
+      f,
+      "  \"%s\": {\"requests\": %zu, \"commits\": %zu, "
+      "\"rejected_edits\": %zu, \"errors\": %zu, \"seconds\": %.6f, "
+      "\"queries_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+      "\"error_rate\": %.6f}",
+      name, m.requests, m.commits, m.rejected_edits, m.errors, m.seconds,
+      m.qps(), m.p50_us, m.p99_us, m.error_rate());
+}
+
+int Run(size_t content_chars, size_t num_clients, size_t num_workers) {
+  workload::GeneratorParams gen;
+  gen.content_chars = content_chars;
+  auto corpus = workload::GenerateManuscript(gen);
+  BENCH_CHECK(corpus.ok());
+  auto g = goddag::Builder::Build(*corpus->doc);
+  BENCH_CHECK(g.ok());
+  auto bytes = storage::Save(*g);
+  BENCH_CHECK(bytes.ok());
+
+  service::DocumentStore store;
+  BENCH_CHECK(store.RegisterBytes("ms", *bytes).ok());
+  service::QueryServiceOptions service_options;
+  service_options.num_threads = num_workers;
+  service_options.cache_capacity = 4096;
+  service::QueryService service(&store, service_options);
+  net::ServerOptions server_options;
+  server_options.num_workers = num_workers;
+  net::Server server(&store, &service, server_options);
+  BENCH_CHECK(server.Start().ok());
+
+  // ---- warm the result cache with every query in the traffic pool ----
+  {
+    workload::TrafficParams warm;
+    warm.num_ops = 256;
+    warm.content_chars = content_chars;
+    warm.write_fraction = 0.0;
+    auto ops = workload::GenerateTraffic(warm);
+    BENCH_CHECK(ops.ok());
+    auto client = net::Client::Connect("127.0.0.1", server.port());
+    BENCH_CHECK(client.ok());
+    for (const workload::TrafficOp& op : *ops) {
+      BENCH_CHECK(client->Query("ms", op.query, ToKind(op.kind)).ok());
+    }
+  }
+
+  // ---- cached read-only phase: the acceptance bar ----
+  workload::TrafficParams traffic;
+  traffic.num_ops = 2500;
+  traffic.content_chars = content_chars;
+  traffic.write_fraction = 0.0;
+  PhaseResult cached = RunPhase(server.port(), num_clients, traffic);
+  BENCH_CHECK(cached.errors == 0);
+  if (num_clients >= 4) {
+    // >= 10k end-to-end cached queries/sec over loopback.
+    BENCH_CHECK(cached.qps() >= 10000.0);
+  }
+
+  // ---- mixed phase: writes invalidate, metadata probes interleave ----
+  traffic.num_ops = 1000;
+  traffic.write_fraction = 0.02;
+  traffic.stat_fraction = 0.05;
+  traffic.seed = 99;
+  PhaseResult mixed = RunPhase(server.port(), num_clients, traffic);
+  BENCH_CHECK(mixed.commits > 0);
+  BENCH_CHECK(mixed.errors == 0);
+
+  net::ServerStats stats = server.stats();
+  auto emit = [&](std::FILE* f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"bench\": \"server\", \"content_chars\": %zu, "
+                 "\"num_clients\": %zu, \"num_workers\": %zu,\n",
+                 content_chars, num_clients, num_workers);
+    std::fprintf(f,
+                 "  \"connections\": %llu, \"frames\": %llu, "
+                 "\"protocol_errors\": %llu,\n",
+                 static_cast<unsigned long long>(stats.connections_accepted),
+                 static_cast<unsigned long long>(stats.frames_received),
+                 static_cast<unsigned long long>(stats.protocol_errors));
+    PrintPhaseJson(f, "cached_reads", cached);
+    std::fprintf(f, ",\n");
+    PrintPhaseJson(f, "mixed", mixed);
+    std::fprintf(f, "\n}\n");
+  };
+  emit(stdout);
+  std::FILE* out = std::fopen("BENCH_server.json", "w");
+  if (out != nullptr) {
+    emit(out);
+    std::fclose(out);
+  }
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace cxml
+
+int main(int argc, char** argv) {
+  size_t content_chars = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  size_t num_clients = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  size_t num_workers = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
+  return cxml::Run(content_chars, num_clients, num_workers);
+}

@@ -1,0 +1,153 @@
+// cxml_client: the CXP/1 command-line client — one net::Client round
+// trip per invocation, results on stdout, errors (with their status
+// code) on stderr.
+//
+// Usage (--port is required; --host defaults to 127.0.0.1):
+//   cxml_client --port N [--host H] ping
+//   cxml_client --port N [--host H] list
+//   cxml_client --port N [--host H] stat
+//   cxml_client --port N [--host H] query  <doc> <xpath|xquery> <expr>
+//   cxml_client --port N [--host H] edit   <doc> select <begin> <end>
+//                                          apply <hierarchy> <tag> [...]
+//   cxml_client --port N [--host H] register <doc> <cxg1-file>
+//   cxml_client --port N [--host H] remove <doc>
+//
+// Exit status: 0 on success, 1 on a server/transport error, 2 on bad
+// arguments.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace {
+
+using namespace cxml;
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "cxml_client: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cxml_client --port N [--host H] <command>\n"
+      "  ping | list | stat\n"
+      "  query <doc> <xpath|xquery> <expr>\n"
+      "  edit <doc> (select <begin> <end> | apply <hierarchy> <tag>)...\n"
+      "  register <doc> <cxg1-file>\n"
+      "  remove <doc>\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      break;
+    }
+  }
+  if (i >= argc || port == 0) return Usage();
+  std::string command = argv[i++];
+  std::vector<std::string> args(argv + i, argv + argc);
+
+  auto connected = net::Client::Connect(host, port);
+  if (!connected.ok()) return Fail(connected.status());
+  net::Client client = std::move(connected).value();
+
+  if (command == "ping" && args.empty()) {
+    Status st = client.Ping();
+    if (!st.ok()) return Fail(st);
+    std::printf("pong\n");
+    return 0;
+  }
+  if ((command == "list" || command == "stat") && args.empty()) {
+    auto lines = command == "list" ? client.List() : client.Stat();
+    if (!lines.ok()) return Fail(lines.status());
+    for (const std::string& line : *lines) std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  if (command == "query" && args.size() == 3) {
+    service::QueryKind kind;
+    if (args[1] == "xpath") {
+      kind = service::QueryKind::kXPath;
+    } else if (args[1] == "xquery") {
+      kind = service::QueryKind::kXQuery;
+    } else {
+      return Usage();
+    }
+    auto response = client.Query(args[0], args[2], kind);
+    if (!response.ok()) return Fail(response.status());
+    for (const std::string& item : response->items) {
+      std::printf("%s\n", item.c_str());
+    }
+    std::fprintf(stderr, "# version %llu, %zu item(s), cache %s\n",
+                 static_cast<unsigned long long>(response->version),
+                 response->items.size(),
+                 response->cache_hit ? "hit" : "miss");
+    return 0;
+  }
+  if (command == "edit" && args.size() >= 4) {
+    std::vector<net::EditOp> ops;
+    for (size_t a = 1; a < args.size();) {
+      if (args[a] == "select" && a + 2 < args.size()) {
+        ops.push_back(net::EditOp::Select(
+            std::strtoul(args[a + 1].c_str(), nullptr, 10),
+            std::strtoul(args[a + 2].c_str(), nullptr, 10)));
+        a += 3;
+      } else if (args[a] == "apply" && a + 2 < args.size()) {
+        ops.push_back(net::EditOp::Apply(
+            static_cast<cmh::HierarchyId>(
+                std::strtoul(args[a + 1].c_str(), nullptr, 10)),
+            args[a + 2]));
+        a += 3;
+      } else {
+        return Usage();
+      }
+    }
+    auto version = client.Edit(args[0], std::move(ops));
+    if (!version.ok()) return Fail(version.status());
+    std::printf("committed version %llu\n",
+                static_cast<unsigned long long>(*version));
+    return 0;
+  }
+  if (command == "register" && args.size() == 2) {
+    auto bytes = ReadFile(args[1]);
+    if (!bytes.ok()) return Fail(bytes.status());
+    auto version = client.Register(args[0], std::move(bytes).value());
+    if (!version.ok()) return Fail(version.status());
+    std::printf("registered '%s' at version %llu\n", args[0].c_str(),
+                static_cast<unsigned long long>(*version));
+    return 0;
+  }
+  if (command == "remove" && args.size() == 1) {
+    Status st = client.Remove(args[0]);
+    if (!st.ok()) return Fail(st);
+    std::printf("removed '%s'\n", args[0].c_str());
+    return 0;
+  }
+  return Usage();
+}

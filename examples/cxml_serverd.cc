@@ -1,0 +1,155 @@
+// cxml_serverd: the CXP/1 daemon — the repo as a runnable server
+// instead of a library. Registers documents (CXG1 snapshot files
+// and/or a generated synthetic manuscript), then serves QUERY / EDIT /
+// REGISTER / REMOVE / LIST / STAT to remote clients until SIGINT or
+// SIGTERM.
+//
+// Usage:
+//   cxml_serverd [--port N] [--bind ADDR] [--workers N]
+//                [--content-chars N] [--doc NAME] [--load NAME=FILE]...
+//                [--no-register]
+//
+// Defaults serve the synthetic manuscript as document "ms" on an
+// ephemeral 127.0.0.1 port (printed on stdout as "listening on
+// HOST:PORT", which is what the CI smoke test and scripts key on).
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "goddag/builder.h"
+#include "net/server.h"
+#include "service/document_store.h"
+#include "service/query_service.h"
+#include "storage/binary.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace cxml;
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int /*sig*/) { g_stop.store(true); }
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "cxml_serverd: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cxml_serverd [--port N] [--bind ADDR] [--workers N]\n"
+               "                    [--content-chars N] [--doc NAME]\n"
+               "                    [--load NAME=FILE]... [--no-register]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ServerOptions options;
+  size_t content_chars = 20000;
+  std::string synthetic_name = "ms";
+  std::vector<std::pair<std::string, std::string>> loads;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.bind_address = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.num_workers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--content-chars") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      content_chars = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--doc") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      synthetic_name = v;
+    } else if (arg == "--load") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return Usage();
+      loads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--no-register") {
+      options.allow_register = false;
+    } else {
+      return Usage();
+    }
+  }
+
+  service::DocumentStore store;
+  if (content_chars > 0) {
+    workload::GeneratorParams params;
+    params.content_chars = content_chars;
+    auto corpus = workload::GenerateManuscript(params);
+    if (!corpus.ok()) return Fail(corpus.status());
+    auto g = goddag::Builder::Build(*corpus->doc);
+    if (!g.ok()) return Fail(g.status());
+    auto bytes = storage::Save(*g);
+    if (!bytes.ok()) return Fail(bytes.status());
+    Status registered = store.RegisterBytes(synthetic_name, *bytes);
+    if (!registered.ok()) return Fail(registered);
+  }
+  for (const auto& [name, path] : loads) {
+    Status registered = store.RegisterFromFile(name, path);
+    if (!registered.ok()) {
+      return Fail(registered.WithContext("loading '" + path + "'"));
+    }
+  }
+
+  service::QueryServiceOptions service_options;
+  service_options.num_threads = options.num_workers;
+  service::QueryService service(&store, service_options);
+  net::Server server(&store, &service, options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  std::printf("listening on %s:%u\n", options.bind_address.c_str(),
+              server.port());
+  for (const std::string& name : store.ListDocuments()) {
+    auto version = store.GetVersion(name);
+    std::printf("serving '%s' at version %llu\n", name.c_str(),
+                static_cast<unsigned long long>(version.value_or(0)));
+  }
+  std::fflush(stdout);
+
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  net::ServerStats stats = server.stats();
+  server.Stop();
+  std::printf(
+      "shutting down: %llu connections, %llu frames, %llu responses, "
+      "%llu protocol errors, %llu request errors\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.responses_sent),
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.request_errors));
+  return 0;
+}

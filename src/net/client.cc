@@ -1,0 +1,146 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace cxml::net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  CXML_ASSIGN_OR_RETURN(Fd fd, ConnectTcp(host, port));
+  return Client(std::move(fd));
+}
+
+Result<Response> Client::Call(const Request& request) {
+  if (!fd_.valid()) {
+    return status::FailedPrecondition("client is not connected");
+  }
+  Status sent = SendAll(fd_, EncodeFrame(RenderRequest(request)));
+  if (!sent.ok()) {
+    fd_.Close();
+    return sent;
+  }
+  std::string payload;
+  while (!decoder_.Next(&payload)) {
+    char buffer[64 * 1024];
+    auto received = RecvSome(fd_, buffer, sizeof(buffer));
+    if (!received.ok()) {
+      fd_.Close();
+      return received.status();
+    }
+    if (*received == 0) {
+      fd_.Close();
+      return status::Internal(
+          "server closed the connection before responding");
+    }
+    Status fed = decoder_.Feed(std::string_view(buffer, *received));
+    if (!fed.ok()) {
+      fd_.Close();
+      return fed.WithContext("decoding server frame");
+    }
+  }
+  return ParseResponse(payload);
+}
+
+namespace {
+
+/// Folds transport errors and application ERRs into one Status layer.
+Result<Response> Flatten(Result<Response> response) {
+  if (!response.ok()) return response;
+  if (!response->ok()) return response->status;
+  return response;
+}
+
+}  // namespace
+
+Result<Response> Client::Query(const std::string& document,
+                               const std::string& expression,
+                               service::QueryKind kind) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.document = document;
+  request.kind = kind;
+  request.body = expression;
+  return Flatten(Call(request));
+}
+
+Result<uint64_t> Client::Register(const std::string& document,
+                                  std::string snapshot_bytes) {
+  Request request;
+  request.verb = Verb::kRegister;
+  request.document = document;
+  request.body = std::move(snapshot_bytes);
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return response.version;
+}
+
+Status Client::Remove(const std::string& document) {
+  Request request;
+  request.verb = Verb::kRemove;
+  request.document = document;
+  return Flatten(Call(request)).status();
+}
+
+Result<uint64_t> Client::Edit(const std::string& document,
+                              std::vector<EditOp> ops) {
+  // Reject tags that would change an op line's shape (whitespace or a
+  // newline in a tag injects tokens/ops) before they reach the wire.
+  CXML_RETURN_IF_ERROR(ValidateEditOps(ops));
+  Request request;
+  request.verb = Verb::kEdit;
+  request.document = document;
+  request.ops = std::move(ops);
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return response.version;
+}
+
+Result<uint64_t> Client::EditBegin(const std::string& document) {
+  Request request;
+  request.verb = Verb::kEditBegin;
+  request.document = document;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return response.version;
+}
+
+Status Client::EditOps(std::vector<EditOp> ops) {
+  CXML_RETURN_IF_ERROR(ValidateEditOps(ops));
+  Request request;
+  request.verb = Verb::kEditOp;
+  request.ops = std::move(ops);
+  return Flatten(Call(request)).status();
+}
+
+Result<uint64_t> Client::EditCommit() {
+  Request request;
+  request.verb = Verb::kEditCommit;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return response.version;
+}
+
+Status Client::EditAbort() {
+  Request request;
+  request.verb = Verb::kEditAbort;
+  return Flatten(Call(request)).status();
+}
+
+Result<std::vector<std::string>> Client::List() {
+  Request request;
+  request.verb = Verb::kList;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return std::move(response.items);
+}
+
+Result<std::vector<std::string>> Client::Stat() {
+  Request request;
+  request.verb = Verb::kStat;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return std::move(response.items);
+}
+
+Status Client::Ping() {
+  Request request;
+  request.verb = Verb::kPing;
+  return Flatten(Call(request)).status();
+}
+
+}  // namespace cxml::net

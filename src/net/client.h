@@ -1,0 +1,71 @@
+#ifndef CXML_NET_CLIENT_H_
+#define CXML_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "service/query_cache.h"
+
+namespace cxml::net {
+
+/// Blocking CXP/1 client: one TCP connection, one outstanding request
+/// at a time (Call writes a frame, then reads until the matching
+/// response frame). Not thread-safe — give each thread its own Client,
+/// as the load generator does. Any transport or framing failure is
+/// terminal for the connection; reconnect with Connect.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_.valid(); }
+
+  /// Low-level round trip. The Result is transport-level; an ERR frame
+  /// from the server arrives as an ok() Result whose Response carries
+  /// the non-OK Status.
+  Result<Response> Call(const Request& request);
+
+  /// Convenience wrappers folding the two error layers into one.
+  Result<Response> Query(const std::string& document,
+                         const std::string& expression,
+                         service::QueryKind kind);
+  /// Uploads CXG1 snapshot bytes; returns the registered version (1).
+  Result<uint64_t> Register(const std::string& document,
+                            std::string snapshot_bytes);
+  Status Remove(const std::string& document);
+  /// Applies `ops` in one server-side transaction and commits; returns
+  /// the published version. A conflicting commit returns the server's
+  /// FailedPrecondition.
+  Result<uint64_t> Edit(const std::string& document,
+                        std::vector<EditOp> ops);
+  /// Cross-frame transaction: Begin clones server-side state bound to
+  /// this connection (returns the base version), EditOps applies ops
+  /// to it, EditCommit publishes (FailedPrecondition on conflict) and
+  /// EditAbort discards. Disconnecting aborts implicitly.
+  Result<uint64_t> EditBegin(const std::string& document);
+  Status EditOps(std::vector<EditOp> ops);
+  Result<uint64_t> EditCommit();
+  Status EditAbort();
+  Result<std::vector<std::string>> List();
+  /// "key value" lines of server/service/cache counters.
+  Result<std::vector<std::string>> Stat();
+  Status Ping();
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace cxml::net
+
+#endif  // CXML_NET_CLIENT_H_

@@ -1,0 +1,80 @@
+#ifndef CXML_NET_FRAME_H_
+#define CXML_NET_FRAME_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace cxml::net {
+
+/// CXP/1 framing — the transport unit under the protocol in
+/// protocol.h. Every message (request or response) travels as one
+/// frame:
+///
+///   frame  := "CXP1 " length "\n" payload
+///   length := decimal ASCII byte count of `payload`
+///
+/// The header is pure text; the payload is arbitrary bytes (command
+/// text, query expressions, or raw CXG1 snapshot bytes for REGISTER),
+/// so framing never needs escaping. A peer that sends anything else —
+/// wrong magic, non-numeric or oversize length, an endless header —
+/// is malformed and the connection is dropped after one ERR frame.
+inline constexpr std::string_view kFrameMagic = "CXP1 ";
+
+/// Ceiling on a single payload; large enough for snapshot uploads,
+/// small enough that a hostile length can't balloon the read buffer.
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// A header is "CXP1 " + decimal length + "\n"; anything longer than
+/// this without a newline is garbage, not a slow sender.
+inline constexpr size_t kMaxHeaderBytes = 32;
+
+/// Wraps `payload` in a CXP/1 frame.
+std::string EncodeFrame(std::string_view payload);
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Bounded decimal parse shared by the frame header and the protocol
+/// grammar: false on empty input, a non-digit, or > 19 digits (every
+/// accepted value fits uint64_t without overflow).
+bool ParseDecimalU64(std::string_view digits, uint64_t* out);
+
+/// Incremental frame parser — the per-connection receive state
+/// machine. Feed raw socket bytes in any fragmentation; pop complete
+/// payloads with `Next`. A framing violation is sticky: `Feed` keeps
+/// returning the same error and the connection must be torn down
+/// (frame boundaries are unrecoverable once the length prefix is
+/// untrustworthy). Payloads already completed before the error are
+/// still retrievable.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes `bytes`, queuing every payload completed by them.
+  Status Feed(std::string_view bytes);
+
+  /// Pops the oldest complete payload into `*payload`; false when none
+  /// is pending.
+  bool Next(std::string* payload);
+
+  bool HasFrame() const { return !ready_.empty(); }
+  /// Bytes of the partially received frame (header or payload).
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  enum class State { kHeader, kPayload, kError };
+
+  size_t max_frame_bytes_;
+  State state_ = State::kHeader;
+  Status error_;
+  std::string buffer_;
+  size_t payload_length_ = 0;
+  std::deque<std::string> ready_;
+};
+
+}  // namespace cxml::net
+
+#endif  // CXML_NET_FRAME_H_

@@ -1,0 +1,148 @@
+#ifndef CXML_NET_PROTOCOL_H_
+#define CXML_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cmh/hierarchy.h"
+#include "common/interval.h"
+#include "common/result.h"
+#include "service/query_cache.h"
+
+namespace cxml::net {
+
+/// CXP/1 — the wire protocol of the document service. Each frame
+/// payload (see frame.h) is one message. Requests put a text command
+/// line first; everything after the first newline is the body, which
+/// may be arbitrary bytes:
+///
+///   QUERY <doc> XPATH|XQUERY \n <expression>
+///   EDIT <doc> \n (SELECT <begin> <end> | APPLY <hierarchy> <tag>)... COMMIT
+///   EBEGIN <doc>
+///   EOP \n (SELECT <begin> <end> | APPLY <hierarchy> <tag>)...
+///   ECOMMIT
+///   EABORT
+///   REGISTER <doc> \n <CXG1 snapshot bytes>
+///   REMOVE <doc>
+///   LIST
+///   STAT
+///   PING
+///
+/// EDIT op lines apply in order to one server-side EditTransaction;
+/// the COMMIT line (required, last) publishes it — an optimistic
+/// conflict comes back as an ERR FailedPrecondition frame, exactly as
+/// the in-process API surfaces it. EBEGIN/EOP/ECOMMIT/EABORT are the
+/// same transaction spread over frames: EBEGIN clones the current
+/// snapshot into a transaction held in the connection's state machine
+/// (answering with the base version), EOP frames apply ops to it, and
+/// ECOMMIT publishes — so a commit that lands on another connection in
+/// between surfaces the optimistic conflict to this one. At most one
+/// open transaction per connection; closing the connection aborts it.
+/// Responses share one shape:
+///
+///   OK <nitems> <version> <hit:0|1> \n (<len> <item bytes> \n)...
+///   ERR <StatusCode> <message>
+///
+/// so REGISTER/EDIT answer with zero items and the published version,
+/// LIST/STAT answer with one item per name / "key value" line, and
+/// QUERY answers with the string-rendered result items (length-
+/// prefixed: items may contain spaces and newlines).
+
+enum class Verb : uint8_t {
+  kQuery,
+  kEdit,
+  kEditBegin,
+  kEditOp,
+  kEditCommit,
+  kEditAbort,
+  kRegister,
+  kRemove,
+  kList,
+  kStat,
+  kPing,
+};
+
+const char* VerbToString(Verb verb);
+
+/// One line of an EDIT body, mirroring edit::EditSession's
+/// select-then-apply interaction model.
+struct EditOp {
+  enum class Kind : uint8_t { kSelect, kApply };
+  Kind kind = Kind::kSelect;
+  /// kSelect: the character range.
+  Interval chars;
+  /// kApply: the target hierarchy and tag.
+  cmh::HierarchyId hierarchy = 0;
+  std::string tag;
+
+  static EditOp Select(size_t begin, size_t end) {
+    EditOp op;
+    op.kind = Kind::kSelect;
+    op.chars = Interval(begin, end);
+    return op;
+  }
+  static EditOp Apply(cmh::HierarchyId hierarchy, std::string tag) {
+    EditOp op;
+    op.kind = Kind::kApply;
+    op.hierarchy = hierarchy;
+    op.tag = std::move(tag);
+    return op;
+  }
+};
+
+/// A parsed request — the server's view of one frame, and the value
+/// the client renders one from.
+struct Request {
+  Verb verb = Verb::kPing;
+  /// QUERY / EDIT / REGISTER / REMOVE target.
+  std::string document;
+  /// QUERY: how `body` is interpreted.
+  service::QueryKind kind = service::QueryKind::kXPath;
+  /// QUERY: the expression; REGISTER: the CXG1 snapshot bytes.
+  std::string body;
+  /// EDIT / EOP: the op sequence (EDIT's trailing COMMIT is implicit
+  /// in the struct form — rendering appends it, parsing requires it).
+  std::vector<EditOp> ops;
+};
+
+/// A parsed response. `status` carries the application-level ERR (a
+/// transport-intact frame whose command failed); the surrounding
+/// Result is reserved for malformed payloads.
+struct Response {
+  Status status;
+  std::vector<std::string> items;
+  uint64_t version = 0;
+  bool cache_hit = false;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Document names travel unquoted on the command line: nonempty,
+/// at most 256 bytes, no whitespace or control bytes.
+Status ValidateDocumentName(std::string_view name);
+
+/// APPLY tags travel unquoted on an op line under the same rules — a
+/// tag with embedded whitespace would change the line's arity, and a
+/// newline would inject a whole op. Enforced when rendering (client)
+/// and when parsing (server).
+Status ValidateEditOps(const std::vector<EditOp>& ops);
+
+std::string RenderRequest(const Request& request);
+Result<Request> ParseRequest(std::string_view payload);
+
+/// Response renderers (server side).
+std::string RenderItems(const std::vector<std::string>& items,
+                        uint64_t version, bool cache_hit);
+std::string RenderVersion(uint64_t version);
+std::string RenderOk();
+std::string RenderError(const Status& status);
+
+/// Response parser (client side). Fails only on unparseable payloads;
+/// an ERR frame parses into a Response carrying its Status.
+Result<Response> ParseResponse(std::string_view payload);
+
+}  // namespace cxml::net
+
+#endif  // CXML_NET_PROTOCOL_H_

@@ -1,0 +1,504 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cxml::net {
+
+/// Per-connection state. The socket and the FrameDecoder belong to the
+/// poll thread alone; `mu` guards the request queue and the outbox,
+/// which are the only seams shared with worker threads.
+struct Server::Conn {
+  Conn(Fd socket, size_t max_frame_bytes)
+      : fd(std::move(socket)), fd_number(fd.get()),
+        decoder(max_frame_bytes) {}
+
+  Fd fd;
+  /// Survives fd.Close() so the conns_ map entry can still be erased.
+  const int fd_number;
+  FrameDecoder decoder;
+
+  std::mutex mu;
+  /// Decoded request payloads awaiting a worker (FIFO per connection:
+  /// pipelined requests are answered in order).
+  std::deque<std::string> requests;
+  /// At most one worker drains `requests` at a time.
+  bool worker_active = false;
+  /// Rendered response frames awaiting POLLOUT, from `out_offset` on.
+  std::string outbox;
+  size_t out_offset = 0;
+  /// Set after a framing violation: one ERR frame goes out, then the
+  /// connection closes once the outbox drains.
+  bool close_after_flush = false;
+  /// The poll thread dropped the connection; workers discard output.
+  bool dead = false;
+
+  /// The EBEGIN'd transaction, if any — cross-frame protocol state.
+  /// Only the connection's single active worker touches it (requests
+  /// are served strictly in order), so it needs no lock; dropping the
+  /// connection discards it, which aborts the edit.
+  std::unique_ptr<service::EditTransaction> txn;
+
+  bool HasOutput() {
+    std::lock_guard<std::mutex> lock(mu);
+    return out_offset < outbox.size();
+  }
+};
+
+Server::Server(service::DocumentStore* store,
+               service::QueryService* service, ServerOptions options)
+    : store_(store), service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) {
+    return status::FailedPrecondition("server already started");
+  }
+  CXML_ASSIGN_OR_RETURN(
+      listener_, ListenTcp(options_.bind_address, options_.port));
+  CXML_RETURN_IF_ERROR(SetNonBlocking(listener_));
+  CXML_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    listener_.Close();
+    return status::Internal(StrCat("pipe: ", strerror(errno)));
+  }
+  wake_read_ = Fd(pipe_fds[0]);
+  wake_write_ = Fd(pipe_fds[1]);
+  CXML_RETURN_IF_ERROR(SetNonBlocking(wake_read_));
+  CXML_RETURN_IF_ERROR(SetNonBlocking(wake_write_));
+
+  workers_ = std::make_unique<service::ThreadPool>(options_.num_workers);
+  stopping_.store(false);
+  running_.store(true);
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  Wake();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  // Drain in-flight request handlers; their responses land in dead
+  // outboxes. Workers must stop before the connections are torn down.
+  if (workers_ != nullptr) workers_->Shutdown();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    conn->dead = true;
+    conn->fd.Close();
+  }
+  conns_.clear();
+  listener_.Close();
+  wake_read_.Close();
+  wake_write_.Close();
+}
+
+void Server::Wake() {
+  char byte = 'w';
+  // Nonblocking: a full pipe already guarantees a pending wakeup.
+  ssize_t ignored = write(wake_write_.get(), &byte, 1);
+  (void)ignored;
+}
+
+void Server::PollLoop() {
+  std::vector<struct pollfd> fds;
+  std::vector<std::shared_ptr<Conn>> polled;
+  // Set when accept() failed hard (EMFILE etc.): skip the listener for
+  // one bounded-timeout round instead of busy-spinning on a level-
+  // triggered POLLIN that accept can't clear.
+  bool accept_backoff = false;
+  while (!stopping_.load()) {
+    fds.clear();
+    polled.clear();
+    fds.push_back(
+        {listener_.get(), static_cast<short>(accept_backoff ? 0 : POLLIN),
+         0});
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [fd, conn] : conns_) {
+        short events = 0;
+        {
+          std::lock_guard<std::mutex> conn_lock(conn->mu);
+          if (!conn->close_after_flush) events |= POLLIN;
+          if (conn->out_offset < conn->outbox.size()) events |= POLLOUT;
+        }
+        fds.push_back({fd, events, 0});
+        polled.push_back(conn);
+      }
+    }
+
+    int ready = poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                     accept_backoff ? 50 : -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure; Stop() cleans up
+    }
+    if (stopping_.load()) break;
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[256];
+      while (read(wake_read_.get(), drain, sizeof(drain)) > 0) {
+      }
+    }
+    accept_backoff = false;
+    if ((fds[0].revents & POLLIN) != 0) accept_backoff = !AcceptNew();
+
+    for (size_t i = 2; i < fds.size(); ++i) {
+      const std::shared_ptr<Conn>& conn = polled[i - 2];
+      short revents = fds[i].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP)) != 0) ReadFrom(conn);
+      // ReadFrom may have closed the connection (EOF / recv error).
+      if (!conn->fd.valid()) continue;
+      // Workers signalled output through the wake pipe; flushing every
+      // pending outbox here (not only on POLLOUT) saves a poll round
+      // per response.
+      if (conn->HasOutput()) FlushTo(conn);
+    }
+  }
+}
+
+bool Server::AcceptNew() {
+  for (;;) {
+    int fd = accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      // EMFILE/ENFILE and friends leave the pending connection queued,
+      // so the listener stays readable — tell the poll loop to back
+      // off instead of spinning.
+      return false;
+    }
+    Fd socket(fd);
+    if (!SetNonBlocking(socket).ok() || !SetNoDelay(socket).ok()) {
+      continue;  // RAII closes the broken socket
+    }
+    auto conn =
+        std::make_shared<Conn>(std::move(socket), options_.max_frame_bytes);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_.emplace(conn->fd_number, conn);
+    }
+    connections_accepted_.fetch_add(1);
+  }
+}
+
+void Server::ReadFrom(const std::shared_ptr<Conn>& conn) {
+  char buffer[64 * 1024];
+  bool enqueued = false;
+  bool close_now = false;
+  for (;;) {
+    ssize_t n = recv(conn->fd.get(), buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      // Orderly EOF. Undelivered responses have no reader; drop the
+      // connection (in-flight workers discard into the dead outbox).
+      close_now = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_now = true;
+      break;
+    }
+    Status fed =
+        conn->decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+    std::string payload;
+    while (conn->decoder.Next(&payload)) {
+      frames_received_.fetch_add(1);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->requests.push_back(std::move(payload));
+      enqueued = true;
+    }
+    if (!fed.ok()) {
+      // Framing is unrecoverable: poison the connection — drop queued
+      // requests (their responses could otherwise land after the ERR
+      // or be cut off mid-flush) so the ERR frame is the last thing
+      // this client reads, then close once it drains.
+      protocol_errors_.fetch_add(1);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->requests.clear();
+      enqueued = false;
+      AppendFrame(&conn->outbox, RenderError(fed));
+      conn->close_after_flush = true;
+      break;
+    }
+    if (static_cast<size_t>(n) < sizeof(buffer)) break;
+  }
+
+  if (enqueued) {
+    bool spawn = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->worker_active && !conn->requests.empty()) {
+        conn->worker_active = true;
+        spawn = true;
+      }
+    }
+    if (spawn && !workers_->Submit([this, conn] { ServeConnection(conn); })) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->worker_active = false;  // shutting down; Stop() closes us
+    }
+  }
+  if (close_now) CloseConn(conn);
+}
+
+void Server::FlushTo(const std::shared_ptr<Conn>& conn) {
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (conn->out_offset < conn->outbox.size()) {
+      ssize_t n = send(conn->fd.get(), conn->outbox.data() + conn->out_offset,
+                       conn->outbox.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_now = true;  // peer vanished mid-response
+      break;
+    }
+    if (conn->out_offset == conn->outbox.size()) {
+      conn->outbox.clear();
+      conn->out_offset = 0;
+      if (conn->close_after_flush) close_now = true;
+    } else if (conn->out_offset > (1u << 20)) {
+      // Keep a slow reader's backlog from pinning flushed bytes.
+      conn->outbox.erase(0, conn->out_offset);
+      conn->out_offset = 0;
+    }
+  }
+  if (close_now) CloseConn(conn);
+}
+
+void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->dead = true;
+  }
+  conn->fd.Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.erase(conn->fd_number);
+}
+
+void Server::ServeConnection(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    std::string payload;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->dead || conn->requests.empty()) {
+        conn->worker_active = false;
+        return;
+      }
+      payload = std::move(conn->requests.front());
+      conn->requests.pop_front();
+    }
+    std::string response = HandleRequest(conn.get(), payload);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      // close_after_flush means the connection was poisoned by a
+      // framing error: nothing may follow the ERR frame.
+      if (!conn->dead && !conn->close_after_flush) {
+        AppendFrame(&conn->outbox, response);
+      }
+    }
+    responses_sent_.fetch_add(1);
+    Wake();
+  }
+}
+
+std::string Server::HandleRequest(Conn* conn, std::string_view payload) {
+  Result<Request> request = ParseRequest(payload);
+  Result<std::string> response =
+      request.ok() ? Dispatch(conn, *request)
+                   : Result<std::string>(request.status());
+  if (response.ok()) return std::move(response).value();
+  request_errors_.fetch_add(1);
+  return RenderError(response.status());
+}
+
+Result<std::string> Server::Dispatch(Conn* conn, const Request& request) {
+  switch (request.verb) {
+    case Verb::kPing:
+      return RenderOk();
+    case Verb::kList:
+      return RenderItems(store_->ListDocuments(), 0, false);
+    case Verb::kStat:
+      return DoStat();
+    case Verb::kQuery:
+      return DoQuery(request);
+    case Verb::kEdit:
+      return DoEdit(request);
+    case Verb::kEditBegin:
+      return DoEditBegin(conn, request);
+    case Verb::kEditOp:
+      return DoEditOp(conn, request);
+    case Verb::kEditCommit:
+      return DoEditCommit(conn);
+    case Verb::kEditAbort:
+      return DoEditAbort(conn);
+    case Verb::kRegister: {
+      if (!options_.allow_register) {
+        return status::Unimplemented(
+            "REGISTER is disabled on this server");
+      }
+      CXML_RETURN_IF_ERROR(
+          store_->RegisterBytes(request.document, request.body));
+      // Registration always publishes version 1.
+      return RenderVersion(1);
+    }
+    case Verb::kRemove: {
+      if (!options_.allow_register) {
+        return status::Unimplemented("REMOVE is disabled on this server");
+      }
+      CXML_RETURN_IF_ERROR(store_->Remove(request.document));
+      return RenderOk();
+    }
+  }
+  return status::Internal("unhandled CXP/1 verb");
+}
+
+Result<std::string> Server::DoQuery(const Request& request) {
+  service::QueryResponse response =
+      service_->Execute({request.document, request.body, request.kind});
+  if (!response.ok()) return response.status;
+  return RenderItems(*response.items, response.version, response.cache_hit);
+}
+
+Result<std::string> Server::DoEdit(const Request& request) {
+  CXML_ASSIGN_OR_RETURN(service::EditTransaction txn,
+                        store_->BeginEdit(request.document));
+  for (const EditOp& op : request.ops) {
+    if (op.kind == EditOp::Kind::kSelect) {
+      CXML_RETURN_IF_ERROR(txn.session().Select(op.chars));
+    } else {
+      CXML_RETURN_IF_ERROR(
+          txn.session().Apply(op.hierarchy, op.tag).status());
+    }
+  }
+  // An optimistic conflict propagates as ERR FailedPrecondition — the
+  // remote client sees exactly what an in-process committer would.
+  CXML_ASSIGN_OR_RETURN(uint64_t version, txn.Commit());
+  return RenderVersion(version);
+}
+
+Result<std::string> Server::DoEditBegin(Conn* conn,
+                                        const Request& request) {
+  if (conn->txn != nullptr) {
+    return status::FailedPrecondition(StrCat(
+        "connection already has an open transaction on '",
+        conn->txn->document(), "'"));
+  }
+  CXML_ASSIGN_OR_RETURN(service::EditTransaction txn,
+                        store_->BeginEdit(request.document));
+  conn->txn =
+      std::make_unique<service::EditTransaction>(std::move(txn));
+  return RenderVersion(conn->txn->base_version());
+}
+
+Result<std::string> Server::DoEditOp(Conn* conn, const Request& request) {
+  if (conn->txn == nullptr) {
+    return status::FailedPrecondition("EOP without an open transaction");
+  }
+  // A failed op leaves the transaction open: the session prevalidated
+  // and rejected it, nothing was applied, and the client may try a
+  // different range or EABORT.
+  for (const EditOp& op : request.ops) {
+    if (op.kind == EditOp::Kind::kSelect) {
+      CXML_RETURN_IF_ERROR(conn->txn->session().Select(op.chars));
+    } else {
+      CXML_RETURN_IF_ERROR(
+          conn->txn->session().Apply(op.hierarchy, op.tag).status());
+    }
+  }
+  return RenderOk();
+}
+
+Result<std::string> Server::DoEditCommit(Conn* conn) {
+  if (conn->txn == nullptr) {
+    return status::FailedPrecondition(
+        "ECOMMIT without an open transaction");
+  }
+  // Win or lose, the transaction is finished for this connection — a
+  // conflicting (FailedPrecondition) commit cannot retry; the client
+  // starts over from the new base, as in-process losers do.
+  std::unique_ptr<service::EditTransaction> txn = std::move(conn->txn);
+  CXML_ASSIGN_OR_RETURN(uint64_t version, txn->Commit());
+  return RenderVersion(version);
+}
+
+Result<std::string> Server::DoEditAbort(Conn* conn) {
+  if (conn->txn == nullptr) {
+    return status::FailedPrecondition(
+        "EABORT without an open transaction");
+  }
+  conn->txn.reset();  // drops the private clone; nothing was published
+  return RenderOk();
+}
+
+Result<std::string> Server::DoStat() {
+  service::ServiceStats stats = service_->stats();
+  std::vector<std::string> items;
+  items.push_back(
+      StrFormat("documents %zu", store_->ListDocuments().size()));
+  items.push_back(StrFormat("service_requests %llu",
+                            static_cast<unsigned long long>(stats.requests)));
+  items.push_back(StrFormat("service_batches %llu",
+                            static_cast<unsigned long long>(stats.batches)));
+  items.push_back(StrFormat("service_errors %llu",
+                            static_cast<unsigned long long>(stats.errors)));
+  items.push_back(StrFormat("cache_hits %llu",
+                            static_cast<unsigned long long>(stats.cache.hits)));
+  items.push_back(
+      StrFormat("cache_misses %llu",
+                static_cast<unsigned long long>(stats.cache.misses)));
+  items.push_back(StrFormat("cache_size %zu", stats.cache.size));
+  items.push_back(StrFormat("cache_hit_rate %.4f", stats.cache.hit_rate()));
+  items.push_back(
+      StrFormat("server_connections %llu",
+                static_cast<unsigned long long>(
+                    connections_accepted_.load())));
+  items.push_back(StrFormat(
+      "server_frames %llu",
+      static_cast<unsigned long long>(frames_received_.load())));
+  items.push_back(StrFormat(
+      "server_responses %llu",
+      static_cast<unsigned long long>(responses_sent_.load())));
+  items.push_back(StrFormat(
+      "server_protocol_errors %llu",
+      static_cast<unsigned long long>(protocol_errors_.load())));
+  items.push_back(StrFormat(
+      "server_request_errors %llu",
+      static_cast<unsigned long long>(request_errors_.load())));
+  return RenderItems(items, 0, false);
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.frames_received = frames_received_.load();
+  stats.responses_sent = responses_sent_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  stats.request_errors = request_errors_.load();
+  return stats;
+}
+
+}  // namespace cxml::net

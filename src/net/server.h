@@ -1,0 +1,137 @@
+#ifndef CXML_NET_SERVER_H_
+#define CXML_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "service/document_store.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+
+namespace cxml::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start.
+  uint16_t port = 0;
+  /// Workers handling decoded requests (QUERY additionally rides the
+  /// QueryService's own pool; these threads mostly block on it).
+  size_t num_workers = 4;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// When false, REGISTER/REMOVE answer ERR Unimplemented — a
+  /// read-mostly edge exposed to untrusted clients should not accept
+  /// document uploads.
+  bool allow_register = true;
+};
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;
+  uint64_t responses_sent = 0;
+  /// Framing violations; each costs its connection.
+  uint64_t protocol_errors = 0;
+  /// Well-framed requests answered with an ERR payload.
+  uint64_t request_errors = 0;
+};
+
+/// The CXP/1 network front-end: one poll(2) loop owns every socket
+/// (accept, read, write — all non-blocking), a ThreadPool executes
+/// decoded requests against DocumentStore/QueryService, and a self-
+/// pipe lets workers hand finished responses back to the poll loop.
+///
+/// Per connection the receive side is a FrameDecoder state machine;
+/// decoded payloads queue per connection and at most one worker
+/// serves a connection at a time (claiming its whole backlog, like
+/// QueryService's per-document batching), so pipelined requests are
+/// answered strictly in order while separate connections proceed in
+/// parallel. The connection also carries protocol state across
+/// frames: an EBEGIN'd EditTransaction lives on it until ECOMMIT /
+/// EABORT / disconnect, which is what lets a remote editor observe an
+/// optimistic conflict with a commit that landed in between. Workers never touch sockets: they append rendered frames
+/// to the connection's outbox and wake the poll loop, which flushes
+/// under POLLOUT. A malformed frame gets one ERR frame and a close —
+/// framing is unrecoverable once the length prefix is untrustworthy.
+class Server {
+ public:
+  Server(service::DocumentStore* store, service::QueryService* service,
+         ServerOptions options = ServerOptions());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the poll thread + workers.
+  Status Start();
+  /// Stops accepting, drains in-flight requests, closes every
+  /// connection, joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  /// The bound port (after Start); useful with options.port == 0.
+  uint16_t port() const { return port_; }
+  ServerStats stats() const;
+
+ private:
+  struct Conn;
+
+  void PollLoop();
+  /// Poll-thread helpers. AcceptNew returns false when accept() failed
+  /// hard (fd exhaustion) and the poll loop should back off briefly.
+  bool AcceptNew();
+  void ReadFrom(const std::shared_ptr<Conn>& conn);
+  void FlushTo(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  /// Worker entry: drains `conn`'s request queue, one frame at a time.
+  void ServeConnection(std::shared_ptr<Conn> conn);
+  /// Wakes the poll loop (self-pipe write; callable from any thread).
+  void Wake();
+
+  /// Request execution (worker threads; `conn` carries the open
+  /// edit transaction, touched only by the connection's one worker).
+  std::string HandleRequest(Conn* conn, std::string_view payload);
+  Result<std::string> Dispatch(Conn* conn, const Request& request);
+  Result<std::string> DoQuery(const Request& request);
+  Result<std::string> DoEdit(const Request& request);
+  Result<std::string> DoEditBegin(Conn* conn, const Request& request);
+  Result<std::string> DoEditOp(Conn* conn, const Request& request);
+  Result<std::string> DoEditCommit(Conn* conn);
+  Result<std::string> DoEditAbort(Conn* conn);
+  Result<std::string> DoStat();
+
+  service::DocumentStore* store_;
+  service::QueryService* service_;
+  ServerOptions options_;
+
+  Fd listener_;
+  Fd wake_read_;
+  Fd wake_write_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread poll_thread_;
+
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> request_errors_{0};
+
+  /// Declared last so workers stop before the state above dies.
+  std::unique_ptr<service::ThreadPool> workers_;
+};
+
+}  // namespace cxml::net
+
+#endif  // CXML_NET_SERVER_H_

@@ -1,0 +1,145 @@
+#include "net/socket.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace cxml::net {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return status::Internal(StrCat(what, ": ", strerror(errno)));
+}
+
+/// getaddrinfo over TCP; `passive` requests a bindable address.
+Result<Fd> OpenTcp(const std::string& host, uint16_t port, bool passive) {
+  struct addrinfo hints;
+  memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  std::string service = StrFormat("%u", port);
+  struct addrinfo* infos = nullptr;
+  int rc = getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                       service.c_str(), &hints, &infos);
+  if (rc != 0) {
+    return status::InvalidArgument(
+        StrCat("cannot resolve '", host, "': ", gai_strerror(rc)));
+  }
+  Status last = status::Internal(StrCat("no usable address for '", host, "'"));
+  for (struct addrinfo* info = infos; info != nullptr; info = info->ai_next) {
+    Fd fd(socket(info->ai_family, info->ai_socktype, info->ai_protocol));
+    if (!fd.valid()) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    if (passive) {
+      int one = 1;
+      setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (bind(fd.get(), info->ai_addr, info->ai_addrlen) != 0) {
+        last = ErrnoStatus("bind");
+        continue;
+      }
+    } else {
+      if (connect(fd.get(), info->ai_addr, info->ai_addrlen) != 0) {
+        last = ErrnoStatus("connect");
+        continue;
+      }
+    }
+    freeaddrinfo(infos);
+    return fd;
+  }
+  freeaddrinfo(infos);
+  return last;
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> ListenTcp(const std::string& address, uint16_t port,
+                     int backlog) {
+  CXML_ASSIGN_OR_RETURN(Fd fd, OpenTcp(address, port, /*passive=*/true));
+  if (listen(fd.get(), backlog) != 0) return ErrnoStatus("listen");
+  return fd;
+}
+
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port) {
+  CXML_ASSIGN_OR_RETURN(Fd fd, OpenTcp(host, port, /*passive=*/false));
+  CXML_RETURN_IF_ERROR(SetNoDelay(fd));
+  return fd;
+}
+
+Result<uint16_t> LocalPort(const Fd& fd) {
+  struct sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                  &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return status::Internal("unknown socket address family");
+}
+
+Status SetNonBlocking(const Fd& fd) {
+  int flags = fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+Status SetNoDelay(const Fd& fd) {
+  int one = 1;
+  if (setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) !=
+      0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)");
+  }
+  return Status::Ok();
+}
+
+Status SendAll(const Fd& fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = send(fd.get(), bytes.data() + sent, bytes.size() - sent,
+                     MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> RecvSome(const Fd& fd, char* buffer, size_t capacity) {
+  for (;;) {
+    ssize_t n = recv(fd.get(), buffer, capacity, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+}  // namespace cxml::net

@@ -1,0 +1,71 @@
+#ifndef CXML_NET_SOCKET_H_
+#define CXML_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace cxml::net {
+
+/// Thin portable wrappers over POSIX TCP sockets — the only file in
+/// net/ that touches OS headers, so the server/client logic stays
+/// testable and platform drift stays in one place. All functions
+/// return Status/Result instead of errno.
+
+/// RAII file descriptor; -1 means empty. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `address:port` (numeric IPv4/IPv6 or hostname);
+/// port 0 picks an ephemeral port — read it back with LocalPort.
+Result<Fd> ListenTcp(const std::string& address, uint16_t port,
+                     int backlog = 128);
+
+/// Blocking connect; the returned socket has TCP_NODELAY set (CXP/1
+/// frames are small request/response pairs — Nagle would serialize
+/// them against delayed ACKs).
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// The locally bound port of a listening or connected socket.
+Result<uint16_t> LocalPort(const Fd& fd);
+
+Status SetNonBlocking(const Fd& fd);
+Status SetNoDelay(const Fd& fd);
+
+/// Blocking write of the whole buffer (retries partial sends / EINTR).
+Status SendAll(const Fd& fd, std::string_view bytes);
+
+/// Blocking read of at most `capacity` bytes. 0 means orderly EOF.
+Result<size_t> RecvSome(const Fd& fd, char* buffer, size_t capacity);
+
+}  // namespace cxml::net
+
+#endif  // CXML_NET_SOCKET_H_

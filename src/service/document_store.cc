@@ -1,5 +1,6 @@
 #include "service/document_store.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -21,13 +22,14 @@ Status DocumentStore::Register(const std::string& name,
   snap->version = 1;
   snap->cmh = std::move(doc.cmh);
   snap->goddag = std::move(doc.g);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (docs_.count(name) != 0) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.docs.count(name) != 0) {
     return status::AlreadyExists(
         StrCat("document '", name, "' is already registered"));
   }
-  snap->generation = next_generation_++;
-  docs_.emplace(name, std::move(snap));
+  snap->generation = next_generation_.fetch_add(1);
+  shard.docs.emplace(name, std::move(snap));
   return Status::Ok();
 }
 
@@ -46,9 +48,10 @@ Status DocumentStore::RegisterFromFile(const std::string& name,
 
 Result<SnapshotPtr> DocumentStore::GetSnapshot(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = docs_.find(name);
-  if (it == docs_.end()) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.docs.find(name);
+  if (it == shard.docs.end()) {
     return status::NotFound(StrCat("document '", name, "' not registered"));
   }
   return it->second;
@@ -60,17 +63,24 @@ Result<uint64_t> DocumentStore::GetVersion(const std::string& name) const {
 }
 
 std::vector<std::string> DocumentStore::ListDocuments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shards are visited one lock at a time (no global freeze): the
+  // result is a sorted union of per-shard point-in-time views, which
+  // contains every document that was registered throughout the call
+  // and never invents one that wasn't.
   std::vector<std::string> names;
-  names.reserve(docs_.size());
-  for (const auto& [name, snap] : docs_) names.push_back(name);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, snap] : shard.docs) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
 Status DocumentStore::Remove(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (docs_.erase(name) == 0) {
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.docs.erase(name) == 0) {
       return status::NotFound(
           StrCat("document '", name, "' not registered"));
     }
@@ -98,9 +108,10 @@ Result<uint64_t> DocumentStore::Publish(const std::string& name,
                                         storage::LoadedGoddag* doc) {
   uint64_t new_version = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = docs_.find(name);
-    if (it == docs_.end()) {
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.docs.find(name);
+    if (it == shard.docs.end()) {
       return status::NotFound(
           StrCat("document '", name, "' was removed during the edit"));
     }

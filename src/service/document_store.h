@@ -1,6 +1,8 @@
 #ifndef CXML_SERVICE_DOCUMENT_STORE_H_
 #define CXML_SERVICE_DOCUMENT_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -81,6 +83,13 @@ class EditTransaction {
 /// Registry of named GODDAG documents behind versioned copy-on-write
 /// snapshots — the serving layer's single entry point to the library's
 /// single-threaded engines. All methods are thread-safe.
+///
+/// The registry is sharded by document-name hash (16 shards, each its
+/// own mutex + map), so a hot document's GetSnapshot/BeginEdit/Publish
+/// traffic only contends with names in the same shard instead of
+/// serializing the whole store. ListDocuments stays correct across
+/// shards: it collects per shard and returns one globally sorted list
+/// (the same order the pre-sharding single std::map produced).
 class DocumentStore {
  public:
   DocumentStore() = default;
@@ -131,15 +140,25 @@ class DocumentStore {
                            uint64_t generation, storage::LoadedGoddag* doc);
   void NotifyListeners(const std::string& name, uint64_t version);
 
-  mutable std::mutex mu_;
-  std::map<std::string, SnapshotPtr> docs_;
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, SnapshotPtr> docs;
+  };
+  Shard& ShardFor(const std::string& name) const {
+    return shards_[std::hash<std::string>()(name) % kNumShards];
+  }
+
+  mutable std::array<Shard, kNumShards> shards_;
+  /// Atomic (not per-shard) so generations stay store-wide unique —
+  /// the ABA guard in Publish depends on that.
+  std::atomic<uint64_t> next_generation_{1};
 
   /// Guards the listener table *and* spans each notification, giving
   /// RemoveVersionListener its quiescence guarantee.
   std::mutex listener_mu_;
   std::map<uint64_t, VersionListener> listeners_;
   uint64_t next_listener_id_ = 1;
-  uint64_t next_generation_ = 1;  // guarded by mu_
 };
 
 }  // namespace cxml::service

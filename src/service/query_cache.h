@@ -74,7 +74,7 @@ struct CacheStats {
 };
 
 /// Thread-safe LRU cache of query results keyed by
-/// (document, version, query string, kind).
+/// (document, version, generation, query string, kind).
 class QueryCache {
  public:
   explicit QueryCache(size_t capacity) : capacity_(capacity) {}

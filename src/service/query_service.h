@@ -68,9 +68,10 @@ struct QueryServiceOptions {
 /// concurrent requests for a hot document cost one pin + one engine
 /// setup instead of N.
 ///
-/// Results are memoised in a (document, version, query)-keyed LRU cache;
-/// a DocumentStore version listener invalidates a document's stale
-/// entries the moment an edit::Session commit publishes a new version.
+/// Results are memoised in a (document, version, generation, query,
+/// kind)-keyed LRU cache; a DocumentStore version listener invalidates
+/// a document's stale entries the moment an edit::Session commit
+/// publishes a new version.
 class QueryService {
  public:
   explicit QueryService(DocumentStore* store, QueryServiceOptions options =

@@ -226,6 +226,7 @@ Result<std::vector<TrafficOp>> GenerateTraffic(const TrafficParams& params) {
         "write traffic needs >= 1 annotation hierarchy to write into");
   }
   if (params.write_fraction < 0 || params.write_fraction > 1 ||
+      params.stat_fraction < 0 || params.stat_fraction > 1 ||
       params.xquery_fraction < 0 || params.xquery_fraction > 1) {
     return status::InvalidArgument("traffic fractions must be in [0,1]");
   }
@@ -269,9 +270,20 @@ Result<std::vector<TrafficOp>> GenerateTraffic(const TrafficParams& params) {
 
   std::vector<TrafficOp> ops;
   ops.reserve(params.num_ops);
+  size_t stats_emitted = 0;
   for (size_t i = 0; i < params.num_ops; ++i) {
     TrafficOp op;
-    if (coin(rng) < params.write_fraction) {
+    // The stat coin is only drawn when the feature is on, so seeds
+    // from before kStat existed keep producing the same op stream.
+    double write_roll = coin(rng);
+    if (write_roll >= params.write_fraction && params.stat_fraction > 0 &&
+        coin(rng) < params.stat_fraction) {
+      op.kind = TrafficOp::Kind::kStat;
+      op.query = (stats_emitted++ % 2 == 0) ? "LIST" : "STAT";
+      ops.push_back(std::move(op));
+      continue;
+    }
+    if (write_roll < params.write_fraction) {
       size_t k = pick_hierarchy(rng);
       op.kind = TrafficOp::Kind::kEdit;
       // Hierarchies 0/1 are physical/linguistic; annotations start at 2.

@@ -59,12 +59,14 @@ Result<SyntheticCorpus> GenerateManuscript(const GeneratorParams& params);
 // ------------------------------------------------------ service traffic
 
 /// One operation of a synthetic service workload over a generated
-/// manuscript: an Extended XPath read, an XQuery read, or a markup
-/// insertion (an annotation range in one of the extra hierarchies).
+/// manuscript: an Extended XPath read, an XQuery read, a markup
+/// insertion (an annotation range in one of the extra hierarchies), or
+/// a metadata probe (the LIST/STAT verbs a wire client interleaves
+/// with queries).
 struct TrafficOp {
-  enum class Kind { kXPath, kXQuery, kEdit };
+  enum class Kind { kXPath, kXQuery, kEdit, kStat };
   Kind kind = Kind::kXPath;
-  /// Reads: the query string.
+  /// Reads: the query string. Metadata probes: "LIST" or "STAT".
   std::string query;
   /// Writes: insert `<edit_tag>` into `edit_hierarchy` over `edit_chars`.
   cmh::HierarchyId edit_hierarchy = 0;
@@ -80,6 +82,10 @@ struct TrafficParams {
   size_t num_ops = 256;
   /// Fraction of operations that are markup insertions.
   double write_fraction = 0.05;
+  /// Fraction of non-write operations that are metadata probes
+  /// (alternating LIST/STAT); 0 keeps the op stream byte-identical to
+  /// the pre-kStat generator for a given seed.
+  double stat_fraction = 0.0;
   /// Fraction of *reads* that are XQuery (the rest are XPath).
   double xquery_fraction = 0.25;
   /// Must match the GeneratorParams of the corpus the traffic targets.

@@ -1,0 +1,567 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "goddag/builder.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "service/document_store.h"
+#include "service/query_service.h"
+#include "storage/binary.h"
+#include "workload/generator.h"
+
+namespace cxml::net {
+namespace {
+
+// ------------------------------------------------------------- framing
+
+TEST(FrameTest, RoundTripsPayloads) {
+  FrameDecoder decoder;
+  std::string wire = EncodeFrame("PING");
+  AppendFrame(&wire, "");
+  AppendFrame(&wire, std::string("binary\0bytes\nhere", 17));
+
+  ASSERT_TRUE(decoder.Feed(wire).ok());
+  std::string payload;
+  ASSERT_TRUE(decoder.Next(&payload));
+  EXPECT_EQ(payload, "PING");
+  ASSERT_TRUE(decoder.Next(&payload));
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(decoder.Next(&payload));
+  EXPECT_EQ(payload, std::string("binary\0bytes\nhere", 17));
+  EXPECT_FALSE(decoder.Next(&payload));
+}
+
+TEST(FrameTest, ReassemblesByteAtATime) {
+  const std::string wire = EncodeFrame("QUERY ms XPATH\ncount(//w)");
+  FrameDecoder decoder;
+  std::string payload;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(wire.substr(i, 1)).ok());
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(decoder.HasFrame());
+    }
+  }
+  ASSERT_TRUE(decoder.Next(&payload));
+  EXPECT_EQ(payload, "QUERY ms XPATH\ncount(//w)");
+}
+
+TEST(FrameTest, RejectsMalformedHeaders) {
+  {
+    FrameDecoder decoder;
+    EXPECT_EQ(decoder.Feed("HTTP/1.1 200 OK\n").code(),
+              StatusCode::kParseError);
+    // The error is sticky: framing is unrecoverable.
+    EXPECT_EQ(decoder.Feed(EncodeFrame("PING")).code(),
+              StatusCode::kParseError);
+  }
+  {
+    FrameDecoder decoder;
+    EXPECT_EQ(decoder.Feed("CXP1 12x\nhello").code(),
+              StatusCode::kParseError);
+  }
+  {
+    FrameDecoder decoder(/*max_frame_bytes=*/1024);
+    EXPECT_EQ(decoder.Feed("CXP1 2048\n").code(), StatusCode::kParseError);
+  }
+  {
+    FrameDecoder decoder;
+    // An endless header (no newline) must not buffer forever.
+    EXPECT_EQ(decoder.Feed(std::string(100, 'A')).code(),
+              StatusCode::kParseError);
+  }
+  {
+    FrameDecoder decoder;
+    // Completed frames survive a later violation.
+    std::string wire = EncodeFrame("PING");
+    wire += "garbage without structure that overflows the header limit";
+    EXPECT_EQ(decoder.Feed(wire).code(), StatusCode::kParseError);
+    std::string payload;
+    ASSERT_TRUE(decoder.Next(&payload));
+    EXPECT_EQ(payload, "PING");
+  }
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  Request query;
+  query.verb = Verb::kQuery;
+  query.document = "ms";
+  query.kind = service::QueryKind::kXQuery;
+  query.body = "for $w in //w\nreturn {string($w)}";
+  auto parsed = ParseRequest(RenderRequest(query));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->verb, Verb::kQuery);
+  EXPECT_EQ(parsed->document, "ms");
+  EXPECT_EQ(parsed->kind, service::QueryKind::kXQuery);
+  EXPECT_EQ(parsed->body, query.body);
+
+  Request edit;
+  edit.verb = Verb::kEdit;
+  edit.document = "ms";
+  edit.ops = {EditOp::Select(10, 50), EditOp::Apply(2, "a0")};
+  parsed = ParseRequest(RenderRequest(edit));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->ops.size(), 2u);
+  EXPECT_EQ(parsed->ops[0].kind, EditOp::Kind::kSelect);
+  EXPECT_EQ(parsed->ops[0].chars, Interval(10, 50));
+  EXPECT_EQ(parsed->ops[1].kind, EditOp::Kind::kApply);
+  EXPECT_EQ(parsed->ops[1].hierarchy, 2u);
+  EXPECT_EQ(parsed->ops[1].tag, "a0");
+
+  Request reg;
+  reg.verb = Verb::kRegister;
+  reg.document = "up";
+  reg.body = std::string("CXG1\0raw\nbinary", 15);
+  parsed = ParseRequest(RenderRequest(reg));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, reg.body);
+
+  for (Verb verb : {Verb::kList, Verb::kStat, Verb::kPing,
+                    Verb::kEditCommit, Verb::kEditAbort}) {
+    Request bare;
+    bare.verb = verb;
+    parsed = ParseRequest(RenderRequest(bare));
+    ASSERT_TRUE(parsed.ok()) << VerbToString(verb);
+    EXPECT_EQ(parsed->verb, verb);
+  }
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("FROB ms").ok());
+  EXPECT_FALSE(ParseRequest("QUERY ms").ok());              // no kind
+  EXPECT_FALSE(ParseRequest("QUERY ms SQL\nselect 1").ok());
+  EXPECT_FALSE(ParseRequest("QUERY ms XPATH\n").ok());      // no body
+  EXPECT_FALSE(ParseRequest("QUERY bad name XPATH\n//w").ok());
+  EXPECT_FALSE(ParseRequest("REMOVE").ok());
+  EXPECT_FALSE(ParseRequest("EDIT ms\nSELECT 1 2\nAPPLY 2 a0").ok())
+      << "EDIT without COMMIT must not parse";
+  EXPECT_FALSE(ParseRequest("EDIT ms\nCOMMIT").ok());
+  EXPECT_FALSE(ParseRequest("EDIT ms\nSELECT 1\nCOMMIT").ok());
+  EXPECT_FALSE(ParseRequest("EDIT ms\nCOMMIT\nSELECT 1 2").ok());
+  EXPECT_FALSE(ParseRequest("EOP\nCOMMIT").ok());
+  EXPECT_FALSE(ParseRequest("PING extra").ok());
+}
+
+TEST(ProtocolTest, ResponseRoundTrips) {
+  std::vector<std::string> items = {"alpha", "", "two words",
+                                    "multi\nline item"};
+  auto parsed = ParseResponse(RenderItems(items, 7, true));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->ok());
+  EXPECT_EQ(parsed->items, items);
+  EXPECT_EQ(parsed->version, 7u);
+  EXPECT_TRUE(parsed->cache_hit);
+
+  parsed = ParseResponse(RenderVersion(42));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->version, 42u);
+  EXPECT_TRUE(parsed->items.empty());
+
+  // An application error crosses the wire with its code and message.
+  parsed = ParseResponse(RenderError(
+      status::FailedPrecondition("write conflict on 'ms'\nbase 3")));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(parsed->status.message().find("write conflict"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseResponse("YES 1 2 3\n").ok());
+  EXPECT_FALSE(ParseResponse("OK 2 0 0\n5 hello\n").ok());  // missing item
+  EXPECT_FALSE(ParseResponse("OK 1 0 0\n99 short\n").ok());
+  EXPECT_FALSE(ParseResponse("OK 0 0 0\ntrailing").ok());
+  // A hostile item count must be a parse error, not a giant reserve().
+  EXPECT_FALSE(ParseResponse("OK 9999999999999999999 0 0\n").ok());
+  EXPECT_FALSE(ParseResponse("OK 1000000000 0 0\n").ok());
+}
+
+TEST(ProtocolTest, RejectsInjectionProneTags) {
+  // A newline inside a tag would smuggle an extra op line; whitespace
+  // would change the APPLY arity. Both are refused before rendering...
+  EXPECT_EQ(ValidateEditOps({EditOp::Apply(2, "a0\nSELECT 0 40")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateEditOps({EditOp::Apply(2, "my tag")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateEditOps({EditOp::Apply(2, "")}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ValidateEditOps({EditOp::Select(0, 4),
+                               EditOp::Apply(2, "a0")}).ok());
+  // ...and the server-side parser rejects control bytes that survive
+  // space-tokenization.
+  EXPECT_FALSE(ParseRequest("EDIT ms\nAPPLY 2 bad\ttag\nCOMMIT").ok());
+}
+
+// ------------------------------------------------------- server fixture
+
+constexpr size_t kContentChars = 3000;
+
+const std::string& CorpusBytes() {
+  static const std::string* bytes = [] {
+    workload::GeneratorParams params;
+    params.content_chars = kContentChars;
+    auto corpus = workload::GenerateManuscript(params);
+    EXPECT_TRUE(corpus.ok()) << corpus.status();
+    auto g = goddag::Builder::Build(*corpus->doc);
+    EXPECT_TRUE(g.ok()) << g.status();
+    auto saved = storage::Save(*g);
+    EXPECT_TRUE(saved.ok()) << saved.status();
+    return new std::string(std::move(saved).value());
+  }();
+  return *bytes;
+}
+
+/// First offset >= `from` where an `a0` insert of length `len` fits
+/// (within one hierarchy markup must stay nested, so inserts need gaps).
+size_t FindFreeA0Gap(const goddag::Goddag& g, size_t from, size_t len) {
+  std::vector<Interval> taken;
+  for (goddag::NodeId node : g.ElementsByTag("a0")) {
+    taken.push_back(g.char_range(node));
+  }
+  size_t offset = from;
+  while (offset + len <= g.content().size()) {
+    bool collides = false;
+    for (const Interval& t : taken) {
+      if (offset < t.end && t.begin < offset + len) {
+        offset = t.end;
+        collides = true;
+        break;
+      }
+    }
+    if (!collides) return offset;
+  }
+  ADD_FAILURE() << "no free a0 gap of length " << len;
+  return 0;
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.RegisterBytes("ms", CorpusBytes()).ok());
+    service_ = std::make_unique<service::QueryService>(
+        &store_, service::QueryServiceOptions{/*num_threads=*/2,
+                                              /*cache_capacity=*/256});
+    ServerOptions options;
+    options.num_workers = 4;
+    server_ = std::make_unique<Server>(&store_, service_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    server_.reset();
+    service_.reset();
+  }
+
+  Client Connect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+  /// A free gap in the *current* snapshot, found through the back door
+  /// the test conveniently has.
+  Interval FreeGap(size_t from, size_t len = 40) {
+    auto snap = store_.GetSnapshot("ms");
+    EXPECT_TRUE(snap.ok());
+    size_t offset = FindFreeA0Gap(*(*snap)->goddag, from, len);
+    return Interval(offset, offset + len);
+  }
+
+  service::DocumentStore store_;
+  std::unique_ptr<service::QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+// -------------------------------------------------------- end to end
+
+TEST_F(NetTest, PingListStat) {
+  Client client = Connect();
+  ASSERT_TRUE(client.Ping().ok());
+
+  auto names = client.List();
+  ASSERT_TRUE(names.ok()) << names.status();
+  EXPECT_EQ(*names, std::vector<std::string>{"ms"});
+
+  auto stat = client.Stat();
+  ASSERT_TRUE(stat.ok()) << stat.status();
+  bool saw_documents = false;
+  for (const std::string& line : *stat) {
+    if (line == "documents 1") saw_documents = true;
+  }
+  EXPECT_TRUE(saw_documents) << "STAT misses 'documents 1'";
+}
+
+/// The acceptance scenario: a remote client registers a document,
+/// queries it via Extended XPath and XQuery, commits an edit, and
+/// observes the post-edit result — all over CXP/1.
+TEST_F(NetTest, RegisterQueryEditObserve) {
+  Client client = Connect();
+
+  // Register a second document from raw CXG1 bytes.
+  auto version = client.Register("remote", CorpusBytes());
+  ASSERT_TRUE(version.ok()) << version.status();
+  EXPECT_EQ(*version, 1u);
+  auto names = client.List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"ms", "remote"}));
+
+  // Extended XPath with the overlap axis, then XQuery over the wire.
+  auto xpath = client.Query("remote", "count(//w[overlapping::line])",
+                            service::QueryKind::kXPath);
+  ASSERT_TRUE(xpath.ok()) << xpath.status();
+  ASSERT_EQ(xpath->items.size(), 1u);
+  EXPECT_GT(std::stoi(xpath->items[0]), 0);
+  EXPECT_EQ(xpath->version, 1u);
+
+  auto xquery = client.Query(
+      "remote", "let $n := count(//w) return {string($n)}",
+      service::QueryKind::kXQuery);
+  ASSERT_TRUE(xquery.ok()) << xquery.status();
+  ASSERT_EQ(xquery->items.size(), 1u);
+
+  // A repeated query is served from the result cache.
+  auto warm = client.Query("remote", "count(//w[overlapping::line])",
+                           service::QueryKind::kXPath);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->items, xpath->items);
+
+  // Edit: insert one <a0> annotation, observe the version bump and the
+  // post-edit result of a fresh (invalidated) query.
+  auto before = client.Query("remote", "count(//a0)",
+                             service::QueryKind::kXPath);
+  ASSERT_TRUE(before.ok());
+  int a0_before = std::stoi(before->items[0]);
+
+  auto snap = store_.GetSnapshot("remote");
+  ASSERT_TRUE(snap.ok());
+  size_t offset = FindFreeA0Gap(*(*snap)->goddag, 0, 40);
+  auto committed = client.Edit(
+      "remote", {EditOp::Select(offset, offset + 40), EditOp::Apply(2, "a0")});
+  ASSERT_TRUE(committed.ok()) << committed.status();
+  EXPECT_EQ(*committed, 2u);
+
+  auto after = client.Query("remote", "count(//a0)",
+                            service::QueryKind::kXPath);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(std::stoi(after->items[0]), a0_before + 1);
+
+  // Remove; further queries answer NotFound over the wire.
+  ASSERT_TRUE(client.Remove("remote").ok());
+  auto gone = client.Query("remote", "count(//w)",
+                           service::QueryKind::kXPath);
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(NetTest, QueryErrorsSurfaceWithCodes) {
+  Client client = Connect();
+  auto bad = client.Query("ms", "//w[", service::QueryKind::kXPath);
+  EXPECT_FALSE(bad.ok());
+  auto missing = client.Query("ghost", "//w", service::QueryKind::kXPath);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The connection survives application errors.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
+}
+
+TEST_F(NetTest, MalformedFrameGetsErrAndClose) {
+  auto fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  ASSERT_TRUE(SendAll(*fd, "GET / HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+
+  // One ERR frame comes back, then the server closes the connection.
+  FrameDecoder decoder;
+  std::string payload;
+  char buffer[4096];
+  bool closed = false;
+  while (!decoder.HasFrame()) {
+    auto n = RecvSome(*fd, buffer, sizeof(buffer));
+    ASSERT_TRUE(n.ok()) << n.status();
+    ASSERT_NE(*n, 0u) << "server closed before sending the ERR frame";
+    ASSERT_TRUE(decoder.Feed(std::string_view(buffer, *n)).ok());
+  }
+  ASSERT_TRUE(decoder.Next(&payload));
+  auto response = ParseResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status.code(), StatusCode::kParseError);
+  for (int i = 0; i < 100 && !closed; ++i) {
+    auto n = RecvSome(*fd, buffer, sizeof(buffer));
+    if (!n.ok() || *n == 0) closed = true;
+  }
+  EXPECT_TRUE(closed);
+  EXPECT_GE(server_->stats().protocol_errors, 1u);
+
+  // The server is still healthy for well-behaved clients.
+  Client client = Connect();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(NetTest, OversizeFrameRejected) {
+  // A tiny per-server frame ceiling: the query below frames fine on the
+  // client (its own decoder only guards responses) but trips the
+  // server's limit.
+  service::DocumentStore store;
+  ASSERT_TRUE(store.RegisterBytes("ms", CorpusBytes()).ok());
+  service::QueryService service(&store, {2, 64});
+  ServerOptions options;
+  options.max_frame_bytes = 128;
+  Server small(&store, &service, options);
+  ASSERT_TRUE(small.Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", small.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Query("ms", std::string(4096, ' ') + "count(//w)",
+                                service::QueryKind::kXPath);
+  EXPECT_EQ(response.status().code(), StatusCode::kParseError);
+  small.Stop();
+}
+
+TEST_F(NetTest, CrossFrameTransactionConflictSurfaces) {
+  Client editor = Connect();
+  Client rival = Connect();
+
+  // The editor opens a cross-frame transaction and stages an op.
+  Interval gap1 = FreeGap(0);
+  auto base = editor.EditBegin("ms");
+  ASSERT_TRUE(base.ok()) << base.status();
+  EXPECT_EQ(*base, 1u);
+  ASSERT_TRUE(editor
+                  .EditOps({EditOp::Select(gap1.begin, gap1.end),
+                            EditOp::Apply(2, "a0")})
+                  .ok());
+
+  // A rival commit lands in between (single-frame EDIT, other range).
+  Interval gap2 = FreeGap(800);
+  auto rival_version = rival.Edit(
+      "ms", {EditOp::Select(gap2.begin, gap2.end), EditOp::Apply(2, "a0")});
+  ASSERT_TRUE(rival_version.ok()) << rival_version.status();
+  EXPECT_EQ(*rival_version, 2u);
+
+  // The editor's commit must now lose with the optimistic-conflict
+  // code, exactly as an in-process EditTransaction::Commit would.
+  auto lost = editor.EditCommit();
+  EXPECT_EQ(lost.status().code(), StatusCode::kFailedPrecondition);
+
+  // The transaction is consumed: a second ECOMMIT has nothing to act on.
+  EXPECT_EQ(editor.EditCommit().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Retry from the new base succeeds.
+  Interval gap3 = FreeGap(1500);
+  ASSERT_TRUE(editor.EditBegin("ms").ok());
+  ASSERT_TRUE(editor
+                  .EditOps({EditOp::Select(gap3.begin, gap3.end),
+                            EditOp::Apply(2, "a0")})
+                  .ok());
+  auto retried = editor.EditCommit();
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(*retried, 3u);
+  EXPECT_EQ(store_.GetVersion("ms").value_or(0), 3u);
+}
+
+TEST_F(NetTest, TransactionStateMachineEdges) {
+  Client client = Connect();
+  EXPECT_EQ(client.EditCommit().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.EditAbort().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.EditOps({EditOp::Select(0, 10)}).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(client.EditBegin("ms").ok());
+  // A second EBEGIN on the same connection is rejected...
+  EXPECT_EQ(client.EditBegin("ms").status().code(),
+            StatusCode::kFailedPrecondition);
+  // ...a failing op (selection past the content) leaves it open...
+  Interval gap = FreeGap(0);
+  EXPECT_EQ(client.EditOps({EditOp::Select(0, 10'000'000)}).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(client
+                  .EditOps({EditOp::Select(gap.begin, gap.end),
+                            EditOp::Apply(2, "a0")})
+                  .ok());
+  // ...and EABORT discards it without publishing.
+  ASSERT_TRUE(client.EditAbort().ok());
+  EXPECT_EQ(store_.GetVersion("ms").value_or(0), 1u);
+
+  // An abandoned transaction dies with its connection: a fresh client
+  // can edit immediately (no server-side leak of the old clone).
+  {
+    Client holder = Connect();
+    ASSERT_TRUE(holder.EditBegin("ms").ok());
+  }  // disconnect aborts
+  Interval gap2 = FreeGap(500);
+  auto committed = client.Edit(
+      "ms", {EditOp::Select(gap2.begin, gap2.end), EditOp::Apply(2, "a0")});
+  ASSERT_TRUE(committed.ok()) << committed.status();
+  EXPECT_EQ(*committed, 2u);
+}
+
+TEST_F(NetTest, ConcurrentClients) {
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 50;
+  const std::vector<std::string> mix = {
+      "count(//w)",
+      "//w[overlapping::line]",
+      "count(//a0)",
+      "count(//page/line)",
+  };
+
+  std::atomic<int> failures{0};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures.fetch_add(kQueriesPerClient);
+        return;
+      }
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        auto response = client->Query(
+            "ms", mix[(c + i) % mix.size()], service::QueryKind::kXPath);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        } else if (response->cache_hit) {
+          hits.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // A 4-query mix over 400 requests must hit the shared result cache.
+  EXPECT_GT(hits.load(), kClients * kQueriesPerClient / 2);
+  ServerStats stats = server_->stats();
+  EXPECT_GE(stats.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.frames_received,
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(stats.responses_sent, stats.frames_received);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST_F(NetTest, ServerStopsCleanlyWithLiveConnections) {
+  Client client = Connect();
+  ASSERT_TRUE(client.Ping().ok());
+  server_->Stop();
+  // Whatever the client sees now must be an error, not a hang.
+  EXPECT_FALSE(client.Ping().ok());
+  // Stop is idempotent; Start-after-Stop is a fresh server elsewhere.
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace cxml::net
