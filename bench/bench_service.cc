@@ -1,23 +1,29 @@
 // T-SERVICE: throughput of the concurrent document service — batched
 // Extended XPath/XQuery execution against DocumentStore snapshots with
-// the (document, version, query) LRU cache.
+// the (document, version, query) LRU cache, plus the write path: the
+// structural clone cost behind BeginEdit and the writer pipeline's
+// group-commit latency (commit p50/p99).
 //
 // Unlike the google-benchmark suites, this driver emits one JSON object
 // (stdout + BENCH_service.json) so the throughput trajectory
-// (queries/sec, cache hit rate, cold-vs-cached latency) is
-// machine-readable across PRs:
+// (queries/sec, cache hit rate, cold-vs-cached latency, clone µs,
+// commit percentiles) is machine-readable across PRs:
 //
 //   bench_service [content_chars] [num_threads]
 //
 // The run aborts when a cached repeat query is not faster than its cold
-// run — that regression would mean the cache layer is dead weight.
+// run, or when the structural clone is not >= 10x cheaper than the
+// retained Save/Load snapshot clone — either regression would mean a
+// core layer became dead weight.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "goddag/builder.h"
 #include "service/document_store.h"
 #include "service/query_service.h"
@@ -51,17 +57,23 @@ service::QueryKind ToKind(workload::TrafficOp::Kind kind) {
 struct MixResult {
   size_t reads = 0;
   size_t commits = 0;
+  size_t rejected_edits = 0;
   double seconds = 0;
+  double commit_p50_us = 0;
+  double commit_p99_us = 0;
   service::ServiceStats stats;
 };
 
+using bench::Percentile;
+
 /// Replays a generated traffic mix: reads go through the service in
 /// submission order (async, gathered at the end of each write-delimited
-/// burst so batching has queues to coalesce); writes clone-edit-commit.
-MixResult RunMix(service::DocumentStore* store,
-                 service::QueryService* service,
+/// burst so batching has queues to coalesce); writes ride the writer
+/// pipeline (structural clone + group commit), measured end to end.
+MixResult RunMix(service::QueryService* service,
                  const std::vector<workload::TrafficOp>& ops) {
   MixResult result;
+  std::vector<double> commit_us;
   Clock::time_point start = Clock::now();
   std::vector<std::future<service::QueryResponse>> inflight;
   auto drain = [&] {
@@ -71,14 +83,22 @@ MixResult RunMix(service::DocumentStore* store,
   for (const workload::TrafficOp& op : ops) {
     if (op.kind == workload::TrafficOp::Kind::kEdit) {
       drain();
-      auto txn = store->BeginEdit("ms");
-      BENCH_CHECK(txn.ok());
-      if (txn->session().Select(op.edit_chars).ok() &&
-          txn->session().Apply(op.edit_hierarchy, op.edit_tag).ok()) {
-        BENCH_CHECK(txn->Commit().ok());
+      Clock::time_point t0 = Clock::now();
+      service::EditResponse committed = service->ExecuteEdit(
+          "ms",
+          [chars = op.edit_chars, hierarchy = op.edit_hierarchy,
+           tag = op.edit_tag](edit::EditSession& session) -> Status {
+            CXML_RETURN_IF_ERROR(session.Select(chars));
+            return session.Apply(hierarchy, tag).status();
+          });
+      commit_us.push_back(SecondsSince(t0) * 1e6);
+      if (committed.ok()) {
         ++result.commits;
+      } else {
+        // Rejected inserts (same-hierarchy collisions) are normal
+        // traffic; they fail their op-set without poisoning batches.
+        ++result.rejected_edits;
       }
-      // Rejected inserts (same-hierarchy collisions) are normal traffic.
     } else {
       ++result.reads;
       inflight.push_back(
@@ -87,6 +107,8 @@ MixResult RunMix(service::DocumentStore* store,
   }
   drain();
   result.seconds = SecondsSince(start);
+  result.commit_p50_us = Percentile(&commit_us, 0.5);
+  result.commit_p99_us = Percentile(&commit_us, 0.99);
   result.stats = service->stats();
   return result;
 }
@@ -94,12 +116,15 @@ MixResult RunMix(service::DocumentStore* store,
 void PrintMixJson(std::FILE* f, const char* name, const MixResult& m) {
   std::fprintf(
       f,
-      "  \"%s\": {\"reads\": %zu, \"commits\": %zu, \"seconds\": %.6f, "
+      "  \"%s\": {\"reads\": %zu, \"commits\": %zu, "
+      "\"rejected_edits\": %zu, \"seconds\": %.6f, "
       "\"queries_per_sec\": %.1f, \"cache_hit_rate\": %.4f, "
-      "\"avg_batch_size\": %.2f}",
-      name, m.reads, m.commits, m.seconds,
+      "\"avg_batch_size\": %.2f, \"commit_p50_us\": %.1f, "
+      "\"commit_p99_us\": %.1f, \"write_batches\": %llu}",
+      name, m.reads, m.commits, m.rejected_edits, m.seconds,
       m.reads / (m.seconds > 0 ? m.seconds : 1e-9), m.stats.cache.hit_rate(),
-      m.stats.avg_batch_size());
+      m.stats.avg_batch_size(), m.commit_p50_us, m.commit_p99_us,
+      static_cast<unsigned long long>(m.stats.writes.batches));
 }
 
 int Run(size_t content_chars, size_t num_threads) {
@@ -114,6 +139,23 @@ int Run(size_t content_chars, size_t num_threads) {
 
   service::DocumentStore store;
   BENCH_CHECK(store.RegisterBytes("ms", *bytes).ok());
+
+  // ---- clone cost: structural vs the Save/Load snapshot oracle ----
+  // The structural path is what every BeginEdit pays; the snapshot
+  // path is the PR 2 baseline, retained as the equivalence oracle.
+  double clone_us = 0;
+  double clone_snapshot_us = 0;
+  {
+    auto base = storage::Load(*bytes);
+    BENCH_CHECK(base.ok());
+    clone_us = bench::MeasureCloneUs(*base->g, /*reps=*/50);
+    clone_snapshot_us =
+        bench::MeasureCloneUs(*base->g, /*reps=*/10, /*via_snapshot=*/true);
+    // The acceptance bar: the structural clone must beat the
+    // serialize->parse round trip by at least 10x.
+    BENCH_CHECK(clone_us > 0);
+    BENCH_CHECK(clone_us * 10.0 <= clone_snapshot_us);
+  }
 
   // ---- cold vs cached latency of one representative overlap query ----
   service::QueryServiceOptions options;
@@ -149,7 +191,7 @@ int Run(size_t content_chars, size_t num_threads) {
   auto read_ops = workload::GenerateTraffic(traffic);
   BENCH_CHECK(read_ops.ok());
   service::QueryService read_service(&store, options);
-  MixResult read_only = RunMix(&store, &read_service, *read_ops);
+  MixResult read_only = RunMix(&read_service, *read_ops);
 
   // ---- mixed read/write (commits invalidate along the way) ----
   traffic.write_fraction = 0.02;
@@ -157,7 +199,7 @@ int Run(size_t content_chars, size_t num_threads) {
   auto mixed_ops = workload::GenerateTraffic(traffic);
   BENCH_CHECK(mixed_ops.ok());
   service::QueryService mixed_service(&store, options);
-  MixResult mixed = RunMix(&store, &mixed_service, *mixed_ops);
+  MixResult mixed = RunMix(&mixed_service, *mixed_ops);
   BENCH_CHECK(mixed.commits > 0);
 
   auto emit = [&](std::FILE* f) {
@@ -171,6 +213,12 @@ int Run(size_t content_chars, size_t num_threads) {
                  "\"cold_over_cached\": %.1f,\n",
                  cold_us, cached_us,
                  cold_us / (cached_us > 0 ? cached_us : 1e-9));
+    std::fprintf(
+        f,
+        "  \"clone_us\": %.1f, \"clone_snapshot_us\": %.1f, "
+        "\"clone_speedup\": %.1f,\n",
+        clone_us, clone_snapshot_us,
+        clone_snapshot_us / (clone_us > 0 ? clone_us : 1e-9));
     PrintMixJson(f, "read_only", read_only);
     std::fprintf(f, ",\n");
     PrintMixJson(f, "mixed", mixed);

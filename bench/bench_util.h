@@ -1,12 +1,52 @@
 #ifndef CXML_BENCH_BENCH_UTIL_H_
 #define CXML_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <vector>
 
+#include "storage/binary.h"
 #include "workload/generator.h"
 
 namespace cxml::bench {
+
+/// Average microseconds per deep copy of `g` over `reps` repetitions —
+/// the structural storage::Clone by default, the Save/Load
+/// CloneViaSnapshot baseline when `via_snapshot`. One implementation
+/// feeds both BENCH_*.json emitters so their clone_us figures stay
+/// comparable across PRs.
+inline double MeasureCloneUs(const goddag::Goddag& g, int reps,
+                             bool via_snapshot = false) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    auto copy =
+        via_snapshot ? storage::CloneViaSnapshot(g) : storage::Clone(g);
+    if (!copy.ok()) {
+      std::fprintf(stderr, "clone failed: %s\n",
+                   copy.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+             .count() *
+         1e6 / reps;
+}
+
+/// In-place percentile (sorts `samples`): the one formula both JSON
+/// emitters use, so BENCH_service.json and BENCH_server.json p50/p99
+/// stay comparable across PRs.
+inline double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  size_t index = std::min(samples->size() - 1,
+                          static_cast<size_t>(samples->size() * p));
+  return (*samples)[index];
+}
 
 /// Cache of generated corpora keyed by (content size, extra hierarchies,
 /// annotation density*10): benchmark iterations must not pay generation

@@ -56,6 +56,12 @@ HierarchyId ConcurrentHierarchies::HierarchyOf(std::string_view tag) const {
   return it == element_owner_.end() ? kInvalidHierarchy : it->second;
 }
 
+std::unique_ptr<ConcurrentHierarchies> ConcurrentHierarchies::Clone()
+    const {
+  return std::unique_ptr<ConcurrentHierarchies>(
+      new ConcurrentHierarchies(*this));
+}
+
 Result<std::vector<dtd::CompiledDtd>> ConcurrentHierarchies::CompileAll()
     const {
   std::vector<dtd::CompiledDtd> compiled;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,11 @@ class ConcurrentHierarchies {
   /// (`<r>` throughout the paper's figures).
   explicit ConcurrentHierarchies(std::string root_tag);
 
+  // Moves stay available (Result/unique_ptr plumbing); copies only
+  // through the explicit Clone() below.
+  ConcurrentHierarchies(ConcurrentHierarchies&&) = default;
+  ConcurrentHierarchies& operator=(ConcurrentHierarchies&&) = default;
+
   const std::string& root_tag() const { return root_tag_; }
 
   /// Registers a hierarchy. Fails when the name is taken or when any
@@ -67,7 +73,20 @@ class ConcurrentHierarchies {
   /// The returned object references this instance; keep it alive.
   Result<std::vector<dtd::CompiledDtd>> CompileAll() const;
 
+  /// Deep copy of the registry: names, DTD vocabularies (content
+  /// models, attribute lists, entities), and the element-owner index.
+  /// The clone is self-contained — nothing points back into this
+  /// instance — so it can outlive it; the structural storage::Clone
+  /// hands one to each private working copy alongside
+  /// goddag::Goddag::Clone.
+  std::unique_ptr<ConcurrentHierarchies> Clone() const;
+
  private:
+  /// Memberwise copy behind Clone(): every member is a value type, so
+  /// the default copy is already deep. Kept private so copies only
+  /// arise through the explicit, unique_ptr-returning Clone().
+  ConcurrentHierarchies(const ConcurrentHierarchies&) = default;
+
   std::string root_tag_;
   std::vector<Hierarchy> hierarchies_;
   /// element tag -> owning hierarchy (root tag excluded).

@@ -64,6 +64,28 @@ Result<NodeId> EditSession::Apply(HierarchyId h, std::string_view tag,
   return result;
 }
 
+EditSession::Mark EditSession::MarkState() const {
+  Mark mark;
+  mark.undo_depth = editor_.undo_depth();
+  mark.log_size = log_.size();
+  mark.selection = selection_;
+  return mark;
+}
+
+Status EditSession::RollbackTo(const Mark& mark) {
+  if (mark.undo_depth > editor_.undo_depth() ||
+      mark.log_size > log_.size() || mark.log_size < committed_ops_) {
+    return status::InvalidArgument(
+        "rollback mark is not a past uncommitted state of this session");
+  }
+  while (editor_.undo_depth() > mark.undo_depth) {
+    CXML_RETURN_IF_ERROR(editor_.Undo());
+  }
+  log_.resize(mark.log_size);
+  selection_ = mark.selection;
+  return Status::Ok();
+}
+
 std::vector<std::string> EditSession::PendingOps() const {
   return std::vector<std::string>(log_.begin() + committed_ops_, log_.end());
 }

@@ -28,6 +28,10 @@ class EditSession {
   Status Select(const Interval& chars);
   /// Selects the first occurrence of `needle` in the content.
   Status SelectText(std::string_view needle);
+  /// Back to the fresh-session empty selection — the group-commit
+  /// writer calls this between op-sets so no participant inherits
+  /// another's cursor.
+  void ClearSelection() { selection_ = Interval(); }
   const Interval& selection() const { return selection_; }
   std::string_view selected_text() const;
 
@@ -58,6 +62,24 @@ class EditSession {
 
   /// Operations applied since the last `Commit()`.
   std::vector<std::string> PendingOps() const;
+
+  /// A point-in-time marker over the applied-op history. The service
+  /// layer's group-commit writer takes one before each batch
+  /// participant's ops and hands it back to `RollbackTo` when any of
+  /// them fails, so one participant's partial op-set never leaks into
+  /// the shared session.
+  struct Mark {
+    size_t undo_depth = 0;
+    size_t log_size = 0;
+    Interval selection;
+  };
+  Mark MarkState() const;
+
+  /// Undoes every operation applied after `mark` (newest first) and
+  /// drops their log lines — applied and rejected alike — leaving the
+  /// session exactly as `MarkState()` saw it. Fails (without touching
+  /// anything) when `mark` is not a past state of this session.
+  Status RollbackTo(const Mark& mark);
 
   /// Marks every pending operation committed: bumps the commit sequence
   /// and fires the hooks. Returns the new sequence number.

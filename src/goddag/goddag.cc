@@ -203,6 +203,12 @@ bool Goddag::Before(NodeId a, NodeId b) const {
   return a < b;
 }
 
+Goddag Goddag::Clone(const cmh::ConcurrentHierarchies* cmh) const {
+  Goddag copy(*this);
+  if (cmh != nullptr) copy.cmh_ = cmh;
+  return copy;
+}
+
 void Goddag::SortDocumentOrder(std::vector<NodeId>* nodes) const {
   std::sort(nodes->begin(), nodes->end(),
             [this](NodeId a, NodeId b) { return Before(a, b); });

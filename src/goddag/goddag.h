@@ -68,7 +68,6 @@ class Goddag {
   Goddag(std::string content, size_t num_hierarchies,
          std::string root_tag = "r");
 
-  Goddag(const Goddag&) = delete;
   Goddag& operator=(const Goddag&) = delete;
   Goddag(Goddag&&) = default;
   Goddag& operator=(Goddag&&) = default;
@@ -201,9 +200,29 @@ class Goddag {
   /// (validate.cc)
   Status Validate() const;
 
+  // ---------------------------------------------------------- cloning
+  /// Native structural deep copy: duplicates the shared content, the
+  /// leaf layer, every per-hierarchy tree, and the node/edge arenas
+  /// directly — no serializer round trip. NodeIds are arena indices,
+  /// so they carry over verbatim: a node id valid in `*this` names the
+  /// corresponding node in the copy, which is what edit::EditSession
+  /// and the XPath overlap axes rely on (they never need remapping).
+  /// Detached nodes are copied too, keeping the arenas aligned.
+  ///
+  /// `cmh` is the binding for the copy — pass the clone's own CMH
+  /// (see storage::Clone, which pairs this with a CMH registry clone),
+  /// or nullptr to share this GODDAG's binding. (goddag.cc)
+  Goddag Clone(const cmh::ConcurrentHierarchies* cmh = nullptr) const;
+
  private:
   friend class Builder;
   friend class ::cxml::sacx::GoddagHandler;
+
+  /// Memberwise copy behind Clone() — every member is a value type
+  /// (arenas indexed by NodeId), so the default copy is already deep
+  /// and automatically covers members added later. Private so copies
+  /// only arise through the explicit Clone().
+  Goddag(const Goddag&) = default;
 
   NodeId AllocNode(NodeKind kind);
   /// The leaf whose char range contains `offset` (binary search).

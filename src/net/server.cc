@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,11 @@ struct Server::Conn {
   /// Survives fd.Close() so the conns_ map entry can still be erased.
   const int fd_number;
   FrameDecoder decoder;
+  /// Last moment bytes arrived or response bytes drained — the
+  /// read/idle deadline's clock. Poll-thread only (accept, read, and
+  /// flush all happen there), so it needs no lock.
+  std::chrono::steady_clock::time_point last_activity =
+      std::chrono::steady_clock::now();
 
   std::mutex mu;
   /// Decoded request payloads awaiting a worker (FIFO per connection:
@@ -33,6 +40,11 @@ struct Server::Conn {
   std::deque<std::string> requests;
   /// At most one worker drains `requests` at a time.
   bool worker_active = false;
+  /// Set (under `mu`) each time a worker finishes a request; the idle
+  /// sweep converts it into an activity refresh, so the deadline clock
+  /// measurably restarts when in-flight work completes — even though
+  /// the sweep runs before that work's response is flushed.
+  bool completed_work = false;
   /// Rendered response frames awaiting POLLOUT, from `out_offset` on.
   std::string outbox;
   size_t out_offset = 0;
@@ -121,6 +133,10 @@ void Server::PollLoop() {
   // triggered POLLIN that accept can't clear.
   bool accept_backoff = false;
   while (!stopping_.load()) {
+    // Enforce the read/idle deadline first so expired connections are
+    // gone before this round's pollfd set is built.
+    int timeout = SweepIdle();
+    if (accept_backoff) timeout = timeout < 0 ? 50 : std::min(timeout, 50);
     fds.clear();
     polled.clear();
     fds.push_back(
@@ -141,8 +157,7 @@ void Server::PollLoop() {
       }
     }
 
-    int ready = poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                     accept_backoff ? 50 : -1);
+    int ready = poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;  // unrecoverable poll failure; Stop() cleans up
@@ -173,6 +188,59 @@ void Server::PollLoop() {
       if (conn->HasOutput()) FlushTo(conn);
     }
   }
+}
+
+int Server::SweepIdle() {
+  if (options_.idle_timeout_ms <= 0) return -1;
+  const auto deadline = std::chrono::milliseconds(options_.idle_timeout_ms);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<Conn>> expired;
+  int next_ms = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fd, conn] : conns_) {
+      bool busy;
+      {
+        std::lock_guard<std::mutex> conn_lock(conn->mu);
+        // In-flight server-side work exempts the connection; a
+        // pending *outbox* deliberately does not — FlushTo refreshes
+        // the clock on real drain progress, so a peer that stops
+        // reading its response still times out (slowloris guard).
+        busy = conn->worker_active || !conn->requests.empty();
+        if (conn->completed_work) {
+          // Work finished since the last sweep (possibly with its
+          // response not yet flushed): that was activity, even though
+          // the worker can't touch the poll-thread-owned clock itself.
+          conn->completed_work = false;
+          conn->last_activity = now;
+        }
+      }
+      if (busy) {
+        // A client waiting on a slow in-flight request is not idle —
+        // the deadline clock restarts when the work finishes.
+        conn->last_activity = now;
+        continue;
+      }
+      auto idle = now - conn->last_activity;
+      if (idle >= deadline) {
+        expired.push_back(conn);
+        continue;
+      }
+      int remaining = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - idle)
+              .count()) +
+          1;
+      next_ms = next_ms < 0 ? remaining : std::min(next_ms, remaining);
+    }
+  }
+  for (const std::shared_ptr<Conn>& conn : expired) {
+    // Closing aborts any open EBEGIN transaction with the connection;
+    // in-flight workers discard their output into the dead outbox.
+    idle_disconnects_.fetch_add(1);
+    CloseConn(conn);
+  }
+  return next_ms;
 }
 
 bool Server::AcceptNew() {
@@ -218,6 +286,7 @@ void Server::ReadFrom(const std::shared_ptr<Conn>& conn) {
       close_now = true;
       break;
     }
+    conn->last_activity = std::chrono::steady_clock::now();
     Status fed =
         conn->decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
     std::string payload;
@@ -269,6 +338,9 @@ void Server::FlushTo(const std::shared_ptr<Conn>& conn) {
                        conn->outbox.size() - conn->out_offset, MSG_NOSIGNAL);
       if (n > 0) {
         conn->out_offset += static_cast<size_t>(n);
+        // A peer actively draining a large response is not idle, even
+        // if it has nothing new to ask yet.
+        conn->last_activity = std::chrono::steady_clock::now();
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -319,6 +391,7 @@ void Server::ServeConnection(std::shared_ptr<Conn> conn) {
       if (!conn->dead && !conn->close_after_flush) {
         AppendFrame(&conn->outbox, response);
       }
+      conn->completed_work = true;
     }
     responses_sent_.fetch_add(1);
     Wake();
@@ -384,20 +457,26 @@ Result<std::string> Server::DoQuery(const Request& request) {
 }
 
 Result<std::string> Server::DoEdit(const Request& request) {
-  CXML_ASSIGN_OR_RETURN(service::EditTransaction txn,
-                        store_->BeginEdit(request.document));
-  for (const EditOp& op : request.ops) {
-    if (op.kind == EditOp::Kind::kSelect) {
-      CXML_RETURN_IF_ERROR(txn.session().Select(op.chars));
-    } else {
-      CXML_RETURN_IF_ERROR(
-          txn.session().Apply(op.hierarchy, op.tag).status());
-    }
-  }
-  // An optimistic conflict propagates as ERR FailedPrecondition — the
-  // remote client sees exactly what an in-process committer would.
-  CXML_ASSIGN_OR_RETURN(uint64_t version, txn.Commit());
-  return RenderVersion(version);
+  // The op-set joins the document's writer pipeline: grouped with
+  // other pending EDITs into one clone + one publish + one cache
+  // invalidation. A failing op (prevalidation, overlap, range) fails
+  // only this op-set — as ERR with the op's own status — while the
+  // rest of the batch commits.
+  service::EditResponse response = service_->ExecuteEdit(
+      request.document,
+      [ops = request.ops](edit::EditSession& session) -> Status {
+        for (const EditOp& op : ops) {
+          if (op.kind == EditOp::Kind::kSelect) {
+            CXML_RETURN_IF_ERROR(session.Select(op.chars));
+          } else {
+            CXML_RETURN_IF_ERROR(
+                session.Apply(op.hierarchy, op.tag).status());
+          }
+        }
+        return Status::Ok();
+      });
+  if (!response.ok()) return response.status;
+  return RenderVersion(response.version);
 }
 
 Result<std::string> Server::DoEditBegin(Conn* conn,
@@ -439,10 +518,15 @@ Result<std::string> Server::DoEditCommit(Conn* conn) {
   }
   // Win or lose, the transaction is finished for this connection — a
   // conflicting (FailedPrecondition) commit cannot retry; the client
-  // starts over from the new base, as in-process losers do.
+  // starts over from the new base, as in-process losers do. The commit
+  // itself queues behind the document's pending pipeline writes (FIFO),
+  // so a group commit the client observed stays observed.
   std::unique_ptr<service::EditTransaction> txn = std::move(conn->txn);
-  CXML_ASSIGN_OR_RETURN(uint64_t version, txn->Commit());
-  return RenderVersion(version);
+  std::string document = txn->document();
+  service::EditResponse response =
+      service_->SubmitCommit(std::move(document), std::move(txn)).get();
+  if (!response.ok()) return response.status;
+  return RenderVersion(response.version);
 }
 
 Result<std::string> Server::DoEditAbort(Conn* conn) {
@@ -465,6 +549,15 @@ Result<std::string> Server::DoStat() {
                             static_cast<unsigned long long>(stats.batches)));
   items.push_back(StrFormat("service_errors %llu",
                             static_cast<unsigned long long>(stats.errors)));
+  items.push_back(StrFormat(
+      "write_edits %llu",
+      static_cast<unsigned long long>(stats.writes.edits)));
+  items.push_back(StrFormat(
+      "write_batches %llu",
+      static_cast<unsigned long long>(stats.writes.batches)));
+  items.push_back(StrFormat(
+      "write_retries %llu",
+      static_cast<unsigned long long>(stats.writes.retries)));
   items.push_back(StrFormat("cache_hits %llu",
                             static_cast<unsigned long long>(stats.cache.hits)));
   items.push_back(
@@ -488,6 +581,9 @@ Result<std::string> Server::DoStat() {
   items.push_back(StrFormat(
       "server_request_errors %llu",
       static_cast<unsigned long long>(request_errors_.load())));
+  items.push_back(StrFormat(
+      "server_idle_disconnects %llu",
+      static_cast<unsigned long long>(idle_disconnects_.load())));
   return RenderItems(items, 0, false);
 }
 
@@ -498,6 +594,7 @@ ServerStats Server::stats() const {
   stats.responses_sent = responses_sent_.load();
   stats.protocol_errors = protocol_errors_.load();
   stats.request_errors = request_errors_.load();
+  stats.idle_disconnects = idle_disconnects_.load();
   return stats;
 }
 

@@ -31,6 +31,13 @@ struct ServerOptions {
   /// read-mostly edge exposed to untrusted clients should not accept
   /// document uploads.
   bool allow_register = true;
+  /// Per-connection read/idle deadline: a connection on which no bytes
+  /// arrive, no response bytes drain, and no request is in flight for
+  /// this long is closed (its open EBEGIN transaction aborts with it),
+  /// so half-open peers and idle keepalives cannot pin fds forever —
+  /// while a client waiting on a slow query is never reaped
+  /// mid-request. 0 disables the deadline.
+  int idle_timeout_ms = 0;
 };
 
 struct ServerStats {
@@ -41,6 +48,8 @@ struct ServerStats {
   uint64_t protocol_errors = 0;
   /// Well-framed requests answered with an ERR payload.
   uint64_t request_errors = 0;
+  /// Connections closed by the read/idle deadline.
+  uint64_t idle_disconnects = 0;
 };
 
 /// The CXP/1 network front-end: one poll(2) loop owns every socket
@@ -56,10 +65,21 @@ struct ServerStats {
 /// parallel. The connection also carries protocol state across
 /// frames: an EBEGIN'd EditTransaction lives on it until ECOMMIT /
 /// EABORT / disconnect, which is what lets a remote editor observe an
-/// optimistic conflict with a commit that landed in between. Workers never touch sockets: they append rendered frames
+/// optimistic conflict with a commit that landed in between.
+///
+/// Writes route through the service's per-document WritePipeline:
+/// single-frame EDITs join the document's group commit (one clone +
+/// one publish + one cache invalidation per batch), and ECOMMIT
+/// queues the connection's cross-frame transaction behind the
+/// document's pending writes — FIFO per document, with stale bases
+/// still losing deterministically as ERR FailedPrecondition.
+///
+/// Workers never touch sockets: they append rendered frames
 /// to the connection's outbox and wake the poll loop, which flushes
 /// under POLLOUT. A malformed frame gets one ERR frame and a close —
 /// framing is unrecoverable once the length prefix is untrustworthy.
+/// An optional read/idle deadline (ServerOptions::idle_timeout_ms)
+/// closes connections that neither deliver bytes nor drain responses.
 class Server {
  public:
   Server(service::DocumentStore* store, service::QueryService* service,
@@ -87,6 +107,10 @@ class Server {
   /// Poll-thread helpers. AcceptNew returns false when accept() failed
   /// hard (fd exhaustion) and the poll loop should back off briefly.
   bool AcceptNew();
+  /// Closes connections whose read/idle deadline expired; returns the
+  /// poll timeout (ms) until the next deadline, or -1 when the
+  /// deadline is disabled or no connection is open.
+  int SweepIdle();
   void ReadFrom(const std::shared_ptr<Conn>& conn);
   void FlushTo(const std::shared_ptr<Conn>& conn);
   void CloseConn(const std::shared_ptr<Conn>& conn);
@@ -127,6 +151,7 @@ class Server {
   std::atomic<uint64_t> responses_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> request_errors_{0};
+  std::atomic<uint64_t> idle_disconnects_{0};
 
   /// Declared last so workers stop before the state above dies.
   std::unique_ptr<service::ThreadPool> workers_;

@@ -21,7 +21,8 @@ namespace cxml::service {
 class DocumentStore;
 
 /// A copy-on-write edit over one document: `BeginEdit` clones the
-/// current snapshot (storage::Clone round trip), the caller mutates the
+/// current snapshot (the structural storage::Clone — an in-memory
+/// arena copy, no serializer round trip), the caller mutates the
 /// private copy through the prevalidating `edit::EditSession`, and
 /// `Commit()` publishes it as the next version. Readers holding the old
 /// snapshot are never blocked and never observe partial edits.

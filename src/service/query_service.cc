@@ -11,7 +11,11 @@ namespace cxml::service {
 QueryService::QueryService(DocumentStore* store, QueryServiceOptions options)
     : store_(store),
       cache_(options.cache_capacity),
-      pool_(options.num_threads) {
+      pool_(options.num_threads),
+      write_pool_(options.num_write_threads == 0
+                      ? 1
+                      : options.num_write_threads),
+      pipeline_(store, &write_pool_) {
   listener_id_ = store_->AddVersionListener(
       [this](const std::string& name, uint64_t version) {
         cache_.InvalidateBelow(name, version);
@@ -19,10 +23,26 @@ QueryService::QueryService(DocumentStore* store, QueryServiceOptions options)
 }
 
 QueryService::~QueryService() {
-  // Drain in-flight batches first so no worker touches the cache or the
-  // pending map mid-destruction, then detach from the store.
+  // Drain in-flight batches (read and write alike) first so no worker
+  // touches the cache, the pending maps, or the pipeline
+  // mid-destruction, then detach from the store.
   pool_.Shutdown();
+  write_pool_.Shutdown();
   store_->RemoveVersionListener(listener_id_);
+}
+
+std::future<EditResponse> QueryService::SubmitEdit(std::string document,
+                                                   EditFn apply) {
+  return pipeline_.SubmitEdit(std::move(document), std::move(apply));
+}
+
+EditResponse QueryService::ExecuteEdit(std::string document, EditFn apply) {
+  return SubmitEdit(std::move(document), std::move(apply)).get();
+}
+
+std::future<EditResponse> QueryService::SubmitCommit(
+    std::string document, std::unique_ptr<EditTransaction> txn) {
+  return pipeline_.SubmitCommit(std::move(document), std::move(txn));
 }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
@@ -171,6 +191,7 @@ ServiceStats QueryService::stats() const {
     s.errors = errors_;
   }
   s.cache = cache_.stats();
+  s.writes = pipeline_.stats();
   return s;
 }
 

@@ -15,6 +15,7 @@
 #include "service/document_store.h"
 #include "service/query_cache.h"
 #include "service/thread_pool.h"
+#include "service/write_pipeline.h"
 
 namespace cxml::xpath {
 class XPathEngine;
@@ -48,6 +49,8 @@ struct ServiceStats {
   uint64_t batches = 0;
   uint64_t errors = 0;
   CacheStats cache;
+  /// Writer-pipeline counters (group commits, retries, errors).
+  WriteStats writes;
 
   /// Requests served per snapshot pin — the batching win.
   double avg_batch_size() const {
@@ -58,6 +61,13 @@ struct ServiceStats {
 struct QueryServiceOptions {
   size_t num_threads = 4;
   size_t cache_capacity = 1024;
+  /// Workers draining the per-document writer queues. Kept separate
+  /// from the read pool so a group commit never waits behind a burst
+  /// of cold queries (which would put pool queueing delay, not write
+  /// work, in the commit tail). One writer thread suffices for most
+  /// loads because batching absorbs bursts; raise it when many
+  /// distinct documents take writes concurrently.
+  size_t num_write_threads = 1;
 };
 
 /// Executes Extended XPath / XQuery requests against DocumentStore
@@ -72,6 +82,14 @@ struct QueryServiceOptions {
 /// kind)-keyed LRU cache; a DocumentStore version listener invalidates
 /// a document's stale entries the moment an edit::Session commit
 /// publishes a new version.
+///
+/// Writes batch symmetrically through the per-document WritePipeline
+/// (SubmitEdit / SubmitCommit), drained by a dedicated writer lane
+/// (ThreadPool of num_write_threads) so commits never queue behind
+/// cold reads: a writer claims every pending op-set for a document,
+/// clones once (structural storage::Clone) and publishes one group
+/// commit — so N queued edits cost one clone + one version bump + one
+/// cache invalidation instead of N.
 class QueryService {
  public:
   explicit QueryService(DocumentStore* store, QueryServiceOptions options =
@@ -90,9 +108,23 @@ class QueryService {
   /// Submits all requests, waits for all responses (same order).
   std::vector<QueryResponse> ExecuteAll(std::vector<QueryRequest> requests);
 
+  /// Routes a write through the per-document writer pipeline: FIFO
+  /// with the document's other pending writes, grouped into one clone
+  /// + one publish + one cache invalidation per batch. `apply` must
+  /// tolerate re-execution (see EditFn): a publish race lost to a
+  /// direct BeginEdit committer re-applies the batch on the new base.
+  std::future<EditResponse> SubmitEdit(std::string document, EditFn apply);
+  /// Synchronous convenience: SubmitEdit + wait.
+  EditResponse ExecuteEdit(std::string document, EditFn apply);
+  /// Queues an EBEGIN-style transaction's commit behind the document's
+  /// pending writes; optimistic conflicts surface unchanged.
+  std::future<EditResponse> SubmitCommit(
+      std::string document, std::unique_ptr<EditTransaction> txn);
+
   ServiceStats stats() const;
   QueryCache& cache() { return cache_; }
   DocumentStore& store() { return *store_; }
+  WritePipeline& pipeline() { return pipeline_; }
 
  private:
   struct Pending {
@@ -121,8 +153,14 @@ class QueryService {
   uint64_t batches_ = 0;
   uint64_t errors_ = 0;
 
-  /// Declared last: workers must stop before the state above dies.
+  /// Declared after the query state: workers must stop before the
+  /// state above dies (the destructor's Shutdown drains them).
   ThreadPool pool_;
+  /// The writer lane: its own (small) pool so commits never queue
+  /// behind cold reads. Declared before the pipeline that submits to
+  /// it; ~QueryService shuts both pools down before members die.
+  ThreadPool write_pool_;
+  WritePipeline pipeline_;
 };
 
 }  // namespace cxml::service

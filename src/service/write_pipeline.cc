@@ -1,0 +1,256 @@
+#include "service/write_pipeline.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cxml::service {
+
+namespace {
+
+/// How often a batch is re-applied on a fresh base after losing the
+/// optimistic publish to a direct (non-pipeline) committer. Pipeline
+/// writes for one document are already serialized, so conflicts only
+/// come from in-process BeginEdit users racing the pipeline — rare,
+/// and each retry starts from the version that beat us.
+constexpr int kMaxPublishAttempts = 4;
+
+}  // namespace
+
+WritePipeline::WritePipeline(DocumentStore* store, ThreadPool* pool)
+    : store_(store), pool_(pool) {}
+
+std::future<EditResponse> WritePipeline::SubmitEdit(std::string document,
+                                                    EditFn apply) {
+  PendingWrite entry;
+  entry.apply = std::move(apply);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++edits_;
+  }
+  return Enqueue(document, std::move(entry));
+}
+
+std::future<EditResponse> WritePipeline::SubmitCommit(
+    std::string document, std::unique_ptr<EditTransaction> txn) {
+  PendingWrite entry;
+  entry.txn = std::move(txn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++commits_;
+  }
+  return Enqueue(document, std::move(entry));
+}
+
+std::future<EditResponse> WritePipeline::Enqueue(const std::string& document,
+                                                 PendingWrite entry) {
+  std::future<EditResponse> future = entry.promise.get_future();
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_[document].push_back(std::move(entry));
+    schedule = scheduled_.insert(document).second;
+  }
+  if (schedule &&
+      !pool_->Submit([this, document] { ServeDocument(document); })) {
+    // Pool already shut down: fail every queued write for the document
+    // instead of hanging its futures.
+    FailQueuedWrites(document);
+  }
+  return future;
+}
+
+void WritePipeline::FailQueuedWrites(const std::string& document) {
+  std::deque<PendingWrite> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduled_.erase(document);
+    auto it = pending_.find(document);
+    if (it != pending_.end()) {
+      orphans.swap(it->second);
+      pending_.erase(it);
+    }
+  }
+  for (PendingWrite& orphan : orphans) {
+    Fail(&orphan,
+         status::FailedPrecondition("write pipeline is shut down"));
+  }
+}
+
+void WritePipeline::ServeDocument(const std::string& document) {
+  // Claim the document's entire pending queue as one batch.
+  std::deque<PendingWrite> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(document);
+    if (it == pending_.end() || it->second.empty()) {
+      if (it != pending_.end()) pending_.erase(it);
+      scheduled_.erase(document);
+      return;
+    }
+    batch.swap(it->second);
+  }
+
+  // Preserve FIFO while splitting the claim into runs: consecutive
+  // grouped entries share one clone + one group commit; an exclusive
+  // (cross-frame) commit holds its own clone and runs alone in its
+  // queue position.
+  std::deque<PendingWrite> group;
+  auto flush_group = [&] {
+    if (!group.empty()) RunGroup(document, &group);
+    group.clear();
+  };
+  for (PendingWrite& entry : batch) {
+    if (entry.apply != nullptr) {
+      group.push_back(std::move(entry));
+    } else {
+      flush_group();
+      RunExclusive(&entry);
+    }
+  }
+  flush_group();
+
+  // Yield the worker between batches instead of looping: writes that
+  // arrived meanwhile are served by a fresh pool task, so on a small
+  // writer pool one hot document round-robins with the others rather
+  // than starving them.
+  bool resubmit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(document);
+    if (it == pending_.end() || it->second.empty()) {
+      if (it != pending_.end()) pending_.erase(it);
+      scheduled_.erase(document);
+    } else {
+      resubmit = true;
+    }
+  }
+  if (resubmit &&
+      !pool_->Submit([this, document] { ServeDocument(document); })) {
+    FailQueuedWrites(document);
+  }
+}
+
+void WritePipeline::RunGroup(const std::string& document,
+                             std::deque<PendingWrite>* group) {
+  std::vector<Status> statuses(group->size());
+  for (int attempt = 1;; ++attempt) {
+    auto txn = store_->BeginEdit(document);
+    if (!txn.ok()) {
+      for (PendingWrite& entry : *group) Fail(&entry, txn.status());
+      return;
+    }
+    size_t applied = 0;
+    bool corrupt = false;
+    for (size_t i = 0; i < group->size(); ++i) {
+      // Each op-set starts from the fresh-session default (no
+      // selection), exactly as if it had its own BeginEdit — a
+      // participant that applies without selecting must not inherit
+      // its batch predecessor's cursor.
+      txn->session().ClearSelection();
+      edit::EditSession::Mark mark = txn->session().MarkState();
+      Status st = (*group)[i].apply(txn->session());
+      if (st.ok()) {
+        ++applied;
+        statuses[i] = Status::Ok();
+        continue;
+      }
+      statuses[i] = std::move(st);
+      Status rollback = txn->session().RollbackTo(mark);
+      if (!rollback.ok()) {
+        // The shared copy is no longer trustworthy: abandon the clone
+        // (nothing was published) and fail the whole batch loudly.
+        for (PendingWrite& entry : *group) {
+          Fail(&entry, status::Internal(StrCat(
+                           "group-commit rollback failed, batch dropped: ",
+                           rollback.message())));
+        }
+        corrupt = true;
+        break;
+      }
+    }
+    if (corrupt) return;
+    if (applied == 0) {
+      // Every op-set failed its own way; nothing to publish, so no
+      // version bump and no listener fire.
+      for (size_t i = 0; i < group->size(); ++i) {
+        Fail(&(*group)[i], std::move(statuses[i]));
+      }
+      return;
+    }
+
+    auto version = txn->Commit();
+    if (version.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++batches_;
+        batched_edits_ += applied;
+      }
+      for (size_t i = 0; i < group->size(); ++i) {
+        if (!statuses[i].ok()) {
+          Fail(&(*group)[i], std::move(statuses[i]));
+          continue;
+        }
+        EditResponse response;
+        response.version = *version;
+        response.batch_size = applied;
+        (*group)[i].promise.set_value(std::move(response));
+      }
+      return;
+    }
+    if (version.status().code() == StatusCode::kFailedPrecondition &&
+        attempt < kMaxPublishAttempts) {
+      // A direct BeginEdit committer published between our clone and
+      // our publish; the clone is stale. Re-apply everything (failed
+      // op-sets included — the new base may accept them) on a fresh
+      // clone of the winner's version.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++retries_;
+      continue;
+    }
+    for (size_t i = 0; i < group->size(); ++i) {
+      Fail(&(*group)[i], statuses[i].ok() ? version.status()
+                                          : std::move(statuses[i]));
+    }
+    return;
+  }
+}
+
+void WritePipeline::RunExclusive(PendingWrite* entry) {
+  auto version = entry->txn->Commit();
+  if (!version.ok()) {
+    // Deterministic: a stale cross-frame transaction must lose with
+    // FailedPrecondition no matter where it sat in the queue.
+    Fail(entry, version.status());
+    return;
+  }
+  EditResponse response;
+  response.version = *version;
+  response.batch_size = 1;
+  entry->promise.set_value(std::move(response));
+}
+
+void WritePipeline::Fail(PendingWrite* entry, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++errors_;
+  }
+  EditResponse response;
+  response.status = std::move(status);
+  entry->promise.set_value(std::move(response));
+}
+
+WriteStats WritePipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteStats stats;
+  stats.edits = edits_;
+  stats.commits = commits_;
+  stats.batches = batches_;
+  stats.batched_edits = batched_edits_;
+  stats.retries = retries_;
+  stats.errors = errors_;
+  return stats;
+}
+
+}  // namespace cxml::service

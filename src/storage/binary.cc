@@ -193,7 +193,50 @@ Result<LoadedGoddag> Load(std::string_view bytes) {
   return out;
 }
 
+namespace {
+
+/// Arena slots occupied by attached nodes: the root, the leaf layer,
+/// and every reachable element. Everything else is detachment garbage
+/// left behind by edit rollbacks and leaf coalescing (node ids are
+/// never reused within one Goddag).
+size_t LiveNodeCount(const goddag::Goddag& g) {
+  size_t live = 1 + g.num_leaves();
+  for (goddag::HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+    live += g.ElementsOf(h).size();
+  }
+  return live;
+}
+
+/// Compaction threshold: the structural clone copies the arena
+/// verbatim — detached nodes included — so without a pressure valve a
+/// long-lived document whose edits keep getting rejected (normal
+/// traffic) would grow its arena monotonically across versions. The
+/// old Save/Load clone rebuilt a clean arena every time; we keep that
+/// property amortized instead: once detached slots outnumber live
+/// ones (and the arena is big enough to care), one clone takes the
+/// snapshot path and starts the next version from a compact arena.
+bool ShouldCompact(const goddag::Goddag& g) {
+  constexpr size_t kMinArenaForCompaction = 1024;
+  size_t arena = g.arena_size();
+  return arena >= kMinArenaForCompaction && arena > 2 * LiveNodeCount(g);
+}
+
+}  // namespace
+
 Result<LoadedGoddag> Clone(const goddag::Goddag& g) {
+  if (g.cmh() == nullptr) {
+    return status::FailedPrecondition(
+        "Clone requires a GODDAG with a bound CMH (the private copy "
+        "carries its own schema)");
+  }
+  if (ShouldCompact(g)) return CloneViaSnapshot(g);
+  LoadedGoddag out;
+  out.cmh = g.cmh()->Clone();
+  out.g = std::make_unique<goddag::Goddag>(g.Clone(out.cmh.get()));
+  return out;
+}
+
+Result<LoadedGoddag> CloneViaSnapshot(const goddag::Goddag& g) {
   CXML_ASSIGN_OR_RETURN(std::string bytes, Save(g));
   auto copy = Load(bytes);
   if (!copy.ok()) return copy.status().WithContext("cloning GODDAG");

@@ -41,10 +41,25 @@ Result<std::string> Save(const goddag::Goddag& g);
 /// Reconstructs CMH + GODDAG from snapshot bytes.
 Result<LoadedGoddag> Load(std::string_view bytes);
 
-/// Deep copy of a GODDAG (with its CMH) via a Save/Load round trip — the
-/// copy-on-write primitive behind the service layer's DocumentStore:
-/// writers mutate a Clone while readers keep the published snapshot.
+/// Deep copy of a GODDAG (with its CMH) — the copy-on-write primitive
+/// behind the service layer's DocumentStore: writers mutate a Clone
+/// while readers keep the published snapshot. Structural: copies the
+/// shared leaf layer, per-hierarchy trees, and node/edge arenas
+/// in memory (goddag::Goddag::Clone + cmh Clone), never touching the
+/// serializer, so NodeIds survive verbatim and the cost is a memcpy of
+/// the arenas rather than a Save/Load round trip. Exception, for
+/// amortized hygiene: when detached arena slots (edit-rollback
+/// garbage, which the verbatim copy would otherwise carry into every
+/// future version) outnumber live nodes, the copy is taken through
+/// the snapshot path below instead, rebuilding a compact arena.
 Result<LoadedGoddag> Clone(const goddag::Goddag& g);
+
+/// The original snapshot-based deep copy (Save + Load). Kept as the
+/// equivalence oracle for the structural Clone: both must yield
+/// byte-identical CXG1 snapshots and identical query results
+/// (storage_test exercises this), and reconstruction through the
+/// drivers' extent path cross-checks the arena copy.
+Result<LoadedGoddag> CloneViaSnapshot(const goddag::Goddag& g);
 
 /// File convenience wrappers.
 Status SaveToFile(const goddag::Goddag& g, const std::string& path);

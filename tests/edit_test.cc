@@ -242,6 +242,49 @@ TEST(EditSessionTest, XTaggerWorkflow) {
   EXPECT_NE(session->log()[1].find("REJECTED <line>"), std::string::npos);
 }
 
+TEST(EditSessionTest, RollbackToMarkErasesAnOpSet) {
+  auto fixture = BoethiusFixture::Make();
+  ASSERT_NE(fixture.g, nullptr);
+  auto session = EditSession::Start(fixture.g.get());
+  ASSERT_TRUE(session.ok()) << session.status();
+  HierarchyId damage = fixture.corpus.cmh->FindIdByName("damage");
+
+  // One committed-to-be op-set...
+  ASSERT_TRUE(session->SelectText("se Wisdom").ok());
+  ASSERT_TRUE(session->Apply(damage, "dmg").ok());
+  auto before = goddag::SerializeAll(*fixture.g);
+  ASSERT_TRUE(before.ok());
+
+  // ...then a second participant's ops land after the mark: one
+  // applied, one rejected (both leave log lines).
+  EditSession::Mark mark = session->MarkState();
+  ASSERT_TRUE(session->SelectText("asungen").ok());
+  ASSERT_TRUE(session->Apply(damage, "dmg").ok());
+  HierarchyId physical = fixture.corpus.cmh->FindIdByName("physical");
+  EXPECT_FALSE(session->Apply(physical, "line").ok());
+  EXPECT_EQ(session->PendingOps().size(), 3u);
+
+  // Rolling back to the mark undoes the applied op and drops the
+  // participant's log lines, restoring the exact marked state —
+  // selection included.
+  ASSERT_TRUE(session->RollbackTo(mark).ok());
+  EXPECT_EQ(session->PendingOps().size(), 1u);
+  EXPECT_EQ(session->selection(), mark.selection);
+  EXPECT_EQ(session->selected_text(), "se Wisdom");
+  EXPECT_TRUE(fixture.g->Validate().ok());
+  auto after = goddag::SerializeAll(*fixture.g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+
+  // A mark from the future (or another session) is rejected untouched.
+  EditSession::Mark bogus;
+  bogus.undo_depth = 99;
+  bogus.log_size = 99;
+  EXPECT_EQ(session->RollbackTo(bogus).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->PendingOps().size(), 1u);
+}
+
 TEST(EditSessionTest, SelectionValidation) {
   auto fixture = BoethiusFixture::Make();
   auto session = EditSession::Start(fixture.g.get());

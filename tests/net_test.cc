@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -551,6 +552,112 @@ TEST_F(NetTest, ConcurrentClients) {
             static_cast<uint64_t>(kClients * kQueriesPerClient));
   EXPECT_EQ(stats.responses_sent, stats.frames_received);
   EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST_F(NetTest, ConcurrentEditsGroupCommitWithoutConflicts) {
+  // Disjoint gaps, precomputed against version 1. Before the writer
+  // pipeline, concurrent single-frame EDITs raced BeginEdit/Commit and
+  // some lost with FailedPrecondition; pipelined, they serialize into
+  // group commits and every one of them lands.
+  constexpr int kEditors = 6;
+  std::vector<Interval> gaps;
+  size_t a0_before = 0;
+  {
+    auto snap = store_.GetSnapshot("ms");
+    ASSERT_TRUE(snap.ok());
+    a0_before = (*snap)->goddag->ElementsByTag("a0").size();
+    size_t from = 0;
+    for (int i = 0; i < kEditors; ++i) {
+      size_t offset = FindFreeA0Gap(*(*snap)->goddag, from, 40);
+      gaps.push_back(Interval(offset, offset + 40));
+      from = offset + 41;
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> max_version{0};
+  std::vector<std::thread> editors;
+  editors.reserve(kEditors);
+  for (int c = 0; c < kEditors; ++c) {
+    editors.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto version = client->Edit(
+          "ms", {EditOp::Select(gaps[c].begin, gaps[c].end),
+                 EditOp::Apply(2, "a0")});
+      if (!version.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t seen = *version;
+      uint64_t prev = max_version.load();
+      while (seen > prev &&
+             !max_version.compare_exchange_weak(prev, seen)) {
+      }
+    });
+  }
+  for (std::thread& t : editors) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  uint64_t final_version = store_.GetVersion("ms").value_or(0);
+  EXPECT_EQ(final_version, max_version.load());
+  // Group commit: at most one version per edit, at least one overall.
+  EXPECT_GE(final_version, 2u);
+  EXPECT_LE(final_version, 1u + kEditors);
+
+  auto snap = store_.GetSnapshot("ms");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE((*snap)->goddag->Validate().ok());
+  // Every annotation landed despite the concurrency — none were lost
+  // to optimistic races.
+  EXPECT_EQ((*snap)->goddag->ElementsByTag("a0").size(),
+            a0_before + kEditors);
+  Client reader = Connect();
+  auto count = reader.Query("ms", "count(//a0)",
+                            service::QueryKind::kXPath);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(std::stoul(count->items[0]), a0_before + kEditors);
+  EXPECT_GE(service_->stats().writes.edits,
+            static_cast<uint64_t>(kEditors));
+}
+
+TEST_F(NetTest, IdleConnectionsAreClosedActiveOnesSurvive) {
+  service::DocumentStore store;
+  ASSERT_TRUE(store.RegisterBytes("ms", CorpusBytes()).ok());
+  service::QueryService service(&store, {2, 64});
+  ServerOptions options;
+  // Generous vs the 50ms ping cadence below: only a >400ms scheduler
+  // stall could spuriously reap the active client on a loaded runner.
+  options.idle_timeout_ms = 450;
+  Server server(&store, &service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // An active client outlives several deadline windows: each PING
+  // refreshes its read-activity clock.
+  auto active = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(active.ok());
+  // A silent connection (never sends a byte) is reaped by the deadline;
+  // the blocking recv sees the server-side close as EOF.
+  auto idle = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(idle.ok()) << idle.status();
+
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(active->Ping().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  char buffer[64];
+  auto n = RecvSome(*idle, buffer, sizeof(buffer));
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 0u) << "idle connection was not closed by the deadline";
+  EXPECT_GE(server.stats().idle_disconnects, 1u);
+
+  // The survivor is still healthy after the reap.
+  EXPECT_TRUE(active->Ping().ok());
+  server.Stop();
 }
 
 TEST_F(NetTest, ServerStopsCleanlyWithLiveConnections) {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -413,6 +416,221 @@ TEST_F(ServiceTest, TrafficGeneratorDrivesService) {
   EXPECT_GT(commits, 0u);
   EXPECT_EQ(store_.GetVersion("ms").value_or(0), 1u + commits);
   EXPECT_GT(service.cache().stats().hits, 0u);
+}
+
+// ----------------------------------------------------- writer pipeline
+
+/// An EditFn inserting one <a0> over `chars` (hierarchy 2, like
+/// CommitAnnotation, but pipeline-shaped).
+EditFn InsertA0(Interval chars) {
+  return [chars](edit::EditSession& session) -> Status {
+    CXML_RETURN_IF_ERROR(session.Select(chars));
+    return session.Apply(2, "a0").status();
+  };
+}
+
+/// Blocks the pipeline's single per-document lane inside an apply so
+/// the test can pile writes into the next batch deterministically.
+struct PipelineGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool released = false;
+
+  EditFn Blocker() {
+    return [this](edit::EditSession&) -> Status {
+      std::unique_lock<std::mutex> lock(mu);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [this] { return released; });
+      return Status::Ok();
+    };
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+TEST_F(ServiceTest, WriterPipelineAppliesInSubmissionOrder) {
+  QueryService service(&store_, {2, 64});
+  constexpr int kWrites = 16;
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  std::vector<std::future<EditResponse>> futures;
+  for (int i = 0; i < kWrites; ++i) {
+    futures.push_back(service.SubmitEdit(
+        "ms", [i, &order_mu, &order](edit::EditSession&) -> Status {
+          std::lock_guard<std::mutex> lock(order_mu);
+          order.push_back(i);
+          return Status::Ok();
+        }));
+  }
+  uint64_t last_version = 0;
+  for (auto& future : futures) {
+    EditResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status;
+    EXPECT_GE(response.version, last_version)
+        << "versions must be monotone in submission order";
+    last_version = response.version;
+  }
+  // Per-document FIFO: op-sets ran exactly in submission order even
+  // though batching regrouped them.
+  ASSERT_EQ(order.size(), static_cast<size_t>(kWrites));
+  for (int i = 0; i < kWrites; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(ServiceTest, GroupCommitPublishesOnceAndInvalidatesOnce) {
+  QueryService service(&store_, {2, 64});
+  constexpr int kBatched = 6;
+
+  std::mutex fired_mu;
+  std::vector<uint64_t> fired;
+  uint64_t listener = store_.AddVersionListener(
+      [&](const std::string&, uint64_t version) {
+        std::lock_guard<std::mutex> lock(fired_mu);
+        fired.push_back(version);
+      });
+
+  PipelineGate gate;
+  auto blocker = service.SubmitEdit("ms", gate.Blocker());
+  gate.AwaitEntered();
+
+  // These all queue while the lane is blocked, so they form one batch:
+  // one structural clone, one publish, one listener fire. The gaps are
+  // mutually disjoint and clear of existing <a0>s, so every op-set
+  // applies.
+  auto snap = store_.GetSnapshot("ms");
+  ASSERT_TRUE(snap.ok());
+  std::vector<std::future<EditResponse>> futures;
+  size_t from = 0;
+  for (int i = 0; i < kBatched; ++i) {
+    size_t offset = FindFreeA0Gap(*(*snap)->goddag, from, kAnnotationLen);
+    from = offset + kAnnotationLen + 1;
+    futures.push_back(service.SubmitEdit(
+        "ms", InsertA0(Interval(offset, offset + kAnnotationLen))));
+  }
+  gate.Release();
+  ASSERT_TRUE(blocker.get().ok());
+
+  uint64_t batch_version = 0;
+  for (auto& future : futures) {
+    EditResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status;
+    if (batch_version == 0) batch_version = response.version;
+    EXPECT_EQ(response.version, batch_version)
+        << "batched op-sets must share one published version";
+    EXPECT_EQ(response.batch_size, static_cast<size_t>(kBatched));
+  }
+  store_.RemoveVersionListener(listener);
+
+  // Exactly two publishes: the blocker's batch and the grouped batch.
+  {
+    std::lock_guard<std::mutex> lock(fired_mu);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], 2u);
+    EXPECT_EQ(fired[1], 3u);
+  }
+  EXPECT_EQ(store_.GetVersion("ms").value_or(0), 3u);
+  auto final_snap = store_.GetSnapshot("ms");
+  ASSERT_TRUE(final_snap.ok());
+  EXPECT_TRUE((*final_snap)->goddag->Validate().ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.writes.edits, static_cast<uint64_t>(kBatched) + 1);
+  EXPECT_EQ(stats.writes.batches, 2u);
+  EXPECT_GT(stats.writes.avg_batch_size(), 1.0);
+}
+
+TEST_F(ServiceTest, FailedOpSetDoesNotPoisonTheBatch) {
+  QueryService service(&store_, {2, 64});
+
+  QueryResponse before =
+      service.Execute({"ms", "count(//a0)", QueryKind::kXPath});
+  ASSERT_TRUE(before.ok());
+  int a0_before = std::stoi((*before.items)[0]);
+
+  PipelineGate gate;
+  auto blocker = service.SubmitEdit("ms", gate.Blocker());
+  gate.AwaitEntered();
+
+  auto snap = store_.GetSnapshot("ms");
+  ASSERT_TRUE(snap.ok());
+  size_t offset =
+      FindFreeA0Gap(*(*snap)->goddag, 0, 2 * kAnnotationLen + 20);
+  Interval good_a(offset, offset + kAnnotationLen);
+  // Straddles good_a's end: a same-hierarchy partial overlap, rejected
+  // by the GODDAG's nesting rule once good_a is applied.
+  Interval overlapping(offset + kAnnotationLen / 2,
+                       offset + kAnnotationLen + kAnnotationLen / 2);
+  size_t offset_c = FindFreeA0Gap(*(*snap)->goddag,
+                                  offset + 2 * kAnnotationLen + 20,
+                                  kAnnotationLen);
+  Interval good_c(offset_c, offset_c + kAnnotationLen);
+
+  auto a = service.SubmitEdit("ms", InsertA0(good_a));
+  auto b = service.SubmitEdit("ms", InsertA0(overlapping));
+  auto c = service.SubmitEdit("ms", InsertA0(good_c));
+  gate.Release();
+  ASSERT_TRUE(blocker.get().ok());
+
+  EditResponse response_a = a.get();
+  EditResponse response_b = b.get();
+  EditResponse response_c = c.get();
+  ASSERT_TRUE(response_a.ok()) << response_a.status;
+  ASSERT_TRUE(response_c.ok()) << response_c.status;
+  // The loser failed alone, with the edit layer's own status, and the
+  // survivors shared one publish.
+  EXPECT_EQ(response_b.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(response_b.version, 0u);
+  EXPECT_EQ(response_a.version, response_c.version);
+  EXPECT_EQ(response_a.batch_size, 2u);
+
+  QueryResponse after =
+      service.Execute({"ms", "count(//a0)", QueryKind::kXPath});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(std::stoi((*after.items)[0]), a0_before + 2);
+  auto final_snap = store_.GetSnapshot("ms");
+  ASSERT_TRUE(final_snap.ok());
+  EXPECT_TRUE((*final_snap)->goddag->Validate().ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.writes.errors, 1u);
+}
+
+TEST_F(ServiceTest, PipelinedCommitKeepsOptimisticConflict) {
+  QueryService service(&store_, {2, 64});
+
+  // A cross-frame-style transaction branches from version 1...
+  auto txn = store_.BeginEdit("ms");
+  ASSERT_TRUE(txn.ok()) << txn.status();
+  size_t offset = FindFreeA0Gap(txn->goddag(), 0, kAnnotationLen);
+  ASSERT_TRUE(
+      txn->session().Select(Interval(offset, offset + kAnnotationLen)).ok());
+  ASSERT_TRUE(txn->session().Apply(2, "a0").ok());
+
+  // ...a pipelined group commit publishes version 2 in between...
+  size_t raced_offset = FindFreeA0Gap(txn->goddag(), 500, kAnnotationLen);
+  EditResponse raced = service.ExecuteEdit(
+      "ms",
+      InsertA0(Interval(raced_offset, raced_offset + kAnnotationLen)));
+  ASSERT_TRUE(raced.ok()) << raced.status;
+  EXPECT_EQ(raced.version, 2u);
+
+  // ...so the queued commit must lose deterministically, FIFO or not.
+  EditResponse lost =
+      service
+          .SubmitCommit("ms", std::make_unique<EditTransaction>(
+                                  std::move(txn).value()))
+          .get();
+  EXPECT_EQ(lost.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store_.GetVersion("ms").value_or(0), 2u);
 }
 
 TEST_F(ServiceTest, BatchedSubmissionsShareSnapshotPin) {

@@ -1,18 +1,66 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "edit/session.h"
 #include "goddag/algebra.h"
 #include "goddag/serializer.h"
 #include "sacx/goddag_handler.h"
 #include "storage/binary.h"
 #include "test_util.h"
 #include "workload/generator.h"
+#include "xpath/engine.h"
+#include "xquery/xquery.h"
 
 namespace cxml::storage {
 namespace {
 
 using ::cxml::testing::BoethiusFixture;
+
+/// The equivalence oracle (ISSUE 3): the structural Clone and the
+/// retained Save/Load CloneViaSnapshot must be indistinguishable —
+/// identical CXG1 bytes and identical Extended XPath / XQuery results.
+void ExpectCloneEquivalence(const goddag::Goddag& original,
+                            const std::vector<std::string>& xpath_queries,
+                            const std::vector<std::string>& xquery_queries) {
+  auto structural = Clone(original);
+  ASSERT_TRUE(structural.ok()) << structural.status();
+  auto oracle = CloneViaSnapshot(original);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+  EXPECT_TRUE(structural->g->Validate().ok());
+  EXPECT_EQ(structural->g->cmh(), structural->cmh.get())
+      << "structural clone must bind its own CMH copy";
+
+  auto structural_bytes = Save(*structural->g);
+  auto oracle_bytes = Save(*oracle->g);
+  auto original_bytes = Save(original);
+  ASSERT_TRUE(structural_bytes.ok() && oracle_bytes.ok() &&
+              original_bytes.ok());
+  EXPECT_EQ(*structural_bytes, *oracle_bytes);
+  EXPECT_EQ(*structural_bytes, *original_bytes);
+
+  xpath::XPathEngine structural_xpath(*structural->g);
+  xpath::XPathEngine oracle_xpath(*oracle->g);
+  for (const std::string& query : xpath_queries) {
+    auto a = structural_xpath.EvaluateToStrings(query);
+    auto b = oracle_xpath.EvaluateToStrings(query);
+    ASSERT_TRUE(a.ok()) << query << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << query << ": " << b.status();
+    EXPECT_EQ(*a, *b) << query;
+  }
+  xquery::XQueryEngine structural_xquery(*structural->g);
+  xquery::XQueryEngine oracle_xquery(*oracle->g);
+  for (const std::string& query : xquery_queries) {
+    auto a = structural_xquery.Run(query);
+    auto b = oracle_xquery.Run(query);
+    ASSERT_TRUE(a.ok()) << query << ": " << a.status();
+    ASSERT_TRUE(b.ok()) << query << ": " << b.status();
+    EXPECT_EQ(*a, *b) << query;
+  }
+}
 
 TEST(StorageTest, SaveLoadRoundTripBoethius) {
   auto fixture = BoethiusFixture::Make();
@@ -83,6 +131,108 @@ TEST(StorageTest, RejectsCorruptedInput) {
   bad_version[4] = 99;
   EXPECT_EQ(Load(bad_version).status().code(),
             StatusCode::kUnimplemented);
+}
+
+TEST(StorageTest, StructuralCloneMatchesSnapshotOracleBoethius) {
+  auto fixture = BoethiusFixture::Make();
+  ASSERT_NE(fixture.g, nullptr);
+  ExpectCloneEquivalence(
+      *fixture.g,
+      {"count(//w)", "//w[overlapping::line]", "//res", "count(//dmg)",
+       "//line"},
+      {"for $w in //w where count($w/overlapping::line) > 0 "
+       "return {string($w)}"});
+}
+
+TEST(StorageTest, StructuralCloneMatchesSnapshotOracleSynthetic) {
+  workload::GeneratorParams params;
+  params.content_chars = 5000;
+  params.extra_hierarchies = 3;
+  auto corpus = workload::GenerateManuscript(params);
+  ASSERT_TRUE(corpus.ok());
+  auto g = sacx::ParseToGoddag(*corpus->cmh, corpus->SourceViews());
+  ASSERT_TRUE(g.ok());
+  ExpectCloneEquivalence(
+      *g,
+      {"count(//w)", "//w[overlapping::line]", "count(//a0)",
+       "count(//page/line)"},
+      {"let $n := count(//s) return {string($n)}"});
+}
+
+TEST(StorageTest, StructuralCloneIsIndependent) {
+  auto fixture = BoethiusFixture::Make();
+  auto before = Save(*fixture.g);
+  ASSERT_TRUE(before.ok());
+
+  auto copy = Clone(*fixture.g);
+  ASSERT_TRUE(copy.ok()) << copy.status();
+
+  // NodeIds survive verbatim: the copy's arena mirrors the original.
+  ASSERT_EQ(copy->g->arena_size(), fixture.g->arena_size());
+  EXPECT_EQ(copy->g->root(), fixture.g->root());
+  for (goddag::NodeId node = 0; node < fixture.g->arena_size(); ++node) {
+    ASSERT_EQ(copy->g->kind(node), fixture.g->kind(node)) << node;
+    ASSERT_EQ(copy->g->tag(node), fixture.g->tag(node)) << node;
+    ASSERT_EQ(copy->g->char_range(node), fixture.g->char_range(node))
+        << node;
+  }
+
+  // The cloned CMH is self-contained and compilable: a prevalidating
+  // session starts on the copy (this is what DocumentStore::BeginEdit
+  // does with every structural clone).
+  auto session = edit::EditSession::Start(copy->g.get());
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  // Mutating the copy leaves the original byte-identical.
+  ASSERT_TRUE(copy->g->InsertText(0, "XYZ ").ok());
+  EXPECT_TRUE(copy->g->Validate().ok());
+  EXPECT_NE(copy->g->content(), fixture.g->content());
+  auto after = Save(*fixture.g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after) << "editing the clone mutated the original";
+}
+
+TEST(StorageTest, CloneCompactsDetachmentGarbage) {
+  // Edit rollbacks detach arena nodes without freeing their slots (ids
+  // are never reused). The verbatim structural copy would carry that
+  // garbage into every future version, so once detached slots
+  // outnumber live nodes Clone must route through the snapshot path
+  // and hand back a compact arena.
+  workload::GeneratorParams params;
+  params.content_chars = 2000;
+  // No pre-placed annotations: the loop's fixed a0 range stays free.
+  params.annotation_density = 0.0;
+  auto corpus = workload::GenerateManuscript(params);
+  ASSERT_TRUE(corpus.ok());
+  auto built = sacx::ParseToGoddag(*corpus->cmh, corpus->SourceViews());
+  ASSERT_TRUE(built.ok());
+  goddag::Goddag g = std::move(built).value();
+
+  auto session = edit::EditSession::Start(&g);
+  ASSERT_TRUE(session.ok()) << session.status();
+  size_t before_arena = g.arena_size();
+  for (int i = 0; i < static_cast<int>(before_arena) + 1100; ++i) {
+    ASSERT_TRUE(session->Select(Interval(5, 25)).ok());
+    auto applied = session->Apply(2, "a0");
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    ASSERT_TRUE(session->editor().Undo().ok());
+  }
+  ASSERT_GT(g.arena_size(), 2 * before_arena);
+
+  auto compacted = Clone(g);
+  ASSERT_TRUE(compacted.ok()) << compacted.status();
+  EXPECT_LT(compacted->g->arena_size(), g.arena_size());
+  EXPECT_TRUE(compacted->g->Validate().ok());
+  // Logically still the same document.
+  auto a = Save(g);
+  auto b = Save(*compacted->g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(StorageTest, StructuralCloneRequiresBoundCmh) {
+  goddag::Goddag bare("abc", 1);
+  EXPECT_EQ(Clone(bare).status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(StorageTest, FileRoundTrip) {
