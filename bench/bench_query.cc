@@ -2,177 +2,206 @@
 // XQuery are inefficient in expressing certain important information
 // needs over concurrent XML documents (e.g., requests for overlapping
 // content given two tags)"; the Extended XPath's `overlapping` axis over
-// the GODDAG answers them directly.
+// the GODDAG answers them directly — plus the PR 4 cold-path claim:
+// the goddag::SnapshotIndex turns the global axes (descendant,
+// ancestor, following, preceding, overlapping) from O(N) full scans
+// per context node into O(log N + matches) pool searches.
 //
-// Comparator: the fragmentation-encoded single DOM, where each query
-// must reassemble logical elements by joining fragments on their glue
-// ids (baseline::JoinFragments) before extents can even be compared.
+// Like bench_service/bench_server this driver has its own main and
+// emits one JSON object (stdout + BENCH_query.json) so the cold-query
+// trajectory is machine-readable across PRs:
 //
-// Series:
-//   BM_OverlapGoddagAxis/size   — //w[overlapping::line] via the engine
-//   BM_OverlapGoddagAlgebra/size— FindOverlappingPairs (index sweep)
-//   BM_OverlapBaselineJoin/size — fragment join + nested extent filter
-//   BM_StdXPathGoddag/...       — standard axes on the GODDAG
-//   BM_StdCountBaseline/size    — logical counting on the baseline (also
-//                                 needs the join)
+//   bench_query [content_chars]
+//
+// Series (all on the synthetic manuscript, 2 extra hierarchies):
+//   index_build_us          — one SnapshotIndex construction
+//   descendant_*            — //line//w, indexed vs naive-scan
+//   ancestor_*              — //w/ancestor::line, indexed vs naive-scan
+//   overlap_*               — //w[overlapping::line], indexed vs naive
+//   overlap_baseline_join_us— the fragmentation-DOM comparator, which
+//                             must reassemble logical elements by
+//                             joining fragments before extents compare
+//
+// The run aborts when indexed and naive answers disagree (the bench is
+// also an equivalence check), or when the indexed descendant axis is
+// not >= 10x faster than the naive scan at >= 20k chars — the PR 4
+// acceptance bar.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "baseline/fragment_join.h"
 #include "bench_util.h"
 #include "dom/document.h"
 #include "drivers/fragmentation.h"
-#include "goddag/algebra.h"
+#include "goddag/snapshot_index.h"
 #include "sacx/goddag_handler.h"
 #include "xpath/engine.h"
 
 namespace cxml {
 namespace {
 
-struct QueryFixture {
-  std::unique_ptr<goddag::Goddag> g;
-  std::unique_ptr<dom::Document> frag_dom;
+using Clock = std::chrono::steady_clock;
+using bench::Percentile;
+
+#define BENCH_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "BENCH CHECK FAILED: %s (%s:%d)\n", #cond,    \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count() * 1e6;
+}
+
+struct AxisSeries {
+  const char* name;
+  const char* query;
+  double cold_p50_us = 0;
+  double cold_p99_us = 0;
+  double naive_p50_us = 0;
+  double answers = 0;
+
+  double speedup() const {
+    return naive_p50_us / (cold_p50_us > 0 ? cold_p50_us : 1e-9);
+  }
 };
 
-const QueryFixture& GetFixture(size_t size) {
-  static auto* cache =
-      new std::map<size_t, std::unique_ptr<QueryFixture>>();
-  auto it = cache->find(size);
-  if (it == cache->end()) {
-    const auto& corpus = bench::GetCorpus(size, 2);
-    auto g = sacx::ParseToGoddag(*corpus.cmh, corpus.SourceViews());
-    if (!g.ok()) std::abort();
-    auto fixture = std::make_unique<QueryFixture>();
-    fixture->g =
-        std::make_unique<goddag::Goddag>(std::move(g).value());
-    auto frag = drivers::ExportFragmentation(*fixture->g);
-    if (!frag.ok()) std::abort();
-    auto dom = dom::ParseDocument(*frag);
-    if (!dom.ok()) std::abort();
-    fixture->frag_dom = std::move(dom).value();
-    it = cache->emplace(size, std::move(fixture)).first;
-  }
-  return *it->second;
-}
-
-void BM_OverlapGoddagAxis(benchmark::State& state) {
-  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
-  size_t answers = 0;
-  for (auto _ : state) {
-    // Fresh engine per iteration: include index construction, as the
-    // baseline rebuilds its join per query too.
-    xpath::XPathEngine engine(*fixture.g);
-    auto result = engine.SelectNodes("//w[overlapping::line]");
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
+/// Evaluates `query` `reps` times on `engine`, returning per-rep
+/// latencies (µs) and checking every rep agrees on the numeric answer.
+std::vector<double> TimeQuery(xpath::XPathEngine* engine,
+                              const char* query, int reps,
+                              const goddag::Goddag& g, double* answer) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Clock::time_point t0 = Clock::now();
+    auto result = engine->Evaluate(query);
+    double us = MicrosSince(t0);
+    BENCH_CHECK(result.ok());
+    double value = result->ToNumber(g);
+    if (i == 0) {
+      *answer = value;
     } else {
-      answers = result->size();
+      BENCH_CHECK(value == *answer);
     }
-    benchmark::DoNotOptimize(result);
+    samples.push_back(us);
   }
-  state.counters["answers"] = static_cast<double>(answers);
+  return samples;
 }
-BENCHMARK(BM_OverlapGoddagAxis)->Arg(2'000)->Arg(10'000)->Arg(50'000);
 
-void BM_OverlapGoddagAlgebra(benchmark::State& state) {
-  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
-  size_t answers = 0;
-  for (auto _ : state) {
-    auto pairs = goddag::FindOverlappingPairs(*fixture.g, "w", "line");
-    answers = pairs.size();
-    benchmark::DoNotOptimize(pairs);
-  }
-  state.counters["answers"] = static_cast<double>(answers);
-}
-BENCHMARK(BM_OverlapGoddagAlgebra)->Arg(2'000)->Arg(10'000)->Arg(50'000);
+int Run(size_t content_chars) {
+  const auto& corpus = bench::GetCorpus(content_chars, 2);
+  auto built = sacx::ParseToGoddag(*corpus.cmh, corpus.SourceViews());
+  BENCH_CHECK(built.ok());
+  goddag::Goddag g = std::move(built).value();
 
-void BM_OverlapBaselineJoin(benchmark::State& state) {
-  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
-  size_t answers = 0;
-  for (auto _ : state) {
-    auto joined = baseline::JoinFragments(*fixture.frag_dom);
-    auto pairs =
-        baseline::FindOverlappingPairsBaseline(joined, "w", "line");
-    answers = pairs.size();
-    benchmark::DoNotOptimize(pairs);
-  }
-  state.counters["answers"] = static_cast<double>(answers);
-}
-BENCHMARK(BM_OverlapBaselineJoin)->Arg(2'000)->Arg(10'000)->Arg(50'000);
-
-void BM_OverlapGoddagNoIndex(benchmark::State& state) {
-  // Ablation: the same overlap query with the ExtentIndex disabled —
-  // a quadratic scan over element pairs. Shows what the index buys.
-  const auto& fixture = GetFixture(static_cast<size_t>(state.range(0)));
-  const goddag::Goddag& g = *fixture.g;
-  size_t answers = 0;
-  for (auto _ : state) {
-    std::vector<goddag::NodeId> ws = g.ElementsByTag("w");
-    std::vector<goddag::NodeId> lines = g.ElementsByTag("line");
-    std::vector<std::pair<goddag::NodeId, goddag::NodeId>> pairs;
-    for (auto w : ws) {
-      for (auto line : lines) {
-        if (goddag::Overlaps(g, w, line)) pairs.emplace_back(w, line);
-      }
+  // ---- index construction cost (what one published version pays) ----
+  double index_build_us = 0;
+  {
+    constexpr int kBuildReps = 5;
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < kBuildReps; ++i) {
+      goddag::SnapshotIndex index(g);
+      BENCH_CHECK(index.num_ranked() > 0);
     }
-    answers = pairs.size();
-    benchmark::DoNotOptimize(pairs);
+    index_build_us = MicrosSince(t0) / kBuildReps;
   }
-  state.counters["answers"] = static_cast<double>(answers);
-}
-BENCHMARK(BM_OverlapGoddagNoIndex)->Arg(2'000)->Arg(10'000)->Arg(50'000);
 
-void BM_StdXPathGoddag(benchmark::State& state) {
-  const auto& fixture = GetFixture(10'000);
-  static const char* kQueries[] = {
-      "count(//w)",
-      "count(/r/page/line)",
-      "count(//s[@n='3']/w)",
-      "string(//line[2])",
-      "count(//w[string-length(string(.)) > 5])",
+  // ---- cold axes: indexed (snapshot-resident) vs naive scans ----
+  // The indexed engine shares one prebuilt index, exactly like engines
+  // memoized on a service::DocumentSnapshot; the naive engine runs the
+  // paper-literal scans. Result-cache effects are out of scope here —
+  // every evaluation does the full axis work.
+  auto index = std::make_shared<const goddag::SnapshotIndex>(g);
+  xpath::XPathEngine indexed(g);
+  indexed.UseSnapshotIndex(index);
+  xpath::XPathEngine naive(g);
+  naive.SetAxisStrategy(xpath::AxisStrategy::kNaiveScan);
+
+  const int indexed_reps = 30;
+  const int naive_reps = content_chars >= 20000 ? 5 : 10;
+  AxisSeries series[] = {
+      {"descendant", "count(//line//w)"},
+      {"ancestor", "count(//w/ancestor::line)"},
+      {"overlap", "count(//w[overlapping::line])"},
   };
-  const char* query = kQueries[state.range(0)];
-  xpath::XPathEngine engine(*fixture.g);  // parse cache warm
-  for (auto _ : state) {
-    auto result = engine.Evaluate(query);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-    }
-    benchmark::DoNotOptimize(result);
+  for (AxisSeries& s : series) {
+    double indexed_answer = 0;
+    double naive_answer = 0;
+    std::vector<double> cold =
+        TimeQuery(&indexed, s.query, indexed_reps, g, &indexed_answer);
+    std::vector<double> slow =
+        TimeQuery(&naive, s.query, naive_reps, g, &naive_answer);
+    // The equivalence bar: both strategies must agree exactly.
+    BENCH_CHECK(indexed_answer == naive_answer);
+    s.answers = indexed_answer;
+    s.cold_p50_us = Percentile(&cold, 0.5);
+    s.cold_p99_us = Percentile(&cold, 0.99);
+    s.naive_p50_us = Percentile(&slow, 0.5);
   }
-  state.SetLabel(query);
-}
-BENCHMARK(BM_StdXPathGoddag)->DenseRange(0, 4);
 
-void BM_StdCountBaseline(benchmark::State& state) {
-  // Counting logical <w> on the fragmentation DOM requires the join to
-  // dedupe fragments — even "simple" queries pay it.
-  const auto& fixture = GetFixture(10'000);
-  size_t count = 0;
-  for (auto _ : state) {
-    auto joined = baseline::JoinFragments(*fixture.frag_dom);
-    count = baseline::CountLogicalElements(joined, "w");
-    benchmark::DoNotOptimize(count);
+  // The PR 4 acceptance bar: the indexed descendant axis must beat the
+  // naive scan by at least 10x on the 20k-char manuscript.
+  if (content_chars >= 20000) {
+    BENCH_CHECK(series[0].speedup() >= 10.0);
   }
-  state.counters["count"] = static_cast<double>(count);
-}
-BENCHMARK(BM_StdCountBaseline);
 
-void BM_QualifiedAxisGoddag(benchmark::State& state) {
-  const auto& fixture = GetFixture(10'000);
-  xpath::XPathEngine engine(*fixture.g);
-  for (auto _ : state) {
-    auto result =
-        engine.Evaluate("count((//w)[1]/ancestor(physical)::line)");
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
+  // ---- the fragmentation-DOM comparator (the paper's baseline) ----
+  double overlap_baseline_join_us = 0;
+  {
+    auto frag = drivers::ExportFragmentation(g);
+    BENCH_CHECK(frag.ok());
+    auto dom = dom::ParseDocument(*frag);
+    BENCH_CHECK(dom.ok());
+    constexpr int kJoinReps = 5;
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < kJoinReps; ++i) {
+      auto joined = baseline::JoinFragments(**dom);
+      auto pairs =
+          baseline::FindOverlappingPairsBaseline(joined, "w", "line");
+      BENCH_CHECK(!pairs.empty());
     }
-    benchmark::DoNotOptimize(result);
+    overlap_baseline_join_us = MicrosSince(t0) / kJoinReps;
   }
+
+  auto emit = [&](std::FILE* f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"bench\": \"query\", \"content_chars\": %zu,\n"
+                 "  \"index_build_us\": %.1f,\n",
+                 content_chars, index_build_us);
+    for (const AxisSeries& s : series) {
+      std::fprintf(f,
+                   "  \"%s_cold_p50_us\": %.1f, \"%s_cold_p99_us\": %.1f, "
+                   "\"%s_naive_p50_us\": %.1f, \"%s_speedup\": %.1f, "
+                   "\"%s_answers\": %.0f,\n",
+                   s.name, s.cold_p50_us, s.name, s.cold_p99_us, s.name,
+                   s.naive_p50_us, s.name, s.speedup(), s.name, s.answers);
+    }
+    std::fprintf(f, "  \"overlap_baseline_join_us\": %.1f\n}\n",
+                 overlap_baseline_join_us);
+  };
+  emit(stdout);
+  std::FILE* out = std::fopen("BENCH_query.json", "w");
+  if (out != nullptr) {
+    emit(out);
+    std::fclose(out);
+  }
+  return 0;
 }
-BENCHMARK(BM_QualifiedAxisGoddag);
 
 }  // namespace
 }  // namespace cxml
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  size_t content_chars =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  return cxml::Run(content_chars);
+}

@@ -1,0 +1,290 @@
+#include "goddag/snapshot_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cxml::goddag {
+
+namespace {
+
+/// True when `anc` is reachable from `node` through parent links (any
+/// hierarchy for leaves). Only used to disambiguate equal extents, so
+/// it runs on tiny co-extensive groups at build time — never per query.
+bool IsTreeAncestor(const Goddag& g, NodeId anc, NodeId node) {
+  std::vector<NodeId> frontier;
+  if (g.is_leaf(node)) {
+    for (HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+      frontier.push_back(g.leaf_parent(node, h));
+    }
+  } else if (g.is_element(node)) {
+    frontier.push_back(g.parent(node));
+  }
+  while (!frontier.empty()) {
+    NodeId n = frontier.back();
+    frontier.pop_back();
+    if (n == kInvalidNode) continue;
+    if (n == anc) return true;
+    if (g.is_element(n)) frontier.push_back(g.parent(n));
+  }
+  return false;
+}
+
+}  // namespace
+
+SnapshotIndex::SnapshotIndex(const Goddag& g) : g_(&g) {
+  // ---- global document order: root + attached elements + leaves ----
+  std::vector<NodeId> order;
+  order.push_back(g.root());
+  std::vector<NodeId> elements = g.AllElements();
+  order.insert(order.end(), elements.begin(), elements.end());
+  order.insert(order.end(), g.leaves().begin(), g.leaves().end());
+  std::sort(order.begin(), order.end(),
+            [&g](NodeId a, NodeId b) { return g.Before(a, b); });
+  rank_.assign(g.arena_size(), kUnranked);
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank_[order[i]] = static_cast<uint32_t>(i);
+  }
+  num_ranked_ = order.size();
+
+  // ---- tree depths (memoized parent-chain walk) ----
+  depth_.assign(g.arena_size(), kUnranked);
+  depth_[g.root()] = 0;
+  for (NodeId e : elements) {
+    // Walk up to the nearest computed ancestor, then fill back down.
+    std::vector<NodeId> chain;
+    NodeId n = e;
+    while (n != kInvalidNode && depth_[n] == kUnranked) {
+      chain.push_back(n);
+      n = g.is_element(n) ? g.parent(n) : kInvalidNode;
+    }
+    uint32_t d = (n == kInvalidNode) ? 0 : depth_[n];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth_[*it] = ++d;
+    }
+  }
+  for (NodeId leaf : g.leaves()) {
+    uint32_t d = 0;
+    for (HierarchyId h = 0; h < g.num_hierarchies(); ++h) {
+      NodeId p = g.leaf_parent(leaf, h);
+      if (p != kInvalidNode && depth_[p] != kUnranked) {
+        d = std::max(d, depth_[p] + 1);
+      }
+    }
+    depth_[leaf] = d;
+  }
+
+  // ---- (hierarchy, tag) pools, filled in document order ----
+  layers_.resize(g.num_hierarchies() + 1);
+  for (NodeId n : order) {
+    if (g.is_element(n)) {
+      const std::string& tag = g.tag(n);
+      HierarchyId h = g.hierarchy(n);
+      layers_[0].any.nodes.push_back(n);
+      layers_[0].by_tag[tag].nodes.push_back(n);
+      if (h != kInvalidHierarchy) {
+        layers_[h + 1].any.nodes.push_back(n);
+        layers_[h + 1].by_tag[tag].nodes.push_back(n);
+      }
+    } else if (g.is_leaf(n)) {
+      leaves_.nodes.push_back(n);
+    }
+  }
+  for (TagPools& layer : layers_) {
+    FinishPool(g, &layer.any);
+    for (auto& [tag, pool] : layer.by_tag) FinishPool(g, &pool);
+  }
+  FinishPool(g, &leaves_);
+
+  // ---- equal-extent dominance (the rare co-extensive pairs) ----
+  std::map<std::pair<size_t, size_t>, std::vector<NodeId>> groups;
+  for (NodeId n : order) {
+    Interval iv = g.char_range(n);
+    groups[{iv.begin, iv.end}].push_back(n);
+  }
+  for (const auto& [extent, members] : groups) {
+    if (members.size() < 2) continue;
+    for (NodeId outer : members) {
+      for (NodeId inner : members) {
+        if (outer == inner || depth_[outer] >= depth_[inner]) continue;
+        if (IsTreeAncestor(g, outer, inner)) {
+          eq_dominance_.insert((static_cast<uint64_t>(outer) << 32) | inner);
+        }
+      }
+    }
+  }
+}
+
+void SnapshotIndex::FinishPool(const Goddag& g, Pool* pool) {
+  const size_t n = pool->nodes.size();
+  pool->begins.resize(n);
+  pool->ends.resize(n);
+  pool->max_end.resize(n);
+  size_t running = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Interval iv = g.char_range(pool->nodes[i]);
+    pool->begins[i] = iv.begin;
+    pool->ends[i] = iv.end;
+    running = std::max(running, iv.end);
+    pool->max_end[i] = running;
+  }
+  pool->by_end = pool->nodes;
+  std::stable_sort(pool->by_end.begin(), pool->by_end.end(),
+                   [&g](NodeId a, NodeId b) {
+                     return g.char_range(a).end < g.char_range(b).end;
+                   });
+  pool->end_keys.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool->end_keys[i] = g.char_range(pool->by_end[i]).end;
+  }
+}
+
+const SnapshotIndex::Pool& SnapshotIndex::Elements(
+    HierarchyId hq, std::string_view tag) const {
+  static const Pool kEmpty;
+  size_t layer = (hq == kInvalidHierarchy) ? 0 : static_cast<size_t>(hq) + 1;
+  if (layer >= layers_.size()) return kEmpty;
+  const TagPools& pools = layers_[layer];
+  if (tag.empty()) return pools.any;
+  auto it = pools.by_tag.find(tag);
+  return it == pools.by_tag.end() ? kEmpty : it->second;
+}
+
+const SnapshotIndex::Pool& SnapshotIndex::Leaves() const { return leaves_; }
+
+bool SnapshotIndex::Dominates(NodeId outer, NodeId inner) const {
+  if (outer == inner) return false;
+  Interval o = g_->char_range(outer);
+  Interval i = g_->char_range(inner);
+  if (!o.Contains(i)) return false;
+  if (o == i) return EqDominates(outer, inner);
+  return true;
+}
+
+void SnapshotIndex::Dominated(const Pool& pool, NodeId ctx,
+                              std::vector<NodeId>* out) const {
+  Interval span = g_->char_range(ctx);
+  // Containment candidates have begin in [span.begin, span.end]: a
+  // zero-width node sitting exactly on either boundary is contained.
+  size_t lo = static_cast<size_t>(
+      std::lower_bound(pool.begins.begin(), pool.begins.end(), span.begin) -
+      pool.begins.begin());
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(pool.begins.begin(), pool.begins.end(), span.end) -
+      pool.begins.begin());
+  for (size_t i = lo; i < hi; ++i) {
+    if (pool.ends[i] > span.end) continue;
+    NodeId n = pool.nodes[i];
+    if (n == ctx) continue;
+    if (pool.begins[i] == span.begin && pool.ends[i] == span.end) {
+      if (EqDominates(ctx, n)) out->push_back(n);
+    } else {
+      out->push_back(n);
+    }
+  }
+}
+
+void SnapshotIndex::Contained(const Pool& pool, NodeId ctx,
+                              std::vector<NodeId>* out) const {
+  Interval span = g_->char_range(ctx);
+  size_t lo = static_cast<size_t>(
+      std::lower_bound(pool.begins.begin(), pool.begins.end(), span.begin) -
+      pool.begins.begin());
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(pool.begins.begin(), pool.begins.end(), span.end) -
+      pool.begins.begin());
+  for (size_t i = lo; i < hi; ++i) {
+    if (pool.ends[i] > span.end) continue;
+    if (pool.nodes[i] == ctx) continue;
+    out->push_back(pool.nodes[i]);
+  }
+}
+
+void SnapshotIndex::Dominating(const Pool& pool, NodeId ctx,
+                               std::vector<NodeId>* out) const {
+  Interval span = g_->char_range(ctx);
+  // Containers have begin <= span.begin; scan left from the upper
+  // bound until the prefix max end shows nothing can still cover us.
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(pool.begins.begin(), pool.begins.end(), span.begin) -
+      pool.begins.begin());
+  size_t mark = out->size();
+  for (size_t i = hi; i-- > 0;) {
+    if (pool.max_end[i] < span.end) break;
+    if (pool.ends[i] < span.end) continue;
+    NodeId n = pool.nodes[i];
+    if (n == ctx) continue;
+    if (pool.begins[i] == span.begin && pool.ends[i] == span.end) {
+      if (EqDominates(n, ctx)) out->push_back(n);
+    } else {
+      out->push_back(n);
+    }
+  }
+  std::reverse(out->begin() + static_cast<ptrdiff_t>(mark), out->end());
+}
+
+void SnapshotIndex::FollowingOf(const Pool& pool, NodeId ctx,
+                                std::vector<NodeId>* out) const {
+  Interval span = g_->char_range(ctx);
+  size_t lo = static_cast<size_t>(
+      std::lower_bound(pool.begins.begin(), pool.begins.end(), span.end) -
+      pool.begins.begin());
+  for (size_t i = lo; i < pool.nodes.size(); ++i) {
+    // An equal-extent candidate here implies a zero-width context and
+    // a zero-width twin at the same position: not "following".
+    if (pool.begins[i] == span.begin && pool.ends[i] == span.end) continue;
+    if (pool.nodes[i] == ctx) continue;
+    out->push_back(pool.nodes[i]);
+  }
+}
+
+void SnapshotIndex::PrecedingOf(const Pool& pool, NodeId ctx,
+                                std::vector<NodeId>* out) const {
+  Interval span = g_->char_range(ctx);
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(pool.end_keys.begin(), pool.end_keys.end(),
+                       span.begin) -
+      pool.end_keys.begin());
+  for (size_t i = 0; i < hi; ++i) {
+    NodeId n = pool.by_end[i];
+    if (n == ctx) continue;
+    // Equal-extent twins (zero-width only, see FollowingOf) excluded.
+    if (pool.end_keys[i] == span.end && g_->char_range(n).begin == span.begin) {
+      continue;
+    }
+    out->push_back(n);
+  }
+}
+
+void SnapshotIndex::OverlappingOf(const Pool& pool, const Interval& span,
+                                  NodeId ctx,
+                                  std::vector<NodeId>* out) const {
+  if (pool.empty() || span.empty()) return;
+  // Entries with begin >= span.end cannot overlap; scan left from that
+  // bound, stopping once the prefix max end falls at or before
+  // span.begin.
+  size_t hi = static_cast<size_t>(
+      std::lower_bound(pool.begins.begin(), pool.begins.end(), span.end) -
+      pool.begins.begin());
+  size_t mark = out->size();
+  for (size_t i = hi; i-- > 0;) {
+    if (pool.max_end[i] <= span.begin) break;
+    if (pool.nodes[i] == ctx) continue;
+    Interval o(pool.begins[i], pool.ends[i]);
+    if (o.Overlaps(span)) out->push_back(pool.nodes[i]);
+  }
+  std::reverse(out->begin() + static_cast<ptrdiff_t>(mark), out->end());
+}
+
+void SnapshotIndex::SortDocumentOrder(std::vector<NodeId>* nodes) const {
+  std::sort(nodes->begin(), nodes->end(), [this](NodeId a, NodeId b) {
+    uint32_t ra = rank_[a];
+    uint32_t rb = rank_[b];
+    if (ra != rb) return ra < rb;
+    // Detached nodes share kUnranked: fall back to the structural
+    // comparison so the order stays total and deterministic.
+    return ra == kUnranked && g_->Before(a, b);
+  });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+}  // namespace cxml::goddag

@@ -1,0 +1,171 @@
+#ifndef CXML_GODDAG_SNAPSHOT_INDEX_H_
+#define CXML_GODDAG_SNAPSHOT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "goddag/goddag.h"
+
+namespace cxml::goddag {
+
+/// Immutable acceleration structure over one GODDAG, built once per
+/// snapshot and shared by every reader pinned to it (it never mutates
+/// after construction, so concurrent lookups need no locks).
+///
+/// It answers the Extended XPath axis primitives in O(log n + window)
+/// instead of the evaluator's naive O(n) full scans per context node.
+/// The window is exactly the matches for following/preceding and for
+/// tag-restricted containment steps; for ancestor/overlapping the
+/// prefix-max-end cutoff bounds it by the entries left of the context
+/// whose prefix still reaches the query — a document-spanning element
+/// keeps that prefix alive, degrading those two collectors toward
+/// O(pool), which is still never worse than the naive scan (see the
+/// ROADMAP open item on a long-interval tier):
+///
+///  * **Pools** — the attached elements are bucketed by
+///    (hierarchy, tag), with an "any hierarchy" and an "any tag" view of
+///    each, plus one pool for the leaf layer. A pool keeps its nodes in
+///    document order together with parallel begin/end extent arrays, a
+///    prefix-maximum of extent ends (the classic interval-containment
+///    cutoff) and a second ordering sorted by extent end. A step's name
+///    test and hierarchy qualifier select a pool *before* the axis runs,
+///    so `descendant(h)::tag` binary-searches the few nodes that could
+///    match instead of filtering all of them afterwards.
+///  * **Document-order ranks** — every attached node's position in the
+///    global document order, making `Before` one integer compare.
+///  * **Depths and equal-extent dominance** — per-node tree depth and a
+///    precomputed relation of the (rare) equal-extent node pairs where
+///    one side is a tree ancestor of the other, making `Dominates` O(1)
+///    with the same equal-extent disambiguation as the evaluator's
+///    naive `Dominates` (strict extent containment, or equal extents
+///    and tree ancestorship).
+///
+/// Axis semantics implemented here (kept bit-identical to the
+/// evaluator's naive scans, which remain available as an equivalence
+/// oracle — see xpath::AxisStrategy):
+///  * `Dominated`/`Dominating` — descendant/ancestor on element pools;
+///  * `Contained` — plain extent containment excluding the context
+///    (the descendant axis' leaf rule: a leaf co-extensive with the
+///    context element *is* a descendant);
+///  * `FollowingOf`/`PrecedingOf` — strictly after/before in content
+///    order, excluding equal-extent twins (which can only arise between
+///    zero-width milestones at the same position);
+///  * `OverlappingOf` — proper extent overlap, the paper's concurrent
+///    markup relation.
+class SnapshotIndex {
+ public:
+  /// Builds over all attached nodes of `g`. `g` must outlive the index
+  /// and must not be mutated while the index is in use (snapshots are
+  /// immutable by contract; rebuild after mutating a private copy).
+  explicit SnapshotIndex(const Goddag& g);
+
+  /// One (hierarchy, tag)-restricted view of the attached nodes.
+  struct Pool {
+    /// Nodes in document order (== extent begin asc, end desc, with
+    /// Goddag::Before tie-breaks).
+    std::vector<NodeId> nodes;
+    /// Parallel extent arrays (cache-friendly scans without chasing
+    /// back into the arena).
+    std::vector<size_t> begins;
+    std::vector<size_t> ends;
+    /// max_end[i] = max(ends[0..i]): scanning left from an upper bound
+    /// stops as soon as no earlier entry can still reach the query.
+    std::vector<size_t> max_end;
+    /// Node ids re-sorted by extent end asc (for preceding ranges).
+    std::vector<NodeId> by_end;
+    /// Parallel end offsets for by_end.
+    std::vector<size_t> end_keys;
+
+    bool empty() const { return nodes.empty(); }
+    size_t size() const { return nodes.size(); }
+  };
+
+  /// Element pool for hierarchy `hq` (kInvalidHierarchy = all) and
+  /// `tag` (empty = any). Returns an empty pool for unknown
+  /// combinations — never fails.
+  const Pool& Elements(HierarchyId hq, std::string_view tag = {}) const;
+  /// The shared leaf layer (content order == document order).
+  const Pool& Leaves() const;
+
+  // ------------------------------------------------------ O(1) relations
+  /// Document-order position of an attached node (root, element, leaf);
+  /// kUnranked for detached nodes.
+  static constexpr uint32_t kUnranked = static_cast<uint32_t>(-1);
+  uint32_t rank(NodeId node) const { return rank_[node]; }
+  /// Document-order comparison via ranks; matches Goddag::Before for
+  /// attached nodes.
+  bool Before(NodeId a, NodeId b) const { return rank_[a] < rank_[b]; }
+  /// Tree depth within the node's own hierarchy (root = 0, elements =
+  /// 1 + parent depth, leaves = 1 + max parent depth over hierarchies).
+  uint32_t depth(NodeId node) const { return depth_[node]; }
+  /// Extent containment with equal-extent disambiguation — the same
+  /// relation as the evaluator's naive Dominates, in O(1): `outer`
+  /// dominates `inner` when inner's extent is strictly inside outer's,
+  /// or extents are equal and `outer` is a tree ancestor of `inner`.
+  bool Dominates(NodeId outer, NodeId inner) const;
+
+  // -------------------------------------------------- axis primitives
+  // All collectors append matching node ids to `*out` (callers own
+  // deduplication and final document-order normalisation).
+
+  /// Pool nodes dominated by `ctx` — the descendant axis over elements.
+  void Dominated(const Pool& pool, NodeId ctx, std::vector<NodeId>* out) const;
+  /// Pool nodes whose extent is contained in ctx's (equal allowed),
+  /// excluding `ctx` itself — the descendant axis' leaf rule.
+  void Contained(const Pool& pool, NodeId ctx, std::vector<NodeId>* out) const;
+  /// Pool nodes dominating `ctx` — the ancestor axis over elements.
+  void Dominating(const Pool& pool, NodeId ctx,
+                  std::vector<NodeId>* out) const;
+  /// Pool nodes whose extent starts at or after ctx's end, excluding
+  /// equal-extent twins (zero-width contexts).
+  void FollowingOf(const Pool& pool, NodeId ctx,
+                   std::vector<NodeId>* out) const;
+  /// Pool nodes whose extent ends at or before ctx's begin, excluding
+  /// equal-extent twins. Appends in extent-end order, not document
+  /// order.
+  void PrecedingOf(const Pool& pool, NodeId ctx,
+                   std::vector<NodeId>* out) const;
+  /// Pool nodes properly overlapping `span`, excluding `ctx`.
+  void OverlappingOf(const Pool& pool, const Interval& span, NodeId ctx,
+                     std::vector<NodeId>* out) const;
+
+  /// Sorts into document order by rank and removes duplicates
+  /// (equivalent to Goddag::SortDocumentOrder for attached nodes).
+  void SortDocumentOrder(std::vector<NodeId>* nodes) const;
+
+  size_t num_ranked() const { return num_ranked_; }
+
+ private:
+  struct TagPools {
+    Pool any;
+    std::map<std::string, Pool, std::less<>> by_tag;
+  };
+
+  static void FinishPool(const Goddag& g, Pool* pool);
+  bool EqDominates(NodeId outer, NodeId inner) const {
+    return eq_dominance_.count((static_cast<uint64_t>(outer) << 32) |
+                               inner) != 0;
+  }
+
+  const Goddag* g_;
+  /// Arena-indexed document-order ranks (kUnranked for detached nodes).
+  std::vector<uint32_t> rank_;
+  /// Arena-indexed tree depths.
+  std::vector<uint32_t> depth_;
+  size_t num_ranked_ = 0;
+  /// layers_[0] = all hierarchies; layers_[h + 1] = hierarchy h.
+  std::vector<TagPools> layers_;
+  Pool leaves_;
+  /// Packed (outer << 32 | inner) pairs of equal-extent nodes where
+  /// outer is a tree ancestor of inner. Equal-extent groups are tiny in
+  /// practice (co-extensive markup), so this stays near-empty.
+  std::unordered_set<uint64_t> eq_dominance_;
+};
+
+}  // namespace cxml::goddag
+
+#endif  // CXML_GODDAG_SNAPSHOT_INDEX_H_

@@ -125,24 +125,15 @@ void QueryService::ServeDocument(const std::string& document) {
       continue;
     }
 
-    // One snapshot pin and one engine pair serve the whole batch; the
-    // engines' parse caches make repeated query strings in a batch
-    // near-free even before the result cache kicks in.
+    // One snapshot pin serves the whole batch; the engines live on the
+    // snapshot itself (lazily built once per published version behind
+    // a call_once), so every batch against this version shares one
+    // SnapshotIndex build and the engines' expression parse caches.
+    // Handing the stateful engines out is sound because ServeDocument
+    // runs at most once per document at a time (scheduled_ set).
     SnapshotPtr snapshot = std::move(snap).value();
-    std::unique_ptr<xpath::XPathEngine> xpath_engine;
-    std::unique_ptr<xquery::XQueryEngine> xquery_engine;
     for (Pending& p : batch) {
-      if (p.request.kind == QueryKind::kXPath && xpath_engine == nullptr) {
-        xpath_engine =
-            std::make_unique<xpath::XPathEngine>(*snapshot->goddag);
-      }
-      if (p.request.kind == QueryKind::kXQuery &&
-          xquery_engine == nullptr) {
-        xquery_engine =
-            std::make_unique<xquery::XQueryEngine>(*snapshot->goddag);
-      }
-      QueryResponse response = RunOne(*snapshot, xpath_engine.get(),
-                                     xquery_engine.get(), p.request);
+      QueryResponse response = RunOne(*snapshot, p.request);
       if (!response.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         ++errors_;
@@ -153,8 +144,6 @@ void QueryService::ServeDocument(const std::string& document) {
 }
 
 QueryResponse QueryService::RunOne(const DocumentSnapshot& snap,
-                                   xpath::XPathEngine* xpath_engine,
-                                   xquery::XQueryEngine* xquery_engine,
                                    const QueryRequest& request) {
   QueryResponse response;
   response.version = snap.version;
@@ -169,8 +158,8 @@ QueryResponse QueryService::RunOne(const DocumentSnapshot& snap,
 
   Result<std::vector<std::string>> items =
       request.kind == QueryKind::kXPath
-          ? xpath_engine->EvaluateToStrings(request.query)
-          : xquery_engine->Run(request.query);
+          ? snap.XPath().EvaluateToStrings(request.query)
+          : snap.XQuery().Run(request.query);
   if (!items.ok()) {
     response.status = items.status().WithContext(
         StrCat(QueryKindToString(request.kind), " '", request.query, "'"));

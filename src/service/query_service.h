@@ -74,9 +74,13 @@ struct QueryServiceOptions {
 /// snapshots on a fixed-size thread pool, with per-document request
 /// batching: a worker claims every pending request for one document at
 /// once, pins the snapshot a single time, and runs the whole batch
-/// through one engine pair (sharing its expression parse cache), so N
-/// concurrent requests for a hot document cost one pin + one engine
-/// setup instead of N.
+/// through the snapshot's own memoized engine pair
+/// (DocumentSnapshot::XPath/XQuery, built lazily once per published
+/// version together with its goddag::SnapshotIndex) — so N concurrent
+/// requests for a hot document cost one pin, and N *batches* against
+/// the same version cost one index build + one engine setup instead of
+/// N. Per-document serialization (scheduled_) is what makes sharing
+/// the stateful engines across batches sound.
 ///
 /// Results are memoised in a (document, version, generation, query,
 /// kind)-keyed LRU cache; a DocumentStore version listener invalidates
@@ -134,9 +138,9 @@ class QueryService {
 
   /// Claims and runs batches for `document` until its queue drains.
   void ServeDocument(const std::string& document);
+  /// Runs one request against the snapshot's memoized engine pair
+  /// (DocumentSnapshot::XPath/XQuery) through the result cache.
   QueryResponse RunOne(const DocumentSnapshot& snap,
-                       xpath::XPathEngine* xpath_engine,
-                       xquery::XQueryEngine* xquery_engine,
                        const QueryRequest& request);
 
   DocumentStore* store_;

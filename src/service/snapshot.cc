@@ -1,0 +1,41 @@
+#include "service/snapshot.h"
+
+#include "xpath/engine.h"
+#include "xquery/xquery.h"
+
+namespace cxml::service {
+
+// Out of line so snapshot.h can forward-declare the engine types.
+DocumentSnapshot::DocumentSnapshot() = default;
+DocumentSnapshot::~DocumentSnapshot() = default;
+
+const goddag::SnapshotIndex& DocumentSnapshot::Index() const {
+  std::call_once(index_once_, [this] {
+    index_ = std::make_shared<const goddag::SnapshotIndex>(*goddag);
+  });
+  return *index_;
+}
+
+std::shared_ptr<const goddag::SnapshotIndex> DocumentSnapshot::IndexPtr()
+    const {
+  Index();
+  return index_;
+}
+
+xpath::XPathEngine& DocumentSnapshot::XPath() const {
+  std::call_once(xpath_once_, [this] {
+    xpath_engine_ = std::make_unique<xpath::XPathEngine>(*goddag);
+    xpath_engine_->UseSnapshotIndex(IndexPtr());
+  });
+  return *xpath_engine_;
+}
+
+xquery::XQueryEngine& DocumentSnapshot::XQuery() const {
+  std::call_once(xquery_once_, [this] {
+    xquery_engine_ = std::make_unique<xquery::XQueryEngine>(*goddag);
+    xquery_engine_->UseSnapshotIndex(IndexPtr());
+  });
+  return *xquery_engine_;
+}
+
+}  // namespace cxml::service

@@ -3,10 +3,19 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cmh/hierarchy.h"
 #include "goddag/goddag.h"
+#include "goddag/snapshot_index.h"
+
+namespace cxml::xpath {
+class XPathEngine;
+}  // namespace cxml::xpath
+namespace cxml::xquery {
+class XQueryEngine;
+}  // namespace cxml::xquery
 
 namespace cxml::service {
 
@@ -15,6 +24,24 @@ namespace cxml::service {
 /// publish newer versions — snapshot isolation without reader locks.
 /// The CMH arrives bundled because the GODDAG's bound CMH pointer must
 /// outlive it (same lifetime contract as storage::LoadedGoddag).
+///
+/// Because the GODDAG never mutates after publication, the snapshot
+/// also memoizes the per-version acceleration state the cold query
+/// path needs, built lazily exactly once (std::call_once):
+///  * a goddag::SnapshotIndex — immutable, safe to share across
+///    threads and engines;
+///  * one Extended XPath + one XQuery engine wired to that index, so
+///    every batch on this version reuses their expression parse caches
+///    instead of rebuilding engines per batch.
+/// The engines themselves are stateful (parse LRU, variables) and NOT
+/// thread-safe: QueryService serializes batches per document, which is
+/// what makes handing them out by reference sound. External callers
+/// using Engines() directly must provide the same exclusion — or
+/// construct their own engine and only share Index().
+///
+/// Losing write-pipeline clones never pay for any of this: the state
+/// is built on first query against the *published* version, never at
+/// publish time.
 struct DocumentSnapshot {
   std::string name;
   /// Monotonically increasing per document, starting at 1 on Register.
@@ -26,6 +53,36 @@ struct DocumentSnapshot {
   uint64_t generation = 0;
   std::unique_ptr<cmh::ConcurrentHierarchies> cmh;
   std::unique_ptr<goddag::Goddag> goddag;
+
+  // Constructor/destructor are out of line (snapshot.cc): the engine
+  // members are forward-declared here, and both special members need
+  // the complete types.
+  DocumentSnapshot();
+  ~DocumentSnapshot();
+  DocumentSnapshot(const DocumentSnapshot&) = delete;
+  DocumentSnapshot& operator=(const DocumentSnapshot&) = delete;
+
+  /// The memoized structural index over `goddag` (thread-safe to call
+  /// and to use concurrently).
+  const goddag::SnapshotIndex& Index() const;
+  /// Shared pointer form, for handing to engines that may outlive one
+  /// call site.
+  std::shared_ptr<const goddag::SnapshotIndex> IndexPtr() const;
+
+  /// The memoized Extended XPath engine bound to `goddag` + Index().
+  /// Thread-safe to *obtain*; caller must serialize *use* (see above).
+  xpath::XPathEngine& XPath() const;
+  /// The memoized XQuery engine bound to `goddag` + Index(). Same
+  /// exclusion contract as XPath().
+  xquery::XQueryEngine& XQuery() const;
+
+ private:
+  mutable std::once_flag index_once_;
+  mutable std::once_flag xpath_once_;
+  mutable std::once_flag xquery_once_;
+  mutable std::shared_ptr<const goddag::SnapshotIndex> index_;
+  mutable std::unique_ptr<xpath::XPathEngine> xpath_engine_;
+  mutable std::unique_ptr<xquery::XQueryEngine> xquery_engine_;
 };
 
 using SnapshotPtr = std::shared_ptr<const DocumentSnapshot>;

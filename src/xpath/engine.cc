@@ -4,10 +4,20 @@ namespace cxml::xpath {
 
 Result<const Expr*> XPathEngine::ParseCached(std::string_view expression) {
   auto it = cache_.find(expression);
-  if (it != cache_.end()) return static_cast<const Expr*>(it->second.get());
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return static_cast<const Expr*>(it->second->second.get());
+  }
   CXML_ASSIGN_OR_RETURN(ExprPtr parsed, ParseXPath(expression));
   const Expr* raw = parsed.get();
-  cache_.emplace(std::string(expression), std::move(parsed));
+  lru_.emplace_front(std::string(expression), std::move(parsed));
+  cache_.emplace(std::string_view(lru_.front().first), lru_.begin());
+  if (lru_.size() > cache_capacity_) {
+    // cache_capacity_ >= 1, so the evicted entry is never the one just
+    // inserted and `raw` stays valid for this evaluation.
+    cache_.erase(std::string_view(lru_.back().first));
+    lru_.pop_back();
+  }
   return raw;
 }
 

@@ -1,10 +1,12 @@
 #ifndef CXML_XPATH_ENGINE_H_
 #define CXML_XPATH_ENGINE_H_
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "xpath/evaluator.h"
@@ -12,14 +14,28 @@
 
 namespace cxml::xpath {
 
-/// Facade over parser + evaluator with a per-expression parse cache —
-/// the "Extended XPath engine" a framework user touches (paper §4:
-/// "an efficient implementation of the Extended XPath").
+/// Facade over parser + evaluator with a bounded per-expression parse
+/// cache — the "Extended XPath engine" a framework user touches (paper
+/// §4: "an efficient implementation of the Extended XPath").
+///
+/// Engines may now live as long as a document snapshot (see
+/// service::DocumentSnapshot), so the parse cache is a small LRU
+/// instead of growing with every distinct expression ever seen.
 class XPathEngine {
  public:
+  /// Default parse-cache capacity: generous for any realistic working
+  /// set of expressions per document, small enough that a snapshot-
+  /// resident engine stays O(1) memory under adversarial query streams.
+  static constexpr size_t kDefaultParseCacheCapacity = 128;
+
   /// `g` must outlive the engine.
-  explicit XPathEngine(const goddag::Goddag& g)
-      : g_(&g), evaluator_(g) {}
+  explicit XPathEngine(const goddag::Goddag& g,
+                       size_t parse_cache_capacity =
+                           kDefaultParseCacheCapacity)
+      : g_(&g),
+        evaluator_(g),
+        cache_capacity_(parse_cache_capacity == 0 ? 1
+                                                  : parse_cache_capacity) {}
 
   /// Evaluates against the document node.
   Result<Value> Evaluate(std::string_view expression);
@@ -51,18 +67,44 @@ class XPathEngine {
     evaluator_.SetVariable(name, std::move(value));
   }
 
+  /// Adopts a prebuilt goddag::SnapshotIndex shared across engines
+  /// pinned to the same immutable snapshot (the index is read-only, so
+  /// sharing is thread-safe even though each engine is not).
+  void UseSnapshotIndex(
+      std::shared_ptr<const goddag::SnapshotIndex> index) {
+    evaluator_.SetSnapshotIndex(std::move(index));
+  }
+
+  /// Selects indexed vs naive-scan axes (see xpath::AxisStrategy); the
+  /// naive path is the equivalence oracle for the indexed one.
+  void SetAxisStrategy(AxisStrategy strategy) {
+    evaluator_.SetAxisStrategy(strategy);
+  }
+
   /// Call after mutating the GODDAG: clears evaluator indexes (the parse
   /// cache stays — expressions do not depend on the instance).
   void InvalidateIndexes() { evaluator_.Reset(); }
 
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const { return lru_.size(); }
+  size_t parse_cache_capacity() const { return cache_capacity_; }
 
  private:
+  /// Returns the parsed expression, MRU-promoting it. The pointer is
+  /// owned by the cache and stays valid until `cache_capacity_` newer
+  /// distinct expressions evict it — callers use it within the same
+  /// evaluation, never across ParseCached calls.
   Result<const Expr*> ParseCached(std::string_view expression);
 
   const goddag::Goddag* g_;
   Evaluator evaluator_;
-  std::map<std::string, ExprPtr, std::less<>> cache_;
+  /// LRU list (front = most recent) + view-keyed map into it. The
+  /// string_view keys point at the list nodes' strings, which never
+  /// move (list nodes are stable).
+  std::list<std::pair<std::string, ExprPtr>> lru_;
+  std::map<std::string_view,
+           std::list<std::pair<std::string, ExprPtr>>::iterator>
+      cache_;
+  size_t cache_capacity_;
 };
 
 }  // namespace cxml::xpath

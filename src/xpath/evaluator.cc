@@ -17,11 +17,40 @@ void Evaluator::SetVariable(const std::string& name, Value value) {
   variables_.insert_or_assign(name, std::move(value));
 }
 
-const goddag::ExtentIndex& Evaluator::extent_index() {
-  if (extent_index_ == nullptr) {
-    extent_index_ = std::make_unique<goddag::ExtentIndex>(*g_);
+const goddag::SnapshotIndex& Evaluator::index() {
+  if (index_ == nullptr) {
+    index_ = std::make_shared<const goddag::SnapshotIndex>(*g_);
   }
-  return *extent_index_;
+  return *index_;
+}
+
+const goddag::SnapshotIndex::Pool& Evaluator::ElementPoolFor(
+    HierarchyId hq, const NodeTest& test) {
+  return index().Elements(hq, test.kind == NodeTest::Kind::kName
+                                  ? std::string_view(test.name)
+                                  : std::string_view());
+}
+
+void Evaluator::NormalizeSet(NodeSet* set) {
+  if (index_ == nullptr) {
+    Value::Normalize(*g_, set);
+    return;
+  }
+  const goddag::SnapshotIndex& idx = *index_;
+  std::sort(set->begin(), set->end(),
+            [this, &idx](const NodeEntry& a, const NodeEntry& b) {
+              if (a.is_document() != b.is_document()) return a.is_document();
+              if (a.node != b.node) {
+                uint32_t ra = idx.rank(a.node);
+                uint32_t rb = idx.rank(b.node);
+                if (ra != rb) return ra < rb;
+                // Both detached (kUnranked): structural fallback keeps
+                // the order total and identical to Value::Normalize.
+                return g_->Before(a.node, b.node);
+              }
+              return a.attr < b.attr;
+            });
+  set->erase(std::unique(set->begin(), set->end()), set->end());
 }
 
 Result<Value> Evaluator::Evaluate(const Expr& expr, NodeEntry context) {
@@ -90,6 +119,19 @@ bool Evaluator::MatchesTest(const NodeTest& test, const NodeEntry& entry,
 }
 
 namespace {
+
+/// Element candidates can satisfy the step's node test (everything but
+/// text()); when true, the indexed path consults the element pool
+/// matching the hierarchy qualifier and name test.
+bool TestWantsElements(const NodeTest& test) {
+  return test.kind != NodeTest::Kind::kText;
+}
+
+/// Leaf candidates can satisfy the step's node test (text() or node()).
+bool TestWantsLeaves(const NodeTest& test) {
+  return test.kind == NodeTest::Kind::kText ||
+         test.kind == NodeTest::Kind::kNode;
+}
 
 /// True when `anc` is reachable from `node` through parent links (any
 /// hierarchy for leaves). Used only to disambiguate equal extents.
@@ -188,10 +230,36 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       if (step.axis == AxisKind::kDescendantOrSelf) add(ctx);
       if (ctx.is_document()) {
         add_node(g_->root());
-        for (NodeId e : g_->AllElements()) {
-          if (h_ok(e)) add_node(e);
+        if (strategy_ == AxisStrategy::kIndexed) {
+          // Whole pools: already restricted to hierarchy + name test.
+          if (TestWantsElements(step.test)) {
+            for (NodeId e : ElementPoolFor(hq, step.test).nodes) {
+              out.push_back(NodeEntry::Of(e));
+            }
+          }
+          if (TestWantsLeaves(step.test)) {
+            for (NodeId leaf : index().Leaves().nodes) {
+              out.push_back(NodeEntry::Of(leaf));
+            }
+          }
+        } else {
+          for (NodeId e : g_->AllElements()) {
+            if (h_ok(e)) add_node(e);
+          }
+          for (NodeId leaf : g_->leaves()) add_node(leaf);
         }
-        for (NodeId leaf : g_->leaves()) add_node(leaf);
+        break;
+      }
+      if (strategy_ == AxisStrategy::kIndexed) {
+        scratch_.clear();
+        if (TestWantsElements(step.test)) {
+          index().Dominated(ElementPoolFor(hq, step.test), ctx.node,
+                            &scratch_);
+        }
+        if (TestWantsLeaves(step.test)) {
+          index().Contained(index().Leaves(), ctx.node, &scratch_);
+        }
+        for (NodeId n : scratch_) out.push_back(NodeEntry::Of(n));
         break;
       }
       // Extent-dominated nodes (the GODDAG "ordered descendants").
@@ -248,8 +316,17 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       }
       // Extent-dominating nodes + root + document.
       if (!g_->is_root(base)) {
-        for (NodeId e : g_->AllElements()) {
-          if (h_ok(e) && Dominates(*g_, e, base)) add_node(e);
+        if (strategy_ == AxisStrategy::kIndexed) {
+          if (TestWantsElements(step.test)) {
+            scratch_.clear();
+            index().Dominating(ElementPoolFor(hq, step.test), base,
+                               &scratch_);
+            for (NodeId n : scratch_) out.push_back(NodeEntry::Of(n));
+          }
+        } else {
+          for (NodeId e : g_->AllElements()) {
+            if (h_ok(e) && Dominates(*g_, e, base)) add_node(e);
+          }
         }
         add_node(g_->root());
       }
@@ -291,8 +368,28 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
     case AxisKind::kFollowing:
     case AxisKind::kPreceding: {
       if (ctx.is_document()) break;
-      Interval span = g_->char_range(ctx.node);
       const bool forward = step.axis == AxisKind::kFollowing;
+      if (strategy_ == AxisStrategy::kIndexed) {
+        scratch_.clear();
+        if (TestWantsElements(step.test)) {
+          const auto& pool = ElementPoolFor(hq, step.test);
+          if (forward) {
+            index().FollowingOf(pool, ctx.node, &scratch_);
+          } else {
+            index().PrecedingOf(pool, ctx.node, &scratch_);
+          }
+        }
+        if (TestWantsLeaves(step.test)) {
+          if (forward) {
+            index().FollowingOf(index().Leaves(), ctx.node, &scratch_);
+          } else {
+            index().PrecedingOf(index().Leaves(), ctx.node, &scratch_);
+          }
+        }
+        for (NodeId n : scratch_) out.push_back(NodeEntry::Of(n));
+        break;
+      }
+      Interval span = g_->char_range(ctx.node);
       for (NodeId e : g_->AllElements()) {
         if (!h_ok(e) || e == ctx.node) continue;
         Interval o = g_->char_range(e);
@@ -304,7 +401,12 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       for (NodeId leaf : g_->leaves()) {
         if (leaf == ctx.node) continue;
         Interval o = g_->char_range(leaf);
-        if (forward ? o.begin >= span.end : o.end <= span.begin) {
+        // Equal-extent twins are excluded exactly as for elements (a
+        // no-op in practice: leaves are never zero-width, and only
+        // zero-width nodes can share an extent with the context here —
+        // see the header's following/preceding contract).
+        if (forward ? o.begin >= span.end && !(o == span)
+                    : o.end <= span.begin && !(o == span)) {
           add_node(leaf);
         }
       }
@@ -316,22 +418,39 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
     case AxisKind::kOverlappingEnd: {
       if (ctx.is_attribute() || ctx.is_document()) break;
       Interval span = g_->char_range(ctx.node);
-      for (NodeId e : extent_index().Overlapping(span)) {
+      auto keep_mode = [&](const Interval& o) {
+        if (step.axis == AxisKind::kOverlappingStart) {
+          return span.OverlapsRight(o);  // e starts inside ctx
+        }
+        if (step.axis == AxisKind::kOverlappingEnd) {
+          return span.OverlapsLeft(o);  // e ends inside ctx
+        }
+        return true;
+      };
+      // Both strategies consider elements only: leaves tile the content
+      // and may straddle element borders, but the paper's overlapping
+      // axis asks about concurrent *markup*.
+      if (strategy_ == AxisStrategy::kIndexed) {
+        if (TestWantsElements(step.test)) {
+          scratch_.clear();
+          index().OverlappingOf(ElementPoolFor(hq, step.test), span,
+                                ctx.node, &scratch_);
+          for (NodeId e : scratch_) {
+            if (keep_mode(g_->char_range(e))) out.push_back(NodeEntry::Of(e));
+          }
+        }
+        break;
+      }
+      for (NodeId e : g_->AllElements()) {
         if (e == ctx.node || !h_ok(e)) continue;
         Interval o = g_->char_range(e);
-        bool keep = true;
-        if (step.axis == AxisKind::kOverlappingStart) {
-          keep = span.OverlapsRight(o);  // e starts inside ctx
-        } else if (step.axis == AxisKind::kOverlappingEnd) {
-          keep = span.OverlapsLeft(o);  // e ends inside ctx
-        }
-        if (keep) add_node(e);
+        if (span.Overlaps(o) && keep_mode(o)) add_node(e);
       }
       break;
     }
   }
 
-  Value::Normalize(*g_, &out);
+  NormalizeSet(&out);
   return out;
 }
 
@@ -361,7 +480,7 @@ Result<NodeSet> Evaluator::EvalStep(const Step& step, NodeSet input) {
     }
     result.insert(result.end(), candidates.begin(), candidates.end());
   }
-  Value::Normalize(*g_, &result);
+  NormalizeSet(&result);
   return result;
 }
 
@@ -388,7 +507,7 @@ Result<Value> Evaluator::EvalFilter(const Expr& expr, const Context& ctx) {
         "XPath: predicates/steps can only follow a node-set expression");
   }
   NodeSet nodes = std::move(primary.nodes());
-  Value::Normalize(*g_, &nodes);
+  NormalizeSet(&nodes);
   for (const ExprPtr& pred : expr.predicates) {
     NodeSet filtered;
     for (size_t i = 0; i < nodes.size(); ++i) {
@@ -555,7 +674,7 @@ Result<Value> Evaluator::EvalExpr(const Expr& expr, const Context& ctx) {
       }
       NodeSet merged = std::move(lhs.nodes());
       merged.insert(merged.end(), rhs.nodes().begin(), rhs.nodes().end());
-      Value::Normalize(*g_, &merged);
+      NormalizeSet(&merged);
       return Value(std::move(merged));
     }
     case Expr::Kind::kPath: {

@@ -4,13 +4,31 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "goddag/algebra.h"
 #include "goddag/goddag.h"
+#include "goddag/snapshot_index.h"
 #include "xpath/ast.h"
 #include "xpath/value.h"
 
 namespace cxml::xpath {
+
+/// How the evaluator answers the global axes (descendant, ancestor,
+/// following, preceding and the overlapping family).
+enum class AxisStrategy {
+  /// Binary-searched (hierarchy, tag) pools on a goddag::SnapshotIndex:
+  /// O(log n + scanned window) per context node — the window is the
+  /// matches for following/preceding and tag-restricted descendant
+  /// steps, and can widen toward O(pool) for ancestor/overlapping
+  /// under document-spanning elements (see SnapshotIndex). The
+  /// default.
+  kIndexed,
+  /// The paper-literal full scans over AllElements()/leaves() with
+  /// per-pair extent checks: O(n) per context node. Kept as the
+  /// equivalence oracle — both strategies must return identical node
+  /// sets (pinned by snapshot_index_test).
+  kNaiveScan,
+};
 
 /// Extended XPath evaluator over a GODDAG.
 ///
@@ -18,13 +36,15 @@ namespace cxml::xpath {
 /// string-value definitions lifted to the GODDAG:
 ///  * a node may have one parent per hierarchy (leaves do);
 ///  * `following`/`preceding` are extent-based (strictly after/before in
-///    content);
+///    content). Equal-extent nodes — only possible between zero-width
+///    milestones at the same position — are neither following nor
+///    preceding each other, for elements and leaves alike;
 ///  * the `overlapping` axes implement the paper's concurrent-markup
 ///    queries, with optional hierarchy qualifiers on every axis.
 ///
 /// The evaluator is deliberately stateless across calls except for a
-/// lazily built extent index (invalidated by Reset()) and variable
-/// bindings.
+/// lazily built (or externally shared, see SetSnapshotIndex) snapshot
+/// index — invalidated by Reset() — and variable bindings.
 class Evaluator {
  public:
   /// `g` must outlive the evaluator.
@@ -38,8 +58,20 @@ class Evaluator {
   /// Binds $name. Overwrites existing bindings.
   void SetVariable(const std::string& name, Value value);
 
-  /// Drops cached indexes after the GODDAG was mutated.
-  void Reset() { extent_index_.reset(); }
+  /// Selects indexed vs naive-scan axes (see AxisStrategy).
+  void SetAxisStrategy(AxisStrategy strategy) { strategy_ = strategy; }
+  AxisStrategy axis_strategy() const { return strategy_; }
+
+  /// Adopts a prebuilt index over the same GODDAG — typically the one
+  /// memoized on a service::DocumentSnapshot, so every engine pinned to
+  /// a published version shares one build. Without this, the evaluator
+  /// lazily builds a private index on first indexed-axis use.
+  void SetSnapshotIndex(std::shared_ptr<const goddag::SnapshotIndex> index) {
+    index_ = std::move(index);
+  }
+
+  /// Drops cached/adopted indexes after the GODDAG was mutated.
+  void Reset() { index_.reset(); }
 
  private:
   struct Context {
@@ -63,11 +95,23 @@ class Evaluator {
 
   bool MatchesTest(const NodeTest& test, const NodeEntry& entry,
                    bool attribute_axis) const;
-  const goddag::ExtentIndex& extent_index();
+
+  /// The snapshot index (lazily built when none was adopted).
+  const goddag::SnapshotIndex& index();
+  /// The element pool matching a step's hierarchy qualifier and name
+  /// test — the "prune before the axis scan" selection.
+  const goddag::SnapshotIndex::Pool& ElementPoolFor(goddag::HierarchyId hq,
+                                                    const NodeTest& test);
+  /// Document-order sort + dedup: O(1) rank compares when an index is
+  /// live, Value::Normalize otherwise (identical order either way).
+  void NormalizeSet(NodeSet* set);
 
   const goddag::Goddag* g_;
   std::map<std::string, Value> variables_;
-  std::unique_ptr<goddag::ExtentIndex> extent_index_;
+  AxisStrategy strategy_ = AxisStrategy::kIndexed;
+  std::shared_ptr<const goddag::SnapshotIndex> index_;
+  /// Reused axis-result buffer (AxisNodes never recurses while filling).
+  std::vector<goddag::NodeId> scratch_;
 };
 
 }  // namespace cxml::xpath

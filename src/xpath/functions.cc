@@ -248,11 +248,20 @@ Result<Value> Evaluator::CallFunction(const Expr& call, const Context& ctx) {
     NodeEntry first = set.front();
     if (first.is_document() || first.is_attribute()) return Value(0.0);
     Interval span = g_->char_range(first.node);
-    size_t degree = 0;
-    for (goddag::NodeId e : extent_index().Overlapping(span)) {
-      if (e != first.node) ++degree;
+    // Respect the axis strategy so the naive path stays a genuine
+    // equivalence oracle for the indexed one (and never builds an
+    // index as a side effect).
+    if (axis_strategy() == AxisStrategy::kNaiveScan) {
+      size_t degree = 0;
+      for (goddag::NodeId e : g_->AllElements()) {
+        if (e != first.node && span.Overlaps(g_->char_range(e))) ++degree;
+      }
+      return Value(static_cast<double>(degree));
     }
-    return Value(static_cast<double>(degree));
+    std::vector<goddag::NodeId> over;
+    index().OverlappingOf(index().Elements(kInvalidHierarchy), span,
+                          first.node, &over);
+    return Value(static_cast<double>(over.size()));
   }
   if (name == "range-start" || name == "range-end") {
     CXML_ASSIGN_OR_RETURN(NodeSet set, target_set());

@@ -51,6 +51,19 @@ class XQueryEngine {
     xpath_.SetVariable(name, std::move(value));
   }
 
+  /// Adopts a prebuilt goddag::SnapshotIndex for the embedded Extended
+  /// XPath engine (see XPathEngine::UseSnapshotIndex).
+  void UseSnapshotIndex(
+      std::shared_ptr<const goddag::SnapshotIndex> index) {
+    xpath_.UseSnapshotIndex(std::move(index));
+  }
+
+  /// Forwards the axis strategy to the embedded engine (the naive path
+  /// is the equivalence oracle for the indexed one).
+  void SetAxisStrategy(xpath::AxisStrategy strategy) {
+    xpath_.SetAxisStrategy(strategy);
+  }
+
  private:
   const goddag::Goddag* g_;
   xpath::XPathEngine xpath_;
