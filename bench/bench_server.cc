@@ -232,6 +232,84 @@ int Run(size_t content_chars, size_t num_clients, size_t num_workers) {
     BENCH_CHECK(cached.qps() >= 10000.0);
   }
 
+  // ---- prepared wire phase: QPREPARE once + QRUN loop vs QUERY ----
+  // Both sides hit the warm result cache (identical canonical query),
+  // so the difference is exactly what the handle removes per request:
+  // expression bytes on the wire, the request-body copy, and — because
+  // the ad-hoc side sends a textually unique whitespace variant each
+  // frame, the traffic shape prepared statements exist for — the
+  // server-side parse + canonicalization that non-repeating text
+  // always pays (the raw-text handle LRU only absorbs exact repeats).
+  double prepared_p50_us = 0;
+  double adhoc_p50_us = 0;
+  {
+    std::string fat_expr = "count(//w[overlapping::line])";
+    fat_expr.append(512, ' ');
+    constexpr size_t kWireReps = 1500;
+    std::vector<std::vector<double>> run_lat(num_clients);
+    std::vector<std::vector<double>> query_lat(num_clients);
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    threads.reserve(num_clients);
+    for (size_t c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = net::Client::Connect("127.0.0.1", server.port());
+        if (!client.ok()) {
+          failed.store(true);
+          return;
+        }
+        auto qid = client->Prepare(service::QueryKind::kXPath, fat_expr);
+        if (!qid.ok()) {
+          failed.store(true);
+          return;
+        }
+        // Warm both paths (fills the result cache entry they share).
+        if (!client->Run("ms", *qid).ok() ||
+            !client->Query("ms", fat_expr, service::QueryKind::kXPath)
+                 .ok()) {
+          failed.store(true);
+          return;
+        }
+        run_lat[c].reserve(kWireReps);
+        query_lat[c].reserve(kWireReps);
+        for (size_t i = 0; i < kWireReps; ++i) {
+          Clock::time_point t0 = Clock::now();
+          auto response = client->Run("ms", *qid);
+          run_lat[c].push_back(SecondsSince(t0) * 1e6);
+          if (!response.ok() || !response->cache_hit) failed.store(true);
+        }
+        std::string adhoc_expr = fat_expr;
+        adhoc_expr.append(c, ' ');
+        for (size_t i = 0; i < kWireReps; ++i) {
+          adhoc_expr.append(num_clients, ' ');  // unique text per frame
+          Clock::time_point t0 = Clock::now();
+          auto response =
+              client->Query("ms", adhoc_expr, service::QueryKind::kXPath);
+          query_lat[c].push_back(SecondsSince(t0) * 1e6);
+          if (!response.ok() || !response->cache_hit) failed.store(true);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    BENCH_CHECK(!failed.load());
+    std::vector<double> merged_run;
+    std::vector<double> merged_query;
+    for (size_t c = 0; c < num_clients; ++c) {
+      merged_run.insert(merged_run.end(), run_lat[c].begin(),
+                        run_lat[c].end());
+      merged_query.insert(merged_query.end(), query_lat[c].begin(),
+                          query_lat[c].end());
+    }
+    prepared_p50_us = Percentile(&merged_run, 0.5);
+    adhoc_p50_us = Percentile(&merged_query, 0.5);
+    // The PR 5 acceptance bar: on the cached path, QRUN must beat the
+    // equivalent QUERY frames — no per-request expression re-send or
+    // re-hash left to pay.
+    BENCH_CHECK(prepared_p50_us < adhoc_p50_us);
+  }
+  double prepared_speedup =
+      adhoc_p50_us / (prepared_p50_us > 0 ? prepared_p50_us : 1e-9);
+
   // ---- mixed phase: writes invalidate, metadata probes interleave ----
   traffic.num_ops = 1000;
   traffic.write_fraction = 0.02;
@@ -262,6 +340,10 @@ int Run(size_t content_chars, size_t num_clients, size_t num_workers) {
                  static_cast<unsigned long long>(stats.frames_received),
                  static_cast<unsigned long long>(stats.protocol_errors),
                  clone_us);
+    std::fprintf(f,
+                 "  \"prepared_p50_us\": %.1f, \"adhoc_p50_us\": %.1f, "
+                 "\"prepared_speedup\": %.2f,\n",
+                 prepared_p50_us, adhoc_p50_us, prepared_speedup);
     PrintPhaseJson(f, "cached_reads", cached);
     std::fprintf(f, ",\n");
     PrintPhaseJson(f, "mixed", mixed);

@@ -7,8 +7,15 @@
 //   cxml_client --port N [--host H] list
 //   cxml_client --port N [--host H] stat
 //   cxml_client --port N [--host H] query  <doc> <xpath|xquery> <expr>
+//   cxml_client --port N [--host H] prepare <xpath|xquery> <expr>
+//   cxml_client --port N [--host H] run    <doc> <xpath|xquery> <expr>
 //   cxml_client --port N [--host H] edit   <doc> select <begin> <end>
 //                                          apply <hierarchy> <tag> [...]
+//
+// `prepare` compiles the expression server-side (QPREPARE) and prints
+// the handle id; `run` demonstrates the full compile-once/bind-many
+// round trip on one connection — QPREPARE followed by QRUN — since a
+// prepared handle lives exactly as long as its connection.
 //   cxml_client --port N [--host H] register <doc> <cxg1-file>
 //   cxml_client --port N [--host H] remove <doc>
 //
@@ -40,6 +47,8 @@ int Usage() {
       "usage: cxml_client --port N [--host H] <command>\n"
       "  ping | list | stat\n"
       "  query <doc> <xpath|xquery> <expr>\n"
+      "  prepare <xpath|xquery> <expr>\n"
+      "  run <doc> <xpath|xquery> <expr>\n"
       "  edit <doc> (select <begin> <end> | apply <hierarchy> <tag>)...\n"
       "  register <doc> <cxg1-file>\n"
       "  remove <doc>\n");
@@ -105,6 +114,37 @@ int main(int argc, char** argv) {
       std::printf("%s\n", item.c_str());
     }
     std::fprintf(stderr, "# version %llu, %zu item(s), cache %s\n",
+                 static_cast<unsigned long long>(response->version),
+                 response->items.size(),
+                 response->cache_hit ? "hit" : "miss");
+    return 0;
+  }
+  if ((command == "prepare" && args.size() == 2) ||
+      (command == "run" && args.size() == 3)) {
+    size_t kind_arg = command == "prepare" ? 0 : 1;
+    service::QueryKind kind;
+    if (args[kind_arg] == "xpath") {
+      kind = service::QueryKind::kXPath;
+    } else if (args[kind_arg] == "xquery") {
+      kind = service::QueryKind::kXQuery;
+    } else {
+      return Usage();
+    }
+    auto qid = client.Prepare(kind, args[kind_arg + 1]);
+    if (!qid.ok()) return Fail(qid.status());
+    if (command == "prepare") {
+      std::printf("prepared %llu\n",
+                  static_cast<unsigned long long>(*qid));
+      return 0;
+    }
+    auto response = client.Run(args[0], *qid);
+    if (!response.ok()) return Fail(response.status());
+    for (const std::string& item : response->items) {
+      std::printf("%s\n", item.c_str());
+    }
+    std::fprintf(stderr,
+                 "# prepared %llu, version %llu, %zu item(s), cache %s\n",
+                 static_cast<unsigned long long>(*qid),
                  static_cast<unsigned long long>(response->version),
                  response->items.size(),
                  response->cache_hit ? "hit" : "miss");

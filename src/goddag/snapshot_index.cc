@@ -160,17 +160,28 @@ bool SnapshotIndex::Dominates(NodeId outer, NodeId inner) const {
   return true;
 }
 
-void SnapshotIndex::Dominated(const Pool& pool, NodeId ctx,
-                              std::vector<NodeId>* out) const {
-  Interval span = g_->char_range(ctx);
-  // Containment candidates have begin in [span.begin, span.end]: a
-  // zero-width node sitting exactly on either boundary is contained.
+namespace {
+
+/// Shared window bounds for the containment collectors: candidates
+/// have begin in [span.begin, span.end] (a zero-width node sitting
+/// exactly on either boundary is contained).
+std::pair<size_t, size_t> ContainmentWindow(
+    const SnapshotIndex::Pool& pool, const Interval& span) {
   size_t lo = static_cast<size_t>(
       std::lower_bound(pool.begins.begin(), pool.begins.end(), span.begin) -
       pool.begins.begin());
   size_t hi = static_cast<size_t>(
       std::upper_bound(pool.begins.begin(), pool.begins.end(), span.end) -
       pool.begins.begin());
+  return {lo, hi};
+}
+
+}  // namespace
+
+void SnapshotIndex::Dominated(const Pool& pool, NodeId ctx,
+                              std::vector<NodeId>* out) const {
+  Interval span = g_->char_range(ctx);
+  auto [lo, hi] = ContainmentWindow(pool, span);
   for (size_t i = lo; i < hi; ++i) {
     if (pool.ends[i] > span.end) continue;
     NodeId n = pool.nodes[i];
@@ -186,12 +197,7 @@ void SnapshotIndex::Dominated(const Pool& pool, NodeId ctx,
 void SnapshotIndex::Contained(const Pool& pool, NodeId ctx,
                               std::vector<NodeId>* out) const {
   Interval span = g_->char_range(ctx);
-  size_t lo = static_cast<size_t>(
-      std::lower_bound(pool.begins.begin(), pool.begins.end(), span.begin) -
-      pool.begins.begin());
-  size_t hi = static_cast<size_t>(
-      std::upper_bound(pool.begins.begin(), pool.begins.end(), span.end) -
-      pool.begins.begin());
+  auto [lo, hi] = ContainmentWindow(pool, span);
   for (size_t i = lo; i < hi; ++i) {
     if (pool.ends[i] > span.end) continue;
     if (pool.nodes[i] == ctx) continue;
@@ -220,6 +226,45 @@ void SnapshotIndex::Dominating(const Pool& pool, NodeId ctx,
     }
   }
   std::reverse(out->begin() + static_cast<ptrdiff_t>(mark), out->end());
+}
+
+NodeId SnapshotIndex::ScanContainment(const Pool& pool, NodeId ctx,
+                                      bool from_back,
+                                      bool dominated) const {
+  Interval span = g_->char_range(ctx);
+  auto [lo, hi] = ContainmentWindow(pool, span);
+  for (size_t k = 0, n = hi - lo; k < n; ++k) {
+    size_t i = from_back ? hi - 1 - k : lo + k;
+    if (pool.ends[i] > span.end) continue;
+    NodeId node = pool.nodes[i];
+    if (node == ctx) continue;
+    if (dominated && pool.begins[i] == span.begin &&
+        pool.ends[i] == span.end && !EqDominates(ctx, node)) {
+      continue;
+    }
+    return node;
+  }
+  return kInvalidNode;
+}
+
+NodeId SnapshotIndex::DominatedFirst(const Pool& pool, NodeId ctx) const {
+  return ScanContainment(pool, ctx, /*from_back=*/false,
+                         /*dominated=*/true);
+}
+
+NodeId SnapshotIndex::DominatedLast(const Pool& pool, NodeId ctx) const {
+  return ScanContainment(pool, ctx, /*from_back=*/true,
+                         /*dominated=*/true);
+}
+
+NodeId SnapshotIndex::ContainedFirst(const Pool& pool, NodeId ctx) const {
+  return ScanContainment(pool, ctx, /*from_back=*/false,
+                         /*dominated=*/false);
+}
+
+NodeId SnapshotIndex::ContainedLast(const Pool& pool, NodeId ctx) const {
+  return ScanContainment(pool, ctx, /*from_back=*/true,
+                         /*dominated=*/false);
 }
 
 void SnapshotIndex::FollowingOf(const Pool& pool, NodeId ctx,

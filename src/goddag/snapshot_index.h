@@ -120,6 +120,17 @@ class SnapshotIndex {
   /// Pool nodes dominating `ctx` — the ancestor axis over elements.
   void Dominating(const Pool& pool, NodeId ctx,
                   std::vector<NodeId>* out) const;
+  /// Positional-pushdown variants of Dominated/Contained: the first or
+  /// last pool node (in document order — pool order IS document order)
+  /// the full collector would have appended, found without
+  /// materialising the window. kInvalidNode when the window is empty.
+  /// The evaluator uses these for compiled descendant steps whose
+  /// leading predicate is [1] or [last()] (see xpath::StepPlan).
+  NodeId DominatedFirst(const Pool& pool, NodeId ctx) const;
+  NodeId DominatedLast(const Pool& pool, NodeId ctx) const;
+  NodeId ContainedFirst(const Pool& pool, NodeId ctx) const;
+  NodeId ContainedLast(const Pool& pool, NodeId ctx) const;
+
   /// Pool nodes whose extent starts at or after ctx's end, excluding
   /// equal-extent twins (zero-width contexts).
   void FollowingOf(const Pool& pool, NodeId ctx,
@@ -146,6 +157,14 @@ class SnapshotIndex {
   };
 
   static void FinishPool(const Goddag& g, Pool* pool);
+  /// The one containment scan behind Dominated/Contained First/Last:
+  /// walks the window forward or backward and returns the first node
+  /// passing the shared filter (`dominated` adds the equal-extent
+  /// EqDominates rule; without it, equal extents are plain
+  /// containment). Keeping a single copy is what guarantees the
+  /// positional pushdown can never diverge from the full collectors.
+  NodeId ScanContainment(const Pool& pool, NodeId ctx, bool from_back,
+                         bool dominated) const;
   bool EqDominates(NodeId outer, NodeId inner) const {
     return eq_dominance_.count((static_cast<uint64_t>(outer) << 32) |
                                inner) != 0;

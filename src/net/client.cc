@@ -64,6 +64,25 @@ Result<Response> Client::Query(const std::string& document,
   return Flatten(Call(request));
 }
 
+Result<uint64_t> Client::Prepare(service::QueryKind kind,
+                                 const std::string& expression) {
+  Request request;
+  request.verb = Verb::kQueryPrepare;
+  request.kind = kind;
+  request.body = expression;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  // The prepared-query id rides in the version slot (see protocol.h).
+  return response.version;
+}
+
+Result<Response> Client::Run(const std::string& document, uint64_t qid) {
+  Request request;
+  request.verb = Verb::kQueryRun;
+  request.document = document;
+  request.qid = qid;
+  return Flatten(Call(request));
+}
+
 Result<uint64_t> Client::Register(const std::string& document,
                                   std::string snapshot_bytes) {
   Request request;

@@ -37,6 +37,15 @@ class Client {
   Result<Response> Query(const std::string& document,
                          const std::string& expression,
                          service::QueryKind kind);
+  /// Compiles an expression server-side (QPREPARE) and returns its
+  /// prepared-query id. The id is bound to this connection and dies
+  /// with it; Run executes it against any document without re-sending
+  /// the expression bytes.
+  Result<uint64_t> Prepare(service::QueryKind kind,
+                           const std::string& expression);
+  /// Executes a prepared query (QRUN) — a QUERY-shaped response.
+  /// Unknown ids come back as the server's ERR NotFound.
+  Result<Response> Run(const std::string& document, uint64_t qid);
   /// Uploads CXG1 snapshot bytes; returns the registered version (1).
   Result<uint64_t> Register(const std::string& document,
                             std::string snapshot_bytes);

@@ -130,6 +130,10 @@ const char* VerbToString(Verb verb) {
   switch (verb) {
     case Verb::kQuery:
       return "QUERY";
+    case Verb::kQueryPrepare:
+      return "QPREPARE";
+    case Verb::kQueryRun:
+      return "QRUN";
     case Verb::kEdit:
       return "EDIT";
     case Verb::kEditBegin:
@@ -174,6 +178,15 @@ std::string RenderRequest(const Request& request) {
                     request.kind == service::QueryKind::kXQuery ? "XQUERY"
                                                                 : "XPATH",
                     "\n", request.body);
+    case Verb::kQueryPrepare:
+      return StrCat("QPREPARE ",
+                    request.kind == service::QueryKind::kXQuery ? "XQUERY"
+                                                                : "XPATH",
+                    "\n", request.body);
+    case Verb::kQueryRun:
+      return StrCat("QRUN ", request.document, " ",
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(request.qid)));
     case Verb::kRegister:
       return StrCat("REGISTER ", request.document, "\n", request.body);
     case Verb::kRemove:
@@ -246,6 +259,32 @@ Result<Request> ParseRequest(std::string_view payload) {
                                       /*commit=*/nullptr));
     if (request.ops.empty()) {
       return status::ParseError("EOP carries no operations");
+    }
+    return request;
+  }
+  if (verb == "QPREPARE") {
+    if (tokens.size() != 2) return Malformed("QPREPARE command line", line);
+    request.verb = Verb::kQueryPrepare;
+    if (tokens[1] == "XPATH") {
+      request.kind = service::QueryKind::kXPath;
+    } else if (tokens[1] == "XQUERY") {
+      request.kind = service::QueryKind::kXQuery;
+    } else {
+      return Malformed("QPREPARE kind", tokens[1]);
+    }
+    if (body.empty()) {
+      return status::ParseError("QPREPARE carries no expression body");
+    }
+    request.body = std::string(body);
+    return request;
+  }
+  if (verb == "QRUN") {
+    if (tokens.size() != 3) return Malformed("QRUN command line", line);
+    request.verb = Verb::kQueryRun;
+    request.document = std::string(tokens[1]);
+    CXML_RETURN_IF_ERROR(ValidateDocumentName(request.document));
+    if (!ParseU64(tokens[2], &request.qid)) {
+      return Malformed("QRUN id", tokens[2]);
     }
     return request;
   }

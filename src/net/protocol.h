@@ -19,6 +19,8 @@ namespace cxml::net {
 /// may be arbitrary bytes:
 ///
 ///   QUERY <doc> XPATH|XQUERY \n <expression>
+///   QPREPARE XPATH|XQUERY \n <expression>
+///   QRUN <doc> <qid>
 ///   EDIT <doc> \n (SELECT <begin> <end> | APPLY <hierarchy> <tag>)... COMMIT
 ///   EBEGIN <doc>
 ///   EOP \n (SELECT <begin> <end> | APPLY <hierarchy> <tag>)...
@@ -29,6 +31,16 @@ namespace cxml::net {
 ///   LIST
 ///   STAT
 ///   PING
+///
+/// QPREPARE compiles the expression server-side once (parse + static
+/// analysis, see service::QueryService::Prepare) and answers
+/// `OK 0 <qid> 0` — the prepared-query id rides in the version slot.
+/// QRUN then executes the handle against any document with a QUERY-
+/// shaped response, without re-sending or re-parsing the expression.
+/// Handle ids are per-connection (a QRUN with an unknown or another
+/// connection's qid earns ERR NotFound) and die with it; the handles
+/// themselves are deduplicated service-wide by canonical text, so many
+/// connections preparing the same query share one compiled object.
 ///
 /// EDIT op lines apply in order to one server-side EditTransaction;
 /// the COMMIT line (required, last) publishes it — an optimistic
@@ -52,6 +64,8 @@ namespace cxml::net {
 
 enum class Verb : uint8_t {
   kQuery,
+  kQueryPrepare,
+  kQueryRun,
   kEdit,
   kEditBegin,
   kEditOp,
@@ -98,10 +112,12 @@ struct Request {
   Verb verb = Verb::kPing;
   /// QUERY / EDIT / REGISTER / REMOVE target.
   std::string document;
-  /// QUERY: how `body` is interpreted.
+  /// QUERY / QPREPARE: how `body` is interpreted.
   service::QueryKind kind = service::QueryKind::kXPath;
-  /// QUERY: the expression; REGISTER: the CXG1 snapshot bytes.
+  /// QUERY / QPREPARE: the expression; REGISTER: the CXG1 bytes.
   std::string body;
+  /// QRUN: the prepared-query id returned by QPREPARE.
+  uint64_t qid = 0;
   /// EDIT / EOP: the op sequence (EDIT's trailing COMMIT is implicit
   /// in the struct form — rendering appends it, parsing requires it).
   std::vector<EditOp> ops;

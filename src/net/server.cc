@@ -60,6 +60,12 @@ struct Server::Conn {
   /// connection discards it, which aborts the edit.
   std::unique_ptr<service::EditTransaction> txn;
 
+  /// The QPREPARE handle table: qid → prepared query, same cross-frame
+  /// single-worker discipline (and no lock) as `txn`. Dropped with the
+  /// connection; bounded by ServerOptions::max_prepared_per_conn.
+  std::map<uint64_t, service::QueryHandle> prepared;
+  uint64_t next_qid = 1;
+
   bool HasOutput() {
     std::lock_guard<std::mutex> lock(mu);
     return out_offset < outbox.size();
@@ -418,6 +424,10 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request) {
       return DoStat();
     case Verb::kQuery:
       return DoQuery(request);
+    case Verb::kQueryPrepare:
+      return DoQueryPrepare(conn, request);
+    case Verb::kQueryRun:
+      return DoQueryRun(conn, request);
     case Verb::kEdit:
       return DoEdit(request);
     case Verb::kEditBegin:
@@ -452,6 +462,37 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request) {
 Result<std::string> Server::DoQuery(const Request& request) {
   service::QueryResponse response =
       service_->Execute({request.document, request.body, request.kind});
+  if (!response.ok()) return response.status;
+  return RenderItems(*response.items, response.version, response.cache_hit);
+}
+
+Result<std::string> Server::DoQueryPrepare(Conn* conn,
+                                           const Request& request) {
+  if (conn->prepared.size() >= options_.max_prepared_per_conn) {
+    return status::FailedPrecondition(StrFormat(
+        "too many prepared queries on this connection (max %zu)",
+        options_.max_prepared_per_conn));
+  }
+  // Compilation is document-independent: a bad expression fails here,
+  // once, instead of on every QRUN. The service dedupes by canonical
+  // text, so equal queries from other connections share the handle.
+  CXML_ASSIGN_OR_RETURN(service::QueryHandle handle,
+                        service_->Prepare(request.body, request.kind));
+  uint64_t qid = conn->next_qid++;
+  conn->prepared.emplace(qid, std::move(handle));
+  // The qid rides in the version slot of the OK line.
+  return RenderVersion(qid);
+}
+
+Result<std::string> Server::DoQueryRun(Conn* conn, const Request& request) {
+  auto it = conn->prepared.find(request.qid);
+  if (it == conn->prepared.end()) {
+    return status::NotFound(StrFormat(
+        "unknown prepared query id %llu on this connection",
+        static_cast<unsigned long long>(request.qid)));
+  }
+  service::QueryResponse response =
+      service_->Execute(request.document, it->second);
   if (!response.ok()) return response.status;
   return RenderItems(*response.items, response.version, response.cache_hit);
 }
@@ -549,6 +590,9 @@ Result<std::string> Server::DoStat() {
                             static_cast<unsigned long long>(stats.batches)));
   items.push_back(StrFormat("service_errors %llu",
                             static_cast<unsigned long long>(stats.errors)));
+  items.push_back(StrFormat(
+      "service_prepares %llu",
+      static_cast<unsigned long long>(stats.prepares)));
   items.push_back(StrFormat(
       "write_edits %llu",
       static_cast<unsigned long long>(stats.writes.edits)));

@@ -31,6 +31,12 @@ struct ServerOptions {
   /// read-mostly edge exposed to untrusted clients should not accept
   /// document uploads.
   bool allow_register = true;
+  /// Cap on live QPREPARE handles per connection — a remote peer must
+  /// not grow server memory without bound by preparing forever (the
+  /// compiled objects are deduplicated service-wide, but the qid table
+  /// itself is per-connection). Exceeding it earns ERR
+  /// FailedPrecondition; 0 disables QPREPARE entirely.
+  size_t max_prepared_per_conn = 1024;
   /// Per-connection read/idle deadline: a connection on which no bytes
   /// arrive, no response bytes drain, and no request is in flight for
   /// this long is closed (its open EBEGIN transaction aborts with it),
@@ -65,7 +71,14 @@ struct ServerStats {
 /// parallel. The connection also carries protocol state across
 /// frames: an EBEGIN'd EditTransaction lives on it until ECOMMIT /
 /// EABORT / disconnect, which is what lets a remote editor observe an
-/// optimistic conflict with a commit that landed in between.
+/// optimistic conflict with a commit that landed in between. The
+/// QPREPARE handle table (qid → service::QueryHandle) lives on the
+/// connection the same way — bounded by
+/// ServerOptions::max_prepared_per_conn, dropped on disconnect — so
+/// QRUN frames execute compiled queries without ever re-sending or
+/// re-parsing expression bytes (the handles themselves are immutable
+/// and deduplicated service-wide, so concurrent QRUNs from many
+/// connections share one compiled object).
 ///
 /// Writes route through the service's per-document WritePipeline:
 /// single-frame EDITs join the document's group commit (one clone +
@@ -124,6 +137,8 @@ class Server {
   std::string HandleRequest(Conn* conn, std::string_view payload);
   Result<std::string> Dispatch(Conn* conn, const Request& request);
   Result<std::string> DoQuery(const Request& request);
+  Result<std::string> DoQueryPrepare(Conn* conn, const Request& request);
+  Result<std::string> DoQueryRun(Conn* conn, const Request& request);
   Result<std::string> DoEdit(const Request& request);
   Result<std::string> DoEditBegin(Conn* conn, const Request& request);
   Result<std::string> DoEditOp(Conn* conn, const Request& request);

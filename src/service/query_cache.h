@@ -30,24 +30,36 @@ const char* QueryKindToString(QueryKind kind);
 /// the key also makes a late Put from a worker that pinned a snapshot
 /// of a since-removed document harmless: its key can't collide with
 /// the replacement's.
+///
+/// Since PR 5 the query identity is the *canonical* rendering produced
+/// by xpath/xquery Compile (plus its precomputed hash), not the raw
+/// expression text: textually different but canonically identical
+/// queries — whitespace variants, expanded abbreviations — share one
+/// entry, and the hot path hashes eight precomputed bytes instead of
+/// the expression. The canonical string stays in the key, so a hash
+/// collision costs a string compare, never a wrong result.
 struct QueryKey {
   std::string document;
   uint64_t version = 0;
   uint64_t generation = 0;
-  std::string query;
+  /// Canonical query text (CompiledQuery::canonical()).
+  std::string canonical;
+  /// xpath::CanonicalHash(canonical), precomputed at Prepare time.
+  uint64_t canonical_hash = 0;
   QueryKind kind = QueryKind::kXPath;
 
   bool operator==(const QueryKey& o) const {
-    return version == o.version && generation == o.generation &&
-           kind == o.kind && document == o.document && query == o.query;
+    return canonical_hash == o.canonical_hash && version == o.version &&
+           generation == o.generation && kind == o.kind &&
+           document == o.document && canonical == o.canonical;
   }
 };
 
 struct QueryKeyHash {
   size_t operator()(const QueryKey& k) const {
-    std::hash<std::string> h;
-    size_t seed = h(k.document);
-    seed ^= h(k.query) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    size_t seed = std::hash<std::string>()(k.document);
+    seed ^= static_cast<size_t>(k.canonical_hash) + 0x9e3779b97f4a7c15ULL +
+            (seed << 6) + (seed >> 2);
     seed ^= std::hash<uint64_t>()(k.version) + (seed << 6) + (seed >> 2);
     seed ^=
         std::hash<uint64_t>()(k.generation) + (seed << 6) + (seed >> 2);
@@ -74,7 +86,7 @@ struct CacheStats {
 };
 
 /// Thread-safe LRU cache of query results keyed by
-/// (document, version, generation, query string, kind).
+/// (document, version, generation, canonical query hash, kind).
 class QueryCache {
  public:
   explicit QueryCache(size_t capacity) : capacity_(capacity) {}

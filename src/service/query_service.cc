@@ -8,9 +8,25 @@
 
 namespace cxml::service {
 
+namespace {
+
+/// Prepared-handle cache/registry key: one byte of kind + the text, so
+/// the same string under the two dialects never collides.
+std::string HandleKey(QueryKind kind, std::string_view text) {
+  std::string key;
+  key.reserve(text.size() + 2);
+  key.push_back(kind == QueryKind::kXPath ? 'P' : 'Q');
+  key.push_back(':');
+  key.append(text);
+  return key;
+}
+
+}  // namespace
+
 QueryService::QueryService(DocumentStore* store, QueryServiceOptions options)
     : store_(store),
       cache_(options.cache_capacity),
+      prepared_lru_(options.prepared_cache_capacity),
       pool_(options.num_threads),
       write_pool_(options.num_write_threads == 0
                       ? 1
@@ -31,6 +47,65 @@ QueryService::~QueryService() {
   store_->RemoveVersionListener(listener_id_);
 }
 
+Result<QueryHandle> QueryService::Prepare(const std::string& query,
+                                          QueryKind kind) {
+  std::string text_key = HandleKey(kind, query);
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    if (const QueryHandle* hit = prepared_lru_.Get(text_key)) return *hit;
+  }
+
+  // Compile outside the lock: parsing cost must never serialize other
+  // submitters. A racing Prepare of the same text compiles twice; the
+  // canonical registry below still collapses the two to one handle.
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->kind = kind;
+  prepared->text = query;
+  if (kind == QueryKind::kXPath) {
+    auto compiled = xpath::Compile(query);
+    if (!compiled.ok()) {
+      return compiled.status().WithContext(
+          StrCat(QueryKindToString(kind), " '", query, "'"));
+    }
+    prepared->xpath = std::move(compiled).value();
+    prepared->canonical = prepared->xpath->canonical();
+    prepared->canonical_hash = prepared->xpath->canonical_hash();
+  } else {
+    auto compiled = xquery::Compile(query);
+    if (!compiled.ok()) {
+      return compiled.status().WithContext(
+          StrCat(QueryKindToString(kind), " '", query, "'"));
+    }
+    prepared->xquery = std::move(compiled).value();
+    prepared->canonical = prepared->xquery->canonical();
+    prepared->canonical_hash = prepared->xquery->canonical_hash();
+  }
+  QueryHandle handle = std::move(prepared);
+
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  ++prepares_;
+  // Dedupe through the canonical registry: textual variants (and every
+  // connection preparing the same query) share one live handle.
+  std::string canonical_key = HandleKey(kind, handle->canonical);
+  auto [it, inserted] = registry_.try_emplace(canonical_key);
+  if (!inserted) {
+    if (QueryHandle live = it->second.lock()) {
+      prepared_lru_.Put(text_key, live);
+      return live;
+    }
+  }
+  it->second = handle;
+  if (registry_.size() > 4 * prepared_lru_.capacity()) {
+    // Opportunistic prune of expired registrations (weak_ptrs never
+    // pin handles, but the map entries themselves need reclaiming).
+    for (auto r = registry_.begin(); r != registry_.end();) {
+      r = r->second.expired() ? registry_.erase(r) : std::next(r);
+    }
+  }
+  prepared_lru_.Put(text_key, handle);
+  return handle;
+}
+
 std::future<EditResponse> QueryService::SubmitEdit(std::string document,
                                                    EditFn apply) {
   return pipeline_.SubmitEdit(std::move(document), std::move(apply));
@@ -46,10 +121,31 @@ std::future<EditResponse> QueryService::SubmitCommit(
 }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  // The string path is a thin wrapper: resolve to a handle (one hash +
+  // lookup when hot, a compile on first sight), then share the
+  // prepared path. A parse failure answers immediately — it needs no
+  // snapshot and no worker.
+  Result<QueryHandle> handle = Prepare(request.query, request.kind);
+  if (!handle.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++requests_;
+      ++errors_;
+    }
+    std::promise<QueryResponse> promise;
+    QueryResponse response;
+    response.status = handle.status();
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+  return Submit(std::move(request.document), std::move(handle).value());
+}
+
+std::future<QueryResponse> QueryService::Submit(std::string document,
+                                                QueryHandle handle) {
   Pending pending;
-  pending.request = std::move(request);
+  pending.handle = std::move(handle);
   std::future<QueryResponse> future = pending.promise.get_future();
-  std::string document = pending.request.document;
 
   bool schedule = false;
   {
@@ -80,6 +176,11 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
 
 QueryResponse QueryService::Execute(QueryRequest request) {
   return Submit(std::move(request)).get();
+}
+
+QueryResponse QueryService::Execute(std::string document,
+                                    QueryHandle handle) {
+  return Submit(std::move(document), std::move(handle)).get();
 }
 
 std::vector<QueryResponse> QueryService::ExecuteAll(
@@ -133,7 +234,7 @@ void QueryService::ServeDocument(const std::string& document) {
     // runs at most once per document at a time (scheduled_ set).
     SnapshotPtr snapshot = std::move(snap).value();
     for (Pending& p : batch) {
-      QueryResponse response = RunOne(*snapshot, p.request);
+      QueryResponse response = RunOne(*snapshot, *p.handle);
       if (!response.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         ++errors_;
@@ -144,12 +245,12 @@ void QueryService::ServeDocument(const std::string& document) {
 }
 
 QueryResponse QueryService::RunOne(const DocumentSnapshot& snap,
-                                   const QueryRequest& request) {
+                                   const PreparedQuery& query) {
   QueryResponse response;
   response.version = snap.version;
 
-  QueryKey key{request.document, snap.version, snap.generation,
-               request.query, request.kind};
+  QueryKey key{snap.name,       snap.version,         snap.generation,
+               query.canonical, query.canonical_hash, query.kind};
   if (CachedResult cached = cache_.Get(key)) {
     response.items = std::move(cached);
     response.cache_hit = true;
@@ -157,12 +258,12 @@ QueryResponse QueryService::RunOne(const DocumentSnapshot& snap,
   }
 
   Result<std::vector<std::string>> items =
-      request.kind == QueryKind::kXPath
-          ? snap.XPath().EvaluateToStrings(request.query)
-          : snap.XQuery().Run(request.query);
+      query.kind == QueryKind::kXPath
+          ? snap.XPath().EvaluateToStrings(*query.xpath)
+          : snap.XQuery().Run(*query.xquery);
   if (!items.ok()) {
     response.status = items.status().WithContext(
-        StrCat(QueryKindToString(request.kind), " '", request.query, "'"));
+        StrCat(QueryKindToString(query.kind), " '", query.text, "'"));
     return response;
   }
   response.items = std::make_shared<const std::vector<std::string>>(
@@ -178,6 +279,10 @@ ServiceStats QueryService::stats() const {
     s.requests = requests_;
     s.batches = batches_;
     s.errors = errors_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    s.prepares = prepares_;
   }
   s.cache = cache_.stats();
   s.writes = pipeline_.stats();

@@ -11,18 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "service/document_store.h"
 #include "service/query_cache.h"
 #include "service/thread_pool.h"
 #include "service/write_pipeline.h"
-
-namespace cxml::xpath {
-class XPathEngine;
-}  // namespace cxml::xpath
-namespace cxml::xquery {
-class XQueryEngine;
-}  // namespace cxml::xquery
+#include "xpath/compiled.h"
+#include "xquery/xquery.h"
 
 namespace cxml::service {
 
@@ -31,6 +27,25 @@ struct QueryRequest {
   std::string query;
   QueryKind kind = QueryKind::kXPath;
 };
+
+/// A prepared query — the service-level compile-once/bind-many handle.
+/// Document-independent (Prepare never touches a snapshot) and
+/// immutable, so one handle is safely shared across threads and
+/// connections and submitted against any document, any number of
+/// times. Exactly one of `xpath`/`xquery` is set, matching `kind`.
+struct PreparedQuery {
+  QueryKind kind = QueryKind::kXPath;
+  /// The expression text as submitted (error messages only).
+  std::string text;
+  /// Canonical rendering + precomputed hash — the result-cache
+  /// identity shared by every textual variant of the query.
+  std::string canonical;
+  uint64_t canonical_hash = 0;
+  xpath::CompiledQueryPtr xpath;
+  xquery::CompiledQueryPtr xquery;
+};
+
+using QueryHandle = std::shared_ptr<const PreparedQuery>;
 
 struct QueryResponse {
   Status status;
@@ -48,6 +63,9 @@ struct ServiceStats {
   uint64_t requests = 0;
   uint64_t batches = 0;
   uint64_t errors = 0;
+  /// Prepare() compilations that missed the prepared-handle caches
+  /// (string submissions resolve through the same counters).
+  uint64_t prepares = 0;
   CacheStats cache;
   /// Writer-pipeline counters (group commits, retries, errors).
   WriteStats writes;
@@ -68,6 +86,9 @@ struct QueryServiceOptions {
   /// loads because batching absorbs bursts; raise it when many
   /// distinct documents take writes concurrently.
   size_t num_write_threads = 1;
+  /// Bounded LRU of (kind, raw text) → QueryHandle, so hot string
+  /// submissions pay one string hash instead of a parse per request.
+  size_t prepared_cache_capacity = 256;
 };
 
 /// Executes Extended XPath / XQuery requests against DocumentStore
@@ -82,10 +103,19 @@ struct QueryServiceOptions {
 /// N. Per-document serialization (scheduled_) is what makes sharing
 /// the stateful engines across batches sound.
 ///
-/// Results are memoised in a (document, version, generation, query,
-/// kind)-keyed LRU cache; a DocumentStore version listener invalidates
-/// a document's stale entries the moment an edit::Session commit
-/// publishes a new version.
+/// The query API is compile-once/bind-many: Prepare() compiles an
+/// expression into a document-independent QueryHandle (deduplicated by
+/// canonical text, so every connection preparing the same query shares
+/// one object), and Submit(document, handle) runs it with zero
+/// per-request parse or canonicalization work. String submission is a
+/// thin wrapper: a bounded LRU maps (kind, raw text) → handle, so the
+/// hot string path still pays only one hash + lookup.
+///
+/// Results are memoised in a (document, version, generation, canonical
+/// query hash, kind)-keyed LRU cache — textually different but
+/// canonically identical queries share one entry — and a DocumentStore
+/// version listener invalidates a document's stale entries the moment
+/// an edit::Session commit publishes a new version.
 ///
 /// Writes batch symmetrically through the per-document WritePipeline
 /// (SubmitEdit / SubmitCommit), drained by a dedicated writer lane
@@ -103,11 +133,24 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Asynchronous entry point: enqueues and returns immediately.
-  std::future<QueryResponse> Submit(QueryRequest request);
+  /// Compiles a query into a reusable, document-independent handle.
+  /// Parse + static analysis run at most once per distinct canonical
+  /// query: handles are deduplicated through a canonical-keyed
+  /// registry, so concurrent Prepares of textual variants all receive
+  /// the same shared object.
+  Result<QueryHandle> Prepare(const std::string& query, QueryKind kind);
 
-  /// Synchronous convenience: Submit + wait.
+  /// Asynchronous entry points: enqueue and return immediately. The
+  /// string form resolves the expression through the prepared-handle
+  /// cache (compiling on first sight) and otherwise behaves exactly
+  /// like the handle form.
+  std::future<QueryResponse> Submit(QueryRequest request);
+  std::future<QueryResponse> Submit(std::string document,
+                                    QueryHandle handle);
+
+  /// Synchronous conveniences: Submit + wait.
   QueryResponse Execute(QueryRequest request);
+  QueryResponse Execute(std::string document, QueryHandle handle);
 
   /// Submits all requests, waits for all responses (same order).
   std::vector<QueryResponse> ExecuteAll(std::vector<QueryRequest> requests);
@@ -132,20 +175,30 @@ class QueryService {
 
  private:
   struct Pending {
-    QueryRequest request;
+    QueryHandle handle;
     std::promise<QueryResponse> promise;
   };
 
   /// Claims and runs batches for `document` until its queue drains.
   void ServeDocument(const std::string& document);
-  /// Runs one request against the snapshot's memoized engine pair
-  /// (DocumentSnapshot::XPath/XQuery) through the result cache.
+  /// Runs one prepared query against the snapshot's memoized engine
+  /// pair (DocumentSnapshot::XPath/XQuery) through the result cache.
   QueryResponse RunOne(const DocumentSnapshot& snap,
-                       const QueryRequest& request);
+                       const PreparedQuery& query);
 
   DocumentStore* store_;
   QueryCache cache_;
   uint64_t listener_id_ = 0;
+
+  /// Prepared-handle state: the raw-text LRU keeps hot string
+  /// submissions parse-free; the canonical registry dedupes handles so
+  /// textual variants (and every connection) share one object. The
+  /// registry holds weak_ptrs — it never pins memory for queries
+  /// nobody references — and is pruned opportunistically.
+  mutable std::mutex prepared_mu_;
+  StringLruCache<QueryHandle> prepared_lru_;
+  std::map<std::string, std::weak_ptr<const PreparedQuery>> registry_;
+  uint64_t prepares_ = 0;
 
   mutable std::mutex mu_;
   /// Per-document FIFO of pending requests.

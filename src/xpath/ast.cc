@@ -153,10 +153,24 @@ std::string ToString(const Expr& expr) {
       }
       return out;
     }
-    case Expr::Kind::kLiteral:
-      return StrCat("'", expr.string_value, "'");
+    case Expr::Kind::kLiteral: {
+      // The rendering doubles as the compiled-query canonical identity
+      // (xpath::Compile), so it must be injective: escape the quote and
+      // the escape itself. The result is an identity/debug string, not
+      // re-parseable source.
+      std::string out = "'";
+      for (char c : expr.string_value) {
+        if (c == '\'' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('\'');
+      return out;
+    }
     case Expr::Kind::kNumber: {
-      std::string n = StrFormat("%g", expr.number_value);
+      // %.17g round-trips every double, so distinct numeric literals
+      // never collapse to one canonical text (%g's 6 significant
+      // digits would merge e.g. 1000000 and 1000001 into "1e+06").
+      std::string n = StrFormat("%.17g", expr.number_value);
       return n;
     }
     case Expr::Kind::kFunction: {

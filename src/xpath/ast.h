@@ -55,6 +55,26 @@ struct NodeTest {
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
+/// Static per-step plan, filled in by xpath::Compile's analysis pass
+/// (compiled.h) after parsing. Default-constructed steps carry no plan
+/// and evaluate exactly as before — the plan only ever *narrows* work
+/// the evaluator would do anyway, so plan-less and planned evaluation
+/// are equivalent by construction.
+struct StepPlan {
+  /// A leading positional predicate the indexed evaluator may push
+  /// into the SnapshotIndex pool scan instead of materialising the
+  /// full axis window first (descendant/child steps only).
+  enum class Positional : uint8_t { kNone, kFirst, kLast };
+  Positional positional = Positional::kNone;
+  /// The axis consults (hierarchy, tag) pools on a SnapshotIndex
+  /// (descendant, ancestor, following, preceding, overlapping family).
+  bool uses_pools = false;
+  /// False for steps the index cannot accelerate (child/parent/
+  /// sibling/self/attribute walks) — the seam future per-step strategy
+  /// choice hangs off.
+  bool index_friendly = false;
+};
+
 /// One location step: axis(hierarchy)::test[pred]...
 /// `hierarchy` is the paper's hierarchy qualifier; empty = all
 /// hierarchies (the whole GODDAG).
@@ -63,6 +83,8 @@ struct Step {
   std::string hierarchy;
   NodeTest test;
   std::vector<ExprPtr> predicates;
+  /// Filled by xpath::Compile (see StepPlan); inert when defaulted.
+  StepPlan plan;
 };
 
 /// A location path.

@@ -2,34 +2,26 @@
 
 namespace cxml::xpath {
 
-Result<const Expr*> XPathEngine::ParseCached(std::string_view expression) {
-  auto it = cache_.find(expression);
-  if (it != cache_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return static_cast<const Expr*>(it->second->second.get());
+Result<const CompiledQuery*> XPathEngine::ParseCached(
+    std::string_view expression) {
+  if (const CompiledQueryPtr* hit = cache_.Get(expression)) {
+    return hit->get();
   }
-  CXML_ASSIGN_OR_RETURN(ExprPtr parsed, ParseXPath(expression));
-  const Expr* raw = parsed.get();
-  lru_.emplace_front(std::string(expression), std::move(parsed));
-  cache_.emplace(std::string_view(lru_.front().first), lru_.begin());
-  if (lru_.size() > cache_capacity_) {
-    // cache_capacity_ >= 1, so the evicted entry is never the one just
-    // inserted and `raw` stays valid for this evaluation.
-    cache_.erase(std::string_view(lru_.back().first));
-    lru_.pop_back();
-  }
-  return raw;
+  CXML_ASSIGN_OR_RETURN(CompiledQueryPtr compiled, Compile(expression));
+  return cache_.Put(expression, std::move(compiled))->get();
 }
 
 Result<Value> XPathEngine::Evaluate(std::string_view expression) {
-  CXML_ASSIGN_OR_RETURN(const Expr* expr, ParseCached(expression));
-  return evaluator_.Evaluate(*expr);
+  CXML_ASSIGN_OR_RETURN(const CompiledQuery* query,
+                        ParseCached(expression));
+  return Evaluate(*query);
 }
 
 Result<Value> XPathEngine::EvaluateFrom(std::string_view expression,
                                         goddag::NodeId context) {
-  CXML_ASSIGN_OR_RETURN(const Expr* expr, ParseCached(expression));
-  return evaluator_.Evaluate(*expr, NodeEntry::Of(context));
+  CXML_ASSIGN_OR_RETURN(const CompiledQuery* query,
+                        ParseCached(expression));
+  return EvaluateFrom(*query, context);
 }
 
 Result<std::vector<goddag::NodeId>> XPathEngine::SelectNodes(
@@ -47,19 +39,33 @@ Result<std::vector<goddag::NodeId>> XPathEngine::SelectNodes(
   return out;
 }
 
-Result<std::vector<std::string>> XPathEngine::EvaluateToStrings(
-    std::string_view expression) {
-  CXML_ASSIGN_OR_RETURN(Value value, Evaluate(expression));
+namespace {
+
+Result<std::vector<std::string>> RenderValue(const goddag::Goddag& g,
+                                             Result<Value> value) {
+  CXML_RETURN_IF_ERROR(value.status());
   std::vector<std::string> out;
-  if (value.is_node_set()) {
-    out.reserve(value.nodes().size());
-    for (const NodeEntry& e : value.nodes()) {
-      out.push_back(Value::StringValue(*g_, e));
+  if (value->is_node_set()) {
+    out.reserve(value->nodes().size());
+    for (const NodeEntry& e : value->nodes()) {
+      out.push_back(Value::StringValue(g, e));
     }
   } else {
-    out.push_back(value.ToString(*g_));
+    out.push_back(value->ToString(g));
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> XPathEngine::EvaluateToStrings(
+    std::string_view expression) {
+  return RenderValue(*g_, Evaluate(expression));
+}
+
+Result<std::vector<std::string>> XPathEngine::EvaluateToStrings(
+    const CompiledQuery& query) {
+  return RenderValue(*g_, Evaluate(query));
 }
 
 }  // namespace cxml::xpath

@@ -1,26 +1,31 @@
 #ifndef CXML_XPATH_ENGINE_H_
 #define CXML_XPATH_ENGINE_H_
 
-#include <list>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/lru_cache.h"
+#include "xpath/compiled.h"
 #include "xpath/evaluator.h"
 #include "xpath/parser.h"
 
 namespace cxml::xpath {
 
-/// Facade over parser + evaluator with a bounded per-expression parse
-/// cache — the "Extended XPath engine" a framework user touches (paper
-/// §4: "an efficient implementation of the Extended XPath").
+/// Facade over parser + evaluator — the "Extended XPath engine" a
+/// framework user touches (paper §4: "an efficient implementation of
+/// the Extended XPath").
 ///
-/// Engines may now live as long as a document snapshot (see
-/// service::DocumentSnapshot), so the parse cache is a small LRU
-/// instead of growing with every distinct expression ever seen.
+/// The query API is compile-once/bind-many: `Prepare` (or the free
+/// `xpath::Compile`) turns an expression into an immutable, document-
+/// independent CompiledQuery once, and the Evaluate* overloads taking
+/// the compiled form run it without any per-call parse or hash work.
+/// The string overloads are thin wrappers that fetch the compiled form
+/// from a bounded LRU parse cache (engines may live as long as a
+/// document snapshot — see service::DocumentSnapshot — so the cache
+/// must stay O(1) under adversarial query streams).
 class XPathEngine {
  public:
   /// Default parse-cache capacity: generous for any realistic working
@@ -32,16 +37,27 @@ class XPathEngine {
   explicit XPathEngine(const goddag::Goddag& g,
                        size_t parse_cache_capacity =
                            kDefaultParseCacheCapacity)
-      : g_(&g),
-        evaluator_(g),
-        cache_capacity_(parse_cache_capacity == 0 ? 1
-                                                  : parse_cache_capacity) {}
+      : g_(&g), evaluator_(g), cache_(parse_cache_capacity) {}
+
+  /// Compiles an expression for this engine's dialect. Document-
+  /// independent and stateless — provided on the engine for symmetry
+  /// with the service API; identical to the free xpath::Compile.
+  static Result<CompiledQueryPtr> Prepare(std::string_view expression) {
+    return Compile(expression);
+  }
 
   /// Evaluates against the document node.
   Result<Value> Evaluate(std::string_view expression);
+  Result<Value> Evaluate(const CompiledQuery& query) {
+    return evaluator_.Evaluate(query.expr());
+  }
   /// Evaluates with an explicit context node.
   Result<Value> EvaluateFrom(std::string_view expression,
                              goddag::NodeId context);
+  Result<Value> EvaluateFrom(const CompiledQuery& query,
+                             goddag::NodeId context) {
+    return evaluator_.Evaluate(query.expr(), NodeEntry::Of(context));
+  }
 
   /// Evaluates a pre-parsed expression (used by the XQuery engine, which
   /// compiles embedded expressions once and runs them per tuple).
@@ -61,6 +77,8 @@ class XPathEngine {
   /// service layer caches.
   Result<std::vector<std::string>> EvaluateToStrings(
       std::string_view expression);
+  Result<std::vector<std::string>> EvaluateToStrings(
+      const CompiledQuery& query);
 
   /// Binds $name for subsequent evaluations.
   void SetVariable(const std::string& name, Value value) {
@@ -81,30 +99,34 @@ class XPathEngine {
     evaluator_.SetAxisStrategy(strategy);
   }
 
+  /// Enables/disables pushing compiled positional predicates into the
+  /// SnapshotIndex pool scans (on by default; the off position is the
+  /// window-materialising oracle the benches compare against).
+  void SetPositionalPushdown(bool enabled) {
+    evaluator_.SetPositionalPushdown(enabled);
+  }
+
   /// Call after mutating the GODDAG: clears evaluator indexes (the parse
   /// cache stays — expressions do not depend on the instance).
   void InvalidateIndexes() { evaluator_.Reset(); }
 
-  size_t cache_size() const { return lru_.size(); }
-  size_t parse_cache_capacity() const { return cache_capacity_; }
+  size_t cache_size() const { return cache_.size(); }
+  size_t parse_cache_capacity() const { return cache_.capacity(); }
 
  private:
-  /// Returns the parsed expression, MRU-promoting it. The pointer is
-  /// owned by the cache and stays valid until `cache_capacity_` newer
+  /// Returns the compiled expression, MRU-promoting it. The pointer is
+  /// owned by the cache and stays valid until `cache_capacity` newer
   /// distinct expressions evict it — callers use it within the same
   /// evaluation, never across ParseCached calls.
-  Result<const Expr*> ParseCached(std::string_view expression);
+  Result<const CompiledQuery*> ParseCached(std::string_view expression);
 
   const goddag::Goddag* g_;
   Evaluator evaluator_;
-  /// LRU list (front = most recent) + view-keyed map into it. The
-  /// string_view keys point at the list nodes' strings, which never
-  /// move (list nodes are stable).
-  std::list<std::pair<std::string, ExprPtr>> lru_;
-  std::map<std::string_view,
-           std::list<std::pair<std::string, ExprPtr>>::iterator>
-      cache_;
-  size_t cache_capacity_;
+  /// Bounded LRU of compiled expressions keyed by the raw text (the
+  /// canonical form would save duplicate entries for whitespace
+  /// variants, but would put a full parse on the hot string path —
+  /// canonical sharing belongs to the service's result cache).
+  StringLruCache<CompiledQueryPtr> cache_;
 };
 
 }  // namespace cxml::xpath

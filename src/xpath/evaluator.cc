@@ -228,8 +228,46 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
     case AxisKind::kDescendantOrSelf: {
       if (ctx.is_attribute()) break;
       if (step.axis == AxisKind::kDescendantOrSelf) add(ctx);
+      // Compiled positional pushdown (plan only ever set on plain
+      // kDescendant): pick the window's document-order first/last node
+      // straight from the pools instead of materialising the window —
+      // the singleton then passes the [1]/[last()] predicate trivially.
+      const bool push_first =
+          step.plan.positional == StepPlan::Positional::kFirst;
+      NodeId best = kInvalidNode;
+      auto consider = [&](NodeId n) {
+        if (n == kInvalidNode) return;
+        if (best == kInvalidNode ||
+            (push_first ? index().Before(n, best)
+                        : index().Before(best, n))) {
+          best = n;
+        }
+      };
       if (ctx.is_document()) {
         add_node(g_->root());
+        if (strategy_ == AxisStrategy::kIndexed && UsePositional(step)) {
+          // The root is document-order first; any pool node beats it
+          // for [last()].
+          if (push_first && !out.empty()) break;
+          if (TestWantsElements(step.test)) {
+            const auto& pool = ElementPoolFor(hq, step.test);
+            if (!pool.empty()) {
+              consider(push_first ? pool.nodes.front() : pool.nodes.back());
+            }
+          }
+          if (TestWantsLeaves(step.test)) {
+            const auto& leaves = index().Leaves();
+            if (!leaves.empty()) {
+              consider(push_first ? leaves.nodes.front()
+                                  : leaves.nodes.back());
+            }
+          }
+          if (best != kInvalidNode) {
+            out.clear();
+            out.push_back(NodeEntry::Of(best));
+          }
+          break;
+        }
         if (strategy_ == AxisStrategy::kIndexed) {
           // Whole pools: already restricted to hierarchy + name test.
           if (TestWantsElements(step.test)) {
@@ -251,6 +289,21 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
         break;
       }
       if (strategy_ == AxisStrategy::kIndexed) {
+        if (UsePositional(step)) {
+          if (TestWantsElements(step.test)) {
+            const auto& pool = ElementPoolFor(hq, step.test);
+            consider(push_first ? index().DominatedFirst(pool, ctx.node)
+                                : index().DominatedLast(pool, ctx.node));
+          }
+          if (TestWantsLeaves(step.test)) {
+            const auto& leaves = index().Leaves();
+            consider(push_first
+                         ? index().ContainedFirst(leaves, ctx.node)
+                         : index().ContainedLast(leaves, ctx.node));
+          }
+          if (best != kInvalidNode) out.push_back(NodeEntry::Of(best));
+          break;
+        }
         scratch_.clear();
         if (TestWantsElements(step.test)) {
           index().Dominated(ElementPoolFor(hq, step.test), ctx.node,
@@ -448,6 +501,28 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       }
       break;
     }
+  }
+
+  // Compiled positional pushdown on child steps: the window is just
+  // the matching children, but reducing it to the one selected node
+  // here keeps the predicate loop (and any further predicates) from
+  // running over the rest of the sibling list.
+  if (step.axis == AxisKind::kChild && UsePositional(step) &&
+      out.size() > 1) {
+    // Structural Before, not index().Before: a child window is a
+    // handful of siblings, and building a whole SnapshotIndex just to
+    // order them would cost more than it saves on engines that never
+    // touch a pool-backed axis.
+    const bool first =
+        step.plan.positional == StepPlan::Positional::kFirst;
+    NodeEntry chosen = out.front();
+    for (size_t i = 1; i < out.size(); ++i) {
+      if (first ? g_->Before(out[i].node, chosen.node)
+                : g_->Before(chosen.node, out[i].node)) {
+        chosen = out[i];
+      }
+    }
+    out.assign(1, chosen);
   }
 
   NormalizeSet(&out);

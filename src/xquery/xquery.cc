@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <utility>
 
 #include "common/strings.h"
 #include "xpath/parser.h"
@@ -10,44 +11,55 @@
 
 namespace cxml::xquery {
 
-namespace {
-
-using xpath::Value;
-
-/// A compiled constructor: literal chunks interleaved with embedded
-/// Extended XPath expressions (the contents of `{...}`).
-struct Template {
+/// The compiled FLWOR clause structure: bindings, filters and a
+/// constructor template of literal chunks interleaved with embedded
+/// Extended XPath expressions (the contents of `{...}`). Every ExprPtr
+/// went through xpath::AnalyzeQuery, so compiled FLWOR bodies carry
+/// the same per-step plans (positional pushdown etc.) as compiled
+/// XPath.
+struct CompiledQuery::Impl {
   struct Segment {
     std::string literal;
     xpath::ExprPtr expr;  // non-null for expression segments
   };
+  /// One for/let binding.
+  struct Binding {
+    bool is_for = false;
+    std::string var;
+    xpath::ExprPtr expr;
+  };
+
+  std::vector<Binding> bindings;
+  xpath::ExprPtr where;
+  xpath::ExprPtr order_by;
+  bool order_descending = false;
   std::vector<Segment> segments;
   /// True when the constructor was a bare expression (no literal text):
   /// node-set items then render one per node.
   bool bare_expression = false;
 };
 
-/// One for/let binding.
-struct Binding {
-  bool is_for = false;
-  std::string var;
-  xpath::ExprPtr expr;
-};
+CompiledQuery::CompiledQuery() = default;
+CompiledQuery::~CompiledQuery() = default;
 
-/// A parsed FLWOR query.
-struct Flwor {
-  std::vector<Binding> bindings;
-  xpath::ExprPtr where;
-  xpath::ExprPtr order_by;
-  bool order_descending = false;
-  Template constructor;
-};
+namespace {
+
+using xpath::Value;
+using Impl = CompiledQuery::Impl;
 
 bool IsSpaceChar(char c) {
   return c == ' ' || c == '\t' || c == '\r' || c == '\n';
 }
 
 std::string_view Trim(std::string_view s) { return StripWhitespace(s); }
+
+/// Parses an embedded Extended XPath expression and runs the compile
+/// analysis over it, so steps carry their plans.
+Result<xpath::ExprPtr> CompileEmbedded(std::string_view text) {
+  CXML_ASSIGN_OR_RETURN(xpath::ExprPtr expr, xpath::ParseXPath(text));
+  xpath::AnalyzeQuery(expr.get(), nullptr, nullptr);
+  return expr;
+}
 
 /// Scans for the next top-level occurrence of one of the clause keywords
 /// starting at or after `from`; respects quotes and bracket depth.
@@ -96,8 +108,7 @@ size_t FindClauseKeyword(std::string_view s, size_t from,
 }
 
 /// Splits a constructor body into literal / `{expr}` segments.
-Result<Template> CompileTemplate(std::string_view text) {
-  Template out;
+Status CompileTemplate(std::string_view text, Impl* flwor) {
   std::string_view trimmed = Trim(text);
   // A bare expression (possibly brace-wrapped) has no literal part.
   if (!trimmed.empty() && trimmed.front() != '<') {
@@ -105,13 +116,12 @@ Result<Template> CompileTemplate(std::string_view text) {
     if (trimmed.front() == '{' && trimmed.back() == '}') {
       expr_text = Trim(trimmed.substr(1, trimmed.size() - 2));
     }
-    CXML_ASSIGN_OR_RETURN(xpath::ExprPtr expr,
-                          xpath::ParseXPath(expr_text));
-    Template::Segment seg;
+    CXML_ASSIGN_OR_RETURN(xpath::ExprPtr expr, CompileEmbedded(expr_text));
+    Impl::Segment seg;
     seg.expr = std::move(expr);
-    out.segments.push_back(std::move(seg));
-    out.bare_expression = true;
-    return out;
+    flwor->segments.push_back(std::move(seg));
+    flwor->bare_expression = true;
+    return Status::Ok();
   }
   // Element constructor: split on top-level braces.
   std::string literal;
@@ -141,17 +151,17 @@ Result<Template> CompileTemplate(std::string_view text) {
         return status::ParseError("XQuery: unterminated '{' in constructor");
       }
       if (!literal.empty()) {
-        Template::Segment lit;
+        Impl::Segment lit;
         lit.literal = std::move(literal);
         literal.clear();
-        out.segments.push_back(std::move(lit));
+        flwor->segments.push_back(std::move(lit));
       }
       CXML_ASSIGN_OR_RETURN(
           xpath::ExprPtr expr,
-          xpath::ParseXPath(Trim(trimmed.substr(i + 1, j - i - 1))));
-      Template::Segment seg;
+          CompileEmbedded(Trim(trimmed.substr(i + 1, j - i - 1))));
+      Impl::Segment seg;
       seg.expr = std::move(expr);
-      out.segments.push_back(std::move(seg));
+      flwor->segments.push_back(std::move(seg));
       i = j;
       continue;
     }
@@ -161,15 +171,15 @@ Result<Template> CompileTemplate(std::string_view text) {
     literal.push_back(c);
   }
   if (!literal.empty()) {
-    Template::Segment lit;
+    Impl::Segment lit;
     lit.literal = std::move(literal);
-    out.segments.push_back(std::move(lit));
+    flwor->segments.push_back(std::move(lit));
   }
-  return out;
+  return Status::Ok();
 }
 
-Result<Flwor> ParseFlwor(std::string_view query) {
-  Flwor flwor;
+Result<Impl> ParseFlwor(std::string_view query) {
+  Impl flwor;
   size_t pos = 0;
   std::string_view keyword;
   size_t at = FindClauseKeyword(query, 0, &keyword);
@@ -214,12 +224,11 @@ Result<Flwor> ParseFlwor(std::string_view query) {
         return status::ParseError(
             "XQuery: FLWOR must end with a 'return' clause");
       }
-      Binding binding;
+      Impl::Binding binding;
       binding.is_for = is_for;
       binding.var = std::move(var);
       CXML_ASSIGN_OR_RETURN(
-          binding.expr,
-          xpath::ParseXPath(Trim(query.substr(pos, next - pos))));
+          binding.expr, CompileEmbedded(Trim(query.substr(pos, next - pos))));
       flwor.bindings.push_back(std::move(binding));
       at = next;
       continue;
@@ -237,7 +246,7 @@ Result<Flwor> ParseFlwor(std::string_view query) {
           "XQuery: FLWOR must end with a 'return' clause");
     }
     CXML_ASSIGN_OR_RETURN(
-        flwor.where, xpath::ParseXPath(Trim(query.substr(pos, next - pos))));
+        flwor.where, CompileEmbedded(Trim(query.substr(pos, next - pos))));
     at = next;
   }
   if (keyword == "order") {
@@ -259,7 +268,7 @@ Result<Flwor> ParseFlwor(std::string_view query) {
     } else if (EndsWith(spec, "ascending")) {
       spec = Trim(spec.substr(0, spec.size() - 9));
     }
-    CXML_ASSIGN_OR_RETURN(flwor.order_by, xpath::ParseXPath(spec));
+    CXML_ASSIGN_OR_RETURN(flwor.order_by, CompileEmbedded(spec));
     at = next;
   }
   if (keyword != "return") {
@@ -267,9 +276,42 @@ Result<Flwor> ParseFlwor(std::string_view query) {
         StrCat("XQuery: unexpected clause '", std::string(keyword), "'"));
   }
   pos = at + keyword.size();
-  CXML_ASSIGN_OR_RETURN(flwor.constructor,
-                        CompileTemplate(query.substr(pos)));
+  CXML_RETURN_IF_ERROR(CompileTemplate(query.substr(pos), &flwor));
   return flwor;
+}
+
+/// Renders the canonical text of a FLWOR query from its parsed form:
+/// one space between clauses, embedded expressions via their AST
+/// rendering — so whitespace/abbreviation variants collapse.
+std::string RenderCanonical(const Impl& flwor) {
+  std::string out;
+  for (const Impl::Binding& binding : flwor.bindings) {
+    out += binding.is_for ? "for $" : "let $";
+    out += binding.var;
+    out += binding.is_for ? " in " : " := ";
+    out += xpath::ToString(*binding.expr);
+    out += ' ';
+  }
+  if (flwor.where != nullptr) {
+    out += StrCat("where ", xpath::ToString(*flwor.where), " ");
+  }
+  if (flwor.order_by != nullptr) {
+    out += StrCat("order by ", xpath::ToString(*flwor.order_by),
+                  flwor.order_descending ? " descending " : " ");
+  }
+  out += "return ";
+  if (flwor.bare_expression) {
+    out += xpath::ToString(*flwor.segments.front().expr);
+    return out;
+  }
+  for (const Impl::Segment& seg : flwor.segments) {
+    if (seg.expr == nullptr) {
+      out += seg.literal;
+    } else {
+      out += StrCat("{", xpath::ToString(*seg.expr), "}");
+    }
+  }
+  return out;
 }
 
 /// Escapes a spliced value so it is safe in both text and double-quoted
@@ -299,17 +341,49 @@ std::string EscapeSplice(std::string_view s) {
 
 }  // namespace
 
-Result<std::vector<std::string>> XQueryEngine::Run(std::string_view query) {
+Result<CompiledQueryPtr> Compile(std::string_view query) {
   std::string_view trimmed = Trim(query);
   if (trimmed.empty()) {
     return status::InvalidArgument("XQuery: empty query");
   }
+  auto compiled = std::shared_ptr<CompiledQuery>(new CompiledQuery());
+  compiled->text_ = std::string(query);
+
+  // Bare Extended XPath expression: compile to the XPath form and
+  // inherit its canonical identity.
+  if (!StartsWith(trimmed, "for ") && !StartsWith(trimmed, "let ") &&
+      !StartsWith(trimmed, "for$") && !StartsWith(trimmed, "let$")) {
+    CXML_ASSIGN_OR_RETURN(compiled->bare_, xpath::Compile(trimmed));
+    compiled->canonical_ = compiled->bare_->canonical();
+    compiled->hash_ = compiled->bare_->canonical_hash();
+    return CompiledQueryPtr(std::move(compiled));
+  }
+
+  CXML_ASSIGN_OR_RETURN(Impl flwor, ParseFlwor(trimmed));
+  compiled->canonical_ = RenderCanonical(flwor);
+  compiled->hash_ = xpath::CanonicalHash(compiled->canonical_);
+  compiled->impl_ = std::make_unique<const Impl>(std::move(flwor));
+  return CompiledQueryPtr(std::move(compiled));
+}
+
+Result<std::vector<std::string>> XQueryEngine::Run(std::string_view query) {
+  const CompiledQuery* compiled = nullptr;
+  if (const CompiledQueryPtr* hit = cache_.Get(query)) {
+    compiled = hit->get();
+  } else {
+    CXML_ASSIGN_OR_RETURN(CompiledQueryPtr fresh, Compile(query));
+    compiled = cache_.Put(query, std::move(fresh))->get();
+  }
+  return Run(*compiled);
+}
+
+Result<std::vector<std::string>> XQueryEngine::Run(
+    const CompiledQuery& query) {
   std::vector<std::string> items;
 
   // Bare Extended XPath expression.
-  if (!StartsWith(trimmed, "for ") && !StartsWith(trimmed, "let ") &&
-      !StartsWith(trimmed, "for$") && !StartsWith(trimmed, "let$")) {
-    CXML_ASSIGN_OR_RETURN(Value value, xpath_.Evaluate(trimmed));
+  if (query.bare_ != nullptr) {
+    CXML_ASSIGN_OR_RETURN(Value value, xpath_.Evaluate(*query.bare_));
     if (value.is_node_set()) {
       for (const xpath::NodeEntry& e : value.nodes()) {
         items.push_back(Value::StringValue(*g_, e));
@@ -320,7 +394,7 @@ Result<std::vector<std::string>> XQueryEngine::Run(std::string_view query) {
     return items;
   }
 
-  CXML_ASSIGN_OR_RETURN(Flwor flwor, ParseFlwor(trimmed));
+  const Impl& flwor = *query.impl_;
 
   // Evaluate binding tuples depth-first; 'for' iterates, 'let' assigns.
   struct OrderedItem {
@@ -341,15 +415,15 @@ Result<std::vector<std::string>> XQueryEngine::Run(std::string_view query) {
       }
       // Render the constructor.
       std::string item;
-      for (const Template::Segment& seg : flwor.constructor.segments) {
+      for (const Impl::Segment& seg : flwor.segments) {
         if (seg.expr == nullptr) {
           item += seg.literal;
           continue;
         }
         auto value = xpath_.EvaluateExpr(*seg.expr);
         if (!value.ok()) return value.status();
-        if (flwor.constructor.bare_expression && value->is_node_set() &&
-            flwor.constructor.segments.size() == 1) {
+        if (flwor.bare_expression && value->is_node_set() &&
+            flwor.segments.size() == 1) {
           // Bare node-set: space-joined string values.
           std::string joined;
           for (const xpath::NodeEntry& e : value->nodes()) {
@@ -359,9 +433,7 @@ Result<std::vector<std::string>> XQueryEngine::Run(std::string_view query) {
           item += joined;
         } else {
           std::string rendered = value->ToString(*g_);
-          item += flwor.constructor.bare_expression
-                      ? rendered
-                      : EscapeSplice(rendered);
+          item += flwor.bare_expression ? rendered : EscapeSplice(rendered);
         }
       }
       OrderedItem entry;
@@ -379,7 +451,7 @@ Result<std::vector<std::string>> XQueryEngine::Run(std::string_view query) {
       ordered.push_back(std::move(entry));
       return Status::Ok();
     }
-    const Binding& binding = flwor.bindings[binding_index];
+    const Impl::Binding& binding = flwor.bindings[binding_index];
     auto value = xpath_.EvaluateExpr(*binding.expr);
     if (!value.ok()) return value.status();
     if (binding.is_for) {

@@ -1,16 +1,67 @@
 #ifndef CXML_XQUERY_XQUERY_H_
 #define CXML_XQUERY_XQUERY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "goddag/goddag.h"
+#include "xpath/compiled.h"
 #include "xpath/engine.h"
 
 namespace cxml::xquery {
+
+class CompiledQuery;
+using CompiledQueryPtr = std::shared_ptr<const CompiledQuery>;
+
+/// Parses and analyzes a query (FLWOR or bare Extended XPath) into an
+/// immutable, document-independent compiled form: clause structure and
+/// every embedded Extended XPath expression parsed once, with the same
+/// static step analysis xpath::Compile applies (so compiled FLWOR
+/// bodies get positional pushdown too). Document-independent — unknown
+/// hierarchies/tags surface at run time, exactly as on the string
+/// path.
+Result<CompiledQueryPtr> Compile(std::string_view query);
+
+/// A compiled XQuery — the compile-once/bind-many handle mirroring
+/// xpath::CompiledQuery. Immutable after Compile, safe to share across
+/// threads, documents and connections; running it requires an engine
+/// (and inherits that engine's exclusion contract).
+class CompiledQuery {
+ public:
+  ~CompiledQuery();
+
+  /// The query text as given to Compile.
+  const std::string& text() const { return text_; }
+  /// Canonical re-rendering of the parsed clauses (embedded
+  /// expressions via their AST form) — the cache identity shared by
+  /// every textual variant of one query.
+  const std::string& canonical() const { return canonical_; }
+  uint64_t canonical_hash() const { return hash_; }
+  /// True for FLWOR queries; false for bare Extended XPath.
+  bool is_flwor() const { return impl_ != nullptr; }
+
+  /// The compiled FLWOR clause structure — opaque outside xquery.cc.
+  struct Impl;
+
+ private:
+  friend class XQueryEngine;
+  friend Result<CompiledQueryPtr> Compile(std::string_view query);
+
+  CompiledQuery();
+
+  std::string text_;
+  std::string canonical_;
+  uint64_t hash_ = 0;
+  /// Bare-expression queries compile straight to the XPath form.
+  xpath::CompiledQueryPtr bare_;
+  /// FLWOR clause structure (xquery.cc); null for bare expressions.
+  std::unique_ptr<const Impl> impl_;
+};
 
 /// The paper's "XQuery extension ... under development" (§3), realised
 /// as a FLWOR engine over the Extended XPath:
@@ -33,15 +84,32 @@ namespace cxml::xquery {
 ///
 /// Every embedded expression is full Extended XPath (overlapping axes,
 /// hierarchy qualifiers, extension functions, $variables).
+///
+/// Like XPathEngine, the string Run path is a thin wrapper over the
+/// compiled one: a bounded LRU parse cache (shared StringLruCache
+/// implementation) keeps FLWOR bodies from being re-parsed on every
+/// string Run now that engines live as long as a document snapshot.
 class XQueryEngine {
  public:
+  static constexpr size_t kDefaultParseCacheCapacity =
+      xpath::XPathEngine::kDefaultParseCacheCapacity;
+
   /// `g` must outlive the engine.
-  explicit XQueryEngine(const goddag::Goddag& g) : g_(&g), xpath_(g) {}
+  explicit XQueryEngine(const goddag::Goddag& g,
+                        size_t parse_cache_capacity =
+                            kDefaultParseCacheCapacity)
+      : g_(&g), xpath_(g), cache_(parse_cache_capacity) {}
+
+  /// Compiles a query; identical to the free xquery::Compile.
+  static Result<CompiledQueryPtr> Prepare(std::string_view query) {
+    return Compile(query);
+  }
 
   /// Runs a query; returns the items in order. Node items are rendered
   /// as their serialised markup-free string-value; constructed elements
   /// as XML text.
   Result<std::vector<std::string>> Run(std::string_view query);
+  Result<std::vector<std::string>> Run(const CompiledQuery& query);
 
   /// Convenience: items joined by newlines.
   Result<std::string> RunToString(std::string_view query);
@@ -64,9 +132,20 @@ class XQueryEngine {
     xpath_.SetAxisStrategy(strategy);
   }
 
+  /// Forwards the positional-pushdown toggle to the embedded engine.
+  void SetPositionalPushdown(bool enabled) {
+    xpath_.SetPositionalPushdown(enabled);
+  }
+
+  size_t cache_size() const { return cache_.size(); }
+  size_t parse_cache_capacity() const { return cache_.capacity(); }
+
  private:
   const goddag::Goddag* g_;
   xpath::XPathEngine xpath_;
+  /// Bounded LRU of compiled queries keyed by the raw text, mirroring
+  /// XPathEngine's parse cache.
+  StringLruCache<CompiledQueryPtr> cache_;
 };
 
 }  // namespace cxml::xquery

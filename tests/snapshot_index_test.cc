@@ -31,51 +31,11 @@ namespace {
 using goddag::NodeId;
 using goddag::SnapshotIndex;
 
-/// The absolute queries of the equivalence sweep: every indexed axis
-/// (descendant, ancestor, following, preceding, overlapping family),
-/// with name tests, wildcards, text()/node() tests and hierarchy
-/// qualifiers. count(...) keeps the huge unions cheap while still
-/// forcing the full axis work.
-const char* const kAbsoluteQueries[] = {
-    "//w",
-    "//*",
-    "count(//text())",
-    "count(//node())",
-    "//line/descendant::w",
-    "count(//line/descendant::text())",
-    "//line/descendant-or-self::*",
-    "count(//w/ancestor::*)",
-    "//w/ancestor::line",
-    "count(//w/ancestor-or-self::node())",
-    "count(//w/ancestor(physical)::*)",
-    "count(//w/following::w)",
-    "count(//line[2]/following::text())",
-    "count(//w/preceding::w)",
-    "count(//line[2]/preceding::node())",
-    "count(//w[overlapping::line])",
-    "//line[overlapping(linguistic)::*]",
-    "count(//w/overlapping-start::*)",
-    "count(//w/overlapping-end::*)",
-    "count(//descendant(linguistic)::w)",
-    "string(//line[2])",
-    "count(//w[string-length(string(.)) > 3]/following::line)",
-    "count(//s[overlap-degree(.) > 0])",
-};
-
-/// Relative queries run from a handful of context nodes of each kind.
-const char* const kRelativeQueries[] = {
-    "descendant::*",
-    "descendant-or-self::node()",
-    "ancestor::*",
-    "ancestor-or-self::node()",
-    "following::*",
-    "count(following::text())",
-    "preceding::*",
-    "count(preceding::node())",
-    "overlapping::*",
-    "overlapping-start::*",
-    "overlapping-end::*",
-};
+// The equivalence sweep (absolute + relative queries) now lives in
+// test_util.h, shared with prepared_query_test's string-vs-prepared
+// sweep.
+using testing::kSweepAbsoluteQueries;
+using testing::kSweepRelativeQueries;
 
 /// Asserts the two strategies agree on every query, absolute and
 /// relative (the relative ones from several elements and a leaf).
@@ -86,7 +46,7 @@ void ExpectStrategiesAgree(const goddag::Goddag& g) {
   xpath::XPathEngine naive(g);
   naive.SetAxisStrategy(xpath::AxisStrategy::kNaiveScan);
 
-  for (const char* query : kAbsoluteQueries) {
+  for (const char* query : kSweepAbsoluteQueries) {
     auto a = indexed.EvaluateToStrings(query);
     auto b = naive.EvaluateToStrings(query);
     ASSERT_TRUE(a.ok()) << query << ": " << a.status();
@@ -103,7 +63,7 @@ void ExpectStrategiesAgree(const goddag::Goddag& g) {
   if (!lines.empty()) contexts.push_back(lines[lines.size() / 2]);
   if (g.num_leaves() > 1) contexts.push_back(g.leaf_at(1));
   for (NodeId ctx : contexts) {
-    for (const char* query : kRelativeQueries) {
+    for (const char* query : kSweepRelativeQueries) {
       auto va = indexed.EvaluateFrom(query, ctx);
       auto vb = naive.EvaluateFrom(query, ctx);
       ASSERT_TRUE(va.ok()) << query << ": " << va.status();

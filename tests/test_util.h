@@ -30,6 +30,72 @@ struct BoethiusFixture {
   }
 };
 
+/// The Extended-XPath equivalence sweep shared by snapshot_index_test
+/// (indexed axes vs naive scans) and prepared_query_test (string vs
+/// prepared submission): every indexed axis (descendant, ancestor,
+/// following, preceding, overlapping family) with name tests,
+/// wildcards, text()/node() tests, hierarchy qualifiers and positional
+/// predicates. count(...) keeps the huge unions cheap while still
+/// forcing the full axis work.
+inline constexpr const char* kSweepAbsoluteQueries[] = {
+    "//w",
+    "//*",
+    "count(//text())",
+    "count(//node())",
+    "//line/descendant::w",
+    "count(//line/descendant::text())",
+    "//line/descendant-or-self::*",
+    "count(//w/ancestor::*)",
+    "//w/ancestor::line",
+    "count(//w/ancestor-or-self::node())",
+    "count(//w/ancestor(physical)::*)",
+    "count(//w/following::w)",
+    "count(//line[2]/following::text())",
+    "count(//w/preceding::w)",
+    "count(//line[2]/preceding::node())",
+    "count(//w[overlapping::line])",
+    "//line[overlapping(linguistic)::*]",
+    "count(//w/overlapping-start::*)",
+    "count(//w/overlapping-end::*)",
+    "count(//descendant(linguistic)::w)",
+    "string(//line[2])",
+    "count(//w[string-length(string(.)) > 3]/following::line)",
+    "count(//s[overlap-degree(.) > 0])",
+    // Positional steps exercising the PR 5 pushdown ([1]/[last()] on
+    // descendant and child steps, with qualifiers and non-leading
+    // positions) — the naive scans stay the oracle for these too.
+    "string(/descendant::w[1])",
+    "string(/descendant::w[last()])",
+    "count(//line/descendant::w[1])",
+    "count(//line/descendant::w[last()])",
+    "count(//line/descendant::text()[1])",
+    "count(//line/descendant(linguistic)::w[last()])",
+    "//w[1]",
+    "string(//line[last()])",
+    "count(//line/descendant::w[1][string-length(string(.)) > 2])",
+    "count(//line/descendant::w[string-length(string(.)) > 2][1])",
+    "count(/descendant::node()[last()])",
+};
+
+/// Relative queries of the sweep, run from a handful of context nodes
+/// of each kind.
+inline constexpr const char* kSweepRelativeQueries[] = {
+    "descendant::*",
+    "descendant-or-self::node()",
+    "ancestor::*",
+    "ancestor-or-self::node()",
+    "following::*",
+    "count(following::text())",
+    "preceding::*",
+    "count(preceding::node())",
+    "overlapping::*",
+    "overlapping-start::*",
+    "overlapping-end::*",
+    "descendant::w[1]",
+    "descendant::node()[last()]",
+    "child::*[last()]",
+};
+
 /// Finds the unique element with `tag` whose text is `text`; fails the
 /// test when absent or ambiguous.
 inline goddag::NodeId FindElement(const goddag::Goddag& g,
