@@ -132,6 +132,7 @@ int Run(size_t content_chars) {
       {"ancestor", "count(//w/ancestor::line)"},
       {"overlap", "count(//w[overlapping::line])"},
   };
+  std::vector<double> cold_all;
   for (AxisSeries& s : series) {
     double indexed_answer = 0;
     double naive_answer = 0;
@@ -142,6 +143,7 @@ int Run(size_t content_chars) {
     // The equivalence bar: both strategies must agree exactly.
     BENCH_CHECK(indexed_answer == naive_answer);
     s.answers = indexed_answer;
+    cold_all.insert(cold_all.end(), cold.begin(), cold.end());
     s.cold_p50_us = Percentile(&cold, 0.5);
     s.cold_p99_us = Percentile(&cold, 0.99);
     s.naive_p50_us = Percentile(&slow, 0.5);
@@ -151,6 +153,28 @@ int Run(size_t content_chars) {
   // naive scan by at least 10x on the 20k-char manuscript.
   if (content_chars >= 20000) {
     BENCH_CHECK(series[0].speedup() >= 10.0);
+  }
+
+  // ---- registry snapshot: the same metric names a live service
+  // exposes over METRICS, fed from this driver's own measurements so
+  // BENCH_query.json carries a comparable "obs" object (cold
+  // evaluations land in cxml_query_us; the engines' axis-strategy
+  // tallies become the cxml_axis_*_total counters).
+  obs::Registry registry;
+  {
+    obs::Histogram* query_us = registry.GetHistogram("cxml_query_us");
+    for (const double us : cold_all) query_us->Observe(us);
+    registry.GetHistogram("cxml_index_build_us")->Observe(index_build_us);
+    const xpath::AxisStats& indexed_axes = indexed.axis_stats();
+    const xpath::AxisStats& naive_axes = naive.axis_stats();
+    registry.GetCounter("cxml_axis_indexed_total")
+        ->Add(indexed_axes.indexed_axes);
+    registry.GetCounter("cxml_axis_pushdown_total")
+        ->Add(indexed_axes.pushdown_axes);
+    registry.GetCounter("cxml_axis_naive_total")
+        ->Add(indexed_axes.naive_axes + naive_axes.naive_axes);
+    registry.GetCounter("cxml_axis_pool_nodes_total")
+        ->Add(indexed_axes.pool_nodes + naive_axes.pool_nodes);
   }
 
   // ---- prepared vs ad-hoc (the per-request parse/analysis cost) ----
@@ -289,8 +313,9 @@ int Run(size_t content_chars) {
                  positional_p50_us, positional_nopush_p50_us,
                  positional_naive_p50_us, positional_speedup,
                  positional_answers);
-    std::fprintf(f, "  \"overlap_baseline_join_us\": %.1f\n}\n",
+    std::fprintf(f, "  \"overlap_baseline_join_us\": %.1f,\n",
                  overlap_baseline_join_us);
+    std::fprintf(f, "  \"obs\": %s\n}\n", registry.RenderJson().c_str());
   };
   emit(stdout);
   std::FILE* out = std::fopen("BENCH_query.json", "w");

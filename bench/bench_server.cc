@@ -347,7 +347,11 @@ int Run(size_t content_chars, size_t num_clients, size_t num_workers) {
     PrintPhaseJson(f, "cached_reads", cached);
     std::fprintf(f, ",\n");
     PrintPhaseJson(f, "mixed", mixed);
-    std::fprintf(f, "\n}\n");
+    // The registry snapshot every phase reported into — server frame
+    // counters, the service's query/queue/eval histograms, cache and
+    // axis-strategy tallies — exactly what METRICS would serve.
+    std::fprintf(f, ",\n  \"obs\": %s\n}\n",
+                 service.registry()->RenderJson().c_str());
   };
   emit(stdout);
   std::FILE* out = std::fopen("BENCH_server.json", "w");

@@ -236,7 +236,12 @@ int Run(size_t content_chars, size_t num_threads) {
     PrintMixJson(f, "read_only", read_only);
     std::fprintf(f, ",\n");
     PrintMixJson(f, "mixed", mixed);
-    std::fprintf(f, "\n}\n");
+    // The mixed service's full registry snapshot (query/queue/eval/
+    // commit histograms, cache and axis-strategy counters): the same
+    // numbers METRICS would serve, embedded so regressions in the
+    // latency breakdown are visible across PRs, not just the totals.
+    std::fprintf(f, ",\n  \"obs\": %s\n}\n",
+                 mixed_service.registry()->RenderJson().c_str());
   };
   emit(stdout);
   std::FILE* out = std::fopen("BENCH_service.json", "w");

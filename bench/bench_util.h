@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/binary.h"
 #include "workload/generator.h"
 
@@ -37,15 +38,17 @@ inline double MeasureCloneUs(const goddag::Goddag& g, int reps,
          1e6 / reps;
 }
 
-/// In-place percentile (sorts `samples`): the one formula both JSON
-/// emitters use, so BENCH_service.json and BENCH_server.json p50/p99
-/// stay comparable across PRs.
+/// Percentile via obs::Histogram — the benches report through the same
+/// fixed-bucket log-scale estimator the server's METRICS exposition
+/// uses, so a BENCH_*.json p50 and a scraped cxml_query_us_p50 are
+/// directly comparable (both carry the histogram's ~9% bucket
+/// resolution). Keeps the pre-obs signature; `samples` is no longer
+/// mutated but stays a pointer so call sites don't churn.
 inline double Percentile(std::vector<double>* samples, double p) {
   if (samples->empty()) return 0;
-  std::sort(samples->begin(), samples->end());
-  size_t index = std::min(samples->size() - 1,
-                          static_cast<size_t>(samples->size() * p));
-  return (*samples)[index];
+  obs::Histogram histogram;
+  for (double sample : *samples) histogram.Observe(sample);
+  return histogram.Percentile(p);
 }
 
 /// Cache of generated corpora keyed by (content size, extra hierarchies,

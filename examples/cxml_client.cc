@@ -18,16 +18,26 @@
 // prepared handle lives exactly as long as its connection.
 //   cxml_client --port N [--host H] register <doc> <cxg1-file>
 //   cxml_client --port N [--host H] remove <doc>
+//   cxml_client --port N [--host H] metrics [--raw]
+//   cxml_client --port N [--host H] trace [n]
+//
+// `metrics` fetches the server's Prometheus-style exposition (METRICS)
+// and prints it as an aligned name/value table, histogram buckets
+// elided (--raw dumps the exposition verbatim, e.g. for scraping by
+// hand). `trace` prints the newest n sampled request traces (default
+// 10), each a per-stage timing tree.
 //
 // Exit status: 0 on success, 1 on a server/transport error, 2 on bad
 // arguments.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/client.h"
@@ -51,8 +61,32 @@ int Usage() {
       "  run <doc> <xpath|xquery> <expr>\n"
       "  edit <doc> (select <begin> <end> | apply <hierarchy> <tag>)...\n"
       "  register <doc> <cxg1-file>\n"
-      "  remove <doc>\n");
+      "  remove <doc>\n"
+      "  metrics [--raw]\n"
+      "  trace [n]\n");
   return 2;
+}
+
+// Renders the Prometheus exposition as an aligned two-column table,
+// dropping comment lines and the per-bucket histogram series (the
+// _count/_sum/_p50/_p90/_p99 rollups already summarize them).
+void PrintMetricsTable(const std::string& exposition) {
+  std::vector<std::pair<std::string, std::string>> rows;
+  size_t width = 0;
+  std::istringstream in(exposition);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find("_bucket{") != std::string::npos) continue;
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    rows.emplace_back(line.substr(0, space), line.substr(space + 1));
+    width = std::max(width, rows.back().first.size());
+  }
+  for (const auto& [name, value] : rows) {
+    std::printf("%-*s  %s\n", static_cast<int>(width), name.c_str(),
+                value.c_str());
+  }
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -181,6 +215,35 @@ int main(int argc, char** argv) {
     if (!version.ok()) return Fail(version.status());
     std::printf("registered '%s' at version %llu\n", args[0].c_str(),
                 static_cast<unsigned long long>(*version));
+    return 0;
+  }
+  if (command == "metrics" &&
+      (args.empty() || (args.size() == 1 && args[0] == "--raw"))) {
+    auto exposition = client.Metrics();
+    if (!exposition.ok()) return Fail(exposition.status());
+    if (!args.empty()) {
+      std::fputs(exposition->c_str(), stdout);
+    } else {
+      PrintMetricsTable(*exposition);
+    }
+    return 0;
+  }
+  if (command == "trace" && args.size() <= 1) {
+    uint64_t n = 10;
+    if (!args.empty()) {
+      n = std::strtoull(args[0].c_str(), nullptr, 10);
+      if (n == 0) return Usage();
+    }
+    auto traces = client.Traces(n);
+    if (!traces.ok()) return Fail(traces.status());
+    if (traces->empty()) {
+      std::fprintf(stderr, "# no sampled traces retained yet\n");
+      return 0;
+    }
+    for (const std::string& trace : *traces) {
+      std::fputs(trace.c_str(), stdout);
+      if (trace.empty() || trace.back() != '\n') std::printf("\n");
+    }
     return 0;
   }
   if (command == "remove" && args.size() == 1) {

@@ -7,11 +7,19 @@
 // Usage:
 //   cxml_serverd [--port N] [--bind ADDR] [--workers N]
 //                [--content-chars N] [--doc NAME] [--load NAME=FILE]...
-//                [--no-register]
+//                [--no-register] [--slow-query-us N]
+//                [--trace-sample-every N] [--trace-ring N]
 //
 // Defaults serve the synthetic manuscript as document "ms" on an
 // ephemeral 127.0.0.1 port (printed on stdout as "listening on
 // HOST:PORT", which is what the CI smoke test and scripts key on).
+//
+// Observability: METRICS serves the Prometheus-style exposition and
+// TRACE the sampled per-request stage timings (see cxml_client
+// metrics/trace). --slow-query-us N logs one structured line to
+// stderr for every request slower than N µs end-to-end;
+// --trace-sample-every keeps every Nth trace (0 disables tracing),
+// --trace-ring bounds how many are retained.
 
 #include <signal.h>
 
@@ -48,7 +56,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: cxml_serverd [--port N] [--bind ADDR] [--workers N]\n"
                "                    [--content-chars N] [--doc NAME]\n"
-               "                    [--load NAME=FILE]... [--no-register]\n");
+               "                    [--load NAME=FILE]... [--no-register]\n"
+               "                    [--slow-query-us N]\n"
+               "                    [--trace-sample-every N] [--trace-ring N]\n");
   return 2;
 }
 
@@ -56,6 +66,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   net::ServerOptions options;
+  service::QueryServiceOptions service_options;
   size_t content_chars = 20000;
   std::string synthetic_name = "ms";
   std::vector<std::pair<std::string, std::string>> loads;
@@ -94,6 +105,19 @@ int main(int argc, char** argv) {
       loads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else if (arg == "--no-register") {
       options.allow_register = false;
+    } else if (arg == "--slow-query-us") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.slow_query_us = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace-sample-every") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      service_options.trace_sample_every =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--trace-ring") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      service_options.trace_ring_capacity = std::strtoul(v, nullptr, 10);
     } else {
       return Usage();
     }
@@ -119,7 +143,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  service::QueryServiceOptions service_options;
   service_options.num_threads = options.num_workers;
   service::QueryService service(&store, service_options);
   net::Server server(&store, &service, options);

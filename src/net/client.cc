@@ -156,6 +156,26 @@ Result<std::vector<std::string>> Client::Stat() {
   return std::move(response.items);
 }
 
+Result<std::string> Client::Metrics() {
+  Request request;
+  request.verb = Verb::kMetrics;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  if (response.items.size() != 1) {
+    return status::Internal(
+        StrFormat("METRICS answered %zu items, expected exactly 1",
+                  response.items.size()));
+  }
+  return std::move(response.items[0]);
+}
+
+Result<std::vector<std::string>> Client::Traces(uint64_t n) {
+  Request request;
+  request.verb = Verb::kTrace;
+  request.count = n;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return std::move(response.items);
+}
+
 Status Client::Ping() {
   Request request;
   request.verb = Verb::kPing;

@@ -66,6 +66,12 @@ class Client {
   Result<std::vector<std::string>> List();
   /// "key value" lines of server/service/cache counters.
   Result<std::vector<std::string>> Stat();
+  /// The server's full Prometheus-style text exposition (METRICS):
+  /// every counter, gauge, and latency histogram in one blob.
+  Result<std::string> Metrics();
+  /// The newest `n` sampled request traces (TRACE), each a multi-line
+  /// per-stage timing dump, newest first.
+  Result<std::vector<std::string>> Traces(uint64_t n);
   Status Ping();
 
  private:

@@ -152,6 +152,10 @@ const char* VerbToString(Verb verb) {
       return "LIST";
     case Verb::kStat:
       return "STAT";
+    case Verb::kMetrics:
+      return "METRICS";
+    case Verb::kTrace:
+      return "TRACE";
     case Verb::kPing:
       return "PING";
   }
@@ -195,6 +199,11 @@ std::string RenderRequest(const Request& request) {
       return "LIST";
     case Verb::kStat:
       return "STAT";
+    case Verb::kMetrics:
+      return "METRICS";
+    case Verb::kTrace:
+      return StrFormat("TRACE %llu",
+                       static_cast<unsigned long long>(request.count));
     case Verb::kPing:
       return "PING";
     case Verb::kEditBegin:
@@ -231,13 +240,22 @@ Result<Request> ParseRequest(std::string_view payload) {
   Request request;
 
   if (verb == "PING" || verb == "LIST" || verb == "STAT" ||
-      verb == "ECOMMIT" || verb == "EABORT") {
+      verb == "METRICS" || verb == "ECOMMIT" || verb == "EABORT") {
     if (tokens.size() != 1) return Malformed("command line", line);
     request.verb = verb == "PING"      ? Verb::kPing
                    : verb == "LIST"    ? Verb::kList
                    : verb == "STAT"    ? Verb::kStat
+                   : verb == "METRICS" ? Verb::kMetrics
                    : verb == "ECOMMIT" ? Verb::kEditCommit
                                        : Verb::kEditAbort;
+    return request;
+  }
+  if (verb == "TRACE") {
+    if (tokens.size() != 2) return Malformed("TRACE command line", line);
+    request.verb = Verb::kTrace;
+    if (!ParseU64(tokens[1], &request.count) || request.count == 0) {
+      return Malformed("TRACE count", tokens[1]);
+    }
     return request;
   }
   if (verb == "REMOVE" || verb == "REGISTER" || verb == "EBEGIN") {

@@ -30,6 +30,8 @@ namespace cxml::net {
 ///   REMOVE <doc>
 ///   LIST
 ///   STAT
+///   METRICS
+///   TRACE <n>
 ///   PING
 ///
 /// QPREPARE compiles the expression server-side once (parse + static
@@ -61,6 +63,13 @@ namespace cxml::net {
 /// LIST/STAT answer with one item per name / "key value" line, and
 /// QUERY answers with the string-rendered result items (length-
 /// prefixed: items may contain spaces and newlines).
+///
+/// METRICS answers with exactly one item: the service registry's full
+/// Prometheus-style text exposition (obs::Registry::RenderText) —
+/// every counter, gauge, and histogram STAT summarises, plus the
+/// latency histograms STAT has no room for. TRACE <n> answers with one
+/// item per retained request trace (newest first, at most n), each a
+/// multi-line obs::Trace::Render dump of the request's timed stages.
 
 enum class Verb : uint8_t {
   kQuery,
@@ -75,6 +84,8 @@ enum class Verb : uint8_t {
   kRemove,
   kList,
   kStat,
+  kMetrics,
+  kTrace,
   kPing,
 };
 
@@ -118,6 +129,8 @@ struct Request {
   std::string body;
   /// QRUN: the prepared-query id returned by QPREPARE.
   uint64_t qid = 0;
+  /// TRACE: how many retained traces to return (newest first).
+  uint64_t count = 0;
   /// EDIT / EOP: the op sequence (EDIT's trailing COMMIT is implicit
   /// in the struct form — rendering appends it, parsing requires it).
   std::vector<EditOp> ops;

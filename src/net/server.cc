@@ -74,7 +74,24 @@ struct Server::Conn {
 
 Server::Server(service::DocumentStore* store,
                service::QueryService* service, ServerOptions options)
-    : store_(store), service_(service), options_(std::move(options)) {}
+    : store_(store), service_(service), options_(std::move(options)) {
+  obs::Registry* registry = service_->registry();
+  connections_accepted_ =
+      registry->GetCounter("cxml_server_connections_total");
+  frames_received_ = registry->GetCounter("cxml_server_frames_total");
+  responses_sent_ = registry->GetCounter("cxml_server_responses_total");
+  protocol_errors_ =
+      registry->GetCounter("cxml_server_protocol_errors_total");
+  request_errors_ =
+      registry->GetCounter("cxml_server_request_errors_total");
+  idle_disconnects_ =
+      registry->GetCounter("cxml_server_idle_disconnects_total");
+  open_conns_ = registry->GetGauge("cxml_server_open_conns");
+  request_us_ = registry->GetHistogram("cxml_server_request_us");
+  if (options_.slow_query_us > 0) {
+    service_->tracer().set_slow_query_us(options_.slow_query_us);
+  }
+}
 
 Server::~Server() { Stop(); }
 
@@ -118,6 +135,7 @@ void Server::Stop() {
     conn->dead = true;
     conn->fd.Close();
   }
+  open_conns_->Add(-static_cast<int64_t>(conns_.size()));
   conns_.clear();
   listener_.Close();
   wake_read_.Close();
@@ -243,7 +261,7 @@ int Server::SweepIdle() {
   for (const std::shared_ptr<Conn>& conn : expired) {
     // Closing aborts any open EBEGIN transaction with the connection;
     // in-flight workers discard their output into the dead outbox.
-    idle_disconnects_.fetch_add(1);
+    idle_disconnects_->Add();
     CloseConn(conn);
   }
   return next_ms;
@@ -270,7 +288,8 @@ bool Server::AcceptNew() {
       std::lock_guard<std::mutex> lock(mu_);
       conns_.emplace(conn->fd_number, conn);
     }
-    connections_accepted_.fetch_add(1);
+    connections_accepted_->Add();
+    open_conns_->Add();
   }
 }
 
@@ -297,7 +316,7 @@ void Server::ReadFrom(const std::shared_ptr<Conn>& conn) {
         conn->decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
     std::string payload;
     while (conn->decoder.Next(&payload)) {
-      frames_received_.fetch_add(1);
+      frames_received_->Add();
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->requests.push_back(std::move(payload));
       enqueued = true;
@@ -307,7 +326,7 @@ void Server::ReadFrom(const std::shared_ptr<Conn>& conn) {
       // requests (their responses could otherwise land after the ERR
       // or be cut off mid-flush) so the ERR frame is the last thing
       // this client reads, then close once it drains.
-      protocol_errors_.fetch_add(1);
+      protocol_errors_->Add();
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->requests.clear();
       enqueued = false;
@@ -374,7 +393,11 @@ void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
   }
   conn->fd.Close();
   std::lock_guard<std::mutex> lock(mu_);
-  conns_.erase(conn->fd_number);
+  // erase() is what decides whether *this* call closed the connection
+  // — CloseConn can race nothing (poll thread only), but it can be
+  // reached twice for one conn (e.g. POLLERR after an idle expiry), and
+  // the gauge must drop exactly once.
+  if (conns_.erase(conn->fd_number) > 0) open_conns_->Sub();
 }
 
 void Server::ServeConnection(std::shared_ptr<Conn> conn) {
@@ -389,7 +412,12 @@ void Server::ServeConnection(std::shared_ptr<Conn> conn) {
       payload = std::move(conn->requests.front());
       conn->requests.pop_front();
     }
-    std::string response = HandleRequest(conn.get(), payload);
+    // One trace per request, opened before decode so its start is the
+    // request's t0; Finish stamps the total, applies the slow-query
+    // threshold, and samples it into the TRACE ring.
+    obs::Trace::Clock::time_point started = obs::Trace::Clock::now();
+    obs::TracePtr trace = service_->tracer().Start();
+    std::string response = HandleRequest(conn.get(), payload, trace);
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       // close_after_flush means the connection was poisoned by a
@@ -399,22 +427,37 @@ void Server::ServeConnection(std::shared_ptr<Conn> conn) {
       }
       conn->completed_work = true;
     }
-    responses_sent_.fetch_add(1);
+    service_->tracer().Finish(trace);
+    request_us_->Observe(
+        std::chrono::duration<double, std::micro>(
+            obs::Trace::Clock::now() - started)
+            .count());
+    responses_sent_->Add();
     Wake();
   }
 }
 
-std::string Server::HandleRequest(Conn* conn, std::string_view payload) {
+std::string Server::HandleRequest(Conn* conn, std::string_view payload,
+                                  const obs::TracePtr& trace) {
+  obs::TraceSpan decode(trace, "decode");
   Result<Request> request = ParseRequest(payload);
+  if (request.ok() && trace != nullptr) {
+    trace->set_label(request->document.empty()
+                         ? std::string(VerbToString(request->verb))
+                         : StrCat(VerbToString(request->verb), " ",
+                                  request->document));
+  }
+  decode.End();
   Result<std::string> response =
-      request.ok() ? Dispatch(conn, *request)
+      request.ok() ? Dispatch(conn, *request, trace)
                    : Result<std::string>(request.status());
   if (response.ok()) return std::move(response).value();
-  request_errors_.fetch_add(1);
+  request_errors_->Add();
   return RenderError(response.status());
 }
 
-Result<std::string> Server::Dispatch(Conn* conn, const Request& request) {
+Result<std::string> Server::Dispatch(Conn* conn, const Request& request,
+                                     const obs::TracePtr& trace) {
   switch (request.verb) {
     case Verb::kPing:
       return RenderOk();
@@ -422,12 +465,16 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request) {
       return RenderItems(store_->ListDocuments(), 0, false);
     case Verb::kStat:
       return DoStat();
+    case Verb::kMetrics:
+      return DoMetrics();
+    case Verb::kTrace:
+      return DoTrace(request);
     case Verb::kQuery:
-      return DoQuery(request);
+      return DoQuery(request, trace);
     case Verb::kQueryPrepare:
       return DoQueryPrepare(conn, request);
     case Verb::kQueryRun:
-      return DoQueryRun(conn, request);
+      return DoQueryRun(conn, request, trace);
     case Verb::kEdit:
       return DoEdit(request);
     case Verb::kEditBegin:
@@ -459,10 +506,41 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request) {
   return status::Internal("unhandled CXP/1 verb");
 }
 
-Result<std::string> Server::DoQuery(const Request& request) {
+Result<std::string> Server::DoQuery(const Request& request,
+                                    const obs::TracePtr& trace) {
+  // Resolve to a prepared handle first — the same compile-or-cache
+  // path the string Execute takes internally — so the trace label can
+  // carry the canonical query hash (the result-cache identity, and the
+  // join key against the slow-query log). A compile failure falls back
+  // to the string path, which accounts the failed request exactly as
+  // it always has.
+  Result<service::QueryHandle> handle =
+      service_->Prepare(request.body, request.kind);
+  if (!handle.ok()) {
+    service::QueryResponse response =
+        service_->Execute({request.document, request.body, request.kind});
+    if (!response.ok()) return response.status;
+    return RenderItems(*response.items, response.version,
+                       response.cache_hit);
+  }
+  if (trace != nullptr) {
+    trace->set_label(StrFormat(
+        "QUERY %s %s hash=%016llx", request.document.c_str(),
+        request.kind == service::QueryKind::kXPath ? "XPATH" : "XQUERY",
+        static_cast<unsigned long long>((*handle)->canonical_hash)));
+  }
+  return RunPrepared(request.document, *handle, trace);
+}
+
+Result<std::string> Server::RunPrepared(const std::string& document,
+                                        const service::QueryHandle& handle,
+                                        const obs::TracePtr& trace) {
+  obs::TraceSpan service_span(trace, "service");
   service::QueryResponse response =
-      service_->Execute({request.document, request.body, request.kind});
+      service_->Execute(document, handle, trace, service_span.index());
+  service_span.End();
   if (!response.ok()) return response.status;
+  obs::TraceSpan respond(trace, "respond");
   return RenderItems(*response.items, response.version, response.cache_hit);
 }
 
@@ -484,17 +562,21 @@ Result<std::string> Server::DoQueryPrepare(Conn* conn,
   return RenderVersion(qid);
 }
 
-Result<std::string> Server::DoQueryRun(Conn* conn, const Request& request) {
+Result<std::string> Server::DoQueryRun(Conn* conn, const Request& request,
+                                       const obs::TracePtr& trace) {
   auto it = conn->prepared.find(request.qid);
   if (it == conn->prepared.end()) {
     return status::NotFound(StrFormat(
         "unknown prepared query id %llu on this connection",
         static_cast<unsigned long long>(request.qid)));
   }
-  service::QueryResponse response =
-      service_->Execute(request.document, it->second);
-  if (!response.ok()) return response.status;
-  return RenderItems(*response.items, response.version, response.cache_hit);
+  if (trace != nullptr) {
+    trace->set_label(StrFormat(
+        "QRUN %s qid=%llu hash=%016llx", request.document.c_str(),
+        static_cast<unsigned long long>(request.qid),
+        static_cast<unsigned long long>(it->second->canonical_hash)));
+  }
+  return RunPrepared(request.document, it->second, trace);
 }
 
 Result<std::string> Server::DoEdit(const Request& request) {
@@ -579,6 +661,17 @@ Result<std::string> Server::DoEditAbort(Conn* conn) {
   return RenderOk();
 }
 
+Result<std::string> Server::DoMetrics() {
+  // One item: the registry's whole Prometheus-style exposition. The
+  // server's own counters live in the same registry, so this is the
+  // process's single metrics surface.
+  return RenderItems({service_->registry()->RenderText()}, 0, false);
+}
+
+Result<std::string> Server::DoTrace(const Request& request) {
+  return RenderItems(service_->tracer().Recent(request.count), 0, false);
+}
+
 Result<std::string> Server::DoStat() {
   service::ServiceStats stats = service_->stats();
   std::vector<std::string> items;
@@ -612,33 +705,33 @@ Result<std::string> Server::DoStat() {
   items.push_back(
       StrFormat("server_connections %llu",
                 static_cast<unsigned long long>(
-                    connections_accepted_.load())));
+                    connections_accepted_->Value())));
   items.push_back(StrFormat(
       "server_frames %llu",
-      static_cast<unsigned long long>(frames_received_.load())));
+      static_cast<unsigned long long>(frames_received_->Value())));
   items.push_back(StrFormat(
       "server_responses %llu",
-      static_cast<unsigned long long>(responses_sent_.load())));
+      static_cast<unsigned long long>(responses_sent_->Value())));
   items.push_back(StrFormat(
       "server_protocol_errors %llu",
-      static_cast<unsigned long long>(protocol_errors_.load())));
+      static_cast<unsigned long long>(protocol_errors_->Value())));
   items.push_back(StrFormat(
       "server_request_errors %llu",
-      static_cast<unsigned long long>(request_errors_.load())));
+      static_cast<unsigned long long>(request_errors_->Value())));
   items.push_back(StrFormat(
       "server_idle_disconnects %llu",
-      static_cast<unsigned long long>(idle_disconnects_.load())));
+      static_cast<unsigned long long>(idle_disconnects_->Value())));
   return RenderItems(items, 0, false);
 }
 
 ServerStats Server::stats() const {
   ServerStats stats;
-  stats.connections_accepted = connections_accepted_.load();
-  stats.frames_received = frames_received_.load();
-  stats.responses_sent = responses_sent_.load();
-  stats.protocol_errors = protocol_errors_.load();
-  stats.request_errors = request_errors_.load();
-  stats.idle_disconnects = idle_disconnects_.load();
+  stats.connections_accepted = connections_accepted_->Value();
+  stats.frames_received = frames_received_->Value();
+  stats.responses_sent = responses_sent_->Value();
+  stats.protocol_errors = protocol_errors_->Value();
+  stats.request_errors = request_errors_->Value();
+  stats.idle_disconnects = idle_disconnects_->Value();
   return stats;
 }
 

@@ -13,6 +13,8 @@
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/document_store.h"
 #include "service/query_service.h"
 #include "service/thread_pool.h"
@@ -44,6 +46,11 @@ struct ServerOptions {
   /// while a client waiting on a slow query is never reaped
   /// mid-request. 0 disables the deadline.
   int idle_timeout_ms = 0;
+  /// Requests slower than this (end-to-end µs, measured from frame
+  /// decode to response render) emit one structured slow-query log
+  /// line with per-stage micros; 0 disables. Forwarded to the
+  /// service's Tracer at Start().
+  uint64_t slow_query_us = 0;
 };
 
 struct ServerStats {
@@ -134,17 +141,31 @@ class Server {
 
   /// Request execution (worker threads; `conn` carries the open
   /// edit transaction, touched only by the connection's one worker).
-  std::string HandleRequest(Conn* conn, std::string_view payload);
-  Result<std::string> Dispatch(Conn* conn, const Request& request);
-  Result<std::string> DoQuery(const Request& request);
+  /// `trace` (possibly null) is this request's trace: HandleRequest
+  /// adds the decode stage and the label, the query paths hang
+  /// service/respond stages under it.
+  std::string HandleRequest(Conn* conn, std::string_view payload,
+                            const obs::TracePtr& trace);
+  Result<std::string> Dispatch(Conn* conn, const Request& request,
+                               const obs::TracePtr& trace);
+  Result<std::string> DoQuery(const Request& request,
+                              const obs::TracePtr& trace);
   Result<std::string> DoQueryPrepare(Conn* conn, const Request& request);
-  Result<std::string> DoQueryRun(Conn* conn, const Request& request);
+  Result<std::string> DoQueryRun(Conn* conn, const Request& request,
+                                 const obs::TracePtr& trace);
+  /// Shared QUERY/QRUN tail: service + respond trace stages around the
+  /// prepared-handle execution.
+  Result<std::string> RunPrepared(const std::string& document,
+                                  const service::QueryHandle& handle,
+                                  const obs::TracePtr& trace);
   Result<std::string> DoEdit(const Request& request);
   Result<std::string> DoEditBegin(Conn* conn, const Request& request);
   Result<std::string> DoEditOp(Conn* conn, const Request& request);
   Result<std::string> DoEditCommit(Conn* conn);
   Result<std::string> DoEditAbort(Conn* conn);
   Result<std::string> DoStat();
+  Result<std::string> DoMetrics();
+  Result<std::string> DoTrace(const Request& request);
 
   service::DocumentStore* store_;
   service::QueryService* service_;
@@ -161,12 +182,20 @@ class Server {
   mutable std::mutex mu_;
   std::map<int, std::shared_ptr<Conn>> conns_;
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> frames_received_{0};
-  std::atomic<uint64_t> responses_sent_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> request_errors_{0};
-  std::atomic<uint64_t> idle_disconnects_{0};
+  /// Front-end tallies on the service's registry (fetched once in the
+  /// constructor), so METRICS exposes them next to the service's own
+  /// and stats()/STAT read the same numbers.
+  obs::Counter* connections_accepted_ = nullptr;
+  obs::Counter* frames_received_ = nullptr;
+  obs::Counter* responses_sent_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* request_errors_ = nullptr;
+  obs::Counter* idle_disconnects_ = nullptr;
+  /// Currently open connections (accepted − closed).
+  obs::Gauge* open_conns_ = nullptr;
+  /// End-to-end request latency as the worker sees it: decode →
+  /// response rendered (socket write time excluded).
+  obs::Histogram* request_us_ = nullptr;
 
   /// Declared last so workers stop before the state above dies.
   std::unique_ptr<service::ThreadPool> workers_;

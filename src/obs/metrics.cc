@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace cxml::obs {
+
+size_t Counter::ShardIndex() {
+  // Hash of the thread id, computed once per thread: the same thread
+  // always lands on the same shard, so repeated bumps stay in one
+  // cache line that no other core is likely writing.
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      kCounterShards;
+  return shard;
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (value > 0) {
+    sum_milli_.fetch_add(static_cast<uint64_t>(value * 1000.0),
+                         std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return static_cast<double>(sum_milli_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+double Histogram::LowerBound(size_t i) {
+  return std::exp2(static_cast<double>(i) / kBucketsPerOctave +
+                   kMinExponent);
+}
+
+double Histogram::UpperBound(size_t i) { return LowerBound(i + 1); }
+
+size_t Histogram::BucketFor(double value) {
+  if (!(value > 0)) return 0;  // also catches NaN
+  double index =
+      (std::log2(value) - kMinExponent) * kBucketsPerOctave;
+  if (index < 0) return 0;
+  // floor puts a value sitting exactly on a boundary into the bucket
+  // whose lower bound it is (half-open [lower, upper) buckets).
+  size_t i = static_cast<size_t>(index);
+  return i >= kNumBuckets ? kNumBuckets - 1 : i;
+}
+
+double Histogram::Percentile(double p) const {
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Snapshot the buckets first: concurrent Observes may land between
+  // loads, so derive the total from this snapshot rather than count_
+  // to keep the rank consistent with what we walk.
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  // Nearest-rank target (1-based), matching the sorted-vector oracle
+  // index min(n-1, floor(n*p)).
+  uint64_t target = static_cast<uint64_t>(
+      static_cast<double>(total) * p);
+  if (target >= total) target = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] > target) {
+      // Log-interpolate the rank's position inside the bucket; the
+      // edge buckets clamp, so report their inner boundary instead of
+      // extrapolating beyond the representable range.
+      if (i == 0) return UpperBound(0);
+      if (i == kNumBuckets - 1) return LowerBound(i);
+      double fraction =
+          (static_cast<double>(target - seen) + 0.5) / counts[i];
+      double lo = std::log2(LowerBound(i));
+      double hi = std::log2(UpperBound(i));
+      return std::exp2(lo + (hi - lo) * fraction);
+    }
+    seen += counts[i];
+  }
+  return LowerBound(kNumBuckets - 1);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+/// %g-style rendering that never produces locale commas and keeps
+/// exposition lines short.
+std::string Num(double v) { return StrFormat("%.6g", v); }
+
+}  // namespace
+
+std::string Registry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // std::map iteration is name-sorted, which is what makes repeated
+  // renders of identical state byte-identical.
+  for (const auto& [name, counter] : counters_) {
+    out += StrCat("# TYPE ", name, " counter\n");
+    out += StrFormat("%s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrCat("# TYPE ", name, " gauge\n");
+    out += StrFormat("%s %lld\n", name.c_str(),
+                     static_cast<long long>(gauge->Value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += StrCat("# TYPE ", name, " histogram\n");
+    std::vector<uint64_t> counts = histogram->BucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;  // elide empty buckets
+      cumulative += counts[i];
+      out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                       Num(Histogram::UpperBound(i)).c_str(),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(cumulative));
+    out += StrCat(name, "_sum ", Num(histogram->Sum()), "\n");
+    out += StrFormat("%s_count %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(cumulative));
+    out += StrCat(name, "_p50 ", Num(histogram->Percentile(0.5)), "\n");
+    out += StrCat(name, "_p90 ", Num(histogram->Percentile(0.9)), "\n");
+    out += StrCat(name, "_p99 ", Num(histogram->Percentile(0.99)), "\n");
+  }
+  return out;
+}
+
+std::string Registry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& [name, counter] : counters_) {
+    sep();
+    out += StrFormat("\"%s\": %llu", name.c_str(),
+                     static_cast<unsigned long long>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    sep();
+    out += StrFormat("\"%s\": %lld", name.c_str(),
+                     static_cast<long long>(gauge->Value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    sep();
+    out += StrFormat(
+        "\"%s\": {\"count\": %llu, \"sum\": %.3f, \"p50\": %.3f, "
+        "\"p90\": %.3f, \"p99\": %.3f}",
+        name.c_str(),
+        static_cast<unsigned long long>(histogram->Count()),
+        histogram->Sum(), histogram->Percentile(0.5),
+        histogram->Percentile(0.9), histogram->Percentile(0.99));
+  }
+  out += "}";
+  return out;
+}
+
+Registry* Registry::Global() {
+  // Leaked on purpose: metrics outlive every static destructor that
+  // might still bump a counter on shutdown.
+  static Registry* global = new Registry();
+  return global;
+}
+
+}  // namespace cxml::obs

@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace cxml::obs {
+
+namespace {
+
+uint64_t DurationUs(Trace::Clock::time_point from,
+                    Trace::Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+void Trace::set_label(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_ = std::move(label);
+}
+
+std::string Trace::label() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_;
+}
+
+uint64_t Trace::OffsetUs(Clock::time_point tp) const {
+  return DurationUs(start_, tp);
+}
+
+int Trace::StartStage(const char* name, int parent) {
+  Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  Stage stage;
+  stage.name = name;
+  stage.start_us = OffsetUs(now);
+  stage.parent = parent;
+  stage.begin = now;
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
+void Trace::EndStage(int index) {
+  Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || static_cast<size_t>(index) >= stages_.size()) return;
+  Stage& stage = stages_[static_cast<size_t>(index)];
+  stage.duration_us = DurationUs(stage.begin, now);
+}
+
+void Trace::SetStageNote(int index, std::string note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || static_cast<size_t>(index) >= stages_.size()) return;
+  stages_[static_cast<size_t>(index)].note = std::move(note);
+}
+
+int Trace::AddStageAbs(const char* name, Clock::time_point start,
+                       Clock::time_point end, int parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stage stage;
+  stage.name = name;
+  stage.start_us = OffsetUs(start);
+  stage.duration_us = DurationUs(start, end);
+  stage.parent = parent;
+  stage.begin = start;
+  stages_.push_back(std::move(stage));
+  return static_cast<int>(stages_.size()) - 1;
+}
+
+void Trace::Finish() {
+  total_us_.store(OffsetUs(Clock::now()), std::memory_order_relaxed);
+}
+
+std::string Trace::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "#%llu %s total=%lluus\n", static_cast<unsigned long long>(id_),
+      label_.empty() ? "(unlabeled)" : label_.c_str(),
+      static_cast<unsigned long long>(total_us_.load()));
+  // Depth via parent chain: stages append in start order, and a parent
+  // always starts before its children, so one forward pass indents
+  // correctly without sorting.
+  std::vector<int> depth(stages_.size(), 0);
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    int parent = stages_[i].parent;
+    if (parent >= 0 && static_cast<size_t>(parent) < i) {
+      depth[i] = depth[static_cast<size_t>(parent)] + 1;
+    }
+    out.append(2 * (depth[i] + 1), ' ');
+    out += StrFormat("%s %lluus", stages_[i].name,
+                     static_cast<unsigned long long>(
+                         stages_[i].duration_us));
+    if (!stages_[i].note.empty()) {
+      out += StrCat(" (", stages_[i].note, ")");
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Trace::RenderLine() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "slow_query total_us=%llu label=\"%s\" stages=[",
+      static_cast<unsigned long long>(total_us_.load()), label_.c_str());
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += StrFormat("%s=%lluus", stages_[i].name,
+                     static_cast<unsigned long long>(
+                         stages_[i].duration_us));
+    if (!stages_[i].note.empty()) {
+      out += StrCat("(", stages_[i].note, ")");
+    }
+  }
+  out += "]";
+  return out;
+}
+
+Tracer::Tracer(Options options, Registry* registry)
+    : options_(options),
+      slow_query_us_(options.slow_query_us),
+      sampled_(registry->GetCounter("cxml_traces_sampled_total")),
+      slow_(registry->GetCounter("cxml_slow_queries_total")),
+      sink_([](const std::string& line) {
+        std::fprintf(stderr, "%s\n", line.c_str());
+      }) {}
+
+TracePtr Tracer::Start() {
+  if (options_.sample_every == 0) return nullptr;
+  return std::make_shared<Trace>(
+      next_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void Tracer::Finish(const TracePtr& trace) {
+  if (trace == nullptr) return;
+  trace->Finish();
+  uint64_t slow_us = slow_query_us_.load(std::memory_order_relaxed);
+  if (slow_us > 0 && trace->total_us() >= slow_us) {
+    slow_->Add();
+    std::function<void(const std::string&)> sink;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sink = sink_;
+    }
+    if (sink) sink(trace->RenderLine());
+  }
+  uint64_t seq = finished_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.ring_capacity == 0 || seq % options_.sample_every != 0) {
+    return;
+  }
+  sampled_->Add();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(trace);
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+}
+
+std::vector<std::string> Tracer::Recent(size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  size_t n = ring_.size() < max ? ring_.size() : max;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[ring_.size() - 1 - i]->Render());
+  }
+  return out;
+}
+
+size_t Tracer::ring_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void Tracer::SetSlowLogSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+}  // namespace cxml::obs

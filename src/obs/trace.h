@@ -1,0 +1,191 @@
+#ifndef CXML_OBS_TRACE_H_
+#define CXML_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cxml::obs {
+
+/// Per-request tracing: a Trace is one request's tree of timed stages
+/// (decode → queue → index → cache → eval → respond), assembled across
+/// threads as the request crosses the server worker, the query-service
+/// pool, and back. Traces are cheap enough to build for every request
+/// — a handful of steady_clock reads and one small allocation — which
+/// is what lets the slow-query log report per-stage micros for *any*
+/// request that crosses the threshold, not just sampled ones; the
+/// sampling rate only governs which finished traces are retained in
+/// the ring buffer behind the TRACE wire verb.
+class Trace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit Trace(uint64_t id) : id_(id), start_(Clock::now()) {}
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Request identity for rendering — typically "VERB doc KIND
+  /// hash=<canonical hash>", set once the request is decoded.
+  void set_label(std::string label);
+  std::string label() const;
+
+  /// Starts a stage now; returns its index for parent links and
+  /// EndStage. `parent` is a previously returned index or -1 (root).
+  int StartStage(const char* name, int parent = -1);
+  /// Stamps the stage's duration (now - its start). Idempotent-unsafe:
+  /// call exactly once per index (TraceSpan does).
+  void EndStage(int index);
+  /// Attaches free-form detail ("hit", "indexed=3 pool_nodes=214").
+  void SetStageNote(int index, std::string note);
+  /// Records an already-measured stage from explicit timestamps — for
+  /// intervals that span threads, like the submit→claim queue wait.
+  int AddStageAbs(const char* name, Clock::time_point start,
+                  Clock::time_point end, int parent = -1);
+
+  /// Stamps the end-to-end total. Called once by Tracer::Finish.
+  void Finish();
+  uint64_t total_us() const { return total_us_.load(); }
+  Clock::time_point start_time() const { return start_; }
+
+  /// Multi-line rendering (TRACE wire verb / cxml_client trace):
+  ///
+  ///   #<id> <label> total=<N>us
+  ///     decode 2us
+  ///     service 144us
+  ///       queue 10us
+  ///       ...
+  ///
+  /// Children indent under their parent; stages print in start order.
+  std::string Render() const;
+  /// One-line slow-log rendering:
+  ///   slow_query total_us=N label="..." stages=[decode=2us eval=110us(...)]
+  std::string RenderLine() const;
+
+ private:
+  struct Stage {
+    const char* name;
+    uint64_t start_us = 0;
+    uint64_t duration_us = 0;
+    int parent = -1;
+    std::string note;
+    Clock::time_point begin;
+  };
+
+  uint64_t OffsetUs(Clock::time_point tp) const;
+
+  const uint64_t id_;
+  const Clock::time_point start_;
+  std::atomic<uint64_t> total_us_{0};
+
+  /// One mutex for label + stages: appends come from whichever thread
+  /// currently owns the request, and the ring may render concurrently.
+  mutable std::mutex mu_;
+  std::string label_;
+  std::vector<Stage> stages_;
+};
+
+using TracePtr = std::shared_ptr<Trace>;
+
+/// RAII stage: starts on construction, records on End() or
+/// destruction, whichever comes first. Inert (zero clock reads) when
+/// constructed with a null trace, so instrumented code paths need no
+/// branches of their own.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(const TracePtr& trace, const char* name, int parent = -1)
+      : trace_(trace.get()) {
+    if (trace_ != nullptr) index_ = trace_->StartStage(name, parent);
+  }
+  ~TraceSpan() { End(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// The stage index for parenting child spans (-1 when inert).
+  int index() const { return index_; }
+
+  void set_note(std::string note) {
+    if (trace_ != nullptr) trace_->SetStageNote(index_, std::move(note));
+  }
+
+  void End() {
+    if (trace_ != nullptr) trace_->EndStage(index_);
+    trace_ = nullptr;
+  }
+  void EndWithNote(std::string note) {
+    set_note(std::move(note));
+    End();
+  }
+
+ private:
+  Trace* trace_ = nullptr;  // borrowed; caller keeps the TracePtr alive
+  int index_ = -1;
+};
+
+/// Owns the trace lifecycle: hands out Trace objects, and on Finish
+/// (a) emits the slow-query log line when the end-to-end total crosses
+/// the threshold, and (b) retains every `sample_every`-th trace in a
+/// bounded FIFO ring readable over the TRACE wire verb.
+class Tracer {
+ public:
+  struct Options {
+    /// Finished traces retained for TRACE; 0 disables retention.
+    size_t ring_capacity = 64;
+    /// Every Nth finished trace is retained (1 = all, 0 disables
+    /// tracing entirely — Start returns null and requests pay nothing).
+    uint32_t sample_every = 1;
+    /// Requests slower than this (end-to-end µs) emit one structured
+    /// slow-log line; 0 disables the log.
+    uint64_t slow_query_us = 0;
+  };
+
+  /// `registry` receives the tracer's own counters
+  /// (cxml_traces_sampled_total, cxml_slow_queries_total).
+  Tracer(Options options, Registry* registry);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// A fresh in-flight trace, or null when tracing is disabled
+  /// (sample_every == 0) — all downstream spans become inert.
+  TracePtr Start();
+
+  /// Finalizes: stamps the total, applies the slow-query threshold,
+  /// and retains the trace in the ring per the sampling rate.
+  void Finish(const TracePtr& trace);
+
+  /// The newest `max` retained traces, rendered, newest first.
+  std::vector<std::string> Recent(size_t max) const;
+  size_t ring_size() const;
+
+  uint64_t slow_query_us() const { return slow_query_us_.load(); }
+  void set_slow_query_us(uint64_t us) { slow_query_us_.store(us); }
+
+  /// Replaces the slow-log sink (default: one line to stderr).
+  void SetSlowLogSink(std::function<void(const std::string&)> sink);
+
+ private:
+  const Options options_;
+  std::atomic<uint64_t> slow_query_us_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> finished_{0};
+  Counter* sampled_;
+  Counter* slow_;
+
+  mutable std::mutex mu_;
+  std::deque<TracePtr> ring_;  // back = newest; FIFO eviction
+  std::function<void(const std::string&)> sink_;
+};
+
+}  // namespace cxml::obs
+
+#endif  // CXML_OBS_TRACE_H_

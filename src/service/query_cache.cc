@@ -18,10 +18,10 @@ CachedResult QueryCache::Get(const QueryKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_->Add();
     return nullptr;
   }
-  ++hits_;
+  hits_->Add();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->result;
 }
@@ -40,7 +40,7 @@ void QueryCache::Put(const QueryKey& key, CachedResult result) {
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
-    ++evictions_;
+    evictions_->Add();
   }
 }
 
@@ -57,7 +57,7 @@ size_t QueryCache::InvalidateBelow(const std::string& document,
       ++it;
     }
   }
-  invalidated_ += dropped;
+  if (dropped > 0) invalidated_->Add(dropped);
   return dropped;
 }
 
@@ -68,13 +68,15 @@ void QueryCache::Clear() {
 }
 
 CacheStats QueryCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   CacheStats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.invalidated = invalidated_;
-  s.size = lru_.size();
+  s.hits = hits_->Value();
+  s.misses = misses_->Value();
+  s.evictions = evictions_->Value();
+  s.invalidated = invalidated_->Value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.size = lru_.size();
+  }
   s.capacity = capacity_;
   return s;
 }

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace cxml::service {
 
 /// How a request's query string is interpreted.
@@ -87,9 +89,22 @@ struct CacheStats {
 
 /// Thread-safe LRU cache of query results keyed by
 /// (document, version, generation, canonical query hash, kind).
+///
+/// Hit/miss/eviction/invalidation tallies live on obs::Counters in
+/// `registry` (cxml_cache_*_total) so the METRICS exposition, STAT,
+/// and CacheStats all read the same numbers; a cache constructed
+/// without a registry keeps them in a private one.
 class QueryCache {
  public:
-  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+  explicit QueryCache(size_t capacity, obs::Registry* registry = nullptr)
+      : capacity_(capacity) {
+    obs::Registry* r =
+        registry != nullptr ? registry : &owned_registry_;
+    hits_ = r->GetCounter("cxml_cache_hits_total");
+    misses_ = r->GetCounter("cxml_cache_misses_total");
+    evictions_ = r->GetCounter("cxml_cache_evictions_total");
+    invalidated_ = r->GetCounter("cxml_cache_invalidated_total");
+  }
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
@@ -120,10 +135,12 @@ class QueryCache {
   size_t capacity_;
   EntryList lru_;  // front = most recent
   std::unordered_map<QueryKey, EntryList::iterator, QueryKeyHash> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidated_ = 0;
+  /// Fallback home for the counters below when no registry was given.
+  obs::Registry owned_registry_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* invalidated_ = nullptr;
 };
 
 }  // namespace cxml::service

@@ -1,5 +1,6 @@
 #include "service/query_service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/strings.h"
@@ -21,17 +22,44 @@ std::string HandleKey(QueryKind kind, std::string_view text) {
   return key;
 }
 
+using TraceClock = obs::Trace::Clock;
+
+double Micros(TraceClock::time_point from, TraceClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
 }  // namespace
 
 QueryService::QueryService(DocumentStore* store, QueryServiceOptions options)
     : store_(store),
-      cache_(options.cache_capacity),
+      owned_registry_(options.registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr),
+      registry_(options.registry != nullptr ? options.registry
+                                            : owned_registry_.get()),
+      tracer_(obs::Tracer::Options{options.trace_ring_capacity,
+                                   options.trace_sample_every,
+                                   options.slow_query_us},
+              registry_),
+      cache_(options.cache_capacity, registry_),
       prepared_lru_(options.prepared_cache_capacity),
       pool_(options.num_threads),
       write_pool_(options.num_write_threads == 0
                       ? 1
                       : options.num_write_threads),
-      pipeline_(store, &write_pool_) {
+      pipeline_(store, &write_pool_, registry_) {
+  requests_ = registry_->GetCounter("cxml_service_requests_total");
+  batches_ = registry_->GetCounter("cxml_service_batches_total");
+  errors_ = registry_->GetCounter("cxml_service_errors_total");
+  prepares_ = registry_->GetCounter("cxml_service_prepares_total");
+  query_us_ = registry_->GetHistogram("cxml_query_us");
+  queue_us_ = registry_->GetHistogram("cxml_query_queue_us");
+  eval_us_ = registry_->GetHistogram("cxml_query_eval_us");
+  index_build_us_ = registry_->GetHistogram("cxml_index_build_us");
+  axis_indexed_ = registry_->GetCounter("cxml_axis_indexed_total");
+  axis_naive_ = registry_->GetCounter("cxml_axis_naive_total");
+  axis_pushdown_ = registry_->GetCounter("cxml_axis_pushdown_total");
+  axis_pool_nodes_ = registry_->GetCounter("cxml_axis_pool_nodes_total");
   listener_id_ = store_->AddVersionListener(
       [this](const std::string& name, uint64_t version) {
         cache_.InvalidateBelow(name, version);
@@ -82,12 +110,12 @@ Result<QueryHandle> QueryService::Prepare(const std::string& query,
   }
   QueryHandle handle = std::move(prepared);
 
+  prepares_->Add();
   std::lock_guard<std::mutex> lock(prepared_mu_);
-  ++prepares_;
   // Dedupe through the canonical registry: textual variants (and every
   // connection preparing the same query) share one live handle.
   std::string canonical_key = HandleKey(kind, handle->canonical);
-  auto [it, inserted] = registry_.try_emplace(canonical_key);
+  auto [it, inserted] = prepared_registry_.try_emplace(canonical_key);
   if (!inserted) {
     if (QueryHandle live = it->second.lock()) {
       prepared_lru_.Put(text_key, live);
@@ -95,11 +123,13 @@ Result<QueryHandle> QueryService::Prepare(const std::string& query,
     }
   }
   it->second = handle;
-  if (registry_.size() > 4 * prepared_lru_.capacity()) {
+  if (prepared_registry_.size() > 4 * prepared_lru_.capacity()) {
     // Opportunistic prune of expired registrations (weak_ptrs never
     // pin handles, but the map entries themselves need reclaiming).
-    for (auto r = registry_.begin(); r != registry_.end();) {
-      r = r->second.expired() ? registry_.erase(r) : std::next(r);
+    for (auto r = prepared_registry_.begin();
+         r != prepared_registry_.end();) {
+      r = r->second.expired() ? prepared_registry_.erase(r)
+                              : std::next(r);
     }
   }
   prepared_lru_.Put(text_key, handle);
@@ -127,11 +157,8 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
   // snapshot and no worker.
   Result<QueryHandle> handle = Prepare(request.query, request.kind);
   if (!handle.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++requests_;
-      ++errors_;
-    }
+    requests_->Add();
+    errors_->Add();
     std::promise<QueryResponse> promise;
     QueryResponse response;
     response.status = handle.status();
@@ -142,16 +169,21 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
 }
 
 std::future<QueryResponse> QueryService::Submit(std::string document,
-                                                QueryHandle handle) {
+                                                QueryHandle handle,
+                                                obs::TracePtr trace,
+                                                int trace_parent) {
   Pending pending;
   pending.handle = std::move(handle);
+  pending.trace = std::move(trace);
+  pending.trace_parent = trace_parent;
+  pending.enqueued = TraceClock::now();
   std::future<QueryResponse> future = pending.promise.get_future();
+  requests_->Add();
 
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_[document].push_back(std::move(pending));
-    ++requests_;
     schedule = scheduled_.insert(document).second;
   }
   if (schedule &&
@@ -161,7 +193,7 @@ std::future<QueryResponse> QueryService::Submit(std::string document,
     scheduled_.erase(document);
     auto it = pending_.find(document);
     if (it != pending_.end()) {
-      errors_ += it->second.size();
+      errors_->Add(it->second.size());
       for (Pending& p : it->second) {
         QueryResponse response;
         response.status =
@@ -179,8 +211,12 @@ QueryResponse QueryService::Execute(QueryRequest request) {
 }
 
 QueryResponse QueryService::Execute(std::string document,
-                                    QueryHandle handle) {
-  return Submit(std::move(document), std::move(handle)).get();
+                                    QueryHandle handle,
+                                    obs::TracePtr trace,
+                                    int trace_parent) {
+  return Submit(std::move(document), std::move(handle), std::move(trace),
+                trace_parent)
+      .get();
 }
 
 std::vector<QueryResponse> QueryService::ExecuteAll(
@@ -211,13 +247,13 @@ void QueryService::ServeDocument(const std::string& document) {
         return;
       }
       batch.swap(it->second);
-      ++batches_;
     }
+    batches_->Add();
+    TraceClock::time_point claimed = TraceClock::now();
 
     auto snap = store_->GetSnapshot(document);
     if (!snap.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      errors_ += batch.size();
+      errors_->Add(batch.size());
       for (Pending& p : batch) {
         QueryResponse response;
         response.status = snap.status();
@@ -234,56 +270,100 @@ void QueryService::ServeDocument(const std::string& document) {
     // runs at most once per document at a time (scheduled_ set).
     SnapshotPtr snapshot = std::move(snap).value();
     for (Pending& p : batch) {
-      QueryResponse response = RunOne(*snapshot, *p.handle);
-      if (!response.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++errors_;
-      }
+      QueryResponse response = RunOne(*snapshot, p, claimed);
+      if (!response.ok()) errors_->Add();
       p.promise.set_value(std::move(response));
     }
   }
 }
 
 QueryResponse QueryService::RunOne(const DocumentSnapshot& snap,
-                                   const PreparedQuery& query) {
+                                   Pending& p,
+                                   TraceClock::time_point claimed) {
+  const PreparedQuery& query = *p.handle;
+  const obs::TracePtr& trace = p.trace;
+  const int parent = p.trace_parent;
+  TraceClock::time_point start = TraceClock::now();
+
+  // The queue wait ended when the batch claimed this request.
+  queue_us_->Observe(Micros(p.enqueued, claimed));
+  if (trace != nullptr) {
+    trace->AddStageAbs("queue", p.enqueued, claimed, parent);
+  }
+
   QueryResponse response;
   response.version = snap.version;
 
+  // Force the memoized index here (the engines would anyway) so the
+  // one-time build cost is measured and attributed to the request that
+  // actually paid it instead of vanishing into its eval time.
+  bool cold_index = !snap.IndexReady();
+  {
+    obs::TraceSpan index_span(trace, "index", parent);
+    snap.Index();
+  }
+  if (cold_index) {
+    index_build_us_->Observe(
+        static_cast<double>(snap.index_build_us()));
+  }
+
+  obs::TraceSpan cache_span(trace, "cache", parent);
   QueryKey key{snap.name,       snap.version,         snap.generation,
                query.canonical, query.canonical_hash, query.kind};
   if (CachedResult cached = cache_.Get(key)) {
+    cache_span.EndWithNote("hit");
     response.items = std::move(cached);
     response.cache_hit = true;
+    query_us_->Observe(Micros(start, TraceClock::now()));
     return response;
   }
+  cache_span.EndWithNote("miss");
 
-  Result<std::vector<std::string>> items =
-      query.kind == QueryKind::kXPath
-          ? snap.XPath().EvaluateToStrings(*query.xpath)
-          : snap.XQuery().Run(*query.xquery);
+  obs::TraceSpan eval_span(trace, "eval", parent);
+  TraceClock::time_point eval_start = TraceClock::now();
+  xpath::AxisStats axes;
+  auto run = [&]() -> Result<std::vector<std::string>> {
+    if (query.kind == QueryKind::kXPath) {
+      xpath::XPathEngine& engine = snap.XPath();
+      engine.ResetAxisStats();
+      Result<std::vector<std::string>> r =
+          engine.EvaluateToStrings(*query.xpath);
+      axes = engine.axis_stats();
+      return r;
+    }
+    xquery::XQueryEngine& engine = snap.XQuery();
+    engine.ResetAxisStats();
+    Result<std::vector<std::string>> r = engine.Run(*query.xquery);
+    axes = engine.axis_stats();
+    return r;
+  };
+  Result<std::vector<std::string>> items = run();
+  eval_us_->Observe(Micros(eval_start, TraceClock::now()));
+  eval_span.EndWithNote(axes.Summary());
+  if (axes.indexed_axes > 0) axis_indexed_->Add(axes.indexed_axes);
+  if (axes.naive_axes > 0) axis_naive_->Add(axes.naive_axes);
+  if (axes.pushdown_axes > 0) axis_pushdown_->Add(axes.pushdown_axes);
+  if (axes.pool_nodes > 0) axis_pool_nodes_->Add(axes.pool_nodes);
+
   if (!items.ok()) {
     response.status = items.status().WithContext(
         StrCat(QueryKindToString(query.kind), " '", query.text, "'"));
+    query_us_->Observe(Micros(start, TraceClock::now()));
     return response;
   }
   response.items = std::make_shared<const std::vector<std::string>>(
       std::move(items).value());
   cache_.Put(key, response.items);
+  query_us_->Observe(Micros(start, TraceClock::now()));
   return response;
 }
 
 ServiceStats QueryService::stats() const {
   ServiceStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s.requests = requests_;
-    s.batches = batches_;
-    s.errors = errors_;
-  }
-  {
-    std::lock_guard<std::mutex> lock(prepared_mu_);
-    s.prepares = prepares_;
-  }
+  s.requests = requests_->Value();
+  s.batches = batches_->Value();
+  s.errors = errors_->Value();
+  s.prepares = prepares_->Value();
   s.cache = cache_.stats();
   s.writes = pipeline_.stats();
   return s;

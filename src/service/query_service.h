@@ -13,6 +13,8 @@
 
 #include "common/lru_cache.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/document_store.h"
 #include "service/query_cache.h"
 #include "service/thread_pool.h"
@@ -89,6 +91,22 @@ struct QueryServiceOptions {
   /// Bounded LRU of (kind, raw text) → QueryHandle, so hot string
   /// submissions pay one string hash instead of a parse per request.
   size_t prepared_cache_capacity = 256;
+  /// Where the service registers its metrics (counters, latency
+  /// histograms, cache/write/tracer tallies). nullptr → the service
+  /// owns a private registry, so multiple services in one process
+  /// (tests, benches) never mix numbers; a server process passes one
+  /// registry (or obs::Registry::Global()) to get a single exposition
+  /// surface.
+  obs::Registry* registry = nullptr;
+  /// Finished request traces retained for the TRACE verb (FIFO ring).
+  size_t trace_ring_capacity = 64;
+  /// Every Nth finished trace is retained (1 = all; 0 disables tracing
+  /// and the slow-query log entirely).
+  uint32_t trace_sample_every = 1;
+  /// Requests slower than this (end-to-end µs) emit one structured
+  /// slow-query log line; 0 disables. net::ServerOptions::slow_query_us
+  /// forwards here via Tracer::set_slow_query_us.
+  uint64_t slow_query_us = 0;
 };
 
 /// Executes Extended XPath / XQuery requests against DocumentStore
@@ -143,14 +161,20 @@ class QueryService {
   /// Asynchronous entry points: enqueue and return immediately. The
   /// string form resolves the expression through the prepared-handle
   /// cache (compiling on first sight) and otherwise behaves exactly
-  /// like the handle form.
+  /// like the handle form. An optional trace rides along: the worker
+  /// adds queue/index/cache/eval stages under `trace_parent` as the
+  /// request moves through the batch pipeline.
   std::future<QueryResponse> Submit(QueryRequest request);
   std::future<QueryResponse> Submit(std::string document,
-                                    QueryHandle handle);
+                                    QueryHandle handle,
+                                    obs::TracePtr trace = nullptr,
+                                    int trace_parent = -1);
 
   /// Synchronous conveniences: Submit + wait.
   QueryResponse Execute(QueryRequest request);
-  QueryResponse Execute(std::string document, QueryHandle handle);
+  QueryResponse Execute(std::string document, QueryHandle handle,
+                        obs::TracePtr trace = nullptr,
+                        int trace_parent = -1);
 
   /// Submits all requests, waits for all responses (same order).
   std::vector<QueryResponse> ExecuteAll(std::vector<QueryRequest> requests);
@@ -172,23 +196,63 @@ class QueryService {
   QueryCache& cache() { return cache_; }
   DocumentStore& store() { return *store_; }
   WritePipeline& pipeline() { return pipeline_; }
+  /// The metrics registry every layer of this service reports into —
+  /// the external one from QueryServiceOptions::registry, or the
+  /// service-owned private one. Backs RenderText for the METRICS verb.
+  obs::Registry* registry() { return registry_; }
+  /// The request tracer (sampling ring + slow-query log). net::Server
+  /// starts/finishes traces here; the service only adds stages.
+  obs::Tracer& tracer() { return tracer_; }
 
  private:
   struct Pending {
     QueryHandle handle;
     std::promise<QueryResponse> promise;
+    obs::TracePtr trace;
+    int trace_parent = -1;
+    /// Submit time, for the cross-thread queue-wait stage.
+    obs::Trace::Clock::time_point enqueued;
   };
 
   /// Claims and runs batches for `document` until its queue drains.
   void ServeDocument(const std::string& document);
   /// Runs one prepared query against the snapshot's memoized engine
-  /// pair (DocumentSnapshot::XPath/XQuery) through the result cache.
-  QueryResponse RunOne(const DocumentSnapshot& snap,
-                       const PreparedQuery& query);
+  /// pair (DocumentSnapshot::XPath/XQuery) through the result cache,
+  /// recording per-stage latency (and trace stages when `p` carries a
+  /// trace). `claimed` is when the batch claimed the queue — the end
+  /// of this request's queue wait.
+  QueryResponse RunOne(const DocumentSnapshot& snap, Pending& p,
+                       obs::Trace::Clock::time_point claimed);
 
   DocumentStore* store_;
+  /// Declared before every member that registers metrics (cache_,
+  /// tracer_, pipeline_): initialization order is declaration order.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
+  obs::Tracer tracer_;
   QueryCache cache_;
   uint64_t listener_id_ = 0;
+
+  /// Request accounting on lock-free obs counters — multiple
+  /// submitters and workers bump them without touching mu_, and
+  /// stats() reads exact sums without stopping anyone.
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* prepares_ = nullptr;
+  /// Per-request latency breakdown (µs): end-to-end, queue wait,
+  /// evaluation (cache misses only), and the one-time snapshot index
+  /// build attributed to the request that paid it.
+  obs::Histogram* query_us_ = nullptr;
+  obs::Histogram* queue_us_ = nullptr;
+  obs::Histogram* eval_us_ = nullptr;
+  obs::Histogram* index_build_us_ = nullptr;
+  /// Evaluator strategy tallies (see xpath::AxisStats) — the per-axis
+  /// selectivity feed for the planned cost-based planner.
+  obs::Counter* axis_indexed_ = nullptr;
+  obs::Counter* axis_naive_ = nullptr;
+  obs::Counter* axis_pushdown_ = nullptr;
+  obs::Counter* axis_pool_nodes_ = nullptr;
 
   /// Prepared-handle state: the raw-text LRU keeps hot string
   /// submissions parse-free; the canonical registry dedupes handles so
@@ -197,8 +261,8 @@ class QueryService {
   /// nobody references — and is pruned opportunistically.
   mutable std::mutex prepared_mu_;
   StringLruCache<QueryHandle> prepared_lru_;
-  std::map<std::string, std::weak_ptr<const PreparedQuery>> registry_;
-  uint64_t prepares_ = 0;
+  std::map<std::string, std::weak_ptr<const PreparedQuery>>
+      prepared_registry_;
 
   mutable std::mutex mu_;
   /// Per-document FIFO of pending requests.
@@ -206,9 +270,6 @@ class QueryService {
   /// Documents that currently have a ServeDocument task queued/running;
   /// requests arriving meanwhile just append and get batched.
   std::set<std::string> scheduled_;
-  uint64_t requests_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t errors_ = 0;
 
   /// Declared after the query state: workers must stop before the
   /// state above dies (the destructor's Shutdown drains them).

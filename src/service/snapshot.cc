@@ -1,5 +1,7 @@
 #include "service/snapshot.h"
 
+#include <chrono>
+
 #include "xpath/engine.h"
 #include "xquery/xquery.h"
 
@@ -11,7 +13,15 @@ DocumentSnapshot::~DocumentSnapshot() = default;
 
 const goddag::SnapshotIndex& DocumentSnapshot::Index() const {
   std::call_once(index_once_, [this] {
+    auto start = std::chrono::steady_clock::now();
     index_ = std::make_shared<const goddag::SnapshotIndex>(*goddag);
+    index_build_us_.store(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()),
+        std::memory_order_relaxed);
+    index_ready_.store(true, std::memory_order_release);
   });
   return *index_;
 }

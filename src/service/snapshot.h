@@ -1,6 +1,7 @@
 #ifndef CXML_SERVICE_SNAPSHOT_H_
 #define CXML_SERVICE_SNAPSHOT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -69,6 +70,17 @@ struct DocumentSnapshot {
   /// call site.
   std::shared_ptr<const goddag::SnapshotIndex> IndexPtr() const;
 
+  /// True once the memoized index exists — lets the query path tell a
+  /// cold Index() call (which pays the build) from a hot one, so the
+  /// build cost is attributed to exactly the request that bore it.
+  bool IndexReady() const {
+    return index_ready_.load(std::memory_order_acquire);
+  }
+  /// Wall-clock the memoized index build took (µs; 0 until built).
+  uint64_t index_build_us() const {
+    return index_build_us_.load(std::memory_order_relaxed);
+  }
+
   /// The memoized Extended XPath engine bound to `goddag` + Index().
   /// Thread-safe to *obtain*; caller must serialize *use* (see above).
   xpath::XPathEngine& XPath() const;
@@ -81,6 +93,8 @@ struct DocumentSnapshot {
   mutable std::once_flag xpath_once_;
   mutable std::once_flag xquery_once_;
   mutable std::shared_ptr<const goddag::SnapshotIndex> index_;
+  mutable std::atomic<bool> index_ready_{false};
+  mutable std::atomic<uint64_t> index_build_us_{0};
   mutable std::unique_ptr<xpath::XPathEngine> xpath_engine_;
   mutable std::unique_ptr<xquery::XQueryEngine> xquery_engine_;
 };

@@ -1,5 +1,6 @@
 #include "service/write_pipeline.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -8,6 +9,14 @@
 namespace cxml::service {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MicrosSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() -
+                                                   start)
+      .count();
+}
 
 /// How often a batch is re-applied on a fresh base after losing the
 /// optimistic publish to a direct (non-pipeline) committer. Pipeline
@@ -18,17 +27,24 @@ constexpr int kMaxPublishAttempts = 4;
 
 }  // namespace
 
-WritePipeline::WritePipeline(DocumentStore* store, ThreadPool* pool)
-    : store_(store), pool_(pool) {}
+WritePipeline::WritePipeline(DocumentStore* store, ThreadPool* pool,
+                             obs::Registry* registry)
+    : store_(store), pool_(pool) {
+  obs::Registry* r = registry != nullptr ? registry : &owned_registry_;
+  edits_ = r->GetCounter("cxml_write_edits_total");
+  commits_ = r->GetCounter("cxml_write_commits_total");
+  batches_ = r->GetCounter("cxml_write_batches_total");
+  batched_edits_ = r->GetCounter("cxml_write_batched_edits_total");
+  retries_ = r->GetCounter("cxml_write_retries_total");
+  errors_ = r->GetCounter("cxml_write_errors_total");
+  commit_us_ = r->GetHistogram("cxml_commit_us");
+}
 
 std::future<EditResponse> WritePipeline::SubmitEdit(std::string document,
                                                     EditFn apply) {
   PendingWrite entry;
   entry.apply = std::move(apply);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++edits_;
-  }
+  edits_->Add();
   return Enqueue(document, std::move(entry));
 }
 
@@ -36,10 +52,7 @@ std::future<EditResponse> WritePipeline::SubmitCommit(
     std::string document, std::unique_ptr<EditTransaction> txn) {
   PendingWrite entry;
   entry.txn = std::move(txn);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++commits_;
-  }
+  commits_->Add();
   return Enqueue(document, std::move(entry));
 }
 
@@ -134,6 +147,7 @@ void WritePipeline::ServeDocument(const std::string& document) {
 
 void WritePipeline::RunGroup(const std::string& document,
                              std::deque<PendingWrite>* group) {
+  SteadyClock::time_point start = SteadyClock::now();
   std::vector<Status> statuses(group->size());
   for (int attempt = 1;; ++attempt) {
     auto txn = store_->BeginEdit(document);
@@ -182,11 +196,9 @@ void WritePipeline::RunGroup(const std::string& document,
 
     auto version = txn->Commit();
     if (version.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++batches_;
-        batched_edits_ += applied;
-      }
+      batches_->Add();
+      batched_edits_->Add(applied);
+      commit_us_->Observe(MicrosSince(start));
       for (size_t i = 0; i < group->size(); ++i) {
         if (!statuses[i].ok()) {
           Fail(&(*group)[i], std::move(statuses[i]));
@@ -205,8 +217,7 @@ void WritePipeline::RunGroup(const std::string& document,
       // our publish; the clone is stale. Re-apply everything (failed
       // op-sets included — the new base may accept them) on a fresh
       // clone of the winner's version.
-      std::lock_guard<std::mutex> lock(mu_);
-      ++retries_;
+      retries_->Add();
       continue;
     }
     for (size_t i = 0; i < group->size(); ++i) {
@@ -218,6 +229,7 @@ void WritePipeline::RunGroup(const std::string& document,
 }
 
 void WritePipeline::RunExclusive(PendingWrite* entry) {
+  SteadyClock::time_point start = SteadyClock::now();
   auto version = entry->txn->Commit();
   if (!version.ok()) {
     // Deterministic: a stale cross-frame transaction must lose with
@@ -225,6 +237,7 @@ void WritePipeline::RunExclusive(PendingWrite* entry) {
     Fail(entry, version.status());
     return;
   }
+  commit_us_->Observe(MicrosSince(start));
   EditResponse response;
   response.version = *version;
   response.batch_size = 1;
@@ -232,24 +245,20 @@ void WritePipeline::RunExclusive(PendingWrite* entry) {
 }
 
 void WritePipeline::Fail(PendingWrite* entry, Status status) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++errors_;
-  }
+  errors_->Add();
   EditResponse response;
   response.status = std::move(status);
   entry->promise.set_value(std::move(response));
 }
 
 WriteStats WritePipeline::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   WriteStats stats;
-  stats.edits = edits_;
-  stats.commits = commits_;
-  stats.batches = batches_;
-  stats.batched_edits = batched_edits_;
-  stats.retries = retries_;
-  stats.errors = errors_;
+  stats.edits = edits_->Value();
+  stats.commits = commits_->Value();
+  stats.batches = batches_->Value();
+  stats.batched_edits = batched_edits_->Value();
+  stats.retries = retries_->Value();
+  stats.errors = errors_->Value();
   return stats;
 }
 

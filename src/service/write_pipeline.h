@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "service/document_store.h"
 #include "service/thread_pool.h"
 
@@ -90,8 +91,12 @@ class WritePipeline {
  public:
   /// `store` and `pool` must outlive the pipeline; the owner
   /// (QueryService hands its dedicated writer pool) must drain the
-  /// pool before the pipeline dies.
-  WritePipeline(DocumentStore* store, ThreadPool* pool);
+  /// pool before the pipeline dies. `registry` receives the pipeline's
+  /// counters (cxml_write_*_total) and the group-commit latency
+  /// histogram (cxml_commit_us); without one the pipeline keeps them
+  /// in a private registry.
+  WritePipeline(DocumentStore* store, ThreadPool* pool,
+                obs::Registry* registry = nullptr);
 
   WritePipeline(const WritePipeline&) = delete;
   WritePipeline& operator=(const WritePipeline&) = delete;
@@ -137,12 +142,19 @@ class WritePipeline {
   /// Documents with a ServeDocument task queued/running; writes
   /// arriving meanwhile just append and get batched.
   std::set<std::string> scheduled_;
-  uint64_t edits_ = 0;
-  uint64_t commits_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t batched_edits_ = 0;
-  uint64_t retries_ = 0;
-  uint64_t errors_ = 0;
+
+  /// obs-backed counters (see the constructor comment): lock-free to
+  /// bump — stats() no longer needs mu_ at all, and submitters never
+  /// serialize on counting.
+  obs::Registry owned_registry_;
+  obs::Counter* edits_ = nullptr;
+  obs::Counter* commits_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* batched_edits_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  /// Group/exclusive commit latency: clone + apply + publish, per run.
+  obs::Histogram* commit_us_ = nullptr;
 };
 
 }  // namespace cxml::service

@@ -110,6 +110,12 @@ class XPathEngine {
   /// cache stays — expressions do not depend on the instance).
   void InvalidateIndexes() { evaluator_.Reset(); }
 
+  /// Axis-strategy tallies since the last reset (see xpath::AxisStats).
+  /// The service layer brackets an evaluation with Reset/read to
+  /// attribute strategy choices to a single query.
+  const AxisStats& axis_stats() const { return evaluator_.axis_stats(); }
+  void ResetAxisStats() { evaluator_.ResetAxisStats(); }
+
   size_t cache_size() const { return cache_.size(); }
   size_t parse_cache_capacity() const { return cache_.capacity(); }
 

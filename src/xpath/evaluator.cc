@@ -24,11 +24,22 @@ const goddag::SnapshotIndex& Evaluator::index() {
   return *index_;
 }
 
+std::string AxisStats::Summary() const {
+  return StrFormat("indexed=%llu naive=%llu pushdown=%llu pool_nodes=%llu",
+                   static_cast<unsigned long long>(indexed_axes),
+                   static_cast<unsigned long long>(naive_axes),
+                   static_cast<unsigned long long>(pushdown_axes),
+                   static_cast<unsigned long long>(pool_nodes));
+}
+
 const goddag::SnapshotIndex::Pool& Evaluator::ElementPoolFor(
     HierarchyId hq, const NodeTest& test) {
-  return index().Elements(hq, test.kind == NodeTest::Kind::kName
-                                  ? std::string_view(test.name)
-                                  : std::string_view());
+  const goddag::SnapshotIndex::Pool& pool =
+      index().Elements(hq, test.kind == NodeTest::Kind::kName
+                               ? std::string_view(test.name)
+                               : std::string_view());
+  stats_.pool_nodes += pool.nodes.size();
+  return pool;
 }
 
 void Evaluator::NormalizeSet(NodeSet* set) {
@@ -246,6 +257,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       if (ctx.is_document()) {
         add_node(g_->root());
         if (strategy_ == AxisStrategy::kIndexed && UsePositional(step)) {
+          ++stats_.pushdown_axes;
           // The root is document-order first; any pool node beats it
           // for [last()].
           if (push_first && !out.empty()) break;
@@ -269,6 +281,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
           break;
         }
         if (strategy_ == AxisStrategy::kIndexed) {
+          ++stats_.indexed_axes;
           // Whole pools: already restricted to hierarchy + name test.
           if (TestWantsElements(step.test)) {
             for (NodeId e : ElementPoolFor(hq, step.test).nodes) {
@@ -281,6 +294,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
             }
           }
         } else {
+          ++stats_.naive_axes;
           for (NodeId e : g_->AllElements()) {
             if (h_ok(e)) add_node(e);
           }
@@ -290,6 +304,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       }
       if (strategy_ == AxisStrategy::kIndexed) {
         if (UsePositional(step)) {
+          ++stats_.pushdown_axes;
           if (TestWantsElements(step.test)) {
             const auto& pool = ElementPoolFor(hq, step.test);
             consider(push_first ? index().DominatedFirst(pool, ctx.node)
@@ -304,6 +319,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
           if (best != kInvalidNode) out.push_back(NodeEntry::Of(best));
           break;
         }
+        ++stats_.indexed_axes;
         scratch_.clear();
         if (TestWantsElements(step.test)) {
           index().Dominated(ElementPoolFor(hq, step.test), ctx.node,
@@ -316,6 +332,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
         break;
       }
       // Extent-dominated nodes (the GODDAG "ordered descendants").
+      ++stats_.naive_axes;
       for (NodeId e : g_->AllElements()) {
         if (h_ok(e) && Dominates(*g_, ctx.node, e)) add_node(e);
       }
@@ -370,6 +387,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       // Extent-dominating nodes + root + document.
       if (!g_->is_root(base)) {
         if (strategy_ == AxisStrategy::kIndexed) {
+          ++stats_.indexed_axes;
           if (TestWantsElements(step.test)) {
             scratch_.clear();
             index().Dominating(ElementPoolFor(hq, step.test), base,
@@ -377,6 +395,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
             for (NodeId n : scratch_) out.push_back(NodeEntry::Of(n));
           }
         } else {
+          ++stats_.naive_axes;
           for (NodeId e : g_->AllElements()) {
             if (h_ok(e) && Dominates(*g_, e, base)) add_node(e);
           }
@@ -423,6 +442,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       if (ctx.is_document()) break;
       const bool forward = step.axis == AxisKind::kFollowing;
       if (strategy_ == AxisStrategy::kIndexed) {
+        ++stats_.indexed_axes;
         scratch_.clear();
         if (TestWantsElements(step.test)) {
           const auto& pool = ElementPoolFor(hq, step.test);
@@ -443,6 +463,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
         break;
       }
       Interval span = g_->char_range(ctx.node);
+      ++stats_.naive_axes;
       for (NodeId e : g_->AllElements()) {
         if (!h_ok(e) || e == ctx.node) continue;
         Interval o = g_->char_range(e);
@@ -484,6 +505,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
       // and may straddle element borders, but the paper's overlapping
       // axis asks about concurrent *markup*.
       if (strategy_ == AxisStrategy::kIndexed) {
+        ++stats_.indexed_axes;
         if (TestWantsElements(step.test)) {
           scratch_.clear();
           index().OverlappingOf(ElementPoolFor(hq, step.test), span,
@@ -494,6 +516,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
         }
         break;
       }
+      ++stats_.naive_axes;
       for (NodeId e : g_->AllElements()) {
         if (e == ctx.node || !h_ok(e)) continue;
         Interval o = g_->char_range(e);
@@ -509,6 +532,7 @@ Result<NodeSet> Evaluator::AxisNodes(const Step& step, const NodeEntry& ctx) {
   // running over the rest of the sibling list.
   if (step.axis == AxisKind::kChild && UsePositional(step) &&
       out.size() > 1) {
+    ++stats_.pushdown_axes;
     // Structural Before, not index().Before: a child window is a
     // handful of siblings, and building a whole SnapshotIndex just to
     // order them would cost more than it saves on engines that never

@@ -30,6 +30,27 @@ enum class AxisStrategy {
   kNaiveScan,
 };
 
+/// Running tallies of how the evaluator actually answered axis steps —
+/// which strategy fired and how many pool nodes were pulled into
+/// windows. Plain counters (the evaluator is single-threaded); the
+/// service layer reads them around an evaluation and feeds the deltas
+/// into its metrics registry and trace notes, which is the raw
+/// selectivity data the planned cost-based planner consumes.
+struct AxisStats {
+  /// Global-axis steps answered from SnapshotIndex pools.
+  uint64_t indexed_axes = 0;
+  /// Global-axis steps answered by full AllElements()/leaves() scans.
+  uint64_t naive_axes = 0;
+  /// Steps short-circuited by the compiled [1]/[last()] pushdown.
+  uint64_t pushdown_axes = 0;
+  /// Total size of the (hierarchy, tag) pools touched via
+  /// ElementPoolFor — the window the indexed strategies search in.
+  uint64_t pool_nodes = 0;
+
+  /// "indexed=N naive=N pushdown=N pool_nodes=N"
+  std::string Summary() const;
+};
+
 /// Extended XPath evaluator over a GODDAG.
 ///
 /// Semantics follow XPath 1.0 with the document-order, axis and
@@ -84,6 +105,10 @@ class Evaluator {
   /// Drops cached/adopted indexes after the GODDAG was mutated.
   void Reset() { index_.reset(); }
 
+  /// Axis-strategy tallies accumulated since the last reset.
+  const AxisStats& axis_stats() const { return stats_; }
+  void ResetAxisStats() { stats_ = AxisStats(); }
+
  private:
   struct Context {
     NodeEntry node;
@@ -129,6 +154,7 @@ class Evaluator {
   AxisStrategy strategy_ = AxisStrategy::kIndexed;
   bool positional_pushdown_ = true;
   std::shared_ptr<const goddag::SnapshotIndex> index_;
+  AxisStats stats_;
   /// Reused axis-result buffer (AxisNodes never recurses while filling).
   std::vector<goddag::NodeId> scratch_;
 };

@@ -137,6 +137,12 @@ class XQueryEngine {
     xpath_.SetPositionalPushdown(enabled);
   }
 
+  /// Axis-strategy tallies of the embedded engine (see
+  /// xpath::AxisStats); every path expression a query runs accumulates
+  /// here until the next reset.
+  const xpath::AxisStats& axis_stats() const { return xpath_.axis_stats(); }
+  void ResetAxisStats() { xpath_.ResetAxisStats(); }
+
   size_t cache_size() const { return cache_.size(); }
   size_t parse_cache_capacity() const { return cache_.capacity(); }
 

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -126,7 +129,7 @@ TEST(ProtocolTest, RequestRoundTrips) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->body, reg.body);
 
-  for (Verb verb : {Verb::kList, Verb::kStat, Verb::kPing,
+  for (Verb verb : {Verb::kList, Verb::kStat, Verb::kMetrics, Verb::kPing,
                     Verb::kEditCommit, Verb::kEditAbort}) {
     Request bare;
     bare.verb = verb;
@@ -134,6 +137,14 @@ TEST(ProtocolTest, RequestRoundTrips) {
     ASSERT_TRUE(parsed.ok()) << VerbToString(verb);
     EXPECT_EQ(parsed->verb, verb);
   }
+
+  Request trace;
+  trace.verb = Verb::kTrace;
+  trace.count = 16;
+  parsed = ParseRequest(RenderRequest(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->verb, Verb::kTrace);
+  EXPECT_EQ(parsed->count, 16u);
 }
 
 TEST(ProtocolTest, RejectsMalformedRequests) {
@@ -151,6 +162,11 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("EDIT ms\nCOMMIT\nSELECT 1 2").ok());
   EXPECT_FALSE(ParseRequest("EOP\nCOMMIT").ok());
   EXPECT_FALSE(ParseRequest("PING extra").ok());
+  EXPECT_FALSE(ParseRequest("METRICS extra").ok());
+  EXPECT_FALSE(ParseRequest("TRACE").ok());      // count required
+  EXPECT_FALSE(ParseRequest("TRACE 0").ok());    // zero is meaningless
+  EXPECT_FALSE(ParseRequest("TRACE ten").ok());
+  EXPECT_FALSE(ParseRequest("TRACE 3 4").ok());
 }
 
 TEST(ProtocolTest, ResponseRoundTrips) {
@@ -375,6 +391,110 @@ TEST_F(NetTest, QueryErrorsSurfaceWithCodes) {
   // The connection survives application errors.
   EXPECT_TRUE(client.Ping().ok());
   EXPECT_EQ(server_->stats().protocol_errors, 0u);
+}
+
+/// METRICS round trip: after real traffic, the exposition arrives as
+/// one parseable blob holding the server's counters, the service's
+/// histograms, and values consistent with STAT (which reads the same
+/// registry).
+TEST_F(NetTest, MetricsRoundTripMatchesStat) {
+  Client client = Connect();
+  ASSERT_TRUE(
+      client.Query("ms", "count(//w)", service::QueryKind::kXPath).ok());
+  ASSERT_TRUE(
+      client.Query("ms", "count(//w)", service::QueryKind::kXPath).ok());
+
+  auto exposition = client.Metrics();
+  ASSERT_TRUE(exposition.ok()) << exposition.status();
+  // At least one counter line and one histogram bucket line, each
+  // "name value" with a numeric value.
+  EXPECT_NE(exposition->find("cxml_server_frames_total "),
+            std::string::npos);
+  EXPECT_NE(exposition->find("cxml_service_requests_total 2"),
+            std::string::npos);
+  EXPECT_NE(exposition->find("cxml_cache_hits_total 1"),
+            std::string::npos);
+  EXPECT_NE(exposition->find("cxml_query_us_bucket{le="),
+            std::string::npos);
+  EXPECT_NE(exposition->find("cxml_query_us_count 2"), std::string::npos);
+  EXPECT_NE(exposition->find("cxml_query_us_p50 "), std::string::npos);
+
+  // STAT reads the same registry: its service_requests must agree with
+  // the exposition's counter (plus the METRICS frame itself not yet
+  // counted as a query).
+  auto stat = client.Stat();
+  ASSERT_TRUE(stat.ok()) << stat.status();
+  bool saw = false;
+  for (const std::string& line : *stat) {
+    if (line == "service_requests 2") saw = true;
+  }
+  EXPECT_TRUE(saw) << "STAT disagrees with the registry";
+}
+
+/// The tentpole acceptance: one traced query surfaces at least four
+/// distinct stages over the wire, and the root stages' micros account
+/// for the request's end-to-end total (within 20%).
+TEST_F(NetTest, TraceShowsStagesSummingToTotal) {
+  Client client = Connect();
+  // Cold overlap query on a fresh store: index build, cache miss, and
+  // evaluation all land in this one request's trace, and the request
+  // is slow enough that integer-µs rounding cannot hide the stages.
+  ASSERT_TRUE(client
+                  .Query("ms", "//w[overlapping::line]",
+                         service::QueryKind::kXPath)
+                  .ok());
+
+  auto traces = client.Traces(10);
+  ASSERT_TRUE(traces.ok()) << traces.status();
+  ASSERT_FALSE(traces->empty());
+  // Newest first; the QUERY is the most recent finished request.
+  const std::string& trace = (*traces)[0];
+  ASSERT_NE(trace.find("QUERY ms XPATH hash="), std::string::npos)
+      << trace;
+
+  // Header: "#<id> <label> total=<N>us".
+  size_t total_pos = trace.find("total=");
+  ASSERT_NE(total_pos, std::string::npos) << trace;
+  uint64_t total_us =
+      std::strtoull(trace.c_str() + total_pos + 6, nullptr, 10);
+  ASSERT_GT(total_us, 0u) << trace;
+
+  // Stage lines: "<indent>name <N>us[ (note)]". Roots indent exactly
+  // two spaces; deeper stages are children and must not double-count.
+  std::istringstream in(trace);
+  std::string line;
+  std::getline(in, line);  // header
+  std::set<std::string> names;
+  uint64_t root_sum_us = 0;
+  while (std::getline(in, line)) {
+    size_t name_begin = line.find_first_not_of(' ');
+    ASSERT_NE(name_begin, std::string::npos) << trace;
+    size_t name_end = line.find(' ', name_begin);
+    ASSERT_NE(name_end, std::string::npos) << trace;
+    names.insert(line.substr(name_begin, name_end - name_begin));
+    if (name_begin == 2) {
+      root_sum_us +=
+          std::strtoull(line.c_str() + name_end + 1, nullptr, 10);
+    }
+  }
+  EXPECT_GE(names.size(), 4u) << trace;
+  EXPECT_TRUE(names.count("decode")) << trace;
+  EXPECT_TRUE(names.count("service")) << trace;
+  EXPECT_TRUE(names.count("eval")) << trace;
+  // The roots (decode/service/respond) cover the end-to-end total to
+  // within 20% — the instrumentation accounts for where time goes.
+  EXPECT_GE(root_sum_us * 5, total_us * 4)
+      << "roots sum to " << root_sum_us << "us of " << total_us << "us:\n"
+      << trace;
+  EXPECT_LE(root_sum_us, total_us + total_us / 5) << trace;
+
+  // TRACE honors its count cap, newest first — and the previous TRACE
+  // request was itself traced, so it is now the newest entry.
+  auto capped = client.Traces(1);
+  ASSERT_TRUE(capped.ok());
+  ASSERT_EQ(capped->size(), 1u);
+  EXPECT_NE((*capped)[0].find("TRACE"), std::string::npos)
+      << (*capped)[0];
 }
 
 TEST_F(NetTest, MalformedFrameGetsErrAndClose) {

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cxml::obs {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(CounterTest, StartsAtZero) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, AddAccumulates) {
+  Counter counter;
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+// The tentpole claim for the stats migration: N threads hammering one
+// counter lose no increments (the old plain uint64_t fields could drop
+// racing ++ under contention). Run under TSan this also proves the
+// sharded counter is race-free.
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(5);
+  gauge.Sub(3);
+  EXPECT_EQ(gauge.Value(), 12);
+  gauge.Sub(20);
+  EXPECT_EQ(gauge.Value(), -8);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwoToTheEighth) {
+  // Bucket i covers [2^(i/8 - 2), 2^((i+1)/8 - 2)).
+  EXPECT_DOUBLE_EQ(Histogram::LowerBound(0), 0.25);
+  EXPECT_DOUBLE_EQ(Histogram::LowerBound(8), 0.5);
+  EXPECT_DOUBLE_EQ(Histogram::LowerBound(16), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::LowerBound(16 + 8 * 10), 1024.0);
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::UpperBound(i), Histogram::LowerBound(i + 1));
+  }
+}
+
+TEST(HistogramTest, BucketForRoundTripsBoundaries) {
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketFor(Histogram::LowerBound(i)), i)
+        << "lower bound of bucket " << i;
+  }
+  // Values straddling a boundary split exactly at it.
+  EXPECT_EQ(Histogram::BucketFor(0.9999), Histogram::BucketFor(0.999));
+  EXPECT_NE(Histogram::BucketFor(1.0001), Histogram::BucketFor(0.9999));
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {
+  EXPECT_EQ(Histogram::BucketFor(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(-5.0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1e300), Histogram::kNumBuckets - 1);
+  Histogram h;
+  h.Observe(-5.0);
+  h.Observe(1e300);
+  EXPECT_EQ(h.Count(), 2u);
+}
+
+TEST(HistogramTest, CountAndSumAreExact) {
+  Histogram h;
+  h.Observe(1.5);
+  h.Observe(100.0);
+  h.Observe(0.25);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_NEAR(h.Sum(), 101.75, 1e-9);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+// p50/p99 against the sorted-vector oracle the benches used before the
+// obs migration: the histogram answer must land within one bucket
+// width (~9% relative) of the exact order statistic.
+TEST(HistogramTest, PercentilesMatchSortedVectorOracle) {
+  std::mt19937_64 rng(42);
+  // Log-uniform latencies across four orders of magnitude — the shape
+  // the estimator actually faces.
+  std::uniform_real_distribution<double> exponent(0.0, 4.0);
+  std::vector<double> samples;
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    double v = std::pow(10.0, exponent(rng));
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {0.5, 0.9, 0.99}) {
+    size_t rank = std::min(samples.size() - 1,
+                           static_cast<size_t>(samples.size() * p));
+    double exact = samples[rank];
+    double approx = h.Percentile(p);
+    // One bucket is a factor of 2^(1/8) ~ 1.0905 wide; allow slightly
+    // more for the interpolation inside the edge of the bucket.
+    EXPECT_GT(approx, exact / 1.12) << "p=" << p;
+    EXPECT_LT(approx, exact * 1.12) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileOfConstantStreamIsTight) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Observe(250.0);
+  EXPECT_NEAR(h.Percentile(0.5), 250.0, 250.0 * 0.10);
+  EXPECT_NEAR(h.Percentile(0.99), 250.0, 250.0 * 0.10);
+}
+
+TEST(HistogramTest, ConcurrentObservationsKeepExactCount) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t + 1) * (i % 100 + 1)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(RegistryTest, GetReturnsStablePointersPerName) {
+  Registry registry;
+  Counter* a = registry.GetCounter("a");
+  Counter* b = registry.GetCounter("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.GetCounter("a"), a);
+  // Pointers survive later inserts (node-based storage).
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("a"), a);
+}
+
+TEST(RegistryTest, RenderTextIsByteStableAcrossRenders) {
+  Registry registry;
+  // Registered out of name order on purpose: rendering must not depend
+  // on insertion order.
+  registry.GetCounter("zz_total")->Add(7);
+  registry.GetCounter("aa_total")->Add(1);
+  registry.GetGauge("open")->Set(3);
+  registry.GetHistogram("lat_us")->Observe(100.0);
+  std::string first = registry.RenderText();
+  std::string second = registry.RenderText();
+  EXPECT_EQ(first, second);
+  // Name-sorted within each metric kind.
+  EXPECT_LT(first.find("aa_total"), first.find("zz_total"));
+}
+
+// Every non-comment line must be "name[{le=...}] value" with a numeric
+// value — the contract any Prometheus-style scraper (and the CI smoke
+// grep) relies on.
+TEST(RegistryTest, RenderTextParsesAsExposition) {
+  Registry registry;
+  registry.GetCounter("cxml_requests_total")->Add(5);
+  registry.GetGauge("cxml_open_conns")->Set(2);
+  Histogram* h = registry.GetHistogram("cxml_query_us");
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+
+  std::istringstream in(registry.RenderText());
+  std::string line;
+  size_t counter_lines = 0;
+  size_t bucket_lines = 0;
+  bool saw_inf = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    size_t parsed = 0;
+    EXPECT_NO_THROW({ (void)std::stod(value, &parsed); }) << line;
+    EXPECT_EQ(parsed, value.size()) << line;
+    if (name == "cxml_requests_total") ++counter_lines;
+    if (name.find("_bucket{le=") != std::string::npos) ++bucket_lines;
+    if (name.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+  }
+  EXPECT_EQ(counter_lines, 1u);
+  EXPECT_GT(bucket_lines, 0u);
+  EXPECT_TRUE(saw_inf);
+}
+
+TEST(RegistryTest, HistogramRollupsInExposition) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("lat_us");
+  for (int i = 0; i < 50; ++i) h->Observe(10.0);
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("lat_us_count 50"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_sum 500"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_p50 "), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_p99 "), std::string::npos) << text;
+}
+
+TEST(RegistryTest, RenderJsonIsOneObject) {
+  Registry registry;
+  registry.GetCounter("c_total")->Add(3);
+  registry.GetHistogram("h_us")->Observe(8.0);
+  std::string json = registry.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"c_total\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h_us\": {\"count\": 1"), std::string::npos)
+      << json;
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(TraceTest, StagesNestAndRender) {
+  Trace trace(7);
+  trace.set_label("QUERY ms XPATH");
+  int decode = trace.StartStage("decode");
+  trace.EndStage(decode);
+  int service = trace.StartStage("service");
+  int eval = trace.StartStage("eval", service);
+  trace.SetStageNote(eval, "indexed=2");
+  trace.EndStage(eval);
+  trace.EndStage(service);
+  trace.Finish();
+  std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("#7 QUERY ms XPATH total="), std::string::npos)
+      << rendered;
+  // The child indents deeper than its parent.
+  EXPECT_NE(rendered.find("\n  service"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("\n    eval"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("(indexed=2)"), std::string::npos) << rendered;
+}
+
+TEST(TraceSpanTest, InertOnNullTrace) {
+  TracePtr null_trace;
+  TraceSpan span(null_trace, "decode");
+  EXPECT_EQ(span.index(), -1);
+  span.set_note("ignored");
+  span.End();  // must not crash
+}
+
+TEST(TraceSpanTest, RecordsStageOnEnd) {
+  auto trace = std::make_shared<Trace>(1);
+  {
+    TraceSpan span(trace, "work");
+    EXPECT_EQ(span.index(), 0);
+  }  // destructor ends it
+  trace->Finish();
+  EXPECT_NE(trace->Render().find("work "), std::string::npos);
+}
+
+Tracer::Options TracerOptions(size_t ring_capacity,
+                              uint32_t sample_every) {
+  Tracer::Options options;
+  options.ring_capacity = ring_capacity;
+  options.sample_every = sample_every;
+  return options;
+}
+
+TEST(TracerTest, DisabledSamplingReturnsNull) {
+  Registry registry;
+  Tracer tracer(TracerOptions(4, 0), &registry);
+  EXPECT_EQ(tracer.Start(), nullptr);
+  tracer.Finish(nullptr);  // no-op
+  EXPECT_EQ(tracer.ring_size(), 0u);
+}
+
+TEST(TracerTest, RingEvictsFifo) {
+  Registry registry;
+  Tracer tracer(TracerOptions(3, 1), &registry);
+  for (int i = 0; i < 5; ++i) {
+    TracePtr trace = tracer.Start();
+    ASSERT_NE(trace, nullptr);
+    trace->set_label("req" + std::to_string(i));
+    tracer.Finish(trace);
+  }
+  EXPECT_EQ(tracer.ring_size(), 3u);
+  // Newest first; the two oldest (req0, req1) were evicted FIFO.
+  std::vector<std::string> recent = tracer.Recent(10);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_NE(recent[0].find("req4"), std::string::npos);
+  EXPECT_NE(recent[1].find("req3"), std::string::npos);
+  EXPECT_NE(recent[2].find("req2"), std::string::npos);
+  // Recent(max) truncates from the newest end.
+  std::vector<std::string> top = tracer.Recent(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_NE(top[0].find("req4"), std::string::npos);
+}
+
+TEST(TracerTest, SampleEveryRetainsEveryNth) {
+  Registry registry;
+  Tracer tracer(TracerOptions(100, 3), &registry);
+  for (int i = 0; i < 9; ++i) {
+    TracePtr trace = tracer.Start();
+    ASSERT_NE(trace, nullptr) << "stages collect for every request";
+    tracer.Finish(trace);
+  }
+  EXPECT_EQ(tracer.ring_size(), 3u);
+  EXPECT_EQ(registry.GetCounter("cxml_traces_sampled_total")->Value(), 3u);
+}
+
+TEST(TracerTest, SlowQueryLogFiresAboveThreshold) {
+  Registry registry;
+  Tracer tracer(TracerOptions(4, 1), &registry);
+  std::vector<std::string> logged;
+  tracer.SetSlowLogSink([&](const std::string& line) {
+    logged.push_back(line);
+  });
+  tracer.set_slow_query_us(0);  // disabled: nothing logs
+  TracePtr fast = tracer.Start();
+  tracer.Finish(fast);
+  EXPECT_TRUE(logged.empty());
+
+  // Threshold 1µs: any real trace with a stage crosses it after a
+  // short sleep inside a span.
+  tracer.set_slow_query_us(1);
+  TracePtr slow = tracer.Start();
+  slow->set_label("QUERY ms XPATH hash=abc");
+  {
+    TraceSpan span(slow, "eval");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  tracer.Finish(slow);
+  ASSERT_EQ(logged.size(), 1u);
+  EXPECT_NE(logged[0].find("slow_query total_us="), std::string::npos)
+      << logged[0];
+  EXPECT_NE(logged[0].find("label=\"QUERY ms XPATH hash=abc\""),
+            std::string::npos)
+      << logged[0];
+  EXPECT_NE(logged[0].find("eval="), std::string::npos) << logged[0];
+  EXPECT_EQ(registry.GetCounter("cxml_slow_queries_total")->Value(), 1u);
+}
+
+TEST(TracerTest, CrossThreadStageViaAddStageAbs) {
+  Registry registry;
+  Tracer tracer(TracerOptions(4, 1), &registry);
+  TracePtr trace = tracer.Start();
+  Trace::Clock::time_point enqueued = Trace::Clock::now();
+  std::thread worker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Trace::Clock::time_point claimed = Trace::Clock::now();
+    trace->AddStageAbs("queue", enqueued, claimed);
+  });
+  worker.join();
+  tracer.Finish(trace);
+  std::vector<std::string> recent = tracer.Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_NE(recent[0].find("queue "), std::string::npos) << recent[0];
+}
+
+}  // namespace
+}  // namespace cxml::obs

@@ -652,5 +652,80 @@ TEST_F(ServiceTest, BatchedSubmissionsShareSnapshotPin) {
   EXPECT_LT(stats.batches, stats.requests);
 }
 
+// ---------------------------------------------------- observability
+
+/// Two services in one process must not mix numbers: each owns a
+/// private registry unless one is passed in.
+TEST_F(ServiceTest, PrivateRegistriesStayIsolated) {
+  QueryService a(&store_, {2, 64});
+  QueryService b(&store_, {2, 64});
+  ASSERT_TRUE(a.Execute({"ms", "count(//w)", QueryKind::kXPath}).ok());
+  EXPECT_EQ(a.registry()
+                ->GetCounter("cxml_service_requests_total")
+                ->Value(),
+            1u);
+  EXPECT_EQ(b.registry()
+                ->GetCounter("cxml_service_requests_total")
+                ->Value(),
+            0u);
+  EXPECT_NE(a.registry(), b.registry());
+}
+
+/// An external registry becomes the single exposition surface, and the
+/// service's per-stage histograms land in it.
+TEST_F(ServiceTest, ExternalRegistryReceivesStageHistograms) {
+  obs::Registry registry;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 64;
+  options.registry = &registry;
+  QueryService service(&store_, options);
+  ASSERT_TRUE(
+      service.Execute({"ms", "count(//w)", QueryKind::kXPath}).ok());
+  ASSERT_TRUE(
+      service.Execute({"ms", "count(//w)", QueryKind::kXPath}).ok());
+  EXPECT_EQ(service.registry(), &registry);
+  EXPECT_EQ(
+      registry.GetCounter("cxml_service_requests_total")->Value(), 2u);
+  EXPECT_EQ(registry.GetHistogram("cxml_query_us")->Count(), 2u);
+  EXPECT_EQ(registry.GetHistogram("cxml_query_queue_us")->Count(), 2u);
+  // Only the cache miss evaluated; the hit skipped the engines.
+  EXPECT_EQ(registry.GetHistogram("cxml_query_eval_us")->Count(), 1u);
+  // The evaluator's axis-strategy tallies flowed up as counters.
+  EXPECT_GT(registry.GetCounter("cxml_axis_indexed_total")->Value() +
+                registry.GetCounter("cxml_axis_naive_total")->Value() +
+                registry.GetCounter("cxml_axis_pushdown_total")->Value(),
+            0u);
+}
+
+/// A trace passed into Submit collects the service-side stages (queue,
+/// index, cache, eval) under the caller's parent stage.
+TEST_F(ServiceTest, SubmittedTraceCollectsServiceStages) {
+  QueryService service(&store_, {2, 64});
+  auto handle =
+      service.Prepare("//w[overlapping::line]", QueryKind::kXPath);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+
+  obs::TracePtr trace = service.tracer().Start();
+  ASSERT_NE(trace, nullptr);
+  int parent = trace->StartStage("service");
+  QueryResponse response = service.Execute("ms", *handle, trace, parent);
+  trace->EndStage(parent);
+  ASSERT_TRUE(response.ok()) << response.status;
+  service.tracer().Finish(trace);
+
+  std::vector<std::string> recent = service.tracer().Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  const std::string& rendered = recent[0];
+  EXPECT_NE(rendered.find("queue "), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("cache "), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("eval "), std::string::npos) << rendered;
+  // Cold snapshot: the index build is attributed to this request.
+  EXPECT_NE(rendered.find("index "), std::string::npos) << rendered;
+  // A cache miss is noted on the cache stage, the axis summary on eval.
+  EXPECT_NE(rendered.find("(miss)"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("indexed="), std::string::npos) << rendered;
+}
+
 }  // namespace
 }  // namespace cxml::service
