@@ -25,9 +25,14 @@
 
 #include "bench_util.h"
 #include "goddag/builder.h"
+#include "net/protocol.h"
+#include "net/server.h"
 #include "service/document_store.h"
 #include "service/query_service.h"
 #include "storage/binary.h"
+#include "wal/follower.h"
+#include "wal/log.h"
+#include "wal/manager.h"
 #include "workload/generator.h"
 
 namespace cxml {
@@ -193,6 +198,143 @@ int Run(size_t content_chars, size_t num_threads) {
   // The acceptance bar: a cached repeat must be measurably faster.
   BENCH_CHECK(cached_us < cold_us);
 
+  // ---- durability: WAL group commit, recovery, replication lag ----
+  // A separate store/service pair with the write-ahead log attached:
+  // every acked commit here is fsynced to disk, so commit latency now
+  // includes the group-fsync wait — the durability tax the JSON tracks
+  // as wal_commit_p50_us/p99_us against the in-memory commit_p50/p99.
+  double wal_commit_p50_us = 0;
+  double wal_commit_p99_us = 0;
+  double recovery_ms = 0;
+  double replication_catchup_ms = 0;
+  double replication_lag_us = 0;
+  size_t wal_commits = 0;
+  {
+    const std::string wal_dir = "BENCH_wal_dir";
+    BENCH_CHECK(wal::RemoveDirRecursive(wal_dir).ok());
+    wal::WalOptions wal_options;
+    wal_options.data_dir = wal_dir;
+    {
+      service::DocumentStore wal_store;
+      BENCH_CHECK(wal_store.RegisterBytes("ms", *bytes).ok());
+      service::QueryService wal_service(&wal_store, options);
+      wal::WalManager wal(wal_options);
+      BENCH_CHECK(wal.Open().ok());
+      BENCH_CHECK(wal.RecoverAll(&wal_store).ok());
+      wal.Attach(&wal_store, &wal_service.pipeline());
+      BENCH_CHECK(wal.EnsureRegistered("ms").ok());
+
+      workload::TrafficParams edits;
+      edits.content_chars = content_chars;
+      edits.write_fraction = 1.0;
+      edits.num_ops = 200;
+      edits.seed = 7;
+      auto edit_ops = workload::GenerateTraffic(edits);
+      BENCH_CHECK(edit_ops.ok());
+      std::vector<double> wal_us;
+      for (const workload::TrafficOp& op : *edit_ops) {
+        if (op.kind != workload::TrafficOp::Kind::kEdit) continue;
+        std::vector<net::EditOp> wire = {
+            net::EditOp::Select(op.edit_chars.begin, op.edit_chars.end),
+            net::EditOp::Apply(op.edit_hierarchy, op.edit_tag)};
+        Clock::time_point t0 = Clock::now();
+        service::EditResponse committed = wal_service.ExecuteEdit(
+            "ms",
+            [chars = op.edit_chars, hierarchy = op.edit_hierarchy,
+             tag = op.edit_tag](edit::EditSession& session) -> Status {
+              CXML_RETURN_IF_ERROR(session.Select(chars));
+              return session.Apply(hierarchy, tag).status();
+            },
+            {net::RenderOps(wire)});
+        if (committed.ok()) {
+          // Only durable publishes count: a rejected op-set never
+          // reaches the log, so its latency is not a WAL number.
+          wal_us.push_back(SecondsSince(t0) * 1e6);
+        }
+      }
+      wal_commits = wal_us.size();
+      BENCH_CHECK(wal_commits > 0);
+      wal_commit_p50_us = Percentile(&wal_us, 0.5);
+      wal_commit_p99_us = Percentile(&wal_us, 0.99);
+      wal.Detach();
+      BENCH_CHECK(wal.Flush().ok());
+    }
+    // The acceptance bar (at the standard 20k-char corpus): a durable
+    // group commit stays under 15 ms at the 99th percentile.
+    if (content_chars >= 20000) {
+      BENCH_CHECK(wal_commit_p99_us <= 15000.0);
+    }
+
+    // Crash-recovery cost: rebuild the world from checkpoint + log
+    // tail alone, as a restart after SIGKILL would.
+    service::DocumentStore recovered_store;
+    wal::WalManager recovered_wal(wal_options);
+    BENCH_CHECK(recovered_wal.Open().ok());
+    wal::RecoveryStats recovery;
+    BENCH_CHECK(recovered_wal.RecoverAll(&recovered_store, &recovery).ok());
+    BENCH_CHECK(recovery.docs_recovered == 1);
+    recovery_ms = recovery.total_ms;
+
+    // Replication: a loopback follower bootstraps from SYNC and tails
+    // live commits; catchup is bootstrap-to-current wall time, lag the
+    // last record's commit-to-applied delay.
+    service::QueryService primary_service(&recovered_store, options);
+    recovered_wal.Attach(&recovered_store, &primary_service.pipeline());
+    net::ServerOptions server_options;
+    server_options.num_workers = 2;
+    server_options.sync_source = &recovered_wal;
+    net::Server server(&recovered_store, &primary_service, server_options);
+    BENCH_CHECK(server.Start().ok());
+
+    service::DocumentStore replica_store;
+    service::QueryService replica_service(&replica_store, options);
+    wal::FollowerOptions follower_options;
+    follower_options.port = server.port();
+    follower_options.poll_interval_ms = 2;
+    wal::Follower follower(&replica_store, &replica_service,
+                           follower_options);
+    auto primary_version = recovered_store.GetVersion("ms");
+    BENCH_CHECK(primary_version.ok());
+    Clock::time_point t0 = Clock::now();
+    follower.Start();
+    BENCH_CHECK(follower.WaitForVersion("ms", *primary_version,
+                                        /*timeout_ms=*/30000) >=
+                *primary_version);
+    replication_catchup_ms = SecondsSince(t0) * 1e3;
+
+    workload::TrafficParams tail;
+    tail.content_chars = content_chars;
+    tail.write_fraction = 1.0;
+    tail.num_ops = 40;
+    tail.seed = 1234;
+    auto tail_ops = workload::GenerateTraffic(tail);
+    BENCH_CHECK(tail_ops.ok());
+    uint64_t last_version = *primary_version;
+    for (const workload::TrafficOp& op : *tail_ops) {
+      if (op.kind != workload::TrafficOp::Kind::kEdit) continue;
+      std::vector<net::EditOp> wire = {
+          net::EditOp::Select(op.edit_chars.begin, op.edit_chars.end),
+          net::EditOp::Apply(op.edit_hierarchy, op.edit_tag)};
+      service::EditResponse committed = primary_service.ExecuteEdit(
+          "ms",
+          [chars = op.edit_chars, hierarchy = op.edit_hierarchy,
+           tag = op.edit_tag](edit::EditSession& session) -> Status {
+            CXML_RETURN_IF_ERROR(session.Select(chars));
+            return session.Apply(hierarchy, tag).status();
+          },
+          {net::RenderOps(wire)});
+      if (committed.ok()) last_version = committed.version;
+    }
+    BENCH_CHECK(follower.WaitForVersion("ms", last_version,
+                                        /*timeout_ms=*/30000) >=
+                last_version);
+    replication_lag_us = static_cast<double>(follower.stats().lag_us);
+    follower.Stop();
+    server.Stop();
+    recovered_wal.Detach();
+    BENCH_CHECK(wal::RemoveDirRecursive(wal_dir).ok());
+  }
+
   // ---- read-only throughput (cache-friendly skewed mix) ----
   workload::TrafficParams traffic;
   traffic.num_ops = 2000;
@@ -233,6 +375,14 @@ int Run(size_t content_chars, size_t num_threads) {
         "\"clone_speedup\": %.1f,\n",
         clone_us, clone_snapshot_us,
         clone_snapshot_us / (clone_us > 0 ? clone_us : 1e-9));
+    std::fprintf(f,
+                 "  \"wal_commits\": %zu, \"wal_commit_p50_us\": %.1f, "
+                 "\"wal_commit_p99_us\": %.1f,\n",
+                 wal_commits, wal_commit_p50_us, wal_commit_p99_us);
+    std::fprintf(f,
+                 "  \"recovery_ms\": %.2f, \"replication_catchup_ms\": "
+                 "%.2f, \"replication_lag_us\": %.1f,\n",
+                 recovery_ms, replication_catchup_ms, replication_lag_us);
     PrintMixJson(f, "read_only", read_only);
     std::fprintf(f, ",\n");
     PrintMixJson(f, "mixed", mixed);

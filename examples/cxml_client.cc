@@ -20,6 +20,14 @@
 //   cxml_client --port N [--host H] remove <doc>
 //   cxml_client --port N [--host H] metrics [--raw]
 //   cxml_client --port N [--host H] trace [n]
+//   cxml_client --port N [--host H] sync
+//
+// `sync` is the durability/replication dashboard: each document's
+// current version as the WAL sees it (a zero-record SYNC probe per
+// LISTed document; "-" when the server has no durability log), then
+// every cxml_wal_* / cxml_repl_* row of the METRICS exposition — one
+// invocation answers "is the WAL keeping up, and how far behind is
+// the follower".
 //
 // `metrics` fetches the server's Prometheus-style exposition (METRICS)
 // and prints it as an aligned name/value table, histogram buckets
@@ -31,6 +39,7 @@
 // arguments.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,7 +72,8 @@ int Usage() {
       "  register <doc> <cxg1-file>\n"
       "  remove <doc>\n"
       "  metrics [--raw]\n"
-      "  trace [n]\n");
+      "  trace [n]\n"
+      "  sync\n");
   return 2;
 }
 
@@ -243,6 +253,43 @@ int main(int argc, char** argv) {
     for (const std::string& trace : *traces) {
       std::fputs(trace.c_str(), stdout);
       if (trace.empty() || trace.back() != '\n') std::printf("\n");
+    }
+    return 0;
+  }
+  if (command == "sync" && args.empty()) {
+    auto docs = client.List();
+    if (!docs.ok()) return Fail(docs.status());
+    for (const std::string& doc : *docs) {
+      // A probe from far beyond any real version ships no records but
+      // answers with the primary's current version; ERR Unimplemented
+      // means no WAL. (Not UINT64_MAX: the wire caps ints at 19
+      // digits.)
+      auto probe = client.Sync(doc, 999999999999999999ull);
+      if (probe.ok()) {
+        std::printf("doc %-24s version %llu\n", doc.c_str(),
+                    static_cast<unsigned long long>(probe->version));
+      } else {
+        std::printf("doc %-24s version -\n", doc.c_str());
+      }
+    }
+    auto exposition = client.Metrics();
+    if (!exposition.ok()) return Fail(exposition.status());
+    std::istringstream in(*exposition);
+    std::string line;
+    bool any = false;
+    while (std::getline(in, line)) {
+      if (line.rfind("cxml_wal_", 0) != 0 &&
+          line.rfind("cxml_repl_", 0) != 0) {
+        continue;
+      }
+      if (line.find("_bucket{") != std::string::npos) continue;
+      std::printf("%s\n", line.c_str());
+      any = true;
+    }
+    if (!any) {
+      std::fprintf(stderr,
+                   "# no WAL/replication metrics (server running without "
+                   "--data-dir or --follow)\n");
     }
     return 0;
   }

@@ -9,10 +9,25 @@
 //                [--content-chars N] [--doc NAME] [--load NAME=FILE]...
 //                [--no-register] [--slow-query-us N]
 //                [--trace-sample-every N] [--trace-ring N]
+//                [--data-dir PATH] [--fsync-every-ms N]
+//                [--checkpoint-every N] [--follow HOST:PORT]
 //
 // Defaults serve the synthetic manuscript as document "ms" on an
 // ephemeral 127.0.0.1 port (printed on stdout as "listening on
 // HOST:PORT", which is what the CI smoke test and scripts key on).
+//
+// Durability: --data-dir PATH arms the write-ahead log — every
+// acknowledged commit is fsync-batched to a per-document log under
+// PATH, checkpointed to CXG1 in the background, and recovered on the
+// next start (recovery wins over --content-chars/--load for documents
+// it already knows). A WAL-armed server also answers the CXP/1 SYNC
+// verb, which is what replication followers tail.
+//
+// Replication: --follow HOST:PORT runs this process as a read-only
+// follower of the primary at HOST:PORT — it applies the primary's WAL
+// records through its own write pipeline and serves QUERY/LIST/STAT
+// from its own store, while every mutating verb answers ERR. Follow
+// mode registers no local documents and takes no --data-dir.
 //
 // Observability: METRICS serves the Prometheus-style exposition and
 // TRACE the sampled per-request stage timings (see cxml_client
@@ -28,6 +43,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +53,8 @@
 #include "service/document_store.h"
 #include "service/query_service.h"
 #include "storage/binary.h"
+#include "wal/follower.h"
+#include "wal/manager.h"
 #include "workload/generator.h"
 
 namespace {
@@ -58,7 +76,10 @@ int Usage() {
                "                    [--content-chars N] [--doc NAME]\n"
                "                    [--load NAME=FILE]... [--no-register]\n"
                "                    [--slow-query-us N]\n"
-               "                    [--trace-sample-every N] [--trace-ring N]\n");
+               "                    [--trace-sample-every N] [--trace-ring N]\n"
+               "                    [--data-dir PATH] [--fsync-every-ms N]\n"
+               "                    [--checkpoint-every N]\n"
+               "                    [--follow HOST:PORT]\n");
   return 2;
 }
 
@@ -67,9 +88,11 @@ int Usage() {
 int main(int argc, char** argv) {
   net::ServerOptions options;
   service::QueryServiceOptions service_options;
+  wal::WalOptions wal_options;
   size_t content_chars = 20000;
   std::string synthetic_name = "ms";
   std::vector<std::pair<std::string, std::string>> loads;
+  std::string follow_target;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -118,13 +141,79 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       service_options.trace_ring_capacity = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      wal_options.data_dir = v;
+    } else if (arg == "--fsync-every-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      wal_options.fsync_every_ms =
+          static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      wal_options.checkpoint_every_records = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--follow") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      follow_target = v;
     } else {
       return Usage();
     }
   }
+  if (!follow_target.empty() && !wal_options.data_dir.empty()) {
+    std::fprintf(stderr,
+                 "cxml_serverd: --follow and --data-dir are exclusive (a "
+                 "follower's durability is the primary's)\n");
+    return 2;
+  }
+
+  wal::FollowerOptions follower_options;
+  if (!follow_target.empty()) {
+    size_t colon = follow_target.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == follow_target.size()) {
+      return Usage();
+    }
+    follower_options.host = follow_target.substr(0, colon);
+    follower_options.port = static_cast<uint16_t>(
+        std::strtoul(follow_target.c_str() + colon + 1, nullptr, 10));
+    // The replica's history is the primary's: reject local writers.
+    options.read_only = true;
+    options.allow_register = false;
+  }
 
   service::DocumentStore store;
-  if (content_chars > 0) {
+  service_options.num_threads = options.num_workers;
+  service::QueryService service(&store, service_options);
+
+  // The WAL shares the service's registry so METRICS is the one
+  // exposition surface; it must be destroyed before the service (it
+  // detaches from the pipeline first), hence declared after it.
+  std::optional<wal::WalManager> wal;
+  if (!wal_options.data_dir.empty()) {
+    wal_options.registry = service.registry();
+    wal.emplace(wal_options);
+    Status opened = wal->Open();
+    if (!opened.ok()) return Fail(opened);
+    wal::RecoveryStats recovery;
+    Status recovered = wal->RecoverAll(&store, &recovery);
+    if (!recovered.ok()) return Fail(recovered.WithContext("WAL recovery"));
+    std::printf(
+        "recovered %llu documents in %.1f ms (%llu checkpoints, %llu "
+        "records replayed, %llu skipped)\n",
+        static_cast<unsigned long long>(recovery.docs_recovered),
+        recovery.total_ms,
+        static_cast<unsigned long long>(recovery.checkpoints_loaded),
+        static_cast<unsigned long long>(recovery.records_replayed),
+        static_cast<unsigned long long>(recovery.records_skipped));
+  }
+
+  // Seed documents — recovered state wins over regeneration: a WAL
+  // restart must resume the logged history, not reset it.
+  if (follow_target.empty() && content_chars > 0 &&
+      !store.GetVersion(synthetic_name).ok()) {
     workload::GeneratorParams params;
     params.content_chars = content_chars;
     auto corpus = workload::GenerateManuscript(params);
@@ -137,17 +226,39 @@ int main(int argc, char** argv) {
     if (!registered.ok()) return Fail(registered);
   }
   for (const auto& [name, path] : loads) {
+    if (store.GetVersion(name).ok()) continue;  // recovered
     Status registered = store.RegisterFromFile(name, path);
     if (!registered.ok()) {
       return Fail(registered.WithContext("loading '" + path + "'"));
     }
   }
 
-  service_options.num_threads = options.num_workers;
-  service::QueryService service(&store, service_options);
+  if (wal.has_value()) {
+    // From here on every pipeline publish is durable before its
+    // submitter is acked; pre-attach documents get their initial
+    // checkpoint explicitly.
+    wal->Attach(&store, &service.pipeline());
+    for (const std::string& name : store.ListDocuments()) {
+      Status ensured = wal->EnsureRegistered(name);
+      if (!ensured.ok()) {
+        return Fail(ensured.WithContext("checkpointing '" + name + "'"));
+      }
+    }
+    options.sync_source = &*wal;
+  }
+
   net::Server server(&store, &service, options);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
+
+  std::optional<wal::Follower> follower;
+  if (!follow_target.empty()) {
+    follower_options.registry = service.registry();
+    follower.emplace(&store, &service, follower_options);
+    follower->Start();
+    std::printf("following %s:%u\n", follower_options.host.c_str(),
+                follower_options.port);
+  }
 
   std::printf("listening on %s:%u\n", options.bind_address.c_str(),
               server.port());
@@ -164,8 +275,17 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
+  if (follower.has_value()) follower->Stop();
   net::ServerStats stats = server.stats();
   server.Stop();
+  if (wal.has_value()) {
+    wal->Detach();
+    Status flushed = wal->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "cxml_serverd: final flush: %s\n",
+                   flushed.ToString().c_str());
+    }
+  }
   std::printf(
       "shutting down: %llu connections, %llu frames, %llu responses, "
       "%llu protocol errors, %llu request errors\n",

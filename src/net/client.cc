@@ -142,6 +142,15 @@ Status Client::EditAbort() {
   return Flatten(Call(request)).status();
 }
 
+Result<Response> Client::Sync(const std::string& document,
+                              uint64_t from_version) {
+  Request request;
+  request.verb = Verb::kSync;
+  request.document = document;
+  request.from_version = from_version;
+  return Flatten(Call(request));
+}
+
 Result<std::vector<std::string>> Client::List() {
   Request request;
   request.verb = Verb::kList;

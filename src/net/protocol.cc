@@ -158,6 +158,8 @@ const char* VerbToString(Verb verb) {
       return "TRACE";
     case Verb::kPing:
       return "PING";
+    case Verb::kSync:
+      return "SYNC";
   }
   return "PING";
 }
@@ -204,6 +206,11 @@ std::string RenderRequest(const Request& request) {
     case Verb::kTrace:
       return StrFormat("TRACE %llu",
                        static_cast<unsigned long long>(request.count));
+    case Verb::kSync:
+      return StrCat(
+          "SYNC ", request.document, " ",
+          StrFormat("%llu",
+                    static_cast<unsigned long long>(request.from_version)));
     case Verb::kPing:
       return "PING";
     case Verb::kEditBegin:
@@ -296,6 +303,16 @@ Result<Request> ParseRequest(std::string_view payload) {
     request.body = std::string(body);
     return request;
   }
+  if (verb == "SYNC") {
+    if (tokens.size() != 3) return Malformed("SYNC command line", line);
+    request.verb = Verb::kSync;
+    request.document = std::string(tokens[1]);
+    CXML_RETURN_IF_ERROR(ValidateDocumentName(request.document));
+    if (!ParseU64(tokens[2], &request.from_version)) {
+      return Malformed("SYNC from_version", tokens[2]);
+    }
+    return request;
+  }
   if (verb == "QRUN") {
     if (tokens.size() != 3) return Malformed("QRUN command line", line);
     request.verb = Verb::kQueryRun;
@@ -340,6 +357,18 @@ Result<Request> ParseRequest(std::string_view payload) {
     return request;
   }
   return Malformed("CXP/1 verb", verb);
+}
+
+std::string RenderOps(const std::vector<EditOp>& ops) {
+  std::string out;
+  AppendOpLines(&out, ops);
+  return out;
+}
+
+Result<std::vector<EditOp>> ParseOps(std::string_view body) {
+  std::vector<EditOp> ops;
+  CXML_RETURN_IF_ERROR(ParseOpLines(body, &ops, /*commit=*/nullptr));
+  return ops;
 }
 
 std::string RenderItems(const std::vector<std::string>& items,

@@ -33,6 +33,7 @@ namespace cxml::net {
 ///   METRICS
 ///   TRACE <n>
 ///   PING
+///   SYNC <doc> <from_version>
 ///
 /// QPREPARE compiles the expression server-side once (parse + static
 /// analysis, see service::QueryService::Prepare) and answers
@@ -70,6 +71,17 @@ namespace cxml::net {
 /// latency histograms STAT has no room for. TRACE <n> answers with one
 /// item per retained request trace (newest first, at most n), each a
 /// multi-line obs::Trace::Render dump of the request's timed stages.
+///
+/// SYNC is the replication verb: a follower asks for everything that
+/// happened to <doc> after <from_version>. The response is
+/// QUERY-shaped — one item per encoded WAL record (wal::EncodeRecord
+/// bytes: length-prefixed, CRC-checked, strictly ascending versions,
+/// all > from_version), with the primary's current version in the
+/// version slot so a caught-up follower (zero items) still learns its
+/// lag. A follower that has fallen behind the primary's retained tail
+/// receives one full-snapshot record instead of history. Primaries
+/// answer SYNC only when a durability log is attached
+/// (net::SyncSource); otherwise it earns ERR Unimplemented.
 
 enum class Verb : uint8_t {
   kQuery,
@@ -87,6 +99,7 @@ enum class Verb : uint8_t {
   kMetrics,
   kTrace,
   kPing,
+  kSync,
 };
 
 const char* VerbToString(Verb verb);
@@ -131,6 +144,8 @@ struct Request {
   uint64_t qid = 0;
   /// TRACE: how many retained traces to return (newest first).
   uint64_t count = 0;
+  /// SYNC: return records with version > from_version.
+  uint64_t from_version = 0;
   /// EDIT / EOP: the op sequence (EDIT's trailing COMMIT is implicit
   /// in the struct form — rendering appends it, parsing requires it).
   std::vector<EditOp> ops;
@@ -160,6 +175,13 @@ Status ValidateEditOps(const std::vector<EditOp>& ops);
 
 std::string RenderRequest(const Request& request);
 Result<Request> ParseRequest(std::string_view payload);
+
+/// The op-line sub-grammar (`SELECT <begin> <end>` / `APPLY <h> <tag>`
+/// lines, newline-separated, no COMMIT) on its own — the wire text is
+/// also the WAL's replayable record payload, so durability and
+/// replication re-parse exactly what the server parsed.
+std::string RenderOps(const std::vector<EditOp>& ops);
+Result<std::vector<EditOp>> ParseOps(std::string_view body);
 
 /// Response renderers (server side).
 std::string RenderItems(const std::vector<std::string>& items,

@@ -59,6 +59,11 @@ struct Server::Conn {
   /// are served strictly in order), so it needs no lock; dropping the
   /// connection discards it, which aborts the edit.
   std::unique_ptr<service::EditTransaction> txn;
+  /// Every op the open transaction applied successfully, across EOP
+  /// frames, in order. ECOMMIT renders them into the commit's WAL
+  /// op-set so a cross-frame edit replays like a single-frame EDIT.
+  /// Same single-worker discipline (and no lock) as `txn`.
+  std::vector<EditOp> txn_ops;
 
   /// The QPREPARE handle table: qid → prepared query, same cross-frame
   /// single-worker discipline (and no lock) as `txn`. Dropped with the
@@ -458,6 +463,22 @@ std::string Server::HandleRequest(Conn* conn, std::string_view payload,
 
 Result<std::string> Server::Dispatch(Conn* conn, const Request& request,
                                      const obs::TracePtr& trace) {
+  if (options_.read_only) {
+    switch (request.verb) {
+      case Verb::kEdit:
+      case Verb::kEditBegin:
+      case Verb::kEditOp:
+      case Verb::kEditCommit:
+      case Verb::kEditAbort:
+      case Verb::kRegister:
+      case Verb::kRemove:
+        return status::FailedPrecondition(StrCat(
+            VerbToString(request.verb),
+            " rejected: this server is read-only (replication follower)"));
+      default:
+        break;
+    }
+  }
   switch (request.verb) {
     case Verb::kPing:
       return RenderOk();
@@ -469,6 +490,8 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request,
       return DoMetrics();
     case Verb::kTrace:
       return DoTrace(request);
+    case Verb::kSync:
+      return DoSync(request);
     case Verb::kQuery:
       return DoQuery(request, trace);
     case Verb::kQueryPrepare:
@@ -584,7 +607,8 @@ Result<std::string> Server::DoEdit(const Request& request) {
   // other pending EDITs into one clone + one publish + one cache
   // invalidation. A failing op (prevalidation, overlap, range) fails
   // only this op-set — as ERR with the op's own status — while the
-  // rest of the batch commits.
+  // rest of the batch commits. The op lines ride along as the WAL
+  // payload: the same text the wire carried replays the commit.
   service::EditResponse response = service_->ExecuteEdit(
       request.document,
       [ops = request.ops](edit::EditSession& session) -> Status {
@@ -597,7 +621,8 @@ Result<std::string> Server::DoEdit(const Request& request) {
           }
         }
         return Status::Ok();
-      });
+      },
+      {RenderOps(request.ops)});
   if (!response.ok()) return response.status;
   return RenderVersion(response.version);
 }
@@ -613,6 +638,7 @@ Result<std::string> Server::DoEditBegin(Conn* conn,
                         store_->BeginEdit(request.document));
   conn->txn =
       std::make_unique<service::EditTransaction>(std::move(txn));
+  conn->txn_ops.clear();
   return RenderVersion(conn->txn->base_version());
 }
 
@@ -630,6 +656,9 @@ Result<std::string> Server::DoEditOp(Conn* conn, const Request& request) {
       CXML_RETURN_IF_ERROR(
           conn->txn->session().Apply(op.hierarchy, op.tag).status());
     }
+    // Recorded only once applied: a rejected op changed nothing, so it
+    // must not appear in the commit's replay payload.
+    conn->txn_ops.push_back(op);
   }
   return RenderOk();
 }
@@ -646,8 +675,20 @@ Result<std::string> Server::DoEditCommit(Conn* conn) {
   // so a group commit the client observed stays observed.
   std::unique_ptr<service::EditTransaction> txn = std::move(conn->txn);
   std::string document = txn->document();
+  // The frames' accumulated ops become one WAL op-set: EOP selections
+  // are cumulative across frames (no ClearSelection between them), so
+  // replaying them back-to-back in a single session reproduces the
+  // transaction's final state exactly.
+  std::vector<std::string> wal_op_sets;
+  if (!conn->txn_ops.empty()) {
+    wal_op_sets.push_back(RenderOps(conn->txn_ops));
+  }
+  conn->txn_ops.clear();
   service::EditResponse response =
-      service_->SubmitCommit(std::move(document), std::move(txn)).get();
+      service_
+          ->SubmitCommit(std::move(document), std::move(txn),
+                         std::move(wal_op_sets))
+          .get();
   if (!response.ok()) return response.status;
   return RenderVersion(response.version);
 }
@@ -658,6 +699,7 @@ Result<std::string> Server::DoEditAbort(Conn* conn) {
         "EABORT without an open transaction");
   }
   conn->txn.reset();  // drops the private clone; nothing was published
+  conn->txn_ops.clear();
   return RenderOk();
 }
 
@@ -670,6 +712,21 @@ Result<std::string> Server::DoMetrics() {
 
 Result<std::string> Server::DoTrace(const Request& request) {
   return RenderItems(service_->tracer().Recent(request.count), 0, false);
+}
+
+Result<std::string> Server::DoSync(const Request& request) {
+  if (options_.sync_source == nullptr) {
+    return status::Unimplemented(
+        "SYNC requires a durability log (start with --data-dir)");
+  }
+  // A quarter of the frame budget bounds the payload bytes; framing,
+  // item headers, and the snapshot-fallback record (always shipped
+  // whole) ride in the remaining slack.
+  CXML_ASSIGN_OR_RETURN(
+      SyncBatch batch,
+      options_.sync_source->ReadSince(request.document, request.from_version,
+                                      options_.max_frame_bytes / 4));
+  return RenderItems(batch.records, batch.current_version, false);
 }
 
 Result<std::string> Server::DoStat() {

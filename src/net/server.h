@@ -13,6 +13,7 @@
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "net/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/document_store.h"
@@ -51,6 +52,15 @@ struct ServerOptions {
   /// line with per-stage micros; 0 disables. Forwarded to the
   /// service's Tracer at Start().
   uint64_t slow_query_us = 0;
+  /// When true, every mutating verb (EDIT, EBEGIN/EOP/ECOMMIT/EABORT,
+  /// REGISTER, REMOVE) answers ERR FailedPrecondition. A replication
+  /// follower serves reads this way so local writers cannot fork the
+  /// replica's history away from the primary's.
+  bool read_only = false;
+  /// The durability log backing the SYNC verb, or nullptr — without
+  /// one, SYNC answers ERR Unimplemented. Not owned; must outlive the
+  /// server. Typically the primary's wal::WalManager.
+  SyncSource* sync_source = nullptr;
 };
 
 struct ServerStats {
@@ -166,6 +176,7 @@ class Server {
   Result<std::string> DoStat();
   Result<std::string> DoMetrics();
   Result<std::string> DoTrace(const Request& request);
+  Result<std::string> DoSync(const Request& request);
 
   service::DocumentStore* store_;
   service::QueryService* service_;

@@ -9,7 +9,8 @@
 namespace cxml::service {
 
 Status DocumentStore::Register(const std::string& name,
-                               storage::LoadedGoddag doc) {
+                               storage::LoadedGoddag doc,
+                               uint64_t initial_version) {
   if (name.empty()) {
     return status::InvalidArgument("document name must not be empty");
   }
@@ -17,19 +18,30 @@ Status DocumentStore::Register(const std::string& name,
     return status::InvalidArgument(
         StrCat("document '", name, "' has no GODDAG/CMH"));
   }
+  if (initial_version == 0 ||
+      initial_version == std::numeric_limits<uint64_t>::max()) {
+    return status::InvalidArgument(
+        StrCat("document '", name, "' initial version out of range"));
+  }
   auto snap = std::make_shared<DocumentSnapshot>();
   snap->name = name;
-  snap->version = 1;
+  snap->version = initial_version;
   snap->cmh = std::move(doc.cmh);
   snap->goddag = std::move(doc.g);
-  Shard& shard = ShardFor(name);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.docs.count(name) != 0) {
-    return status::AlreadyExists(
-        StrCat("document '", name, "' is already registered"));
+  {
+    Shard& shard = ShardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.docs.count(name) != 0) {
+      return status::AlreadyExists(
+          StrCat("document '", name, "' is already registered"));
+    }
+    snap->generation = next_generation_.fetch_add(1);
+    shard.docs.emplace(name, std::move(snap));
   }
-  snap->generation = next_generation_.fetch_add(1);
-  shard.docs.emplace(name, std::move(snap));
+  // Registration is a version event like any publish: the durability
+  // layer hears it (initial checkpoint), and caches treat a fresh
+  // (name, initial_version) like any other new version.
+  NotifyListeners(name, initial_version);
   return Status::Ok();
 }
 

@@ -97,8 +97,14 @@ class DocumentStore {
   DocumentStore(const DocumentStore&) = delete;
   DocumentStore& operator=(const DocumentStore&) = delete;
 
-  /// Registers a loaded document (e.g. from storage::Load) as version 1.
-  Status Register(const std::string& name, storage::LoadedGoddag doc);
+  /// Registers a loaded document (e.g. from storage::Load) and
+  /// notifies version listeners with the initial version. Normal
+  /// registrations start at version 1; crash recovery (wal::WalManager)
+  /// resumes a document at its last logged version so the version
+  /// sequence — and everything keyed on it, caches and replication
+  /// alike — survives a restart.
+  Status Register(const std::string& name, storage::LoadedGoddag doc,
+                  uint64_t initial_version = 1);
   /// Loads a `CXG1` snapshot (storage/binary) and registers it.
   Status RegisterBytes(const std::string& name, std::string_view bytes);
   Status RegisterFromFile(const std::string& name, const std::string& path);

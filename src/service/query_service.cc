@@ -136,18 +136,25 @@ Result<QueryHandle> QueryService::Prepare(const std::string& query,
   return handle;
 }
 
-std::future<EditResponse> QueryService::SubmitEdit(std::string document,
-                                                   EditFn apply) {
-  return pipeline_.SubmitEdit(std::move(document), std::move(apply));
+std::future<EditResponse> QueryService::SubmitEdit(
+    std::string document, EditFn apply,
+    std::vector<std::string> wal_op_sets) {
+  return pipeline_.SubmitEdit(std::move(document), std::move(apply),
+                              std::move(wal_op_sets));
 }
 
-EditResponse QueryService::ExecuteEdit(std::string document, EditFn apply) {
-  return SubmitEdit(std::move(document), std::move(apply)).get();
+EditResponse QueryService::ExecuteEdit(std::string document, EditFn apply,
+                                       std::vector<std::string> wal_op_sets) {
+  return SubmitEdit(std::move(document), std::move(apply),
+                    std::move(wal_op_sets))
+      .get();
 }
 
 std::future<EditResponse> QueryService::SubmitCommit(
-    std::string document, std::unique_ptr<EditTransaction> txn) {
-  return pipeline_.SubmitCommit(std::move(document), std::move(txn));
+    std::string document, std::unique_ptr<EditTransaction> txn,
+    std::vector<std::string> wal_op_sets) {
+  return pipeline_.SubmitCommit(std::move(document), std::move(txn),
+                                std::move(wal_op_sets));
 }
 
 std::future<QueryResponse> QueryService::Submit(QueryRequest request) {

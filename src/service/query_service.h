@@ -184,13 +184,19 @@ class QueryService {
   /// + one publish + one cache invalidation per batch. `apply` must
   /// tolerate re-execution (see EditFn): a publish race lost to a
   /// direct BeginEdit committer re-applies the batch on the new base.
-  std::future<EditResponse> SubmitEdit(std::string document, EditFn apply);
+  /// `wal_op_sets` is the write's wire op text for the durability sink
+  /// (see WritePipeline::SubmitEdit).
+  std::future<EditResponse> SubmitEdit(
+      std::string document, EditFn apply,
+      std::vector<std::string> wal_op_sets = {});
   /// Synchronous convenience: SubmitEdit + wait.
-  EditResponse ExecuteEdit(std::string document, EditFn apply);
+  EditResponse ExecuteEdit(std::string document, EditFn apply,
+                           std::vector<std::string> wal_op_sets = {});
   /// Queues an EBEGIN-style transaction's commit behind the document's
   /// pending writes; optimistic conflicts surface unchanged.
   std::future<EditResponse> SubmitCommit(
-      std::string document, std::unique_ptr<EditTransaction> txn);
+      std::string document, std::unique_ptr<EditTransaction> txn,
+      std::vector<std::string> wal_op_sets = {});
 
   ServiceStats stats() const;
   QueryCache& cache() { return cache_; }

@@ -40,20 +40,35 @@ WritePipeline::WritePipeline(DocumentStore* store, ThreadPool* pool,
   commit_us_ = r->GetHistogram("cxml_commit_us");
 }
 
-std::future<EditResponse> WritePipeline::SubmitEdit(std::string document,
-                                                    EditFn apply) {
+std::future<EditResponse> WritePipeline::SubmitEdit(
+    std::string document, EditFn apply,
+    std::vector<std::string> wal_op_sets) {
   PendingWrite entry;
   entry.apply = std::move(apply);
+  entry.wal_op_sets = std::move(wal_op_sets);
   edits_->Add();
   return Enqueue(document, std::move(entry));
 }
 
 std::future<EditResponse> WritePipeline::SubmitCommit(
-    std::string document, std::unique_ptr<EditTransaction> txn) {
+    std::string document, std::unique_ptr<EditTransaction> txn,
+    std::vector<std::string> wal_op_sets) {
   PendingWrite entry;
   entry.txn = std::move(txn);
+  entry.wal_op_sets = std::move(wal_op_sets);
   commits_->Add();
   return Enqueue(document, std::move(entry));
+}
+
+void WritePipeline::SetCommitSink(CommitSink sink) {
+  std::unique_lock<std::shared_mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+CommitSinkResult WritePipeline::RunCommitSink(const CommitBatch& batch) {
+  std::shared_lock<std::shared_mutex> lock(sink_mu_);
+  if (sink_ == nullptr) return CommitSinkResult{};
+  return sink_(batch);
 }
 
 std::future<EditResponse> WritePipeline::Enqueue(const std::string& document,
@@ -194,11 +209,32 @@ void WritePipeline::RunGroup(const std::string& document,
       return;
     }
 
+    uint64_t base_version = txn->base_version();
     auto version = txn->Commit();
     if (version.ok()) {
       batches_->Add();
       batched_edits_->Add(applied);
       commit_us_->Observe(MicrosSince(start));
+      // Log the publish before resolving any promise: an acked write
+      // must already be in the durability sink's hands.
+      CommitBatch wal_batch;
+      wal_batch.document = document;
+      wal_batch.version = *version;
+      wal_batch.base_version = base_version;
+      wal_batch.replayable = true;
+      for (size_t i = 0; i < group->size(); ++i) {
+        if (!statuses[i].ok()) continue;
+        if ((*group)[i].wal_op_sets.empty()) {
+          // An opaque closure rode this publish: its effect cannot be
+          // replayed from op text, so the sink must snapshot instead.
+          wal_batch.replayable = false;
+          continue;
+        }
+        for (std::string& op_set : (*group)[i].wal_op_sets) {
+          wal_batch.op_sets.push_back(std::move(op_set));
+        }
+      }
+      CommitSinkResult sink_result = RunCommitSink(wal_batch);
       for (size_t i = 0; i < group->size(); ++i) {
         if (!statuses[i].ok()) {
           Fail(&(*group)[i], std::move(statuses[i]));
@@ -207,6 +243,8 @@ void WritePipeline::RunGroup(const std::string& document,
         EditResponse response;
         response.version = *version;
         response.batch_size = applied;
+        response.wal_append_us = sink_result.append_us;
+        response.wal_fsync_us = sink_result.fsync_us;
         (*group)[i].promise.set_value(std::move(response));
       }
       return;
@@ -230,6 +268,8 @@ void WritePipeline::RunGroup(const std::string& document,
 
 void WritePipeline::RunExclusive(PendingWrite* entry) {
   SteadyClock::time_point start = SteadyClock::now();
+  std::string document = entry->txn->document();
+  uint64_t base_version = entry->txn->base_version();
   auto version = entry->txn->Commit();
   if (!version.ok()) {
     // Deterministic: a stale cross-frame transaction must lose with
@@ -238,9 +278,18 @@ void WritePipeline::RunExclusive(PendingWrite* entry) {
     return;
   }
   commit_us_->Observe(MicrosSince(start));
+  CommitBatch wal_batch;
+  wal_batch.document = std::move(document);
+  wal_batch.version = *version;
+  wal_batch.base_version = base_version;
+  wal_batch.replayable = !entry->wal_op_sets.empty();
+  wal_batch.op_sets = std::move(entry->wal_op_sets);
+  CommitSinkResult sink_result = RunCommitSink(wal_batch);
   EditResponse response;
   response.version = *version;
   response.batch_size = 1;
+  response.wal_append_us = sink_result.append_us;
+  response.wal_fsync_us = sink_result.fsync_us;
   entry->promise.set_value(std::move(response));
 }
 

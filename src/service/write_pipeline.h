@@ -9,7 +9,9 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "obs/metrics.h"
@@ -34,9 +36,44 @@ struct EditResponse {
   uint64_t version = 0;
   /// How many op-sets shared that publish (1 = no batching win).
   size_t batch_size = 0;
+  /// Durability cost this publish paid in the commit sink (0 when no
+  /// sink is attached): WAL append time and group-fsync wait.
+  double wal_append_us = 0;
+  double wal_fsync_us = 0;
 
   bool ok() const { return status.ok(); }
 };
+
+/// One published version, as handed to the commit sink (the WAL).
+struct CommitBatch {
+  std::string document;
+  /// The version this publish produced and the version it branched
+  /// from. base_version + 1 == version always; the sink uses the pair
+  /// to detect holes left by commits that bypassed the pipeline.
+  uint64_t version = 0;
+  uint64_t base_version = 0;
+  /// The successful participants' wire op-sets (net::RenderOps text),
+  /// in application order. Only meaningful when `replayable`.
+  std::vector<std::string> op_sets;
+  /// True when every successful participant carried a wire op-set, so
+  /// replaying `op_sets` over version `base_version` reproduces
+  /// `version` exactly. False for opaque EditFn closures and
+  /// cross-frame transactions submitted without their op text — the
+  /// sink must capture a full snapshot instead.
+  bool replayable = false;
+};
+
+/// What the sink spent making the publish durable (reported back to
+/// each participant's EditResponse).
+struct CommitSinkResult {
+  double append_us = 0;
+  double fsync_us = 0;
+};
+
+/// Durability hook: invoked synchronously after every successful
+/// publish, before the participants' futures resolve — when the sink
+/// blocks on fsync, an acked write is a durable write.
+using CommitSink = std::function<CommitSinkResult(const CommitBatch&)>;
 
 struct WriteStats {
   /// Grouped SubmitEdit requests accepted.
@@ -102,11 +139,26 @@ class WritePipeline {
   WritePipeline& operator=(const WritePipeline&) = delete;
 
   /// Enqueues an op-set for grouped application; returns immediately.
-  std::future<EditResponse> SubmitEdit(std::string document, EditFn apply);
+  /// `wal_op_sets` is the submission's wire op text (net::RenderOps
+  /// lines, usually one entry) for the commit sink: when every batch
+  /// participant provides it, the publish is logged as a replayable
+  /// record instead of a full snapshot. Callers applying opaque
+  /// closures just omit it.
+  std::future<EditResponse> SubmitEdit(
+      std::string document, EditFn apply,
+      std::vector<std::string> wal_op_sets = {});
 
   /// Queues an already-populated transaction's commit in FIFO position.
+  /// `wal_op_sets` as in SubmitEdit — the transaction's accumulated
+  /// wire ops, if the caller tracked them.
   std::future<EditResponse> SubmitCommit(
-      std::string document, std::unique_ptr<EditTransaction> txn);
+      std::string document, std::unique_ptr<EditTransaction> txn,
+      std::vector<std::string> wal_op_sets = {});
+
+  /// Installs (or clears, with nullptr) the durability sink. Blocks
+  /// until no publish is mid-sink, so after SetCommitSink(nullptr)
+  /// returns the previous sink can be destroyed safely.
+  void SetCommitSink(CommitSink sink);
 
   WriteStats stats() const;
 
@@ -115,6 +167,7 @@ class WritePipeline {
     /// Grouped entry when set; exclusive commit entry otherwise.
     EditFn apply;
     std::unique_ptr<EditTransaction> txn;
+    std::vector<std::string> wal_op_sets;
     std::promise<EditResponse> promise;
   };
 
@@ -132,9 +185,18 @@ class WritePipeline {
                 std::deque<PendingWrite>* group);
   void RunExclusive(PendingWrite* entry);
   void Fail(PendingWrite* entry, Status status);
+  /// Runs the sink (if any) for a just-published batch, under the
+  /// shared lock that lets SetCommitSink quiesce.
+  CommitSinkResult RunCommitSink(const CommitBatch& batch);
 
   DocumentStore* store_;
   ThreadPool* pool_;
+
+  /// Writers hold it shared across a sink invocation; SetCommitSink
+  /// takes it exclusive, which is what makes clearing the sink a
+  /// drain barrier rather than a data race.
+  std::shared_mutex sink_mu_;
+  CommitSink sink_;
 
   mutable std::mutex mu_;
   /// Per-document FIFO of pending writes.

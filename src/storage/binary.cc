@@ -73,6 +73,7 @@ class ByteReader {
     return s;
   }
   bool AtEnd() const { return pos_ == data_.size(); }
+  size_t Remaining() const { return data_.size() - pos_; }
 
  private:
   Status Eof() const {
@@ -135,6 +136,12 @@ Result<LoadedGoddag> Load(std::string_view bytes) {
   CXML_ASSIGN_OR_RETURN(std::string root_tag, r.Str());
   CXML_ASSIGN_OR_RETURN(std::string content, r.Str());
   CXML_ASSIGN_OR_RETURN(uint32_t num_h, r.U32());
+  // Every hierarchy costs at least two length-prefixed strings (16
+  // bytes of headers); a count the remaining bytes cannot possibly
+  // hold is hostile, not truncated — reject before looping.
+  if (num_h > r.Remaining() / 16 + 1) {
+    return status::ParseError("snapshot hierarchy count exceeds data size");
+  }
 
   LoadedGoddag out;
   out.cmh = std::make_unique<cmh::ConcurrentHierarchies>(root_tag);
@@ -153,8 +160,10 @@ Result<LoadedGoddag> Load(std::string_view bytes) {
 
   CXML_ASSIGN_OR_RETURN(uint64_t element_count, r.U64());
   std::vector<drivers::LogicalElement> elements;
-  // Guard against hostile counts before reserving.
-  if (element_count > bytes.size()) {
+  // Guard against hostile counts before reserving: an element encodes
+  // to at least 32 fixed bytes (hierarchy + tag header + attr count +
+  // extent), so a count the remaining bytes cannot hold is corrupt.
+  if (element_count > r.Remaining() / 32 + 1) {
     return status::ParseError("snapshot element count exceeds data size");
   }
   elements.reserve(element_count);
@@ -168,6 +177,10 @@ Result<LoadedGoddag> Load(std::string_view bytes) {
     }
     CXML_ASSIGN_OR_RETURN(el.tag, r.Str());
     CXML_ASSIGN_OR_RETURN(uint32_t attr_count, r.U32());
+    if (attr_count > r.Remaining() / 16 + 1) {
+      return status::ParseError(
+          "snapshot attribute count exceeds data size");
+    }
     for (uint32_t a = 0; a < attr_count; ++a) {
       xml::Attribute attr;
       CXML_ASSIGN_OR_RETURN(attr.name, r.Str());
@@ -268,7 +281,13 @@ Result<LoadedGoddag> LoadFromFile(const std::string& path) {
   while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     bytes.append(buffer, n);
   }
+  // A read error mid-file would otherwise surface as a confusing
+  // "truncated snapshot" — name the I/O failure instead.
+  bool read_failed = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_failed) {
+    return status::Internal(StrCat("read error on '", path, "'"));
+  }
   return Load(bytes);
 }
 

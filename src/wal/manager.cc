@@ -1,0 +1,747 @@
+#include "wal/manager.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/strings.h"
+#include "storage/binary.h"
+
+namespace cxml::wal {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MicrosSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() -
+                                                   start)
+      .count();
+}
+
+uint64_t NowWallMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+Status ApplyOpSets(edit::EditSession& session,
+                   const std::vector<std::string>& op_sets) {
+  for (const std::string& op_set : op_sets) {
+    // Each op-set starts from the empty selection, exactly as the
+    // group-commit writer applied it (see WritePipeline::RunGroup).
+    session.ClearSelection();
+    CXML_ASSIGN_OR_RETURN(std::vector<net::EditOp> ops,
+                          net::ParseOps(op_set));
+    for (const net::EditOp& op : ops) {
+      if (op.kind == net::EditOp::Kind::kSelect) {
+        CXML_RETURN_IF_ERROR(session.Select(op.chars));
+      } else {
+        CXML_RETURN_IF_ERROR(session.Apply(op.hierarchy, op.tag).status());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+WalManager::WalManager(WalOptions options) : options_(std::move(options)) {
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &owned_registry_;
+  records_ = registry_->GetCounter("cxml_wal_records_total");
+  bytes_ = registry_->GetCounter("cxml_wal_bytes_total");
+  fsyncs_ = registry_->GetCounter("cxml_wal_fsyncs_total");
+  errors_ = registry_->GetCounter("cxml_wal_errors_total");
+  checkpoints_ = registry_->GetCounter("cxml_wal_checkpoints_total");
+  snapshot_records_ =
+      registry_->GetCounter("cxml_wal_snapshot_records_total");
+  syncs_ = registry_->GetCounter("cxml_wal_syncs_total");
+  snapshot_syncs_ = registry_->GetCounter("cxml_wal_snapshot_syncs_total");
+  recovered_docs_ = registry_->GetCounter("cxml_wal_recovered_docs_total");
+  replayed_records_ =
+      registry_->GetCounter("cxml_wal_replayed_records_total");
+  append_us_ = registry_->GetHistogram("cxml_wal_append_us");
+  fsync_us_ = registry_->GetHistogram("cxml_wal_fsync_us");
+  fsync_wait_us_ = registry_->GetHistogram("cxml_wal_fsync_wait_us");
+  checkpoint_us_ = registry_->GetHistogram("cxml_wal_checkpoint_us");
+  replay_us_ = registry_->GetHistogram("cxml_wal_replay_us");
+}
+
+WalManager::~WalManager() {
+  Detach();
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    stop_.store(true);
+  }
+  syncer_cv_.notify_all();
+  waiter_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+  }
+  ckpt_cv_.notify_all();
+  if (syncer_.joinable()) syncer_.join();
+  if (checkpointer_.joinable()) checkpointer_.join();
+}
+
+Status WalManager::Open() {
+  if (opened_) return Status::Ok();
+  if (options_.data_dir.empty()) {
+    return status::InvalidArgument("WAL data_dir must not be empty");
+  }
+  CXML_RETURN_IF_ERROR(EnsureDir(options_.data_dir));
+  syncer_ = std::thread([this] { SyncerLoop(); });
+  checkpointer_ = std::thread([this] { CheckpointerLoop(); });
+  opened_ = true;
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------- recovery
+
+Status WalManager::RecoverAll(service::DocumentStore* store,
+                              RecoveryStats* stats) {
+  if (!opened_) {
+    return status::FailedPrecondition("WalManager::Open was not called");
+  }
+  store_ = store;
+  RecoveryStats local;
+  RecoveryStats* out = stats != nullptr ? stats : &local;
+  SteadyClock::time_point start = SteadyClock::now();
+  CXML_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                        ListDir(options_.data_dir));
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& entry : entries) {
+    if (!IsDirectory(StrCat(options_.data_dir, "/", entry))) continue;
+    Status recovered = RecoverDoc(entry, store, out);
+    if (!recovered.ok()) {
+      // One unrecoverable document (its directory is left untouched
+      // for forensics) must not take down the rest of the store.
+      errors_->Add();
+    }
+  }
+  out->total_ms = MicrosSince(start) / 1000.0;
+  return Status::Ok();
+}
+
+Status WalManager::RecoverDoc(const std::string& dir_name,
+                              service::DocumentStore* store,
+                              RecoveryStats* stats) {
+  CXML_ASSIGN_OR_RETURN(std::string name, DecodeDocDir(dir_name));
+  std::string dir = StrCat(options_.data_dir, "/", dir_name);
+  CXML_ASSIGN_OR_RETURN(std::vector<std::string> files, ListDir(dir));
+
+  std::vector<uint64_t> checkpoint_versions;
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& file : files) {
+    uint64_t v = 0;
+    if (ParseCheckpointFileName(file, &v)) {
+      checkpoint_versions.push_back(v);
+    } else if (ParseSegmentFileName(file, &v)) {
+      segments.emplace_back(v, StrCat(dir, "/", file));
+    }
+  }
+  std::sort(checkpoint_versions.rbegin(), checkpoint_versions.rend());
+  std::sort(segments.begin(), segments.end());
+
+  // Newest checkpoint that actually loads; corrupt ones fall back to
+  // the next older (rotate-then-snapshot guarantees its records still
+  // exist in a surviving segment).
+  storage::LoadedGoddag doc;
+  uint64_t version = 0;
+  bool have_doc = false;
+  for (uint64_t v : checkpoint_versions) {
+    auto bytes = ReadFileBytes(StrCat(dir, "/", CheckpointFileName(v)));
+    if (bytes.ok()) {
+      auto loaded = storage::Load(*bytes);
+      if (loaded.ok()) {
+        doc = std::move(loaded).value();
+        version = v;
+        have_doc = true;
+        stats->checkpoints_loaded++;
+        break;
+      }
+    }
+    stats->corrupt_checkpoints++;
+  }
+
+  // Every readable record from every segment, version-ordered. Bases
+  // overlap only across a crashed checkpoint's rotation window, and
+  // version order is exactly application order.
+  std::vector<Record> records;
+  for (const auto& [base, path] : segments) {
+    auto data = ReadSegment(path);
+    if (!data.ok()) continue;  // foreign/corrupt file: not a record source
+    for (Record& record : data->scan.records) {
+      records.push_back(std::move(record));
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.version < b.version;
+                   });
+
+  SteadyClock::time_point replay_start = SteadyClock::now();
+  std::unique_ptr<edit::EditSession> session;
+  size_t index = 0;
+  for (; index < records.size(); ++index) {
+    Record& record = records[index];
+    if (record.version <= version) {
+      stats->records_skipped++;
+      continue;
+    }
+    if (record.type == Record::Type::kSnapshot) {
+      auto loaded = storage::Load(record.snapshot);
+      if (!loaded.ok()) break;  // CRC passed but decode failed: stop here
+      doc = std::move(loaded).value();
+      version = record.version;
+      have_doc = true;
+      session.reset();
+      stats->records_replayed++;
+      replayed_records_->Add();
+      continue;
+    }
+    // Ops records need an unbroken chain: version must continue from
+    // the state we hold (a hole means a snapshot we failed to load or
+    // a lost segment — nothing after it can be trusted).
+    if (!have_doc || record.base_version != version ||
+        record.version != version + 1) {
+      break;
+    }
+    if (session == nullptr) {
+      auto started = edit::EditSession::Start(doc.g.get());
+      if (!started.ok()) break;
+      session = std::make_unique<edit::EditSession>(
+          std::move(started).value());
+    }
+    edit::EditSession::Mark mark = session->MarkState();
+    Status applied = ApplyOpSets(*session, record.op_sets);
+    if (!applied.ok()) {
+      // Roll the partial record back and stop: the store must hold a
+      // version that actually existed, never half of one.
+      (void)session->RollbackTo(mark);
+      break;
+    }
+    session->Commit();
+    version = record.version;
+    stats->records_replayed++;
+    replayed_records_->Add();
+  }
+  if (index < records.size()) {
+    // Whatever we broke on plus everything after it was skipped.
+    stats->records_skipped += records.size() - index;
+  }
+  replay_us_->Observe(MicrosSince(replay_start));
+
+  if (!have_doc) {
+    return status::ParseError(StrCat(
+        "document '", name,
+        "' has no loadable checkpoint or snapshot record — left on disk"));
+  }
+
+  // Compact: persist the recovered state as the one checkpoint, drop
+  // every replayed file, open a fresh segment. The checkpoint lands
+  // durably before anything is unlinked, so a crash inside recovery
+  // still recovers.
+  CXML_ASSIGN_OR_RETURN(std::string snapshot_bytes, storage::Save(*doc.g));
+  CXML_RETURN_IF_ERROR(WriteFileDurable(
+      StrCat(dir, "/", CheckpointFileName(version)), snapshot_bytes));
+  for (const std::string& file : files) {
+    uint64_t v = 0;
+    bool stale_checkpoint = ParseCheckpointFileName(file, &v) && v != version;
+    bool old_segment = ParseSegmentFileName(file, &v);
+    if (stale_checkpoint || old_segment) {
+      (void)::unlink(StrCat(dir, "/", file).c_str());
+    }
+  }
+  CXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<SegmentWriter> segment,
+      SegmentWriter::Create(StrCat(dir, "/", SegmentFileName(version)),
+                            version));
+
+  auto state = std::make_shared<DocState>();
+  state->name = name;
+  state->dir = dir;
+  state->segment = std::move(segment);
+  state->last_version = version;
+  state->checkpoint_version = version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    docs_[name] = state;
+  }
+  CXML_RETURN_IF_ERROR(store->Register(name, std::move(doc), version));
+  stats->docs_recovered++;
+  recovered_docs_->Add();
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- wiring
+
+void WalManager::Attach(service::DocumentStore* store,
+                        service::WritePipeline* pipeline) {
+  store_ = store;
+  pipeline_ = pipeline;
+  listener_id_ = store->AddVersionListener(
+      [this](const std::string& name, uint64_t version) {
+        OnVersionEvent(name, version);
+      });
+  pipeline->SetCommitSink([this](const service::CommitBatch& batch) {
+    return OnCommit(batch);
+  });
+  attached_ = true;
+}
+
+void WalManager::Detach() {
+  if (!attached_) return;
+  // Order matters: clearing the sink blocks until no publish is
+  // mid-sink; removing the listener blocks until no notification is
+  // in flight. After both, nothing can call back into this object.
+  pipeline_->SetCommitSink(nullptr);
+  store_->RemoveVersionListener(listener_id_);
+  attached_ = false;
+}
+
+Status WalManager::EnsureRegistered(const std::string& name) {
+  if (store_ == nullptr) {
+    return status::FailedPrecondition("WAL is not attached to a store");
+  }
+  if (FindDoc(name) != nullptr) return Status::Ok();
+  CXML_ASSIGN_OR_RETURN(service::SnapshotPtr snap,
+                        store_->GetSnapshot(name));
+  std::string dir = StrCat(options_.data_dir, "/", EncodeDocDir(name));
+  // Stale files from a previous same-name document would pollute the
+  // fresh log; a directory without in-memory state is by definition
+  // stale (recovery either adopted it or refused it).
+  CXML_RETURN_IF_ERROR(RemoveDirRecursive(dir));
+  CXML_RETURN_IF_ERROR(EnsureDir(dir));
+  CXML_ASSIGN_OR_RETURN(std::string bytes, storage::Save(*snap->goddag));
+  CXML_RETURN_IF_ERROR(WriteFileDurable(
+      StrCat(dir, "/", CheckpointFileName(snap->version)), bytes));
+  CXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<SegmentWriter> segment,
+      SegmentWriter::Create(
+          StrCat(dir, "/", SegmentFileName(snap->version)),
+          snap->version));
+  auto state = std::make_shared<DocState>();
+  state->name = name;
+  state->dir = dir;
+  state->segment = std::move(segment);
+  state->last_version = snap->version;
+  state->checkpoint_version = snap->version;
+  std::lock_guard<std::mutex> lock(mu_);
+  docs_[name] = state;
+  checkpoints_->Add();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------- version events
+
+void WalManager::OnVersionEvent(const std::string& name, uint64_t version) {
+  if (version == UINT64_MAX) {
+    DropDoc(name);
+    return;
+  }
+  if (version != 1) return;  // ordinary publishes ride the commit sink
+  // A (re-)registration at version 1: any surviving WAL state belongs
+  // to the predecessor document and must not answer for this one.
+  DropDoc(name);
+  Status registered = EnsureRegistered(name);
+  if (!registered.ok()) errors_->Add();
+}
+
+WalManager::DocPtr WalManager::FindDoc(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second;
+}
+
+Result<WalManager::DocPtr> WalManager::EnsureDoc(
+    const std::string& name, uint64_t create_segment_base) {
+  if (DocPtr existing = FindDoc(name)) return existing;
+  std::string dir = StrCat(options_.data_dir, "/", EncodeDocDir(name));
+  CXML_RETURN_IF_ERROR(RemoveDirRecursive(dir));
+  CXML_RETURN_IF_ERROR(EnsureDir(dir));
+  CXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<SegmentWriter> segment,
+      SegmentWriter::Create(
+          StrCat(dir, "/", SegmentFileName(create_segment_base)),
+          create_segment_base));
+  auto state = std::make_shared<DocState>();
+  state->name = name;
+  state->dir = dir;
+  state->segment = std::move(segment);
+  // last_version stays 0: the first commit always fails the
+  // continuity check and logs a full snapshot, which is exactly right
+  // for a document the WAL has never seen.
+  std::lock_guard<std::mutex> lock(mu_);
+  DocPtr& slot = docs_[name];
+  if (slot == nullptr) slot = state;
+  return slot;
+}
+
+void WalManager::DropDoc(const std::string& name) {
+  DocPtr state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find(name);
+    if (it != docs_.end()) {
+      state = it->second;
+      docs_.erase(it);
+    }
+  }
+  std::string dir = StrCat(options_.data_dir, "/", EncodeDocDir(name));
+  if (state != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->dropped = true;
+      state->segment.reset();
+      state->ring.clear();
+      state->ring_bytes = 0;
+    }
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    dirty_.erase(state);
+  }
+  Status removed = RemoveDirRecursive(dir);
+  if (!removed.ok()) errors_->Add();
+}
+
+// --------------------------------------------------------- appending
+
+service::CommitSinkResult WalManager::OnCommit(
+    const service::CommitBatch& batch) {
+  service::CommitSinkResult result;
+  auto ensured = EnsureDoc(batch.document, batch.base_version);
+  if (!ensured.ok()) {
+    errors_->Add();
+    return result;
+  }
+  DocPtr doc = std::move(ensured).value();
+
+  bool need_snapshot = !batch.replayable;
+  {
+    std::lock_guard<std::mutex> lock(doc->mu);
+    if (doc->dropped || doc->segment == nullptr) return result;
+    if (doc->last_version + 1 != batch.version) {
+      // A commit that bypassed the pipeline (direct BeginEdit) left a
+      // hole; rebase the log on a full snapshot to restore continuity.
+      need_snapshot = true;
+    }
+  }
+
+  Record record;
+  record.wall_micros = NowWallMicros();
+  if (need_snapshot) {
+    auto snap = store_->GetSnapshot(batch.document);
+    if (!snap.ok()) return result;  // removed mid-flight: nothing to log
+    auto bytes = storage::Save(*(*snap)->goddag);
+    if (!bytes.ok()) {
+      errors_->Add();
+      return result;
+    }
+    record.type = Record::Type::kSnapshot;
+    record.version = (*snap)->version;
+    record.snapshot = std::move(bytes).value();
+  } else {
+    record.type = Record::Type::kOps;
+    record.version = batch.version;
+    record.base_version = batch.base_version;
+    record.op_sets = batch.op_sets;
+  }
+  std::string framed = EncodeRecord(record);
+
+  SteadyClock::time_point append_start = SteadyClock::now();
+  bool trigger_checkpoint = false;
+  {
+    std::lock_guard<std::mutex> lock(doc->mu);
+    if (doc->dropped || doc->segment == nullptr) return result;
+    if (record.version <= doc->last_version) {
+      // A snapshot record from a racing commit already covers this
+      // version; appending it again would step the log backwards.
+      return result;
+    }
+    Status appended = doc->segment->Append(framed);
+    if (!appended.ok()) {
+      errors_->Add();
+      return result;
+    }
+    doc->last_version = record.version;
+    doc->records_since_checkpoint++;
+    doc->bytes_since_checkpoint += framed.size();
+    doc->ring.emplace_back(record.version, framed);
+    doc->ring_bytes += framed.size();
+    while (doc->ring.size() > options_.sync_ring_records ||
+           (doc->ring_bytes > options_.sync_ring_bytes &&
+            doc->ring.size() > 1)) {
+      doc->ring_bytes -= doc->ring.front().second.size();
+      doc->ring.pop_front();
+    }
+    if ((doc->records_since_checkpoint >=
+             options_.checkpoint_every_records ||
+         doc->bytes_since_checkpoint >= options_.checkpoint_every_bytes) &&
+        !doc->checkpoint_queued) {
+      doc->checkpoint_queued = true;
+      trigger_checkpoint = true;
+    }
+  }
+  result.append_us = MicrosSince(append_start);
+  append_us_->Observe(result.append_us);
+  records_->Add();
+  bytes_->Add(framed.size());
+  if (need_snapshot) snapshot_records_->Add();
+  if (trigger_checkpoint) EnqueueCheckpoint(batch.document);
+
+  uint64_t seq = MarkDirty(doc);
+  result.fsync_us = AwaitFsync(seq);
+  fsync_wait_us_->Observe(result.fsync_us);
+  return result;
+}
+
+// -------------------------------------------------------- group fsync
+
+uint64_t WalManager::MarkDirty(const DocPtr& doc) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    seq = ++append_seq_;
+    dirty_.insert(doc);
+  }
+  syncer_cv_.notify_one();
+  return seq;
+}
+
+double WalManager::AwaitFsync(uint64_t seq) {
+  if (options_.fsync_every_ms < 0) return 0;
+  SteadyClock::time_point start = SteadyClock::now();
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  waiter_cv_.wait(lock, [&] {
+    return synced_seq_ >= seq || stop_.load();
+  });
+  return MicrosSince(start);
+}
+
+void WalManager::SyncerLoop() {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  while (!stop_.load()) {
+    syncer_cv_.wait(lock, [&] { return stop_.load() || !dirty_.empty(); });
+    if (stop_.load()) break;
+    if (options_.fsync_every_ms > 0) {
+      // The batching window: let concurrent appends pile onto this
+      // fsync instead of each paying their own.
+      syncer_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.fsync_every_ms),
+          [&] { return stop_.load(); });
+      if (stop_.load()) break;
+    }
+    uint64_t target = append_seq_;
+    std::vector<DocPtr> batch(dirty_.begin(), dirty_.end());
+    dirty_.clear();
+    lock.unlock();
+
+    SteadyClock::time_point start = SteadyClock::now();
+    for (const DocPtr& doc : batch) {
+      std::lock_guard<std::mutex> doc_lock(doc->mu);
+      if (doc->dropped || doc->segment == nullptr) continue;
+      Status synced = doc->segment->Fsync();
+      if (!synced.ok()) {
+        errors_->Add();
+        continue;
+      }
+      fsyncs_->Add();
+    }
+    fsync_us_->Observe(MicrosSince(start));
+
+    lock.lock();
+    if (target > synced_seq_) synced_seq_ = target;
+    waiter_cv_.notify_all();
+  }
+  // Release anyone still blocked on durability at shutdown.
+  synced_seq_ = append_seq_;
+  waiter_cv_.notify_all();
+}
+
+Status WalManager::Flush() {
+  std::vector<DocPtr> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, doc] : docs_) all.push_back(doc);
+  }
+  Status first = Status::Ok();
+  for (const DocPtr& doc : all) {
+    std::lock_guard<std::mutex> doc_lock(doc->mu);
+    if (doc->dropped || doc->segment == nullptr) continue;
+    Status synced = doc->segment->Fsync();
+    if (!synced.ok() && first.ok()) first = synced;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    synced_seq_ = append_seq_;
+    dirty_.clear();
+  }
+  waiter_cv_.notify_all();
+  return first;
+}
+
+// ------------------------------------------------------ checkpointing
+
+void WalManager::EnqueueCheckpoint(std::string name) {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_queue_.push_back(std::move(name));
+  }
+  ckpt_cv_.notify_one();
+}
+
+void WalManager::CheckpointerLoop() {
+  for (;;) {
+    std::string name;
+    {
+      std::unique_lock<std::mutex> lock(ckpt_mu_);
+      ckpt_cv_.wait(lock, [&] {
+        return stop_.load() || !ckpt_queue_.empty();
+      });
+      if (stop_.load()) return;
+      name = std::move(ckpt_queue_.front());
+      ckpt_queue_.pop_front();
+    }
+    DocPtr doc = FindDoc(name);
+    if (doc == nullptr) continue;
+    Status checkpointed = CheckpointDoc(doc);
+    if (!checkpointed.ok()) errors_->Add();
+  }
+}
+
+Status WalManager::CheckpointNow(const std::string& document) {
+  DocPtr doc = FindDoc(document);
+  if (doc == nullptr) {
+    return status::NotFound(
+        StrCat("document '", document, "' has no WAL state"));
+  }
+  return CheckpointDoc(doc);
+}
+
+Status WalManager::CheckpointDoc(const DocPtr& doc) {
+  SteadyClock::time_point start = SteadyClock::now();
+  uint64_t rotate_base = 0;
+  {
+    // Rotate first: all future appends land in the new segment, so
+    // every record beyond the snapshot below survives in a file the
+    // cleanup never touches.
+    std::lock_guard<std::mutex> lock(doc->mu);
+    doc->checkpoint_queued = false;
+    if (doc->dropped || doc->segment == nullptr) return Status::Ok();
+    if (doc->records_since_checkpoint == 0) return Status::Ok();
+    rotate_base = doc->last_version;
+    CXML_ASSIGN_OR_RETURN(
+        std::unique_ptr<SegmentWriter> fresh,
+        SegmentWriter::Create(
+            StrCat(doc->dir, "/", SegmentFileName(rotate_base)),
+            rotate_base));
+    // The outgoing segment's tail must be durable before it becomes
+    // the only home of records the new checkpoint may not cover.
+    CXML_RETURN_IF_ERROR(doc->segment->Fsync());
+    doc->segment = std::move(fresh);
+    doc->records_since_checkpoint = 0;
+    doc->bytes_since_checkpoint = 0;
+  }
+
+  uint64_t checkpoint_version = 0;
+  CXML_RETURN_IF_ERROR(WriteCheckpoint(doc, &checkpoint_version));
+
+  // Cleanup: checkpoints older than the new one, segments whose whole
+  // record range the new checkpoint covers. The freshly rotated-to
+  // segment (base == rotate_base) always survives.
+  CXML_ASSIGN_OR_RETURN(std::vector<std::string> files, ListDir(doc->dir));
+  for (const std::string& file : files) {
+    uint64_t v = 0;
+    bool stale_checkpoint =
+        ParseCheckpointFileName(file, &v) && v < checkpoint_version;
+    bool replayed_segment =
+        ParseSegmentFileName(file, &v) && v < rotate_base;
+    if (stale_checkpoint || replayed_segment) {
+      (void)::unlink(StrCat(doc->dir, "/", file).c_str());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(doc->mu);
+    if (checkpoint_version > doc->checkpoint_version) {
+      doc->checkpoint_version = checkpoint_version;
+    }
+  }
+  checkpoints_->Add();
+  checkpoint_us_->Observe(MicrosSince(start));
+  return Status::Ok();
+}
+
+Status WalManager::WriteCheckpoint(const DocPtr& doc,
+                                   uint64_t* version_out) {
+  if (store_ == nullptr) {
+    return status::FailedPrecondition("WAL is not attached to a store");
+  }
+  CXML_ASSIGN_OR_RETURN(service::SnapshotPtr snap,
+                        store_->GetSnapshot(doc->name));
+  CXML_ASSIGN_OR_RETURN(std::string bytes, storage::Save(*snap->goddag));
+  CXML_RETURN_IF_ERROR(WriteFileDurable(
+      StrCat(doc->dir, "/", CheckpointFileName(snap->version)), bytes));
+  *version_out = snap->version;
+  return Status::Ok();
+}
+
+// -------------------------------------------------------- replication
+
+Result<net::SyncBatch> WalManager::ReadSince(const std::string& document,
+                                             uint64_t from_version,
+                                             size_t max_bytes) {
+  if (store_ == nullptr) {
+    return status::FailedPrecondition("WAL is not attached to a store");
+  }
+  CXML_ASSIGN_OR_RETURN(service::SnapshotPtr snap,
+                        store_->GetSnapshot(document));
+  net::SyncBatch batch;
+  batch.current_version = snap->version;
+  if (from_version >= snap->version) return batch;  // caught up
+
+  if (DocPtr doc = FindDoc(document)) {
+    std::lock_guard<std::mutex> lock(doc->mu);
+    // The ring serves the request only when it still holds the
+    // follower's next version (record versions can jump only at
+    // snapshot records, which rebase the follower anyway).
+    if (!doc->ring.empty() && doc->ring.front().first <= from_version + 1) {
+      size_t shipped = 0;
+      for (const auto& [version, framed] : doc->ring) {
+        if (version <= from_version) continue;
+        if (!batch.records.empty() &&
+            shipped + framed.size() > max_bytes) {
+          break;
+        }
+        batch.records.push_back(framed);
+        shipped += framed.size();
+      }
+      if (!batch.records.empty()) {
+        syncs_->Add();
+        return batch;
+      }
+    }
+  }
+
+  // The follower predates the retained tail (or the document has no
+  // log state at all): ship one full snapshot at the current version.
+  CXML_ASSIGN_OR_RETURN(std::string bytes, storage::Save(*snap->goddag));
+  Record record;
+  record.type = Record::Type::kSnapshot;
+  record.version = snap->version;
+  record.wall_micros = NowWallMicros();
+  record.snapshot = std::move(bytes);
+  batch.records.push_back(EncodeRecord(record));
+  snapshot_syncs_->Add();
+  return batch;
+}
+
+}  // namespace cxml::wal

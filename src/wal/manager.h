@@ -1,0 +1,242 @@
+#ifndef CXML_WAL_MANAGER_H_
+#define CXML_WAL_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "edit/session.h"
+#include "net/protocol.h"
+#include "net/sync.h"
+#include "obs/metrics.h"
+#include "service/document_store.h"
+#include "service/write_pipeline.h"
+#include "wal/log.h"
+#include "wal/record.h"
+
+namespace cxml::wal {
+
+struct WalOptions {
+  /// Root of the durability tree: one subdirectory per document (see
+  /// log.h for the layout). Created by Open().
+  std::string data_dir;
+  /// Group-fsync batching window: appenders block until one fsync
+  /// covers their record, and the syncer thread waits this long after
+  /// the first dirty append so concurrent commits share the fsync.
+  /// 0 fsyncs immediately per append batch; negative skips the wait
+  /// entirely (records are written but not awaited — bench/testing
+  /// only, a crash may lose acked commits).
+  int fsync_every_ms = 2;
+  /// Background checkpoint triggers: after this many records or bytes
+  /// appended since the last checkpoint, the document is snapshotted
+  /// (CXG1) and its replayed segments are dropped.
+  uint64_t checkpoint_every_records = 256;
+  uint64_t checkpoint_every_bytes = 8ull << 20;
+  /// In-memory tail of encoded records per document, serving SYNC
+  /// without disk reads. A follower older than the ring gets one full
+  /// kSnapshot record instead.
+  size_t sync_ring_records = 1024;
+  size_t sync_ring_bytes = 8u << 20;
+  /// Metric sink (cxml_wal_*); nullptr keeps a private registry.
+  obs::Registry* registry = nullptr;
+};
+
+struct RecoveryStats {
+  uint64_t docs_recovered = 0;
+  uint64_t checkpoints_loaded = 0;
+  /// Checkpoint files that failed to load (fell back to an older one).
+  uint64_t corrupt_checkpoints = 0;
+  uint64_t records_replayed = 0;
+  /// Records at or below the checkpoint version, plus anything after a
+  /// gap / torn tail / failed replay (replay stops cleanly there).
+  uint64_t records_skipped = 0;
+  double total_ms = 0;
+};
+
+/// Replays WAL op-set payloads (net::RenderOps lines) through a
+/// prevalidating session, with the same per-op-set selection reset the
+/// group commit applied them under. Shared by crash recovery and the
+/// replication follower.
+Status ApplyOpSets(edit::EditSession& session,
+                   const std::vector<std::string>& op_sets);
+
+/// The durability subsystem: a per-document write-ahead log fed by the
+/// WritePipeline's commit sink, batched group fsync, background CXG1
+/// checkpoints with segment truncation, startup recovery into a
+/// DocumentStore, and the SYNC serving side of CXP/1 replication.
+///
+/// Lifecycle: construct → Open() (creates data_dir, starts the fsync +
+/// checkpoint threads) → RecoverAll(store) (registers every recovered
+/// document at its logged version — before any listener wiring, so
+/// recovery itself is never re-logged) → Attach(store, pipeline)
+/// (listener + commit sink; from here every pipeline publish is
+/// durable before its submitter is acked) → serve. Destroy only after
+/// the pipeline has quiesced (QueryService destroyed / Server
+/// stopped), or call Detach() first — Detach blocks until in-flight
+/// sink calls and listener notifications have drained.
+///
+/// What is logged: every WritePipeline group commit (one record per
+/// publish — replayable op lines when every batch participant carried
+/// a wire payload, a full kSnapshot record otherwise), plus wire
+/// REGISTERs (initial checkpoint via the version listener) and
+/// REMOVEs (the document's directory is dropped). Direct
+/// DocumentStore::BeginEdit commits bypass the pipeline and are NOT
+/// logged individually; the next pipeline commit detects the version
+/// hole and rebases with a kSnapshot record, so the log never
+/// silently diverges — but a direct commit alone is only durable once
+/// a pipeline commit or checkpoint follows. cxml_serverd routes every
+/// write through the pipeline.
+class WalManager : public net::SyncSource {
+ public:
+  explicit WalManager(WalOptions options);
+  ~WalManager() override;
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Creates data_dir and starts the background threads. Call once,
+  /// before anything else.
+  Status Open();
+
+  /// Loads every document under data_dir: newest readable checkpoint,
+  /// then the log tail replayed through a prevalidating session (CRC
+  /// gaps, torn tails, and rejected ops stop the replay cleanly at the
+  /// last good version). Each document is registered at its recovered
+  /// version so WAL and replication continuity survive the restart.
+  Status RecoverAll(service::DocumentStore* store,
+                    RecoveryStats* stats = nullptr);
+
+  /// Wires the version listener (REGISTER/REMOVE durability) and the
+  /// pipeline commit sink (per-publish records). Call after
+  /// RecoverAll; the sink blocks each publish until group fsync covers
+  /// its record, so a client ack implies durability.
+  void Attach(service::DocumentStore* store,
+              service::WritePipeline* pipeline);
+  /// Unwires both hooks, blocking until in-flight calls drain.
+  void Detach();
+
+  /// Ensures `name` (already registered in the attached store) has
+  /// on-disk state: writes an initial checkpoint at its current
+  /// version if none exists. Used for documents registered before
+  /// Attach (serverd's synthetic/--load documents).
+  Status EnsureRegistered(const std::string& name);
+
+  /// net::SyncSource — serves `SYNC <doc> <from_version>` from the
+  /// in-memory ring, falling back to one kSnapshot record of the
+  /// current store snapshot when the follower is older than the ring.
+  Result<net::SyncBatch> ReadSince(const std::string& document,
+                                   uint64_t from_version,
+                                   size_t max_bytes) override;
+
+  /// Synchronous checkpoint (tests, admin): rotate, snapshot, truncate.
+  Status CheckpointNow(const std::string& document);
+  /// Fsyncs every dirty segment now (tests / orderly shutdown).
+  Status Flush();
+
+  const WalOptions& options() const { return options_; }
+  obs::Registry* registry() { return registry_; }
+
+ private:
+  struct DocState {
+    std::string name;
+    std::string dir;
+    std::mutex mu;
+    std::unique_ptr<SegmentWriter> segment;
+    /// Last version appended (or recovered); the continuity check.
+    uint64_t last_version = 0;
+    uint64_t checkpoint_version = 0;
+    uint64_t records_since_checkpoint = 0;
+    uint64_t bytes_since_checkpoint = 0;
+    bool checkpoint_queued = false;
+    bool dropped = false;
+    /// (version, framed record) tail for ReadSince.
+    std::deque<std::pair<uint64_t, std::string>> ring;
+    size_t ring_bytes = 0;
+  };
+  using DocPtr = std::shared_ptr<DocState>;
+
+  /// The pipeline commit sink: encode, append, wait for group fsync.
+  service::CommitSinkResult OnCommit(const service::CommitBatch& batch);
+  /// The store version listener: version 1 → fresh WAL state +
+  /// initial checkpoint; UINT64_MAX → drop the document's directory.
+  void OnVersionEvent(const std::string& name, uint64_t version);
+
+  DocPtr FindDoc(const std::string& name);
+  /// Creates (or returns) the document's state; `create_segment_base`
+  /// seeds a fresh segment when the state is new.
+  Result<DocPtr> EnsureDoc(const std::string& name,
+                           uint64_t create_segment_base);
+  void DropDoc(const std::string& name);
+  Status RecoverDoc(const std::string& dir_name,
+                    service::DocumentStore* store, RecoveryStats* stats);
+  Status CheckpointDoc(const DocPtr& doc);
+  Status WriteCheckpoint(const DocPtr& doc, uint64_t* version_out);
+
+  /// Registers an append with the group-fsync machinery; the returned
+  /// sequence number is what AwaitFsync blocks on.
+  uint64_t MarkDirty(const DocPtr& doc);
+  /// Blocks until one fsync covers sequence `seq` (no-op when
+  /// fsync_every_ms < 0); returns the wait in µs.
+  double AwaitFsync(uint64_t seq);
+  void SyncerLoop();
+  void CheckpointerLoop();
+  void EnqueueCheckpoint(std::string name);
+
+  WalOptions options_;
+  service::DocumentStore* store_ = nullptr;
+  service::WritePipeline* pipeline_ = nullptr;
+  uint64_t listener_id_ = 0;
+  bool attached_ = false;
+  bool opened_ = false;
+
+  obs::Registry owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* records_ = nullptr;
+  obs::Counter* bytes_ = nullptr;
+  obs::Counter* fsyncs_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* snapshot_records_ = nullptr;
+  obs::Counter* syncs_ = nullptr;
+  obs::Counter* snapshot_syncs_ = nullptr;
+  obs::Counter* recovered_docs_ = nullptr;
+  obs::Counter* replayed_records_ = nullptr;
+  obs::Histogram* append_us_ = nullptr;
+  obs::Histogram* fsync_us_ = nullptr;
+  obs::Histogram* fsync_wait_us_ = nullptr;
+  obs::Histogram* checkpoint_us_ = nullptr;
+  obs::Histogram* replay_us_ = nullptr;
+
+  std::mutex mu_;
+  std::map<std::string, DocPtr> docs_;
+
+  /// Group-fsync state: appenders take a sequence number, mark their
+  /// document dirty, and wait until the syncer's fsync pass covers it.
+  std::mutex sync_mu_;
+  std::condition_variable syncer_cv_;
+  std::condition_variable waiter_cv_;
+  uint64_t append_seq_ = 0;
+  uint64_t synced_seq_ = 0;
+  std::set<DocPtr> dirty_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  std::deque<std::string> ckpt_queue_;
+
+  std::thread syncer_;
+  std::thread checkpointer_;
+};
+
+}  // namespace cxml::wal
+
+#endif  // CXML_WAL_MANAGER_H_

@@ -1,0 +1,199 @@
+#include "wal/record.h"
+
+#include <array>
+
+#include "common/strings.h"
+
+namespace cxml::wal {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Bounds-checked little-endian reader over one record payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > data_.size()) return Eof();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > data_.size()) return Eof();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > data_.size()) return Eof();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  Result<std::string> Bytes(size_t n) {
+    if (n > data_.size() - pos_) return Eof();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::string_view Rest() {
+    std::string_view rest = data_.substr(pos_);
+    pos_ = data_.size();
+    return rest;
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Eof() const {
+    return status::ParseError("truncated WAL record payload");
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Result<Record> DecodePayload(std::string_view payload) {
+  PayloadReader r(payload);
+  CXML_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+  Record record;
+  if (type == static_cast<uint8_t>(Record::Type::kOps)) {
+    record.type = Record::Type::kOps;
+  } else if (type == static_cast<uint8_t>(Record::Type::kSnapshot)) {
+    record.type = Record::Type::kSnapshot;
+  } else {
+    return status::ParseError(
+        StrFormat("unknown WAL record type %u", type));
+  }
+  CXML_ASSIGN_OR_RETURN(record.version, r.U64());
+  if (record.version == 0) {
+    return status::ParseError("WAL record carries version 0");
+  }
+  CXML_ASSIGN_OR_RETURN(record.wall_micros, r.U64());
+  if (record.type == Record::Type::kSnapshot) {
+    record.snapshot = std::string(r.Rest());
+    return record;
+  }
+  CXML_ASSIGN_OR_RETURN(record.base_version, r.U64());
+  CXML_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  // Every op-set costs at least its 4-byte length prefix: a count
+  // beyond the remaining bytes is hostile, not just truncated.
+  if (n > r.remaining() / 4 + 1) {
+    return status::ParseError("WAL record op-set count exceeds payload");
+  }
+  record.op_sets.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CXML_ASSIGN_OR_RETURN(uint32_t len, r.U32());
+    CXML_ASSIGN_OR_RETURN(std::string op_set, r.Bytes(len));
+    record.op_sets.push_back(std::move(op_set));
+  }
+  if (!r.AtEnd()) {
+    return status::ParseError("trailing bytes after WAL record op-sets");
+  }
+  return record;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char byte : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(byte)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeRecord(const Record& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  AppendU64(&payload, record.version);
+  AppendU64(&payload, record.wall_micros);
+  if (record.type == Record::Type::kSnapshot) {
+    payload.append(record.snapshot);
+  } else {
+    AppendU64(&payload, record.base_version);
+    AppendU32(&payload, static_cast<uint32_t>(record.op_sets.size()));
+    for (const std::string& op_set : record.op_sets) {
+      AppendU32(&payload, static_cast<uint32_t>(op_set.size()));
+      payload.append(op_set);
+    }
+  }
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  AppendU32(&framed, static_cast<uint32_t>(payload.size()));
+  AppendU32(&framed, Crc32(payload));
+  framed.append(payload);
+  return framed;
+}
+
+Result<Record> DecodeRecord(std::string_view framed) {
+  PayloadReader header(framed);
+  CXML_ASSIGN_OR_RETURN(uint32_t len, header.U32());
+  CXML_ASSIGN_OR_RETURN(uint32_t crc, header.U32());
+  if (len != header.remaining()) {
+    return status::ParseError(StrFormat(
+        "WAL record frame length %u does not match %zu payload bytes",
+        len, header.remaining()));
+  }
+  std::string_view payload = header.Rest();
+  if (Crc32(payload) != crc) {
+    return status::ValidationError("WAL record CRC mismatch");
+  }
+  return DecodePayload(payload);
+}
+
+ScanResult ScanRecords(std::string_view data) {
+  ScanResult result;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) break;  // torn frame header
+    PayloadReader header(data.substr(pos, 8));
+    uint32_t len = header.U32().value();
+    uint32_t crc = header.U32().value();
+    if (data.size() - pos - 8 < len) break;  // torn payload
+    std::string_view payload = data.substr(pos + 8, len);
+    if (Crc32(payload) != crc) break;  // corrupt — nothing after is safe
+    auto record = DecodePayload(payload);
+    if (!record.ok()) break;
+    result.records.push_back(std::move(record).value());
+    pos += 8 + len;
+    result.valid_bytes = pos;
+  }
+  result.clean = result.valid_bytes == data.size();
+  return result;
+}
+
+}  // namespace cxml::wal

@@ -13,6 +13,7 @@
 #include "goddag/builder.h"
 #include "sacx/goddag_handler.h"
 #include "storage/binary.h"
+#include "wal/record.h"
 #include "workload/boethius.h"
 #include "xpath/parser.h"
 #include "xquery/xquery.h"
@@ -159,6 +160,73 @@ TEST(FuzzTest, SnapshotLoaderNeverCrashes) {
   ASSERT_TRUE(bytes.ok());
   for (int i = 0; i < kRounds; ++i) {
     auto loaded = storage::Load(Corrupt(*bytes, static_cast<uint64_t>(i)));
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->g->Validate().ok());
+    }
+  }
+}
+
+TEST(FuzzTest, WalRecordDecoderNeverCrashes) {
+  wal::Record record;
+  record.type = wal::Record::Type::kOps;
+  record.version = 17;
+  record.base_version = 16;
+  record.wall_micros = 1722000000000000ull;
+  record.op_sets = {"SELECT 10 50\nAPPLY 2 a0", "SELECT 100 140"};
+  const std::string framed = wal::EncodeRecord(record);
+
+  size_t decoded_ok = 0, decoded_err = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    std::string mutated = Corrupt(framed, static_cast<uint64_t>(i));
+    auto decoded = wal::DecodeRecord(mutated);
+    if (decoded.ok()) {
+      ++decoded_ok;
+    } else {
+      ++decoded_err;
+      EXPECT_FALSE(decoded.status().message().empty());
+    }
+    // The prefix scanner must also terminate cleanly on the same bytes,
+    // and never claim more valid bytes than it was given.
+    wal::ScanResult scan = wal::ScanRecords(mutated);
+    EXPECT_LE(scan.valid_bytes, mutated.size());
+  }
+  // The CRC makes survival astronomically unlikely; corruption must be
+  // the common case.
+  EXPECT_GT(decoded_err, 0u);
+  (void)decoded_ok;
+
+  // A stream of records with a corrupted middle: the scan keeps the
+  // trusted prefix and stops, never resynchronizing into garbage.
+  std::string stream = framed + framed + framed;
+  for (int i = 0; i < kRounds; ++i) {
+    wal::ScanResult scan =
+        wal::ScanRecords(Corrupt(stream, static_cast<uint64_t>(i)));
+    EXPECT_LE(scan.records.size(), 3u);
+    EXPECT_LE(scan.valid_bytes, stream.size() + 3);
+  }
+}
+
+TEST(FuzzTest, CorruptCheckpointsLoadOrFailCleanly) {
+  // A WAL checkpoint is a CXG1 image; recovery feeds whatever it finds
+  // on disk to storage::Load and must get ok-or-error, then fall back.
+  auto fixture = workload::MakeBoethiusCorpus();
+  ASSERT_TRUE(fixture.ok());
+  auto g = goddag::Builder::Build(*fixture->doc);
+  ASSERT_TRUE(g.ok());
+  auto bytes = storage::Save(*g);
+  ASSERT_TRUE(bytes.ok());
+
+  // Every strict prefix is a truncated checkpoint (torn at crash): the
+  // loader must reject each one without crashing or over-reading.
+  const std::string& image = *bytes;
+  for (size_t n = 0; n < image.size(); n += 7) {
+    auto loaded = storage::Load(image.substr(0, n));
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << n << " bytes parsed";
+  }
+  // Heavier corruption than SnapshotLoaderNeverCrashes applies.
+  for (int i = 0; i < kRounds; ++i) {
+    auto loaded =
+        storage::Load(Corrupt(image, static_cast<uint64_t>(i), /*n=*/16));
     if (loaded.ok()) {
       EXPECT_TRUE(loaded->g->Validate().ok());
     }

@@ -169,6 +169,30 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("TRACE 3 4").ok());
 }
 
+TEST(ProtocolTest, SyncRequestRoundTrips) {
+  Request sync;
+  sync.verb = Verb::kSync;
+  sync.document = "ms";
+  sync.from_version = 41;
+  auto parsed = ParseRequest(RenderRequest(sync));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->verb, Verb::kSync);
+  EXPECT_EQ(parsed->document, "ms");
+  EXPECT_EQ(parsed->from_version, 41u);
+
+  parsed = ParseRequest("SYNC ms 0");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->from_version, 0u);
+
+  EXPECT_FALSE(ParseRequest("SYNC").ok());           // no document
+  EXPECT_FALSE(ParseRequest("SYNC ms").ok());        // no version
+  EXPECT_FALSE(ParseRequest("SYNC ms -1").ok());
+  EXPECT_FALSE(ParseRequest("SYNC ms five").ok());
+  EXPECT_FALSE(ParseRequest("SYNC ms 1 2").ok());
+  // 20 digits overflow the wire integer cap.
+  EXPECT_FALSE(ParseRequest("SYNC ms 18446744073709551615").ok());
+}
+
 TEST(ProtocolTest, ResponseRoundTrips) {
   std::vector<std::string> items = {"alpha", "", "two words",
                                     "multi\nline item"};
@@ -777,6 +801,48 @@ TEST_F(NetTest, IdleConnectionsAreClosedActiveOnesSurvive) {
 
   // The survivor is still healthy after the reap.
   EXPECT_TRUE(active->Ping().ok());
+  server.Stop();
+}
+
+/// A follower-style server (read_only): every mutating verb answers
+/// FailedPrecondition while the read path stays fully alive — the
+/// replica must never fork its primary's history.
+TEST(ReadOnlyServerTest, RejectsWritesServesReads) {
+  service::DocumentStore store;
+  ASSERT_TRUE(store.RegisterBytes("ms", CorpusBytes()).ok());
+  service::QueryService service(
+      &store, service::QueryServiceOptions{/*num_threads=*/2,
+                                           /*cache_capacity=*/64});
+  ServerOptions options;
+  options.num_workers = 2;
+  options.read_only = true;
+  Server server(&store, &service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status();
+  Client client = std::move(connected).value();
+
+  // Reads flow.
+  ASSERT_TRUE(client.Ping().ok());
+  auto counted = client.Query("ms", "count(//w)", service::QueryKind::kXPath);
+  ASSERT_TRUE(counted.ok()) << counted.status();
+
+  // Writes bounce, single-shot and transactional alike.
+  auto edited = client.Edit(
+      "ms", {EditOp::Select(10, 50), EditOp::Apply(2, "a0")});
+  EXPECT_EQ(edited.status().code(), StatusCode::kFailedPrecondition);
+  auto registered = client.Register("up", CorpusBytes());
+  EXPECT_EQ(registered.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.Remove("ms").code(), StatusCode::kFailedPrecondition);
+  auto txn = client.EditBegin("ms");
+  EXPECT_EQ(txn.status().code(), StatusCode::kFailedPrecondition);
+
+  // The rejections left no trace: same version, connection healthy.
+  auto version = store.GetVersion("ms");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+  EXPECT_TRUE(client.Ping().ok());
   server.Stop();
 }
 

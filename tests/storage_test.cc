@@ -133,6 +133,21 @@ TEST(StorageTest, RejectsCorruptedInput) {
             StatusCode::kUnimplemented);
 }
 
+/// The WAL-recovery contract: a checkpoint torn at *any* byte (a crash
+/// mid-write leaves arbitrary prefixes) must come back as a clean
+/// error, so recovery can fall back to an older checkpoint instead of
+/// crashing or loading garbage.
+TEST(StorageTest, EveryTruncationPrefixFailsCleanly) {
+  auto fixture = BoethiusFixture::Make();
+  auto bytes = Save(*fixture.g);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut = 0; cut < bytes->size(); ++cut) {
+    auto r = Load(std::string_view(*bytes).substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "prefix of " << cut << " bytes parsed";
+    ASSERT_FALSE(r.status().message().empty());
+  }
+}
+
 TEST(StorageTest, StructuralCloneMatchesSnapshotOracleBoethius) {
   auto fixture = BoethiusFixture::Make();
   ASSERT_NE(fixture.g, nullptr);
