@@ -21,11 +21,19 @@
 //   overlap_baseline_join_us— the fragmentation-DOM comparator, which
 //                             must reassemble logical elements by
 //                             joining fragments before extents compare
+//   index_patch_p50_us      — SnapshotIndex::Patch of one small commit
+//   index_rebuild_p50_us    — the full constructor on the same version
+//   patch_speedup           — rebuild / patch
+//   cold_after_commit_p50_us— patch + first query (what a reader pays
+//                             right after a commit), vs cold_fresh_p50_us
 //
 // The run aborts when indexed and naive answers disagree (the bench is
-// also an equivalence check), or when the indexed descendant axis is
-// not >= 10x faster than the naive scan at >= 20k chars — the PR 4
-// acceptance bar.
+// also an equivalence check), when patched and rebuilt indexes answer
+// differently, or — at >= 20k chars — when the indexed descendant axis
+// is not >= 10x faster than the naive scan (PR 4), positional pushdown
+// is not >= 5x (PR 5), patching is not >= 10x faster than rebuilding,
+// or the first post-commit query costs more than 2x a fresh document's
+// cold query.
 
 #include <chrono>
 #include <cstdio>
@@ -37,6 +45,7 @@
 #include "bench_util.h"
 #include "dom/document.h"
 #include "drivers/fragmentation.h"
+#include "edit/editor.h"
 #include "goddag/snapshot_index.h"
 #include "sacx/goddag_handler.h"
 #include "xpath/engine.h"
@@ -155,6 +164,118 @@ int Run(size_t content_chars) {
     BENCH_CHECK(series[0].speedup() >= 10.0);
   }
 
+  // ---- incremental maintenance: patch-on-publish vs full rebuild ----
+  // One small commit per rep against a fresh clone of the manuscript:
+  // the successor's index is built twice, once by SnapshotIndex::Patch
+  // from the predecessor's index and once by the full constructor, and
+  // both must answer the axis queries byte-identically (the runtime
+  // cross-check behind the acceptance bar). cold_after_commit is the
+  // first-query latency a reader pays right after a commit under
+  // patching (patch + one evaluation); cold_fresh is the same first
+  // query when the version had to rebuild from scratch.
+  double index_patch_p50_us = 0;
+  double index_rebuild_p50_us = 0;
+  double cold_after_commit_p50_us = 0;
+  double cold_fresh_p50_us = 0;
+  double patch_pools_shared_avg = 0;
+  uint64_t patch_total = 0;
+  uint64_t rebuild_total = 0;
+  uint64_t pool_reuse_total = 0;
+  std::vector<double> patch_samples;
+  {
+    constexpr int kCommitReps = 12;
+    std::vector<double> rebuild_samples;
+    std::vector<double> cold_after;
+    std::vector<double> cold_fresh;
+    size_t cursor = 0;
+    for (int rep = 0; rep < kCommitReps; ++rep) {
+      goddag::Goddag clone = g.Clone(corpus.cmh.get());
+      auto editor = edit::Editor::Create(&clone);
+      BENCH_CHECK(editor.ok());
+      // First 24-char gap free of a0 annotations at/after a moving
+      // cursor, so successive commits dirty different offsets.
+      std::vector<Interval> taken;
+      for (goddag::NodeId n : clone.ElementsByTag("a0")) {
+        taken.push_back(clone.char_range(n));
+      }
+      size_t offset = cursor % (clone.content().size() / 2);
+      for (;;) {
+        bool collides = false;
+        for (const Interval& t : taken) {
+          if (offset < t.end && t.begin < offset + 24) {
+            offset = t.end;
+            collides = true;
+            break;
+          }
+        }
+        if (!collides) break;
+      }
+      BENCH_CHECK(offset + 24 <= clone.content().size());
+      cursor = offset + 64;
+      edit::InsertOp op;
+      op.hierarchy = 2;
+      op.tag = "a0";
+      op.chars = Interval(offset, offset + 24);
+      BENCH_CHECK(editor->Insert(op).ok());
+
+      goddag::SnapshotIndex::PatchStats pstats;
+      Clock::time_point t0 = Clock::now();
+      auto patched = goddag::SnapshotIndex::Patch(
+          *index, clone, editor->index_delta(), &pstats);
+      double patch_us = MicrosSince(t0);
+      BENCH_CHECK(patched != nullptr);
+      ++patch_total;
+      pool_reuse_total += pstats.pools_shared;
+      patch_pools_shared_avg += static_cast<double>(pstats.pools_shared);
+      patch_samples.push_back(patch_us);
+
+      t0 = Clock::now();
+      auto fresh = std::make_shared<const goddag::SnapshotIndex>(clone);
+      double rebuild_us = MicrosSince(t0);
+      ++rebuild_total;
+      rebuild_samples.push_back(rebuild_us);
+
+      // First post-commit query each way (before any warmup on these
+      // engines), then the byte-identical cross-check.
+      xpath::XPathEngine via_patch(clone);
+      via_patch.UseSnapshotIndex(patched);
+      xpath::XPathEngine via_fresh(clone);
+      via_fresh.UseSnapshotIndex(fresh);
+      t0 = Clock::now();
+      BENCH_CHECK(via_patch.Evaluate(series[0].query).ok());
+      cold_after.push_back(patch_us + MicrosSince(t0));
+      t0 = Clock::now();
+      BENCH_CHECK(via_fresh.Evaluate(series[0].query).ok());
+      cold_fresh.push_back(rebuild_us + MicrosSince(t0));
+      for (const AxisSeries& s : series) {
+        auto a = via_patch.EvaluateToStrings(s.query);
+        auto b = via_fresh.EvaluateToStrings(s.query);
+        BENCH_CHECK(a.ok() && b.ok());
+        BENCH_CHECK(*a == *b);
+      }
+    }
+    index_patch_p50_us = Percentile(&patch_samples, 0.5);
+    index_rebuild_p50_us = Percentile(&rebuild_samples, 0.5);
+    cold_after_commit_p50_us = Percentile(&cold_after, 0.5);
+    cold_fresh_p50_us = Percentile(&cold_fresh, 0.5);
+    patch_pools_shared_avg /= kCommitReps;
+  }
+  double patch_speedup =
+      index_rebuild_p50_us /
+      (index_patch_p50_us > 0 ? index_patch_p50_us : 1e-9);
+  std::fprintf(stderr,
+               "incremental: patch_p50 %.1fus rebuild_p50 %.1fus "
+               "speedup %.2fx cold_after %.1fus cold_fresh %.1fus\n",
+               index_patch_p50_us, index_rebuild_p50_us, patch_speedup,
+               cold_after_commit_p50_us, cold_fresh_p50_us);
+  // The acceptance bar for incremental maintenance: patching must beat
+  // the full rebuild by >= 10x at 20k chars, and the first query after
+  // a commit must cost no more than 2x a fresh document's cold query.
+  if (content_chars >= 20000) {
+    BENCH_CHECK(patch_speedup >= 10.0);
+    BENCH_CHECK(cold_after_commit_p50_us <= 2.0 * cold_fresh_p50_us);
+  }
+
   // ---- registry snapshot: the same metric names a live service
   // exposes over METRICS, fed from this driver's own measurements so
   // BENCH_query.json carries a comparable "obs" object (cold
@@ -175,6 +296,12 @@ int Run(size_t content_chars) {
         ->Add(indexed_axes.naive_axes + naive_axes.naive_axes);
     registry.GetCounter("cxml_axis_pool_nodes_total")
         ->Add(indexed_axes.pool_nodes + naive_axes.pool_nodes);
+    registry.GetCounter("cxml_index_patch_total")->Add(patch_total);
+    registry.GetCounter("cxml_index_rebuild_total")->Add(rebuild_total);
+    registry.GetCounter("cxml_index_pool_reuse_total")
+        ->Add(pool_reuse_total);
+    obs::Histogram* patch_us = registry.GetHistogram("cxml_index_patch_us");
+    for (const double us : patch_samples) patch_us->Observe(us);
   }
 
   // ---- prepared vs ad-hoc (the per-request parse/analysis cost) ----
@@ -313,6 +440,16 @@ int Run(size_t content_chars) {
                  positional_p50_us, positional_nopush_p50_us,
                  positional_naive_p50_us, positional_speedup,
                  positional_answers);
+    std::fprintf(f,
+                 "  \"index_patch_p50_us\": %.1f, "
+                 "\"index_rebuild_p50_us\": %.1f, "
+                 "\"patch_speedup\": %.1f,\n"
+                 "  \"cold_after_commit_p50_us\": %.1f, "
+                 "\"cold_fresh_p50_us\": %.1f, "
+                 "\"patch_pools_shared_avg\": %.1f,\n",
+                 index_patch_p50_us, index_rebuild_p50_us, patch_speedup,
+                 cold_after_commit_p50_us, cold_fresh_p50_us,
+                 patch_pools_shared_avg);
     std::fprintf(f, "  \"overlap_baseline_join_us\": %.1f,\n",
                  overlap_baseline_join_us);
     std::fprintf(f, "  \"obs\": %s\n}\n", registry.RenderJson().c_str());

@@ -15,16 +15,25 @@
 // run, or when the structural clone is not >= 10x cheaper than the
 // retained Save/Load snapshot clone — either regression would mean a
 // core layer became dead weight.
+//
+// The write-heavy section measures what a reader pays right after a
+// publish (cold_after_commit_p50/p99_us: the successor's index build —
+// patched from the predecessor when SnapshotIndex::Patch engages —
+// plus one evaluation), cross-checks every patched snapshot's answers
+// byte-for-byte against a full rebuild, and aborts at >= 20k chars
+// unless most post-commit builds took the incremental path.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "goddag/builder.h"
+#include "goddag/snapshot_index.h"
 #include "net/protocol.h"
 #include "net/server.h"
 #include "service/document_store.h"
@@ -34,6 +43,7 @@
 #include "wal/log.h"
 #include "wal/manager.h"
 #include "workload/generator.h"
+#include "xpath/engine.h"
 
 namespace cxml {
 namespace {
@@ -354,6 +364,97 @@ int Run(size_t content_chars, size_t num_threads) {
   MixResult mixed = RunMix(&mixed_service, *mixed_ops);
   BENCH_CHECK(mixed.commits > 0);
 
+  // ---- write-heavy: incremental index maintenance through the service ----
+  // A dedicated store/service pair replays an all-writes trace and
+  // queries immediately after every publish, so each sample is the
+  // first-reader cost of a fresh version: the cold snapshot-index
+  // build (patched from the predecessor when the incremental path
+  // engages — see SnapshotIndex::Patch) plus one evaluation. Each rep
+  // also re-answers the query against a fully rebuilt index over the
+  // same GODDAG and aborts unless the answers are byte-identical —
+  // the runtime patched-vs-rebuilt oracle, here at the service layer.
+  double cold_after_commit_p50_us = 0;
+  double cold_after_commit_p99_us = 0;
+  uint64_t service_index_patches = 0;
+  uint64_t service_index_rebuilds = 0;
+  double index_pools_shared_avg = 0;
+  {
+    service::DocumentStore write_store;
+    BENCH_CHECK(write_store.RegisterBytes("ms", *bytes).ok());
+    service::QueryService write_service(&write_store, options);
+    // Warm the base version's index so the first commit's successor
+    // has a built predecessor to patch from (later successors inherit
+    // composed deltas even when a version is never queried).
+    BENCH_CHECK(write_service.Execute(hot).ok());
+
+    workload::TrafficParams writes;
+    writes.content_chars = content_chars;
+    writes.write_fraction = 1.0;
+    writes.num_ops = 80;
+    writes.seed = 4242;
+    auto write_ops = workload::GenerateTraffic(writes);
+    BENCH_CHECK(write_ops.ok());
+    std::vector<double> after_us;
+    uint64_t pools_shared_sum = 0;
+    size_t patched_samples = 0;
+    for (const workload::TrafficOp& op : *write_ops) {
+      if (op.kind != workload::TrafficOp::Kind::kEdit) continue;
+      service::EditResponse committed = write_service.ExecuteEdit(
+          "ms",
+          [chars = op.edit_chars, hierarchy = op.edit_hierarchy,
+           tag = op.edit_tag](edit::EditSession& session) -> Status {
+            CXML_RETURN_IF_ERROR(session.Select(chars));
+            return session.Apply(hierarchy, tag).status();
+          });
+      if (!committed.ok()) continue;
+      Clock::time_point t0 = Clock::now();
+      service::QueryResponse first = write_service.Execute(hot);
+      after_us.push_back(SecondsSince(t0) * 1e6);
+      BENCH_CHECK(first.ok());
+      // The publish bumped the version, so this was a cache miss that
+      // paid the cold index build.
+      BENCH_CHECK(!first.cache_hit);
+      BENCH_CHECK(first.version == committed.version);
+
+      auto snap = write_store.GetSnapshot("ms");
+      BENCH_CHECK(snap.ok());
+      if ((*snap)->index_patched()) {
+        pools_shared_sum += (*snap)->index_pools_shared();
+        ++patched_samples;
+        // Equivalence oracle: the patched index the service just
+        // queried must answer exactly like the full constructor.
+        xpath::XPathEngine via_patch(*(*snap)->goddag);
+        via_patch.UseSnapshotIndex((*snap)->IndexPtr());
+        xpath::XPathEngine via_fresh(*(*snap)->goddag);
+        via_fresh.UseSnapshotIndex(
+            std::make_shared<const goddag::SnapshotIndex>(*(*snap)->goddag));
+        for (const char* q :
+             {"//w[overlapping::line]", "//line//w", "//w/ancestor::line"}) {
+          auto a = via_patch.EvaluateToStrings(q);
+          auto b = via_fresh.EvaluateToStrings(q);
+          BENCH_CHECK(a.ok() && b.ok());
+          BENCH_CHECK(*a == *b);
+        }
+      }
+    }
+    BENCH_CHECK(!after_us.empty());
+    cold_after_commit_p50_us = Percentile(&after_us, 0.5);
+    cold_after_commit_p99_us = Percentile(&after_us, 0.99);
+    service::ServiceStats write_stats = write_service.stats();
+    service_index_patches = write_stats.index_patches;
+    service_index_rebuilds = write_stats.index_rebuilds;
+    index_pools_shared_avg =
+        patched_samples == 0
+            ? 0.0
+            : static_cast<double>(pools_shared_sum) / patched_samples;
+    // The acceptance bar (standard corpus): the incremental path must
+    // actually carry the write-heavy load — most post-commit cold
+    // builds patch instead of rebuilding.
+    if (content_chars >= 20000) {
+      BENCH_CHECK(service_index_patches > service_index_rebuilds);
+    }
+  }
+
   auto emit = [&](std::FILE* f) {
     std::fprintf(f, "{\n");
     std::fprintf(f,
@@ -383,6 +484,16 @@ int Run(size_t content_chars, size_t num_threads) {
                  "  \"recovery_ms\": %.2f, \"replication_catchup_ms\": "
                  "%.2f, \"replication_lag_us\": %.1f,\n",
                  recovery_ms, replication_catchup_ms, replication_lag_us);
+    std::fprintf(f,
+                 "  \"cold_after_commit_p50_us\": %.1f, "
+                 "\"cold_after_commit_p99_us\": %.1f,\n",
+                 cold_after_commit_p50_us, cold_after_commit_p99_us);
+    std::fprintf(f,
+                 "  \"index_patches\": %llu, \"index_rebuilds\": %llu, "
+                 "\"index_pools_shared_avg\": %.1f,\n",
+                 static_cast<unsigned long long>(service_index_patches),
+                 static_cast<unsigned long long>(service_index_rebuilds),
+                 index_pools_shared_avg);
     PrintMixJson(f, "read_only", read_only);
     std::fprintf(f, ",\n");
     PrintMixJson(f, "mixed", mixed);

@@ -7,6 +7,7 @@
 
 #include "dtd/dtd.h"
 #include "goddag/goddag.h"
+#include "goddag/index_delta.h"
 
 namespace cxml::edit {
 
@@ -80,6 +81,15 @@ class Editor {
   Status Redo();
   size_t undo_depth() const { return undo_.size(); }
 
+  /// Running summary of the structural edits applied since this editor
+  /// (and therefore its clone of the base snapshot) was created —
+  /// inserts, removes, and their undo/redo re-applications, attribute
+  /// writes excluded (they never move index pools). DocumentStore
+  /// publish hands it to the successor snapshot so the next cold query
+  /// can patch the predecessor's SnapshotIndex instead of rebuilding
+  /// (see goddag::IndexDelta for what is advisory vs authoritative).
+  const goddag::IndexDelta& index_delta() const { return delta_; }
+
  private:
   /// A reversible record of one applied operation.
   struct Applied {
@@ -107,6 +117,7 @@ class Editor {
   std::vector<dtd::CompiledDtd> compiled_;
   std::vector<Applied> undo_;
   std::vector<Applied> redo_;
+  goddag::IndexDelta delta_;
 };
 
 }  // namespace cxml::edit

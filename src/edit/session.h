@@ -23,6 +23,12 @@ class EditSession {
 
   const goddag::Goddag& goddag() const { return editor_.goddag(); }
   Editor& editor() { return editor_; }
+  /// The editor's structural-edit summary since the session's GODDAG
+  /// was cloned — what EditTransaction::Commit threads into publish so
+  /// the successor snapshot can patch the predecessor's index.
+  const goddag::IndexDelta& index_delta() const {
+    return editor_.index_delta();
+  }
 
   /// Selects a character range of the content.
   Status Select(const Interval& chars);

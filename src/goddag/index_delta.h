@@ -1,0 +1,92 @@
+#ifndef CXML_GODDAG_INDEX_DELTA_H_
+#define CXML_GODDAG_INDEX_DELTA_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "goddag/goddag.h"
+
+namespace cxml::goddag {
+
+/// An advisory summary of the structural edits applied to a GODDAG
+/// clone since it branched from a published snapshot — the hint that
+/// rides from edit::Editor through DocumentStore::Publish into the
+/// successor snapshot so SnapshotIndex::Patch can be attempted.
+///
+/// The delta is *advisory*: Patch derives the authoritative touched
+/// set from the arena diff between the predecessor index and the new
+/// GODDAG (NodeIds survive Goddag::Clone verbatim, so the arenas
+/// correspond position-for-position). What the delta contributes is
+/// **provenance** — its presence asserts the new GODDAG is a clone of
+/// the snapshot the predecessor index was built over, which is exactly
+/// the precondition the arena diff needs — plus the `wide` flag that
+/// lets the editor veto patching early for bulk rewrites, and the
+/// recorded ids/keys for observability. Publishes with no delta
+/// (Register, crash recovery, opaque kSnapshot applies) take the full
+/// rebuild path by construction.
+struct IndexDelta {
+  /// Node ids the editor touched (inserted, removed, re-inserted by
+  /// undo/redo). Capped at kWideCap; past it only `wide` is kept.
+  std::vector<NodeId> touched;
+  /// (hierarchy, tag) pool keys the touched elements dirtied.
+  std::vector<std::pair<HierarchyId, std::string>> dirty_tags;
+  /// Any leaf-layer change (boundary splits under insertion).
+  bool leaves_dirty = false;
+  /// Set when the edit is too broad to be worth patching (or past
+  /// kWideCap): Patch refuses immediately and the snapshot rebuilds.
+  bool wide = false;
+  /// Structural operations recorded (inserts + removes, not attrs).
+  size_t ops = 0;
+
+  /// Past this many touched ids the per-pool bookkeeping cannot beat a
+  /// full rebuild; recording stops and `wide` is set.
+  static constexpr size_t kWideCap = 4096;
+
+  void Touch(NodeId node, HierarchyId h, const std::string& tag) {
+    ++ops;
+    leaves_dirty = true;  // boundary leaf splits ride every insert/remove
+    if (wide) return;
+    if (touched.size() >= kWideCap) {
+      wide = true;
+      touched.clear();
+      touched.shrink_to_fit();
+      dirty_tags.clear();
+      return;
+    }
+    touched.push_back(node);
+    dirty_tags.emplace_back(h, tag);
+  }
+
+  void Clear() {
+    touched.clear();
+    dirty_tags.clear();
+    leaves_dirty = false;
+    wide = false;
+    ops = 0;
+  }
+
+  /// Folds `other` in (composing deltas across an unbuilt intermediate
+  /// version). Width saturates: once either side is wide, the merge is.
+  void Merge(const IndexDelta& other) {
+    ops += other.ops;
+    leaves_dirty = leaves_dirty || other.leaves_dirty;
+    if (wide || other.wide ||
+        touched.size() + other.touched.size() > kWideCap) {
+      wide = true;
+      touched.clear();
+      touched.shrink_to_fit();
+      dirty_tags.clear();
+      return;
+    }
+    touched.insert(touched.end(), other.touched.begin(),
+                   other.touched.end());
+    dirty_tags.insert(dirty_tags.end(), other.dirty_tags.begin(),
+                      other.dirty_tags.end());
+  }
+};
+
+}  // namespace cxml::goddag
+
+#endif  // CXML_GODDAG_INDEX_DELTA_H_

@@ -1,14 +1,16 @@
 #ifndef CXML_GODDAG_SNAPSHOT_INDEX_H_
 #define CXML_GODDAG_SNAPSHOT_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
 #include "goddag/goddag.h"
+#include "goddag/index_delta.h"
 
 namespace cxml::goddag {
 
@@ -43,6 +45,16 @@ namespace cxml::goddag {
 ///    with the same equal-extent disambiguation as the evaluator's
 ///    naive `Dominates` (strict extent containment, or equal extents
 ///    and tree ancestorship).
+///
+/// Pools are held by `shared_ptr` so successive snapshot versions can
+/// share them persistently: `Patch` builds the next version's index by
+/// rebuilding only the (hierarchy, tag) pools a commit dirtied and
+/// aliasing every untouched pool — extent arrays, prefix-max-end and
+/// end-sorted companions included — straight from the predecessor.
+/// A patched index is byte-identical in behaviour to a fresh build
+/// (the constructor remains the equivalence oracle); when the edit is
+/// too wide or the preconditions fail, Patch declines and the caller
+/// falls back to the constructor.
 ///
 /// Axis semantics implemented here (kept bit-identical to the
 /// evaluator's naive scans, which remain available as an equivalence
@@ -83,6 +95,39 @@ class SnapshotIndex {
     bool empty() const { return nodes.empty(); }
     size_t size() const { return nodes.size(); }
   };
+
+  /// Pool-sharing tallies of one Patch attempt, for observability
+  /// (cxml_index_pool_reuse_total and friends).
+  struct PatchStats {
+    /// Pool objects aliased from the predecessor index untouched.
+    size_t pools_shared = 0;
+    /// Pool objects rebuilt because the commit dirtied their key.
+    size_t pools_rebuilt = 0;
+    /// Authoritative touched-node count from the arena diff.
+    size_t touched_nodes = 0;
+  };
+
+  /// Builds the index for `g` by patching `prev` — the index of the
+  /// snapshot `g` was cloned from — instead of rebuilding from
+  /// scratch. NodeIds survive Goddag::Clone verbatim, so the
+  /// authoritative set of changed nodes is derived from the arena diff
+  /// (prev's recorded order/extents vs `g`); `delta` contributes
+  /// provenance (its presence asserts the clone relationship) and the
+  /// wide-edit veto. Only pools whose (hierarchy, tag) key a touched
+  /// node dirtied are rebuilt; everything else — including the global
+  /// document order's untouched spine — is shared with `prev` via
+  /// shared_ptr, so a small commit costs O(touched + dirty pools +
+  /// n·cheap) instead of the constructor's full sort.
+  ///
+  /// Returns nullptr when patching is not worth it or not safe —
+  /// wide/absent delta, arena shrank, hierarchy count changed, more
+  /// than max(64, ranked/8) nodes touched, or the merged order fails
+  /// verification — and the caller must fall back to the constructor.
+  /// `prev` may be deleted afterwards: shared pools are plain value
+  /// arrays with no reference back into prev or its GODDAG.
+  static std::shared_ptr<const SnapshotIndex> Patch(
+      const SnapshotIndex& prev, const Goddag& g, const IndexDelta& delta,
+      PatchStats* stats = nullptr);
 
   /// Element pool for hierarchy `hq` (kInvalidHierarchy = all) and
   /// `tag` (empty = any). Returns an empty pool for unknown
@@ -151,10 +196,42 @@ class SnapshotIndex {
   size_t num_ranked() const { return num_ranked_; }
 
  private:
+  using PoolPtr = std::shared_ptr<const Pool>;
+
   struct TagPools {
-    Pool any;
-    std::map<std::string, Pool, std::less<>> by_tag;
+    PoolPtr any;
+    std::map<std::string, PoolPtr, std::less<>> by_tag;
   };
+
+  /// For Patch: members are filled field by field.
+  SnapshotIndex() = default;
+
+  /// Installs the global per-node state from an already doc-order
+  /// sorted `order`: ranks, depths, equal-extent dominance, and the
+  /// stored order/extent arrays Patch diffs against next time.
+  void BuildGlobal(const Goddag& g, std::vector<NodeId> order);
+  /// Ranks + the stored order/extent arrays, computing extents from
+  /// the arena (constructor path).
+  void BuildRanks(const Goddag& g, std::vector<NodeId> order);
+  /// Ranks from pre-assembled order/extent arrays (patch path — the
+  /// carried stretches were bulk-copied from the predecessor).
+  void AdoptRanks(const Goddag& g, std::vector<NodeId> order,
+                  std::vector<size_t> begins, std::vector<size_t> ends);
+  /// Full tree-depth recompute (constructor path).
+  void BuildDepthsFull(const Goddag& g);
+  /// Patch-path depths: copies the predecessor's depth array and
+  /// recomputes only nodes contained in the touched spans — a node's
+  /// depth can change only when its parent chain gained or lost an
+  /// element, which confines the change to that element's extent.
+  void PatchDepths(const Goddag& g, const SnapshotIndex& prev,
+                   const std::vector<NodeId>& dirty,
+                   const std::vector<Interval>& merged);
+  /// Patch-path replacement for the equal-extent dominance scan: pairs
+  /// between two carried nodes survive the edit verbatim, so only the
+  /// equal-extent runs an added node joined are rescanned.
+  void PatchEqDominance(const Goddag& g, const SnapshotIndex& prev,
+                        const std::vector<char>& carried,
+                        const std::vector<NodeId>& added);
 
   static void FinishPool(const Goddag& g, Pool* pool);
   /// The one containment scan behind Dominated/Contained First/Last:
@@ -166,23 +243,33 @@ class SnapshotIndex {
   NodeId ScanContainment(const Pool& pool, NodeId ctx, bool from_back,
                          bool dominated) const;
   bool EqDominates(NodeId outer, NodeId inner) const {
-    return eq_dominance_.count((static_cast<uint64_t>(outer) << 32) |
-                               inner) != 0;
+    return std::binary_search(
+        eq_dominance_.begin(), eq_dominance_.end(),
+        (static_cast<uint64_t>(outer) << 32) | inner);
   }
 
-  const Goddag* g_;
+  const Goddag* g_ = nullptr;
   /// Arena-indexed document-order ranks (kUnranked for detached nodes).
   std::vector<uint32_t> rank_;
   /// Arena-indexed tree depths.
   std::vector<uint32_t> depth_;
   size_t num_ranked_ = 0;
+  /// The global document order and its extents *as of this build* —
+  /// what Patch diffs the successor GODDAG against, so the predecessor
+  /// GODDAG itself is never needed again.
+  std::vector<NodeId> order_;
+  std::vector<size_t> order_begins_;
+  std::vector<size_t> order_ends_;
   /// layers_[0] = all hierarchies; layers_[h + 1] = hierarchy h.
+  /// Pool objects may be shared with neighbouring versions' indexes.
   std::vector<TagPools> layers_;
-  Pool leaves_;
+  PoolPtr leaves_;
   /// Packed (outer << 32 | inner) pairs of equal-extent nodes where
-  /// outer is a tree ancestor of inner. Equal-extent groups are tiny in
-  /// practice (co-extensive markup), so this stays near-empty.
-  std::unordered_set<uint64_t> eq_dominance_;
+  /// outer is a tree ancestor of inner, kept sorted for binary-search
+  /// lookups. Equal-extent groups are tiny relative to the document
+  /// (co-extensive markup), and a sorted vector makes Patch's
+  /// filter-and-merge splice a pair of linear passes.
+  std::vector<uint64_t> eq_dominance_;
 };
 
 }  // namespace cxml::goddag

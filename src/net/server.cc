@@ -744,6 +744,12 @@ Result<std::string> Server::DoStat() {
       "service_prepares %llu",
       static_cast<unsigned long long>(stats.prepares)));
   items.push_back(StrFormat(
+      "index_patches %llu",
+      static_cast<unsigned long long>(stats.index_patches)));
+  items.push_back(StrFormat(
+      "index_rebuilds %llu",
+      static_cast<unsigned long long>(stats.index_rebuilds)));
+  items.push_back(StrFormat(
       "write_edits %llu",
       static_cast<unsigned long long>(stats.writes.edits)));
   items.push_back(StrFormat(

@@ -92,10 +92,14 @@ Status DocumentStore::Remove(const std::string& name) {
   {
     Shard& shard = ShardFor(name);
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.docs.erase(name) == 0) {
+    auto it = shard.docs.find(name);
+    if (it == shard.docs.end()) {
       return status::NotFound(
           StrCat("document '", name, "' not registered"));
     }
+    // Same accel bound as a publish: stale pins release it lazily.
+    it->second->MarkSuperseded();
+    shard.docs.erase(it);
   }
   // Caches must drop every version: a later Register under the same
   // name restarts at version 1, and a (name, 1, query) entry from the
@@ -117,7 +121,8 @@ Result<EditTransaction> DocumentStore::BeginEdit(const std::string& name) {
 Result<uint64_t> DocumentStore::Publish(const std::string& name,
                                         uint64_t base_version,
                                         uint64_t generation,
-                                        storage::LoadedGoddag* doc) {
+                                        storage::LoadedGoddag* doc,
+                                        const goddag::IndexDelta* delta) {
   uint64_t new_version = 0;
   {
     Shard& shard = ShardFor(name);
@@ -144,6 +149,12 @@ Result<uint64_t> DocumentStore::Publish(const std::string& name,
     snap->cmh = std::move(doc->cmh);
     snap->goddag = std::move(doc->g);
     new_version = snap->version;
+    // Hand the predecessor's index to the successor as a patch base
+    // (when the commit came with a delta — i.e. `doc` is a clone of
+    // the predecessor's GODDAG), then supersede it: its memoized
+    // index/engines are dropped once the last in-flight batch unpins.
+    if (delta != nullptr) snap->AdoptPatchBase(*it->second, *delta);
+    it->second->MarkSuperseded();
     it->second = std::move(snap);
   }
   return new_version;
@@ -177,9 +188,12 @@ Result<uint64_t> EditTransaction::Commit() {
   // Publish first: the session's commit sequence, its hooks, and the
   // pending-op drain all happen only for commits that became store
   // versions. A conflict leaves the session untouched.
+  // The session's index delta rides along: the successor snapshot
+  // patches this transaction's base index instead of rebuilding.
   CXML_ASSIGN_OR_RETURN(
       uint64_t version,
-      store_->Publish(name_, base_version_, generation_, &copy_));
+      store_->Publish(name_, base_version_, generation_, &copy_,
+                      &session_->index_delta()));
   committed_ = true;
   // Version-listener notification (cache invalidation) rides the
   // session's commit hooks, registered here — not in BeginEdit — so it

@@ -56,6 +56,11 @@ QueryService::QueryService(DocumentStore* store, QueryServiceOptions options)
   queue_us_ = registry_->GetHistogram("cxml_query_queue_us");
   eval_us_ = registry_->GetHistogram("cxml_query_eval_us");
   index_build_us_ = registry_->GetHistogram("cxml_index_build_us");
+  index_patch_total_ = registry_->GetCounter("cxml_index_patch_total");
+  index_rebuild_total_ = registry_->GetCounter("cxml_index_rebuild_total");
+  index_pool_reuse_total_ =
+      registry_->GetCounter("cxml_index_pool_reuse_total");
+  index_patch_us_ = registry_->GetHistogram("cxml_index_patch_us");
   axis_indexed_ = registry_->GetCounter("cxml_axis_indexed_total");
   axis_naive_ = registry_->GetCounter("cxml_axis_naive_total");
   axis_pushdown_ = registry_->GetCounter("cxml_axis_pushdown_total");
@@ -270,12 +275,16 @@ void QueryService::ServeDocument(const std::string& document) {
     }
 
     // One snapshot pin serves the whole batch; the engines live on the
-    // snapshot itself (lazily built once per published version behind
-    // a call_once), so every batch against this version shares one
-    // SnapshotIndex build and the engines' expression parse caches.
-    // Handing the stateful engines out is sound because ServeDocument
-    // runs at most once per document at a time (scheduled_ set).
+    // snapshot itself (lazily built once per published version), so
+    // every batch against this version shares one SnapshotIndex build
+    // and the engines' expression parse caches. Handing the stateful
+    // engines out is sound because ServeDocument runs at most once per
+    // document at a time (scheduled_ set). The AccelPin keeps a
+    // concurrent publish from releasing the superseded snapshot's
+    // index/engines while this batch still references them; the last
+    // unpin is what lets the store's supersede actually reclaim them.
     SnapshotPtr snapshot = std::move(snap).value();
+    DocumentSnapshot::AccelPin accel_pin = snapshot->PinAccel();
     for (Pending& p : batch) {
       QueryResponse response = RunOne(*snapshot, p, claimed);
       if (!response.ok()) errors_->Add();
@@ -310,8 +319,15 @@ QueryResponse QueryService::RunOne(const DocumentSnapshot& snap,
     snap.Index();
   }
   if (cold_index) {
-    index_build_us_->Observe(
-        static_cast<double>(snap.index_build_us()));
+    if (snap.index_patched()) {
+      index_patch_total_->Add();
+      index_pool_reuse_total_->Add(snap.index_pools_shared());
+      index_patch_us_->Observe(static_cast<double>(snap.index_build_us()));
+    } else {
+      index_rebuild_total_->Add();
+      index_build_us_->Observe(
+          static_cast<double>(snap.index_build_us()));
+    }
   }
 
   obs::TraceSpan cache_span(trace, "cache", parent);
@@ -371,6 +387,8 @@ ServiceStats QueryService::stats() const {
   s.batches = batches_->Value();
   s.errors = errors_->Value();
   s.prepares = prepares_->Value();
+  s.index_patches = index_patch_total_->Value();
+  s.index_rebuilds = index_rebuild_total_->Value();
   s.cache = cache_.stats();
   s.writes = pipeline_.stats();
   return s;

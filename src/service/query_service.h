@@ -68,6 +68,10 @@ struct ServiceStats {
   /// Prepare() compilations that missed the prepared-handle caches
   /// (string submissions resolve through the same counters).
   uint64_t prepares = 0;
+  /// Cold snapshot-index builds that patched the predecessor version's
+  /// index vs paying the full rebuild (see SnapshotIndex::Patch).
+  uint64_t index_patches = 0;
+  uint64_t index_rebuilds = 0;
   CacheStats cache;
   /// Writer-pipeline counters (group commits, retries, errors).
   WriteStats writes;
@@ -253,6 +257,13 @@ class QueryService {
   obs::Histogram* queue_us_ = nullptr;
   obs::Histogram* eval_us_ = nullptr;
   obs::Histogram* index_build_us_ = nullptr;
+  /// Incremental-index observability: cold builds that patched vs
+  /// fully rebuilt, pools aliased from the predecessor, and patch
+  /// latency (full-rebuild latency stays in cxml_index_build_us).
+  obs::Counter* index_patch_total_ = nullptr;
+  obs::Counter* index_rebuild_total_ = nullptr;
+  obs::Counter* index_pool_reuse_total_ = nullptr;
+  obs::Histogram* index_patch_us_ = nullptr;
   /// Evaluator strategy tallies (see xpath::AxisStats) — the per-axis
   /// selectivity feed for the planned cost-based planner.
   obs::Counter* axis_indexed_ = nullptr;

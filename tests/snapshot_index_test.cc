@@ -314,8 +314,56 @@ TEST(DocumentSnapshotMemo, OneIndexAndEnginePairPerVersion) {
   ASSERT_TRUE(snap2.ok());
   ASSERT_NE((*snap2).get(), (*snap).get());
   EXPECT_NE(&(*snap2)->Index(), index);
-  // The old pinned snapshot still answers with its own state.
-  EXPECT_EQ(&(*snap)->Index(), index);
+  // The successor's first cold index patched the predecessor's copy
+  // instead of rebuilding from scratch (the commit carried a delta).
+  EXPECT_TRUE((*snap2)->index_patched());
+  // Publishing superseded the old snapshot: with no in-flight batch
+  // pinning it, its memoized index/engines were released (bounded
+  // snapshot-resident memory). It still answers correctly — accessors
+  // lazily rebuild — but pointer identity across a supersede is no
+  // longer part of the contract.
+  EXPECT_FALSE((*snap)->IndexReady());
+  auto old_v = (*snap)->XPath().Evaluate("count(//w)");
+  ASSERT_TRUE(old_v.ok()) << old_v.status();
+  EXPECT_EQ(old_v->ToNumber(*(*snap)->goddag),
+            v->ToNumber(*(*snap)->goddag));
+  // Once rebuilt, memoization holds again for this holder.
+  const SnapshotIndex* rebuilt = &(*snap)->Index();
+  EXPECT_EQ(rebuilt, &(*snap)->Index());
+}
+
+// A batch that pinned the predecessor's accel state keeps it alive
+// across a publish; the release happens when the last pin drops.
+TEST(DocumentSnapshotMemo, AccelPinDefersReleaseAcrossPublish) {
+  workload::GeneratorParams params;
+  params.content_chars = 600;
+  auto corpus = workload::GenerateManuscript(params);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  auto g = sacx::ParseToGoddag(*corpus->cmh, corpus->SourceViews());
+  ASSERT_TRUE(g.ok()) << g.status();
+  auto bytes = storage::Save(*g);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+
+  service::DocumentStore store;
+  ASSERT_TRUE(store.RegisterBytes("doc", *bytes).ok());
+  auto snap = store.GetSnapshot("doc");
+  ASSERT_TRUE(snap.ok());
+
+  const SnapshotIndex* index = &(*snap)->Index();
+  {
+    auto pin = (*snap)->PinAccel();
+    auto txn = store.BeginEdit("doc");
+    ASSERT_TRUE(txn.ok()) << txn.status();
+    ASSERT_TRUE(txn->session().Select(Interval(10, 30)).ok());
+    ASSERT_TRUE(txn->session().Apply(2, "a0").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+    // Superseded but pinned: the memoized index survives, with
+    // pointer identity, until the pin drops.
+    EXPECT_TRUE((*snap)->IndexReady());
+    EXPECT_EQ(&(*snap)->Index(), index);
+  }
+  // Last pin dropped after the supersede: accel state is gone.
+  EXPECT_FALSE((*snap)->IndexReady());
 }
 
 }  // namespace
