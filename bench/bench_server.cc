@@ -62,6 +62,10 @@ struct PhaseResult {
   /// Prevalidation rejections and optimistic conflicts — normal
   /// traffic for colliding annotation inserts, reported separately.
   size_t rejected_edits = 0;
+  /// ERR Unavailable answers (load shedding / drain): the request was
+  /// refused before execution, which is degradation working as
+  /// designed — not an error, so it gets its own rate.
+  size_t sheds = 0;
   size_t errors = 0;
   double seconds = 0;
   double p50_us = 0;
@@ -74,6 +78,9 @@ struct PhaseResult {
   double qps() const { return requests / (seconds > 0 ? seconds : 1e-9); }
   double error_rate() const {
     return requests == 0 ? 0.0 : static_cast<double>(errors) / requests;
+  }
+  double shed_rate() const {
+    return requests == 0 ? 0.0 : static_cast<double>(sheds) / requests;
   }
 };
 
@@ -122,6 +129,8 @@ PhaseResult RunPhase(uint16_t port, size_t num_clients,
                      version.status().code() ==
                          StatusCode::kFailedPrecondition) {
             ++partial[c].rejected_edits;
+          } else if (version.status().code() == StatusCode::kUnavailable) {
+            ++partial[c].sheds;
           } else {
             ++partial[c].errors;
           }
@@ -129,10 +138,22 @@ PhaseResult RunPhase(uint16_t port, size_t num_clients,
         } else if (op.kind == workload::TrafficOp::Kind::kStat) {
           auto lines =
               op.query == "LIST" ? client->List() : client->Stat();
-          if (!lines.ok()) ++partial[c].errors;
+          if (!lines.ok()) {
+            if (lines.status().code() == StatusCode::kUnavailable) {
+              ++partial[c].sheds;
+            } else {
+              ++partial[c].errors;
+            }
+          }
         } else {
           auto response = client->Query("ms", op.query, ToKind(op.kind));
-          if (!response.ok()) ++partial[c].errors;
+          if (!response.ok()) {
+            if (response.status().code() == StatusCode::kUnavailable) {
+              ++partial[c].sheds;
+            } else {
+              ++partial[c].errors;
+            }
+          }
         }
         latencies[c].push_back(SecondsSince(t0) * 1e6);
       }
@@ -149,6 +170,7 @@ PhaseResult RunPhase(uint16_t port, size_t num_clients,
     result.requests += partial[c].requests;
     result.commits += partial[c].commits;
     result.rejected_edits += partial[c].rejected_edits;
+    result.sheds += partial[c].sheds;
     result.errors += partial[c].errors;
     merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
     merged_edits.insert(merged_edits.end(), edit_latencies[c].begin(),
@@ -165,13 +187,14 @@ void PrintPhaseJson(std::FILE* f, const char* name, const PhaseResult& m) {
   std::fprintf(
       f,
       "  \"%s\": {\"requests\": %zu, \"commits\": %zu, "
-      "\"rejected_edits\": %zu, \"errors\": %zu, \"seconds\": %.6f, "
+      "\"rejected_edits\": %zu, \"sheds\": %zu, \"errors\": %zu, "
+      "\"seconds\": %.6f, "
       "\"queries_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
       "\"commit_p50_us\": %.1f, \"commit_p99_us\": %.1f, "
-      "\"error_rate\": %.6f}",
-      name, m.requests, m.commits, m.rejected_edits, m.errors, m.seconds,
-      m.qps(), m.p50_us, m.p99_us, m.commit_p50_us, m.commit_p99_us,
-      m.error_rate());
+      "\"error_rate\": %.6f, \"shed_rate\": %.6f}",
+      name, m.requests, m.commits, m.rejected_edits, m.sheds, m.errors,
+      m.seconds, m.qps(), m.p50_us, m.p99_us, m.commit_p50_us,
+      m.commit_p99_us, m.error_rate(), m.shed_rate());
 }
 
 int Run(size_t content_chars, size_t num_clients, size_t num_workers) {

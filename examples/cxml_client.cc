@@ -21,6 +21,18 @@
 //   cxml_client --port N [--host H] metrics [--raw]
 //   cxml_client --port N [--host H] trace [n]
 //   cxml_client --port N [--host H] sync
+//   cxml_client --port N [--host H] promote
+//   cxml_client --port N [--host H] fault list
+//   cxml_client --port N [--host H] fault arm <point> <spec>
+//   cxml_client --port N [--host H] fault disarm <point>
+//   cxml_client --port N [--host H] fault clear
+//   cxml_client --port N [--host H] fault seed <n>
+//
+// `promote` is the failover switch: it asks a --follow replica to stop
+// tailing, seal its inherited WAL, and start accepting writes —
+// printing the version frontier it promoted at. `fault` drives the
+// server-side fault injector (requires a server started with --fault
+// or --fault-seed).
 //
 // `sync` is the durability/replication dashboard: each document's
 // current version as the WAL sees it (a zero-record SYNC probe per
@@ -73,7 +85,10 @@ int Usage() {
       "  remove <doc>\n"
       "  metrics [--raw]\n"
       "  trace [n]\n"
-      "  sync\n");
+      "  sync\n"
+      "  promote\n"
+      "  fault (list | arm <point> <spec> | disarm <point> | clear |"
+      " seed <n>)\n");
   return 2;
 }
 
@@ -297,6 +312,52 @@ int main(int argc, char** argv) {
     Status st = client.Remove(args[0]);
     if (!st.ok()) return Fail(st);
     std::printf("removed '%s'\n", args[0].c_str());
+    return 0;
+  }
+  if (command == "promote" && args.empty()) {
+    auto frontier = client.Promote();
+    if (!frontier.ok()) return Fail(frontier.status());
+    std::printf("promoted at version frontier %llu\n",
+                static_cast<unsigned long long>(*frontier));
+    return 0;
+  }
+  if (command == "fault" && !args.empty()) {
+    // Map the lowercase CLI sub-commands onto the wire's uppercase
+    // FAULT actions; arity is validated here so a typo earns usage
+    // instead of a server-side parse error.
+    std::string action;
+    std::string point;
+    std::string spec;
+    if (args[0] == "list" && args.size() == 1) {
+      action = "LIST";
+    } else if (args[0] == "clear" && args.size() == 1) {
+      action = "CLEAR";
+    } else if (args[0] == "seed" && args.size() == 2) {
+      action = "SEED";
+      spec = args[1];
+    } else if (args[0] == "arm" && args.size() == 3) {
+      action = "ARM";
+      point = args[1];
+      spec = args[2];
+    } else if (args[0] == "disarm" && args.size() == 2) {
+      action = "DISARM";
+      point = args[1];
+    } else {
+      return Usage();
+    }
+    auto response = client.Fault(action, point, spec);
+    if (!response.ok()) return Fail(response.status());
+    if (action == "LIST") {
+      if (response->items.empty()) {
+        std::printf("# no fault points armed (seed %llu)\n",
+                    static_cast<unsigned long long>(response->version));
+      }
+      for (const std::string& item : response->items) {
+        std::printf("%s\n", item.c_str());
+      }
+    } else {
+      std::printf("ok\n");
+    }
     return 0;
   }
   return Usage();

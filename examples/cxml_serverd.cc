@@ -11,6 +11,7 @@
 //                [--trace-sample-every N] [--trace-ring N]
 //                [--data-dir PATH] [--fsync-every-ms N]
 //                [--checkpoint-every N] [--follow HOST:PORT]
+//                [--fault POINT=SPEC]... [--fault-seed N]
 //
 // Defaults serve the synthetic manuscript as document "ms" on an
 // ephemeral 127.0.0.1 port (printed on stdout as "listening on
@@ -27,7 +28,16 @@
 // follower of the primary at HOST:PORT — it applies the primary's WAL
 // records through its own write pipeline and serves QUERY/LIST/STAT
 // from its own store, while every mutating verb answers ERR. Follow
-// mode registers no local documents and takes no --data-dir.
+// mode registers no local documents. Combining --follow with
+// --data-dir makes the follower durable: applied records land in its
+// own WAL, which is what lets a PROMOTE (see cxml_client promote)
+// seal the inherited history and carry on as a writable primary
+// without losing the replicated state across its own restarts.
+//
+// Fault injection: --fault-seed N (or any --fault POINT=SPEC) attaches
+// a fault::Injector, arms the given points at startup, and enables the
+// CXP/1 FAULT admin verb for runtime arming. SPEC grammar: prob:P[:v],
+// every:N[:v], once[:v], off (see src/fault/injector.h).
 //
 // Observability: METRICS serves the Prometheus-style exposition and
 // TRACE the sampled per-request stage timings (see cxml_client
@@ -48,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/injector.h"
 #include "goddag/builder.h"
 #include "net/server.h"
 #include "service/document_store.h"
@@ -79,7 +90,8 @@ int Usage() {
                "                    [--trace-sample-every N] [--trace-ring N]\n"
                "                    [--data-dir PATH] [--fsync-every-ms N]\n"
                "                    [--checkpoint-every N]\n"
-               "                    [--follow HOST:PORT]\n");
+               "                    [--follow HOST:PORT]\n"
+               "                    [--fault POINT=SPEC]... [--fault-seed N]\n");
   return 2;
 }
 
@@ -93,6 +105,9 @@ int main(int argc, char** argv) {
   std::string synthetic_name = "ms";
   std::vector<std::pair<std::string, std::string>> loads;
   std::string follow_target;
+  std::vector<std::pair<std::string, std::string>> fault_specs;
+  uint64_t fault_seed = 0;
+  bool fault_enabled = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -158,15 +173,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       follow_target = v;
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        return Usage();
+      }
+      fault_specs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      fault_enabled = true;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      fault_seed = std::strtoull(v, nullptr, 10);
+      fault_enabled = true;
     } else {
       return Usage();
     }
-  }
-  if (!follow_target.empty() && !wal_options.data_dir.empty()) {
-    std::fprintf(stderr,
-                 "cxml_serverd: --follow and --data-dir are exclusive (a "
-                 "follower's durability is the primary's)\n");
-    return 2;
   }
 
   wal::FollowerOptions follower_options;
@@ -187,6 +211,23 @@ int main(int argc, char** argv) {
   service::DocumentStore store;
   service_options.num_threads = options.num_workers;
   service::QueryService service(&store, service_options);
+
+  // The injector shares the service's registry (cxml_fault_* ride in
+  // METRICS) and must outlive everything that checks its points — the
+  // WAL, the server, and the follower are all declared after it.
+  std::optional<fault::Injector> injector;
+  if (fault_enabled) {
+    injector.emplace(fault_seed == 0 ? 1 : fault_seed, service.registry());
+    for (const auto& [point, spec] : fault_specs) {
+      Status armed = injector->Arm(point, spec);
+      if (!armed.ok()) return Fail(armed.WithContext("--fault"));
+    }
+    options.injector = &*injector;
+    wal_options.injector = &*injector;
+    std::printf("fault injection armed (seed %llu, %zu points)\n",
+                static_cast<unsigned long long>(injector->seed()),
+                fault_specs.size());
+  }
 
   // The WAL shares the service's registry so METRICS is the one
   // exposition surface; it must be destroyed before the service (it
@@ -247,13 +288,37 @@ int main(int argc, char** argv) {
     options.sync_source = &*wal;
   }
 
+  // Declared before the server so the PROMOTE handler can reference
+  // it (and so the server — destroyed first — can never dispatch into
+  // a dead follower).
+  std::optional<wal::Follower> follower;
+  if (!follow_target.empty()) {
+    // PROMOTE: drain the replication tail, seal the inherited WAL (if
+    // one is attached) with a promotion record, and only then let the
+    // server open writes. Runs on a server worker thread.
+    options.promote_handler = [&follower, &wal]() -> Result<uint64_t> {
+      if (!follower.has_value()) {
+        return status::FailedPrecondition("no follower to promote");
+      }
+      CXML_ASSIGN_OR_RETURN(uint64_t frontier, follower->Promote());
+      if (wal.has_value()) {
+        CXML_RETURN_IF_ERROR(wal->SealForPromotion());
+      }
+      std::printf("promoted to primary at version frontier %llu\n",
+                  static_cast<unsigned long long>(frontier));
+      std::fflush(stdout);
+      return frontier;
+    };
+  }
+
   net::Server server(&store, &service, options);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
 
-  std::optional<wal::Follower> follower;
   if (!follow_target.empty()) {
     follower_options.registry = service.registry();
+    follower_options.injector =
+        injector.has_value() ? &*injector : nullptr;
     follower.emplace(&store, &service, follower_options);
     follower->Start();
     std::printf("following %s:%u\n", follower_options.host.c_str(),

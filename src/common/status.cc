@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -74,6 +78,12 @@ Status Unimplemented(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace status

@@ -32,6 +32,12 @@ enum class StatusCode {
   kUnimplemented,
   /// Invariant breakage inside the library itself; always a bug.
   kInternal,
+  /// The service is temporarily overloaded or shutting down; the request
+  /// was not executed and an idempotent caller may retry after a delay.
+  kUnavailable,
+  /// A per-request deadline elapsed before the response arrived; the
+  /// outcome on the server is unknown.
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a status code ("Ok", "ParseError", ...).
@@ -86,6 +92,8 @@ Status ParseError(std::string message);
 Status ValidationError(std::string message);
 Status Unimplemented(std::string message);
 Status Internal(std::string message);
+Status Unavailable(std::string message);
+Status DeadlineExceeded(std::string message);
 
 }  // namespace status
 

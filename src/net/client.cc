@@ -1,17 +1,156 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace cxml::net {
 
-Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+namespace {
+
+/// Verbs safe to re-send after a failure whose outcome is unknown:
+/// they change no server state, so a duplicate execution is invisible.
+/// Everything that writes (EDIT, the EBEGIN family, REGISTER, REMOVE)
+/// and the explicit admin verbs (PROMOTE, FAULT) are excluded.
+bool IsIdempotent(Verb verb) {
+  switch (verb) {
+    case Verb::kQuery:
+    case Verb::kQueryRun:
+    case Verb::kList:
+    case Verb::kStat:
+    case Verb::kSync:
+    case Verb::kPing:
+    case Verb::kMetrics:
+    case Verb::kTrace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Extracts the server's "retry_after_ms=<n>" hint from a shed
+/// response's message; 0 when absent.
+int ParseRetryAfterMs(const std::string& message) {
+  constexpr std::string_view kKey = "retry_after_ms=";
+  size_t at = message.find(kKey);
+  if (at == std::string::npos) return 0;
+  uint64_t value = 0;
+  size_t i = at + kKey.size();
+  size_t digits = 0;
+  while (i < message.size() && message[i] >= '0' && message[i] <= '9' &&
+         digits < 9) {
+    value = value * 10 + static_cast<uint64_t>(message[i] - '0');
+    ++i;
+    ++digits;
+  }
+  return static_cast<int>(value);
+}
+
+obs::Counter* RetryCounter() {
+  return obs::Registry::Global()->GetCounter("cxml_retry_total");
+}
+
+obs::Counter* ReconnectCounter() {
+  return obs::Registry::Global()->GetCounter("cxml_retry_reconnects_total");
+}
+
+obs::Counter* GiveupCounter() {
+  return obs::Registry::Global()->GetCounter("cxml_retry_giveups_total");
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               RetryPolicy policy) {
   CXML_ASSIGN_OR_RETURN(Fd fd, ConnectTcp(host, port));
-  return Client(std::move(fd));
+  if (policy.deadline_ms > 0) {
+    CXML_RETURN_IF_ERROR(SetRecvTimeout(fd, policy.deadline_ms));
+    CXML_RETURN_IF_ERROR(SetSendTimeout(fd, policy.deadline_ms));
+  }
+  return Client(std::move(fd), host, port, policy);
+}
+
+Status Client::Reconnect() {
+  fd_.Close();
+  // A half-received response from the old connection must not be
+  // misread as the new connection's first frame.
+  decoder_ = FrameDecoder();
+  CXML_ASSIGN_OR_RETURN(Fd fd, ConnectTcp(host_, port_));
+  if (policy_.deadline_ms > 0) {
+    CXML_RETURN_IF_ERROR(SetRecvTimeout(fd, policy_.deadline_ms));
+    CXML_RETURN_IF_ERROR(SetSendTimeout(fd, policy_.deadline_ms));
+  }
+  fd_ = std::move(fd);
+  ReconnectCounter()->Add();
+  return Status::Ok();
+}
+
+void Client::Backoff(int attempt, int server_hint_ms) {
+  int64_t delay = policy_.backoff_base_ms;
+  for (int i = 0; i < attempt && delay < policy_.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min<int64_t>(delay, policy_.backoff_max_ms);
+  if (delay > 1) {
+    // Jitter in [delay/2, delay]: desynchronizes retrying clients.
+    std::uniform_int_distribution<int64_t> dist(delay / 2, delay);
+    delay = dist(rng_);
+  }
+  delay = std::max<int64_t>(delay, server_hint_ms);
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
 }
 
 Result<Response> Client::Call(const Request& request) {
+  const bool idempotent = IsIdempotent(request.verb);
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    Status broken = Status::Ok();
+    int server_hint_ms = 0;
+    if (!fd_.valid()) {
+      // Nothing is in flight on a dead connection, so reconnecting
+      // here is safe for every verb — including writes.
+      broken = Reconnect();
+    }
+    if (broken.ok()) {
+      Result<Response> response = CallOnce(request);
+      if (response.ok()) {
+        if (response->ok() ||
+            response->status.code() != StatusCode::kUnavailable) {
+          return response;
+        }
+        // The server shed us (overload or drain). The request was not
+        // executed, so retrying is still outcome-safe — but only
+        // idempotent verbs retry automatically; writers must decide.
+        if (!idempotent || attempt + 1 >= max_attempts) {
+          if (idempotent) GiveupCounter()->Add();
+          return response;
+        }
+        server_hint_ms = ParseRetryAfterMs(response->status.message());
+        broken = response->status;
+      } else {
+        broken = response.status();
+        if (!idempotent || attempt + 1 >= max_attempts) {
+          if (idempotent) GiveupCounter()->Add();
+          return response;
+        }
+      }
+    } else if (!idempotent || attempt + 1 >= max_attempts) {
+      if (idempotent) GiveupCounter()->Add();
+      return broken;
+    }
+    retries_++;
+    RetryCounter()->Add();
+    Backoff(attempt, server_hint_ms);
+  }
+}
+
+Result<Response> Client::CallOnce(const Request& request) {
   if (!fd_.valid()) {
     return status::FailedPrecondition("client is not connected");
   }
@@ -189,6 +328,25 @@ Status Client::Ping() {
   Request request;
   request.verb = Verb::kPing;
   return Flatten(Call(request)).status();
+}
+
+Result<uint64_t> Client::Promote() {
+  Request request;
+  request.verb = Verb::kPromote;
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  // The promoted version frontier rides in the version slot.
+  return response.version;
+}
+
+Result<Response> Client::Fault(const std::string& action,
+                               const std::string& point,
+                               const std::string& spec) {
+  Request request;
+  request.verb = Verb::kFault;
+  request.fault_action = action;
+  request.fault_point = point;
+  request.fault_spec = spec;
+  return Flatten(Call(request));
 }
 
 }  // namespace cxml::net

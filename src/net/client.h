@@ -2,6 +2,7 @@
 #define CXML_NET_CLIENT_H_
 
 #include <cstdint>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -12,14 +13,43 @@
 
 namespace cxml::net {
 
+/// Degradation policy for Client: per-request deadlines, transparent
+/// reconnect, and bounded exponential-backoff retry. Retries apply
+/// ONLY to idempotent verbs (QUERY/QRUN/LIST/STAT/SYNC, plus
+/// PING/METRICS/TRACE) — a write (EDIT/ECOMMIT/REGISTER/...) whose
+/// connection dies mid-call has an unknown outcome and must surface
+/// the error instead of risking a double-apply. A reconnect before
+/// anything is sent is safe for every verb and happens for all.
+struct RetryPolicy {
+  /// Total tries per Call: the first attempt plus retries. 1 disables
+  /// retry entirely.
+  int max_attempts = 4;
+  /// Backoff before retry k is min(base << k, max) milliseconds, with
+  /// uniform jitter in [delay/2, delay] so a fleet of retrying clients
+  /// doesn't stampede in lockstep. A server shed response's
+  /// retry_after_ms hint raises the floor of the computed delay.
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 500;
+  /// Per-attempt deadline on socket sends and receives (SO_SNDTIMEO /
+  /// SO_RCVTIMEO); an attempt that exceeds it fails with
+  /// kDeadlineExceeded and the connection closes (the response may
+  /// still be in flight — the stream is no longer aligned). 0 = none.
+  int deadline_ms = 0;
+  /// Jitter RNG seed, so chaos tests replay deterministically.
+  uint64_t seed = 1;
+};
+
 /// Blocking CXP/1 client: one TCP connection, one outstanding request
 /// at a time (Call writes a frame, then reads until the matching
 /// response frame). Not thread-safe — give each thread its own Client,
-/// as the load generator does. Any transport or framing failure is
-/// terminal for the connection; reconnect with Connect.
+/// as the load generator does. A transport or framing failure is
+/// terminal for the underlying connection, but Call reconnects and
+/// retries per RetryPolicy (idempotent verbs only), counting
+/// cxml_retry_* on the global metrics registry.
 class Client {
  public:
-  static Result<Client> Connect(const std::string& host, uint16_t port);
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                RetryPolicy policy = RetryPolicy());
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -27,10 +57,17 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   bool connected() const { return fd_.valid(); }
+  /// Successful retried attempts + reconnects this client performed —
+  /// the local view of the cxml_retry_* counters.
+  uint64_t retries() const { return retries_; }
 
-  /// Low-level round trip. The Result is transport-level; an ERR frame
-  /// from the server arrives as an ok() Result whose Response carries
-  /// the non-OK Status.
+  /// Round trip with the policy applied: reconnects a dead connection
+  /// before sending (safe for every verb — nothing is in flight), then
+  /// retries transport failures, deadline hits, and ERR Unavailable
+  /// shed responses with jittered backoff — idempotent verbs only.
+  /// The Result is transport-level; an ERR frame from the server
+  /// arrives as an ok() Result whose Response carries the non-OK
+  /// Status.
   Result<Response> Call(const Request& request);
 
   /// Convenience wrappers folding the two error layers into one.
@@ -78,11 +115,38 @@ class Client {
   /// per-stage timing dump, newest first.
   Result<std::vector<std::string>> Traces(uint64_t n);
   Status Ping();
+  /// Failover (PROMOTE): asks a read-only follower to become a
+  /// writable primary; returns the version frontier it promoted at.
+  /// Never auto-retried — promotion must stay an explicit decision.
+  Result<uint64_t> Promote();
+  /// Fault-injection admin (FAULT <action> [point [spec]]). LIST
+  /// answers one item per armed point with the seed in the version
+  /// slot; the mutating actions answer OK.
+  Result<Response> Fault(const std::string& action,
+                         const std::string& point = "",
+                         const std::string& spec = "");
 
  private:
-  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+  Client(Fd fd, std::string host, uint16_t port, RetryPolicy policy)
+      : fd_(std::move(fd)), host_(std::move(host)), port_(port),
+        policy_(policy), rng_(policy.seed) {}
+
+  /// One unretried round trip on the current connection; any failure
+  /// closes the fd so the next Call reconnects.
+  Result<Response> CallOnce(const Request& request);
+  /// Re-establishes the connection (fresh socket, fresh frame decoder,
+  /// deadlines re-applied).
+  Status Reconnect();
+  /// Sleeps the jittered backoff before retry `attempt`, honouring the
+  /// server's retry_after_ms floor when one was given (0 = none).
+  void Backoff(int attempt, int server_hint_ms);
 
   Fd fd_;
+  std::string host_;
+  uint16_t port_ = 0;
+  RetryPolicy policy_;
+  std::mt19937_64 rng_;
+  uint64_t retries_ = 0;
   FrameDecoder decoder_;
 };
 

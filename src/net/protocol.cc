@@ -48,6 +48,7 @@ StatusCode StatusCodeFromString(std::string_view name) {
       StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
       StatusCode::kParseError,   StatusCode::kValidationError,
       StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kUnavailable,  StatusCode::kDeadlineExceeded,
   };
   for (StatusCode code : kCodes) {
     if (StatusCodeToString(code) == name) return code;
@@ -160,6 +161,10 @@ const char* VerbToString(Verb verb) {
       return "PING";
     case Verb::kSync:
       return "SYNC";
+    case Verb::kPromote:
+      return "PROMOTE";
+    case Verb::kFault:
+      return "FAULT";
   }
   return "PING";
 }
@@ -213,6 +218,18 @@ std::string RenderRequest(const Request& request) {
                     static_cast<unsigned long long>(request.from_version)));
     case Verb::kPing:
       return "PING";
+    case Verb::kPromote:
+      return "PROMOTE";
+    case Verb::kFault: {
+      std::string out = StrCat("FAULT ", request.fault_action);
+      if (!request.fault_point.empty()) {
+        out += StrCat(" ", request.fault_point);
+      }
+      if (!request.fault_spec.empty()) {
+        out += StrCat(" ", request.fault_spec);
+      }
+      return out;
+    }
     case Verb::kEditBegin:
       return StrCat("EBEGIN ", request.document);
     case Verb::kEditCommit:
@@ -247,15 +264,49 @@ Result<Request> ParseRequest(std::string_view payload) {
   Request request;
 
   if (verb == "PING" || verb == "LIST" || verb == "STAT" ||
-      verb == "METRICS" || verb == "ECOMMIT" || verb == "EABORT") {
+      verb == "METRICS" || verb == "ECOMMIT" || verb == "EABORT" ||
+      verb == "PROMOTE") {
     if (tokens.size() != 1) return Malformed("command line", line);
     request.verb = verb == "PING"      ? Verb::kPing
                    : verb == "LIST"    ? Verb::kList
                    : verb == "STAT"    ? Verb::kStat
                    : verb == "METRICS" ? Verb::kMetrics
                    : verb == "ECOMMIT" ? Verb::kEditCommit
+                   : verb == "PROMOTE" ? Verb::kPromote
                                        : Verb::kEditAbort;
     return request;
+  }
+  if (verb == "FAULT") {
+    request.verb = Verb::kFault;
+    if (tokens.size() < 2) return Malformed("FAULT command line", line);
+    request.fault_action = std::string(tokens[1]);
+    if (request.fault_action == "LIST" || request.fault_action == "CLEAR") {
+      if (tokens.size() != 2) return Malformed("FAULT command line", line);
+      return request;
+    }
+    if (request.fault_action == "SEED") {
+      uint64_t seed = 0;
+      if (tokens.size() != 3 || !ParseU64(tokens[2], &seed)) {
+        return Malformed("FAULT SEED line", line);
+      }
+      request.fault_spec = std::string(tokens[2]);
+      return request;
+    }
+    if (request.fault_action == "DISARM") {
+      if (tokens.size() != 3) return Malformed("FAULT DISARM line", line);
+      CXML_RETURN_IF_ERROR(ValidateToken(tokens[2], "fault point"));
+      request.fault_point = std::string(tokens[2]);
+      return request;
+    }
+    if (request.fault_action == "ARM") {
+      if (tokens.size() != 4) return Malformed("FAULT ARM line", line);
+      CXML_RETURN_IF_ERROR(ValidateToken(tokens[2], "fault point"));
+      CXML_RETURN_IF_ERROR(ValidateToken(tokens[3], "fault spec"));
+      request.fault_point = std::string(tokens[2]);
+      request.fault_spec = std::string(tokens[3]);
+      return request;
+    }
+    return Malformed("FAULT action", tokens[1]);
   }
   if (verb == "TRACE") {
     if (tokens.size() != 2) return Malformed("TRACE command line", line);

@@ -34,6 +34,9 @@ namespace cxml::net {
 ///   TRACE <n>
 ///   PING
 ///   SYNC <doc> <from_version>
+///   PROMOTE
+///   FAULT LIST | FAULT CLEAR | FAULT SEED <n> |
+///   FAULT ARM <point> <spec> | FAULT DISARM <point>
 ///
 /// QPREPARE compiles the expression server-side once (parse + static
 /// analysis, see service::QueryService::Prepare) and answers
@@ -82,6 +85,18 @@ namespace cxml::net {
 /// receives one full-snapshot record instead of history. Primaries
 /// answer SYNC only when a durability log is attached
 /// (net::SyncSource); otherwise it earns ERR Unimplemented.
+///
+/// PROMOTE is the failover verb: a read-only `--follow` replica stops
+/// tailing its primary, seals the inherited log with a promotion
+/// record, and starts accepting writes — answering with the version
+/// frontier it promoted at (the max across documents). On a server
+/// with no promotion hook (a born-primary) it earns
+/// ERR FailedPrecondition.
+///
+/// FAULT is the fault-injection admin verb (see fault::Injector): LIST
+/// answers one item per armed point, ARM/DISARM/CLEAR/SEED mutate the
+/// schedule table. A server started without an injector answers
+/// ERR Unimplemented.
 
 enum class Verb : uint8_t {
   kQuery,
@@ -100,6 +115,8 @@ enum class Verb : uint8_t {
   kTrace,
   kPing,
   kSync,
+  kPromote,
+  kFault,
 };
 
 const char* VerbToString(Verb verb);
@@ -149,6 +166,11 @@ struct Request {
   /// EDIT / EOP: the op sequence (EDIT's trailing COMMIT is implicit
   /// in the struct form — rendering appends it, parsing requires it).
   std::vector<EditOp> ops;
+  /// FAULT: the subcommand ("LIST", "CLEAR", "SEED", "ARM", "DISARM"),
+  /// its target point, and the ARM spec / SEED value.
+  std::string fault_action;
+  std::string fault_point;
+  std::string fault_spec;
 };
 
 /// A parsed response. `status` carries the application-level ERR (a

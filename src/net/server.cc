@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -34,10 +36,19 @@ struct Server::Conn {
   std::chrono::steady_clock::time_point last_activity =
       std::chrono::steady_clock::now();
 
+  /// One decoded request awaiting a worker. `shed` marks a request
+  /// refused admission under overload at enqueue time: its payload is
+  /// dropped and the worker answers ERR Unavailable in pipeline order
+  /// without parsing or executing anything.
+  struct Pending {
+    std::string payload;
+    bool shed = false;
+  };
+
   std::mutex mu;
   /// Decoded request payloads awaiting a worker (FIFO per connection:
   /// pipelined requests are answered in order).
-  std::deque<std::string> requests;
+  std::deque<Pending> requests;
   /// At most one worker drains `requests` at a time.
   bool worker_active = false;
   /// Set (under `mu`) each time a worker finishes a request; the idle
@@ -91,8 +102,10 @@ Server::Server(service::DocumentStore* store,
       registry->GetCounter("cxml_server_request_errors_total");
   idle_disconnects_ =
       registry->GetCounter("cxml_server_idle_disconnects_total");
+  shed_total_ = registry->GetCounter("cxml_shed_total");
   open_conns_ = registry->GetGauge("cxml_server_open_conns");
   request_us_ = registry->GetHistogram("cxml_server_request_us");
+  read_only_.store(options_.read_only);
   if (options_.slow_query_us > 0) {
     service_->tracer().set_slow_query_us(options_.slow_query_us);
   }
@@ -128,12 +141,34 @@ Status Server::Start() {
 
 void Server::Stop() {
   if (!running_.exchange(false)) return;
+  // Drain phase: the poll loop stops accepting and reading but keeps
+  // flushing, so the acks of requests a worker already started still
+  // reach their clients. Workers answer queued-unstarted requests
+  // ERR Unavailable (they were never executed, so rejecting them
+  // leaves no half-done state) and Shutdown() returns only when every
+  // connection's queue is empty.
+  draining_.store(true);
+  Wake();
+  if (workers_ != nullptr) workers_->Shutdown();
+  // Give the still-running poll thread a bounded window to flush the
+  // final responses before the sockets close under it.
+  for (int i = 0; i < 200; ++i) {
+    bool pending = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [fd, conn] : conns_) {
+        if (conn->fd.valid() && conn->HasOutput()) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   stopping_.store(true);
   Wake();
   if (poll_thread_.joinable()) poll_thread_.join();
-  // Drain in-flight request handlers; their responses land in dead
-  // outboxes. Workers must stop before the connections are torn down.
-  if (workers_ != nullptr) workers_->Shutdown();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [fd, conn] : conns_) {
     std::lock_guard<std::mutex> conn_lock(conn->mu);
@@ -162,15 +197,18 @@ void Server::PollLoop() {
   // triggered POLLIN that accept can't clear.
   bool accept_backoff = false;
   while (!stopping_.load()) {
+    // Drain mode (Stop() in progress): no accepts, no reads — only
+    // flush what workers still produce, on a short fixed timeout.
+    const bool draining = draining_.load();
     // Enforce the read/idle deadline first so expired connections are
     // gone before this round's pollfd set is built.
-    int timeout = SweepIdle();
+    int timeout = draining ? 20 : SweepIdle();
     if (accept_backoff) timeout = timeout < 0 ? 50 : std::min(timeout, 50);
     fds.clear();
     polled.clear();
-    fds.push_back(
-        {listener_.get(), static_cast<short>(accept_backoff ? 0 : POLLIN),
-         0});
+    fds.push_back({listener_.get(),
+                   static_cast<short>(accept_backoff || draining ? 0 : POLLIN),
+                   0});
     fds.push_back({wake_read_.get(), POLLIN, 0});
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -178,7 +216,7 @@ void Server::PollLoop() {
         short events = 0;
         {
           std::lock_guard<std::mutex> conn_lock(conn->mu);
-          if (!conn->close_after_flush) events |= POLLIN;
+          if (!conn->close_after_flush && !draining) events |= POLLIN;
           if (conn->out_offset < conn->outbox.size()) events |= POLLOUT;
         }
         fds.push_back({fd, events, 0});
@@ -199,7 +237,9 @@ void Server::PollLoop() {
       }
     }
     accept_backoff = false;
-    if ((fds[0].revents & POLLIN) != 0) accept_backoff = !AcceptNew();
+    if (!draining && (fds[0].revents & POLLIN) != 0) {
+      accept_backoff = !AcceptNew();
+    }
 
     for (size_t i = 2; i < fds.size(); ++i) {
       const std::shared_ptr<Conn>& conn = polled[i - 2];
@@ -208,7 +248,7 @@ void Server::PollLoop() {
         CloseConn(conn);
         continue;
       }
-      if ((revents & (POLLIN | POLLHUP)) != 0) ReadFrom(conn);
+      if (!draining && (revents & (POLLIN | POLLHUP)) != 0) ReadFrom(conn);
       // ReadFrom may have closed the connection (EOF / recv error).
       if (!conn->fd.valid()) continue;
       // Workers signalled output through the wake pipe; flushing every
@@ -284,6 +324,9 @@ bool Server::AcceptNew() {
       return false;
     }
     Fd socket(fd);
+    if (fault::Injector::Check(options_.injector, "net.accept")) {
+      continue;  // injected accept failure: RAII closes the new socket
+    }
     if (!SetNonBlocking(socket).ok() || !SetNoDelay(socket).ok()) {
       continue;  // RAII closes the broken socket
     }
@@ -322,10 +365,31 @@ void Server::ReadFrom(const std::shared_ptr<Conn>& conn) {
     std::string payload;
     while (conn->decoder.Next(&payload)) {
       frames_received_->Add();
+      if (fault::Injector::Check(options_.injector, "net.read_drop")) {
+        // Injected mid-read connection loss: the decoded request (and
+        // anything behind it) vanishes without a response, exactly as
+        // a peer reset would make it.
+        close_now = true;
+        break;
+      }
       std::lock_guard<std::mutex> lock(conn->mu);
-      conn->requests.push_back(std::move(payload));
+      // Admission control: over either queue bound the request is
+      // remembered only as a shed marker (payload dropped — bounded
+      // memory), and the worker answers it ERR Unavailable in order.
+      bool shed =
+          conn->requests.size() >= options_.max_queued_per_conn ||
+          queued_total_.load(std::memory_order_relaxed) >=
+              options_.max_queued_global;
+      if (shed) {
+        shed_total_->Add();
+        conn->requests.push_back({std::string(), true});
+      } else {
+        queued_total_.fetch_add(1, std::memory_order_relaxed);
+        conn->requests.push_back({std::move(payload), false});
+      }
       enqueued = true;
     }
+    if (close_now) break;
     if (!fed.ok()) {
       // Framing is unrecoverable: poison the connection — drop queued
       // requests (their responses could otherwise land after the ERR
@@ -333,6 +397,13 @@ void Server::ReadFrom(const std::shared_ptr<Conn>& conn) {
       // this client reads, then close once it drains.
       protocol_errors_->Add();
       std::lock_guard<std::mutex> lock(conn->mu);
+      size_t admitted = 0;
+      for (const Conn::Pending& pending : conn->requests) {
+        if (!pending.shed) ++admitted;
+      }
+      if (admitted > 0) {
+        queued_total_.fetch_sub(admitted, std::memory_order_relaxed);
+      }
       conn->requests.clear();
       enqueued = false;
       AppendFrame(&conn->outbox, RenderError(fed));
@@ -395,6 +466,16 @@ void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->dead = true;
+    // Un-admit anything still queued, or the global shed bound would
+    // count phantom requests forever after the connection dies.
+    size_t admitted = 0;
+    for (const Conn::Pending& pending : conn->requests) {
+      if (!pending.shed) ++admitted;
+    }
+    if (admitted > 0) {
+      queued_total_.fetch_sub(admitted, std::memory_order_relaxed);
+    }
+    conn->requests.clear();
   }
   conn->fd.Close();
   std::lock_guard<std::mutex> lock(mu_);
@@ -407,22 +488,68 @@ void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
 
 void Server::ServeConnection(std::shared_ptr<Conn> conn) {
   for (;;) {
-    std::string payload;
+    Conn::Pending pending;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->dead || conn->requests.empty()) {
         conn->worker_active = false;
         return;
       }
-      payload = std::move(conn->requests.front());
+      pending = std::move(conn->requests.front());
       conn->requests.pop_front();
+    }
+    if (!pending.shed) {
+      queued_total_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    std::string response;
+    if (pending.shed) {
+      // Refused admission under overload: answer without executing.
+      response = RenderError(status::Unavailable(StrFormat(
+          "server overloaded; retry_after_ms=%d",
+          options_.shed_retry_after_ms)));
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->dead && !conn->close_after_flush) {
+          AppendFrame(&conn->outbox, response);
+        }
+        conn->completed_work = true;
+      }
+      responses_sent_->Add();
+      Wake();
+      continue;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      // Stop() in progress: this request was queued but never started,
+      // so rejecting it leaves no half-done state — unlike the request
+      // a worker is mid-way through, which runs to completion and acks.
+      shed_total_->Add();
+      response = RenderError(status::Unavailable(StrFormat(
+          "server shutting down; retry_after_ms=%d",
+          options_.shed_retry_after_ms)));
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->dead && !conn->close_after_flush) {
+          AppendFrame(&conn->outbox, response);
+        }
+        conn->completed_work = true;
+      }
+      responses_sent_->Add();
+      Wake();
+      continue;
     }
     // One trace per request, opened before decode so its start is the
     // request's t0; Finish stamps the total, applies the slow-query
     // threshold, and samples it into the TRACE ring.
     obs::Trace::Clock::time_point started = obs::Trace::Clock::now();
     obs::TracePtr trace = service_->tracer().Start();
-    std::string response = HandleRequest(conn.get(), payload, trace);
+    response = HandleRequest(conn.get(), pending.payload, trace);
+    if (auto stall =
+            fault::Injector::Check(options_.injector, "net.write_stall_ms")) {
+      // Injected response stall: the worker (not the poll thread)
+      // sleeps, so one slow response models a congested peer without
+      // freezing every connection.
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall.value));
+    }
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       // close_after_flush means the connection was poisoned by a
@@ -463,7 +590,7 @@ std::string Server::HandleRequest(Conn* conn, std::string_view payload,
 
 Result<std::string> Server::Dispatch(Conn* conn, const Request& request,
                                      const obs::TracePtr& trace) {
-  if (options_.read_only) {
+  if (read_only_.load(std::memory_order_relaxed)) {
     switch (request.verb) {
       case Verb::kEdit:
       case Verb::kEditBegin:
@@ -492,6 +619,10 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request,
       return DoTrace(request);
     case Verb::kSync:
       return DoSync(request);
+    case Verb::kPromote:
+      return DoPromote();
+    case Verb::kFault:
+      return DoFault(request);
     case Verb::kQuery:
       return DoQuery(request, trace);
     case Verb::kQueryPrepare:
@@ -729,6 +860,56 @@ Result<std::string> Server::DoSync(const Request& request) {
   return RenderItems(batch.records, batch.current_version, false);
 }
 
+Result<std::string> Server::DoPromote() {
+  if (options_.promote_handler == nullptr) {
+    return status::FailedPrecondition(
+        "PROMOTE rejected: this server was born a primary (no follower "
+        "to promote)");
+  }
+  // The handler drains the follower's replication tail, seals the
+  // inherited log with a promotion record, and reports the version
+  // frontier it promoted at. Only after it succeeds do writes open —
+  // so the first accepted EDIT lands in a sealed, fresh WAL epoch.
+  CXML_ASSIGN_OR_RETURN(uint64_t frontier, options_.promote_handler());
+  read_only_.store(false, std::memory_order_relaxed);
+  return RenderVersion(frontier);
+}
+
+Result<std::string> Server::DoFault(const Request& request) {
+  fault::Injector* injector = options_.injector;
+  if (injector == nullptr) {
+    return status::Unimplemented(
+        "FAULT requires fault injection support (start with --fault-seed "
+        "or --fault)");
+  }
+  if (request.fault_action == "LIST") {
+    return RenderItems(injector->Describe(), injector->seed(), false);
+  }
+  if (request.fault_action == "CLEAR") {
+    injector->DisarmAll();
+    return RenderOk();
+  }
+  if (request.fault_action == "SEED") {
+    // The parser validated the token as a decimal u64.
+    injector->Reseed(std::strtoull(request.fault_spec.c_str(), nullptr, 10));
+    return RenderOk();
+  }
+  if (request.fault_action == "ARM") {
+    CXML_RETURN_IF_ERROR(
+        injector->Arm(request.fault_point, request.fault_spec));
+    return RenderOk();
+  }
+  if (request.fault_action == "DISARM") {
+    if (!injector->Disarm(request.fault_point)) {
+      return status::NotFound(
+          StrCat("fault point '", request.fault_point, "' is not armed"));
+    }
+    return RenderOk();
+  }
+  return status::Internal(
+      StrCat("unhandled FAULT action '", request.fault_action, "'"));
+}
+
 Result<std::string> Server::DoStat() {
   service::ServiceStats stats = service_->stats();
   std::vector<std::string> items;
@@ -784,6 +965,9 @@ Result<std::string> Server::DoStat() {
   items.push_back(StrFormat(
       "server_idle_disconnects %llu",
       static_cast<unsigned long long>(idle_disconnects_->Value())));
+  items.push_back(StrFormat(
+      "server_sheds %llu",
+      static_cast<unsigned long long>(shed_total_->Value())));
   return RenderItems(items, 0, false);
 }
 
@@ -795,6 +979,7 @@ ServerStats Server::stats() const {
   stats.protocol_errors = protocol_errors_->Value();
   stats.request_errors = request_errors_->Value();
   stats.idle_disconnects = idle_disconnects_->Value();
+  stats.sheds = shed_total_->Value();
   return stats;
 }
 

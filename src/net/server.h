@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "common/result.h"
+#include "fault/injector.h"
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -61,6 +63,29 @@ struct ServerOptions {
   /// one, SYNC answers ERR Unimplemented. Not owned; must outlive the
   /// server. Typically the primary's wal::WalManager.
   SyncSource* sync_source = nullptr;
+  /// Load-shedding bounds on decoded-but-unserved requests. When a
+  /// connection's own queue reaches max_queued_per_conn, or the
+  /// server-wide total reaches max_queued_global, the new request is
+  /// answered — in pipeline order, without being executed — with
+  /// `ERR Unavailable ... retry_after_ms=<shed_retry_after_ms>`, so
+  /// overload costs bounded memory and bounded queueing delay instead
+  /// of unbounded latency. Idempotent clients honour the hint and
+  /// retry (net::Client does); writers surface the error.
+  size_t max_queued_per_conn = 64;
+  size_t max_queued_global = 1024;
+  /// The retry hint carried inside a shed response's message.
+  int shed_retry_after_ms = 50;
+  /// Failover hook: PROMOTE runs this on a worker thread (null on a
+  /// born-primary, which answers ERR FailedPrecondition). On Ok the
+  /// server flips read-only off and answers with the returned version
+  /// frontier. Must tolerate being called more than once.
+  std::function<Result<uint64_t>()> promote_handler;
+  /// The FAULT admin verb's target, and the injector consulted by the
+  /// server's own fault points (net.accept / net.read_drop /
+  /// net.write_stall_ms). nullptr leaves every hook a dead branch and
+  /// makes FAULT answer ERR Unimplemented. Not owned; must outlive
+  /// the server.
+  fault::Injector* injector = nullptr;
 };
 
 struct ServerStats {
@@ -73,6 +98,9 @@ struct ServerStats {
   uint64_t request_errors = 0;
   /// Connections closed by the read/idle deadline.
   uint64_t idle_disconnects = 0;
+  /// Requests answered ERR Unavailable without executing — refused
+  /// admission under overload, or rejected unstarted during drain.
+  uint64_t sheds = 0;
 };
 
 /// The CXP/1 network front-end: one poll(2) loop owns every socket
@@ -121,8 +149,13 @@ class Server {
 
   /// Binds, listens, and starts the poll thread + workers.
   Status Start();
-  /// Stops accepting, drains in-flight requests, closes every
-  /// connection, joins all threads. Idempotent.
+  /// Graceful drain, then teardown. The listener stops accepting and
+  /// reads stop, but the poll thread keeps flushing while workers
+  /// finish the requests they already started — so an in-flight
+  /// commit's ack still reaches its client — and answer every
+  /// queued-unstarted request ERR Unavailable. Only then do sockets
+  /// close and threads join. Idempotent; wired to SIGTERM in
+  /// cxml_serverd.
   void Stop();
 
   bool running() const { return running_.load(); }
@@ -177,6 +210,8 @@ class Server {
   Result<std::string> DoMetrics();
   Result<std::string> DoTrace(const Request& request);
   Result<std::string> DoSync(const Request& request);
+  Result<std::string> DoPromote();
+  Result<std::string> DoFault(const Request& request);
 
   service::DocumentStore* store_;
   service::QueryService* service_;
@@ -188,6 +223,15 @@ class Server {
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  /// Set first during Stop(): no new accepts or reads, but the poll
+  /// thread keeps flushing until in-flight work has answered.
+  std::atomic<bool> draining_{false};
+  /// Mutable mirror of options_.read_only — PROMOTE flips it off at
+  /// runtime, which is what turns a follower into a writable primary.
+  std::atomic<bool> read_only_{false};
+  /// Decoded requests admitted but not yet served, across all
+  /// connections (shed markers excluded) — the global shed bound.
+  std::atomic<size_t> queued_total_{0};
   std::thread poll_thread_;
 
   mutable std::mutex mu_;
@@ -202,6 +246,7 @@ class Server {
   obs::Counter* protocol_errors_ = nullptr;
   obs::Counter* request_errors_ = nullptr;
   obs::Counter* idle_disconnects_ = nullptr;
+  obs::Counter* shed_total_ = nullptr;
   /// Currently open connections (accepted − closed).
   obs::Gauge* open_conns_ = nullptr;
   /// End-to-end request latency as the worker sees it: decode →

@@ -117,6 +117,26 @@ Status SetNoDelay(const Fd& fd) {
   return Status::Ok();
 }
 
+Status SetRecvTimeout(const Fd& fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
+}
+
+Status SetSendTimeout(const Fd& fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::Ok();
+}
+
 Status SendAll(const Fd& fd, std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
@@ -124,6 +144,9 @@ Status SendAll(const Fd& fd, std::string_view bytes) {
                      MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return status::DeadlineExceeded("send timed out");
+      }
       return ErrnoStatus("send");
     }
     sent += static_cast<size_t>(n);
@@ -136,6 +159,9 @@ Result<size_t> RecvSome(const Fd& fd, char* buffer, size_t capacity) {
     ssize_t n = recv(fd.get(), buffer, capacity, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return status::DeadlineExceeded("recv timed out");
+      }
       return ErrnoStatus("recv");
     }
     return static_cast<size_t>(n);

@@ -60,6 +60,12 @@ Result<uint16_t> LocalPort(const Fd& fd);
 Status SetNonBlocking(const Fd& fd);
 Status SetNoDelay(const Fd& fd);
 
+/// Per-operation deadlines on a blocking socket (SO_RCVTIMEO /
+/// SO_SNDTIMEO). 0 clears the timeout. A blocking recv/send that hits
+/// one surfaces as kDeadlineExceeded from RecvSome/SendAll.
+Status SetRecvTimeout(const Fd& fd, int timeout_ms);
+Status SetSendTimeout(const Fd& fd, int timeout_ms);
+
 /// Blocking write of the whole buffer (retries partial sends / EINTR).
 Status SendAll(const Fd& fd, std::string_view bytes);
 

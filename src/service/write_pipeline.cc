@@ -240,6 +240,13 @@ void WritePipeline::RunGroup(const std::string& document,
           Fail(&(*group)[i], std::move(statuses[i]));
           continue;
         }
+        if (!sink_result.status.ok()) {
+          // The publish landed in memory but the log rejected it: the
+          // write must not be acknowledged as committed.
+          Fail(&(*group)[i],
+               sink_result.status.WithContext("commit not durable"));
+          continue;
+        }
         EditResponse response;
         response.version = *version;
         response.batch_size = applied;
@@ -285,6 +292,10 @@ void WritePipeline::RunExclusive(PendingWrite* entry) {
   wal_batch.replayable = !entry->wal_op_sets.empty();
   wal_batch.op_sets = std::move(entry->wal_op_sets);
   CommitSinkResult sink_result = RunCommitSink(wal_batch);
+  if (!sink_result.status.ok()) {
+    Fail(entry, sink_result.status.WithContext("commit not durable"));
+    return;
+  }
   EditResponse response;
   response.version = *version;
   response.batch_size = 1;

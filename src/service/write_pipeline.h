@@ -64,8 +64,12 @@ struct CommitBatch {
 };
 
 /// What the sink spent making the publish durable (reported back to
-/// each participant's EditResponse).
+/// each participant's EditResponse), and whether it succeeded. A
+/// non-OK status means the publish is visible in memory but NOT on
+/// disk — the pipeline fails every participant's ack with it, so a
+/// client never holds an acknowledgement the log cannot honour.
 struct CommitSinkResult {
+  Status status;
   double append_us = 0;
   double fsync_us = 0;
 };

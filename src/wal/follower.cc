@@ -1,5 +1,6 @@
 #include "wal/follower.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <set>
@@ -70,6 +71,38 @@ void Follower::Stop() {
   if (tailer_.joinable()) tailer_.join();
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
+}
+
+Result<uint64_t> Follower::Promote() {
+  // Step 1: stop the tailer so no remote record can land after the
+  // frontier is computed (a stale tail applied post-promotion would
+  // fork the new primary's history).
+  Stop();
+  // Stop() leaves stop_ set, and the sync machinery the drain below
+  // reuses honours it; with the tailer joined it is safe to clear.
+  stop_.store(false);
+  // Step 2: bounded final drain — if the old primary is still
+  // reachable, pull whatever SYNC tail it retains so as few acked
+  // commits as possible are left behind. Failure here is expected
+  // (promotion usually happens because the primary died) and not an
+  // error: the drain is best-effort by design.
+  auto connected = net::Client::Connect(options_.host, options_.port);
+  if (connected.ok()) {
+    net::Client client = std::move(connected).value();
+    for (int round = 0; round < 8; ++round) {
+      if (!client.connected() || !SyncRound(&client)) break;
+      rounds_->Add();
+    }
+  }
+  // Step 3: the frontier — the highest version any local document
+  // reached — is what PROMOTE answers with.
+  uint64_t frontier = 0;
+  for (const std::string& name : store_->ListDocuments()) {
+    if (auto version = store_->GetVersion(name); version.ok()) {
+      frontier = std::max(frontier, *version);
+    }
+  }
+  return frontier;
 }
 
 FollowerStats Follower::stats() const {
@@ -166,10 +199,22 @@ size_t Follower::SyncDocument(net::Client* client,
 
   size_t applied = 0;
   for (const std::string& framed : batch->items) {
+    if (fault::Injector::Check(options_.injector, "follower.apply")) {
+      // Injected apply failure: abort the round before touching local
+      // state; the next round re-requests from the durable version.
+      errors_->Add();
+      return applied;
+    }
     auto record = DecodeRecord(framed);
     if (!record.ok()) {
       errors_->Add();
       break;  // corrupt batch: retry from our current version next round
+    }
+    if (record->type == Record::Type::kPromote) {
+      // A promotion seal carries no document state — skip it. (The
+      // primary's ReadSince already filters these; tolerating them
+      // here keeps mixed-version pairs safe.)
+      continue;
     }
     SteadyClock::time_point apply_start = SteadyClock::now();
     if (record->type == Record::Type::kSnapshot) {

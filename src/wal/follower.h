@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/result.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "service/document_store.h"
 #include "service/query_service.h"
@@ -29,6 +30,10 @@ struct FollowerOptions {
   size_t max_batch_bytes = 4u << 20;
   /// Metric sink (cxml_repl_*); nullptr keeps a private registry.
   obs::Registry* registry = nullptr;
+  /// Fault injection for the apply path (`follower.apply`: one record
+  /// application fails and the round aborts — the next round retries
+  /// from the follower's durable version). nullptr = no-op branch.
+  fault::Injector* injector = nullptr;
 };
 
 struct FollowerStats {
@@ -68,6 +73,15 @@ class Follower {
 
   void Start();
   void Stop();
+
+  /// Failover: stops tailing, runs a bounded best-effort final drain
+  /// against the primary (usually dead by the time anyone promotes —
+  /// an unreachable primary just ends the drain), and returns the
+  /// version frontier: the max version across local documents, which
+  /// PROMOTE reports to the caller. Idempotent; after it returns the
+  /// follower never applies another remote record, so the new
+  /// primary's history cannot be overwritten by a stale tail.
+  Result<uint64_t> Promote();
 
   FollowerStats stats() const;
 

@@ -313,13 +313,37 @@ SegmentWriter::~SegmentWriter() {
 }
 
 Status SegmentWriter::Append(std::string_view bytes) {
+  if (auto torn = fault::Injector::Check(injector_, "wal.append_torn")) {
+    // Simulate a crash mid-record: land only the schedule's prefix on
+    // disk, then fail without advancing the committed size — exactly
+    // the state a power cut inside write(2) leaves behind.
+    size_t keep = torn.value < bytes.size()
+                      ? static_cast<size_t>(torn.value)
+                      : bytes.size();
+    (void)WriteAll(fd_, bytes.substr(0, keep), path_);
+    return status::Internal(
+        StrFormat("injected torn append (%zu of %zu bytes) on '%s'", keep,
+                  bytes.size(), path_.c_str()));
+  }
   CXML_RETURN_IF_ERROR(WriteAll(fd_, bytes, path_));
   size_ += bytes.size();
   return Status::Ok();
 }
 
 Status SegmentWriter::Fsync() {
+  if (fault::Injector::Check(injector_, "wal.fsync")) {
+    return status::Internal(
+        StrCat("injected fsync failure on '", path_, "'"));
+  }
   if (fsync(fd_) != 0) return Errno("fsync segment", path_);
+  return Status::Ok();
+}
+
+Status SegmentWriter::TruncateToCommitted() {
+  if (ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+    return Errno("truncate segment", path_);
+  }
+  if (lseek(fd_, 0, SEEK_END) < 0) return Errno("seek segment", path_);
   return Status::Ok();
 }
 

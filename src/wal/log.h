@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "fault/injector.h"
 #include "wal/record.h"
 
 namespace cxml::wal {
@@ -75,8 +76,20 @@ class SegmentWriter {
   SegmentWriter(const SegmentWriter&) = delete;
   SegmentWriter& operator=(const SegmentWriter&) = delete;
 
+  /// Appends one framed record. On failure (a short write, or the
+  /// `wal.append_torn` fault) the committed size does not advance, but
+  /// the file may carry a torn tail — call TruncateToCommitted before
+  /// appending again. Fault points: `wal.append_torn` writes only the
+  /// schedule's `value` bytes of the frame, then fails.
   Status Append(std::string_view bytes);
+  /// Fault point: `wal.fsync` fails without reaching the disk.
   Status Fsync();
+  /// Cuts the file back to the last fully-appended record boundary —
+  /// the in-process analogue of recovery's torn-tail truncation, run
+  /// after a failed Append so the segment stays usable.
+  Status TruncateToCommitted();
+
+  void set_injector(fault::Injector* injector) { injector_ = injector; }
 
   const std::string& path() const { return path_; }
   uint64_t base_version() const { return base_version_; }
@@ -92,6 +105,7 @@ class SegmentWriter {
   std::string path_;
   uint64_t base_version_ = 0;
   size_t size_ = 0;
+  fault::Injector* injector_ = nullptr;
 };
 
 /// One segment, read whole: header fields + the record-region scan

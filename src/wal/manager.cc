@@ -62,6 +62,8 @@ WalManager::WalManager(WalOptions options) : options_(std::move(options)) {
   bytes_ = registry_->GetCounter("cxml_wal_bytes_total");
   fsyncs_ = registry_->GetCounter("cxml_wal_fsyncs_total");
   errors_ = registry_->GetCounter("cxml_wal_errors_total");
+  fsync_errors_ = registry_->GetCounter("cxml_wal_fsync_errors_total");
+  disk_syncs_ = registry_->GetCounter("cxml_wal_disk_syncs_total");
   checkpoints_ = registry_->GetCounter("cxml_wal_checkpoints_total");
   snapshot_records_ =
       registry_->GetCounter("cxml_wal_snapshot_records_total");
@@ -209,6 +211,11 @@ Status WalManager::RecoverDoc(const std::string& dir_name,
       replayed_records_->Add();
       continue;
     }
+    if (record.type == Record::Type::kPromote) {
+      // A promotion seal: pure epoch marker, no document state change.
+      stats->records_skipped++;
+      continue;
+    }
     // Ops records need an unbroken chain: version must continue from
     // the state we hold (a hole means a snapshot we failed to load or
     // a lost segment — nothing after it can be trusted).
@@ -266,6 +273,7 @@ Status WalManager::RecoverDoc(const std::string& dir_name,
       std::unique_ptr<SegmentWriter> segment,
       SegmentWriter::Create(StrCat(dir, "/", SegmentFileName(version)),
                             version));
+  segment->set_injector(options_.injector);
 
   auto state = std::make_shared<DocState>();
   state->name = name;
@@ -330,6 +338,7 @@ Status WalManager::EnsureRegistered(const std::string& name) {
       SegmentWriter::Create(
           StrCat(dir, "/", SegmentFileName(snap->version)),
           snap->version));
+  segment->set_injector(options_.injector);
   auto state = std::make_shared<DocState>();
   state->name = name;
   state->dir = dir;
@@ -374,6 +383,7 @@ Result<WalManager::DocPtr> WalManager::EnsureDoc(
       SegmentWriter::Create(
           StrCat(dir, "/", SegmentFileName(create_segment_base)),
           create_segment_base));
+  segment->set_injector(options_.injector);
   auto state = std::make_shared<DocState>();
   state->name = name;
   state->dir = dir;
@@ -421,6 +431,7 @@ service::CommitSinkResult WalManager::OnCommit(
   auto ensured = EnsureDoc(batch.document, batch.base_version);
   if (!ensured.ok()) {
     errors_->Add();
+    result.status = ensured.status().WithContext("wal");
     return result;
   }
   DocPtr doc = std::move(ensured).value();
@@ -444,6 +455,7 @@ service::CommitSinkResult WalManager::OnCommit(
     auto bytes = storage::Save(*(*snap)->goddag);
     if (!bytes.ok()) {
       errors_->Add();
+      result.status = bytes.status().WithContext("wal snapshot");
       return result;
     }
     record.type = Record::Type::kSnapshot;
@@ -470,6 +482,13 @@ service::CommitSinkResult WalManager::OnCommit(
     Status appended = doc->segment->Append(framed);
     if (!appended.ok()) {
       errors_->Add();
+      // Cut the torn tail back to the last record boundary so the
+      // segment stays appendable for the commits queued behind us; if
+      // even the repair fails the log is wedged and every later commit
+      // keeps failing loudly rather than acking into a broken file.
+      Status repaired = doc->segment->TruncateToCommitted();
+      if (!repaired.ok()) errors_->Add();
+      result.status = appended.WithContext("wal append");
       return result;
     }
     doc->last_version = record.version;
@@ -501,6 +520,16 @@ service::CommitSinkResult WalManager::OnCommit(
   uint64_t seq = MarkDirty(doc);
   result.fsync_us = AwaitFsync(seq);
   fsync_wait_us_->Observe(result.fsync_us);
+  {
+    // The covering fsync pass may have failed: the record is in the
+    // file but possibly not on the platter. The ack must carry that.
+    std::lock_guard<std::mutex> lock(doc->mu);
+    if (doc->fsync_error_seq >= seq) {
+      result.status = status::Internal(
+          StrCat("wal fsync failed for '", batch.document,
+                 "' — commit is not durable"));
+    }
+  }
   return result;
 }
 
@@ -552,6 +581,12 @@ void WalManager::SyncerLoop() {
       Status synced = doc->segment->Fsync();
       if (!synced.ok()) {
         errors_->Add();
+        fsync_errors_->Add();
+        // Every appender this pass was meant to cover must see the
+        // failure: after a failed fsync the kernel may have dropped
+        // the dirty pages, so no later retry can make these records
+        // durable — the watermark is permanent for them.
+        if (target > doc->fsync_error_seq) doc->fsync_error_seq = target;
         continue;
       }
       fsyncs_->Add();
@@ -573,12 +608,21 @@ Status WalManager::Flush() {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, doc] : docs_) all.push_back(doc);
   }
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    target = append_seq_;
+  }
   Status first = Status::Ok();
   for (const DocPtr& doc : all) {
     std::lock_guard<std::mutex> doc_lock(doc->mu);
     if (doc->dropped || doc->segment == nullptr) continue;
     Status synced = doc->segment->Fsync();
-    if (!synced.ok() && first.ok()) first = synced;
+    if (!synced.ok()) {
+      fsync_errors_->Add();
+      if (target > doc->fsync_error_seq) doc->fsync_error_seq = target;
+      if (first.ok()) first = synced;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(sync_mu_);
@@ -644,6 +688,7 @@ Status WalManager::CheckpointDoc(const DocPtr& doc) {
         SegmentWriter::Create(
             StrCat(doc->dir, "/", SegmentFileName(rotate_base)),
             rotate_base));
+    fresh->set_injector(options_.injector);
     // The outgoing segment's tail must be durable before it becomes
     // the only home of records the new checkpoint may not cover.
     CXML_RETURN_IF_ERROR(doc->segment->Fsync());
@@ -709,26 +754,42 @@ Result<net::SyncBatch> WalManager::ReadSince(const std::string& document,
   if (from_version >= snap->version) return batch;  // caught up
 
   if (DocPtr doc = FindDoc(document)) {
-    std::lock_guard<std::mutex> lock(doc->mu);
-    // The ring serves the request only when it still holds the
-    // follower's next version (record versions can jump only at
-    // snapshot records, which rebase the follower anyway).
-    if (!doc->ring.empty() && doc->ring.front().first <= from_version + 1) {
-      size_t shipped = 0;
-      for (const auto& [version, framed] : doc->ring) {
-        if (version <= from_version) continue;
-        if (!batch.records.empty() &&
-            shipped + framed.size() > max_bytes) {
-          break;
+    std::string dir;
+    {
+      std::lock_guard<std::mutex> lock(doc->mu);
+      // The ring serves the request only when it still holds the
+      // follower's next version (record versions can jump only at
+      // snapshot records, which rebase the follower anyway).
+      if (!doc->ring.empty() &&
+          doc->ring.front().first <= from_version + 1) {
+        size_t shipped = 0;
+        for (const auto& [version, framed] : doc->ring) {
+          if (version <= from_version) continue;
+          if (!batch.records.empty() &&
+              shipped + framed.size() > max_bytes) {
+            break;
+          }
+          batch.records.push_back(framed);
+          shipped += framed.size();
         }
-        batch.records.push_back(framed);
-        shipped += framed.size();
+        if (!batch.records.empty()) {
+          syncs_->Add();
+          return batch;
+        }
       }
-      if (!batch.records.empty()) {
-        syncs_->Add();
-        return batch;
-      }
+      if (!doc->dropped) dir = doc->dir;
     }
+    // Middle tier: the ring moved on while the follower was briefly
+    // disconnected, but the missing tail usually still lives in the
+    // on-disk segments — hand those records over before surrendering
+    // to a full-snapshot resync.
+    if (!dir.empty() &&
+        ReadTailFromSegments(dir, from_version, max_bytes, &batch)) {
+      syncs_->Add();
+      disk_syncs_->Add();
+      return batch;
+    }
+    batch.records.clear();
   }
 
   // The follower predates the retained tail (or the document has no
@@ -742,6 +803,110 @@ Result<net::SyncBatch> WalManager::ReadSince(const std::string& document,
   batch.records.push_back(EncodeRecord(record));
   snapshot_syncs_->Add();
   return batch;
+}
+
+bool WalManager::ReadTailFromSegments(const std::string& dir,
+                                      uint64_t from_version,
+                                      size_t max_bytes,
+                                      net::SyncBatch* batch) {
+  auto files = ListDir(dir);
+  if (!files.ok()) return false;
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& file : *files) {
+    uint64_t base = 0;
+    if (ParseSegmentFileName(file, &base)) {
+      segments.emplace_back(base, StrCat(dir, "/", file));
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  std::vector<Record> records;
+  for (const auto& [base, path] : segments) {
+    // A checkpoint may unlink a segment mid-scan; a failed read just
+    // demotes the request to the snapshot fallback.
+    auto data = ReadSegment(path);
+    if (!data.ok()) return false;
+    for (Record& record : data->scan.records) {
+      if (record.version > from_version) {
+        records.push_back(std::move(record));
+      }
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.version < b.version;
+                   });
+  uint64_t version = from_version;
+  size_t shipped = 0;
+  for (const Record& record : records) {
+    if (record.type == Record::Type::kPromote) continue;
+    if (record.version <= version) continue;  // rotation-window overlap
+    if (record.type == Record::Type::kOps &&
+        (record.base_version != version ||
+         record.version != version + 1)) {
+      // A hole the disk cannot bridge (the needed records were
+      // checkpoint-truncated): nothing shipped so far can be trusted
+      // to chain from the follower's state.
+      return false;
+    }
+    std::string framed = EncodeRecord(record);
+    if (!batch->records.empty() && shipped + framed.size() > max_bytes) {
+      break;
+    }
+    shipped += framed.size();
+    batch->records.push_back(std::move(framed));
+    version = record.version;
+  }
+  return !batch->records.empty();
+}
+
+// ----------------------------------------------------------- failover
+
+Status WalManager::SealForPromotion() {
+  std::vector<DocPtr> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, doc] : docs_) all.push_back(doc);
+  }
+  Status first = Status::Ok();
+  for (const DocPtr& doc : all) {
+    std::lock_guard<std::mutex> doc_lock(doc->mu);
+    if (doc->dropped || doc->segment == nullptr) continue;
+    if (doc->last_version == 0) continue;  // log never saw a commit
+    Record record;
+    record.type = Record::Type::kPromote;
+    record.version = doc->last_version;
+    record.wall_micros = NowWallMicros();
+    std::string framed = EncodeRecord(record);
+    Status sealed = doc->segment->Append(framed);
+    if (sealed.ok()) sealed = doc->segment->Fsync();
+    if (!sealed.ok()) {
+      errors_->Add();
+      (void)doc->segment->TruncateToCommitted();
+      if (first.ok()) {
+        first = sealed.WithContext(StrCat("sealing '", doc->name, "'"));
+      }
+      continue;
+    }
+    records_->Add();
+    bytes_->Add(framed.size());
+    // Fresh epoch: rotate so every post-promotion record lives in a
+    // file this primary created. When the open segment's base already
+    // equals the seal version it has no replicated records — it IS
+    // the fresh epoch, and a same-name create would collide.
+    if (doc->segment->base_version() != doc->last_version) {
+      auto fresh = SegmentWriter::Create(
+          StrCat(doc->dir, "/", SegmentFileName(doc->last_version)),
+          doc->last_version);
+      if (!fresh.ok()) {
+        errors_->Add();
+        if (first.ok()) first = fresh.status();
+        continue;
+      }
+      (*fresh)->set_injector(options_.injector);
+      doc->segment = std::move(fresh).value();
+    }
+  }
+  return first;
 }
 
 }  // namespace cxml::wal

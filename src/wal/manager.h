@@ -48,6 +48,9 @@ struct WalOptions {
   size_t sync_ring_bytes = 8u << 20;
   /// Metric sink (cxml_wal_*); nullptr keeps a private registry.
   obs::Registry* registry = nullptr;
+  /// Fault-injection seam (wal.fsync / wal.append_torn); nullptr (the
+  /// default) costs each instrumented site a single branch.
+  fault::Injector* injector = nullptr;
 };
 
 struct RecoveryStats {
@@ -131,11 +134,20 @@ class WalManager : public net::SyncSource {
   Status EnsureRegistered(const std::string& name);
 
   /// net::SyncSource — serves `SYNC <doc> <from_version>` from the
-  /// in-memory ring, falling back to one kSnapshot record of the
-  /// current store snapshot when the follower is older than the ring.
+  /// in-memory ring; when the follower predates the ring (a brief
+  /// disconnect under write load) the on-disk segments are scanned for
+  /// the missing tail before falling back to one kSnapshot record of
+  /// the current store snapshot.
   Result<net::SyncBatch> ReadSince(const std::string& document,
                                    uint64_t from_version,
                                    size_t max_bytes) override;
+
+  /// Failover: seals every document's inherited log with a fsynced
+  /// kPromote record at its current version and rotates to a fresh
+  /// segment — the promoted primary's own WAL epoch. Everything the
+  /// old primary replicated is marked as history; everything after is
+  /// this process's. Idempotent per document version.
+  Status SealForPromotion();
 
   /// Synchronous checkpoint (tests, admin): rotate, snapshot, truncate.
   Status CheckpointNow(const std::string& document);
@@ -161,6 +173,12 @@ class WalManager : public net::SyncSource {
     /// (version, framed record) tail for ReadSince.
     std::deque<std::pair<uint64_t, std::string>> ring;
     size_t ring_bytes = 0;
+    /// Highest group-fsync sequence whose covering fsync pass failed
+    /// for this document. An appender whose sequence is at or below
+    /// this watermark must not be acked — its record may never reach
+    /// the disk (failed fsyncs are not retried: the kernel may have
+    /// dropped the dirty pages).
+    uint64_t fsync_error_seq = 0;
   };
   using DocPtr = std::shared_ptr<DocState>;
 
@@ -180,6 +198,12 @@ class WalManager : public net::SyncSource {
                     service::DocumentStore* store, RecoveryStats* stats);
   Status CheckpointDoc(const DocPtr& doc);
   Status WriteCheckpoint(const DocPtr& doc, uint64_t* version_out);
+  /// ReadSince's middle tier: rebuilds the record chain above
+  /// `from_version` from the on-disk segments in `dir`. Returns true
+  /// (and fills batch->records) only when an unbroken chain starting
+  /// at from_version + 1 exists on disk.
+  bool ReadTailFromSegments(const std::string& dir, uint64_t from_version,
+                            size_t max_bytes, net::SyncBatch* batch);
 
   /// Registers an append with the group-fsync machinery; the returned
   /// sequence number is what AwaitFsync blocks on.
@@ -204,6 +228,8 @@ class WalManager : public net::SyncSource {
   obs::Counter* bytes_ = nullptr;
   obs::Counter* fsyncs_ = nullptr;
   obs::Counter* errors_ = nullptr;
+  obs::Counter* fsync_errors_ = nullptr;
+  obs::Counter* disk_syncs_ = nullptr;
   obs::Counter* checkpoints_ = nullptr;
   obs::Counter* snapshot_records_ = nullptr;
   obs::Counter* syncs_ = nullptr;

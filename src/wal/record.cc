@@ -93,6 +93,8 @@ Result<Record> DecodePayload(std::string_view payload) {
     record.type = Record::Type::kOps;
   } else if (type == static_cast<uint8_t>(Record::Type::kSnapshot)) {
     record.type = Record::Type::kSnapshot;
+  } else if (type == static_cast<uint8_t>(Record::Type::kPromote)) {
+    record.type = Record::Type::kPromote;
   } else {
     return status::ParseError(
         StrFormat("unknown WAL record type %u", type));
@@ -104,6 +106,12 @@ Result<Record> DecodePayload(std::string_view payload) {
   CXML_ASSIGN_OR_RETURN(record.wall_micros, r.U64());
   if (record.type == Record::Type::kSnapshot) {
     record.snapshot = std::string(r.Rest());
+    return record;
+  }
+  if (record.type == Record::Type::kPromote) {
+    if (!r.AtEnd()) {
+      return status::ParseError("trailing bytes after WAL promote record");
+    }
     return record;
   }
   CXML_ASSIGN_OR_RETURN(record.base_version, r.U64());
@@ -143,6 +151,8 @@ std::string EncodeRecord(const Record& record) {
   AppendU64(&payload, record.wall_micros);
   if (record.type == Record::Type::kSnapshot) {
     payload.append(record.snapshot);
+  } else if (record.type == Record::Type::kPromote) {
+    // Header only: type + version + wall_micros.
   } else {
     AppendU64(&payload, record.base_version);
     AppendU32(&payload, static_cast<uint32_t>(record.op_sets.size()));

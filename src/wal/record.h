@@ -25,6 +25,7 @@ namespace cxml::wal {
 ///     type kOps:      u64 base_version | u32 n_op_sets |
 ///                     n × (u32 len | op-set bytes)
 ///     type kSnapshot: CXG1 snapshot bytes (rest of payload)
+///     type kPromote:  (nothing — the header is the whole payload)
 ///
 /// `kOps` carries the batch's successful op-sets in application order,
 /// each encoded as CXP/1 op lines (net::RenderOps — SELECT/APPLY, no
@@ -33,8 +34,13 @@ namespace cxml::wal {
 /// replaces the document wholesale at `version` — the bootstrap /
 /// resync record for commits with no wire form (opaque in-process
 /// EditFns) and for followers too far behind the in-memory sync ring.
+/// `kPromote` seals an inherited log at failover: it marks "the
+/// replicated history ends here at `version`; everything after was
+/// written by the promoted primary". It changes no document state —
+/// recovery and followers skip it — but it is fsynced before the
+/// promoted server acknowledges its first write.
 struct Record {
-  enum class Type : uint8_t { kOps = 1, kSnapshot = 2 };
+  enum class Type : uint8_t { kOps = 1, kSnapshot = 2, kPromote = 3 };
 
   Type type = Type::kOps;
   /// The store version this record produces when applied.

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/injector.h"
 #include "goddag/builder.h"
 #include "net/client.h"
 #include "net/protocol.h"
@@ -217,7 +218,8 @@ class WalManagerTest : public ::testing::Test {
 
   /// Builds store + service + WAL, recovers, attaches. Returns the
   /// recovery stats of this incarnation.
-  RecoveryStats StartWorld(int fsync_every_ms = 0) {
+  RecoveryStats StartWorld(int fsync_every_ms = 0,
+                           fault::Injector* injector = nullptr) {
     StopWorld();
     store_ = std::make_unique<service::DocumentStore>();
     service_ = std::make_unique<service::QueryService>(
@@ -226,6 +228,7 @@ class WalManagerTest : public ::testing::Test {
     WalOptions options;
     options.data_dir = data_dir_;
     options.fsync_every_ms = fsync_every_ms;
+    options.injector = injector;
     wal_ = std::make_unique<WalManager>(options);
     EXPECT_TRUE(wal_->Open().ok());
     RecoveryStats stats;
@@ -370,6 +373,126 @@ TEST_F(WalManagerTest, TornTailIsCutCleanly) {
   ASSERT_TRUE(version.ok());
   EXPECT_EQ(*version, 2u);
   EXPECT_EQ(SaveBytes(), bytes_before);
+}
+
+TEST_F(WalManagerTest, InjectedTornAppendAtEveryByteBoundary) {
+  // Raw segment sweep: tear the second record at every byte boundary
+  // of its frame (a crash before any in-process repair runs) and
+  // verify the recovery scan keeps the first record untouched and cuts
+  // the tail at exactly the record boundary.
+  std::string first =
+      EncodeRecord(OpsRecord(2, {"SELECT 10 40\nAPPLY 2 a0"}));
+  std::string second =
+      EncodeRecord(OpsRecord(3, {"SELECT 50 80\nAPPLY 2 a0"}));
+  ASSERT_TRUE(EnsureDir(data_dir_).ok());
+  std::string path = data_dir_ + "/" + SegmentFileName(1);
+  for (size_t cut = 0; cut <= second.size(); ++cut) {
+    fault::Injector injector(/*seed=*/1);
+    ASSERT_TRUE(
+        injector.Arm("wal.append_torn", "once:" + std::to_string(cut))
+            .ok());
+    auto created = SegmentWriter::Create(path, 1);
+    ASSERT_TRUE(created.ok()) << created.status();
+    std::unique_ptr<SegmentWriter> writer = std::move(created).value();
+    ASSERT_TRUE(writer->Append(first).ok());
+    // Attach the injector only now, so the one-shot tear hits the
+    // second record's frame.
+    writer->set_injector(&injector);
+    Status torn = writer->Append(second);
+    EXPECT_FALSE(torn.ok()) << "cut " << cut;
+    writer.reset();  // the simulated crash: no TruncateToCommitted
+
+    auto segment = ReadSegment(path);
+    ASSERT_TRUE(segment.ok()) << segment.status() << " at cut " << cut;
+    if (cut == second.size()) {
+      // The whole frame landed before the injected failure: the bytes
+      // are valid on disk even though the commit was never acked.
+      EXPECT_EQ(segment->scan.records.size(), 2u);
+      EXPECT_EQ(segment->scan.valid_bytes, first.size() + second.size());
+    } else {
+      ASSERT_EQ(segment->scan.records.size(), 1u) << "cut " << cut;
+      EXPECT_EQ(segment->scan.records[0].version, 2u);
+      EXPECT_EQ(segment->scan.valid_bytes, first.size()) << "cut " << cut;
+      EXPECT_EQ(segment->scan.clean, cut == 0) << "cut " << cut;
+    }
+    ASSERT_TRUE(RemoveDirRecursive(data_dir_).ok());
+    ASSERT_TRUE(EnsureDir(data_dir_).ok());
+  }
+}
+
+TEST_F(WalManagerTest, TornAppendFailsTheAckAndRecoversCleanly) {
+  // End to end through the manager: a torn append must (a) fail the
+  // commit ack — the caller is never told a non-durable commit
+  // succeeded — and (b) leave the segment repaired so both later
+  // commits and a cold restart see the pre-tear state byte-for-byte.
+  StartWorld();
+  RegisterMs();
+  EXPECT_EQ(CommitOne(), 2u);
+  std::string bytes_before = SaveBytes();
+  StopWorld();
+
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{8}, size_t{21},
+                     size_t{40}, size_t{1000000}}) {
+    fault::Injector injector(/*seed=*/1);
+    ASSERT_TRUE(
+        injector.Arm("wal.append_torn", "once:" + std::to_string(cut))
+            .ok());
+    StartWorld(/*fsync_every_ms=*/0, &injector);
+
+    auto snap = store_->GetSnapshot("ms");
+    ASSERT_TRUE(snap.ok());
+    size_t offset = FindFreeA0Gap(*(*snap)->goddag, 0, 30);
+    std::vector<net::EditOp> ops = {
+        net::EditOp::Select(offset, offset + 30),
+        net::EditOp::Apply(2, "a0")};
+    service::EditResponse response = service_->ExecuteEdit(
+        "ms",
+        [ops](edit::EditSession& session) {
+          return ApplyWireOps(session, ops);
+        },
+        {net::RenderOps(ops)});
+    EXPECT_FALSE(response.ok()) << "cut " << cut;
+    EXPECT_EQ(response.status.code(), StatusCode::kInternal);
+
+    // Cold restart: only the acked commit survives, byte-identically.
+    StartWorld();
+    auto version = store_->GetVersion("ms");
+    ASSERT_TRUE(version.ok());
+    EXPECT_EQ(*version, 2u) << "cut " << cut;
+    EXPECT_EQ(SaveBytes(), bytes_before) << "cut " << cut;
+  }
+}
+
+TEST_F(WalManagerTest, FsyncFaultFailsTheAckAndCountsErrors) {
+  StartWorld();
+  RegisterMs();
+  EXPECT_EQ(CommitOne(), 2u);
+  StopWorld();
+
+  fault::Injector injector(/*seed=*/1);
+  ASSERT_TRUE(injector.Arm("wal.fsync", "once").ok());
+  StartWorld(/*fsync_every_ms=*/0, &injector);
+  auto snap = store_->GetSnapshot("ms");
+  ASSERT_TRUE(snap.ok());
+  size_t offset = FindFreeA0Gap(*(*snap)->goddag, 0, 30);
+  std::vector<net::EditOp> ops = {net::EditOp::Select(offset, offset + 30),
+                                  net::EditOp::Apply(2, "a0")};
+  service::EditResponse response = service_->ExecuteEdit(
+      "ms",
+      [ops](edit::EditSession& session) {
+        return ApplyWireOps(session, ops);
+      },
+      {net::RenderOps(ops)});
+  EXPECT_FALSE(response.ok());
+  EXPECT_NE(response.status.message().find("not durable"),
+            std::string::npos)
+      << response.status;
+  EXPECT_GE(
+      wal_->registry()->GetCounter("cxml_wal_fsync_errors_total")->Value(),
+      1u);
+
+  // The fault was one-shot: the very next commit acks durably.
+  EXPECT_EQ(CommitOne(), 4u);
 }
 
 TEST_F(WalManagerTest, CorruptNewestCheckpointFallsBackToOlder) {
