@@ -29,11 +29,14 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "goddag/builder.h"
 #include "goddag/snapshot_index.h"
+#include "ingest/ingest.h"
+#include "service/collection_query.h"
 #include "net/protocol.h"
 #include "net/server.h"
 #include "service/document_store.h"
@@ -455,6 +458,90 @@ int Run(size_t content_chars, size_t num_threads) {
     }
   }
 
+  // ---- ingest + collection fan-out ----
+  // A 16-document corpus imported from TEI markup (one document per
+  // store shard), then one prepared handle fanned over the whole set
+  // via RunCollectionQuery. import_p50_us is the full convention-aware
+  // import (parse + fragment merge + CMH assembly + GODDAG build +
+  // Register); coll_query_p50_us is the cold fan-out, gated against
+  // the cold single-document run — the pool must actually parallelize
+  // the per-document executions, not serialize 16 of them.
+  constexpr size_t kCollDocs = 16;
+  double import_p50_us = 0;
+  double coll_query_p50_us = 0;
+  double coll_single_p50_us = 0;
+  {
+    auto make_tei = [](size_t doc) {
+      std::string s = "<TEI><text>";
+      for (size_t p = 0; p < 24; ++p) {
+        s += "<pb n=\"" + std::to_string(p + 1) + "\"/><p>Paragraph " +
+             std::to_string(p + 1) + " of document " + std::to_string(doc) +
+             " with enough prose to make the span non-trivial.</p>";
+      }
+      s += "</text></TEI>";
+      return s;
+    };
+    service::DocumentStore coll_store;
+    std::vector<double> import_us;
+    import_us.reserve(kCollDocs);
+    for (size_t d = 0; d < kCollDocs; ++d) {
+      std::string source = make_tei(d);
+      Clock::time_point t0 = Clock::now();
+      auto imported = ingest::Import(source, {ingest::Format::kTei});
+      BENCH_CHECK(imported.ok());
+      BENCH_CHECK(coll_store
+                      .Register("coll/doc" + std::to_string(d),
+                                std::move(imported->doc))
+                      .ok());
+      import_us.push_back(SecondsSince(t0) * 1e6);
+    }
+    import_p50_us = Percentile(&import_us, 0.5);
+
+    // One query thread per document: the fan-out is measured at full
+    // parallelism, so the gate isolates scheduling/merge overhead from
+    // plain thread starvation.
+    service::QueryServiceOptions coll_options = options;
+    coll_options.num_threads = kCollDocs;
+    service::QueryService coll_service(&coll_store, coll_options);
+    auto handle = coll_service.Prepare("//p", service::QueryKind::kXPath);
+    BENCH_CHECK(handle.ok());
+    constexpr int kCollReps = 15;
+    std::vector<double> single_us;
+    std::vector<double> coll_us;
+    for (int i = 0; i < kCollReps; ++i) {
+      coll_service.cache().Clear();
+      Clock::time_point t0 = Clock::now();
+      BENCH_CHECK(coll_service.Execute("coll/doc0", *handle).ok());
+      single_us.push_back(SecondsSince(t0) * 1e6);
+      coll_service.cache().Clear();
+      t0 = Clock::now();
+      service::CollectionResponse coll = service::RunCollectionQuery(
+          &coll_service, "coll/*", *handle);
+      coll_us.push_back(SecondsSince(t0) * 1e6);
+      BENCH_CHECK(coll.ok());
+      BENCH_CHECK(coll.matched == kCollDocs);
+      BENCH_CHECK(!coll.truncated);
+    }
+    coll_single_p50_us = Percentile(&single_us, 0.5);
+    coll_query_p50_us = Percentile(&coll_us, 0.5);
+    // The acceptance bar: fanning one handle over >= 8 documents costs
+    // at most 4x a single cold document run, scaled by the parallelism
+    // the machine can actually deliver. With >= kCollDocs cores that is
+    // literally "coll <= 4x single" (parallel speedup >= 4); on a
+    // 1-core runner no speedup is physically possible, so the same
+    // bound degrades to "the fan-out adds <= 4x overhead on top of the
+    // unavoidable serial waves" and still catches scheduling or merge
+    // pathologies.
+    static_assert(kCollDocs >= 8, "the fan-out gate needs 8+ documents");
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    if (hw > kCollDocs) hw = kCollDocs;
+    double serial_waves =
+        static_cast<double>(kCollDocs) / static_cast<double>(hw);
+    BENCH_CHECK(coll_query_p50_us <=
+                4.0 * coll_single_p50_us * serial_waves);
+  }
+
   auto emit = [&](std::FILE* f) {
     std::fprintf(f, "{\n");
     std::fprintf(f,
@@ -494,6 +581,12 @@ int Run(size_t content_chars, size_t num_threads) {
                  static_cast<unsigned long long>(service_index_patches),
                  static_cast<unsigned long long>(service_index_rebuilds),
                  index_pools_shared_avg);
+    std::fprintf(f,
+                 "  \"import_docs\": %zu, \"import_p50_us\": %.1f, "
+                 "\"coll_single_p50_us\": %.1f, "
+                 "\"coll_query_p50_us\": %.1f,\n",
+                 kCollDocs, import_p50_us, coll_single_p50_us,
+                 coll_query_p50_us);
     PrintMixJson(f, "read_only", read_only);
     std::fprintf(f, ",\n");
     PrintMixJson(f, "mixed", mixed);

@@ -1,0 +1,68 @@
+#ifndef CXML_INGEST_INGEST_H_
+#define CXML_INGEST_INGEST_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/binary.h"
+
+namespace cxml::ingest {
+
+/// Input dialects accepted by the importer.
+enum class Format {
+  /// Strict well-formed XML: one root element, balanced tags. Every
+  /// element lands in the single backbone hierarchy ("text").
+  kXml,
+  /// Strict XML plus TEI overlap conventions: milestone empties
+  /// (pb/lb/cb/milestone) become derived span hierarchies,
+  /// `part="I|M|F"` and `next`-link chains merge fragmented elements
+  /// into per-tag overlay hierarchies, `<standOff>` blocks become
+  /// offset-ranged annotations, `<teiHeader>` is skipped as metadata.
+  kTei,
+  /// Lenient HTML-ish markup: names case-folded to lowercase, void
+  /// elements (br, img, ...) auto-closed, mismatched end tags close
+  /// intermediates or are dropped, open elements auto-closed at EOF,
+  /// multiple roots / top-level text wrapped in a virtual
+  /// `document` root. Conventions are not applied.
+  kHtml,
+};
+
+const char* FormatToString(Format format);
+
+/// Parses the wire-level format token ("xml" | "tei" | "html");
+/// anything else is InvalidArgument.
+Result<Format> ParseFormat(std::string_view name);
+
+/// What the importer did — surfaced to metrics and tests.
+struct ImportStats {
+  size_t hierarchies = 0;            ///< hierarchies in the final CMH
+  size_t elements = 0;               ///< logical elements built (all layers)
+  size_t milestone_spans = 0;        ///< spans derived from milestone empties
+  size_t merged_fragments = 0;       ///< fragment chains merged into one element
+  size_t standoff_annotations = 0;   ///< offset-ranged standOff annotations
+  size_t content_bytes = 0;          ///< shared content length
+};
+
+struct ImportOptions {
+  Format format = Format::kTei;
+};
+
+/// One imported document: the CMH + GODDAG pair in the exact shape
+/// `DocumentStore::Register` takes, plus the import tally.
+struct ImportedDocument {
+  storage::LoadedGoddag doc;
+  ImportStats stats;
+};
+
+/// Turns external markup into a published-ready multi-hierarchy GODDAG.
+/// Every failure — malformed markup, convention violations, layer
+/// conflicts, out-of-range standoff offsets, same-hierarchy overlap —
+/// is reported as InvalidArgument with a description; nothing is
+/// partially constructed.
+Result<ImportedDocument> Import(std::string_view source,
+                                const ImportOptions& options = ImportOptions());
+
+}  // namespace cxml::ingest
+
+#endif  // CXML_INGEST_INGEST_H_

@@ -14,12 +14,13 @@ namespace {
 
 /// Verbs safe to re-send after a failure whose outcome is unknown:
 /// they change no server state, so a duplicate execution is invisible.
-/// Everything that writes (EDIT, the EBEGIN family, REGISTER, REMOVE)
-/// and the explicit admin verbs (PROMOTE, FAULT) are excluded.
+/// Everything that writes (EDIT, the EBEGIN family, REGISTER, IMPORT,
+/// REMOVE) and the explicit admin verbs (PROMOTE, FAULT) are excluded.
 bool IsIdempotent(Verb verb) {
   switch (verb) {
     case Verb::kQuery:
     case Verb::kQueryRun:
+    case Verb::kCollectionQuery:
     case Verb::kList:
     case Verb::kStat:
     case Verb::kSync:
@@ -230,6 +231,27 @@ Result<uint64_t> Client::Register(const std::string& document,
   request.body = std::move(snapshot_bytes);
   CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
   return response.version;
+}
+
+Result<uint64_t> Client::Import(const std::string& document,
+                                const std::string& format,
+                                std::string payload) {
+  Request request;
+  request.verb = Verb::kImport;
+  request.document = document;
+  request.format = format;
+  request.body = std::move(payload);
+  CXML_ASSIGN_OR_RETURN(Response response, Flatten(Call(request)));
+  return response.version;
+}
+
+Result<Response> Client::CollectionRun(const std::string& pattern,
+                                       uint64_t qid) {
+  Request request;
+  request.verb = Verb::kCollectionQuery;
+  request.pattern = pattern;
+  request.qid = qid;
+  return Flatten(Call(request));
 }
 
 Status Client::Remove(const std::string& document) {

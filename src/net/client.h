@@ -15,8 +15,8 @@ namespace cxml::net {
 
 /// Degradation policy for Client: per-request deadlines, transparent
 /// reconnect, and bounded exponential-backoff retry. Retries apply
-/// ONLY to idempotent verbs (QUERY/QRUN/LIST/STAT/SYNC, plus
-/// PING/METRICS/TRACE) — a write (EDIT/ECOMMIT/REGISTER/...) whose
+/// ONLY to idempotent verbs (QUERY/QRUN/QCOLL/LIST/STAT/SYNC, plus
+/// PING/METRICS/TRACE) — a write (EDIT/ECOMMIT/REGISTER/IMPORT/...) whose
 /// connection dies mid-call has an unknown outcome and must surface
 /// the error instead of risking a double-apply. A reconnect before
 /// anything is sent is safe for every verb and happens for all.
@@ -86,6 +86,20 @@ class Client {
   /// Uploads CXG1 snapshot bytes; returns the registered version (1).
   Result<uint64_t> Register(const std::string& document,
                             std::string snapshot_bytes);
+  /// Uploads external markup (IMPORT): the server parses `payload` as
+  /// `format` ("xml" | "tei" | "html") into a multi-hierarchy GODDAG
+  /// and registers it as `document`, returning the version (1). A
+  /// rejected parse surfaces as the server's ERR InvalidArgument with
+  /// nothing registered. Not idempotent (it publishes a version), so
+  /// never auto-retried mid-call.
+  Result<uint64_t> Import(const std::string& document,
+                          const std::string& format, std::string payload);
+  /// Runs a prepared query over every document matching the glob
+  /// `pattern` (QCOLL): one item per result, `<document>\t`-prefixed,
+  /// merged in (document, rank) order; the matched-document count
+  /// rides in the version slot and cache_hit=false flags a truncated
+  /// collection.
+  Result<Response> CollectionRun(const std::string& pattern, uint64_t qid);
   Status Remove(const std::string& document);
   /// Applies `ops` in one server-side transaction and commits; returns
   /// the published version. A conflicting commit returns the server's

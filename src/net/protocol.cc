@@ -147,8 +147,12 @@ const char* VerbToString(Verb verb) {
       return "EABORT";
     case Verb::kRegister:
       return "REGISTER";
+    case Verb::kImport:
+      return "IMPORT";
     case Verb::kRemove:
       return "REMOVE";
+    case Verb::kCollectionQuery:
+      return "QCOLL";
     case Verb::kList:
       return "LIST";
     case Verb::kStat:
@@ -171,6 +175,10 @@ const char* VerbToString(Verb verb) {
 
 Status ValidateDocumentName(std::string_view name) {
   return ValidateToken(name, "document name");
+}
+
+Status ValidateCollectionPattern(std::string_view pattern) {
+  return ValidateToken(pattern, "collection pattern");
 }
 
 Status ValidateEditOps(const std::vector<EditOp>& ops) {
@@ -200,8 +208,15 @@ std::string RenderRequest(const Request& request) {
                               static_cast<unsigned long long>(request.qid)));
     case Verb::kRegister:
       return StrCat("REGISTER ", request.document, "\n", request.body);
+    case Verb::kImport:
+      return StrCat("IMPORT ", request.document, " ", request.format, "\n",
+                    request.body);
     case Verb::kRemove:
       return StrCat("REMOVE ", request.document);
+    case Verb::kCollectionQuery:
+      return StrCat("QCOLL ", request.pattern, " ",
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(request.qid)));
     case Verb::kList:
       return "LIST";
     case Verb::kStat:
@@ -361,6 +376,29 @@ Result<Request> ParseRequest(std::string_view payload) {
     CXML_RETURN_IF_ERROR(ValidateDocumentName(request.document));
     if (!ParseU64(tokens[2], &request.from_version)) {
       return Malformed("SYNC from_version", tokens[2]);
+    }
+    return request;
+  }
+  if (verb == "IMPORT") {
+    if (tokens.size() != 3) return Malformed("IMPORT command line", line);
+    request.verb = Verb::kImport;
+    request.document = std::string(tokens[1]);
+    CXML_RETURN_IF_ERROR(ValidateDocumentName(request.document));
+    CXML_RETURN_IF_ERROR(ValidateToken(tokens[2], "IMPORT format"));
+    request.format = std::string(tokens[2]);
+    if (body.empty()) {
+      return status::ParseError("IMPORT carries no markup body");
+    }
+    request.body = std::string(body);
+    return request;
+  }
+  if (verb == "QCOLL") {
+    if (tokens.size() != 3) return Malformed("QCOLL command line", line);
+    request.verb = Verb::kCollectionQuery;
+    request.pattern = std::string(tokens[1]);
+    CXML_RETURN_IF_ERROR(ValidateCollectionPattern(request.pattern));
+    if (!ParseU64(tokens[2], &request.qid)) {
+      return Malformed("QCOLL id", tokens[2]);
     }
     return request;
   }

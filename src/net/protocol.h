@@ -27,7 +27,9 @@ namespace cxml::net {
 ///   ECOMMIT
 ///   EABORT
 ///   REGISTER <doc> \n <CXG1 snapshot bytes>
+///   IMPORT <doc> xml|tei|html \n <markup bytes>
 ///   REMOVE <doc>
+///   QCOLL <pattern> <qid>
 ///   LIST
 ///   STAT
 ///   METRICS
@@ -97,6 +99,26 @@ namespace cxml::net {
 /// answers one item per armed point, ARM/DISARM/CLEAR/SEED mutate the
 /// schedule table. A server started without an injector answers
 /// ERR Unimplemented.
+///
+/// IMPORT is the ingestion verb: the body is external markup (strict
+/// XML, TEI with overlap conventions, or lenient HTML — see
+/// ingest::Format) that the server parses into a multi-hierarchy
+/// GODDAG and registers as <doc> at version 1, answering like
+/// REGISTER. The body is size-capped (ServerOptions::max_import_bytes)
+/// and a parse or convention error rejects the frame with
+/// ERR InvalidArgument *without* registering anything. Like REGISTER
+/// it requires allow_register and is refused on read-only replicas.
+///
+/// QCOLL is the collection-query verb: it runs a prepared handle (a
+/// qid from QPREPARE on this connection, like QRUN) over every
+/// document whose name matches <pattern> (glob: `*` any run, `?` one
+/// character), fanning out across store shards on the query pool. The
+/// response is QUERY-shaped with one item per result, each prefixed
+/// `<document>\t`, merged in (document, rank) order; the number of
+/// matched documents rides in the version slot. Results are capped
+/// per collection (ServerOptions::max_collection_results) — a
+/// truncated answer flips the hit flag to 0 and is cut in merge
+/// order. No matching document earns ERR NotFound.
 
 enum class Verb : uint8_t {
   kQuery,
@@ -108,7 +130,9 @@ enum class Verb : uint8_t {
   kEditCommit,
   kEditAbort,
   kRegister,
+  kImport,
   kRemove,
+  kCollectionQuery,
   kList,
   kStat,
   kMetrics,
@@ -155,9 +179,14 @@ struct Request {
   std::string document;
   /// QUERY / QPREPARE: how `body` is interpreted.
   service::QueryKind kind = service::QueryKind::kXPath;
-  /// QUERY / QPREPARE: the expression; REGISTER: the CXG1 bytes.
+  /// QUERY / QPREPARE: the expression; REGISTER: the CXG1 bytes;
+  /// IMPORT: the external markup bytes.
   std::string body;
-  /// QRUN: the prepared-query id returned by QPREPARE.
+  /// IMPORT: the markup dialect token ("xml" | "tei" | "html").
+  std::string format;
+  /// QCOLL: the document-name glob pattern.
+  std::string pattern;
+  /// QRUN / QCOLL: the prepared-query id returned by QPREPARE.
   uint64_t qid = 0;
   /// TRACE: how many retained traces to return (newest first).
   uint64_t count = 0;
@@ -188,6 +217,10 @@ struct Response {
 /// Document names travel unquoted on the command line: nonempty,
 /// at most 256 bytes, no whitespace or control bytes.
 Status ValidateDocumentName(std::string_view name);
+
+/// QCOLL patterns travel under the same token rules (glob characters
+/// `*` and `?` pass; whitespace and control bytes do not).
+Status ValidateCollectionPattern(std::string_view pattern);
 
 /// APPLY tags travel unquoted on an op line under the same rules — a
 /// tag with embedded whitespace would change the line's arity, and a

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "ingest/ingest.h"
+#include "service/collection_query.h"
 
 namespace cxml::net {
 
@@ -103,6 +105,9 @@ Server::Server(service::DocumentStore* store,
   idle_disconnects_ =
       registry->GetCounter("cxml_server_idle_disconnects_total");
   shed_total_ = registry->GetCounter("cxml_shed_total");
+  imports_total_ = registry->GetCounter("cxml_ingest_imports_total");
+  import_errors_ = registry->GetCounter("cxml_ingest_import_errors_total");
+  import_us_ = registry->GetHistogram("cxml_ingest_import_us");
   open_conns_ = registry->GetGauge("cxml_server_open_conns");
   request_us_ = registry->GetHistogram("cxml_server_request_us");
   read_only_.store(options_.read_only);
@@ -598,6 +603,7 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request,
       case Verb::kEditCommit:
       case Verb::kEditAbort:
       case Verb::kRegister:
+      case Verb::kImport:
       case Verb::kRemove:
         return status::FailedPrecondition(StrCat(
             VerbToString(request.verb),
@@ -649,6 +655,10 @@ Result<std::string> Server::Dispatch(Conn* conn, const Request& request,
       // Registration always publishes version 1.
       return RenderVersion(1);
     }
+    case Verb::kImport:
+      return DoImport(request);
+    case Verb::kCollectionQuery:
+      return DoCollectionQuery(conn, request, trace);
     case Verb::kRemove: {
       if (!options_.allow_register) {
         return status::Unimplemented("REMOVE is disabled on this server");
@@ -731,6 +741,84 @@ Result<std::string> Server::DoQueryRun(Conn* conn, const Request& request,
         static_cast<unsigned long long>(it->second->canonical_hash)));
   }
   return RunPrepared(request.document, it->second, trace);
+}
+
+Result<std::string> Server::DoImport(const Request& request) {
+  if (!options_.allow_register) {
+    return status::Unimplemented("IMPORT is disabled on this server");
+  }
+  if (request.body.size() > options_.max_import_bytes) {
+    import_errors_->Add();
+    return status::InvalidArgument(StrFormat(
+        "IMPORT body of %zu bytes exceeds the %zu-byte cap",
+        request.body.size(), options_.max_import_bytes));
+  }
+  Result<ingest::Format> format = ingest::ParseFormat(request.format);
+  if (!format.ok()) {
+    import_errors_->Add();
+    return format.status();
+  }
+  const auto started = std::chrono::steady_clock::now();
+  ingest::ImportOptions opts;
+  opts.format = *format;
+  Result<ingest::ImportedDocument> imported =
+      ingest::Import(request.body, opts);
+  if (!imported.ok()) {
+    // A parse or convention error rejects the frame before the store
+    // is touched — nothing is registered, LIST is unchanged.
+    import_errors_->Add();
+    return imported.status().WithContext(
+        StrCat("importing '", request.document, "'"));
+  }
+  // Publication rides the standard Register path so the store's
+  // version listeners fire: a WAL-armed server checkpoints the import
+  // durably (kSnapshot record) and followers replicate it over SYNC,
+  // exactly like a REGISTER upload.
+  CXML_RETURN_IF_ERROR(
+      store_->Register(request.document, std::move(imported->doc)));
+  imports_total_->Add();
+  import_us_->Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count()));
+  return RenderVersion(1);
+}
+
+Result<std::string> Server::DoCollectionQuery(Conn* conn,
+                                              const Request& request,
+                                              const obs::TracePtr& trace) {
+  auto it = conn->prepared.find(request.qid);
+  if (it == conn->prepared.end()) {
+    return status::NotFound(StrFormat(
+        "unknown prepared query id %llu on this connection",
+        static_cast<unsigned long long>(request.qid)));
+  }
+  if (trace != nullptr) {
+    trace->set_label(StrFormat(
+        "QCOLL %s qid=%llu hash=%016llx", request.pattern.c_str(),
+        static_cast<unsigned long long>(request.qid),
+        static_cast<unsigned long long>(it->second->canonical_hash)));
+  }
+  obs::TraceSpan service_span(trace, "service");
+  service::CollectionQueryOptions copts;
+  copts.max_results = options_.max_collection_results;
+  service::CollectionResponse response = service::RunCollectionQuery(
+      service_, request.pattern, it->second, copts, trace,
+      service_span.index());
+  service_span.End();
+  if (!response.ok()) return response.status;
+  obs::TraceSpan respond(trace, "respond");
+  // One wire item per result, document-prefixed, already in
+  // (document, rank) order; the fan-out width rides in the version
+  // slot and a truncated collection clears the hit flag.
+  std::vector<std::string> items;
+  items.reserve(response.total_items);
+  for (const service::CollectionDocResult& doc : response.docs) {
+    for (const std::string& item : doc.items) {
+      items.push_back(StrCat(doc.document, "\t", item));
+    }
+  }
+  return RenderItems(items, response.matched, !response.truncated);
 }
 
 Result<std::string> Server::DoEdit(const Request& request) {

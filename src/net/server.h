@@ -32,10 +32,19 @@ struct ServerOptions {
   /// QueryService's own pool; these threads mostly block on it).
   size_t num_workers = 4;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// When false, REGISTER/REMOVE answer ERR Unimplemented — a
+  /// When false, REGISTER/IMPORT/REMOVE answer ERR Unimplemented — a
   /// read-mostly edge exposed to untrusted clients should not accept
   /// document uploads.
   bool allow_register = true;
+  /// Cap on an IMPORT frame's markup body. Parsing external markup is
+  /// CPU-bound on a worker thread, so the cap bounds the work one
+  /// frame can demand (the frame decoder's max_frame_bytes already
+  /// bounds the bytes). Oversized imports earn ERR InvalidArgument.
+  size_t max_import_bytes = 8 * 1024 * 1024;
+  /// Per-collection cap on QCOLL result items summed across the
+  /// matched documents; a collection answering more is cut off in
+  /// (document, rank) order and flagged truncated (hit slot = 0).
+  size_t max_collection_results = 4096;
   /// Cap on live QPREPARE handles per connection — a remote peer must
   /// not grow server memory without bound by preparing forever (the
   /// compiled objects are deduplicated service-wide, but the qid table
@@ -55,7 +64,7 @@ struct ServerOptions {
   /// service's Tracer at Start().
   uint64_t slow_query_us = 0;
   /// When true, every mutating verb (EDIT, EBEGIN/EOP/ECOMMIT/EABORT,
-  /// REGISTER, REMOVE) answers ERR FailedPrecondition. A replication
+  /// REGISTER, IMPORT, REMOVE) answers ERR FailedPrecondition. A replication
   /// follower serves reads this way so local writers cannot fork the
   /// replica's history away from the primary's.
   bool read_only = false;
@@ -201,6 +210,9 @@ class Server {
   Result<std::string> RunPrepared(const std::string& document,
                                   const service::QueryHandle& handle,
                                   const obs::TracePtr& trace);
+  Result<std::string> DoImport(const Request& request);
+  Result<std::string> DoCollectionQuery(Conn* conn, const Request& request,
+                                        const obs::TracePtr& trace);
   Result<std::string> DoEdit(const Request& request);
   Result<std::string> DoEditBegin(Conn* conn, const Request& request);
   Result<std::string> DoEditOp(Conn* conn, const Request& request);
@@ -247,6 +259,11 @@ class Server {
   obs::Counter* request_errors_ = nullptr;
   obs::Counter* idle_disconnects_ = nullptr;
   obs::Counter* shed_total_ = nullptr;
+  /// Ingestion tallies: IMPORT frames that registered a document vs
+  /// rejected their markup, and the parse-to-GODDAG latency.
+  obs::Counter* imports_total_ = nullptr;
+  obs::Counter* import_errors_ = nullptr;
+  obs::Histogram* import_us_ = nullptr;
   /// Currently open connections (accepted − closed).
   obs::Gauge* open_conns_ = nullptr;
   /// End-to-end request latency as the worker sees it: decode →

@@ -5,9 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <string>
+#include <utility>
 
 #include "dom/document.h"
+#include "ingest/ingest.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/document_store.h"
+#include "service/query_service.h"
 #include "drivers/registry.h"
 #include "dtd/dtd.h"
 #include "goddag/builder.h"
@@ -231,6 +239,110 @@ TEST(FuzzTest, CorruptCheckpointsLoadOrFailCleanly) {
       EXPECT_TRUE(loaded->g->Validate().ok());
     }
   }
+}
+
+TEST(FuzzTest, IngestImporterNeverCrashes) {
+  // Mutated TEI with every overlap convention in play, and mutated
+  // HTML through the lenient path. The importer must answer ok (a
+  // valid GODDAG) or a clean InvalidArgument — never crash, and never
+  // any other error code (that is the wire contract DoImport relies on
+  // to reject without registering).
+  const std::string tei_base =
+      "<TEI><teiHeader><title>t</title></teiHeader><text>"
+      "<pb n=\"1\"/><lb/><div><seg part=\"I\">One </seg><note>mid </note>"
+      "<seg part=\"F\">two.</seg></div>"
+      "<pb n=\"2\"/><ab xml:id=\"a1\" next=\"#a2\">x </ab>"
+      "<ab xml:id=\"a2\" prev=\"#a1\">y.</ab>"
+      "</text><standOff><span from=\"0\" to=\"4\"/></standOff></TEI>";
+  const std::string html_base =
+      "<UL class=\"m\"><LI>one<LI>two</UL><P>tail<BR>end";
+  size_t accepted = 0, rejected = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    for (const auto& [base, format] :
+         {std::pair<const std::string&, ingest::Format>{
+              tei_base, ingest::Format::kTei},
+          {html_base, ingest::Format::kHtml}}) {
+      std::string mutated = Corrupt(base, static_cast<uint64_t>(i));
+      auto imported = ingest::Import(mutated, {format});
+      if (imported.ok()) {
+        ++accepted;
+        EXPECT_TRUE(imported->doc.g->Validate().ok());
+      } else {
+        ++rejected;
+        EXPECT_EQ(imported.status().code(), StatusCode::kInvalidArgument)
+            << imported.status();
+        EXPECT_FALSE(imported.status().message().empty());
+      }
+    }
+  }
+  // The lenient HTML path accepts almost anything; the strict TEI path
+  // rejects most mutations. Both outcomes must occur.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzTest, ImportWireDecodeNeverCrashes) {
+  // The CXP/1 decode path for IMPORT: mutated request payloads must
+  // parse or fail cleanly, never crash.
+  net::Request request;
+  request.verb = net::Verb::kImport;
+  request.document = "fuzz/doc";
+  request.format = "tei";
+  request.body = "<TEI><text><pb n=\"1\"/><p>Hello.</p></text></TEI>";
+  const std::string rendered = net::RenderRequest(request);
+  for (int i = 0; i < kRounds; ++i) {
+    auto parsed = net::ParseRequest(Corrupt(rendered, static_cast<uint64_t>(i)));
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+TEST(FuzzTest, ImportOverWireNeverPartiallyRegisters) {
+  // End to end over loopback: a mutated IMPORT either registers a
+  // fully valid document or leaves the store untouched — a failed
+  // import must never leave a partial document behind.
+  service::DocumentStore store;
+  service::QueryService service(
+      &store, service::QueryServiceOptions{/*num_threads=*/2,
+                                           /*cache_capacity=*/64});
+  net::ServerOptions options;
+  options.num_workers = 2;
+  net::Server server(&store, &service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const std::string base =
+      "<TEI><text><pb n=\"1\"/><div><seg part=\"I\">a </seg>"
+      "<seg part=\"F\">b.</seg></div></text></TEI>";
+  size_t registered = 0;
+  for (int i = 0; i < kRounds / 3; ++i) {
+    std::string name = "fz/d" + std::to_string(i);
+    // Round 0 imports the pristine source (must register); later
+    // rounds corrupt lightly enough that some survive well-formed.
+    std::string payload =
+        i == 0 ? base : Corrupt(base, static_cast<uint64_t>(i), /*n=*/1);
+    auto version = client->Import(name, "tei", payload);
+    auto names = client->List();
+    ASSERT_TRUE(names.ok());
+    const bool listed =
+        std::find(names->begin(), names->end(), name) != names->end();
+    if (version.ok()) {
+      ++registered;
+      EXPECT_TRUE(listed) << name;
+      // The registered document must answer queries.
+      auto answer =
+          client->Query(name, "count(//*)", service::QueryKind::kXPath);
+      EXPECT_TRUE(answer.ok()) << answer.status();
+    } else {
+      EXPECT_EQ(version.status().code(), StatusCode::kInvalidArgument)
+          << version.status();
+      EXPECT_FALSE(listed) << name;
+    }
+  }
+  EXPECT_GT(registered, 0u);  // some mutations stay well-formed
+  server.Stop();
 }
 
 TEST(FuzzTest, LexerHandlesPathologicalInputs) {
